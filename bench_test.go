@@ -1,0 +1,610 @@
+// Repository-level benchmark harness.
+//
+// The paper is qualitative and publishes no performance tables, so this
+// suite provides the quantitative characterisation an open-source release
+// of the system would ship — one benchmark family per subsystem plus the
+// ablations called out in DESIGN.md §5:
+//
+//	BenchmarkKeyNoteQuery           compliance checking vs delegation depth
+//	BenchmarkKeyNoteParse           assertion parsing
+//	BenchmarkTranslateRBACToKeyNote encoding cost vs policy size
+//	BenchmarkPolicyComprehension    decoding cost vs policy size
+//	BenchmarkMigration              all six directed middleware pairs
+//	BenchmarkStackedAuth            mediation cost vs stacked layers
+//	BenchmarkCheckAccess            native middleware decisions
+//	BenchmarkCGEngine               condensed-graph firings (eager/lazy)
+//	BenchmarkScheduler              secure remote scheduling over loopback
+//	BenchmarkSPKIChain              SPKI reduction vs chain depth
+//	BenchmarkSimilarity             permission-vocabulary mapping
+//	BenchmarkCentralisedVsDecentralised   ablation (DESIGN.md §5)
+//	BenchmarkExactVsSimilarityMigration   ablation (DESIGN.md §5)
+package securewebcom_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"securewebcom/internal/cg"
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/middleware/complus"
+	"securewebcom/internal/middleware/corba"
+	"securewebcom/internal/middleware/ejb"
+	"securewebcom/internal/ossec"
+	"securewebcom/internal/rbac"
+	"securewebcom/internal/similarity"
+	"securewebcom/internal/spki"
+	"securewebcom/internal/stack"
+	"securewebcom/internal/translate"
+	"securewebcom/internal/webcom"
+)
+
+// ---- KeyNote ----
+
+// chainFixture builds a delegation chain of the given depth with real
+// signatures, plus the checker that verifies it.
+func chainFixture(depth int) (*keynote.Checker, []*keynote.Assertion, string) {
+	ks := keys.NewKeyStore()
+	names := make([]string, depth+1)
+	for i := range names {
+		names[i] = fmt.Sprintf("K%03d", i)
+		ks.Add(keys.Deterministic(names[i], "bench-chain"))
+	}
+	first, _ := ks.ByName(names[0])
+	policy := []*keynote.Assertion{keynote.MustNew(
+		"POLICY", fmt.Sprintf("%q", first.PublicID()), `op=="go";`)}
+	var creds []*keynote.Assertion
+	for i := 0; i < depth; i++ {
+		from, _ := ks.ByName(names[i])
+		to, _ := ks.ByName(names[i+1])
+		a := keynote.MustNew(fmt.Sprintf("%q", from.PublicID()),
+			fmt.Sprintf("%q", to.PublicID()), `op=="go";`)
+		if err := a.Sign(from); err != nil {
+			panic(err)
+		}
+		creds = append(creds, a)
+	}
+	chk, err := keynote.NewChecker(policy, keynote.WithResolver(ks))
+	if err != nil {
+		panic(err)
+	}
+	last, _ := ks.ByName(names[depth])
+	return chk, creds, last.PublicID()
+}
+
+func BenchmarkKeyNoteQuery(b *testing.B) {
+	for _, depth := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("chain=%d", depth), func(b *testing.B) {
+			chk, creds, requester := chainFixture(depth)
+			q := keynote.Query{
+				Authorizers: []string{requester},
+				Attributes:  map[string]string{"op": "go"},
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := chk.Check(q, creds)
+				if err != nil || !res.Authorized(nil) {
+					b.Fatalf("chain query failed: %v %v", res.Value, err)
+				}
+			}
+		})
+	}
+	// The signature-verification share of the cost, isolated.
+	b.Run("chain=16/no-verify", func(b *testing.B) {
+		_, creds, requester := chainFixture(16)
+		ks := keys.NewKeyStore()
+		first := keys.Deterministic("K000", "bench-chain")
+		ks.Add(first)
+		policy := []*keynote.Assertion{keynote.MustNew(
+			"POLICY", fmt.Sprintf("%q", first.PublicID()), `op=="go";`)}
+		chk, _ := keynote.NewChecker(policy, keynote.WithoutSignatureVerification())
+		q := keynote.Query{Authorizers: []string{requester}, Attributes: map[string]string{"op": "go"}}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := chk.Check(q, creds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkKeyNoteParse(b *testing.B) {
+	texts := map[string]string{
+		"small": "KeyNote-Version: 2\nAuthorizer: POLICY\nLicensees: \"Kbob\"\n" +
+			"Conditions: app_domain==\"SalariesDB\" && (oper==\"read\" || oper==\"write\");\n",
+	}
+	// A Figure-5-sized policy over 20 roles.
+	var big strings.Builder
+	big.WriteString("KeyNote-Version: 2\nAuthorizer: POLICY\nLicensees: \"KWebCom\"\nConditions: ")
+	for i := 0; i < 20; i++ {
+		if i > 0 {
+			big.WriteString(" || ")
+		}
+		fmt.Fprintf(&big, `(Domain=="D%d" && Role=="R%d" && (Permission=="read"||Permission=="write"))`, i, i)
+	}
+	big.WriteString(";\n")
+	texts["large"] = big.String()
+
+	for name, text := range texts {
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(text)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := keynote.Parse(text); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Translation ----
+
+// syntheticPolicy builds a policy with the given number of roles, each
+// with 2 permissions and 2 members, spread over 4 domains.
+func syntheticPolicy(roles int) *rbac.Policy {
+	p := rbac.NewPolicy()
+	for i := 0; i < roles; i++ {
+		d := rbac.Domain(fmt.Sprintf("D%d", i%4))
+		r := rbac.Role(fmt.Sprintf("R%d", i))
+		p.AddRolePerm(d, r, "DB", "read")
+		p.AddRolePerm(d, r, "DB", "write")
+		p.AddUserRole(rbac.User(fmt.Sprintf("u%d", 2*i)), d, r)
+		p.AddUserRole(rbac.User(fmt.Sprintf("u%d", 2*i+1)), d, r)
+	}
+	return p
+}
+
+func benchResolver(u rbac.User) (string, error) {
+	return keys.Deterministic("K"+string(u), "bench-translate").PublicID(), nil
+}
+
+func BenchmarkTranslateRBACToKeyNote(b *testing.B) {
+	for _, roles := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("roles=%d", roles), func(b *testing.B) {
+			p := syntheticPolicy(roles)
+			opt := translate.Options{AdminKey: "KAdmin"}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := translate.EncodeRBAC(p, benchResolver, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPolicyComprehension(b *testing.B) {
+	for _, roles := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("roles=%d", roles), func(b *testing.B) {
+			p := syntheticPolicy(roles)
+			opt := translate.Options{AdminKey: "KAdmin"}
+			enc, err := translate.EncodeRBAC(p, benchResolver, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			userOf := func(principal string) (rbac.User, error) { return rbac.User(principal), nil }
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := translate.DecodeRBAC(
+					[]*keynote.Assertion{enc.Policy}, enc.Credentials, userOf, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Migration: all six directed pairs ----
+
+func newBenchEJB() middleware.System {
+	s := ejb.NewServer("ejb", "h", "srv")
+	c := s.CreateContainer("fin")
+	c.DeployBean("DB", nil, "Access", "Launch")
+	c.AddMethodPermission("R1", "DB", "Access")
+	c.AddMethodPermission("R2", "DB", "Launch")
+	s.AddUser("u1")
+	s.AddUser("u2")
+	s.AssignRole("fin", "u1", "R1")
+	s.AssignRole("fin", "u2", "R2")
+	return s
+}
+
+func newBenchCORBA() middleware.System {
+	o := corba.NewORB("corba", "h", "orb")
+	o.DefineInterface("DB", "Access", "Launch")
+	o.BindObject("db", "DB", nil)
+	o.GrantRole("R1", "DB", "Access")
+	o.GrantRole("R2", "DB", "Launch")
+	o.AddPrincipalToRole("u1", "R1")
+	o.AddPrincipalToRole("u2", "R2")
+	return o
+}
+
+func newBenchCOM() middleware.System {
+	nt := ossec.NewNTDomain("DOM")
+	c := complus.NewCatalogue("com", nt)
+	c.RegisterClass("DB", nil)
+	c.Grant("R1", "DB", complus.PermAccess)
+	c.Grant("R2", "DB", complus.PermLaunch)
+	nt.AddAccount("u1")
+	nt.AddAccount("u2")
+	c.AddRoleMember("R1", "u1")
+	c.AddRoleMember("R2", "u2")
+	return c
+}
+
+func domainOf(s middleware.System) rbac.Domain {
+	p, err := s.ExtractPolicy()
+	if err != nil || len(p.Domains()) == 0 {
+		panic("bench system without domain")
+	}
+	return p.Domains()[0]
+}
+
+func BenchmarkMigration(b *testing.B) {
+	builders := map[string]func() middleware.System{
+		"ejb": newBenchEJB, "corba": newBenchCORBA, "com": newBenchCOM,
+	}
+	for _, pair := range [][2]string{
+		{"ejb", "corba"}, {"ejb", "com"}, {"corba", "ejb"},
+		{"corba", "com"}, {"com", "ejb"}, {"com", "corba"},
+	} {
+		b.Run(pair[0]+"->"+pair[1], func(b *testing.B) {
+			src := builders[pair[0]]()
+			dst := builders[pair[1]]()
+			opt := translate.MigrationOptions{
+				DomainMap: map[rbac.Domain]rbac.Domain{domainOf(src): domainOf(dst)},
+			}
+			if pair[1] == "com" {
+				opt.TargetVocabulary = []rbac.Permission{"Launch", "Access", "RunAs"}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := translate.Migrate(src, dst, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Stacked authorisation ----
+
+func BenchmarkStackedAuth(b *testing.B) {
+	u := ossec.NewUnix("h")
+	u.AddUser("bob", 1002, 100)
+	u.AddResource("db", 1002, 100, ossec.OwnerRead)
+
+	srv := ejb.NewServer("X", "h", "srv")
+	c := srv.CreateContainer("fin")
+	c.DeployBean("DB", nil, "read")
+	c.AddMethodPermission("Manager", "DB", "read")
+	srv.AddUser("Bob")
+	srv.AssignRole("fin", "Bob", "Manager")
+
+	ks := keys.NewKeyStore()
+	kb := keys.Deterministic("Kbob", "bench-stack")
+	ks.Add(kb)
+	chk, _ := keynote.NewChecker([]*keynote.Assertion{keynote.MustNew(
+		"POLICY", fmt.Sprintf("%q", kb.PublicID()),
+		`app_domain=="WebCom" && Role=="Manager";`)}, keynote.WithResolver(ks))
+
+	layers := []stack.Layer{
+		&stack.AppLayer{LayerName: "wf", Fn: func(*stack.Request) (stack.Verdict, error) { return stack.Grant, nil }},
+		&stack.TrustLayer{Checker: chk, Role: "Manager"},
+		&stack.MiddlewareLayer{System: srv},
+		&stack.OSLayer{Authority: u},
+	}
+	req := &stack.Request{
+		User: "Bob", Principal: kb.PublicID(),
+		Domain: "h/srv/fin", ObjectType: "DB", Permission: "read",
+		OSPrincipal: "bob", OSResource: "db", OSAccess: ossec.Read,
+	}
+	for k := 1; k <= 4; k++ {
+		b.Run(fmt.Sprintf("layers=%d", k), func(b *testing.B) {
+			st := stack.New(stack.RequireAll, layers[4-k:]...)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if d := st.Authorize(req); !d.Granted {
+					b.Fatalf("denied: %s", d)
+				}
+			}
+		})
+	}
+}
+
+// ---- Native middleware decisions ----
+
+func BenchmarkCheckAccess(b *testing.B) {
+	systems := map[string]middleware.System{
+		"ejb": newBenchEJB(), "corba": newBenchCORBA(), "complus": newBenchCOM(),
+	}
+	for name, sys := range systems {
+		b.Run(name, func(b *testing.B) {
+			d := domainOf(sys)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ok, err := sys.CheckAccess("u1", d, "DB", "Access")
+				if err != nil || !ok {
+					b.Fatalf("decision: %v %v", ok, err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Condensed-graph engine ----
+
+// reductionGraph builds a balanced add-reduction over width constants.
+func reductionGraph(width int) *cg.Graph {
+	g := cg.NewGraph("reduce")
+	prev := make([]string, width)
+	for i := range prev {
+		id := fmt.Sprintf("c%d", i)
+		g.MustAddNode(id, cg.Identity())
+		if err := g.SetConst(id, 0, "1"); err != nil {
+			panic(err)
+		}
+		prev[i] = id
+	}
+	for d := 0; len(prev) > 1; d++ {
+		var next []string
+		for i := 0; i+1 < len(prev); i += 2 {
+			id := fmt.Sprintf("a%d_%d", d, i)
+			g.MustAddNode(id, cg.Add())
+			if err := g.Connect(prev[i], id, 0); err != nil {
+				panic(err)
+			}
+			if err := g.Connect(prev[i+1], id, 1); err != nil {
+				panic(err)
+			}
+			next = append(next, id)
+		}
+		if len(prev)%2 == 1 {
+			next = append(next, prev[len(prev)-1])
+		}
+		prev = next
+	}
+	if err := g.SetExit(prev[0]); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func BenchmarkCGEngine(b *testing.B) {
+	g := reductionGraph(64)
+	want := "64"
+	for _, cfg := range []struct {
+		name string
+		eng  cg.Engine
+	}{
+		{"eager/workers=1", cg.Engine{Mode: cg.Eager, Workers: 1}},
+		{"eager/workers=4", cg.Engine{Mode: cg.Eager, Workers: 4}},
+		{"lazy/workers=4", cg.Engine{Mode: cg.Lazy, Workers: 4}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng := cfg.eng
+				got, _, err := eng.Run(context.Background(), g, nil)
+				if err != nil || got != want {
+					b.Fatalf("%q %v", got, err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Secure WebCom scheduling over loopback ----
+
+func BenchmarkScheduler(b *testing.B) {
+	for _, nClients := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("clients=%d", nClients), func(b *testing.B) {
+			ks := keys.NewKeyStore()
+			mk := keys.Deterministic("Kmaster", "bench-sched")
+			ks.Add(mk)
+			var policy []*keynote.Assertion
+			var clients []*webcom.Client
+			for i := 0; i < nClients; i++ {
+				ck := keys.Deterministic(fmt.Sprintf("Kc%d", i), "bench-sched")
+				ks.Add(ck)
+				policy = append(policy, keynote.MustNew("POLICY",
+					fmt.Sprintf("%q", ck.PublicID()), `app_domain=="WebCom";`))
+			}
+			chk, _ := keynote.NewChecker(policy, keynote.WithResolver(ks))
+			master := webcom.NewMaster(mk, chk, nil, ks)
+			if err := master.Listen("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			defer master.Close()
+			for i := 0; i < nClients; i++ {
+				ck, _ := ks.ByName(fmt.Sprintf("Kc%d", i))
+				cl := &webcom.Client{Name: fmt.Sprintf("c%d", i), Key: ck,
+					Local: map[string]func([]string) (string, error){
+						"noop": func([]string) (string, error) { return "ok", nil },
+					}}
+				if err := cl.Connect(master.Addr()); err != nil {
+					b.Fatal(err)
+				}
+				defer cl.Close()
+				clients = append(clients, cl)
+			}
+			deadline := time.Now().Add(3 * time.Second)
+			for len(master.Clients()) < nClients && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			exec := master.Executor()
+			task := cg.Task{OpName: "noop"}
+			op := &cg.Opaque{OpName: "noop", OpArity: 0}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := exec(ctx, task, op); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- SPKI ----
+
+func BenchmarkSPKIChain(b *testing.B) {
+	for _, depth := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("chain=%d", depth), func(b *testing.B) {
+			st := spki.NewStore("K000", spki.WithoutStoreVerification())
+			tag := spki.MustParseTag(`(tag db read)`)
+			for i := 0; i < depth; i++ {
+				st.AddAuth(&spki.AuthCert{
+					Issuer:   fmt.Sprintf("K%03d", i),
+					Subject:  spki.Subject{Key: fmt.Sprintf("K%03d", i+1)},
+					Delegate: true,
+					Tag:      tag,
+				})
+			}
+			principal := fmt.Sprintf("K%03d", depth)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !st.Authorized(principal, tag) {
+					b.Fatal("chain not found")
+				}
+			}
+		})
+	}
+}
+
+// ---- Similarity mapping ----
+
+func BenchmarkSimilarity(b *testing.B) {
+	vocab := []string{"Launch", "Access", "RunAs", "read", "write", "execute",
+		"getSalary", "setSalary", "administer", "query", "update", "delete"}
+	b.Run("best-match", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := similarity.BestMatch("launch_component", vocab, similarity.Blended)
+			if m[0].Candidate != "Launch" {
+				b.Fatalf("matched %q", m[0].Candidate)
+			}
+		}
+	})
+}
+
+// ---- Ablation: centralised vs decentralised policy (DESIGN.md §5) ----
+
+func BenchmarkCentralisedVsDecentralised(b *testing.B) {
+	// Centralised: one POLICY assertion directly licenses the user.
+	// Decentralised: POLICY -> admin -> user credential chain.
+	ks := keys.NewKeyStore()
+	admin := keys.Deterministic("Kadmin", "bench-ab1")
+	user := keys.Deterministic("Kuser", "bench-ab1")
+	ks.Add(admin)
+	ks.Add(user)
+	attrs := map[string]string{"app_domain": "WebCom", "Domain": "D", "Role": "R"}
+
+	b.Run("centralised", func(b *testing.B) {
+		chk, _ := keynote.NewChecker([]*keynote.Assertion{keynote.MustNew(
+			"POLICY", fmt.Sprintf("%q", user.PublicID()),
+			`app_domain=="WebCom" && Domain=="D" && Role=="R";`)}, keynote.WithResolver(ks))
+		q := keynote.Query{Authorizers: []string{user.PublicID()}, Attributes: attrs}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := chk.Check(q, nil)
+			if err != nil || !res.Authorized(nil) {
+				b.Fatal("denied")
+			}
+		}
+	})
+	b.Run("decentralised", func(b *testing.B) {
+		chk, _ := keynote.NewChecker([]*keynote.Assertion{keynote.MustNew(
+			"POLICY", fmt.Sprintf("%q", admin.PublicID()), `app_domain=="WebCom";`)},
+			keynote.WithResolver(ks))
+		cred := keynote.MustNew(fmt.Sprintf("%q", admin.PublicID()),
+			fmt.Sprintf("%q", user.PublicID()),
+			`app_domain=="WebCom" && Domain=="D" && Role=="R";`)
+		if err := cred.Sign(admin); err != nil {
+			b.Fatal(err)
+		}
+		creds := []*keynote.Assertion{cred}
+		q := keynote.Query{Authorizers: []string{user.PublicID()}, Attributes: attrs}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := chk.Check(q, creds)
+			if err != nil || !res.Authorized(nil) {
+				b.Fatal("denied")
+			}
+		}
+	})
+	// Update cost: adding one user centrally (re-encode whole policy) vs
+	// decentrally (sign one credential).
+	b.Run("update/centralised", func(b *testing.B) {
+		p := syntheticPolicy(16)
+		opt := translate.Options{AdminKey: admin.PublicID()}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.AddUserRole(rbac.User(fmt.Sprintf("new%d", i)), "D0", "R0")
+			enc, err := translate.EncodeRBAC(p, benchResolver, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := enc.SignAll(admin); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("update/decentralised", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nk := keys.Deterministic(fmt.Sprintf("Knew%d", i), "bench-ab1")
+			cred := keynote.MustNew(fmt.Sprintf("%q", admin.PublicID()),
+				fmt.Sprintf("%q", nk.PublicID()),
+				`app_domain=="WebCom" && Domain=="D0" && Role=="R0";`)
+			if err := cred.Sign(admin); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- Ablation: exact vs similarity-based migration (DESIGN.md §5) ----
+
+func BenchmarkExactVsSimilarityMigration(b *testing.B) {
+	exact := rbac.NewPolicy()
+	fuzzy := rbac.NewPolicy()
+	for i := 0; i < 32; i++ {
+		d := rbac.Domain("D")
+		r := rbac.Role(fmt.Sprintf("R%d", i))
+		exact.AddRolePerm(d, r, "O", "Access")
+		fuzzy.AddRolePerm(d, r, "O", rbac.Permission(fmt.Sprintf("access_method_%d", i)))
+	}
+	vocab := []rbac.Permission{"Launch", "Access", "RunAs"}
+	b.Run("exact", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := translate.MigratePolicy(exact, translate.MigrationOptions{
+				TargetVocabulary: vocab}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("similarity", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := translate.MigratePolicy(fuzzy, translate.MigrationOptions{
+				TargetVocabulary: vocab, MinScore: 0.3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

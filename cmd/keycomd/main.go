@@ -1,0 +1,79 @@
+// Command keycomd runs a KeyCOM automated administration service
+// (Figure 8): a TCP daemon that accepts signed policy update requests
+// carrying KeyNote credentials and applies authorised changes to a COM+
+// catalogue.
+//
+// Usage:
+//
+//	keycomd -addr 127.0.0.1:7080 -domain DOMA -admin admin.pub \
+//	    [-class SalariesDB.Component] [-role Clerk]
+//
+// The service's policy trusts the key in -admin for all KeyCOM actions;
+// that administrator can delegate narrower authority (e.g. "add users to
+// Clerk") to other keys with ordinary KeyNote credentials, which
+// requesters submit alongside their update.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"securewebcom/internal/keycom"
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/middleware/complus"
+	"securewebcom/internal/ossec"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7080", "listen address")
+	domain := flag.String("domain", "DOMA", "Windows NT domain name of the catalogue")
+	adminPath := flag.String("admin", "", "administrator public-key file")
+	class := flag.String("class", "SalariesDB.Component", "demo COM class ProgID")
+	role := flag.String("role", "Clerk", "demo COM role granted Access on the class")
+	flag.Parse()
+
+	if err := realMain(*addr, *domain, *adminPath, *class, *role); err != nil {
+		fmt.Fprintln(os.Stderr, "keycomd:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(addr, domain, adminPath, class, role string) error {
+	if adminPath == "" {
+		return fmt.Errorf("pass -admin with the administrator's public-key file")
+	}
+	admin, err := keys.Load(adminPath)
+	if err != nil {
+		return err
+	}
+	ks := keys.NewKeyStore()
+	ks.Add(admin)
+
+	nt := ossec.NewNTDomain(domain)
+	cat := complus.NewCatalogue("keycomd", nt)
+	clsid := cat.RegisterClass(class, map[string]middleware.Handler{})
+	cat.DefineRole(role)
+	if err := cat.Grant(role, class, complus.PermAccess); err != nil {
+		return err
+	}
+
+	policy, err := keynote.New("POLICY", fmt.Sprintf("%q", admin.PublicID()), `app_domain=="KeyCOM";`)
+	if err != nil {
+		return err
+	}
+	chk, err := keynote.NewChecker([]*keynote.Assertion{policy}, keynote.WithResolver(ks))
+	if err != nil {
+		return err
+	}
+	srv, err := keycom.ListenAndServe(keycom.NewService(cat, chk), addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("keycomd administering NT domain %s on %s\n", domain, srv.Addr())
+	fmt.Printf("catalogue: class %s %s, role %s (Access)\n", class, clsid, role)
+	fmt.Printf("administrator: %s\n", admin.PublicID())
+	select {}
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestKeygenSignVerifyFlow(t *testing.T) {
+	dir := t.TempDir()
+	keyDir := filepath.Join(dir, "keys")
+	if err := os.MkdirAll(keyDir, 0o700); err != nil {
+		t.Fatal(err)
+	}
+
+	// keygen.
+	bobKey := filepath.Join(keyDir, "kbob.key")
+	if err := cmdKeygen([]string{"-name", "Kbob", "-out", bobKey, "-seed", "cli-test"}); err != nil {
+		t.Fatalf("keygen: %v", err)
+	}
+	kp, err := keys.Load(bobKey)
+	if err != nil || kp.Private == nil {
+		t.Fatalf("generated key unusable: %v", err)
+	}
+
+	// sign a credential authored by Kbob.
+	credPath := write(t, dir, "cred.kn",
+		"Authorizer: \"Kbob\"\nLicensees: \"Kalice\"\nConditions: oper==\"write\";\n")
+	signedPath := filepath.Join(dir, "signed.kn")
+	if err := cmdSign([]string{"-key", bobKey, "-in", credPath, "-out", signedPath}); err != nil {
+		t.Fatalf("sign: %v", err)
+	}
+	signed, err := os.ReadFile(signedPath)
+	if err != nil || !strings.Contains(string(signed), "Signature: sig-ed25519:") {
+		t.Fatalf("signed output: %s (%v)", signed, err)
+	}
+
+	// verify against the key directory.
+	if err := cmdVerify([]string{"-in", signedPath, "-keys", keyDir}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+
+	// Tamper: verification must fail.
+	tampered := strings.Replace(string(signed), `oper=="write"`, `oper=="read"`, 1)
+	tamperedPath := write(t, dir, "tampered.kn", tampered)
+	if err := cmdVerify([]string{"-in", tamperedPath, "-keys", keyDir}); err == nil {
+		t.Fatal("tampered credential verified")
+	}
+}
+
+func TestFmtCanonicalises(t *testing.T) {
+	dir := t.TempDir()
+	in := write(t, dir, "messy.kn",
+		"authorizer:   POLICY\nlicensees:    \"K1\"\nconditions:  a ==  \"x\" ;\n")
+	if err := cmdFmt([]string{"-in", in}); err != nil {
+		t.Fatalf("fmt: %v", err)
+	}
+}
+
+func TestQueryFlow(t *testing.T) {
+	dir := t.TempDir()
+	policy := write(t, dir, "policy.kn",
+		"Authorizer: POLICY\nLicensees: \"Kbob\"\nConditions: app_domain==\"DB\" && oper==\"read\";\n")
+	// Authorised.
+	if err := cmdQuery([]string{"-policy", policy, "-authorizer", "Kbob",
+		"-attr", "app_domain=DB", "-attr", "oper=read"}); err != nil {
+		t.Fatalf("authorised query: %v", err)
+	}
+	// Missing flags.
+	if err := cmdQuery([]string{"-authorizer", "K"}); err == nil {
+		t.Fatal("query without -policy accepted")
+	}
+}
+
+func TestQueryWithCredentials(t *testing.T) {
+	dir := t.TempDir()
+	ks := keys.NewKeyStore()
+	bob := keys.Deterministic("Kbob", "cli-q")
+	alice := keys.Deterministic("Kalice", "cli-q")
+	ks.Add(bob)
+	ks.Add(alice)
+	keyDir := filepath.Join(dir, "keys")
+	os.MkdirAll(keyDir, 0o700)
+	if err := bob.Save(filepath.Join(keyDir, "kbob.pub"), false); err != nil {
+		t.Fatal(err)
+	}
+
+	policy := write(t, dir, "policy.kn",
+		"Authorizer: POLICY\nLicensees: \""+bob.PublicID()+"\"\nConditions: oper==\"write\";\n")
+	cred := keynote.MustNew("\""+bob.PublicID()+"\"", "\""+alice.PublicID()+"\"", `oper=="write";`)
+	if err := cred.Sign(bob); err != nil {
+		t.Fatal(err)
+	}
+	credPath := write(t, dir, "cred.kn", cred.Text())
+
+	if err := cmdQuery([]string{"-policy", policy, "-creds", credPath,
+		"-authorizer", alice.PublicID(), "-attr", "oper=write", "-keys", keyDir}); err != nil {
+		t.Fatalf("delegated query: %v", err)
+	}
+}
+
+func TestAttrFlags(t *testing.T) {
+	var a attrFlags
+	if err := a.Set("k=v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Set("x=y=z"); err != nil {
+		t.Fatal(err)
+	}
+	if a.m["k"] != "v" || a.m["x"] != "y=z" {
+		t.Fatalf("attrs = %v", a.m)
+	}
+	if err := a.Set("novalue"); err == nil {
+		t.Fatal("malformed attr accepted")
+	}
+	if a.String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdKeygen([]string{"-name", "K"}); err == nil {
+		t.Fatal("keygen without -out accepted")
+	}
+	if err := cmdSign([]string{"-key", "missing", "-in", "missing"}); err == nil {
+		t.Fatal("sign with missing key accepted")
+	}
+	if err := cmdVerify([]string{"-in", filepath.Join(dir, "nope")}); err == nil {
+		t.Fatal("verify with missing file accepted")
+	}
+	if err := cmdFmt([]string{"-in", filepath.Join(dir, "nope")}); err == nil {
+		t.Fatal("fmt with missing file accepted")
+	}
+	// Public-only key cannot sign.
+	kp := keys.Deterministic("K", "cli-e")
+	pub := filepath.Join(dir, "k.pub")
+	if err := kp.Save(pub, false); err != nil {
+		t.Fatal(err)
+	}
+	in := write(t, dir, "a.kn", "Authorizer: \"K\"\nLicensees: \"L\"\n")
+	if err := cmdSign([]string{"-key", pub, "-in", in}); err == nil {
+		t.Fatal("signed with public-only key")
+	}
+}

@@ -1,0 +1,395 @@
+// Command policytool manipulates RBAC policies in the unified model:
+// encoding to / decoding from KeyNote, migrating between middleware
+// vocabularies, diffing, validating and rendering.
+//
+// Usage:
+//
+//	policytool render   -in policy.json
+//	policytool validate -in policy.json
+//	policytool diff     -old old.json -new new.json
+//	policytool encode   -in policy.json -admin admin.key [-keys dir] [-out dir]
+//	policytool decode   -policy pol.kn [-creds creds.kn] [-keys dir] [-admin-id K]
+//	policytool migrate  -in policy.json [-map old=new ...] \
+//	                    [-vocab Launch,Access,RunAs] [-min-score 0.5]
+//
+// Policies are JSON files in the two-relation format of internal/rbac.
+// encode writes a KeyNote policy assertion plus one signed credential per
+// user, creating per-user keys in -keys (deterministic names "K<user>").
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"securewebcom/internal/keycom"
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/rbac"
+	"securewebcom/internal/translate"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "render":
+		err = cmdRender(args)
+	case "validate":
+		err = cmdValidate(args)
+	case "diff":
+		err = cmdDiff(args)
+	case "encode":
+		err = cmdEncode(args)
+	case "decode":
+		err = cmdDecode(args)
+	case "migrate":
+		err = cmdMigrate(args)
+	case "remote-extract":
+		err = cmdRemoteExtract(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "policytool:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr,
+		"usage: policytool {render|validate|diff|encode|decode|migrate|remote-extract} [flags]")
+	os.Exit(2)
+}
+
+// cmdRemoteExtract pulls the current policy from a running KeyCOM
+// service (Section 4.2 comprehension across sites): the requester signs
+// an extract request, optionally attaching credentials that delegate the
+// "extract" right.
+func cmdRemoteExtract(args []string) error {
+	fs := flag.NewFlagSet("remote-extract", flag.ExitOnError)
+	addr := fs.String("addr", "", "KeyCOM service address")
+	keyPath := fs.String("key", "", "requester key file (private)")
+	credsPath := fs.String("creds", "", "credential file delegating the extract right (optional)")
+	fs.Parse(args)
+	if *addr == "" || *keyPath == "" {
+		return fmt.Errorf("remote-extract requires -addr and -key")
+	}
+	kp, err := keys.Load(*keyPath)
+	if err != nil {
+		return err
+	}
+	if kp.Private == nil {
+		return fmt.Errorf("%s holds no private key", *keyPath)
+	}
+	req := &keycom.ExtractRequest{Requester: kp.PublicID()}
+	if *credsPath != "" {
+		data, err := os.ReadFile(*credsPath)
+		if err != nil {
+			return err
+		}
+		asserts, err := keynote.ParseAll(string(data))
+		if err != nil {
+			return err
+		}
+		for _, a := range asserts {
+			req.Credentials = append(req.Credentials, a.Text())
+		}
+	}
+	if err := req.Sign(kp); err != nil {
+		return err
+	}
+	p, err := keycom.SubmitExtract(*addr, req)
+	if err != nil {
+		return err
+	}
+	out, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+func loadPolicy(path string) (*rbac.Policy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p := rbac.NewPolicy()
+	if err := json.Unmarshal(data, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func cmdRender(args []string) error {
+	fs := flag.NewFlagSet("render", flag.ExitOnError)
+	in := fs.String("in", "", "policy JSON file")
+	fs.Parse(args)
+	p, err := loadPolicy(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Print(p.String())
+	return nil
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	in := fs.String("in", "", "policy JSON file")
+	fs.Parse(args)
+	p, err := loadPolicy(*in)
+	if err != nil {
+		return err
+	}
+	warnings := p.Validate()
+	for _, w := range warnings {
+		fmt.Println("warning:", w)
+	}
+	fmt.Printf("%d RolePerm + %d UserRole rows, %d warnings\n",
+		len(p.RolePerms()), len(p.UserRoles()), len(warnings))
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	oldPath := fs.String("old", "", "old policy JSON")
+	newPath := fs.String("new", "", "new policy JSON")
+	fs.Parse(args)
+	oldP, err := loadPolicy(*oldPath)
+	if err != nil {
+		return err
+	}
+	newP, err := loadPolicy(*newPath)
+	if err != nil {
+		return err
+	}
+	d := newP.DiffFrom(oldP)
+	if d.Empty() {
+		fmt.Println("policies are identical")
+		return nil
+	}
+	fmt.Print(d.String())
+	return nil
+}
+
+func cmdEncode(args []string) error {
+	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	in := fs.String("in", "", "policy JSON file")
+	adminPath := fs.String("admin", "", "administration key file (private)")
+	keyDir := fs.String("keys", "", "directory for per-user key files (created)")
+	outDir := fs.String("out", ".", "output directory for policy.kn and creds.kn")
+	seed := fs.String("seed", "", "deterministic user-key seed (testing only)")
+	fs.Parse(args)
+	if *in == "" || *adminPath == "" {
+		return fmt.Errorf("encode requires -in and -admin")
+	}
+	p, err := loadPolicy(*in)
+	if err != nil {
+		return err
+	}
+	admin, err := keys.Load(*adminPath)
+	if err != nil {
+		return err
+	}
+	if admin.Private == nil {
+		return fmt.Errorf("admin key file holds no private key")
+	}
+
+	resolver := func(u rbac.User) (string, error) {
+		name := "K" + strings.ToLower(string(u))
+		var kp *keys.KeyPair
+		if *seed != "" {
+			kp = keys.Deterministic(name, *seed)
+		} else {
+			var err error
+			kp, err = keys.Generate(name)
+			if err != nil {
+				return "", err
+			}
+		}
+		if *keyDir != "" {
+			if err := os.MkdirAll(*keyDir, 0o700); err != nil {
+				return "", err
+			}
+			path := filepath.Join(*keyDir, name+".key")
+			if _, err := os.Stat(path); err == nil {
+				existing, err := keys.Load(path)
+				if err != nil {
+					return "", err
+				}
+				return existing.PublicID(), nil
+			}
+			if err := kp.Save(path, true); err != nil {
+				return "", err
+			}
+		}
+		return kp.PublicID(), nil
+	}
+
+	opt := translate.Options{AdminKey: admin.PublicID()}
+	enc, err := translate.EncodeRBAC(p, resolver, opt)
+	if err != nil {
+		return err
+	}
+	if err := enc.SignAll(admin); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*outDir, "policy.kn"),
+		[]byte(enc.Policy.Text()), 0o644); err != nil {
+		return err
+	}
+	var creds strings.Builder
+	for i, c := range enc.Credentials {
+		if i > 0 {
+			creds.WriteString("\n")
+		}
+		creds.WriteString(c.Text())
+	}
+	if err := os.WriteFile(filepath.Join(*outDir, "creds.kn"),
+		[]byte(creds.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote policy.kn (1 assertion) and creds.kn (%d credentials) to %s\n",
+		len(enc.Credentials), *outDir)
+	return nil
+}
+
+func cmdDecode(args []string) error {
+	fs := flag.NewFlagSet("decode", flag.ExitOnError)
+	policyPath := fs.String("policy", "", "KeyNote policy file")
+	credsPath := fs.String("creds", "", "KeyNote credentials file")
+	keyDir := fs.String("keys", "", "directory of key files to map keys back to users")
+	adminID := fs.String("admin-id", "", "admin principal (default: from policy licensee)")
+	fs.Parse(args)
+	if *policyPath == "" {
+		return fmt.Errorf("decode requires -policy")
+	}
+	data, err := os.ReadFile(*policyPath)
+	if err != nil {
+		return err
+	}
+	policies, err := keynote.ParseAll(string(data))
+	if err != nil {
+		return err
+	}
+	var creds []*keynote.Assertion
+	if *credsPath != "" {
+		data, err := os.ReadFile(*credsPath)
+		if err != nil {
+			return err
+		}
+		creds, err = keynote.ParseAll(string(data))
+		if err != nil {
+			return err
+		}
+	}
+	ks := keys.NewKeyStore()
+	if *keyDir != "" {
+		entries, err := os.ReadDir(*keyDir)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			kp, err := keys.Load(filepath.Join(*keyDir, e.Name()))
+			if err == nil {
+				ks.Add(kp)
+			}
+		}
+	}
+	opt := translate.Options{}
+	if *adminID != "" {
+		opt.AdminKey = *adminID
+	} else if len(policies) > 0 && len(policies[0].LicenseePrincipals()) == 1 {
+		opt.AdminKey = policies[0].LicenseePrincipals()[0]
+	}
+	userOf := func(principal string) (rbac.User, error) {
+		name := ks.NameFor(principal)
+		if strings.HasPrefix(name, "K") && !keys.IsPublicID(name) {
+			return rbac.User(strings.ToUpper(name[1:2]) + name[2:]), nil
+		}
+		return rbac.User(name), nil
+	}
+	p, skipped, err := translate.DecodeRBAC(policies, creds, userOf, opt)
+	if err != nil {
+		return err
+	}
+	out, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	if len(skipped) > 0 {
+		fmt.Fprintf(os.Stderr, "note: %d credentials skipped (onward delegations, not role memberships)\n", len(skipped))
+	}
+	return nil
+}
+
+func cmdMigrate(args []string) error {
+	fs := flag.NewFlagSet("migrate", flag.ExitOnError)
+	in := fs.String("in", "", "source policy JSON")
+	vocab := fs.String("vocab", "", "comma-separated target permission vocabulary")
+	minScore := fs.Float64("min-score", 0.5, "minimum similarity for permission mapping")
+	var domainMaps mapFlags
+	fs.Var(&domainMaps, "map", "domain rename old=new (repeatable)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("migrate requires -in")
+	}
+	p, err := loadPolicy(*in)
+	if err != nil {
+		return err
+	}
+	opt := translate.MigrationOptions{MinScore: *minScore}
+	if len(domainMaps.m) > 0 {
+		opt.DomainMap = make(map[rbac.Domain]rbac.Domain)
+		for k, v := range domainMaps.m {
+			opt.DomainMap[rbac.Domain(k)] = rbac.Domain(v)
+		}
+	}
+	if *vocab != "" {
+		for _, v := range strings.Split(*vocab, ",") {
+			opt.TargetVocabulary = append(opt.TargetVocabulary, rbac.Permission(v))
+		}
+	}
+	out, reports, err := translate.MigratePolicy(p, opt)
+	if err != nil {
+		return err
+	}
+	for _, r := range reports {
+		fmt.Fprintln(os.Stderr, "mapping:", r)
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+// mapFlags collects repeated -map old=new flags.
+type mapFlags struct{ m map[string]string }
+
+func (f *mapFlags) String() string { return fmt.Sprint(f.m) }
+
+func (f *mapFlags) Set(s string) error {
+	eq := strings.Index(s, "=")
+	if eq <= 0 {
+		return fmt.Errorf("mapping %q is not old=new", s)
+	}
+	if f.m == nil {
+		f.m = make(map[string]string)
+	}
+	f.m[s[:eq]] = s[eq+1:]
+	return nil
+}

@@ -1,0 +1,236 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"securewebcom/internal/keycom"
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/middleware/complus"
+	"securewebcom/internal/ossec"
+	"securewebcom/internal/rbac"
+	"securewebcom/internal/translate"
+)
+
+func writePolicy(t *testing.T, dir, name string, p *rbac.Policy) string {
+	t.Helper()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRenderValidateDiff(t *testing.T) {
+	dir := t.TempDir()
+	p1 := writePolicy(t, dir, "p1.json", rbac.Figure1())
+	cur := rbac.Figure1()
+	cur.AddUserRole("Fred", "Sales", "Manager")
+	p2 := writePolicy(t, dir, "p2.json", cur)
+
+	if err := cmdRender([]string{"-in", p1}); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	if err := cmdValidate([]string{"-in", p1}); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if err := cmdDiff([]string{"-old", p1, "-new", p2}); err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if err := cmdDiff([]string{"-old", p1, "-new", p1}); err != nil {
+		t.Fatalf("identical diff: %v", err)
+	}
+	if err := cmdRender([]string{"-in", filepath.Join(dir, "missing")}); err == nil {
+		t.Fatal("render of missing file accepted")
+	}
+}
+
+func TestEncodeDecodeRoundTripViaCLI(t *testing.T) {
+	dir := t.TempDir()
+	polPath := writePolicy(t, dir, "policy.json", rbac.Figure1())
+
+	admin := keys.Deterministic("KWebCom", "ptool")
+	adminPath := filepath.Join(dir, "admin.key")
+	if err := admin.Save(adminPath, true); err != nil {
+		t.Fatal(err)
+	}
+	keyDir := filepath.Join(dir, "userkeys")
+
+	if err := cmdEncode([]string{"-in", polPath, "-admin", adminPath,
+		"-keys", keyDir, "-out", dir, "-seed", "ptool"}); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	// Outputs exist and parse.
+	polKN, err := os.ReadFile(filepath.Join(dir, "policy.kn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := keynote.Parse(string(polKN)); err != nil {
+		t.Fatalf("policy.kn does not parse: %v", err)
+	}
+	credsKN, err := os.ReadFile(filepath.Join(dir, "creds.kn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	creds, err := keynote.ParseAll(string(credsKN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(creds) != 5 {
+		t.Fatalf("%d credentials, want 5", len(creds))
+	}
+	// Credentials verify against the written user keys + admin.
+	ks := keys.NewKeyStore()
+	ks.Add(admin)
+	for _, c := range creds {
+		if err := c.VerifySignature(ks); err != nil {
+			t.Fatalf("credential does not verify: %v", err)
+		}
+	}
+
+	// Decode back via the CLI path functions.
+	if err := cmdDecode([]string{"-policy", filepath.Join(dir, "policy.kn"),
+		"-creds", filepath.Join(dir, "creds.kn"), "-keys", keyDir,
+		"-admin-id", admin.PublicID()}); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+}
+
+func TestEncodeIdempotentUserKeys(t *testing.T) {
+	// Re-encoding with an existing key directory must reuse keys, not
+	// regenerate them (credentials keep binding the same principals).
+	dir := t.TempDir()
+	polPath := writePolicy(t, dir, "policy.json", rbac.Figure1())
+	admin := keys.Deterministic("KWebCom", "ptool2")
+	adminPath := filepath.Join(dir, "admin.key")
+	if err := admin.Save(adminPath, true); err != nil {
+		t.Fatal(err)
+	}
+	keyDir := filepath.Join(dir, "userkeys")
+	for i := 0; i < 2; i++ {
+		if err := cmdEncode([]string{"-in", polPath, "-admin", adminPath,
+			"-keys", keyDir, "-out", dir}); err != nil {
+			t.Fatalf("encode %d: %v", i, err)
+		}
+	}
+	kp1, err := keys.Load(filepath.Join(keyDir, "Kalice.key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The credential must license the persisted key.
+	credsKN, _ := os.ReadFile(filepath.Join(dir, "creds.kn"))
+	creds, err := keynote.ParseAll(string(credsKN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range creds {
+		for _, p := range c.LicenseePrincipals() {
+			if p == kp1.PublicID() {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("re-encode did not reuse the persisted user key")
+	}
+}
+
+func TestMigrateCLI(t *testing.T) {
+	dir := t.TempDir()
+	p := rbac.NewPolicy()
+	p.AddRolePerm("OLD", "R", "O", "access_db")
+	p.AddUserRole("u", "OLD", "R")
+	in := writePolicy(t, dir, "src.json", p)
+
+	if err := cmdMigrate([]string{"-in", in, "-map", "OLD=NEW",
+		"-vocab", "Launch,Access,RunAs", "-min-score", "0.4"}); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	// Unmappable vocabulary with a strict threshold errors.
+	p2 := rbac.NewPolicy()
+	p2.AddRolePerm("D", "R", "O", "zzzz")
+	in2 := writePolicy(t, dir, "src2.json", p2)
+	if err := cmdMigrate([]string{"-in", in2, "-vocab", "Launch,Access,RunAs",
+		"-min-score", "0.9"}); err == nil {
+		t.Fatal("unmappable migration accepted")
+	}
+}
+
+func TestMapFlags(t *testing.T) {
+	var m mapFlags
+	if err := m.Set("a=b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("bad"); err == nil {
+		t.Fatal("malformed map accepted")
+	}
+	if m.String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+func TestDecodeDefaultsAdminFromPolicy(t *testing.T) {
+	// When -admin-id is omitted, decode uses the policy's licensee.
+	dir := t.TempDir()
+	admin := keys.Deterministic("KWebCom", "ptool3")
+	opt := translate.Options{AdminKey: admin.PublicID()}
+	enc, err := translate.EncodeRBAC(rbac.Figure1(), func(u rbac.User) (string, error) {
+		return keys.Deterministic("K"+string(u), "ptool3").PublicID(), nil
+	}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.SignAll(admin); err != nil {
+		t.Fatal(err)
+	}
+	polPath := filepath.Join(dir, "p.kn")
+	os.WriteFile(polPath, []byte(enc.Policy.Text()), 0o644)
+	if err := cmdDecode([]string{"-policy", polPath}); err != nil {
+		t.Fatalf("decode with defaulted admin: %v", err)
+	}
+}
+
+func TestRemoteExtractCLI(t *testing.T) {
+	dir := t.TempDir()
+	// Spin up a KeyCOM service with a COM+ catalogue.
+	admin := keys.Deterministic("KWebCom", "ptool-re")
+	ks := keys.NewKeyStore()
+	ks.Add(admin)
+	nt := ossec.NewNTDomain("DOMA")
+	cat := complus.NewCatalogue("W", nt)
+	cat.RegisterClass("C", nil)
+	cat.Grant("R", "C", complus.PermAccess)
+	nt.AddAccount("u")
+	cat.AddRoleMember("R", "u")
+	chk, err := keynote.NewChecker([]*keynote.Assertion{keynote.MustNew(
+		"POLICY", "\""+admin.PublicID()+"\"", `app_domain=="KeyCOM";`)},
+		keynote.WithResolver(ks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := keycom.ListenAndServe(keycom.NewService(cat, chk), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	adminPath := filepath.Join(dir, "admin.key")
+	if err := admin.Save(adminPath, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRemoteExtract([]string{"-addr", srv.Addr(), "-key", adminPath}); err != nil {
+		t.Fatalf("remote-extract: %v", err)
+	}
+	// Missing flags.
+	if err := cmdRemoteExtract([]string{"-addr", srv.Addr()}); err == nil {
+		t.Fatal("remote-extract without -key accepted")
+	}
+}

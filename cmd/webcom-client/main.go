@@ -1,0 +1,158 @@
+// Command webcom-client runs a Secure WebCom client: it connects to a
+// master, authenticates it, and executes scheduled operations — either
+// built-in demo operations or operations of a demo EJB container — under
+// its own KeyNote policy.
+//
+// Usage:
+//
+//	webcom-client -master 127.0.0.1:7070 -name X -key clientX.key \
+//	    -trust-master master.pub [-demo-ejb]
+//
+// The -trust-master flag names the master's public-key file; the client's
+// policy authorises exactly that master for all WebCom operations. For a
+// narrower policy pass -policy with a KeyNote policy file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/middleware/ejb"
+	"securewebcom/internal/webcom"
+)
+
+func main() {
+	master := flag.String("master", "127.0.0.1:7070", "master address")
+	name := flag.String("name", "client", "client name")
+	keyPath := flag.String("key", "", "client key file (private); empty generates a fresh key")
+	trustMaster := flag.String("trust-master", "", "master public-key file the client trusts")
+	policyPath := flag.String("policy", "", "KeyNote policy file for authorising masters")
+	demoEJB := flag.Bool("demo-ejb", false, "host the demo Salaries EJB container")
+	flag.Parse()
+
+	if err := realMain(*master, *name, *keyPath, *trustMaster, *policyPath, *demoEJB); err != nil {
+		fmt.Fprintln(os.Stderr, "webcom-client:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(masterAddr, name, keyPath, trustMaster, policyPath string, demoEJB bool) error {
+	ks := keys.NewKeyStore()
+	var clientKey *keys.KeyPair
+	var err error
+	if keyPath != "" {
+		clientKey, err = keys.Load(keyPath)
+		if err != nil {
+			return err
+		}
+		if clientKey.Private == nil {
+			return fmt.Errorf("%s holds no private key", keyPath)
+		}
+	} else {
+		clientKey, err = keys.Generate("K" + name)
+		if err != nil {
+			return err
+		}
+	}
+	ks.Add(clientKey)
+
+	var policy []*keynote.Assertion
+	if trustMaster != "" {
+		kp, err := keys.Load(trustMaster)
+		if err != nil {
+			return err
+		}
+		ks.Add(kp)
+		a, err := keynote.New("POLICY", fmt.Sprintf("%q", kp.PublicID()), `app_domain=="WebCom";`)
+		if err != nil {
+			return err
+		}
+		policy = append(policy, a)
+	}
+	if policyPath != "" {
+		data, err := os.ReadFile(policyPath)
+		if err != nil {
+			return err
+		}
+		more, err := keynote.ParseAll(string(data))
+		if err != nil {
+			return err
+		}
+		policy = append(policy, more...)
+	}
+	var chk *keynote.Checker
+	if len(policy) > 0 {
+		chk, err = keynote.NewChecker(policy, keynote.WithResolver(ks))
+		if err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "warning: no -trust-master/-policy; any authenticated master will be obeyed")
+	}
+
+	cl := &webcom.Client{
+		Name:    name,
+		Key:     clientKey,
+		Checker: chk,
+		Local: map[string]func([]string) (string, error){
+			"echo": func(args []string) (string, error) {
+				return strings.Join(args, " "), nil
+			},
+			"hostname": func([]string) (string, error) {
+				h, err := os.Hostname()
+				return h, err
+			},
+		},
+	}
+
+	if demoEJB {
+		srv := ejb.NewServer("ejb-"+name, "host-"+name, "srv")
+		c := srv.CreateContainer("finance")
+		salaries := map[string]string{"Bob": "52000", "Alice": "41000"}
+		c.DeployBean("Salaries", map[string]middleware.Handler{
+			"read": func(args []string) (string, error) {
+				if len(args) != 1 {
+					return "", fmt.Errorf("read: want employee name")
+				}
+				return salaries[args[0]], nil
+			},
+			"write": func(args []string) (string, error) {
+				if len(args) != 2 {
+					return "", fmt.Errorf("write: want name, salary")
+				}
+				salaries[args[0]] = args[1]
+				return "ok", nil
+			},
+		}, "read", "write")
+		c.AddMethodPermission("Clerk", "Salaries", "write")
+		c.AddMethodPermission("Manager", "Salaries", "read")
+		c.AddMethodPermission("Manager", "Salaries", "write")
+		srv.AddUser("Alice")
+		srv.AddUser("Bob")
+		if err := srv.AssignRole("finance", "Alice", "Clerk"); err != nil {
+			return err
+		}
+		if err := srv.AssignRole("finance", "Bob", "Manager"); err != nil {
+			return err
+		}
+		reg := middleware.NewRegistry()
+		if err := reg.Register(srv); err != nil {
+			return err
+		}
+		cl.Registry = reg
+		fmt.Printf("demo EJB container at domain host-%s/srv/finance (bean Salaries)\n", name)
+	}
+
+	if err := cl.Connect(masterAddr); err != nil {
+		return err
+	}
+	fmt.Printf("webcom-client %s (%s...) connected to master %s...\n",
+		name, clientKey.PublicID()[:24], cl.Master()[:24])
+	cl.Wait()
+	return nil
+}

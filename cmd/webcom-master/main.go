@@ -1,0 +1,172 @@
+// Command webcom-master runs a Secure WebCom master: it listens for
+// client connections, mutually authenticates them, and schedules
+// condensed-graph operations to clients its KeyNote policy authorises.
+//
+// Usage:
+//
+//	webcom-master -addr 127.0.0.1:7070 -key master.key \
+//	    -trust clientX.pub [-trust clientY.pub] \
+//	    [-run "echo hello world"] [-wait-clients 1]
+//
+// The -trust flags name client public-key files; each becomes a POLICY
+// assertion authorising that key for any WebCom operation. For
+// finer-grained policies write a policy file and pass -policy instead.
+// With -run, the master waits for -wait-clients connections, executes the
+// single-operation graph "<op> <args...>" and exits; otherwise it serves
+// until interrupted.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"securewebcom/internal/cg"
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/webcom"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	keyPath := flag.String("key", "", "master key file (private); empty generates a fresh key")
+	policyPath := flag.String("policy", "", "KeyNote policy file for authorising clients")
+	run := flag.String("run", "", "operation to schedule once clients connect: \"op arg1 arg2\"")
+	graphPath := flag.String("graph", "", "JSON condensed-graph file to execute (see internal/cg)")
+	inputsFlag := flag.String("inputs", "", "comma-separated name=value graph inputs for -graph")
+	waitClients := flag.Int("wait-clients", 1, "clients to wait for before -run/-graph")
+	var trust multiFlag
+	flag.Var(&trust, "trust", "client public-key file to trust for all operations (repeatable)")
+	flag.Parse()
+
+	if err := realMain(*addr, *keyPath, *policyPath, *run, *graphPath, *inputsFlag, *waitClients, trust); err != nil {
+		fmt.Fprintln(os.Stderr, "webcom-master:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(addr, keyPath, policyPath, run, graphPath, inputsFlag string, waitClients int, trust []string) error {
+	ks := keys.NewKeyStore()
+	var masterKey *keys.KeyPair
+	var err error
+	if keyPath != "" {
+		masterKey, err = keys.Load(keyPath)
+		if err != nil {
+			return err
+		}
+		if masterKey.Private == nil {
+			return fmt.Errorf("%s holds no private key", keyPath)
+		}
+	} else {
+		masterKey, err = keys.Generate("Kmaster")
+		if err != nil {
+			return err
+		}
+	}
+	ks.Add(masterKey)
+
+	var policy []*keynote.Assertion
+	for _, path := range trust {
+		kp, err := keys.Load(path)
+		if err != nil {
+			return err
+		}
+		ks.Add(kp)
+		a, err := keynote.New("POLICY", fmt.Sprintf("%q", kp.PublicID()), `app_domain=="WebCom";`)
+		if err != nil {
+			return err
+		}
+		policy = append(policy, a.WithComment("trusted client "+kp.Name))
+	}
+	if policyPath != "" {
+		data, err := os.ReadFile(policyPath)
+		if err != nil {
+			return err
+		}
+		more, err := keynote.ParseAll(string(data))
+		if err != nil {
+			return err
+		}
+		policy = append(policy, more...)
+	}
+	if len(policy) == 0 {
+		return fmt.Errorf("no client authorised: pass -trust or -policy")
+	}
+	chk, err := keynote.NewChecker(policy, keynote.WithResolver(ks))
+	if err != nil {
+		return err
+	}
+
+	master := webcom.NewMaster(masterKey, chk, nil, ks)
+	if err := master.Listen(addr); err != nil {
+		return err
+	}
+	defer master.Close()
+	fmt.Printf("webcom-master %s listening on %s (%d policy assertions)\n",
+		masterKey.PublicID()[:24]+"...", master.Addr(), len(policy))
+
+	if run == "" && graphPath == "" {
+		select {} // serve forever
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for len(master.Clients()) < waitClients {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timed out waiting for %d clients", waitClients)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("clients connected: %v\n", master.Clients())
+
+	var g *cg.Graph
+	inputs := map[string]string{}
+	switch {
+	case graphPath != "":
+		data, err := os.ReadFile(graphPath)
+		if err != nil {
+			return err
+		}
+		g, err = cg.ParseJSON(data)
+		if err != nil {
+			return err
+		}
+		if inputsFlag != "" {
+			for _, kv := range strings.Split(inputsFlag, ",") {
+				eq := strings.Index(kv, "=")
+				if eq <= 0 {
+					return fmt.Errorf("input %q is not name=value", kv)
+				}
+				inputs[kv[:eq]] = kv[eq+1:]
+			}
+		}
+	default:
+		fields := strings.Fields(run)
+		op, args := fields[0], fields[1:]
+		g = cg.NewGraph("cli")
+		g.MustAddNode("op", &cg.Opaque{OpName: op, OpArity: len(args)})
+		for i, a := range args {
+			if err := g.SetConst("op", i, a); err != nil {
+				return err
+			}
+		}
+		if err := g.SetExit("op"); err != nil {
+			return err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	result, stats, err := master.Run(ctx, &cg.Engine{}, g, inputs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("result: %s (fired %d nodes)\n", result, stats.Fired)
+	return nil
+}

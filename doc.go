@@ -1,0 +1,16 @@
+// Package securewebcom is a from-scratch Go reproduction of
+//
+//	S. N. Foley, T. B. Quillinan, M. O'Connor, B. P. Mulcahy and
+//	J. P. Morrison, "A Framework for Heterogeneous Middleware Security",
+//	Proc. IPDPS/IPPS 2004 workshops.
+//
+// The implementation lives under internal/ (one package per subsystem:
+// KeyNote, SPKI/SDSI, the extended RBAC model, CORBA/EJB/COM+ middleware
+// simulators, policy translation, the condensed-graphs engine, the
+// WebCom metacomputer, the KeyCOM administration service, stacked
+// authorisation and IDE interrogation), with executables under cmd/ and
+// runnable scenarios under examples/. This root package exists to anchor
+// the module documentation and the repository-level benchmark suite
+// (bench_test.go), which characterises every subsystem's performance;
+// see DESIGN.md and EXPERIMENTS.md for the paper-reproduction index.
+package securewebcom

@@ -1,0 +1,154 @@
+// KeyCOM: decentralised middleware administration (Figure 8).
+//
+// A COM+ catalogue in Windows Server Domain A is administered by a KeyCOM
+// service. The WebCom administration key delegates a narrow right —
+// "add users to the Clerk role" — to a manager in Domain B by signing one
+// KeyNote credential. The manager then provisions a new employee over the
+// network with no human administrator involved; attempts to exceed the
+// delegation are refused; and the resulting policy is pulled back out
+// with a signed extract request (comprehension across sites).
+//
+// Run: go run ./examples/keycom
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"securewebcom/internal/keycom"
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/middleware/complus"
+	"securewebcom/internal/ossec"
+	"securewebcom/internal/rbac"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ks := keys.NewKeyStore()
+	admin := keys.Deterministic("KWebCom", "keycom-example")
+	manager := keys.Deterministic("Kclaire", "keycom-example")
+	outsider := keys.Deterministic("Kmallory", "keycom-example")
+	ks.Add(admin)
+	ks.Add(manager)
+	ks.Add(outsider)
+
+	// The COM+ catalogue of Windows Server Domain A.
+	nt := ossec.NewNTDomain("DOMA")
+	cat := complus.NewCatalogue("W", nt)
+	clsid := cat.RegisterClass("SalariesDB.Component", map[string]middleware.Handler{})
+	cat.DefineRole("Clerk")
+	must(cat.Grant("Clerk", "SalariesDB.Component", complus.PermAccess))
+	fmt.Printf("COM catalogue in DOMA: class SalariesDB.Component %s, role Clerk (Access)\n", clsid)
+
+	// The KeyCOM service trusts the WebCom administration key.
+	chk, err := keynote.NewChecker([]*keynote.Assertion{keynote.MustNew(
+		"POLICY", fmt.Sprintf("%q", admin.PublicID()), `app_domain=="KeyCOM";`)},
+		keynote.WithResolver(ks))
+	if err != nil {
+		return err
+	}
+	srv, err := keycom.ListenAndServe(keycom.NewService(cat, chk), "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("KeyCOM service listening on %s\n\n", srv.Addr())
+
+	// The administrator delegates a narrow right to the Domain B manager.
+	deleg := keynote.MustNew(
+		fmt.Sprintf("%q", admin.PublicID()), fmt.Sprintf("%q", manager.PublicID()),
+		`app_domain=="KeyCOM" && action=="add-user-role" && Domain=="DOMA" && Role=="Clerk";`)
+	if err := deleg.Sign(admin); err != nil {
+		return err
+	}
+	fmt.Println("administrator signs the delegation credential:")
+	fmt.Print(deleg.Text())
+
+	// The manager provisions a new employee remotely.
+	req := &keycom.UpdateRequest{
+		Requester: manager.PublicID(),
+		Diff: rbac.Diff{AddedUserRole: []rbac.UserRoleEntry{
+			{User: "newhire", Domain: "DOMA", Role: "Clerk"}}},
+		Credentials: []string{deleg.Text()},
+	}
+	if err := req.Sign(manager); err != nil {
+		return err
+	}
+	if err := keycom.Submit(srv.Addr(), req); err != nil {
+		return fmt.Errorf("delegated update refused: %w", err)
+	}
+	ok, err := cat.CheckAccess("newhire", "DOMA", "SalariesDB.Component", complus.PermAccess)
+	if err != nil || !ok {
+		return fmt.Errorf("catalogue not updated (ok=%v err=%v)", ok, err)
+	}
+	fmt.Println("\nmanager added 'newhire' to Clerk in DOMA — no human administrator involved")
+
+	// Exceeding the delegation is refused.
+	over := &keycom.UpdateRequest{
+		Requester: manager.PublicID(),
+		Diff: rbac.Diff{RemovedUserRole: []rbac.UserRoleEntry{
+			{User: "newhire", Domain: "DOMA", Role: "Clerk"}}},
+		Credentials: []string{deleg.Text()},
+	}
+	if err := over.Sign(manager); err != nil {
+		return err
+	}
+	if err := keycom.Submit(srv.Addr(), over); err != nil {
+		fmt.Printf("removal attempt refused as expected: %v\n", err)
+	} else {
+		return fmt.Errorf("manager exceeded the delegation")
+	}
+
+	// An outsider with no credential gets nothing.
+	bad := &keycom.UpdateRequest{
+		Requester: outsider.PublicID(),
+		Diff: rbac.Diff{AddedUserRole: []rbac.UserRoleEntry{
+			{User: "mallory", Domain: "DOMA", Role: "Clerk"}}},
+	}
+	if err := bad.Sign(outsider); err != nil {
+		return err
+	}
+	if err := keycom.Submit(srv.Addr(), bad); err != nil {
+		fmt.Printf("outsider refused as expected: %v\n", err)
+	} else {
+		return fmt.Errorf("outsider update accepted")
+	}
+
+	// Comprehension: pull the resulting policy back out.
+	extRight := keynote.MustNew(
+		fmt.Sprintf("%q", admin.PublicID()), fmt.Sprintf("%q", manager.PublicID()),
+		`app_domain=="KeyCOM" && action=="extract";`)
+	if err := extRight.Sign(admin); err != nil {
+		return err
+	}
+	ext := &keycom.ExtractRequest{
+		Requester:   manager.PublicID(),
+		Credentials: []string{extRight.Text()},
+	}
+	if err := ext.Sign(manager); err != nil {
+		return err
+	}
+	p, err := keycom.SubmitExtract(srv.Addr(), ext)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nextracted policy (remote comprehension):")
+	fmt.Print(p.String())
+	if !p.HasUserRole("newhire", "DOMA", "Clerk") {
+		return fmt.Errorf("extracted policy missing the provisioned user")
+	}
+	return nil
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Metacomputer: a Secure WebCom master coordinating three clients, each
+// hosting a different middleware technology (Figure 3 + Section 6).
+//
+// The condensed-graph application computes a payroll report:
+//
+//	total   = add( ejb:Salaries.read(Bob), corba:Payroll.bonus(Bob) )
+//	audited = com:Audit.Access(total)
+//
+// The master's KeyNote policy pins each operation to the client key that
+// hosts the right middleware; the clients' own policies authorise the
+// master; and each component executes under its middleware's native
+// security as the (Domain, Role, User) annotations demand. A fourth,
+// untrusted client connects but is never scheduled anything.
+//
+// Run: go run ./examples/metacomputer
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"securewebcom/internal/cg"
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/middleware/complus"
+	"securewebcom/internal/middleware/corba"
+	"securewebcom/internal/middleware/ejb"
+	"securewebcom/internal/ossec"
+	"securewebcom/internal/webcom"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ks := keys.NewKeyStore()
+	masterKey := keys.Deterministic("Kmaster", "metacomputer")
+	ks.Add(masterKey)
+	clientKeys := map[string]*keys.KeyPair{}
+	for _, n := range []string{"X", "Y", "W", "Z"} {
+		kp := keys.Deterministic("Kclient"+n, "metacomputer")
+		ks.Add(kp)
+		clientKeys[n] = kp
+	}
+
+	// Master policy: each operation is authorised only on the client that
+	// hosts its middleware. Z gets nothing.
+	policy := []*keynote.Assertion{
+		keynote.MustNew("POLICY", fmt.Sprintf("%q", clientKeys["X"].PublicID()),
+			`app_domain=="WebCom" && operation=="Salaries.read";`),
+		keynote.MustNew("POLICY", fmt.Sprintf("%q", clientKeys["Y"].PublicID()),
+			`app_domain=="WebCom" && operation=="Payroll.bonus";`),
+		keynote.MustNew("POLICY", fmt.Sprintf("%q", clientKeys["W"].PublicID()),
+			`app_domain=="WebCom" && operation=="Audit.Access";`),
+	}
+	chk, err := keynote.NewChecker(policy, keynote.WithResolver(ks))
+	if err != nil {
+		return err
+	}
+	master := webcom.NewMaster(masterKey, chk, nil, ks)
+	if err := master.Listen("127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer master.Close()
+	fmt.Printf("master listening on %s\n", master.Addr())
+
+	clientPolicy := func() *keynote.Checker {
+		c, err := keynote.NewChecker([]*keynote.Assertion{keynote.MustNew(
+			"POLICY", fmt.Sprintf("%q", masterKey.PublicID()), `app_domain=="WebCom";`)},
+			keynote.WithResolver(ks))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c
+	}
+
+	// Client X: EJB.
+	ejbSrv := ejb.NewServer("ejbX", "hostX", "srv")
+	fin := ejbSrv.CreateContainer("finance")
+	fin.DeployBean("Salaries", map[string]middleware.Handler{
+		"read": func(args []string) (string, error) { return "52000", nil },
+	}, "read")
+	fin.AddMethodPermission("Manager", "Salaries", "read")
+	ejbSrv.AddUser("Bob")
+	must(ejbSrv.AssignRole("finance", "Bob", "Manager"))
+	regX := middleware.NewRegistry()
+	must(regX.Register(ejbSrv))
+	clX := &webcom.Client{Name: "X", Key: clientKeys["X"], Checker: clientPolicy(), Registry: regX}
+	must(clX.Connect(master.Addr()))
+	defer clX.Close()
+
+	// Client Y: CORBA.
+	orb := corba.NewORB("orbY", "hostY", "PayrollORB")
+	orb.DefineInterface("Payroll", "bonus")
+	must(orb.BindObject("payroll", "Payroll", map[string]middleware.Handler{
+		"bonus": func(args []string) (string, error) { return "4800", nil },
+	}))
+	orb.GrantRole("Manager", "Payroll", "bonus")
+	orb.AddPrincipalToRole("Bob", "Manager")
+	regY := middleware.NewRegistry()
+	must(regY.Register(orb))
+	clY := &webcom.Client{Name: "Y", Key: clientKeys["Y"], Checker: clientPolicy(), Registry: regY}
+	must(clY.Connect(master.Addr()))
+	defer clY.Close()
+
+	// Client W: COM+.
+	nt := ossec.NewNTDomain("CORP")
+	nt.AddAccount("Bob")
+	cat := complus.NewCatalogue("comW", nt)
+	cat.RegisterClass("Audit", map[string]middleware.Handler{
+		complus.PermAccess: func(args []string) (string, error) {
+			return "audited:" + args[0], nil
+		},
+	})
+	must(cat.Grant("Auditors", "Audit", complus.PermAccess))
+	must(cat.AddRoleMember("Auditors", "Bob"))
+	regW := middleware.NewRegistry()
+	must(regW.Register(cat))
+	clW := &webcom.Client{Name: "W", Key: clientKeys["W"], Checker: clientPolicy(), Registry: regW}
+	must(clW.Connect(master.Addr()))
+	defer clW.Close()
+
+	// Client Z: connects, authenticated, but authorised for nothing.
+	clZ := &webcom.Client{Name: "Z", Key: clientKeys["Z"], Checker: clientPolicy()}
+	must(clZ.Connect(master.Addr()))
+	defer clZ.Close()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for len(master.Clients()) < 4 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("clients connected: %v\n\n", master.Clients())
+
+	// The condensed graph.
+	g := cg.NewGraph("payroll-report")
+	read := g.MustAddNode("read", &cg.Opaque{OpName: "Salaries.read", OpArity: 1})
+	read.Annotations["Domain"] = "hostX/srv/finance"
+	read.Annotations["Role"] = "Manager" // partial spec: any authorised user
+	must(g.SetConst("read", 0, "Bob"))
+
+	bonus := g.MustAddNode("bonus", &cg.Opaque{OpName: "Payroll.bonus", OpArity: 1})
+	bonus.Annotations["Domain"] = "hostY/PayrollORB"
+	bonus.Annotations["User"] = "Bob"
+	must(g.SetConst("bonus", 0, "Bob"))
+
+	g.MustAddNode("total", cg.Add())
+	must(g.Connect("read", "total", 0))
+	must(g.Connect("bonus", "total", 1))
+
+	audit := g.MustAddNode("audit", &cg.Opaque{OpName: "Audit.Access", OpArity: 1})
+	audit.Annotations["Domain"] = "CORP"
+	audit.Annotations["User"] = "Bob"
+	must(g.Connect("total", "audit", 0))
+	must(g.SetExit("audit"))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	result, stats, err := master.Run(ctx, &cg.Engine{Workers: 4}, g, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("condensed graph executed: %d node firings across 3 middleware technologies\n", stats.Fired)
+	fmt.Printf("result: %s\n", result)
+	if result != "audited:56800" {
+		return fmt.Errorf("unexpected result %q", result)
+	}
+
+	// Show the negative case: an operation nobody is authorised for.
+	g2 := cg.NewGraph("forbidden")
+	g2.MustAddNode("n", &cg.Opaque{OpName: "Salaries.wipe", OpArity: 0})
+	must(g2.SetExit("n"))
+	if _, _, err := master.Run(ctx, &cg.Engine{}, g2, nil); err != nil {
+		fmt.Printf("\nunauthorised operation refused as expected: %v\n", err)
+	} else {
+		return fmt.Errorf("unauthorised operation executed")
+	}
+	return nil
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

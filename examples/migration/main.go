@@ -1,0 +1,135 @@
+// Migration: the Figure 9 interoperating-security-policies scenario.
+//
+// System Y is a legacy Windows/COM+ installation whose catalogue holds
+// the policy of record. The example:
+//
+//  1. comprehends Y's COM policy as a unified RBAC policy;
+//  2. encodes it as KeyNote credentials (system Z, which has no
+//     middleware security, enforces these directly);
+//  3. migrates it onto the replacement EJB system X, renaming domains
+//     and mapping COM's Launch/Access/RunAs vocabulary onto the new
+//     bean's method names with similarity metrics;
+//  4. verifies that every access decision is preserved across all three
+//     enforcement points.
+//
+// Run: go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/middleware/complus"
+	"securewebcom/internal/middleware/ejb"
+	"securewebcom/internal/ossec"
+	"securewebcom/internal/rbac"
+	"securewebcom/internal/translate"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// ---- System Y: legacy COM+ on Windows ----
+	nt := ossec.NewNTDomain("DOMY")
+	y := complus.NewCatalogue("Y", nt)
+	y.RegisterClass("SalariesDB.Component", map[string]middleware.Handler{})
+	must(y.Grant("Clerk", "SalariesDB.Component", complus.PermAccess))
+	must(y.Grant("Manager", "SalariesDB.Component", complus.PermAccess))
+	must(y.Grant("Manager", "SalariesDB.Component", complus.PermLaunch))
+	nt.AddAccount("Alice")
+	nt.AddAccount("Bob")
+	must(y.AddRoleMember("Clerk", "Alice"))
+	must(y.AddRoleMember("Manager", "Bob"))
+
+	legacy, err := y.ExtractPolicy()
+	if err != nil {
+		return err
+	}
+	fmt.Println("== legacy COM+ policy (system Y) ==")
+	fmt.Print(legacy.String())
+
+	// ---- Step 1+2: encode as KeyNote; Z enforces credentials only ----
+	ks := keys.NewKeyStore()
+	admin := keys.Deterministic("KWebCom", "migration-example")
+	ks.Add(admin)
+	for _, u := range legacy.Users() {
+		ks.Add(keys.Deterministic("K"+strings.ToLower(string(u)), "migration-example"))
+	}
+	opt := translate.Options{AdminKey: admin.PublicID()}
+	enc, err := translate.EncodeRBAC(legacy, translate.KeyStoreResolver(ks), opt)
+	if err != nil {
+		return err
+	}
+	if err := enc.SignAll(admin); err != nil {
+		return err
+	}
+	chk, err := keynote.NewChecker([]*keynote.Assertion{enc.Policy}, keynote.WithResolver(ks))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nencoded as 1 KeyNote policy + %d credentials (system Z enforces these alone)\n",
+		len(enc.Credentials))
+
+	// ---- Step 3: migrate onto the replacement EJB system X ----
+	x := ejb.NewServer("X", "hostX", "srv")
+	x.CreateContainer("salaries")
+	// The new bean names its methods access_db / launch_report / run_as;
+	// similarity mapping bridges the vocabularies.
+	migrated, reports, err := translate.MigratePolicy(legacy, translate.MigrationOptions{
+		DomainMap:        map[rbac.Domain]rbac.Domain{"DOMY": "hostX/srv/salaries"},
+		TargetVocabulary: []rbac.Permission{"access_db", "launch_report", "run_as"},
+		MinScore:         0.45,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== similarity-mapped permission vocabulary ==")
+	for _, r := range reports {
+		fmt.Println("  ", r)
+	}
+	if _, err := x.ApplyPolicy(migrated); err != nil {
+		return err
+	}
+	fmt.Println("\n== migrated EJB policy (system X) ==")
+	fmt.Print(migrated.String())
+
+	// ---- Step 4: every decision preserved at Y, X and Z ----
+	fmt.Println("== decision preservation ==")
+	fmt.Printf("  %-7s %-8s %-8s %-8s %-8s\n", "user", "perm", "Y(COM)", "X(EJB)", "Z(KN)")
+	vocab := map[rbac.Permission]rbac.Permission{
+		complus.PermAccess: "access_db",
+		complus.PermLaunch: "launch_report",
+	}
+	for _, u := range []rbac.User{"Alice", "Bob", "Mallory"} {
+		for _, comPerm := range []rbac.Permission{complus.PermAccess, complus.PermLaunch} {
+			yGot, _ := y.CheckAccess(u, "DOMY", "SalariesDB.Component", comPerm)
+			xGot, _ := x.CheckAccess(u, "hostX/srv/salaries", "SalariesDB.Component", vocab[comPerm])
+			principal := keys.Deterministic("K"+strings.ToLower(string(u)), "migration-example").PublicID()
+			zGot, err := translate.Decision(chk, enc.Credentials, principal, legacy,
+				"SalariesDB.Component", comPerm, opt)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-7s %-8s %-8v %-8v %-8v\n", u, comPerm, yGot, xGot, zGot)
+			if yGot != xGot || yGot != zGot {
+				return fmt.Errorf("decision diverged for (%s, %s)", u, comPerm)
+			}
+		}
+	}
+	fmt.Println("\nall decisions identical across COM+, EJB and KeyNote-only enforcement")
+	return nil
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

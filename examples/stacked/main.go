@@ -1,0 +1,137 @@
+// Stacked authorisation: the Figure 10 pluggable security stack.
+//
+// The same request — Bob reading the Salaries bean — is mediated under
+// several layer configurations, printing each layer's verdict:
+//
+//	L0 only             plain operating-system mediation
+//	L1+L0               legacy middleware over the OS
+//	L2+L0               "in the absence of CORBASec support ... KeyNote
+//	                     (trust management) and underlying OS policy"
+//	L3+L2+L1+L0         the full stack
+//
+// A second sweep shows a request that each individual layer would stop.
+//
+// Run: go run ./examples/stacked
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/middleware/ejb"
+	"securewebcom/internal/ossec"
+	"securewebcom/internal/stack"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// L0: Unix host.
+	u := ossec.NewUnix("hostX")
+	u.AddUser("bob", 1002, 100)
+	u.AddUser("eve", 1004, 400)
+	u.AddResource("salaries.db", 1002, 100, ossec.OwnerRead|ossec.OwnerWrite)
+
+	// L1: EJB container.
+	srv := ejb.NewServer("X", "hostX", "srv")
+	c := srv.CreateContainer("finance")
+	c.DeployBean("Salaries", map[string]middleware.Handler{}, "read")
+	c.AddMethodPermission("Manager", "Salaries", "read")
+	srv.AddUser("Bob")
+	must(srv.AssignRole("finance", "Bob", "Manager"))
+
+	// L2: KeyNote.
+	ks := keys.NewKeyStore()
+	bobKey := keys.Deterministic("Kbob", "stacked-example")
+	eveKey := keys.Deterministic("Keve", "stacked-example")
+	ks.Add(bobKey)
+	ks.Add(eveKey)
+	chk, err := keynote.NewChecker([]*keynote.Assertion{keynote.MustNew(
+		"POLICY", fmt.Sprintf("%q", bobKey.PublicID()),
+		`app_domain=="WebCom" && Domain=="hostX/srv/finance" && Role=="Manager";`)},
+		keynote.WithResolver(ks))
+	if err != nil {
+		return err
+	}
+
+	// L3: a workflow rule — salary reads only during payroll processing.
+	l3 := &stack.AppLayer{LayerName: "workflow", Fn: func(req *stack.Request) (stack.Verdict, error) {
+		if req.App["workflow"] == "payroll-run" {
+			return stack.Grant, nil
+		}
+		return stack.Deny, nil
+	}}
+	l2 := &stack.TrustLayer{Checker: chk, Role: "Manager"}
+	l1 := &stack.MiddlewareLayer{System: srv}
+	l0 := &stack.OSLayer{Authority: u}
+
+	okReq := &stack.Request{
+		User: "Bob", Principal: bobKey.PublicID(),
+		Domain: "hostX/srv/finance", ObjectType: "Salaries", Permission: "read",
+		OSPrincipal: "bob", OSResource: "salaries.db", OSAccess: ossec.Read,
+		App: map[string]string{"workflow": "payroll-run"},
+	}
+
+	configs := []struct {
+		name string
+		st   *stack.Stack
+	}{
+		{"L0 only", stack.New(stack.RequireAll, l0)},
+		{"L1+L0 (legacy middleware)", stack.New(stack.RequireAll, l1, l0)},
+		{"L2+L0 (no middleware security)", stack.New(stack.RequireAll, l2, l0)},
+		{"L3+L2+L1+L0 (full stack)", stack.New(stack.RequireAll, l3, l2, l1, l0)},
+	}
+	fmt.Println("== authorised request (Bob, payroll run) ==")
+	for _, cfg := range configs {
+		d := cfg.st.Authorize(okReq)
+		fmt.Printf("  %-32s %s\n", cfg.name, d)
+		if !d.Granted {
+			return fmt.Errorf("config %q denied an authorised request", cfg.name)
+		}
+	}
+
+	fmt.Println("\n== each layer stops its own violation (full stack) ==")
+	full := stack.New(stack.RequireAll, l3, l2, l1, l0)
+	violations := []struct {
+		name   string
+		mutate func(r *stack.Request)
+	}{
+		{"L3: outside a payroll run", func(r *stack.Request) { r.App = nil }},
+		{"L2: key without a credential chain", func(r *stack.Request) { r.Principal = eveKey.PublicID() }},
+		{"L1: user without the Manager role", func(r *stack.Request) { r.User = "Eve" }},
+		{"L0: OS account without read bits", func(r *stack.Request) { r.OSPrincipal = "eve" }},
+	}
+	for _, v := range violations {
+		r := *okReq
+		v.mutate(&r)
+		d := full.Authorize(&r)
+		fmt.Printf("  %-36s %s\n", v.name, d)
+		if d.Granted {
+			return fmt.Errorf("violation %q slipped through", v.name)
+		}
+	}
+
+	fmt.Println("\n== FirstDecides mode: WebCom trusted to override lower layers ==")
+	override := stack.New(stack.FirstDecides, l2, l1, l0)
+	r := *okReq
+	r.OSPrincipal = "eve" // L0 would deny, but L2 decides first
+	d := override.Authorize(&r)
+	fmt.Printf("  L2 grants before L0 is consulted: %s\n", d)
+	if !d.Granted {
+		return fmt.Errorf("FirstDecides did not let L2 decide")
+	}
+	return nil
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

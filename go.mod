@@ -1,0 +1,3 @@
+module securewebcom
+
+go 1.22

@@ -1,0 +1,204 @@
+package securewebcom_test
+
+// End-to-end integration test of the command-line tools: builds the real
+// binaries and drives the README's two-terminal demo — keygen for both
+// parties, a webcom-client serving ops, and a webcom-master scheduling
+// work to it over TCP with mutual authentication.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTool compiles a cmd/<name> binary into dir and returns its path.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// freePort reserves an ephemeral TCP port and releases it for reuse.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestBinariesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	kn := buildTool(t, dir, "kn")
+	master := buildTool(t, dir, "webcom-master")
+	client := buildTool(t, dir, "webcom-client")
+
+	// Keys for both parties via the kn CLI.
+	masterKey := filepath.Join(dir, "master.key")
+	clientKey := filepath.Join(dir, "client.key")
+	for _, args := range [][]string{
+		{"keygen", "-name", "Kmaster", "-out", masterKey, "-seed", "e2e"},
+		{"keygen", "-name", "KclientX", "-out", clientKey, "-seed", "e2e"},
+	} {
+		if out, err := exec.Command(kn, args...).CombinedOutput(); err != nil {
+			t.Fatalf("kn %v: %v\n%s", args, err, out)
+		}
+	}
+
+	addr := freePort(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Client in the background; it retries nothing, so start the master
+	// listener first by launching the master with -run (it listens
+	// immediately, then waits for the client).
+	masterCmd := exec.CommandContext(ctx, master,
+		"-addr", addr, "-key", masterKey, "-trust", clientKey,
+		"-run", "echo hello heterogeneous world", "-wait-clients", "1")
+	var masterOut bytes.Buffer
+	masterCmd.Stdout = &masterOut
+	masterCmd.Stderr = &masterOut
+	if err := masterCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the listener, then attach the client.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			c.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("master never listened on %s\n%s", addr, masterOut.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	clientCmd := exec.CommandContext(ctx, client,
+		"-master", addr, "-name", "X", "-key", clientKey, "-trust-master", masterKey)
+	var clientOut bytes.Buffer
+	clientCmd.Stdout = &clientOut
+	clientCmd.Stderr = &clientOut
+	if err := clientCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		clientCmd.Process.Kill()
+		clientCmd.Wait()
+	}()
+
+	if err := masterCmd.Wait(); err != nil {
+		t.Fatalf("master failed: %v\n%s", err, masterOut.String())
+	}
+	if !strings.Contains(masterOut.String(), "result: hello heterogeneous world") {
+		t.Fatalf("master output missing result:\n%s", masterOut.String())
+	}
+}
+
+func TestBinariesGraphExecution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	kn := buildTool(t, dir, "kn")
+	master := buildTool(t, dir, "webcom-master")
+	client := buildTool(t, dir, "webcom-client")
+
+	masterKey := filepath.Join(dir, "master.key")
+	clientKey := filepath.Join(dir, "client.key")
+	for _, args := range [][]string{
+		{"keygen", "-name", "Kmaster", "-out", masterKey, "-seed", "e2e-g"},
+		{"keygen", "-name", "KclientX", "-out", clientKey, "-seed", "e2e-g"},
+	} {
+		if out, err := exec.Command(kn, args...).CombinedOutput(); err != nil {
+			t.Fatalf("kn %v: %v\n%s", args, err, out)
+		}
+	}
+
+	// A graph mixing a remote EJB read (demo container) with local
+	// arithmetic, using an input.
+	graphPath := filepath.Join(dir, "app.json")
+	graph := `{
+	  "name": "payroll",
+	  "nodes": [
+	    {"id": "read", "op": "opaque:Salaries.read",
+	     "operands": ["input:who"],
+	     "annotations": {"Domain": "host-X/srv/finance", "Role": "Manager"}},
+	    {"id": "double", "op": "mul", "operands": ["node:read", "const:2"]}
+	  ],
+	  "exit": "double"
+	}`
+	if err := os.WriteFile(graphPath, []byte(graph), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := freePort(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	masterCmd := exec.CommandContext(ctx, master,
+		"-addr", addr, "-key", masterKey, "-trust", clientKey,
+		"-graph", graphPath, "-inputs", "who=Bob", "-wait-clients", "1")
+	var masterOut bytes.Buffer
+	masterCmd.Stdout = &masterOut
+	masterCmd.Stderr = &masterOut
+	if err := masterCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			c.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("master never listened\n%s", masterOut.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	clientCmd := exec.CommandContext(ctx, client,
+		"-master", addr, "-name", "X", "-key", clientKey,
+		"-trust-master", masterKey, "-demo-ejb")
+	var clientOut bytes.Buffer
+	clientCmd.Stdout = &clientOut
+	clientCmd.Stderr = &clientOut
+	if err := clientCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		clientCmd.Process.Kill()
+		clientCmd.Wait()
+	}()
+
+	if err := masterCmd.Wait(); err != nil {
+		t.Fatalf("master failed: %v\nmaster:\n%s\nclient:\n%s",
+			err, masterOut.String(), clientOut.String())
+	}
+	// Demo container pays Bob 52000; the graph doubles it.
+	want := fmt.Sprintf("result: %d", 52000*2)
+	if !strings.Contains(masterOut.String(), want) {
+		t.Fatalf("master output missing %q:\n%s", want, masterOut.String())
+	}
+}

@@ -1,0 +1,109 @@
+package cg
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// benchFactLibrary is factorialLibrary without the testing.T plumbing.
+func benchFactLibrary() *Library {
+	lib := NewLibrary()
+	g := NewGraph("fact")
+	g.MustAddNode("cmp", LessEq())
+	mustB(g.BindInput("n", "cmp", 0))
+	mustB(g.SetConst("cmp", 1, "1"))
+	g.MustAddNode("dec", Sub())
+	mustB(g.BindInput("n", "dec", 0))
+	mustB(g.SetConst("dec", 1, "1"))
+	g.MustAddNode("rec", &Condensed{GraphName: "fact", ArityHint: 1})
+	mustB(g.Connect("dec", "rec", 0))
+	g.MustAddNode("mul", Mul())
+	mustB(g.BindInput("n", "mul", 0))
+	mustB(g.Connect("rec", "mul", 1))
+	g.MustAddNode("base", Identity())
+	mustB(g.SetConst("base", 0, "1"))
+	g.MustAddNode("if", IfElse{})
+	mustB(g.Connect("cmp", "if", 0))
+	mustB(g.Connect("base", "if", 1))
+	mustB(g.Connect("mul", "if", 2))
+	mustB(g.SetExit("if"))
+	mustB(lib.Define(g))
+	return lib
+}
+
+func mustB(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// BenchmarkCondensationRecursion measures evaporation cost: fact(n) under
+// coercion-driven evaluation performs n condensed-graph expansions.
+func BenchmarkCondensationRecursion(b *testing.B) {
+	lib := benchFactLibrary()
+	for _, n := range []string{"5", "10", "20"} {
+		b.Run("fact="+n, func(b *testing.B) {
+			e := &Engine{Mode: Lazy, Library: lib, Workers: 2}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := e.RunByName(context.Background(), "fact", map[string]string{"n": n}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEagerVsLazyConditionals quantifies the firing savings of
+// coercion-driven evaluation on a conditional-heavy graph: a chain of
+// ifel nodes each guarding an expensive unused branch.
+func BenchmarkEagerVsLazyConditionals(b *testing.B) {
+	build := func(depth int, wasted *atomic.Int64) *Graph {
+		g := NewGraph("conds")
+		prev := ""
+		for i := 0; i < depth; i++ {
+			cond := fmt.Sprintf("cond%d", i)
+			g.MustAddNode(cond, Identity())
+			mustB(g.SetConst(cond, 0, "true"))
+			expensive := fmt.Sprintf("waste%d", i)
+			g.MustAddNode(expensive, &Func{OpName: "waste", OpArity: 0,
+				Fn: func([]string) (string, error) {
+					wasted.Add(1)
+					return "unused", nil
+				}})
+			ifn := fmt.Sprintf("if%d", i)
+			g.MustAddNode(ifn, IfElse{})
+			mustB(g.Connect(cond, ifn, 0))
+			if prev == "" {
+				taken := fmt.Sprintf("take%d", i)
+				g.MustAddNode(taken, Identity())
+				mustB(g.SetConst(taken, 0, "1"))
+				mustB(g.Connect(taken, ifn, 1))
+			} else {
+				mustB(g.Connect(prev, ifn, 1))
+			}
+			mustB(g.Connect(expensive, ifn, 2))
+			prev = ifn
+		}
+		mustB(g.SetExit(prev))
+		return g
+	}
+	for _, mode := range []Mode{Eager, Lazy} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var wasted atomic.Int64
+			g := build(16, &wasted)
+			e := &Engine{Mode: mode, Workers: 4}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, _, err := e.Run(context.Background(), g, nil)
+				if err != nil || got != "1" {
+					b.Fatalf("%q %v", got, err)
+				}
+			}
+			b.ReportMetric(float64(wasted.Load())/float64(b.N), "wasted-firings/op")
+		})
+	}
+}

@@ -1,0 +1,508 @@
+package cg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// buildArith builds (a + b) * (a - b) with inputs a, b.
+func buildArith(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph("arith")
+	g.MustAddNode("sum", Add())
+	g.MustAddNode("diff", Sub())
+	g.MustAddNode("prod", Mul())
+	check(t, g.BindInput("a", "sum", 0))
+	check(t, g.BindInput("b", "sum", 1))
+	check(t, g.BindInput("a", "diff", 0))
+	check(t, g.BindInput("b", "diff", 1))
+	check(t, g.Connect("sum", "prod", 0))
+	check(t, g.Connect("diff", "prod", 1))
+	check(t, g.SetExit("prod"))
+	return g
+}
+
+func check(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEagerArithmetic(t *testing.T) {
+	g := buildArith(t)
+	e := &Engine{}
+	got, stats, err := e.Run(context.Background(), g, map[string]string{"a": "7", "b": "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "40" { // (7+3)*(7-3)
+		t.Fatalf("result = %s, want 40", got)
+	}
+	if stats.Fired != 3 {
+		t.Fatalf("fired = %d, want 3", stats.Fired)
+	}
+}
+
+func TestMissingInput(t *testing.T) {
+	g := buildArith(t)
+	e := &Engine{}
+	if _, _, err := e.Run(context.Background(), g, map[string]string{"a": "7"}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	// No exit.
+	g := NewGraph("noexit")
+	g.MustAddNode("n", Identity())
+	check(t, g.SetConst("n", 0, "x"))
+	if err := g.Validate(); err == nil {
+		t.Fatal("graph without exit validated")
+	}
+	// Unbound operand.
+	g2 := NewGraph("unbound")
+	g2.MustAddNode("n", Add())
+	check(t, g2.SetConst("n", 0, "1"))
+	check(t, g2.SetExit("n"))
+	if err := g2.Validate(); err == nil {
+		t.Fatal("unbound operand validated")
+	}
+	// Cycle.
+	g3 := NewGraph("cycle")
+	g3.MustAddNode("x", Identity())
+	g3.MustAddNode("y", Identity())
+	check(t, g3.Connect("x", "y", 0))
+	check(t, g3.Connect("y", "x", 0))
+	check(t, g3.SetExit("x"))
+	if err := g3.Validate(); err == nil {
+		t.Fatal("cyclic graph validated")
+	}
+}
+
+func TestGraphConstructionErrors(t *testing.T) {
+	g := NewGraph("errs")
+	g.MustAddNode("n", Add())
+	if _, err := g.AddNode("n", Add()); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if _, err := g.AddNode("nil", nil); err == nil {
+		t.Fatal("nil operator accepted")
+	}
+	if err := g.SetConst("missing", 0, "x"); err == nil {
+		t.Fatal("const on missing node")
+	}
+	if err := g.SetConst("n", 5, "x"); err == nil {
+		t.Fatal("out-of-range operand")
+	}
+	check(t, g.SetConst("n", 0, "x"))
+	if err := g.SetConst("n", 0, "y"); err == nil {
+		t.Fatal("double-bound operand accepted")
+	}
+	if err := g.Connect("ghost", "n", 1); err == nil {
+		t.Fatal("arc from missing node")
+	}
+	if err := g.SetExit("ghost"); err == nil {
+		t.Fatal("exit on missing node")
+	}
+}
+
+func TestNodeErrorPropagates(t *testing.T) {
+	g := NewGraph("boom")
+	g.MustAddNode("bad", &Func{OpName: "bad", OpArity: 0, Fn: func([]string) (string, error) {
+		return "", errors.New("kaboom")
+	}})
+	check(t, g.SetExit("bad"))
+	e := &Engine{}
+	_, _, err := e.Run(context.Background(), g, nil)
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestOpaqueWithoutExecutorFails(t *testing.T) {
+	g := NewGraph("opaque")
+	g.MustAddNode("remote", &Opaque{OpName: "salaries.read", OpArity: 1})
+	check(t, g.SetConst("remote", 0, "Bob"))
+	check(t, g.SetExit("remote"))
+	e := &Engine{}
+	if _, _, err := e.Run(context.Background(), g, nil); err == nil {
+		t.Fatal("opaque op ran without executor")
+	}
+}
+
+func TestCustomExecutorReceivesTask(t *testing.T) {
+	g := NewGraph("exec")
+	n := g.MustAddNode("remote", &Opaque{OpName: "salaries.read", OpArity: 1})
+	n.Annotations["Domain"] = "Finance"
+	n.Annotations["Role"] = "Manager"
+	check(t, g.SetConst("remote", 0, "Bob"))
+	check(t, g.SetExit("remote"))
+
+	var seen Task
+	e := &Engine{Exec: func(ctx context.Context, task Task, op Operator) (string, error) {
+		seen = task
+		return "52000", nil
+	}}
+	got, _, err := e.Run(context.Background(), g, nil)
+	if err != nil || got != "52000" {
+		t.Fatalf("run: %q %v", got, err)
+	}
+	if seen.OpName != "salaries.read" || seen.Annotations["Domain"] != "Finance" ||
+		len(seen.Args) != 1 || seen.Args[0] != "Bob" {
+		t.Fatalf("task = %+v", seen)
+	}
+}
+
+// buildConditional builds ifel(leq(a, b), then, else) where both branches
+// are counted operators, to observe eager-vs-lazy firing behaviour.
+func buildConditional(t *testing.T, thenCount, elseCount *atomic.Int64) *Graph {
+	t.Helper()
+	g := NewGraph("cond")
+	g.MustAddNode("cmp", LessEq())
+	check(t, g.BindInput("a", "cmp", 0))
+	check(t, g.BindInput("b", "cmp", 1))
+	g.MustAddNode("then", &Func{OpName: "then", OpArity: 0, Fn: func([]string) (string, error) {
+		thenCount.Add(1)
+		return "THEN", nil
+	}})
+	g.MustAddNode("else", &Func{OpName: "else", OpArity: 0, Fn: func([]string) (string, error) {
+		elseCount.Add(1)
+		return "ELSE", nil
+	}})
+	g.MustAddNode("if", IfElse{})
+	check(t, g.Connect("cmp", "if", 0))
+	check(t, g.Connect("then", "if", 1))
+	check(t, g.Connect("else", "if", 2))
+	check(t, g.SetExit("if"))
+	return g
+}
+
+func TestEagerEvaluatesBothBranches(t *testing.T) {
+	var tc, ec atomic.Int64
+	g := buildConditional(t, &tc, &ec)
+	e := &Engine{Mode: Eager}
+	got, _, err := e.Run(context.Background(), g, map[string]string{"a": "1", "b": "2"})
+	if err != nil || got != "THEN" {
+		t.Fatalf("eager: %q %v", got, err)
+	}
+	if tc.Load() != 1 || ec.Load() != 1 {
+		t.Fatalf("eager fired then=%d else=%d, want both once", tc.Load(), ec.Load())
+	}
+}
+
+func TestLazyEvaluatesOnlyChosenBranch(t *testing.T) {
+	var tc, ec atomic.Int64
+	g := buildConditional(t, &tc, &ec)
+	e := &Engine{Mode: Lazy}
+	got, _, err := e.Run(context.Background(), g, map[string]string{"a": "1", "b": "2"})
+	if err != nil || got != "THEN" {
+		t.Fatalf("lazy then: %q %v", got, err)
+	}
+	if tc.Load() != 1 || ec.Load() != 0 {
+		t.Fatalf("lazy fired then=%d else=%d, want 1/0", tc.Load(), ec.Load())
+	}
+	tc.Store(0)
+	ec.Store(0)
+	got, _, err = e.Run(context.Background(), g, map[string]string{"a": "5", "b": "2"})
+	if err != nil || got != "ELSE" {
+		t.Fatalf("lazy else: %q %v", got, err)
+	}
+	if tc.Load() != 0 || ec.Load() != 1 {
+		t.Fatalf("lazy fired then=%d else=%d, want 0/1", tc.Load(), ec.Load())
+	}
+}
+
+func TestLazySkipsUnneededNodes(t *testing.T) {
+	// A disconnected expensive node must not fire under lazy evaluation.
+	var fired atomic.Int64
+	g := NewGraph("skip")
+	g.MustAddNode("needed", Identity())
+	check(t, g.SetConst("needed", 0, "yes"))
+	g.MustAddNode("unneeded", &Func{OpName: "waste", OpArity: 0, Fn: func([]string) (string, error) {
+		fired.Add(1)
+		return "no", nil
+	}})
+	check(t, g.SetExit("needed"))
+	e := &Engine{Mode: Lazy}
+	got, stats, err := e.Run(context.Background(), g, nil)
+	if err != nil || got != "yes" {
+		t.Fatalf("lazy: %q %v", got, err)
+	}
+	if fired.Load() != 0 {
+		t.Fatal("lazy fired an undemanded node")
+	}
+	if stats.Fired != 1 {
+		t.Fatalf("stats.Fired = %d", stats.Fired)
+	}
+	// Eager fires it (availability-driven: every node with available
+	// operands fires, though the run may return as soon as the exit
+	// completes, so only the side effect is asserted).
+	e = &Engine{Mode: Eager}
+	_, _, err = e.Run(context.Background(), g, nil)
+	if err != nil || fired.Load() != 1 {
+		t.Fatalf("eager: fired=%d err=%v", fired.Load(), err)
+	}
+}
+
+func TestIfElseBadCondition(t *testing.T) {
+	g := NewGraph("badcond")
+	g.MustAddNode("if", IfElse{})
+	check(t, g.SetConst("if", 0, "maybe"))
+	check(t, g.SetConst("if", 1, "a"))
+	check(t, g.SetConst("if", 2, "b"))
+	check(t, g.SetExit("if"))
+	e := &Engine{}
+	if _, _, err := e.Run(context.Background(), g, nil); err == nil {
+		t.Fatal("bad condition accepted")
+	}
+}
+
+// factorialLibrary defines fact(n) = if n <= 1 then 1 else n * fact(n-1)
+// as a recursive condensed graph.
+func factorialLibrary(t *testing.T) *Library {
+	t.Helper()
+	lib := NewLibrary()
+	g := NewGraph("fact")
+	g.MustAddNode("cmp", LessEq())
+	check(t, g.BindInput("n", "cmp", 0))
+	check(t, g.SetConst("cmp", 1, "1"))
+
+	g.MustAddNode("dec", Sub())
+	check(t, g.BindInput("n", "dec", 0))
+	check(t, g.SetConst("dec", 1, "1"))
+
+	g.MustAddNode("rec", &Condensed{GraphName: "fact", ArityHint: 1})
+	check(t, g.Connect("dec", "rec", 0))
+
+	g.MustAddNode("mul", Mul())
+	check(t, g.BindInput("n", "mul", 0))
+	check(t, g.Connect("rec", "mul", 1))
+
+	g.MustAddNode("base", Identity())
+	check(t, g.SetConst("base", 0, "1"))
+
+	g.MustAddNode("if", IfElse{})
+	check(t, g.Connect("cmp", "if", 0))
+	check(t, g.Connect("base", "if", 1))
+	check(t, g.Connect("mul", "if", 2))
+	check(t, g.SetExit("if"))
+
+	check(t, lib.Define(g))
+	return lib
+}
+
+func TestRecursiveCondensationLazy(t *testing.T) {
+	lib := factorialLibrary(t)
+	e := &Engine{Mode: Lazy, Library: lib}
+	for n, want := range map[string]string{"0": "1", "1": "1", "5": "120", "10": "3628800"} {
+		got, stats, err := e.RunByName(context.Background(), "fact", map[string]string{"n": n})
+		if err != nil {
+			t.Fatalf("fact(%s): %v", n, err)
+		}
+		if got != want {
+			t.Fatalf("fact(%s) = %s, want %s", n, got, want)
+		}
+		// fact(5) expands rec for n=5,4,3,2 — fact(1) takes the base
+		// branch without evaporating a condensation.
+		if n == "5" && stats.Expanded != 4 {
+			t.Fatalf("fact(5) expanded %d condensations, want 4", stats.Expanded)
+		}
+	}
+}
+
+func TestEagerRecursionHitsDepthBound(t *testing.T) {
+	// Under eager evaluation the recursive branch always expands, so the
+	// depth bound must stop it — this is exactly why coercion-driven
+	// evaluation matters for recursive condensed graphs.
+	lib := factorialLibrary(t)
+	e := &Engine{Mode: Eager, Library: lib, MaxDepth: 16}
+	_, _, err := e.RunByName(context.Background(), "fact", map[string]string{"n": "3"})
+	if err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Fatalf("eager recursion: %v", err)
+	}
+}
+
+func TestLibraryErrors(t *testing.T) {
+	lib := NewLibrary()
+	g := NewGraph("g")
+	g.MustAddNode("n", Identity())
+	check(t, g.SetConst("n", 0, "x"))
+	check(t, g.SetExit("n"))
+	check(t, lib.Define(g))
+	if err := lib.Define(g); err == nil {
+		t.Fatal("duplicate graph defined")
+	}
+	if _, err := lib.Lookup("missing"); err == nil {
+		t.Fatal("missing graph found")
+	}
+	bad := NewGraph("bad")
+	if err := lib.Define(bad); err == nil {
+		t.Fatal("invalid graph defined")
+	}
+}
+
+func TestCondensedArityMismatch(t *testing.T) {
+	lib := NewLibrary()
+	sub := NewGraph("sub")
+	sub.MustAddNode("n", Identity())
+	check(t, sub.BindInput("x", "n", 0))
+	check(t, sub.SetExit("n"))
+	check(t, lib.Define(sub))
+
+	g := NewGraph("outer")
+	g.MustAddNode("c", &Condensed{GraphName: "sub", ArityHint: 2})
+	check(t, g.SetConst("c", 0, "1"))
+	check(t, g.SetConst("c", 1, "2"))
+	check(t, g.SetExit("c"))
+	e := &Engine{Library: lib}
+	if _, _, err := e.Run(context.Background(), g, nil); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	g := NewGraph("slow")
+	g.MustAddNode("block", &Func{OpName: "block", OpArity: 0, Fn: func([]string) (string, error) {
+		return "done", nil
+	}})
+	check(t, g.SetExit("block"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := &Engine{Exec: func(ctx context.Context, t Task, op Operator) (string, error) {
+		<-ctx.Done()
+		return "", ctx.Err()
+	}}
+	if _, _, err := e.Run(ctx, g, nil); err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+}
+
+// Property: the engine computes the same result regardless of worker
+// count and mode, on a deep deterministic dataflow graph (scheduling
+// independence of pure condensed graphs).
+func TestQuickSchedulingIndependence(t *testing.T) {
+	build := func(width, depth int) *Graph {
+		g := NewGraph("wide")
+		// Layer 0: constants.
+		prev := make([]string, width)
+		for i := range prev {
+			id := fmt.Sprintf("c%d", i)
+			g.MustAddNode(id, Identity())
+			if err := g.SetConst(id, 0, strconv.Itoa(i+1)); err != nil {
+				panic(err)
+			}
+			prev[i] = id
+		}
+		// Reduction layers.
+		for d := 0; len(prev) > 1; d++ {
+			var next []string
+			for i := 0; i+1 < len(prev); i += 2 {
+				id := fmt.Sprintf("a%d_%d", d, i)
+				g.MustAddNode(id, Add())
+				if err := g.Connect(prev[i], id, 0); err != nil {
+					panic(err)
+				}
+				if err := g.Connect(prev[i+1], id, 1); err != nil {
+					panic(err)
+				}
+				next = append(next, id)
+			}
+			if len(prev)%2 == 1 {
+				next = append(next, prev[len(prev)-1])
+			}
+			prev = next
+		}
+		if err := g.SetExit(prev[0]); err != nil {
+			panic(err)
+		}
+		_ = depth
+		return g
+	}
+	g := build(16, 0)
+	want := "136" // 1+2+...+16
+
+	f := func(workers uint8, lazy bool) bool {
+		e := &Engine{Workers: int(workers%8) + 1}
+		if lazy {
+			e.Mode = Lazy
+		}
+		got, _, err := e.Run(context.Background(), g, nil)
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStandardOperators(t *testing.T) {
+	if v, err := Concat().Fn([]string{"a", "b"}); err != nil || v != "ab" {
+		t.Fatal("concat")
+	}
+	if _, err := Concat().Fn([]string{"a"}); err == nil {
+		t.Fatal("concat arity")
+	}
+	if _, err := Add().Fn([]string{"x", "1"}); err == nil {
+		t.Fatal("add non-numeric")
+	}
+	if _, err := LessEq().Fn([]string{"1"}); err == nil {
+		t.Fatal("leq arity")
+	}
+	if Eager.String() != "eager" || Lazy.String() != "lazy" {
+		t.Fatal("mode strings")
+	}
+}
+
+func TestInterceptorVetoesFiring(t *testing.T) {
+	g := NewGraph("guarded")
+	n := g.MustAddNode("secret", Identity())
+	n.Annotations["classification"] = "secret"
+	check(t, g.SetConst("secret", 0, "data"))
+	check(t, g.SetExit("secret"))
+
+	e := &Engine{Interceptor: func(task Task) error {
+		if task.Annotations["classification"] == "secret" {
+			return errors.New("workflow policy forbids secret nodes here")
+		}
+		return nil
+	}}
+	if _, _, err := e.Run(context.Background(), g, nil); err == nil ||
+		!strings.Contains(err.Error(), "vetoed") {
+		t.Fatalf("interceptor did not veto: %v", err)
+	}
+
+	// Without the sensitive annotation, the same graph runs.
+	g2 := NewGraph("open")
+	g2.MustAddNode("n", Identity())
+	check(t, g2.SetConst("n", 0, "data"))
+	check(t, g2.SetExit("n"))
+	got, _, err := e.Run(context.Background(), g2, nil)
+	if err != nil || got != "data" {
+		t.Fatalf("interceptor blocked a permitted firing: %q %v", got, err)
+	}
+}
+
+func TestInterceptorSeesArgs(t *testing.T) {
+	g := NewGraph("argcheck")
+	g.MustAddNode("n", Concat())
+	check(t, g.SetConst("n", 0, "payroll:"))
+	check(t, g.BindInput("who", "n", 1))
+	check(t, g.SetExit("n"))
+	var seen []string
+	e := &Engine{Interceptor: func(task Task) error {
+		seen = append([]string{}, task.Args...)
+		return nil
+	}}
+	if _, _, err := e.Run(context.Background(), g, map[string]string{"who": "Bob"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[1] != "Bob" {
+		t.Fatalf("interceptor saw %v", seen)
+	}
+}

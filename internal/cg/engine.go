@@ -1,0 +1,405 @@
+package cg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Mode selects the evaluation strategy.
+type Mode int
+
+// Evaluation strategies of the condensed graphs model.
+const (
+	// Eager is availability-driven evaluation: every node fires when its
+	// operands are available.
+	Eager Mode = iota
+	// Lazy is coercion-driven evaluation: nodes fire only when their
+	// results are demanded, starting from the exit node. Conditionals
+	// evaluate a single branch.
+	Lazy
+)
+
+func (m Mode) String() string {
+	if m == Lazy {
+		return "lazy"
+	}
+	return "eager"
+}
+
+// Task describes one node firing handed to the Executor.
+type Task struct {
+	Graph       string
+	NodeID      string
+	OpName      string
+	Args        []string
+	Annotations map[string]string
+}
+
+// Executor runs one task. The default LocalExecutor evaluates Func
+// operators in-process; Secure WebCom supplies an executor that schedules
+// Opaque operators to authorised remote clients.
+type Executor func(ctx context.Context, t Task, op Operator) (string, error)
+
+// LocalExecutor evaluates Func operators locally and rejects Opaque ones.
+func LocalExecutor(ctx context.Context, t Task, op Operator) (string, error) {
+	if f, ok := op.(*Func); ok {
+		return f.Fn(t.Args)
+	}
+	return "", fmt.Errorf("cg: no executor for opaque operator %q (node %s)", t.OpName, t.NodeID)
+}
+
+// Stats reports what an evaluation did.
+type Stats struct {
+	// Fired is the number of node firings, counting condensed-graph
+	// expansions' internal firings.
+	Fired int
+	// Expanded is the number of condensation evaporations.
+	Expanded int
+}
+
+func (s *Stats) add(o Stats) {
+	s.Fired += o.Fired
+	s.Expanded += o.Expanded
+}
+
+// Engine evaluates condensed graphs.
+type Engine struct {
+	// Mode selects eager or lazy evaluation. Default Eager.
+	Mode Mode
+	// Workers bounds firing parallelism. Default 4.
+	Workers int
+	// Library resolves condensed-node graph references; may be nil when
+	// no condensations occur.
+	Library *Library
+	// Exec runs tasks; default LocalExecutor.
+	Exec Executor
+	// Interceptor, when non-nil, runs before every operator firing
+	// (local and remote alike, but not for pure structural nodes —
+	// conditionals and condensations). A non-nil error vetoes the firing
+	// and fails the run: this is the hook for application-level workflow
+	// security, the L3 layer of the paper's Figure 10 (reference [12]).
+	Interceptor func(t Task) error
+	// MaxDepth bounds condensation recursion. Default 64.
+	MaxDepth int
+}
+
+func (e *Engine) workers() int {
+	if e.Workers <= 0 {
+		return 4
+	}
+	return e.Workers
+}
+
+func (e *Engine) exec() Executor {
+	if e.Exec == nil {
+		return LocalExecutor
+	}
+	return e.Exec
+}
+
+func (e *Engine) maxDepth() int {
+	if e.MaxDepth <= 0 {
+		return 64
+	}
+	return e.MaxDepth
+}
+
+// Run evaluates g with the given input values and returns the exit
+// node's result.
+func (e *Engine) Run(ctx context.Context, g *Graph, inputs map[string]string) (string, Stats, error) {
+	if err := g.Validate(); err != nil {
+		return "", Stats{}, err
+	}
+	return e.runGraph(ctx, g, inputs, 0)
+}
+
+// RunByName evaluates a library graph by name.
+func (e *Engine) RunByName(ctx context.Context, name string, inputs map[string]string) (string, Stats, error) {
+	if e.Library == nil {
+		return "", Stats{}, errors.New("cg: engine has no graph library")
+	}
+	g, err := e.Library.Lookup(name)
+	if err != nil {
+		return "", Stats{}, err
+	}
+	return e.runGraph(ctx, g, inputs, 0)
+}
+
+// nodeState tracks one node during a run.
+type nodeState struct {
+	node     *Node
+	demanded bool
+	enqueued bool
+	done     bool
+	result   string
+	// chosenBranch is the selected IfElse operand (1 or 2) once the
+	// condition has resolved under lazy evaluation; 0 before.
+	chosenBranch int
+}
+
+type completion struct {
+	id     string
+	result string
+	stats  Stats
+	err    error
+}
+
+func (e *Engine) runGraph(ctx context.Context, g *Graph, inputs map[string]string, depth int) (string, Stats, error) {
+	if depth > e.maxDepth() {
+		return "", Stats{}, fmt.Errorf("cg: condensation depth exceeds %d (runaway recursion?)", e.maxDepth())
+	}
+	for _, in := range g.Inputs() {
+		if _, ok := inputs[in]; !ok {
+			return "", Stats{}, fmt.Errorf("cg: graph %q input %q not supplied", g.Name, in)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	states := make(map[string]*nodeState, len(g.nodes))
+	dependents := make(map[string][]string)
+	for id, n := range g.nodes {
+		states[id] = &nodeState{node: n}
+	}
+	for _, a := range g.arcs {
+		dependents[a.From] = append(dependents[a.From], a.To.Node)
+	}
+
+	var (
+		mu       sync.Mutex
+		stats    Stats
+		inFlight int
+	)
+	ready := make(chan *nodeState, len(g.nodes)+1)
+	completions := make(chan completion, len(g.nodes)+1)
+
+	// operandReady reports whether operand src has a value available.
+	operandReady := func(src operandSource) bool {
+		switch src.kind {
+		case operandConst, operandInput:
+			return true
+		case operandArc:
+			return states[src.from].done
+		}
+		return false
+	}
+	operandValue := func(src operandSource) string {
+		switch src.kind {
+		case operandConst:
+			return src.value
+		case operandInput:
+			return inputs[src.value]
+		default:
+			return states[src.from].result
+		}
+	}
+
+	lazy := e.Mode == Lazy
+
+	// demand marks a node (and, transitively, what it needs now) as
+	// demanded, enqueueing nodes that are already fireable. Callers hold mu.
+	var demand func(id string)
+	// tryEnqueue enqueues a demanded node when its needed operands are
+	// ready. Callers hold mu.
+	tryEnqueue := func(st *nodeState) {
+		if st.enqueued || st.done || !st.demanded {
+			return
+		}
+		_, isIf := st.node.Op.(IfElse)
+		if isIf && lazy {
+			cond := st.node.operands[0]
+			if !operandReady(cond) {
+				return
+			}
+			if st.chosenBranch == 0 {
+				if operandValue(cond) == "true" {
+					st.chosenBranch = 1
+				} else {
+					st.chosenBranch = 2
+				}
+				br := st.node.operands[st.chosenBranch]
+				if br.kind == operandArc {
+					demand(br.from)
+				}
+			}
+			if !operandReady(st.node.operands[st.chosenBranch]) {
+				return
+			}
+		} else {
+			for _, src := range st.node.operands {
+				if !operandReady(src) {
+					return
+				}
+			}
+		}
+		st.enqueued = true
+		inFlight++
+		ready <- st
+	}
+	demand = func(id string) {
+		st := states[id]
+		if st.demanded {
+			return
+		}
+		st.demanded = true
+		if _, isIf := st.node.Op.(IfElse); isIf && lazy {
+			// Demand only the condition; branches follow once it is known.
+			if c := st.node.operands[0]; c.kind == operandArc {
+				demand(c.from)
+			}
+		} else {
+			for _, src := range st.node.operands {
+				if src.kind == operandArc {
+					demand(src.from)
+				}
+			}
+		}
+		tryEnqueue(st)
+	}
+
+	mu.Lock()
+	if lazy {
+		demand(g.exit)
+	} else {
+		for _, id := range g.Nodes() {
+			demand(id)
+		}
+	}
+	if inFlight == 0 {
+		mu.Unlock()
+		return "", Stats{}, fmt.Errorf("cg: graph %q has no fireable node", g.Name)
+	}
+	mu.Unlock()
+
+	// Workers.
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for st := range ready {
+				res, s, err := e.fire(ctx, g, st, operandValue, depth)
+				select {
+				case completions <- completion{id: st.node.ID, result: res, stats: s, err: err}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	var runErr error
+	var result string
+	for {
+		var c completion
+		select {
+		case c = <-completions:
+		case <-ctx.Done():
+			runErr = ctx.Err()
+		}
+		if runErr != nil {
+			break
+		}
+		if c.err != nil {
+			runErr = fmt.Errorf("cg: node %q (%s): %w", c.id, states[c.id].node.Op.Name(), c.err)
+			break
+		}
+		mu.Lock()
+		st := states[c.id]
+		st.done = true
+		st.result = c.result
+		stats.add(c.stats)
+		stats.Fired++
+		inFlight--
+		if c.id == g.exit {
+			result = c.result
+			mu.Unlock()
+			break
+		}
+		for _, dep := range dependents[c.id] {
+			tryEnqueue(states[dep])
+		}
+		// In lazy mode an IfElse may have just become able to choose its
+		// branch; tryEnqueue above handles that since choosing happens
+		// there. If nothing is in flight and the exit is not done, the
+		// demand structure is broken — fail loudly rather than hang.
+		if inFlight == 0 && !states[g.exit].done {
+			runErr = fmt.Errorf("cg: evaluation of %q stalled before exit", g.Name)
+			mu.Unlock()
+			break
+		}
+		mu.Unlock()
+	}
+
+	cancel()
+	close(ready)
+	wg.Wait()
+
+	if runErr != nil {
+		return "", stats, runErr
+	}
+	return result, stats, nil
+}
+
+// fire evaluates one node. For IfElse the selection is performed without
+// consulting the executor; for Condensed the subgraph is evaluated
+// recursively; everything else goes through the executor.
+func (e *Engine) fire(ctx context.Context, g *Graph, st *nodeState,
+	operandValue func(operandSource) string, depth int) (string, Stats, error) {
+	n := st.node
+	switch op := n.Op.(type) {
+	case IfElse:
+		cond := operandValue(n.operands[0])
+		branch := 2
+		if cond == "true" {
+			branch = 1
+		} else if cond != "false" {
+			return "", Stats{}, fmt.Errorf("cg: ifel condition %q is not true/false", cond)
+		}
+		return operandValue(n.operands[branch]), Stats{}, nil
+
+	case *Condensed:
+		if e.Library == nil {
+			return "", Stats{}, errors.New("cg: condensed node but engine has no library")
+		}
+		sub, err := e.Library.Lookup(op.GraphName)
+		if err != nil {
+			return "", Stats{}, err
+		}
+		ins := sub.Inputs()
+		if len(ins) != op.Arity() {
+			return "", Stats{}, fmt.Errorf("cg: condensed node %q arity %d but graph %q has %d inputs",
+				n.ID, op.Arity(), op.GraphName, len(ins))
+		}
+		subInputs := make(map[string]string, len(ins))
+		for i, name := range ins {
+			subInputs[name] = operandValue(n.operands[i])
+		}
+		res, s, err := e.runGraph(ctx, sub, subInputs, depth+1)
+		s.Expanded++
+		return res, s, err
+
+	default:
+		args := make([]string, len(n.operands))
+		for i, src := range n.operands {
+			args[i] = operandValue(src)
+		}
+		t := Task{
+			Graph:       g.Name,
+			NodeID:      n.ID,
+			OpName:      n.Op.Name(),
+			Args:        args,
+			Annotations: n.Annotations,
+		}
+		if e.Interceptor != nil {
+			if err := e.Interceptor(t); err != nil {
+				return "", Stats{}, fmt.Errorf("interceptor vetoed firing: %w", err)
+			}
+		}
+		res, err := e.exec()(ctx, t, n.Op)
+		return res, Stats{}, err
+	}
+}

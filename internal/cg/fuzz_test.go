@@ -1,0 +1,50 @@
+package cg
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseJSON: arbitrary graph definitions must parse-or-error cleanly,
+// and accepted graphs must survive a marshal/parse round trip and a
+// bounded evaluation attempt without panicking.
+func FuzzParseJSON(f *testing.F) {
+	f.Add(payrollJSON)
+	f.Add(`{"name":"g","nodes":[{"id":"n","op":"id","operands":["const:1"]}],"exit":"n"}`)
+	f.Add(`{"name":"g","nodes":[{"id":"a","op":"ifel","operands":["const:true","const:1","const:2"]}],"exit":"a"}`)
+	f.Add(`{"name":"g","nodes":[],"exit":"x"}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ParseJSON([]byte(input))
+		if err != nil {
+			return
+		}
+		data, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("marshal accepted graph: %v", err)
+		}
+		if _, err := ParseJSON(data); err != nil {
+			t.Fatalf("re-parse of marshalled graph: %v\n%s", err, data)
+		}
+		// Evaluate with inputs defaulting to "1" and a permissive stub
+		// executor; errors are fine, panics are not.
+		inputs := map[string]string{}
+		for _, in := range g.Inputs() {
+			inputs[in] = "1"
+		}
+		e := &Engine{
+			MaxDepth: 4,
+			Exec: func(ctx context.Context, task Task, op Operator) (string, error) {
+				if fn, ok := op.(*Func); ok {
+					return fn.Fn(task.Args)
+				}
+				return "0", nil
+			},
+			Library: NewLibrary(),
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		_, _, _ = e.Run(ctx, g, inputs)
+	})
+}

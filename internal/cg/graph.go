@@ -1,0 +1,272 @@
+// Package cg implements the condensed graphs model of computing
+// (J. Morrison, "Condensed Graphs: Unifying Availability-Driven,
+// Coercion-Driven and Control-Driven Computing", reference [21]) that
+// drives WebCom. Applications are directed graphs whose nodes carry an
+// operator, operand ports and destinations; a node fires when its operands
+// are available, and firing delivers the result along arcs to the operand
+// ports of other nodes.
+//
+// The engine (engine.go) evaluates graphs under two of the model's
+// strategies:
+//
+//   - availability-driven (eager dataflow): every node fires as soon as
+//     its operands arrive, with configurable parallelism;
+//   - coercion-driven (lazy): evaluation is demanded backwards from the
+//     exit node, so only needed nodes fire — conditionals evaluate a
+//     single branch.
+//
+// Condensation is supported: a node's operator may be another graph,
+// which the engine expands ("evaporates") when the node fires, enabling
+// recursion through a graph library.
+//
+// Node operations are executed through an Executor, which is where
+// Secure WebCom plugs in: the webcom package provides an executor that
+// schedules operations to remote, mutually authenticated clients.
+package cg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Port identifies one operand slot of a node.
+type Port struct {
+	Node  string
+	Index int
+}
+
+// Arc is a dataflow edge from a node's output to an operand port.
+type Arc struct {
+	From string
+	To   Port
+}
+
+// Node is a graph node: an operator plus operand sources. Each operand
+// port is fed either by a constant, a graph input, or an arc.
+type Node struct {
+	ID string
+	Op Operator
+
+	// operands[i] describes where operand i comes from; filled during
+	// graph construction and validated by Validate.
+	operands []operandSource
+
+	// Annotations carry scheduling metadata — in Secure WebCom the
+	// (Domain, Role, User) constraints chosen in the IDE (Section 6).
+	Annotations map[string]string
+}
+
+type operandKind int
+
+const (
+	operandUnset operandKind = iota
+	operandConst
+	operandInput
+	operandArc
+)
+
+type operandSource struct {
+	kind  operandKind
+	value string // constant value or input name
+	from  string // source node for arcs
+}
+
+// Graph is a condensed graph under construction or evaluation. Graphs are
+// immutable once validated; evaluation state lives in the engine.
+type Graph struct {
+	Name  string
+	nodes map[string]*Node
+	// inputs are graph-level parameter names (the E node's outputs).
+	inputs []string
+	// exit is the node whose output is the graph's result (the X node's
+	// operand).
+	exit string
+	arcs []Arc
+}
+
+// NewGraph creates an empty graph.
+func NewGraph(name string) *Graph {
+	return &Graph{Name: name, nodes: make(map[string]*Node)}
+}
+
+// AddNode adds a node with the given operator. The node's operand count
+// is fixed by the operator's arity.
+func (g *Graph) AddNode(id string, op Operator) (*Node, error) {
+	if _, dup := g.nodes[id]; dup {
+		return nil, fmt.Errorf("cg: duplicate node %q", id)
+	}
+	if op == nil {
+		return nil, fmt.Errorf("cg: node %q has no operator", id)
+	}
+	n := &Node{
+		ID:          id,
+		Op:          op,
+		operands:    make([]operandSource, op.Arity()),
+		Annotations: make(map[string]string),
+	}
+	g.nodes[id] = n
+	return n, nil
+}
+
+// MustAddNode is AddNode panicking on error, for static graph builders.
+func (g *Graph) MustAddNode(id string, op Operator) *Node {
+	n, err := g.AddNode(id, op)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Node returns a node by ID.
+func (g *Graph) Node(id string) (*Node, bool) {
+	n, ok := g.nodes[id]
+	return n, ok
+}
+
+// Nodes returns the node IDs in sorted order.
+func (g *Graph) Nodes() []string {
+	out := make([]string, 0, len(g.nodes))
+	for id := range g.nodes {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetConst feeds operand port (node, index) with a constant.
+func (g *Graph) SetConst(node string, index int, value string) error {
+	n, src, err := g.port(node, index)
+	if err != nil {
+		return err
+	}
+	*src = operandSource{kind: operandConst, value: value}
+	_ = n
+	return nil
+}
+
+// BindInput declares a graph input name and feeds operand port
+// (node, index) from it. The same input may feed several ports.
+func (g *Graph) BindInput(name, node string, index int) error {
+	_, src, err := g.port(node, index)
+	if err != nil {
+		return err
+	}
+	found := false
+	for _, in := range g.inputs {
+		if in == name {
+			found = true
+			break
+		}
+	}
+	if !found {
+		g.inputs = append(g.inputs, name)
+	}
+	*src = operandSource{kind: operandInput, value: name}
+	return nil
+}
+
+// Connect adds an arc from node from's output to operand port (to, index).
+func (g *Graph) Connect(from, to string, index int) error {
+	if _, ok := g.nodes[from]; !ok {
+		return fmt.Errorf("cg: arc from unknown node %q", from)
+	}
+	_, src, err := g.port(to, index)
+	if err != nil {
+		return err
+	}
+	*src = operandSource{kind: operandArc, from: from}
+	g.arcs = append(g.arcs, Arc{From: from, To: Port{Node: to, Index: index}})
+	return nil
+}
+
+func (g *Graph) port(node string, index int) (*Node, *operandSource, error) {
+	n, ok := g.nodes[node]
+	if !ok {
+		return nil, nil, fmt.Errorf("cg: unknown node %q", node)
+	}
+	if index < 0 || index >= len(n.operands) {
+		return nil, nil, fmt.Errorf("cg: node %q (%s, arity %d) has no operand %d",
+			node, n.Op.Name(), n.Op.Arity(), index)
+	}
+	if n.operands[index].kind != operandUnset {
+		return nil, nil, fmt.Errorf("cg: operand %d of node %q already bound", index, node)
+	}
+	return n, &n.operands[index], nil
+}
+
+// SetExit declares the node whose output is the graph result (the operand
+// of the X node).
+func (g *Graph) SetExit(node string) error {
+	if _, ok := g.nodes[node]; !ok {
+		return fmt.Errorf("cg: unknown exit node %q", node)
+	}
+	g.exit = node
+	return nil
+}
+
+// Inputs returns the declared input names in declaration order.
+func (g *Graph) Inputs() []string { return append([]string(nil), g.inputs...) }
+
+// Exit returns the exit node ID.
+func (g *Graph) Exit() string { return g.exit }
+
+// Validate checks that the graph is well formed: an exit is set, every
+// operand port is bound, and the dataflow arcs are acyclic.
+func (g *Graph) Validate() error {
+	if g.exit == "" {
+		return fmt.Errorf("cg: graph %q has no exit node", g.Name)
+	}
+	for id, n := range g.nodes {
+		for i, src := range n.operands {
+			if src.kind == operandUnset {
+				return fmt.Errorf("cg: operand %d of node %q (%s) is unbound", i, id, n.Op.Name())
+			}
+		}
+	}
+	// Cycle detection over arcs (three-colour DFS).
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make(map[string]int, len(g.nodes))
+	adj := make(map[string][]string)
+	for _, a := range g.arcs {
+		adj[a.From] = append(adj[a.From], a.To.Node)
+	}
+	var visit func(string) error
+	visit = func(id string) error {
+		colour[id] = grey
+		for _, next := range adj[id] {
+			switch colour[next] {
+			case grey:
+				return fmt.Errorf("cg: graph %q has a dataflow cycle through %q", g.Name, next)
+			case white:
+				if err := visit(next); err != nil {
+					return err
+				}
+			}
+		}
+		colour[id] = black
+		return nil
+	}
+	for id := range g.nodes {
+		if colour[id] == white {
+			if err := visit(id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// dependencies returns the IDs of nodes feeding n through arcs.
+func (g *Graph) dependencies(n *Node) []string {
+	var deps []string
+	for _, src := range n.operands {
+		if src.kind == operandArc {
+			deps = append(deps, src.from)
+		}
+	}
+	return deps
+}

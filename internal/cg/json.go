@@ -1,0 +1,173 @@
+package cg
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// JSON graph definitions. WebCom applications can be authored as data —
+// the textual analogue of the IDE's drag-and-drop canvas (Figure 11) —
+// and loaded by cmd/webcom-master:
+//
+//	{
+//	  "name": "payroll",
+//	  "nodes": [
+//	    {"id": "read", "op": "opaque:Salaries.read",
+//	     "operands": ["const:Bob"],
+//	     "annotations": {"Domain": "hostX/srv/finance", "Role": "Manager"}},
+//	    {"id": "bonus", "op": "opaque:Payroll.bonus", "operands": ["input:who"]},
+//	    {"id": "total", "op": "add", "operands": ["node:read", "node:bonus"]}
+//	  ],
+//	  "exit": "total"
+//	}
+//
+// Operand references: "const:<value>", "input:<name>", "node:<id>".
+// Operators: the builtin names (add, sub, mul, leq, id, concat, ifel),
+// "opaque:<name>" for remotely scheduled operations, and
+// "graph:<name>" for condensations resolved via the engine's Library.
+// Arity for opaque/graph operators is the operand count; builtins have
+// fixed arities checked during construction.
+
+type graphJSON struct {
+	Name  string     `json:"name"`
+	Nodes []nodeJSON `json:"nodes"`
+	Exit  string     `json:"exit"`
+}
+
+type nodeJSON struct {
+	ID          string            `json:"id"`
+	Op          string            `json:"op"`
+	Operands    []string          `json:"operands"`
+	Annotations map[string]string `json:"annotations,omitempty"`
+}
+
+// builtinOperator resolves a builtin operator name.
+func builtinOperator(name string) (Operator, bool) {
+	switch name {
+	case "add":
+		return Add(), true
+	case "sub":
+		return Sub(), true
+	case "mul":
+		return Mul(), true
+	case "leq":
+		return LessEq(), true
+	case "id":
+		return Identity(), true
+	case "concat":
+		return Concat(), true
+	case "ifel":
+		return IfElse{}, true
+	}
+	return nil, false
+}
+
+// ParseJSON builds a validated graph from its JSON definition.
+func ParseJSON(data []byte) (*Graph, error) {
+	var def graphJSON
+	if err := json.Unmarshal(data, &def); err != nil {
+		return nil, fmt.Errorf("cg: parse graph JSON: %w", err)
+	}
+	if def.Name == "" {
+		return nil, fmt.Errorf("cg: graph JSON has no name")
+	}
+	g := NewGraph(def.Name)
+
+	// First pass: create nodes so arcs can reference them in any order.
+	for _, nd := range def.Nodes {
+		var op Operator
+		switch {
+		case strings.HasPrefix(nd.Op, "opaque:"):
+			op = &Opaque{OpName: strings.TrimPrefix(nd.Op, "opaque:"), OpArity: len(nd.Operands)}
+		case strings.HasPrefix(nd.Op, "graph:"):
+			op = &Condensed{GraphName: strings.TrimPrefix(nd.Op, "graph:"), ArityHint: len(nd.Operands)}
+		default:
+			b, ok := builtinOperator(nd.Op)
+			if !ok {
+				return nil, fmt.Errorf("cg: node %q: unknown operator %q", nd.ID, nd.Op)
+			}
+			if b.Arity() != len(nd.Operands) {
+				return nil, fmt.Errorf("cg: node %q: operator %s wants %d operands, got %d",
+					nd.ID, nd.Op, b.Arity(), len(nd.Operands))
+			}
+			op = b
+		}
+		n, err := g.AddNode(nd.ID, op)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range nd.Annotations {
+			n.Annotations[k] = v
+		}
+	}
+
+	// Second pass: bind operands.
+	for _, nd := range def.Nodes {
+		for i, ref := range nd.Operands {
+			switch {
+			case strings.HasPrefix(ref, "const:"):
+				if err := g.SetConst(nd.ID, i, strings.TrimPrefix(ref, "const:")); err != nil {
+					return nil, err
+				}
+			case strings.HasPrefix(ref, "input:"):
+				if err := g.BindInput(strings.TrimPrefix(ref, "input:"), nd.ID, i); err != nil {
+					return nil, err
+				}
+			case strings.HasPrefix(ref, "node:"):
+				if err := g.Connect(strings.TrimPrefix(ref, "node:"), nd.ID, i); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("cg: node %q operand %d: reference %q must start with const:/input:/node:",
+					nd.ID, i, ref)
+			}
+		}
+	}
+
+	if def.Exit == "" {
+		return nil, fmt.Errorf("cg: graph JSON has no exit node")
+	}
+	if err := g.SetExit(def.Exit); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MarshalJSON renders the graph back to its JSON definition
+// (deterministic node order).
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	def := graphJSON{Name: g.Name, Exit: g.exit}
+	for _, id := range g.Nodes() {
+		n := g.nodes[id]
+		nd := nodeJSON{ID: id}
+		switch op := n.Op.(type) {
+		case *Opaque:
+			nd.Op = "opaque:" + op.OpName
+		case *Condensed:
+			nd.Op = "graph:" + op.GraphName
+		default:
+			nd.Op = n.Op.Name()
+		}
+		for _, src := range n.operands {
+			switch src.kind {
+			case operandConst:
+				nd.Operands = append(nd.Operands, "const:"+src.value)
+			case operandInput:
+				nd.Operands = append(nd.Operands, "input:"+src.value)
+			case operandArc:
+				nd.Operands = append(nd.Operands, "node:"+src.from)
+			default:
+				return nil, fmt.Errorf("cg: node %q has an unbound operand", id)
+			}
+		}
+		if len(n.Annotations) > 0 {
+			nd.Annotations = n.Annotations
+		}
+		def.Nodes = append(def.Nodes, nd)
+	}
+	return json.MarshalIndent(&def, "", "  ")
+}

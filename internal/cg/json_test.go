@@ -1,0 +1,123 @@
+package cg
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const payrollJSON = `{
+  "name": "payroll",
+  "nodes": [
+    {"id": "read", "op": "opaque:Salaries.read",
+     "operands": ["const:Bob"],
+     "annotations": {"Domain": "hostX/srv/finance", "Role": "Manager"}},
+    {"id": "bonus", "op": "opaque:Payroll.bonus", "operands": ["input:who"]},
+    {"id": "total", "op": "add", "operands": ["node:read", "node:bonus"]}
+  ],
+  "exit": "total"
+}`
+
+func TestParseJSONAndRun(t *testing.T) {
+	g, err := ParseJSON([]byte(payrollJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "payroll" || g.Exit() != "total" {
+		t.Fatalf("graph identity: %s/%s", g.Name, g.Exit())
+	}
+	n, ok := g.Node("read")
+	if !ok || n.Annotations["Domain"] != "hostX/srv/finance" {
+		t.Fatalf("annotations lost: %+v", n)
+	}
+	// Run with a stub executor for the opaque ops.
+	e := &Engine{Exec: func(ctx context.Context, task Task, op Operator) (string, error) {
+		switch task.OpName {
+		case "Salaries.read":
+			return "52000", nil
+		case "Payroll.bonus":
+			return "4800", nil
+		}
+		return LocalExecutor(ctx, task, op)
+	}}
+	got, _, err := e.Run(context.Background(), g, map[string]string{"who": "Bob"})
+	if err != nil || got != "56800" {
+		t.Fatalf("run: %q %v", got, err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g, err := ParseJSON([]byte(payrollJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseJSON(data)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, data)
+	}
+	data2, err := json.Marshal(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatalf("round trip not stable:\n%s\nvs\n%s", data, data2)
+	}
+}
+
+func TestParseJSONBuiltinsAndCondensed(t *testing.T) {
+	src := `{
+	  "name": "cond",
+	  "nodes": [
+	    {"id": "cmp", "op": "leq", "operands": ["input:n", "const:1"]},
+	    {"id": "base", "op": "id", "operands": ["const:1"]},
+	    {"id": "rec", "op": "graph:cond", "operands": ["input:n"]},
+	    {"id": "if", "op": "ifel", "operands": ["node:cmp", "node:base", "node:rec"]}
+	  ],
+	  "exit": "if"
+	}`
+	g, err := ParseJSON([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := g.Node("rec")
+	if n.Op.Name() != "graph:cond" {
+		t.Fatalf("condensed op = %s", n.Op.Name())
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":        `{`,
+		"no name":         `{"nodes":[],"exit":"x"}`,
+		"unknown op":      `{"name":"g","nodes":[{"id":"n","op":"frob","operands":[]}],"exit":"n"}`,
+		"builtin arity":   `{"name":"g","nodes":[{"id":"n","op":"add","operands":["const:1"]}],"exit":"n"}`,
+		"bad operand ref": `{"name":"g","nodes":[{"id":"n","op":"id","operands":["1"]}],"exit":"n"}`,
+		"missing arc":     `{"name":"g","nodes":[{"id":"n","op":"id","operands":["node:ghost"]}],"exit":"n"}`,
+		"no exit":         `{"name":"g","nodes":[{"id":"n","op":"id","operands":["const:1"]}]}`,
+		"bad exit":        `{"name":"g","nodes":[{"id":"n","op":"id","operands":["const:1"]}],"exit":"zz"}`,
+		"duplicate id":    `{"name":"g","nodes":[{"id":"n","op":"id","operands":["const:1"]},{"id":"n","op":"id","operands":["const:2"]}],"exit":"n"}`,
+		"cycle":           `{"name":"g","nodes":[{"id":"a","op":"id","operands":["node:b"]},{"id":"b","op":"id","operands":["node:a"]}],"exit":"a"}`,
+	}
+	for name, src := range cases {
+		if _, err := ParseJSON([]byte(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMarshalRejectsUnboundOperand(t *testing.T) {
+	g := NewGraph("partial")
+	g.MustAddNode("n", Add())
+	if err := g.SetConst("n", 0, "1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := json.Marshal(g); err == nil {
+		t.Fatal("marshalled graph with unbound operand")
+	}
+	_ = strings.TrimSpace("")
+}

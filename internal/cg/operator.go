@@ -1,0 +1,189 @@
+package cg
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+)
+
+// Operator is a node's computational content.
+type Operator interface {
+	// Name identifies the operator (for tasks, logs and scheduling).
+	Name() string
+	// Arity is the number of operand ports.
+	Arity() int
+}
+
+// Func is a locally evaluable operator backed by a Go function. Remote
+// operators (middleware components scheduled by WebCom) are represented
+// by Opaque and executed by the engine's Executor instead.
+type Func struct {
+	OpName  string
+	OpArity int
+	Fn      func(args []string) (string, error)
+}
+
+// Name implements Operator.
+func (f *Func) Name() string { return f.OpName }
+
+// Arity implements Operator.
+func (f *Func) Arity() int { return f.OpArity }
+
+// Opaque is an operator with no local implementation: the engine hands it
+// to the Executor, which in Secure WebCom schedules it to an authorised
+// client (Section 6). Annotations on the node select where it may run.
+type Opaque struct {
+	OpName  string
+	OpArity int
+}
+
+// Name implements Operator.
+func (o *Opaque) Name() string { return o.OpName }
+
+// Arity implements Operator.
+func (o *Opaque) Arity() int { return o.OpArity }
+
+// IfElse is the non-strict conditional of the condensed graphs model:
+// operand 0 is the condition ("true"/"false"), operands 1 and 2 the
+// branches. Under coercion-driven evaluation only the selected branch is
+// demanded; under availability-driven evaluation both branches fire and
+// the result is selected afterwards.
+type IfElse struct{}
+
+// Name implements Operator.
+func (IfElse) Name() string { return "ifel" }
+
+// Arity implements Operator.
+func (IfElse) Arity() int { return 3 }
+
+// Condensed is an operator that is itself a graph: firing the node
+// evaporates the condensation, evaluating the subgraph with the node's
+// operands as graph inputs. Referencing graphs by name through a Library
+// allows recursion.
+type Condensed struct {
+	// GraphName is resolved against the engine's Library at fire time.
+	GraphName string
+	// ArityHint is the operand count; it must match the graph's inputs.
+	ArityHint int
+}
+
+// Name implements Operator.
+func (c *Condensed) Name() string { return "graph:" + c.GraphName }
+
+// Arity implements Operator.
+func (c *Condensed) Arity() int { return c.ArityHint }
+
+// Library resolves graph names for condensed nodes. It is safe for
+// concurrent use.
+type Library struct {
+	mu     sync.RWMutex
+	graphs map[string]*Graph
+}
+
+// NewLibrary returns an empty graph library.
+func NewLibrary() *Library {
+	return &Library{graphs: make(map[string]*Graph)}
+}
+
+// Define validates and registers a graph under its name.
+func (l *Library) Define(g *Graph) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.graphs[g.Name]; dup {
+		return fmt.Errorf("cg: graph %q already defined", g.Name)
+	}
+	l.graphs[g.Name] = g
+	return nil
+}
+
+// Lookup resolves a graph by name.
+func (l *Library) Lookup(name string) (*Graph, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	g, ok := l.graphs[name]
+	if !ok {
+		return nil, fmt.Errorf("cg: graph %q not in library", name)
+	}
+	return g, nil
+}
+
+// ---- A small standard operator set for examples, tests and benches ----
+
+// ErrArity signals a malformed argument list reaching an operator.
+var ErrArity = errors.New("cg: wrong argument count")
+
+// BinOpInt builds an integer binary operator.
+func BinOpInt(name string, fn func(a, b int64) (int64, error)) *Func {
+	return &Func{OpName: name, OpArity: 2, Fn: func(args []string) (string, error) {
+		if len(args) != 2 {
+			return "", ErrArity
+		}
+		a, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("cg: %s: %w", name, err)
+		}
+		b, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("cg: %s: %w", name, err)
+		}
+		r, err := fn(a, b)
+		if err != nil {
+			return "", err
+		}
+		return strconv.FormatInt(r, 10), nil
+	}}
+}
+
+// Add returns an integer addition operator.
+func Add() *Func { return BinOpInt("add", func(a, b int64) (int64, error) { return a + b, nil }) }
+
+// Sub returns an integer subtraction operator.
+func Sub() *Func { return BinOpInt("sub", func(a, b int64) (int64, error) { return a - b, nil }) }
+
+// Mul returns an integer multiplication operator.
+func Mul() *Func { return BinOpInt("mul", func(a, b int64) (int64, error) { return a * b, nil }) }
+
+// LessEq returns a comparison operator yielding "true"/"false".
+func LessEq() *Func {
+	return &Func{OpName: "leq", OpArity: 2, Fn: func(args []string) (string, error) {
+		if len(args) != 2 {
+			return "", ErrArity
+		}
+		a, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return "", err
+		}
+		b, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return "", err
+		}
+		if a <= b {
+			return "true", nil
+		}
+		return "false", nil
+	}}
+}
+
+// Identity returns a unary pass-through operator.
+func Identity() *Func {
+	return &Func{OpName: "id", OpArity: 1, Fn: func(args []string) (string, error) {
+		if len(args) != 1 {
+			return "", ErrArity
+		}
+		return args[0], nil
+	}}
+}
+
+// Concat returns a binary string concatenation operator.
+func Concat() *Func {
+	return &Func{OpName: "concat", OpArity: 2, Fn: func(args []string) (string, error) {
+		if len(args) != 2 {
+			return "", ErrArity
+		}
+		return args[0] + args[1], nil
+	}}
+}

@@ -1,0 +1,180 @@
+// Package core is the top-level facade of the Secure WebCom framework:
+// it owns the key store, the WebCom administration key, and the registry
+// of middleware systems, and wires together the paper's five policy
+// properties:
+//
+//	Configuration    — push a global RBAC policy into every system
+//	Comprehension    — synthesise every system's policy into one view,
+//	                   or encode it as KeyNote credentials
+//	Migration        — move a policy between systems
+//	Maintenance      — propagate an RBAC diff everywhere
+//	Decentralisation — signed user credentials and onward delegation
+//
+// The cmd/ tools and examples/ programs are thin wrappers around this
+// package.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"securewebcom/internal/ide"
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/rbac"
+	"securewebcom/internal/translate"
+)
+
+// Framework is one Secure WebCom administrative domain.
+type Framework struct {
+	// Keys holds every principal's key pair, including the admin key.
+	Keys *keys.KeyStore
+	// Admin is the WebCom administration key (the paper's KWebCom).
+	Admin *keys.KeyPair
+	// Registry holds the coordinated middleware systems.
+	Registry *middleware.Registry
+	// Options configures the KeyNote encoding.
+	Options translate.Options
+}
+
+// New creates a framework. A non-empty seed derives the admin key
+// deterministically (tests, examples, figure reproduction); an empty
+// seed generates a random key.
+func New(seed string) (*Framework, error) {
+	ks := keys.NewKeyStore()
+	admin, err := ks.GenerateNamed("KWebCom", seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{
+		Keys:     ks,
+		Admin:    admin,
+		Registry: middleware.NewRegistry(),
+		Options:  translate.Options{AdminKey: admin.PublicID()},
+	}, nil
+}
+
+// RegisterSystem adds a middleware system to the framework.
+func (f *Framework) RegisterSystem(s middleware.System) error {
+	return f.Registry.Register(s)
+}
+
+// EnsureUserKey returns the key pair representing an RBAC user at the
+// trust-management layer, creating it (named "K<user>", lowercased) if
+// needed. seed follows the New convention.
+func (f *Framework) EnsureUserKey(u rbac.User, seed string) (*keys.KeyPair, error) {
+	name := "K" + strings.ToLower(string(u))
+	if kp, err := f.Keys.ByName(name); err == nil {
+		return kp, nil
+	}
+	return f.Keys.GenerateNamed(name, seed)
+}
+
+// GlobalPolicy synthesises the unified RBAC view of every registered
+// system ("Policy Comprehension").
+func (f *Framework) GlobalPolicy() (*rbac.Policy, error) {
+	return f.Registry.GlobalPolicy()
+}
+
+// EncodeGlobal encodes the global policy as signed KeyNote assertions,
+// creating user keys on demand (deterministically derived from keySeed
+// when non-empty).
+func (f *Framework) EncodeGlobal(keySeed string) (*translate.Encoded, error) {
+	p, err := f.GlobalPolicy()
+	if err != nil {
+		return nil, err
+	}
+	return f.Encode(p, keySeed)
+}
+
+// Encode encodes an arbitrary RBAC policy as signed KeyNote assertions.
+func (f *Framework) Encode(p *rbac.Policy, keySeed string) (*translate.Encoded, error) {
+	resolver := func(u rbac.User) (string, error) {
+		kp, err := f.EnsureUserKey(u, keySeed)
+		if err != nil {
+			return "", err
+		}
+		return kp.PublicID(), nil
+	}
+	enc, err := translate.EncodeRBAC(p, resolver, f.Options)
+	if err != nil {
+		return nil, err
+	}
+	if err := enc.SignAll(f.Admin); err != nil {
+		return nil, err
+	}
+	return enc, nil
+}
+
+// Checker builds a KeyNote compliance checker over an encoded policy.
+func (f *Framework) Checker(enc *translate.Encoded) (*keynote.Checker, error) {
+	return keynote.NewChecker([]*keynote.Assertion{enc.Policy}, keynote.WithResolver(f.Keys))
+}
+
+// PushPolicy applies a global RBAC policy to every registered system
+// ("Policy Configuration"). It returns the number of rows each system
+// accepted.
+func (f *Framework) PushPolicy(p *rbac.Policy) (map[string]int, error) {
+	out := make(map[string]int)
+	for _, s := range f.Registry.All() {
+		n, err := s.ApplyPolicy(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: apply to %s: %w", s.Name(), err)
+		}
+		out[s.Name()] = n
+	}
+	return out, nil
+}
+
+// PropagateDiff applies an RBAC change set to every registered system
+// ("Policy Maintenance", Section 4.4).
+func (f *Framework) PropagateDiff(d rbac.Diff) error {
+	for _, s := range f.Registry.All() {
+		if err := s.ApplyDiff(d); err != nil {
+			return fmt.Errorf("core: propagate to %s: %w", s.Name(), err)
+		}
+	}
+	return nil
+}
+
+// Migrate moves the policy of system src onto system dst ("Policy
+// Migration", Section 4.3).
+func (f *Framework) Migrate(src, dst string, opt translate.MigrationOptions) (int, []translate.MappingReport, error) {
+	s, err := f.Registry.Get(src)
+	if err != nil {
+		return 0, nil, err
+	}
+	d, err := f.Registry.Get(dst)
+	if err != nil {
+		return 0, nil, err
+	}
+	return translate.Migrate(s, d, opt)
+}
+
+// Interrogator returns the IDE interrogation view of the framework's
+// systems (Section 6).
+func (f *Framework) Interrogator() *ide.Interrogator {
+	return ide.New(f.Registry)
+}
+
+// Authorize answers the unified question "may this user exercise perm on
+// ot anywhere?" at the trust-management layer: it encodes the current
+// global policy and runs the KeyNote decision, which by the translation
+// equivalence property matches the middleware answer.
+func (f *Framework) Authorize(enc *translate.Encoded, u rbac.User, ot rbac.ObjectType, perm rbac.Permission, extraCreds ...*keynote.Assertion) (bool, error) {
+	kp, err := f.EnsureUserKey(u, "")
+	if err != nil {
+		return false, err
+	}
+	chk, err := f.Checker(enc)
+	if err != nil {
+		return false, err
+	}
+	p, err := f.GlobalPolicy()
+	if err != nil {
+		return false, err
+	}
+	creds := append(append([]*keynote.Assertion{}, enc.Credentials...), extraCreds...)
+	return translate.Decision(chk, creds, kp.PublicID(), p, ot, perm, f.Options)
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/middleware/complus"
+	"securewebcom/internal/middleware/corba"
+	"securewebcom/internal/middleware/ejb"
+	"securewebcom/internal/ossec"
+	"securewebcom/internal/rbac"
+	"securewebcom/internal/translate"
+)
+
+// newFramework builds a framework with the paper's Figure 9 shape: an
+// EJB server (X), a CORBA ORB (Y) and a COM+ catalogue (W).
+func newFramework(t *testing.T) (*Framework, *ejb.Server, *corba.ORB, *complus.Catalogue) {
+	t.Helper()
+	f, err := New("core-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	x := ejb.NewServer("X", "hostX", "srv")
+	c := x.CreateContainer("finance")
+	c.DeployBean("Salaries", map[string]middleware.Handler{}, "read", "write")
+	c.AddMethodPermission("Manager", "Salaries", "read")
+	c.AddMethodPermission("Manager", "Salaries", "write")
+	c.AddMethodPermission("Clerk", "Salaries", "write")
+	x.AddUser("Alice")
+	x.AddUser("Bob")
+	x.AssignRole("finance", "Alice", "Clerk")
+	x.AssignRole("finance", "Bob", "Manager")
+
+	y := corba.NewORB("Y", "hostY", "SalesORB")
+	y.DefineInterface("Salaries", "read")
+	y.BindObject("sal", "Salaries", nil)
+	y.GrantRole("Manager", "Salaries", "read")
+	y.AddPrincipalToRole("Claire", "Manager")
+
+	nt := ossec.NewNTDomain("CORP")
+	w := complus.NewCatalogue("W", nt)
+	w.RegisterClass("Payroll", map[string]middleware.Handler{})
+	w.DefineRole("Operator")
+	w.Grant("Operator", "Payroll", complus.PermAccess)
+	nt.AddAccount("Dave")
+	w.AddRoleMember("Operator", "Dave")
+
+	for _, s := range []middleware.System{x, y, w} {
+		if err := f.RegisterSystem(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f, x, y, w
+}
+
+func TestGlobalPolicyComprehension(t *testing.T) {
+	f, _, _, _ := newFramework(t)
+	g, err := f.GlobalPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows from all three technologies are present.
+	if !g.HasUserRole("Alice", "hostX/srv/finance", "Clerk") {
+		t.Fatal("EJB rows missing")
+	}
+	if !g.HasUserRole("Claire", "hostY/SalesORB", "Manager") {
+		t.Fatal("CORBA rows missing")
+	}
+	if !g.HasRolePerm("CORP", "Operator", "Payroll", complus.PermAccess) {
+		t.Fatal("COM+ rows missing")
+	}
+}
+
+func TestEncodeGlobalAndAuthorize(t *testing.T) {
+	f, _, _, _ := newFramework(t)
+	enc, err := f.EncodeGlobal("core-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := f.GlobalPolicy()
+	if len(enc.Credentials) != len(g.Users()) {
+		t.Fatalf("%d credentials for %d users", len(enc.Credentials), len(g.Users()))
+	}
+
+	cases := []struct {
+		user rbac.User
+		ot   rbac.ObjectType
+		perm rbac.Permission
+		want bool
+	}{
+		{"Alice", "Salaries", "write", true},
+		{"Alice", "Salaries", "read", false},
+		{"Bob", "Salaries", "read", true},
+		{"Claire", "Salaries", "read", true},
+		{"Dave", "Payroll", complus.PermAccess, true},
+		{"Dave", "Salaries", "read", false},
+	}
+	for _, c := range cases {
+		got, err := f.Authorize(enc, c.user, c.ot, c.perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Authorize(%s, %s, %s) = %v, want %v", c.user, c.ot, c.perm, got, c.want)
+		}
+	}
+}
+
+func TestAuthorizeWithDelegation(t *testing.T) {
+	f, _, _, _ := newFramework(t)
+	enc, err := f.EncodeGlobal("core-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	claire, err := f.EnsureUserKey("Claire", "core-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fred, err := f.EnsureUserKey("Fred", "core-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleg := keynote.MustNew(
+		fmt.Sprintf("%q", claire.PublicID()), fmt.Sprintf("%q", fred.PublicID()),
+		`app_domain=="WebCom" && Domain=="hostY/SalesORB" && Role=="Manager";`)
+	if err := deleg.Sign(claire); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Authorize(enc, "Fred", "Salaries", "read", deleg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("delegated authorisation failed")
+	}
+	got, err = f.Authorize(enc, "Fred", "Salaries", "read")
+	if err != nil || got {
+		t.Fatal("Fred authorised without the delegation")
+	}
+}
+
+func TestPushPolicyConfiguresAllSystems(t *testing.T) {
+	f, x, y, _ := newFramework(t)
+	// A fresh global policy: new clerk on both X and Y.
+	p, _ := f.GlobalPolicy()
+	p.AddUserRole("Fred", "hostX/srv/finance", "Manager")
+	p.AddUserRole("Fred", "hostY/SalesORB", "Manager")
+	counts, err := f.PushPolicy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["X"] == 0 || counts["Y"] == 0 || counts["W"] == 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if ok, _ := x.CheckAccess("Fred", "hostX/srv/finance", "Salaries", "read"); !ok {
+		t.Fatal("push did not configure X")
+	}
+	if ok, _ := y.CheckAccess("Fred", "hostY/SalesORB", "Salaries", "read"); !ok {
+		t.Fatal("push did not configure Y")
+	}
+}
+
+func TestPropagateDiffMaintenance(t *testing.T) {
+	f, x, _, _ := newFramework(t)
+	diff := rbac.Diff{
+		AddedUserRole:   []rbac.UserRoleEntry{{User: "Grace", Domain: "hostX/srv/finance", Role: "Clerk"}},
+		RemovedUserRole: []rbac.UserRoleEntry{{User: "Alice", Domain: "hostX/srv/finance", Role: "Clerk"}},
+	}
+	if err := f.PropagateDiff(diff); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := x.CheckAccess("Grace", "hostX/srv/finance", "Salaries", "write"); !ok {
+		t.Fatal("added user missing")
+	}
+	if ok, _ := x.CheckAccess("Alice", "hostX/srv/finance", "Salaries", "write"); ok {
+		t.Fatal("removed user persists")
+	}
+}
+
+func TestMigrateBetweenRegisteredSystems(t *testing.T) {
+	f, _, y, _ := newFramework(t)
+	// Y currently authorises Claire; migrate Y's policy onto a new ORB Z.
+	z := corba.NewORB("Z", "hostZ", "SalesORB2")
+	z.DefineInterface("Salaries", "read")
+	z.BindObject("sal", "Salaries", nil)
+	if err := f.RegisterSystem(z); err != nil {
+		t.Fatal(err)
+	}
+	applied, _, err := f.Migrate("Y", "Z", translate.MigrationOptions{
+		DomainMap: map[rbac.Domain]rbac.Domain{y.Domain(): z.Domain()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied == 0 {
+		t.Fatal("nothing migrated")
+	}
+	if ok, _ := z.CheckAccess("Claire", z.Domain(), "Salaries", "read"); !ok {
+		t.Fatal("migration lost Claire's access")
+	}
+	if _, _, err := f.Migrate("nope", "Z", translate.MigrationOptions{}); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	if _, _, err := f.Migrate("Y", "nope", translate.MigrationOptions{}); err == nil {
+		t.Fatal("unknown destination accepted")
+	}
+}
+
+func TestInterrogatorAvailable(t *testing.T) {
+	f, _, _, _ := newFramework(t)
+	it := f.Interrogator()
+	entries, err := it.Palette()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("palette entries = %d, want 3", len(entries))
+	}
+}
+
+func TestEnsureUserKeyStable(t *testing.T) {
+	f, _, _, _ := newFramework(t)
+	k1, err := f.EnsureUserKey("Alice", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := f.EnsureUserKey("Alice", "other-seed-ignored")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.PublicID() != k2.PublicID() {
+		t.Fatal("EnsureUserKey regenerated an existing key")
+	}
+}

@@ -1,0 +1,178 @@
+// Package ide implements the middleware-interrogation side of the WebCom
+// Integrated Development Environment (Section 6, Figure 11): extracting
+// the components of each registered middleware system onto a palette,
+// and, for each component, determining "which combinations of domain,
+// role and user is suitably authorised (holds permissions) to execute the
+// selected component".
+//
+// The package also implements partial specification: the programmer may
+// pin any subset of (domain, role, user) on a component and the resolver
+// enumerates the authorised completions, which the WebCom scheduler then
+// uses to place the component.
+package ide
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/rbac"
+)
+
+// Combo is one authorised (domain, role, user) combination for an
+// operation.
+type Combo struct {
+	Domain rbac.Domain
+	Role   rbac.Role
+	User   rbac.User
+}
+
+func (c Combo) String() string {
+	return fmt.Sprintf("(%s, %s, %s)", c.Domain, c.Role, c.User)
+}
+
+// PaletteEntry is one component on the IDE palette, annotated per
+// operation with its authorised combinations.
+type PaletteEntry struct {
+	System    string
+	Kind      middleware.Kind
+	Component middleware.Component
+	// ByOperation maps each operation to its authorised combos.
+	ByOperation map[string][]Combo
+}
+
+// Interrogator analyses a middleware registry.
+type Interrogator struct {
+	Registry *middleware.Registry
+}
+
+// New creates an interrogator over a registry.
+func New(reg *middleware.Registry) *Interrogator {
+	return &Interrogator{Registry: reg}
+}
+
+// Palette interrogates every registered system and returns the component
+// palette, sorted by system then component.
+func (it *Interrogator) Palette() ([]PaletteEntry, error) {
+	var out []PaletteEntry
+	for _, sys := range it.Registry.All() {
+		policy, err := sys.ExtractPolicy()
+		if err != nil {
+			return nil, fmt.Errorf("ide: interrogate %s: %w", sys.Name(), err)
+		}
+		for _, comp := range sys.Components() {
+			entry := PaletteEntry{
+				System:      sys.Name(),
+				Kind:        sys.Kind(),
+				Component:   comp,
+				ByOperation: make(map[string][]Combo, len(comp.Operations)),
+			}
+			for _, op := range comp.Operations {
+				entry.ByOperation[op] = combosFor(policy, comp.Domain, comp.ObjectType, rbac.Permission(op))
+			}
+			out = append(out, entry)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].System != out[j].System {
+			return out[i].System < out[j].System
+		}
+		return out[i].Component.ObjectType < out[j].Component.ObjectType
+	})
+	return out, nil
+}
+
+// combosFor enumerates the (domain, role, user) combinations authorised
+// for a permission on an object type within one domain.
+func combosFor(p *rbac.Policy, d rbac.Domain, ot rbac.ObjectType, perm rbac.Permission) []Combo {
+	var out []Combo
+	for _, r := range p.RolesIn(d) {
+		if !p.HasRolePerm(d, r, ot, perm) {
+			continue
+		}
+		for _, u := range p.UsersIn(d, r) {
+			out = append(out, Combo{Domain: d, Role: r, User: u})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Role != out[j].Role {
+			return out[i].Role < out[j].Role
+		}
+		return out[i].User < out[j].User
+	})
+	return out
+}
+
+// Constraint is a partial (domain, role, user) specification; empty
+// fields are unconstrained.
+type Constraint struct {
+	Domain rbac.Domain
+	Role   rbac.Role
+	User   rbac.User
+}
+
+// Resolve enumerates the authorised combos for operation op of component
+// (domain implied by the component) matching the constraint. The WebCom
+// scheduler schedules the component under one of the returned combos.
+func (it *Interrogator) Resolve(systemName string, ot rbac.ObjectType, op string, con Constraint) ([]Combo, error) {
+	sys, err := it.Registry.Get(systemName)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := sys.ExtractPolicy()
+	if err != nil {
+		return nil, err
+	}
+	var domains []rbac.Domain
+	if con.Domain != "" {
+		domains = []rbac.Domain{con.Domain}
+	} else {
+		for _, comp := range sys.Components() {
+			if comp.ObjectType == ot {
+				domains = append(domains, comp.Domain)
+			}
+		}
+	}
+	var out []Combo
+	for _, d := range domains {
+		for _, c := range combosFor(policy, d, ot, rbac.Permission(op)) {
+			if con.Role != "" && c.Role != con.Role {
+				continue
+			}
+			if con.User != "" && c.User != con.User {
+				continue
+			}
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("ide: no authorised (domain, role, user) combination for %s.%s under %+v",
+			ot, op, con)
+	}
+	return out, nil
+}
+
+// RenderPalette renders the palette as the textual analogue of the
+// Figure 11 security panel.
+func RenderPalette(entries []PaletteEntry) string {
+	var b strings.Builder
+	for _, e := range entries {
+		fmt.Fprintf(&b, "[%s/%s] %s (domain %s)\n", e.System, e.Kind, e.Component.ObjectType, e.Component.Domain)
+		ops := append([]string(nil), e.Component.Operations...)
+		sort.Strings(ops)
+		for _, op := range ops {
+			combos := e.ByOperation[op]
+			if len(combos) == 0 {
+				fmt.Fprintf(&b, "  %-12s (no authorised combination)\n", op)
+				continue
+			}
+			parts := make([]string, len(combos))
+			for i, c := range combos {
+				parts[i] = c.String()
+			}
+			fmt.Fprintf(&b, "  %-12s %s\n", op, strings.Join(parts, " "))
+		}
+	}
+	return b.String()
+}

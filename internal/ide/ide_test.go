@@ -1,0 +1,156 @@
+package ide
+
+import (
+	"strings"
+	"testing"
+
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/middleware/corba"
+	"securewebcom/internal/middleware/ejb"
+	"securewebcom/internal/rbac"
+)
+
+// newRegistry assembles a registry with an EJB server (Figure 1 Finance
+// rows) and a CORBA ORB (Sales rows).
+func newRegistry(t *testing.T) *middleware.Registry {
+	t.Helper()
+	reg := middleware.NewRegistry()
+
+	srv := ejb.NewServer("X", "hostX", "srv")
+	c := srv.CreateContainer("finance")
+	c.DeployBean("Salaries", map[string]middleware.Handler{}, "read", "write")
+	c.AddMethodPermission("Clerk", "Salaries", "write")
+	c.AddMethodPermission("Manager", "Salaries", "read")
+	c.AddMethodPermission("Manager", "Salaries", "write")
+	srv.AddUser("Alice")
+	srv.AddUser("Bob")
+	if err := srv.AssignRole("finance", "Alice", "Clerk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AssignRole("finance", "Bob", "Manager"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(srv); err != nil {
+		t.Fatal(err)
+	}
+
+	orb := corba.NewORB("Y", "hostY", "SalesORB")
+	orb.DefineInterface("Salaries", "read")
+	if err := orb.BindObject("sal", "Salaries", nil); err != nil {
+		t.Fatal(err)
+	}
+	orb.GrantRole("Manager", "Salaries", "read")
+	orb.AddPrincipalToRole("Claire", "Manager")
+	orb.AddPrincipalToRole("Elaine", "Manager")
+	if err := reg.Register(orb); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestPaletteEnumeratesAllSystems(t *testing.T) {
+	it := New(newRegistry(t))
+	entries, err := it.Palette()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("palette has %d entries, want 2", len(entries))
+	}
+	// Sorted by system: X (EJB) first, then Y (CORBA).
+	if entries[0].System != "X" || entries[1].System != "Y" {
+		t.Fatalf("order: %s, %s", entries[0].System, entries[1].System)
+	}
+
+	ejbWrite := entries[0].ByOperation["write"]
+	if len(ejbWrite) != 2 { // Alice (Clerk), Bob (Manager)
+		t.Fatalf("write combos = %v", ejbWrite)
+	}
+	if ejbWrite[0] != (Combo{"hostX/srv/finance", "Clerk", "Alice"}) {
+		t.Fatalf("first combo = %v", ejbWrite[0])
+	}
+	ejbRead := entries[0].ByOperation["read"]
+	if len(ejbRead) != 1 || ejbRead[0].User != "Bob" {
+		t.Fatalf("read combos = %v", ejbRead)
+	}
+	corbaRead := entries[1].ByOperation["read"]
+	if len(corbaRead) != 2 { // Claire, Elaine
+		t.Fatalf("corba read combos = %v", corbaRead)
+	}
+}
+
+func TestResolveFullAndPartial(t *testing.T) {
+	it := New(newRegistry(t))
+
+	// Fully specified.
+	combos, err := it.Resolve("X", "Salaries", "write",
+		Constraint{Domain: "hostX/srv/finance", Role: "Clerk", User: "Alice"})
+	if err != nil || len(combos) != 1 {
+		t.Fatalf("full: %v %v", combos, err)
+	}
+
+	// Domain+role only: any authorised user in the role (Section 6).
+	combos, err = it.Resolve("X", "Salaries", "write",
+		Constraint{Domain: "hostX/srv/finance", Role: "Manager"})
+	if err != nil || len(combos) != 1 || combos[0].User != "Bob" {
+		t.Fatalf("partial role: %v %v", combos, err)
+	}
+
+	// Unconstrained: every combination.
+	combos, err = it.Resolve("X", "Salaries", "write", Constraint{})
+	if err != nil || len(combos) != 2 {
+		t.Fatalf("unconstrained: %v %v", combos, err)
+	}
+
+	// Unauthorised pinning errors.
+	if _, err := it.Resolve("X", "Salaries", "read",
+		Constraint{Role: "Clerk"}); err == nil {
+		t.Fatal("clerk read resolved")
+	}
+	if _, err := it.Resolve("X", "Salaries", "write",
+		Constraint{User: "Mallory"}); err == nil {
+		t.Fatal("unknown user resolved")
+	}
+	if _, err := it.Resolve("nowhere", "Salaries", "read", Constraint{}); err == nil {
+		t.Fatal("unknown system resolved")
+	}
+}
+
+func TestRenderPalette(t *testing.T) {
+	it := New(newRegistry(t))
+	entries, err := it.Palette()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderPalette(entries)
+	for _, frag := range []string{"[X/ejb] Salaries", "[Y/corba] Salaries",
+		"(hostX/srv/finance, Clerk, Alice)", "(hostY/SalesORB, Manager, Claire)"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("palette rendering missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestPaletteEmptyRoleShowsNoCombos(t *testing.T) {
+	reg := middleware.NewRegistry()
+	orb := corba.NewORB("Z", "h", "orb")
+	orb.DefineInterface("Thing", "use")
+	if err := orb.BindObject("t", "Thing", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Permission granted to a role with no members.
+	orb.GrantRole("Ghost", "Thing", "use")
+	reg.Register(orb)
+	it := New(reg)
+	entries, err := it.Palette()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries[0].ByOperation["use"]) != 0 {
+		t.Fatalf("memberless role produced combos: %v", entries[0].ByOperation["use"])
+	}
+	if !strings.Contains(RenderPalette(entries), "no authorised combination") {
+		t.Fatal("empty-combo marker missing")
+	}
+	_ = rbac.User("")
+}

@@ -1,0 +1,300 @@
+// Package keycom implements the KeyCOM automated administration service
+// of Figure 8: a service that accepts policy update requests accompanied
+// by KeyNote credentials and, when the credentials authorise the change,
+// updates the local middleware security configuration (the COM+
+// catalogue in the paper's example; any middleware.System here).
+//
+// KeyCOM "acts, in effect, as an automated Windows/COM administrator,
+// processing client authorisation requests, while the KeyNote
+// cryptographic credentials facilitate users in delegating authorisation
+// without requiring assistance of non-automated (that is, human)
+// administrators."
+//
+// Authorisation model: each requested row change is checked against the
+// service's KeyNote policy with the action attribute set
+//
+//	app_domain = "KeyCOM"
+//	action     = add-role-perm | remove-role-perm |
+//	             add-user-role | remove-user-role
+//	Domain, Role, ObjectType, Permission, User (as applicable)
+//
+// so an administrator can delegate narrow authority ("may add users to
+// the Finance/Manager role") with an ordinary KeyNote credential.
+package keycom
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/rbac"
+)
+
+// AppDomain is the KeyNote application domain of KeyCOM queries.
+const AppDomain = "KeyCOM"
+
+// Actions named in the authorisation attribute set.
+const (
+	ActionAddRolePerm    = "add-role-perm"
+	ActionRemoveRolePerm = "remove-role-perm"
+	ActionAddUserRole    = "add-user-role"
+	ActionRemoveUserRole = "remove-user-role"
+)
+
+// UpdateRequest is one policy update: a requester, the change set, the
+// requester's supporting credentials, and a signature binding the
+// requester to the change.
+type UpdateRequest struct {
+	Requester   string    `json:"requester"`
+	Diff        rbac.Diff `json:"diff"`
+	Credentials []string  `json:"credentials,omitempty"`
+	Sig         string    `json:"sig"`
+}
+
+// payload returns the signed byte string: everything except the
+// signature, deterministically encoded.
+func (r *UpdateRequest) payload() []byte {
+	cp := *r
+	cp.Sig = ""
+	b, err := json.Marshal(&cp)
+	if err != nil {
+		// Only unmarshalable custom types could fail; Diff is plain data.
+		panic(fmt.Sprintf("keycom: marshal payload: %v", err))
+	}
+	return append([]byte("keycom-update|"), b...)
+}
+
+// Sign signs the request with the requester's key.
+func (r *UpdateRequest) Sign(kp *keys.KeyPair) error {
+	if r.Requester != kp.PublicID() {
+		return fmt.Errorf("keycom: requester %q is not key %q", r.Requester, kp.Name)
+	}
+	r.Sig = kp.Sign(r.payload())
+	return nil
+}
+
+// Verify checks the request signature.
+func (r *UpdateRequest) Verify() error {
+	if r.Sig == "" {
+		return errors.New("keycom: unsigned update request")
+	}
+	return keys.Verify(r.Requester, r.payload(), r.Sig)
+}
+
+// Service is a KeyCOM administration service for one middleware system.
+type Service struct {
+	// System is the middleware installation being administered.
+	System middleware.System
+	// Checker holds the service's administration policy.
+	Checker *keynote.Checker
+
+	mu sync.Mutex // serialises policy updates
+}
+
+// NewService creates a KeyCOM service.
+func NewService(sys middleware.System, chk *keynote.Checker) *Service {
+	return &Service{System: sys, Checker: chk}
+}
+
+// Apply validates and applies an update request. Either the whole diff is
+// authorised and applied atomically, or nothing changes.
+func (s *Service) Apply(req *UpdateRequest) error {
+	if err := req.Verify(); err != nil {
+		return err
+	}
+	creds := make([]*keynote.Assertion, 0, len(req.Credentials))
+	for _, text := range req.Credentials {
+		a, err := keynote.Parse(text)
+		if err != nil {
+			return fmt.Errorf("keycom: malformed credential: %w", err)
+		}
+		creds = append(creds, a)
+	}
+	// Authorise every row change before touching the catalogue.
+	for _, e := range req.Diff.AddedRolePerm {
+		if err := s.authorise(req.Requester, creds, ActionAddRolePerm, rolePermAttrs(e)); err != nil {
+			return err
+		}
+	}
+	for _, e := range req.Diff.RemovedRolePerm {
+		if err := s.authorise(req.Requester, creds, ActionRemoveRolePerm, rolePermAttrs(e)); err != nil {
+			return err
+		}
+	}
+	for _, e := range req.Diff.AddedUserRole {
+		if err := s.authorise(req.Requester, creds, ActionAddUserRole, userRoleAttrs(e)); err != nil {
+			return err
+		}
+	}
+	for _, e := range req.Diff.RemovedUserRole {
+		if err := s.authorise(req.Requester, creds, ActionRemoveUserRole, userRoleAttrs(e)); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.System.ApplyDiff(req.Diff)
+}
+
+func rolePermAttrs(e rbac.RolePermEntry) map[string]string {
+	return map[string]string{
+		"Domain":     string(e.Domain),
+		"Role":       string(e.Role),
+		"ObjectType": string(e.ObjectType),
+		"Permission": string(e.Permission),
+	}
+}
+
+func userRoleAttrs(e rbac.UserRoleEntry) map[string]string {
+	return map[string]string{
+		"Domain": string(e.Domain),
+		"Role":   string(e.Role),
+		"User":   string(e.User),
+	}
+}
+
+func (s *Service) authorise(requester string, creds []*keynote.Assertion, action string, attrs map[string]string) error {
+	q := keynote.Query{
+		Authorizers: []string{requester},
+		Attributes:  map[string]string{"app_domain": AppDomain, "action": action},
+	}
+	for k, v := range attrs {
+		q.Attributes[k] = v
+	}
+	res, err := s.Checker.Check(q, creds)
+	if err != nil {
+		return err
+	}
+	if !res.Authorized(nil) {
+		return fmt.Errorf("keycom: requester not authorised for %s (%v)", action, attrs)
+	}
+	return nil
+}
+
+// ---- Network front end (the Figure 8 deployment shape) ----
+
+// Server exposes a Service over TCP with JSON-line requests and
+// responses.
+type Server struct {
+	svc *Service
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type wireResponse struct {
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+}
+
+// ListenAndServe starts the service on addr.
+func ListenAndServe(svc *Service, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("keycom: listen: %w", err)
+	}
+	s := &Server{svc: svc, ln: ln}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.ln.Close()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		var env wireEnvelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		switch {
+		case env.Extract != nil:
+			resp := extractResponse{OK: true}
+			p, err := s.svc.Extract(env.Extract)
+			if err != nil {
+				resp = extractResponse{Err: err.Error()}
+			} else {
+				data, err := json.Marshal(p)
+				if err != nil {
+					resp = extractResponse{Err: err.Error()}
+				} else {
+					resp.Policy = data
+				}
+			}
+			if err := enc.Encode(&resp); err != nil {
+				return
+			}
+		default:
+			req := env.Update
+			if req == nil {
+				// Legacy flat frame: the envelope fields are the update.
+				req = &UpdateRequest{
+					Requester:   env.Requester,
+					Diff:        env.Diff,
+					Credentials: env.Credentials,
+					Sig:         env.Sig,
+				}
+			}
+			resp := wireResponse{OK: true}
+			if err := s.svc.Apply(req); err != nil {
+				resp = wireResponse{OK: false, Err: err.Error()}
+			}
+			if err := enc.Encode(&resp); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Submit sends one signed update request to a remote KeyCOM service.
+func Submit(addr string, req *UpdateRequest) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("keycom: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return err
+	}
+	var resp wireResponse
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		return err
+	}
+	if !resp.OK {
+		return errors.New(resp.Err)
+	}
+	return nil
+}

@@ -1,0 +1,339 @@
+package keycom
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/middleware/complus"
+	"securewebcom/internal/ossec"
+	"securewebcom/internal/rbac"
+)
+
+// figure8 builds the paper's Figure 8 setting: a COM+ catalogue in
+// Windows Server Domain A, administered by a KeyCOM service whose policy
+// trusts the WebCom administration key; the admin key delegates narrow
+// authority to a manager in Domain B.
+type figure8 struct {
+	ks       *keys.KeyStore
+	admin    *keys.KeyPair
+	manager  *keys.KeyPair
+	outsider *keys.KeyPair
+	cat      *complus.Catalogue
+	svc      *Service
+	// managerCred lets the manager add users to Clerk in DOMA.
+	managerCred *keynote.Assertion
+}
+
+func newFigure8(t *testing.T) *figure8 {
+	t.Helper()
+	f := &figure8{ks: keys.NewKeyStore()}
+	f.admin = keys.Deterministic("KWebCom", "keycom")
+	f.manager = keys.Deterministic("Kclaire", "keycom")
+	f.outsider = keys.Deterministic("Kmallory", "keycom")
+	f.ks.Add(f.admin)
+	f.ks.Add(f.manager)
+	f.ks.Add(f.outsider)
+
+	nt := ossec.NewNTDomain("DOMA")
+	f.cat = complus.NewCatalogue("W", nt)
+	f.cat.RegisterClass("SalariesDB.Component", map[string]middleware.Handler{})
+	f.cat.DefineRole("Clerk")
+	f.cat.Grant("Clerk", "SalariesDB.Component", complus.PermAccess)
+
+	policy := []*keynote.Assertion{keynote.MustNew(
+		"POLICY", fmt.Sprintf("%q", f.admin.PublicID()), `app_domain=="KeyCOM";`)}
+	chk, err := keynote.NewChecker(policy, keynote.WithResolver(f.ks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.svc = NewService(f.cat, chk)
+
+	f.managerCred = keynote.MustNew(
+		fmt.Sprintf("%q", f.admin.PublicID()),
+		fmt.Sprintf("%q", f.manager.PublicID()),
+		`app_domain=="KeyCOM" && action=="add-user-role" && Domain=="DOMA" && Role=="Clerk";`)
+	if err := f.managerCred.Sign(f.admin); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func addUserDiff(user string) rbac.Diff {
+	return rbac.Diff{AddedUserRole: []rbac.UserRoleEntry{
+		{User: rbac.User(user), Domain: "DOMA", Role: "Clerk"}}}
+}
+
+func TestAdminCanUpdateDirectly(t *testing.T) {
+	f := newFigure8(t)
+	req := &UpdateRequest{Requester: f.admin.PublicID(), Diff: addUserDiff("Alice")}
+	if err := req.Sign(f.admin); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.svc.Apply(req); err != nil {
+		t.Fatalf("admin update refused: %v", err)
+	}
+	if got, _ := f.cat.CheckAccess("Alice", "DOMA", "SalariesDB.Component", complus.PermAccess); !got {
+		t.Fatal("catalogue not updated")
+	}
+}
+
+func TestDelegatedManagerCanAddClerks(t *testing.T) {
+	f := newFigure8(t)
+	req := &UpdateRequest{
+		Requester:   f.manager.PublicID(),
+		Diff:        addUserDiff("Bob"),
+		Credentials: []string{f.managerCred.Text()},
+	}
+	if err := req.Sign(f.manager); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.svc.Apply(req); err != nil {
+		t.Fatalf("delegated update refused: %v", err)
+	}
+	if members := f.cat.RoleMembers("Clerk"); len(members) != 1 || members[0] != "Bob" {
+		t.Fatalf("RoleMembers = %v", members)
+	}
+}
+
+func TestManagerCannotExceedDelegation(t *testing.T) {
+	f := newFigure8(t)
+	// Removing users was not delegated.
+	req := &UpdateRequest{
+		Requester: f.manager.PublicID(),
+		Diff: rbac.Diff{RemovedUserRole: []rbac.UserRoleEntry{
+			{User: "Alice", Domain: "DOMA", Role: "Clerk"}}},
+		Credentials: []string{f.managerCred.Text()},
+	}
+	if err := req.Sign(f.manager); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.svc.Apply(req); err == nil {
+		t.Fatal("manager removed a user beyond their delegation")
+	}
+	// Nor adding to another role.
+	f.cat.DefineRole("Admins")
+	req2 := &UpdateRequest{
+		Requester: f.manager.PublicID(),
+		Diff: rbac.Diff{AddedUserRole: []rbac.UserRoleEntry{
+			{User: "Eve", Domain: "DOMA", Role: "Admins"}}},
+		Credentials: []string{f.managerCred.Text()},
+	}
+	if err := req2.Sign(f.manager); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.svc.Apply(req2); err == nil {
+		t.Fatal("manager added to a role beyond their delegation")
+	}
+}
+
+func TestOutsiderRejected(t *testing.T) {
+	f := newFigure8(t)
+	req := &UpdateRequest{Requester: f.outsider.PublicID(), Diff: addUserDiff("Eve")}
+	if err := req.Sign(f.outsider); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.svc.Apply(req); err == nil {
+		t.Fatal("outsider update accepted")
+	}
+}
+
+func TestSignatureRequiredAndBinding(t *testing.T) {
+	f := newFigure8(t)
+	// Unsigned.
+	req := &UpdateRequest{Requester: f.admin.PublicID(), Diff: addUserDiff("Alice")}
+	if err := f.svc.Apply(req); err == nil {
+		t.Fatal("unsigned request accepted")
+	}
+	// Signed, then tampered.
+	if err := req.Sign(f.admin); err != nil {
+		t.Fatal(err)
+	}
+	req.Diff = addUserDiff("Mallory")
+	if err := f.svc.Apply(req); err == nil {
+		t.Fatal("tampered request accepted")
+	}
+	// Signed by a key other than the claimed requester.
+	req2 := &UpdateRequest{Requester: f.admin.PublicID(), Diff: addUserDiff("Alice")}
+	if err := req2.Sign(f.outsider); err == nil {
+		t.Fatal("Sign accepted mismatched key")
+	}
+}
+
+func TestAtomicity(t *testing.T) {
+	f := newFigure8(t)
+	// A diff mixing an authorised and an unauthorised change must apply
+	// nothing.
+	req := &UpdateRequest{
+		Requester: f.manager.PublicID(),
+		Diff: rbac.Diff{
+			AddedUserRole: []rbac.UserRoleEntry{
+				{User: "Bob", Domain: "DOMA", Role: "Clerk"},  // allowed
+				{User: "Eve", Domain: "DOMA", Role: "Admins"}, // not allowed
+			},
+		},
+		Credentials: []string{f.managerCred.Text()},
+	}
+	f.cat.DefineRole("Admins")
+	if err := req.Sign(f.manager); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.svc.Apply(req); err == nil {
+		t.Fatal("partially authorised diff accepted")
+	}
+	if members := f.cat.RoleMembers("Clerk"); len(members) != 0 {
+		t.Fatalf("partial application happened: %v", members)
+	}
+}
+
+func TestMalformedCredentialRejected(t *testing.T) {
+	f := newFigure8(t)
+	req := &UpdateRequest{
+		Requester:   f.manager.PublicID(),
+		Diff:        addUserDiff("Bob"),
+		Credentials: []string{"not a credential"},
+	}
+	if err := req.Sign(f.manager); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.svc.Apply(req); err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Fatalf("malformed credential: %v", err)
+	}
+}
+
+func TestNetworkRoundTrip(t *testing.T) {
+	f := newFigure8(t)
+	srv, err := ListenAndServe(f.svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Delegated manager submits over the wire (the Figure 8 flow).
+	req := &UpdateRequest{
+		Requester:   f.manager.PublicID(),
+		Diff:        addUserDiff("Bob"),
+		Credentials: []string{f.managerCred.Text()},
+	}
+	if err := req.Sign(f.manager); err != nil {
+		t.Fatal(err)
+	}
+	if err := Submit(srv.Addr(), req); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if got, _ := f.cat.CheckAccess("Bob", "DOMA", "SalariesDB.Component", complus.PermAccess); !got {
+		t.Fatal("remote update not applied")
+	}
+
+	// An unauthorised remote request surfaces the error.
+	bad := &UpdateRequest{Requester: f.outsider.PublicID(), Diff: addUserDiff("Eve")}
+	if err := bad.Sign(f.outsider); err != nil {
+		t.Fatal(err)
+	}
+	if err := Submit(srv.Addr(), bad); err == nil {
+		t.Fatal("unauthorised remote update accepted")
+	}
+}
+
+func TestExtractLocalAndRemote(t *testing.T) {
+	f := newFigure8(t)
+	// Seed the catalogue with one member.
+	req := &UpdateRequest{Requester: f.admin.PublicID(), Diff: addUserDiff("Alice")}
+	if err := req.Sign(f.admin); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.svc.Apply(req); err != nil {
+		t.Fatal(err)
+	}
+
+	// Admin extracts locally.
+	ext := &ExtractRequest{Requester: f.admin.PublicID()}
+	if err := ext.Sign(f.admin); err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.svc.Extract(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasUserRole("Alice", "DOMA", "Clerk") {
+		t.Fatalf("extracted policy missing row:\n%s", p)
+	}
+
+	// Remote extraction over the wire.
+	srv, err := ListenAndServe(f.svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ext2 := &ExtractRequest{Requester: f.admin.PublicID()}
+	if err := ext2.Sign(f.admin); err != nil {
+		t.Fatal(err)
+	}
+	remote, err := SubmitExtract(srv.Addr(), ext2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !remote.Equal(p) {
+		t.Fatal("remote extraction differs from local")
+	}
+}
+
+func TestExtractRequiresAuthorisation(t *testing.T) {
+	f := newFigure8(t)
+	// The manager's delegation covers add-user-role only, not extract.
+	ext := &ExtractRequest{
+		Requester:   f.manager.PublicID(),
+		Credentials: []string{f.managerCred.Text()},
+	}
+	if err := ext.Sign(f.manager); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.svc.Extract(ext); err == nil {
+		t.Fatal("extract authorised beyond delegation")
+	}
+	// Unsigned request refused.
+	bad := &ExtractRequest{Requester: f.admin.PublicID(), Nonce: "n"}
+	if _, err := f.svc.Extract(bad); err == nil {
+		t.Fatal("unsigned extract accepted")
+	}
+	// A delegated extract right works.
+	cred := keynote.MustNew(
+		fmt.Sprintf("%q", f.admin.PublicID()), fmt.Sprintf("%q", f.manager.PublicID()),
+		`app_domain=="KeyCOM" && action=="extract";`)
+	if err := cred.Sign(f.admin); err != nil {
+		t.Fatal(err)
+	}
+	ok := &ExtractRequest{
+		Requester:   f.manager.PublicID(),
+		Credentials: []string{cred.Text()},
+	}
+	if err := ok.Sign(f.manager); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.svc.Extract(ok); err != nil {
+		t.Fatalf("delegated extract refused: %v", err)
+	}
+}
+
+func TestLegacyFlatUpdateFrameStillWorks(t *testing.T) {
+	f := newFigure8(t)
+	srv, err := ListenAndServe(f.svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Submit uses the flat frame (no envelope).
+	req := &UpdateRequest{Requester: f.admin.PublicID(), Diff: addUserDiff("Flat")}
+	if err := req.Sign(f.admin); err != nil {
+		t.Fatal(err)
+	}
+	if err := Submit(srv.Addr(), req); err != nil {
+		t.Fatalf("legacy flat update refused: %v", err)
+	}
+	if got, _ := f.cat.CheckAccess("Flat", "DOMA", "SalariesDB.Component", complus.PermAccess); !got {
+		t.Fatal("flat update not applied")
+	}
+}

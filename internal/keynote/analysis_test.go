@@ -1,0 +1,161 @@
+package keynote
+
+import (
+	"errors"
+	"sort"
+	"testing"
+)
+
+func mustDNF(t *testing.T, src string) []Conjunct {
+	t.Helper()
+	p, err := ParseConditions(src, nil)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	cs, err := p.DNF()
+	if err != nil {
+		t.Fatalf("DNF(%q): %v", src, err)
+	}
+	return cs
+}
+
+func conjunctStrings(cs []Conjunct) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestDNFSimpleConjunction(t *testing.T) {
+	cs := mustDNF(t, `app_domain=="WebCom" && Domain=="Finance" && Role=="Manager";`)
+	if len(cs) != 1 {
+		t.Fatalf("got %d conjuncts", len(cs))
+	}
+	c := cs[0]
+	if c["app_domain"] != "WebCom" || c["Domain"] != "Finance" || c["Role"] != "Manager" {
+		t.Fatalf("conjunct = %v", c)
+	}
+}
+
+func TestDNFFigure5Shape(t *testing.T) {
+	// The paper's Figure 5 conditions.
+	src := `app_domain == "WebCom" && ObjectType == "SalariesDB" &&
+	  ((Domain=="Sales" && Role=="Manager" && Permission=="read") ||
+	   (Domain=="Finance" && Role=="Manager" && (Permission=="read"||Permission=="write")) ||
+	   (Domain=="Finance" && Role=="Clerk" && Permission=="write"));`
+	cs := mustDNF(t, src)
+	if len(cs) != 4 {
+		t.Fatalf("got %d conjuncts, want 4:\n%v", len(cs), conjunctStrings(cs))
+	}
+	// Every conjunct carries the outer bindings.
+	for _, c := range cs {
+		if c["app_domain"] != "WebCom" || c["ObjectType"] != "SalariesDB" {
+			t.Fatalf("outer bindings lost: %v", c)
+		}
+	}
+	// Check one specific expansion.
+	found := false
+	for _, c := range cs {
+		if c["Domain"] == "Finance" && c["Role"] == "Manager" && c["Permission"] == "write" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing Finance/Manager/write conjunct: %v", conjunctStrings(cs))
+	}
+}
+
+func TestDNFReversedEquality(t *testing.T) {
+	cs := mustDNF(t, `"read" == oper;`)
+	if len(cs) != 1 || cs[0]["oper"] != "read" {
+		t.Fatalf("reversed equality: %v", cs)
+	}
+}
+
+func TestDNFContradictionDropped(t *testing.T) {
+	cs := mustDNF(t, `a=="x" && a=="y";`)
+	if len(cs) != 0 {
+		t.Fatalf("contradictory conjunct survived: %v", cs)
+	}
+	// But a disjunction alongside survives.
+	cs = mustDNF(t, `(a=="x" && a=="y") || b=="z";`)
+	if len(cs) != 1 || cs[0]["b"] != "z" {
+		t.Fatalf("got %v", cs)
+	}
+}
+
+func TestDNFTrueFalse(t *testing.T) {
+	cs := mustDNF(t, `true;`)
+	if len(cs) != 1 || len(cs[0]) != 0 {
+		t.Fatalf("true: %v", cs)
+	}
+	cs = mustDNF(t, `false;`)
+	if len(cs) != 0 {
+		t.Fatalf("false: %v", cs)
+	}
+	cs = mustDNF(t, `false || a=="x";`)
+	if len(cs) != 1 {
+		t.Fatalf("false||: %v", cs)
+	}
+}
+
+func TestDNFMultipleClausesAreDisjunction(t *testing.T) {
+	cs := mustDNF(t, `a=="1"; b=="2";`)
+	if len(cs) != 2 {
+		t.Fatalf("got %v", cs)
+	}
+}
+
+func TestDNFRejectsOutsideFragment(t *testing.T) {
+	for _, src := range []string{
+		`@level > 5;`,
+		`a ~= "x";`,
+		`a != "x";`,
+		`!(a=="x");`,
+		`a=="x" -> "low";`,
+		`a=="x" -> { b=="y"; };`,
+		`a == b;`,      // attr == attr
+		`"x" == "y";`,  // lit == lit
+		`$("a")=="x";`, // indirection
+	} {
+		p, err := ParseConditions(src, nil)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := p.DNF(); !errors.Is(err, ErrNotTranslatable) {
+			t.Errorf("DNF(%q) = %v, want ErrNotTranslatable", src, err)
+		}
+	}
+	var nilProg *Program
+	if _, err := nilProg.DNF(); !errors.Is(err, ErrNotTranslatable) {
+		t.Error("nil program must not be translatable")
+	}
+}
+
+// Property-style check: every DNF conjunct, used as an attribute set,
+// satisfies the original program; and attribute sets from *other*
+// disjuncts of a mutually exclusive program do not cross-satisfy.
+func TestDNFSoundness(t *testing.T) {
+	src := `(Domain=="Sales" && Role=="Manager") || (Domain=="Finance" && Role=="Clerk");`
+	p, err := ParseConditions(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := p.DNF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cs {
+		env := newEnv(c, DefaultValues, nil)
+		if evalProgram(p, env) != 1 {
+			t.Fatalf("conjunct %v does not satisfy its own program", c)
+		}
+	}
+	// A mixed assignment satisfying neither disjunct.
+	env := newEnv(map[string]string{"Domain": "Sales", "Role": "Clerk"}, DefaultValues, nil)
+	if evalProgram(p, env) != 0 {
+		t.Fatal("mixed assignment unexpectedly satisfies program")
+	}
+}

@@ -1,0 +1,486 @@
+// Package keynote is a from-scratch implementation of the KeyNote
+// trust-management system (M. Blaze et al., RFC 2704) as used by Secure
+// WebCom. It provides:
+//
+//   - parsing and canonical rendering of KeyNote assertions (policies and
+//     credentials) with KeyNote-Version, Local-Constants, Authorizer,
+//     Licensees, Conditions, Comment and Signature fields;
+//   - the C-like Conditions expression language, including string, integer
+//     and float operations, regular-expression matching (~=), indirect
+//     attribute references ($), numeric dereferences (@, &), and nested
+//     clause programs with application-defined compliance values;
+//   - the Licensees algebra (&&, ||, K-of thresholds);
+//   - the compliance checker: given policy assertions, signed credentials
+//     and an action attribute set, compute the compliance value of a
+//     request made by a set of principals; and
+//   - Ed25519 credential signing and verification via internal/keys.
+//
+// The special principal name "POLICY" denotes unconditionally trusted
+// local policy roots, exactly as in RFC 2704.
+package keynote
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"securewebcom/internal/keys"
+)
+
+// PolicyPrincipal is the distinguished authorizer of local policy
+// assertions.
+const PolicyPrincipal = "POLICY"
+
+// DefaultValues is the boolean compliance-value ordering used when a query
+// does not supply its own (weakest first).
+var DefaultValues = []string{"false", "true"}
+
+// Assertion is a parsed KeyNote assertion. Policies have Authorizer
+// "POLICY" and no signature; credentials are signed by their Authorizer.
+type Assertion struct {
+	// Version is the KeyNote-Version field (normally "2").
+	Version string
+	// Comment is free text, excluded from no semantics.
+	Comment string
+	// ConstNames and Constants hold Local-Constants bindings in
+	// declaration order (names) and by name (values).
+	ConstNames []string
+	Constants  map[string]string
+
+	// AuthorizerRaw is the Authorizer field as written (a quoted key, a
+	// local-constant name, or POLICY). Authorizer is the resolved
+	// principal after constant substitution.
+	AuthorizerRaw string
+	Authorizer    string
+
+	// LicenseesRaw is the Licensees field text; Licensees is its parsed
+	// form (nil when the field is empty).
+	LicenseesRaw string
+	Licensees    LicExpr
+
+	// ConditionsRaw is the Conditions field text; Conditions is its parsed
+	// program (nil for an empty field, meaning no restriction).
+	ConditionsRaw string
+	Conditions    *Program
+
+	// Signature is the canonical textual signature, empty for local policy.
+	Signature string
+}
+
+// field names, canonical order for rendering.
+var fieldOrder = []string{
+	"keynote-version", "comment", "local-constants", "authorizer",
+	"licensees", "conditions", "signature",
+}
+
+// Parse parses a single KeyNote assertion from text. Fields begin at the
+// start of a line as "Name: value"; continuation lines are indented. Lines
+// whose first non-blank character is '#' are comments. Field names are
+// case-insensitive.
+func Parse(text string) (*Assertion, error) {
+	fields, err := splitFields(text)
+	if err != nil {
+		return nil, err
+	}
+	a := &Assertion{Version: "2", Constants: map[string]string{}}
+	for _, f := range fields {
+		switch f.name {
+		case "keynote-version":
+			a.Version = strings.TrimSpace(f.value)
+		case "comment":
+			a.Comment = strings.TrimSpace(f.value)
+		case "local-constants":
+			if err := a.parseConstants(f.value); err != nil {
+				return nil, err
+			}
+		case "authorizer":
+			a.AuthorizerRaw = normalizeSpace(f.value)
+		case "licensees":
+			a.LicenseesRaw = normalizeSpace(f.value)
+		case "conditions":
+			a.ConditionsRaw = normalizeSpace(f.value)
+		case "signature":
+			a.Signature = strings.TrimSpace(f.value)
+		default:
+			return nil, fmt.Errorf("keynote: unknown assertion field %q", f.name)
+		}
+	}
+	if err := a.compile(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ParseAll parses a sequence of assertions separated by one or more blank
+// lines (a common on-disk format for credential files).
+func ParseAll(text string) ([]*Assertion, error) {
+	var out []*Assertion
+	for _, chunk := range splitAssertionChunks(text) {
+		a, err := Parse(chunk)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// splitAssertionChunks splits on blank lines, keeping non-empty chunks.
+func splitAssertionChunks(text string) []string {
+	var chunks []string
+	var cur []string
+	flush := func() {
+		if len(cur) > 0 {
+			chunks = append(chunks, strings.Join(cur, "\n"))
+			cur = nil
+		}
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.TrimSpace(line) == "" {
+			flush()
+			continue
+		}
+		cur = append(cur, line)
+	}
+	flush()
+	return chunks
+}
+
+type rawField struct {
+	name  string
+	value string
+}
+
+func splitFields(text string) ([]rawField, error) {
+	var fields []rawField
+	lines := strings.Split(text, "\n")
+	for i := 0; i < len(lines); i++ {
+		line := lines[i]
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if line[0] == ' ' || line[0] == '\t' {
+			// Continuation of the previous field.
+			if len(fields) == 0 {
+				return nil, errors.New("keynote: continuation line before any field")
+			}
+			fields[len(fields)-1].value += "\n" + trimmed
+			continue
+		}
+		colon := strings.Index(line, ":")
+		if colon < 0 {
+			return nil, fmt.Errorf("keynote: malformed field line %q", trimmed)
+		}
+		name := strings.ToLower(strings.TrimSpace(line[:colon]))
+		if !isFieldName(name) {
+			return nil, fmt.Errorf("keynote: unknown assertion field %q", name)
+		}
+		fields = append(fields, rawField{name: name, value: strings.TrimSpace(line[colon+1:])})
+	}
+	if len(fields) == 0 {
+		return nil, errors.New("keynote: empty assertion")
+	}
+	return fields, nil
+}
+
+func isFieldName(name string) bool {
+	for _, f := range fieldOrder {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// parseConstants scans Local-Constants Name = "value" pairs. It does not
+// use the expression lexer, which has no single '=' token.
+func (a *Assertion) parseConstants(src string) error {
+	s := src
+	for {
+		s = strings.TrimLeft(s, " \t\n\r")
+		if s == "" {
+			return nil
+		}
+		// Name.
+		j := 0
+		for j < len(s) && isIdentPart(s[j]) {
+			j++
+		}
+		if j == 0 {
+			return fmt.Errorf("keynote: local-constants: expected name at %q", truncate(s, 20))
+		}
+		name := s[:j]
+		s = strings.TrimLeft(s[j:], " \t\n\r")
+		if !strings.HasPrefix(s, "=") {
+			return fmt.Errorf("keynote: local-constants: expected '=' after %q", name)
+		}
+		s = strings.TrimLeft(s[1:], " \t\n\r")
+		if !strings.HasPrefix(s, `"`) {
+			return fmt.Errorf("keynote: local-constants: expected quoted value for %q", name)
+		}
+		end := 1
+		for end < len(s) && s[end] != '"' {
+			if s[end] == '\\' {
+				end++
+			}
+			end++
+		}
+		if end >= len(s) {
+			return fmt.Errorf("keynote: local-constants: unterminated value for %q", name)
+		}
+		val := s[1:end]
+		s = s[end+1:]
+		if _, dup := a.Constants[name]; !dup {
+			a.ConstNames = append(a.ConstNames, name)
+		}
+		a.Constants[name] = val
+	}
+}
+
+// compile resolves constants and parses the Licensees and Conditions
+// fields. It is called by Parse and must be called after programmatic
+// construction (New does so).
+func (a *Assertion) compile() error {
+	if a.AuthorizerRaw == "" {
+		return errors.New("keynote: assertion has no Authorizer field")
+	}
+	a.Authorizer = a.resolvePrincipal(a.AuthorizerRaw)
+	lic, err := ParseLicensees(a.LicenseesRaw, a.Constants)
+	if err != nil {
+		return fmt.Errorf("keynote: licensees: %w", err)
+	}
+	a.Licensees = lic
+	if strings.TrimSpace(a.ConditionsRaw) != "" {
+		prog, err := ParseConditions(a.ConditionsRaw, a.Constants)
+		if err != nil {
+			return fmt.Errorf("keynote: conditions: %w", err)
+		}
+		a.Conditions = prog
+	} else {
+		a.Conditions = nil
+	}
+	return nil
+}
+
+// resolvePrincipal strips quotes and applies Local-Constants substitution
+// to a principal written in an Authorizer field.
+func (a *Assertion) resolvePrincipal(raw string) string {
+	s := strings.TrimSpace(raw)
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	if v, ok := a.Constants[s]; ok {
+		return v
+	}
+	return s
+}
+
+// New constructs an assertion programmatically and compiles it.
+// authorizer and licensees are field texts (principals normally quoted),
+// conditions is the conditions program text (may be "").
+func New(authorizer, licensees, conditions string) (*Assertion, error) {
+	a := &Assertion{
+		Version:       "2",
+		Constants:     map[string]string{},
+		AuthorizerRaw: normalizeSpace(authorizer),
+		LicenseesRaw:  normalizeSpace(licensees),
+		ConditionsRaw: normalizeSpace(conditions),
+	}
+	if err := a.compile(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// MustNew is New for static assertions in tests and the figure harness.
+func MustNew(authorizer, licensees, conditions string) *Assertion {
+	a, err := New(authorizer, licensees, conditions)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// WithConstants attaches Local-Constants bindings (in the order given as
+// name, value pairs) and recompiles. It returns the assertion for chaining.
+func (a *Assertion) WithConstants(pairs ...string) (*Assertion, error) {
+	if len(pairs)%2 != 0 {
+		return nil, errors.New("keynote: WithConstants requires name/value pairs")
+	}
+	for i := 0; i < len(pairs); i += 2 {
+		if _, dup := a.Constants[pairs[i]]; !dup {
+			a.ConstNames = append(a.ConstNames, pairs[i])
+		}
+		a.Constants[pairs[i]] = pairs[i+1]
+	}
+	if err := a.compile(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// WithComment sets the Comment field and returns the assertion.
+func (a *Assertion) WithComment(c string) *Assertion {
+	a.Comment = c
+	return a
+}
+
+// IsPolicy reports whether this is a local policy assertion.
+func (a *Assertion) IsPolicy() bool { return a.Authorizer == PolicyPrincipal }
+
+// Text renders the assertion canonically, including the signature if set.
+func (a *Assertion) Text() string { return a.render(true) }
+
+// SignedText renders the portion of the assertion covered by the
+// signature: every field except Signature, in canonical order and spacing.
+// Signer and verifier both use this canonical form, so assertions may be
+// reformatted in transit without invalidating signatures.
+func (a *Assertion) SignedText() string { return a.render(false) }
+
+func (a *Assertion) render(withSig bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "KeyNote-Version: %s\n", a.Version)
+	if a.Comment != "" {
+		fmt.Fprintf(&b, "Comment: %s\n", a.Comment)
+	}
+	if len(a.ConstNames) > 0 {
+		b.WriteString("Local-Constants:")
+		for _, n := range a.ConstNames {
+			fmt.Fprintf(&b, " %s=%q", n, a.Constants[n])
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "Authorizer: %s\n", a.AuthorizerRaw)
+	if a.LicenseesRaw != "" {
+		fmt.Fprintf(&b, "Licensees: %s\n", a.LicenseesRaw)
+	}
+	if a.ConditionsRaw != "" {
+		fmt.Fprintf(&b, "Conditions: %s\n", a.ConditionsRaw)
+	}
+	if withSig && a.Signature != "" {
+		fmt.Fprintf(&b, "Signature: %s\n", a.Signature)
+	}
+	return b.String()
+}
+
+// normalizeSpace collapses runs of whitespace outside string literals into
+// single spaces, yielding a canonical one-line field text.
+func normalizeSpace(s string) string {
+	var b strings.Builder
+	inStr := false
+	lastSpace := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inStr {
+			switch c {
+			case '\n':
+				// Field values are logically one line; a raw newline
+				// inside a string literal becomes its escape so the
+				// rendered assertion stays parseable.
+				b.WriteString(`\n`)
+			case '\r':
+				// Stripped: carriage returns have no escape in the
+				// grammar and carry no meaning in credentials.
+			case '\t':
+				b.WriteString(`\t`)
+			case '\\':
+				b.WriteByte(c)
+				if i+1 < len(s) {
+					i++
+					b.WriteByte(s[i])
+				}
+			default:
+				b.WriteByte(c)
+				if c == '"' {
+					inStr = false
+				}
+			}
+			continue
+		}
+		switch {
+		case c == '"':
+			inStr = true
+			b.WriteByte(c)
+			lastSpace = false
+		case isSpace(c):
+			if !lastSpace && b.Len() > 0 {
+				b.WriteByte(' ')
+				lastSpace = true
+			}
+		default:
+			b.WriteByte(c)
+			lastSpace = false
+		}
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+// Sign signs the assertion with kp. The assertion's Authorizer must be
+// kp's public key, kp's advisory name, or a local constant bound to the
+// key; otherwise signing is refused (an authorizer can only speak for
+// itself).
+func (a *Assertion) Sign(kp *keys.KeyPair) error {
+	if a.IsPolicy() {
+		return errors.New("keynote: POLICY assertions are local and unsigned")
+	}
+	if a.Authorizer != kp.PublicID() && a.Authorizer != kp.Name {
+		return fmt.Errorf("keynote: authorizer %q is not key %q (%s)",
+			a.Authorizer, kp.Name, truncate(kp.PublicID(), 24))
+	}
+	a.Signature = kp.Sign([]byte(a.SignedText()))
+	return nil
+}
+
+// Resolver maps principal names (e.g. the paper's "Kbob") to canonical key
+// IDs. keys.KeyStore satisfies it.
+type Resolver interface {
+	Resolve(nameOrID string) (string, error)
+}
+
+// VerifySignature checks the assertion's signature against its Authorizer.
+// If the authorizer is not a canonical key ID, resolver (may be nil) is
+// consulted. Policy assertions are unsigned and always verify.
+func (a *Assertion) VerifySignature(resolver Resolver) error {
+	if a.IsPolicy() {
+		return nil
+	}
+	if a.Signature == "" {
+		return fmt.Errorf("keynote: credential from %q is unsigned", truncate(a.Authorizer, 24))
+	}
+	id := a.Authorizer
+	if !keys.IsPublicID(id) {
+		if resolver == nil {
+			return fmt.Errorf("keynote: cannot resolve authorizer %q to a key", id)
+		}
+		rid, err := resolver.Resolve(id)
+		if err != nil {
+			return fmt.Errorf("keynote: resolve authorizer %q: %w", id, err)
+		}
+		id = rid
+	}
+	if err := keys.Verify(id, []byte(a.SignedText()), a.Signature); err != nil {
+		return fmt.Errorf("keynote: credential from %q: %w", truncate(a.Authorizer, 24), err)
+	}
+	return nil
+}
+
+// LicenseePrincipals returns the sorted, de-duplicated principals named in
+// the Licensees field.
+func (a *Assertion) LicenseePrincipals() []string {
+	if a.Licensees == nil {
+		return nil
+	}
+	ps := a.Licensees.Principals(nil)
+	sort.Strings(ps)
+	out := ps[:0]
+	var last string
+	for i, p := range ps {
+		if i == 0 || p != last {
+			out = append(out, p)
+		}
+		last = p
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package keynote
+
+import (
+	"strings"
+	"testing"
+
+	"securewebcom/internal/keys"
+)
+
+const fig2Text = `KeyNote-Version: 2
+Authorizer: POLICY
+Licensees: "Kbob"
+Conditions: app_domain=="SalariesDB" &&
+    (oper=="read" || oper=="write");
+`
+
+func TestParseFigure2(t *testing.T) {
+	a, err := Parse(fig2Text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !a.IsPolicy() {
+		t.Fatal("figure 2 is a POLICY assertion")
+	}
+	if got := a.LicenseePrincipals(); len(got) != 1 || got[0] != "Kbob" {
+		t.Fatalf("licensees = %v", got)
+	}
+	if a.Conditions == nil || len(a.Conditions.Clauses) != 1 {
+		t.Fatal("conditions not parsed")
+	}
+}
+
+func TestParseCaseInsensitiveFields(t *testing.T) {
+	a, err := Parse("authorizer: POLICY\nLICENSEES: \"K1\"\nconditions: x==\"1\";\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if a.Authorizer != PolicyPrincipal || a.LicenseesRaw != `"K1"` {
+		t.Fatalf("parsed: %+v", a)
+	}
+}
+
+func TestParseCommentsAndBlankLines(t *testing.T) {
+	a, err := Parse("# leading comment\nAuthorizer: POLICY\n# mid comment\nLicensees: \"K1\"\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if a.Authorizer != PolicyPrincipal {
+		t.Fatal("comment lines broke parsing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"Nonsense-Field: x\n",
+		"no colon line\n",
+		"    continuation first\n",
+		"Authorizer: POLICY\nLicensees: \"K1\" &&\n", // bad licensees
+		"Authorizer: POLICY\nConditions: a == \n",    // bad conditions
+		"Licensees: \"K1\"\n",                        // no authorizer
+		"Authorizer: POLICY\nLocal-Constants: K1\n",  // no '='
+		"Authorizer: POLICY\nLocal-Constants: K1=\"unterminated\n",
+		"Authorizer: POLICY\nLocal-Constants: =\"v\"\n",
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q): expected error", c)
+		}
+	}
+}
+
+func TestLocalConstantsSubstitution(t *testing.T) {
+	kb := keys.Deterministic("Kbob", "lc")
+	text := "KeyNote-Version: 2\n" +
+		"Local-Constants: Kbob=\"" + kb.PublicID() + "\"\n" +
+		"Authorizer: POLICY\n" +
+		"Licensees: Kbob\n" +
+		"Conditions: signer==Kbob;\n"
+	a, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := a.LicenseePrincipals(); len(got) != 1 || got[0] != kb.PublicID() {
+		t.Fatalf("constant not substituted in licensees: %v", got)
+	}
+	// And in conditions: signer attribute must compare against the key.
+	e := newEnv(map[string]string{"signer": kb.PublicID()}, DefaultValues, nil)
+	if evalProgram(a.Conditions, e) != 1 {
+		t.Fatal("constant not substituted in conditions")
+	}
+}
+
+func TestRenderParseRoundTrip(t *testing.T) {
+	a := MustNew("POLICY", `"Kbob" && ("Kc" || 2-of("K1","K2","K3"))`,
+		`app_domain=="WebCom" && Domain=="Finance" -> "true";`).
+		WithComment("round trip")
+	text := a.Text()
+	b, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	if b.Text() != text {
+		t.Fatalf("render not idempotent:\n%q\n%q", text, b.Text())
+	}
+	if b.Comment != "round trip" {
+		t.Fatal("comment lost")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	ks := keys.NewKeyStore()
+	kb := keys.Deterministic("Kbob", "sv")
+	ks.Add(kb)
+
+	a := MustNew(`"`+kb.PublicID()+`"`, `"Kalice"`, `oper=="write";`)
+	if err := a.Sign(kb); err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if err := a.VerifySignature(ks); err != nil {
+		t.Fatalf("VerifySignature: %v", err)
+	}
+
+	// Tampering with the conditions must break the signature.
+	tampered, err := Parse(strings.Replace(a.Text(), `oper=="write"`, `oper=="read"`, 1))
+	if err != nil {
+		t.Fatalf("parse tampered: %v", err)
+	}
+	if err := tampered.VerifySignature(ks); err == nil {
+		t.Fatal("tampered credential verified")
+	}
+}
+
+func TestSignByNameWithResolver(t *testing.T) {
+	ks := keys.NewKeyStore()
+	kb := keys.Deterministic("Kbob", "sn")
+	ks.Add(kb)
+
+	// Paper-style credential: authorizer written as "Kbob".
+	a := MustNew(`"Kbob"`, `"Kalice"`, `app_domain=="SalariesDB" && oper=="write";`)
+	if err := a.Sign(kb); err != nil {
+		t.Fatalf("Sign by name: %v", err)
+	}
+	if err := a.VerifySignature(ks); err != nil {
+		t.Fatalf("VerifySignature via resolver: %v", err)
+	}
+	// Without a resolver, the name cannot be verified.
+	if err := a.VerifySignature(nil); err == nil {
+		t.Fatal("name-authorized credential verified without resolver")
+	}
+}
+
+func TestSignRefusesWrongKey(t *testing.T) {
+	kb := keys.Deterministic("Kbob", "wk")
+	ka := keys.Deterministic("Kalice", "wk")
+	a := MustNew(`"`+kb.PublicID()+`"`, `"Kx"`, "")
+	if err := a.Sign(ka); err == nil {
+		t.Fatal("signed with a key that is not the authorizer")
+	}
+}
+
+func TestSignRefusesPolicy(t *testing.T) {
+	kb := keys.Deterministic("Kbob", "sp")
+	a := MustNew("POLICY", `"Kx"`, "")
+	if err := a.Sign(kb); err == nil {
+		t.Fatal("POLICY assertion signed")
+	}
+}
+
+func TestUnsignedCredentialRejected(t *testing.T) {
+	a := MustNew(`"Kbob"`, `"Kalice"`, "")
+	if err := a.VerifySignature(nil); err == nil {
+		t.Fatal("unsigned credential verified")
+	}
+}
+
+func TestSignatureSurvivesReformatting(t *testing.T) {
+	ks := keys.NewKeyStore()
+	kb := keys.Deterministic("Kbob", "rf")
+	ks.Add(kb)
+	a := MustNew(`"Kbob"`, `"Kalice"`, `app_domain == "SalariesDB"  &&   oper=="write";`)
+	if err := a.Sign(kb); err != nil {
+		t.Fatal(err)
+	}
+	// Reflow the text with different whitespace (as mail transport or
+	// line wrapping might) and re-parse.
+	reflowed := strings.Replace(a.Text(),
+		`Conditions: app_domain == "SalariesDB" && oper=="write";`,
+		"Conditions: app_domain == \"SalariesDB\"\n    && oper==\"write\";", 1)
+	b, err := Parse(reflowed)
+	if err != nil {
+		t.Fatalf("parse reflowed: %v", err)
+	}
+	if err := b.VerifySignature(ks); err != nil {
+		t.Fatalf("reflowed credential failed verification: %v", err)
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	text := fig2Text + "\n\n" +
+		"Authorizer: \"Kbob\"\nLicensees: \"Kalice\"\nConditions: oper==\"write\";\n"
+	as, err := ParseAll(text)
+	if err != nil {
+		t.Fatalf("ParseAll: %v", err)
+	}
+	if len(as) != 2 {
+		t.Fatalf("got %d assertions, want 2", len(as))
+	}
+	if !as[0].IsPolicy() || as[1].Authorizer != "Kbob" {
+		t.Fatalf("wrong assertions: %v / %v", as[0].Authorizer, as[1].Authorizer)
+	}
+}
+
+func TestNormalizeSpacePreservesStrings(t *testing.T) {
+	got := normalizeSpace("a  ==   \"x  y\"  &&\n\tb==\"z\"")
+	want := `a == "x  y" && b=="z"`
+	if got != want {
+		t.Fatalf("normalizeSpace = %q, want %q", got, want)
+	}
+}
+
+func TestWithConstantsChaining(t *testing.T) {
+	a := MustNew("POLICY", "Alice", "")
+	a, err := a.WithConstants("Alice", "ed25519:deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.LicenseePrincipals(); len(got) != 1 || got[0] != "ed25519:deadbeef" {
+		t.Fatalf("constants not applied: %v", got)
+	}
+	if _, err := a.WithConstants("odd"); err == nil {
+		t.Fatal("odd pair count accepted")
+	}
+}

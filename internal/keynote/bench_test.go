@@ -1,0 +1,79 @@
+package keynote
+
+import (
+	"testing"
+
+	"securewebcom/internal/keys"
+)
+
+func BenchmarkConditionEval(b *testing.B) {
+	cases := map[string]string{
+		"equalities": `app_domain=="WebCom" && Domain=="Finance" && Role=="Manager" && Permission=="write";`,
+		"arithmetic": `@level * 2 + 1 > 10 && &ratio / 2.0 < 0.4;`,
+		"regex":      `name ~= "^finance\\.(manager|clerk)$";`,
+		"nested":     `a=="1" -> { b=="2" -> "true"; c=="3"; };`,
+	}
+	attrs := map[string]string{
+		"app_domain": "WebCom", "Domain": "Finance", "Role": "Manager",
+		"Permission": "write", "level": "7", "ratio": "0.5",
+		"name": "finance.manager", "a": "1", "b": "2", "c": "3",
+	}
+	for name, src := range cases {
+		b.Run(name, func(b *testing.B) {
+			prog, err := ParseConditions(src, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := newEnv(attrs, DefaultValues, []string{"K"})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if evalProgram(prog, e) != 1 {
+					b.Fatal("unexpected evaluation result")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDNF(b *testing.B) {
+	src := `app_domain == "WebCom" && ObjectType == "SalariesDB" &&
+	  ((Domain=="Sales" && Role=="Manager" && Permission=="read") ||
+	   (Domain=="Finance" && Role=="Manager" && (Permission=="read"||Permission=="write")) ||
+	   (Domain=="Finance" && Role=="Clerk" && Permission=="write"));`
+	prog, err := ParseConditions(src, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cs, err := prog.DNF()
+		if err != nil || len(cs) != 4 {
+			b.Fatalf("%d conjuncts, %v", len(cs), err)
+		}
+	}
+}
+
+func BenchmarkSignatureVerify(b *testing.B) {
+	ks := keys.NewKeyStore()
+	kb := keys.Deterministic("Kbob", "bench-kn")
+	ks.Add(kb)
+	a := MustNew(`"Kbob"`, `"Kalice"`, `app_domain=="SalariesDB" && oper=="write";`)
+	if err := a.Sign(kb); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := a.VerifySignature(ks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNormalizeSpace(b *testing.B) {
+	src := `app_domain   ==  "Sal ariesDB"   &&
+		(oper=="read" ||    oper == "write")  `
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		normalizeSpace(src)
+	}
+}

@@ -1,0 +1,230 @@
+package keynote
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Query describes one authorisation question put to the compliance
+// checker, mirroring the RFC 2704 / KeyNote API query parameters.
+type Query struct {
+	// Authorizers are the principals that (directly) requested the action
+	// — the "action authorizers". At least one is required.
+	Authorizers []string
+	// Attributes is the action attribute set characterising the request.
+	Attributes map[string]string
+	// Values is the ordered compliance-value set, weakest first. Nil
+	// means DefaultValues ("false" < "true").
+	Values []string
+}
+
+// Result is the outcome of a compliance check.
+type Result struct {
+	// Value is the compliance value of the request and Index its position
+	// in the ordering (0 = _MIN_TRUST).
+	Value string
+	Index int
+	// Rejected lists credentials excluded from the computation together
+	// with the reason (signature failure, resolution failure).
+	Rejected []RejectedCredential
+	// PrincipalValues records the final fixpoint valuation of every
+	// principal encountered, for explanation and debugging.
+	PrincipalValues map[string]string
+}
+
+// Authorized reports whether the result reached _MAX_TRUST. For the
+// default boolean ordering this is the usual allow/deny answer.
+func (r Result) Authorized(values []string) bool {
+	if values == nil {
+		values = DefaultValues
+	}
+	return r.Index == len(values)-1
+}
+
+// RejectedCredential records why a submitted credential was ignored.
+type RejectedCredential struct {
+	Authorizer string
+	Reason     string
+}
+
+// Checker evaluates queries against a fixed set of policy assertions. It
+// is the long-lived object an application (WebCom, KeyCOM, the middleware
+// adapters) holds; credentials arrive per-query.
+type Checker struct {
+	policy   []*Assertion
+	resolver Resolver
+	// skipVerify disables signature checking; used only by tests and by
+	// benchmarks isolating the graph computation.
+	skipVerify bool
+}
+
+// CheckerOption configures a Checker.
+type CheckerOption func(*Checker)
+
+// WithResolver supplies a principal-name resolver (normally a
+// keys.KeyStore) used for signature verification and principal
+// canonicalisation.
+func WithResolver(r Resolver) CheckerOption {
+	return func(c *Checker) { c.resolver = r }
+}
+
+// WithoutSignatureVerification disables credential signature checking.
+// Only for tests and benchmarks.
+func WithoutSignatureVerification() CheckerOption {
+	return func(c *Checker) { c.skipVerify = true }
+}
+
+// NewChecker builds a Checker over the given local policy assertions.
+// Every policy assertion must have Authorizer POLICY.
+func NewChecker(policy []*Assertion, opts ...CheckerOption) (*Checker, error) {
+	for _, p := range policy {
+		if !p.IsPolicy() {
+			return nil, fmt.Errorf("keynote: assertion authorised by %q supplied as policy (must be POLICY)",
+				truncate(p.Authorizer, 24))
+		}
+	}
+	c := &Checker{policy: policy}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Policy returns the checker's policy assertions.
+func (c *Checker) Policy() []*Assertion { return c.policy }
+
+// Check computes the compliance value of the query given the submitted
+// credentials. Credentials failing signature verification are skipped and
+// reported in Result.Rejected; they never abort the query (an attacker
+// must not be able to poison a request by attaching garbage).
+func (c *Checker) Check(q Query, credentials []*Assertion) (Result, error) {
+	if len(q.Authorizers) == 0 {
+		return Result{}, errors.New("keynote: query has no action authorizers")
+	}
+	values := q.Values
+	if values == nil {
+		values = DefaultValues
+	}
+	if len(values) < 2 {
+		return Result{}, errors.New("keynote: compliance-value ordering needs at least two values")
+	}
+
+	res := Result{PrincipalValues: make(map[string]string)}
+
+	// Canonicalise principals so that "Kbob" and its key ID unify.
+	canon := func(p string) string {
+		if p == PolicyPrincipal || c.resolver == nil {
+			return p
+		}
+		if id, err := c.resolver.Resolve(p); err == nil {
+			return id
+		}
+		return p
+	}
+
+	// Admit assertions: all policy, plus verified credentials.
+	type admitted struct {
+		a          *Assertion
+		authorizer string // canonical
+	}
+	var admittedAsserts []admitted
+	for _, p := range c.policy {
+		admittedAsserts = append(admittedAsserts, admitted{a: p, authorizer: PolicyPrincipal})
+	}
+	for _, cr := range credentials {
+		if cr.IsPolicy() {
+			// A remotely supplied "POLICY" assertion must never be
+			// trusted: that would let any requester grant itself rights.
+			res.Rejected = append(res.Rejected, RejectedCredential{
+				Authorizer: PolicyPrincipal,
+				Reason:     "POLICY assertions cannot be submitted as credentials",
+			})
+			continue
+		}
+		if !c.skipVerify {
+			if err := cr.VerifySignature(c.resolver); err != nil {
+				res.Rejected = append(res.Rejected, RejectedCredential{
+					Authorizer: cr.Authorizer,
+					Reason:     err.Error(),
+				})
+				continue
+			}
+		}
+		admittedAsserts = append(admittedAsserts, admitted{a: cr, authorizer: canon(cr.Authorizer)})
+	}
+
+	env := newEnv(q.Attributes, values, q.Authorizers)
+	maxIdx := len(values) - 1
+
+	// Principal valuation: action authorizers start at _MAX_TRUST, all
+	// others at _MIN_TRUST.
+	val := make(map[string]int)
+	for _, p := range q.Authorizers {
+		val[canon(p)] = maxIdx
+	}
+
+	// Pre-evaluate each admitted assertion's conditions once (they depend
+	// only on the action attribute set, not on the valuation).
+	condVal := make([]int, len(admittedAsserts))
+	for i, ad := range admittedAsserts {
+		condVal[i] = evalProgram(ad.a.Conditions, env)
+	}
+
+	lookup := func(p string) int { return val[canon(p)] }
+
+	// Monotone fixpoint: each pass propagates trust one delegation step
+	// from the requesters towards POLICY. The valuation is bounded by
+	// len(values) per principal, so len(asserts)*len(values) passes always
+	// suffice; in practice it converges in chain-depth passes.
+	for pass := 0; ; pass++ {
+		changed := false
+		for i, ad := range admittedAsserts {
+			if ad.a.Licensees == nil || condVal[i] == 0 {
+				continue
+			}
+			lv := ad.a.Licensees.evalLic(lookup)
+			contribution := lv
+			if condVal[i] < contribution {
+				contribution = condVal[i]
+			}
+			if contribution > val[ad.authorizer] {
+				val[ad.authorizer] = contribution
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if pass > len(admittedAsserts)*len(values)+1 {
+			return Result{}, errors.New("keynote: compliance fixpoint failed to converge")
+		}
+	}
+
+	for p, v := range val {
+		res.PrincipalValues[p] = values[v]
+	}
+	res.Index = val[PolicyPrincipal]
+	res.Value = values[res.Index]
+	return res, nil
+}
+
+// Explain renders a human-readable account of a result, used by cmd/kn and
+// the examples.
+func (r Result) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compliance value: %s\n", r.Value)
+	var ps []string
+	for p := range r.PrincipalValues {
+		ps = append(ps, p)
+	}
+	sort.Strings(ps)
+	for _, p := range ps {
+		fmt.Fprintf(&b, "  %-20s -> %s\n", truncate(p, 40), r.PrincipalValues[p])
+	}
+	for _, rej := range r.Rejected {
+		fmt.Fprintf(&b, "  rejected credential from %s: %s\n", truncate(rej.Authorizer, 40), rej.Reason)
+	}
+	return b.String()
+}

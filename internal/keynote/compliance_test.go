@@ -1,0 +1,384 @@
+package keynote
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"securewebcom/internal/keys"
+)
+
+// paperKeys builds the deterministic key set used across compliance tests,
+// mirroring the paper's principals.
+func paperKeys() *keys.KeyStore {
+	ks := keys.NewKeyStore()
+	for _, n := range []string{"Kbob", "Kalice", "Kclaire", "Kfred", "KWebCom", "Kdave", "Kmallory"} {
+		ks.Add(keys.Deterministic(n, "compliance"))
+	}
+	return ks
+}
+
+func mustSign(t *testing.T, ks *keys.KeyStore, a *Assertion, signer string) *Assertion {
+	t.Helper()
+	kp, err := ks.ByName(signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Sign(kp); err != nil {
+		t.Fatalf("sign %s: %v", signer, err)
+	}
+	return a
+}
+
+// TestPaperExample1 reproduces the Example 1 scenario: POLICY trusts Kbob
+// for read/write on SalariesDB (Figure 2); Bob delegates write to Alice
+// (Figure 4).
+func TestPaperExample1(t *testing.T) {
+	ks := paperKeys()
+	policy := []*Assertion{MustNew("POLICY", `"Kbob"`,
+		`app_domain=="SalariesDB" && (oper=="read" || oper=="write");`)}
+	bobToAlice := mustSign(t, ks, MustNew(`"Kbob"`, `"Kalice"`,
+		`app_domain=="SalariesDB" && oper=="write";`), "Kbob")
+
+	c, err := NewChecker(policy, WithResolver(ks))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(who, oper string, creds []*Assertion) bool {
+		t.Helper()
+		res, err := c.Check(Query{
+			Authorizers: []string{who},
+			Attributes:  map[string]string{"app_domain": "SalariesDB", "oper": oper},
+		}, creds)
+		if err != nil {
+			t.Fatalf("Check: %v", err)
+		}
+		return res.Authorized(nil)
+	}
+
+	if !check("Kbob", "read", nil) || !check("Kbob", "write", nil) {
+		t.Fatal("Bob must read and write")
+	}
+	if check("Kbob", "delete", nil) {
+		t.Fatal("Bob must not delete")
+	}
+	if !check("Kalice", "write", []*Assertion{bobToAlice}) {
+		t.Fatal("Alice must write via Bob's delegation")
+	}
+	if check("Kalice", "read", []*Assertion{bobToAlice}) {
+		t.Fatal("Alice must not read: Bob delegated only write")
+	}
+	if check("Kalice", "write", nil) {
+		t.Fatal("Alice must not write without presenting the credential")
+	}
+	if check("Kmallory", "write", []*Assertion{bobToAlice}) {
+		t.Fatal("Mallory must not benefit from Alice's credential")
+	}
+}
+
+func TestDelegationChainDepth(t *testing.T) {
+	ks := keys.NewKeyStore()
+	const depth = 10
+	names := make([]string, depth+1)
+	for i := range names {
+		names[i] = fmt.Sprintf("K%02d", i)
+		ks.Add(keys.Deterministic(names[i], "chain"))
+	}
+	policy := []*Assertion{MustNew("POLICY", `"`+names[0]+`"`, `op=="go";`)}
+	var creds []*Assertion
+	for i := 0; i < depth; i++ {
+		a := MustNew(`"`+names[i]+`"`, `"`+names[i+1]+`"`, `op=="go";`)
+		kp, _ := ks.ByName(names[i])
+		if err := a.Sign(kp); err != nil {
+			t.Fatal(err)
+		}
+		creds = append(creds, a)
+	}
+	c, _ := NewChecker(policy, WithResolver(ks))
+	res, err := c.Check(Query{
+		Authorizers: []string{names[depth]},
+		Attributes:  map[string]string{"op": "go"},
+	}, creds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Authorized(nil) {
+		t.Fatal("deep chain must authorise")
+	}
+	// Break the chain in the middle: authorisation must vanish
+	// (monotonicity in reverse).
+	broken := append(append([]*Assertion{}, creds[:depth/2]...), creds[depth/2+1:]...)
+	res, err = c.Check(Query{
+		Authorizers: []string{names[depth]},
+		Attributes:  map[string]string{"op": "go"},
+	}, broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Authorized(nil) {
+		t.Fatal("broken chain must not authorise")
+	}
+}
+
+func TestConditionNarrowingAlongChain(t *testing.T) {
+	ks := paperKeys()
+	policy := []*Assertion{MustNew("POLICY", `"Kbob"`, `oper=="read" || oper=="write";`)}
+	// Bob narrows to write only.
+	d := mustSign(t, ks, MustNew(`"Kbob"`, `"Kalice"`, `oper=="write";`), "Kbob")
+	c, _ := NewChecker(policy, WithResolver(ks))
+	res, _ := c.Check(Query{Authorizers: []string{"Kalice"},
+		Attributes: map[string]string{"oper": "read"}}, []*Assertion{d})
+	if res.Authorized(nil) {
+		t.Fatal("delegatee exceeded delegator's grant")
+	}
+}
+
+func TestDelegateeCannotExceedDelegator(t *testing.T) {
+	ks := paperKeys()
+	// Policy only lets Bob read. Bob "delegates" write to Alice — but Bob
+	// himself has no write authority, so Alice gets nothing.
+	policy := []*Assertion{MustNew("POLICY", `"Kbob"`, `oper=="read";`)}
+	d := mustSign(t, ks, MustNew(`"Kbob"`, `"Kalice"`, `oper=="write";`), "Kbob")
+	c, _ := NewChecker(policy, WithResolver(ks))
+	res, _ := c.Check(Query{Authorizers: []string{"Kalice"},
+		Attributes: map[string]string{"oper": "write"}}, []*Assertion{d})
+	if res.Authorized(nil) {
+		t.Fatal("write authority appeared from nowhere")
+	}
+}
+
+func TestThresholdLicensees(t *testing.T) {
+	ks := paperKeys()
+	policy := []*Assertion{MustNew("POLICY", `2-of("Kbob","Kclaire","Kdave")`, "")}
+	c, _ := NewChecker(policy, WithResolver(ks))
+
+	res, _ := c.Check(Query{Authorizers: []string{"Kbob", "Kclaire"}}, nil)
+	if !res.Authorized(nil) {
+		t.Fatal("two of three must authorise")
+	}
+	res, _ = c.Check(Query{Authorizers: []string{"Kbob"}}, nil)
+	if res.Authorized(nil) {
+		t.Fatal("one of three must not authorise")
+	}
+	res, _ = c.Check(Query{Authorizers: []string{"Kbob", "Kmallory"}}, nil)
+	if res.Authorized(nil) {
+		t.Fatal("outsider must not count towards threshold")
+	}
+}
+
+func TestConjunctiveLicensees(t *testing.T) {
+	ks := paperKeys()
+	policy := []*Assertion{MustNew("POLICY", `"Kbob" && "Kclaire"`, "")}
+	c, _ := NewChecker(policy, WithResolver(ks))
+	res, _ := c.Check(Query{Authorizers: []string{"Kbob", "Kclaire"}}, nil)
+	if !res.Authorized(nil) {
+		t.Fatal("joint request must authorise")
+	}
+	res, _ = c.Check(Query{Authorizers: []string{"Kbob"}}, nil)
+	if res.Authorized(nil) {
+		t.Fatal("single signer must not satisfy conjunction")
+	}
+}
+
+func TestForgedCredentialRejectedNotFatal(t *testing.T) {
+	ks := paperKeys()
+	policy := []*Assertion{MustNew("POLICY", `"Kbob"`, "")}
+	forged := MustNew(`"Kbob"`, `"Kmallory"`, "")
+	// Signed by Mallory, claiming to be from Bob.
+	km, _ := ks.ByName("Kmallory")
+	forged.Signature = km.Sign([]byte(forged.SignedText()))
+
+	c, _ := NewChecker(policy, WithResolver(ks))
+	res, err := c.Check(Query{Authorizers: []string{"Kmallory"}}, []*Assertion{forged})
+	if err != nil {
+		t.Fatalf("forged credential aborted the query: %v", err)
+	}
+	if res.Authorized(nil) {
+		t.Fatal("forged credential authorised Mallory")
+	}
+	if len(res.Rejected) != 1 {
+		t.Fatalf("expected 1 rejected credential, got %d", len(res.Rejected))
+	}
+	// Bob's own access is unaffected.
+	res, _ = c.Check(Query{Authorizers: []string{"Kbob"}}, []*Assertion{forged})
+	if !res.Authorized(nil) {
+		t.Fatal("Bob's access lost due to unrelated forgery")
+	}
+}
+
+func TestSubmittedPolicyCredentialRejected(t *testing.T) {
+	ks := paperKeys()
+	c, _ := NewChecker(nil, WithResolver(ks))
+	evil := MustNew("POLICY", `"Kmallory"`, "")
+	res, err := c.Check(Query{Authorizers: []string{"Kmallory"}}, []*Assertion{evil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Authorized(nil) {
+		t.Fatal("submitted POLICY assertion was trusted")
+	}
+	if len(res.Rejected) != 1 {
+		t.Fatal("POLICY credential not reported as rejected")
+	}
+}
+
+func TestMultiLevelComplianceValues(t *testing.T) {
+	values := []string{"none", "execute", "administer"}
+	policy := []*Assertion{MustNew("POLICY", `"Kroot"`,
+		`role=="admin" -> "administer"; role=="user" -> "execute";`)}
+	c, _ := NewChecker(policy, WithoutSignatureVerification())
+
+	for _, tc := range []struct {
+		role string
+		want string
+	}{
+		{"admin", "administer"}, {"user", "execute"}, {"guest", "none"},
+	} {
+		res, err := c.Check(Query{
+			Authorizers: []string{"Kroot"},
+			Attributes:  map[string]string{"role": tc.role},
+			Values:      values,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value != tc.want {
+			t.Errorf("role=%s: value=%s, want %s", tc.role, res.Value, tc.want)
+		}
+	}
+}
+
+func TestComplianceValueCapsAlongChain(t *testing.T) {
+	// Delegation with a weaker compliance value caps the chain: POLICY
+	// grants Kbob "administer", Kbob grants Alice only "execute".
+	values := []string{"none", "execute", "administer"}
+	policy := []*Assertion{MustNew("POLICY", `"Kbob"`, `true -> "administer";`)}
+	d := MustNew(`"Kbob"`, `"Kalice"`, `true -> "execute";`)
+	c, _ := NewChecker(policy, WithoutSignatureVerification())
+	res, err := c.Check(Query{
+		Authorizers: []string{"Kalice"},
+		Values:      values,
+	}, []*Assertion{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "execute" {
+		t.Fatalf("chain value = %s, want execute", res.Value)
+	}
+}
+
+func TestDelegationCycleTerminates(t *testing.T) {
+	// A credential cycle must not loop the checker.
+	policy := []*Assertion{MustNew("POLICY", `"K1"`, "")}
+	c1 := MustNew(`"K1"`, `"K2"`, "")
+	c2 := MustNew(`"K2"`, `"K1"`, "")
+	c, _ := NewChecker(policy, WithoutSignatureVerification())
+	res, err := c.Check(Query{Authorizers: []string{"K2"}}, []*Assertion{c1, c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Authorized(nil) {
+		t.Fatal("K2 is directly licensed by K1 which POLICY trusts")
+	}
+	res, err = c.Check(Query{Authorizers: []string{"K3"}}, []*Assertion{c1, c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Authorized(nil) {
+		t.Fatal("cycle granted unrelated principal access")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	c, _ := NewChecker(nil)
+	if _, err := c.Check(Query{}, nil); err == nil {
+		t.Fatal("query with no authorizers accepted")
+	}
+	if _, err := c.Check(Query{Authorizers: []string{"K"}, Values: []string{"only"}}, nil); err == nil {
+		t.Fatal("single-value ordering accepted")
+	}
+	if _, err := NewChecker([]*Assertion{MustNew(`"Kbob"`, `"K"`, "")}); err == nil {
+		t.Fatal("non-POLICY assertion accepted as policy")
+	}
+}
+
+// Property: KeyNote is monotone — adding credentials never lowers the
+// compliance value of a query.
+func TestQuickMonotonicity(t *testing.T) {
+	policy := []*Assertion{
+		MustNew("POLICY", `"K0"`, `op=="a" || op=="b";`),
+		MustNew("POLICY", `"K1"`, `op=="b";`),
+	}
+	pool := []*Assertion{
+		MustNew(`"K0"`, `"K2"`, `op=="a";`),
+		MustNew(`"K1"`, `"K2"`, ""),
+		MustNew(`"K2"`, `"K3"`, `op=="b";`),
+		MustNew(`"K0"`, `"K3"`, `op=="c";`),
+		MustNew(`"K3"`, `"K4"`, ""),
+		MustNew(`"K1"`, `"K4" && "K3"`, ""),
+	}
+	c, _ := NewChecker(policy, WithoutSignatureVerification())
+
+	f := func(mask uint8, extra uint8, whoIdx uint8, opIdx uint8) bool {
+		var base []*Assertion
+		for i, cr := range pool {
+			if mask&(1<<i) != 0 {
+				base = append(base, cr)
+			}
+		}
+		more := append([]*Assertion{}, base...)
+		for i, cr := range pool {
+			if extra&(1<<i) != 0 {
+				more = append(more, cr)
+			}
+		}
+		who := fmt.Sprintf("K%d", int(whoIdx)%5)
+		op := []string{"a", "b", "c"}[int(opIdx)%3]
+		q := Query{Authorizers: []string{who}, Attributes: map[string]string{"op": op}}
+		r1, err1 := c.Check(q, base)
+		r2, err2 := c.Check(q, more)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r2.Index >= r1.Index
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: authorisation requires a chain — if the requester appears in
+// no admitted credential and no policy, the result is _MIN_TRUST.
+func TestQuickNoChainNoAccess(t *testing.T) {
+	policy := []*Assertion{MustNew("POLICY", `"K0"`, "")}
+	pool := []*Assertion{
+		MustNew(`"K0"`, `"K1"`, ""),
+		MustNew(`"K1"`, `"K2"`, ""),
+	}
+	c, _ := NewChecker(policy, WithoutSignatureVerification())
+	f := func(mask uint8) bool {
+		var creds []*Assertion
+		for i, cr := range pool {
+			if mask&(1<<i) != 0 {
+				creds = append(creds, cr)
+			}
+		}
+		res, err := c.Check(Query{Authorizers: []string{"Kstranger"}}, creds)
+		return err == nil && !res.Authorized(nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultExplain(t *testing.T) {
+	ks := paperKeys()
+	policy := []*Assertion{MustNew("POLICY", `"Kbob"`, "")}
+	c, _ := NewChecker(policy, WithResolver(ks))
+	res, _ := c.Check(Query{Authorizers: []string{"Kbob"}}, nil)
+	out := res.Explain()
+	if out == "" || res.Value != "true" {
+		t.Fatalf("Explain produced %q (value %s)", out, res.Value)
+	}
+}

@@ -1,0 +1,398 @@
+package keynote
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Dynamic typing for condition expressions. RFC 2704 distinguishes string,
+// integer and float sub-grammars syntactically; this implementation uses a
+// dynamically typed evaluator with the same observable semantics:
+//
+//   - bare identifiers and $-indirection yield strings (undefined
+//     attributes read as "");
+//   - @x / &x dereference an attribute value as an integer / float, and it
+//     is an evaluation error if the value does not parse;
+//   - comparisons are numeric when both operands are numeric, string
+//     (lexicographic) otherwise;
+//   - evaluation errors (type mismatch, bad regex, division by zero,
+//     unparsable numeric dereference, unknown compliance value) make the
+//     enclosing clause fail, per the RFC's "signal failure" behaviour.
+
+type valKind int
+
+const (
+	vStr valKind = iota
+	vNum
+	vBool
+)
+
+type value struct {
+	kind valKind
+	s    string
+	f    float64
+	b    bool
+	// isInt records whether a numeric value is integral, for % semantics.
+	isInt bool
+}
+
+func strVal(s string) value { return value{kind: vStr, s: s} }
+func boolVal(b bool) value  { return value{kind: vBool, b: b} }
+func numVal(f float64) value {
+	return value{kind: vNum, f: f, isInt: f == math.Trunc(f) && !math.IsInf(f, 0)}
+}
+func intVal(i int64) value { return value{kind: vNum, f: float64(i), isInt: true} }
+
+func (v value) String() string {
+	switch v.kind {
+	case vStr:
+		return v.s
+	case vBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	default:
+		if v.isInt {
+			return strconv.FormatInt(int64(v.f), 10)
+		}
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	}
+}
+
+var errType = errors.New("keynote: type error in condition expression")
+
+// env is the evaluation environment for one query: the action attribute
+// set plus the derived special attributes (_MIN_TRUST, _MAX_TRUST,
+// _VALUES, _ACTION_AUTHORIZERS).
+type env struct {
+	attrs map[string]string
+	// values is the ordered compliance-value set, weakest first.
+	values []string
+	// regexCache avoids recompiling patterns across assertions.
+	regexCache map[string]*regexp.Regexp
+}
+
+func newEnv(attrs map[string]string, values []string, authorizers []string) *env {
+	e := &env{
+		attrs:      make(map[string]string, len(attrs)+4),
+		values:     values,
+		regexCache: make(map[string]*regexp.Regexp),
+	}
+	for k, v := range attrs {
+		e.attrs[k] = v
+	}
+	e.attrs["_MIN_TRUST"] = values[0]
+	e.attrs["_MAX_TRUST"] = values[len(values)-1]
+	e.attrs["_VALUES"] = strings.Join(values, ",")
+	e.attrs["_ACTION_AUTHORIZERS"] = strings.Join(authorizers, ",")
+	return e
+}
+
+func (e *env) lookup(name string) string { return e.attrs[name] }
+
+func (e *env) compileRegex(pat string) (*regexp.Regexp, error) {
+	if re, ok := e.regexCache[pat]; ok {
+		return re, nil
+	}
+	re, err := regexp.Compile(pat)
+	if err != nil {
+		return nil, fmt.Errorf("keynote: bad regex %q: %w", pat, err)
+	}
+	e.regexCache[pat] = re
+	return re, nil
+}
+
+// valueIndex maps a compliance value to its index in the ordering, or an
+// error for unknown values.
+func (e *env) valueIndex(v string) (int, error) {
+	for i, x := range e.values {
+		if x == v {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("keynote: compliance value %q not in ordering %v", v, e.values)
+}
+
+// ---- Expression evaluation ----
+
+func (x *boolLit) eval(*env) (value, error) { return boolVal(x.v), nil }
+func (x *strLit) eval(*env) (value, error)  { return strVal(x.v), nil }
+
+func (x *numLit) eval(*env) (value, error) {
+	if !strings.Contains(x.text, ".") {
+		i, err := strconv.ParseInt(x.text, 10, 64)
+		if err == nil {
+			return intVal(i), nil
+		}
+	}
+	f, err := strconv.ParseFloat(x.text, 64)
+	if err != nil {
+		return value{}, fmt.Errorf("keynote: bad numeric literal %q", x.text)
+	}
+	return numVal(f), nil
+}
+
+func (x *attrRef) eval(e *env) (value, error) {
+	name := x.name
+	if x.indirect != nil {
+		v, err := x.indirect.eval(e)
+		if err != nil {
+			return value{}, err
+		}
+		if v.kind != vStr {
+			return value{}, fmt.Errorf("%w: $ requires a string operand", errType)
+		}
+		name = v.s
+	}
+	return strVal(e.lookup(name)), nil
+}
+
+func (x *numDeref) eval(e *env) (value, error) {
+	v, err := x.x.eval(e)
+	if err != nil {
+		return value{}, err
+	}
+	var s string
+	switch v.kind {
+	case vStr:
+		s = v.s
+	case vNum:
+		return v, nil // @3 or &(1+2): already numeric
+	default:
+		return value{}, fmt.Errorf("%w: numeric dereference of boolean", errType)
+	}
+	if x.float {
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return value{}, fmt.Errorf("keynote: &-dereference of non-float %q", s)
+		}
+		return numVal(f), nil
+	}
+	i, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return value{}, fmt.Errorf("keynote: @-dereference of non-integer %q", s)
+	}
+	return intVal(i), nil
+}
+
+func (x *notExpr) eval(e *env) (value, error) {
+	v, err := x.x.eval(e)
+	if err != nil {
+		return value{}, err
+	}
+	if v.kind != vBool {
+		return value{}, fmt.Errorf("%w: ! requires a boolean operand", errType)
+	}
+	return boolVal(!v.b), nil
+}
+
+func (x *negExpr) eval(e *env) (value, error) {
+	v, err := x.x.eval(e)
+	if err != nil {
+		return value{}, err
+	}
+	if v.kind != vNum {
+		return value{}, fmt.Errorf("%w: unary - requires a numeric operand", errType)
+	}
+	out := numVal(-v.f)
+	out.isInt = v.isInt
+	return out, nil
+}
+
+func (x *binOp) eval(e *env) (value, error) {
+	// Short-circuit boolean connectives.
+	switch x.op {
+	case tAndAnd, tOrOr:
+		l, err := x.l.eval(e)
+		if err != nil {
+			return value{}, err
+		}
+		if l.kind != vBool {
+			return value{}, fmt.Errorf("%w: %s requires boolean operands", errType, x.op)
+		}
+		if x.op == tAndAnd && !l.b {
+			return boolVal(false), nil
+		}
+		if x.op == tOrOr && l.b {
+			return boolVal(true), nil
+		}
+		r, err := x.r.eval(e)
+		if err != nil {
+			return value{}, err
+		}
+		if r.kind != vBool {
+			return value{}, fmt.Errorf("%w: %s requires boolean operands", errType, x.op)
+		}
+		return boolVal(r.b), nil
+	}
+
+	l, err := x.l.eval(e)
+	if err != nil {
+		return value{}, err
+	}
+	r, err := x.r.eval(e)
+	if err != nil {
+		return value{}, err
+	}
+
+	switch x.op {
+	case tMatch:
+		if l.kind != vStr || r.kind != vStr {
+			return value{}, fmt.Errorf("%w: ~= requires string operands", errType)
+		}
+		re, err := e.compileRegex(r.s)
+		if err != nil {
+			return value{}, err
+		}
+		return boolVal(re.MatchString(l.s)), nil
+
+	case tEq, tNe, tLt, tGt, tLe, tGe:
+		var cmp int
+		if l.kind == vNum && r.kind == vNum {
+			switch {
+			case l.f < r.f:
+				cmp = -1
+			case l.f > r.f:
+				cmp = 1
+			}
+		} else if l.kind == vBool || r.kind == vBool {
+			return value{}, fmt.Errorf("%w: cannot compare booleans with %s", errType, x.op)
+		} else {
+			// String comparison; numeric operands coerce to their string
+			// rendering (so @level == "3" behaves predictably).
+			cmp = strings.Compare(l.String(), r.String())
+		}
+		switch x.op {
+		case tEq:
+			return boolVal(cmp == 0), nil
+		case tNe:
+			return boolVal(cmp != 0), nil
+		case tLt:
+			return boolVal(cmp < 0), nil
+		case tGt:
+			return boolVal(cmp > 0), nil
+		case tLe:
+			return boolVal(cmp <= 0), nil
+		default:
+			return boolVal(cmp >= 0), nil
+		}
+
+	case tDot:
+		if l.kind == vBool || r.kind == vBool {
+			return value{}, fmt.Errorf("%w: . requires string operands", errType)
+		}
+		return strVal(l.String() + r.String()), nil
+
+	case tPlus, tMinus, tStar, tSlash, tPercent, tCaret:
+		if l.kind != vNum || r.kind != vNum {
+			return value{}, fmt.Errorf("%w: %s requires numeric operands", errType, x.op)
+		}
+		bothInt := l.isInt && r.isInt
+		var f float64
+		switch x.op {
+		case tPlus:
+			f = l.f + r.f
+		case tMinus:
+			f = l.f - r.f
+		case tStar:
+			f = l.f * r.f
+		case tSlash:
+			if r.f == 0 {
+				return value{}, errors.New("keynote: division by zero")
+			}
+			if bothInt {
+				return intVal(int64(l.f) / int64(r.f)), nil
+			}
+			f = l.f / r.f
+		case tPercent:
+			if !bothInt {
+				return value{}, fmt.Errorf("%w: %% requires integer operands", errType)
+			}
+			if int64(r.f) == 0 {
+				return value{}, errors.New("keynote: modulo by zero")
+			}
+			return intVal(int64(l.f) % int64(r.f)), nil
+		case tCaret:
+			f = math.Pow(l.f, r.f)
+		}
+		v := numVal(f)
+		if bothInt && f == math.Trunc(f) {
+			v.isInt = true
+		}
+		return v, nil
+	}
+	return value{}, fmt.Errorf("keynote: unknown operator %s", x.op)
+}
+
+// evalProgram computes the compliance-value index yielded by a conditions
+// program. An empty/nil program yields _MAX_TRUST (an assertion with no
+// Conditions field imposes no restriction). Clause evaluation errors make
+// that clause contribute nothing, per RFC 2704's failure semantics.
+func evalProgram(p *Program, e *env) int {
+	maxIdx := len(e.values) - 1
+	if p == nil || len(p.Clauses) == 0 {
+		return maxIdx
+	}
+	best := 0 // _MIN_TRUST
+	for _, cl := range p.Clauses {
+		v, err := cl.Test.eval(e)
+		if err != nil || v.kind != vBool || !v.b {
+			continue
+		}
+		var idx int
+		switch {
+		case cl.Sub != nil:
+			idx = evalProgram(cl.Sub, e)
+		case cl.Value != "":
+			i, err := e.valueIndex(cl.Value)
+			if err != nil {
+				continue // unknown compliance value: clause contributes nothing
+			}
+			idx = i
+		default:
+			idx = maxIdx
+		}
+		if idx > best {
+			best = idx
+		}
+		if best == maxIdx {
+			return best
+		}
+	}
+	return best
+}
+
+// ---- Licensees evaluation ----
+
+func (l *LicPrincipal) evalLic(val func(string) int) int { return val(l.Name) }
+
+func (l *LicAnd) evalLic(val func(string) int) int {
+	a, b := l.L.evalLic(val), l.R.evalLic(val)
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (l *LicOr) evalLic(val func(string) int) int {
+	a, b := l.L.evalLic(val), l.R.evalLic(val)
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (l *LicThreshold) evalLic(val func(string) int) int {
+	vals := make([]int, len(l.Subs))
+	for i, s := range l.Subs {
+		vals[i] = s.evalLic(val)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(vals)))
+	return vals[l.K-1] // K-th largest
+}

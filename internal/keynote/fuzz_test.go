@@ -1,0 +1,110 @@
+package keynote
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the parsers must never panic on arbitrary input — they
+// are the attack surface that receives credentials from untrusted
+// principals. Seeds cover the grammar; run with `go test -fuzz=Fuzz...`
+// for exploration (seeds alone run in ordinary `go test`).
+
+func FuzzParseAssertion(f *testing.F) {
+	seeds := []string{
+		fig2Text,
+		"Authorizer: POLICY\n",
+		"KeyNote-Version: 2\nAuthorizer: \"K\"\nLicensees: 2-of(\"A\",\"B\",\"C\")\nSignature: sig-ed25519:00\n",
+		"Local-Constants: A=\"x\" B=\"y\"\nAuthorizer: A\nLicensees: B\n",
+		"Comment: # not a comment line\nAuthorizer: POLICY\nConditions: a==\"b\" -> { c==\"d\" -> \"v\"; };\n",
+		"authorizer: POLICY\nconditions: @x > 1 && &y < 2.5 || $z ~= \"re\";\n",
+		"Authorizer: POLICY\nConditions: \"\\\"esc\\\\\" == a;\n",
+		strings.Repeat("Authorizer: POLICY\n", 50),
+		"Authorizer: POLICY\nConditions: ((((((a==\"b\"))))));\n",
+		"garbage without colon",
+		"Unknown-Field: x\nAuthorizer: POLICY\n",
+		"Authorizer: POLICY\nConditions: 1 ^ 2 ^ 3 == 9 % 4 . \"x\";\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		a, err := Parse(input)
+		if err != nil {
+			return
+		}
+		// Successful parses must render and re-parse to an equivalent
+		// assertion (idempotent canonicalisation).
+		text := a.Text()
+		b, err := Parse(text)
+		if err != nil {
+			t.Fatalf("re-parse of rendered assertion failed: %v\ninput: %q\nrendered: %q", err, input, text)
+		}
+		if b.Text() != text {
+			t.Fatalf("canonical rendering not idempotent:\n%q\n%q", text, b.Text())
+		}
+	})
+}
+
+func FuzzParseConditions(f *testing.F) {
+	seeds := []string{
+		`app_domain=="SalariesDB" && (oper=="read" || oper=="write");`,
+		`@a + 2 * 3 - -4 == 5 / 1;`,
+		`x -> "v"; y -> { z; };`,
+		`a ~= "[unclosed";`,
+		`"str" . ident . $("x") == "";`,
+		`1.5e3;`,
+		`!!!!true;`,
+		`2-of("a","b");`, // licensees syntax in conditions position
+		``,
+		`;`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ParseConditions(input, map[string]string{"C": "const"})
+		if err != nil {
+			return
+		}
+		// Evaluation must not panic on any attribute environment.
+		e := newEnv(map[string]string{"a": "1", "x": "x"}, DefaultValues, []string{"K"})
+		_ = evalProgram(p, e)
+		// Rendering must re-parse.
+		if _, err := ParseConditions(p.String(), nil); err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", p.String(), input, err)
+		}
+	})
+}
+
+func FuzzParseLicensees(f *testing.F) {
+	seeds := []string{
+		`"K1"`,
+		`"K1" && ("K2" || "K3")`,
+		`3-of("a","b","c","d")`,
+		`2-of("a" && "b", "c")`,
+		`Name`,
+		`0-of("a")`,
+		`(((((("k"))))))`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		le, err := ParseLicensees(input, nil)
+		if err != nil || le == nil {
+			return
+		}
+		// Evaluation with arbitrary valuations must not panic and stays
+		// within the value range.
+		v := le.evalLic(func(p string) int { return len(p) % 3 })
+		if v < 0 || v > 2 {
+			t.Fatalf("licensees value %d out of range for %q", v, input)
+		}
+		ps := le.Principals(nil)
+		if len(ps) == 0 {
+			t.Fatalf("parsed licensees %q has no principals", input)
+		}
+	})
+}

@@ -1,0 +1,336 @@
+package keynote
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds for the KeyNote expression
+// sub-languages (the Conditions program and the Licensees algebra).
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tString // double-quoted literal, value has escapes resolved
+	tNumber
+	tKOf // "K-of" threshold introducer; numeric value in tok.text
+
+	tAndAnd // &&
+	tOrOr   // ||
+	tNot    // !
+
+	tEq    // ==
+	tNe    // !=
+	tLt    // <
+	tGt    // >
+	tLe    // <=
+	tGe    // >=
+	tMatch // ~=
+
+	tPlus    // +
+	tMinus   // -
+	tStar    // *
+	tSlash   // /
+	tPercent // %
+	tCaret   // ^
+
+	tLParen // (
+	tRParen // )
+	tLBrace // {
+	tRBrace // }
+
+	tArrow // ->
+	tSemi  // ;
+	tDot   // .
+	tComma // ,
+
+	tAt     // @
+	tAmp    // &
+	tDollar // $
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tEOF:
+		return "end of input"
+	case tIdent:
+		return "identifier"
+	case tString:
+		return "string"
+	case tNumber:
+		return "number"
+	case tKOf:
+		return "k-of"
+	case tAndAnd:
+		return "&&"
+	case tOrOr:
+		return "||"
+	case tNot:
+		return "!"
+	case tEq:
+		return "=="
+	case tNe:
+		return "!="
+	case tLt:
+		return "<"
+	case tGt:
+		return ">"
+	case tLe:
+		return "<="
+	case tGe:
+		return ">="
+	case tMatch:
+		return "~="
+	case tPlus:
+		return "+"
+	case tMinus:
+		return "-"
+	case tStar:
+		return "*"
+	case tSlash:
+		return "/"
+	case tPercent:
+		return "%"
+	case tCaret:
+		return "^"
+	case tLParen:
+		return "("
+	case tRParen:
+		return ")"
+	case tLBrace:
+		return "{"
+	case tRBrace:
+		return "}"
+	case tArrow:
+		return "->"
+	case tSemi:
+		return ";"
+	case tDot:
+		return "."
+	case tComma:
+		return ","
+	case tAt:
+		return "@"
+	case tAmp:
+		return "&"
+	case tDollar:
+		return "$"
+	}
+	return fmt.Sprintf("tok(%d)", int(k))
+}
+
+type token struct {
+	kind tokKind
+	text string // identifier name, resolved string value, or numeric literal
+	pos  int    // byte offset in input, for error messages
+}
+
+// lexer tokenises a KeyNote expression string.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lexAll tokenises the entire input, returning a token slice terminated by
+// tEOF.
+func lexAll(src string) ([]token, error) {
+	lx := &lexer{src: src}
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		lx.toks = append(lx.toks, tok)
+		if tok.kind == tEOF {
+			return lx.toks, nil
+		}
+	}
+}
+
+func (lx *lexer) errf(pos int, format string, args ...any) error {
+	return fmt.Errorf("keynote: lex error at offset %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) next() (token, error) {
+	// Skip whitespace.
+	for lx.pos < len(lx.src) && isSpace(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	start := lx.pos
+	if lx.pos >= len(lx.src) {
+		return token{kind: tEOF, pos: start}, nil
+	}
+	c := lx.src[lx.pos]
+	switch {
+	case isIdentStart(c):
+		return lx.lexIdent(start), nil
+	case c >= '0' && c <= '9':
+		return lx.lexNumber(start)
+	case c == '"':
+		return lx.lexString(start)
+	}
+
+	two := ""
+	if lx.pos+1 < len(lx.src) {
+		two = lx.src[lx.pos : lx.pos+2]
+	}
+	switch two {
+	case "&&":
+		lx.pos += 2
+		return token{kind: tAndAnd, pos: start}, nil
+	case "||":
+		lx.pos += 2
+		return token{kind: tOrOr, pos: start}, nil
+	case "==":
+		lx.pos += 2
+		return token{kind: tEq, pos: start}, nil
+	case "!=":
+		lx.pos += 2
+		return token{kind: tNe, pos: start}, nil
+	case "<=":
+		lx.pos += 2
+		return token{kind: tLe, pos: start}, nil
+	case ">=":
+		lx.pos += 2
+		return token{kind: tGe, pos: start}, nil
+	case "~=":
+		lx.pos += 2
+		return token{kind: tMatch, pos: start}, nil
+	case "->":
+		lx.pos += 2
+		return token{kind: tArrow, pos: start}, nil
+	}
+
+	lx.pos++
+	switch c {
+	case '!':
+		return token{kind: tNot, pos: start}, nil
+	case '<':
+		return token{kind: tLt, pos: start}, nil
+	case '>':
+		return token{kind: tGt, pos: start}, nil
+	case '+':
+		return token{kind: tPlus, pos: start}, nil
+	case '-':
+		return token{kind: tMinus, pos: start}, nil
+	case '*':
+		return token{kind: tStar, pos: start}, nil
+	case '/':
+		return token{kind: tSlash, pos: start}, nil
+	case '%':
+		return token{kind: tPercent, pos: start}, nil
+	case '^':
+		return token{kind: tCaret, pos: start}, nil
+	case '(':
+		return token{kind: tLParen, pos: start}, nil
+	case ')':
+		return token{kind: tRParen, pos: start}, nil
+	case '{':
+		return token{kind: tLBrace, pos: start}, nil
+	case '}':
+		return token{kind: tRBrace, pos: start}, nil
+	case ';':
+		return token{kind: tSemi, pos: start}, nil
+	case '.':
+		return token{kind: tDot, pos: start}, nil
+	case ',':
+		return token{kind: tComma, pos: start}, nil
+	case '@':
+		return token{kind: tAt, pos: start}, nil
+	case '&':
+		return token{kind: tAmp, pos: start}, nil
+	case '$':
+		return token{kind: tDollar, pos: start}, nil
+	}
+	return token{}, lx.errf(start, "unexpected character %q", c)
+}
+
+func (lx *lexer) lexIdent(start int) token {
+	for lx.pos < len(lx.src) && isIdentPart(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	return token{kind: tIdent, text: lx.src[start:lx.pos], pos: start}
+}
+
+// lexNumber scans an integer or float literal. A number immediately
+// followed by "-of" (case-insensitive) lexes as a threshold introducer, as
+// in the RFC 2704 licensees production "2-of(K1, K2, K3)".
+func (lx *lexer) lexNumber(start int) (token, error) {
+	for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+		lx.pos++
+	}
+	// Threshold form "K-of"?
+	rest := lx.src[lx.pos:]
+	if len(rest) >= 3 && (rest[0] == '-') && strings.EqualFold(rest[1:3], "of") &&
+		(len(rest) == 3 || !isIdentPart(rest[3])) {
+		k := lx.src[start:lx.pos]
+		lx.pos += 3
+		return token{kind: tKOf, text: k, pos: start}, nil
+	}
+	// Fraction: only if a digit follows the dot, so that string
+	// concatenation "a" . "b" is not swallowed.
+	if lx.pos+1 < len(lx.src) && lx.src[lx.pos] == '.' &&
+		lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9' {
+		lx.pos++
+		for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+			lx.pos++
+		}
+	}
+	return token{kind: tNumber, text: lx.src[start:lx.pos], pos: start}, nil
+}
+
+func (lx *lexer) lexString(start int) (token, error) {
+	lx.pos++ // opening quote
+	var b strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch c {
+		case '"':
+			lx.pos++
+			return token{kind: tString, text: b.String(), pos: start}, nil
+		case '\\':
+			lx.pos++
+			if lx.pos >= len(lx.src) {
+				return token{}, lx.errf(start, "unterminated escape in string literal")
+			}
+			esc := lx.src[lx.pos]
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '"':
+				b.WriteByte(esc)
+			default:
+				return token{}, lx.errf(lx.pos, "unknown escape \\%c", esc)
+			}
+			lx.pos++
+		default:
+			b.WriteByte(c)
+			lx.pos++
+		}
+	}
+	return token{}, lx.errf(start, "unterminated string literal")
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || (c >= '0' && c <= '9')
+}

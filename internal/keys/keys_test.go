@@ -1,0 +1,184 @@
+package keys
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateSignVerify(t *testing.T) {
+	kp, err := Generate("Kbob")
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	data := []byte("app_domain==\"SalariesDB\"")
+	sig := kp.Sign(data)
+	if err := Verify(kp.PublicID(), data, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedData(t *testing.T) {
+	kp := Deterministic("Kbob", "t1")
+	sig := kp.Sign([]byte("read"))
+	if err := Verify(kp.PublicID(), []byte("write"), sig); err == nil {
+		t.Fatal("tampered data verified")
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	a := Deterministic("Kalice", "t2")
+	b := Deterministic("Kbob", "t2")
+	sig := a.Sign([]byte("x"))
+	if err := Verify(b.PublicID(), []byte("x"), sig); err == nil {
+		t.Fatal("signature verified under wrong key")
+	}
+}
+
+func TestDeterministicStable(t *testing.T) {
+	a := Deterministic("Kclaire", "seed")
+	b := Deterministic("Kclaire", "seed")
+	if a.PublicID() != b.PublicID() {
+		t.Fatal("deterministic keys differ across derivations")
+	}
+	c := Deterministic("Kclaire", "other-seed")
+	if a.PublicID() == c.PublicID() {
+		t.Fatal("different seeds produced identical keys")
+	}
+	d := Deterministic("Kdave", "seed")
+	if a.PublicID() == d.PublicID() {
+		t.Fatal("different names produced identical keys")
+	}
+}
+
+func TestEncodeDecodePublicRoundTrip(t *testing.T) {
+	kp := Deterministic("K", "rt")
+	id := kp.PublicID()
+	pub, err := DecodePublic(id)
+	if err != nil {
+		t.Fatalf("DecodePublic: %v", err)
+	}
+	if EncodePublic(pub) != id {
+		t.Fatal("round trip changed key")
+	}
+}
+
+func TestDecodePublicErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"ed25519:",
+		"ed25519:zz",
+		"ed25519:abcd",                        // too short
+		"rsa:" + strings.Repeat("ab", 32),     // wrong prefix
+		strings.Repeat("ab", 32),              // no prefix
+		"ed25519:" + strings.Repeat("ab", 33), // too long
+	}
+	for _, c := range cases {
+		if _, err := DecodePublic(c); err == nil {
+			t.Errorf("DecodePublic(%q) accepted malformed key", c)
+		}
+	}
+}
+
+func TestVerifyMalformedSignature(t *testing.T) {
+	kp := Deterministic("K", "ms")
+	for _, sig := range []string{"", "sig-ed25519:", "sig-ed25519:zz", "bogus", "sig-ed25519:abcd"} {
+		if err := Verify(kp.PublicID(), []byte("d"), sig); err == nil {
+			t.Errorf("Verify accepted malformed signature %q", sig)
+		}
+	}
+}
+
+func TestIsPublicID(t *testing.T) {
+	kp := Deterministic("K", "ip")
+	if !IsPublicID(kp.PublicID()) {
+		t.Fatal("canonical ID not recognised")
+	}
+	if IsPublicID("Kbob") {
+		t.Fatal("advisory name recognised as ID")
+	}
+}
+
+func TestKeyStoreLookups(t *testing.T) {
+	ks := NewKeyStore()
+	kb := Deterministic("Kbob", "ks")
+	ks.Add(kb)
+	if _, err := ks.GenerateNamed("Kalice", "ks"); err != nil {
+		t.Fatalf("GenerateNamed: %v", err)
+	}
+	if _, err := ks.GenerateNamed("Krand", ""); err != nil {
+		t.Fatalf("GenerateNamed random: %v", err)
+	}
+
+	got, err := ks.ByName("Kbob")
+	if err != nil || got.PublicID() != kb.PublicID() {
+		t.Fatalf("ByName: %v", err)
+	}
+	if _, err := ks.ByID(kb.PublicID()); err != nil {
+		t.Fatalf("ByID: %v", err)
+	}
+	if _, err := ks.ByName("Knobody"); err == nil {
+		t.Fatal("missing name found")
+	}
+	if ks.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ks.Len())
+	}
+	names := ks.Names()
+	if len(names) != 3 || names[0] != "Kalice" || names[1] != "Kbob" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestKeyStoreResolve(t *testing.T) {
+	ks := NewKeyStore()
+	kb := Deterministic("Kbob", "rs")
+	ks.Add(kb)
+
+	id, err := ks.Resolve("Kbob")
+	if err != nil || id != kb.PublicID() {
+		t.Fatalf("Resolve name: %q, %v", id, err)
+	}
+	// Canonical IDs pass through even when not stored.
+	other := Deterministic("Kx", "rs").PublicID()
+	id, err = ks.Resolve(other)
+	if err != nil || id != other {
+		t.Fatalf("Resolve ID passthrough: %q, %v", id, err)
+	}
+	if _, err := ks.Resolve("Kmissing"); err == nil {
+		t.Fatal("Resolve of unknown name succeeded")
+	}
+}
+
+func TestKeyStoreNameFor(t *testing.T) {
+	ks := NewKeyStore()
+	kb := Deterministic("Kbob", "nf")
+	ks.Add(kb)
+	if ks.NameFor(kb.PublicID()) != "Kbob" {
+		t.Fatal("NameFor known key")
+	}
+	unknown := Deterministic("Kx", "nf").PublicID()
+	if ks.NameFor(unknown) != unknown {
+		t.Fatal("NameFor unknown key should return the ID")
+	}
+}
+
+// Property: any signed message verifies, and verification is sensitive to
+// every byte of the message.
+func TestQuickSignVerify(t *testing.T) {
+	kp := Deterministic("Kq", "quick")
+	f := func(msg []byte, flip uint8) bool {
+		sig := kp.Sign(msg)
+		if Verify(kp.PublicID(), msg, sig) != nil {
+			return false
+		}
+		if len(msg) == 0 {
+			return true
+		}
+		mutated := append([]byte(nil), msg...)
+		mutated[int(flip)%len(mutated)] ^= 0x01
+		return Verify(kp.PublicID(), mutated, sig) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

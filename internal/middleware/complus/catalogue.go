@@ -1,0 +1,349 @@
+// Package complus simulates the Microsoft COM+/.NET side of the paper: a
+// COM catalogue of applications and classes, COM roles whose members are
+// Windows NT accounts, and the three COM permissions of Section 2 —
+// Launch, Access and RunAs. The catalogue sits on top of a simulated NT
+// domain (internal/ossec), exactly as COM's RBAC model extends the
+// Windows security model.
+//
+// In the paper's RBAC interpretation, a COM+ domain is the Windows NT
+// domain; roles are unique to each domain; object types are COM classes;
+// and permissions are Launch/Access/RunAs. The KeyCOM service of Figure 8
+// updates this catalogue with authorisations carried by KeyNote
+// credentials.
+package complus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/ossec"
+	"securewebcom/internal/rbac"
+)
+
+// The COM permissions of the paper.
+const (
+	PermLaunch = "Launch"
+	PermAccess = "Access"
+	PermRunAs  = "RunAs"
+)
+
+// Permissions lists the COM permission vocabulary in canonical order.
+var Permissions = []string{PermAccess, PermLaunch, PermRunAs}
+
+// Catalogue is a simulated COM+ catalogue bound to one NT domain.
+type Catalogue struct {
+	label string
+	nt    *ossec.NTDomain
+
+	mu      sync.RWMutex
+	classes map[string]*comClass         // by ProgID
+	roles   map[string]map[string]bool   // role -> member account names
+	grants  map[string]map[grantKey]bool // role -> (progID, permission)
+}
+
+type grantKey struct {
+	progID string
+	perm   string
+}
+
+type comClass struct {
+	progID string
+	clsid  string
+	impl   map[string]middleware.Handler // keyed by permission/operation
+}
+
+// NewCatalogue creates an empty catalogue for the given NT domain.
+func NewCatalogue(label string, nt *ossec.NTDomain) *Catalogue {
+	return &Catalogue{
+		label:   label,
+		nt:      nt,
+		classes: make(map[string]*comClass),
+		roles:   make(map[string]map[string]bool),
+		grants:  make(map[string]map[grantKey]bool),
+	}
+}
+
+// Name implements middleware.System.
+func (c *Catalogue) Name() string { return c.label }
+
+// Kind implements middleware.System.
+func (c *Catalogue) Kind() middleware.Kind { return middleware.KindCOMPlus }
+
+// Domain returns the catalogue's RBAC domain — the NT domain name.
+func (c *Catalogue) Domain() rbac.Domain { return rbac.Domain(c.nt.Name()) }
+
+// NTDomain exposes the underlying Windows domain (used by the stacked
+// authoriser's L0 and by KeyCOM to create accounts).
+func (c *Catalogue) NTDomain() *ossec.NTDomain { return c.nt }
+
+// RegisterClass registers a COM class by ProgID with its operation
+// implementations (keyed by permission: Launch, Access, RunAs). The CLSID
+// is derived deterministically from the ProgID.
+func (c *Catalogue) RegisterClass(progID string, impl map[string]middleware.Handler) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clsid := clsidFor(progID)
+	c.classes[progID] = &comClass{progID: progID, clsid: clsid, impl: impl}
+	return clsid
+}
+
+// clsidFor derives a stable GUID-shaped CLSID from a ProgID.
+func clsidFor(progID string) string {
+	sum := sha256.Sum256([]byte("clsid/" + progID))
+	h := hex.EncodeToString(sum[:16])
+	return fmt.Sprintf("{%s-%s-%s-%s-%s}", h[0:8], h[8:12], h[12:16], h[16:20], h[20:32])
+}
+
+// CLSID returns the CLSID for a registered ProgID.
+func (c *Catalogue) CLSID(progID string) (string, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	cl, ok := c.classes[progID]
+	if !ok {
+		return "", fmt.Errorf("complus: class %q not registered", progID)
+	}
+	return cl.clsid, nil
+}
+
+// DefineRole creates a COM role (idempotent).
+func (c *Catalogue) DefineRole(role string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.roles[role] == nil {
+		c.roles[role] = make(map[string]bool)
+	}
+}
+
+// AddRoleMember adds an NT account to a COM role. The account must exist
+// in the catalogue's NT domain (or be resolvable via trust).
+func (c *Catalogue) AddRoleMember(role, account string) error {
+	if _, err := c.nt.SID(account); err != nil {
+		return fmt.Errorf("complus: role member: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.roles[role] == nil {
+		c.roles[role] = make(map[string]bool)
+	}
+	c.roles[role][account] = true
+	return nil
+}
+
+// Grant gives role the given COM permission on the class.
+func (c *Catalogue) Grant(role, progID, perm string) error {
+	if !validPerm(perm) {
+		return fmt.Errorf("complus: unknown COM permission %q", perm)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.roles[role] == nil {
+		c.roles[role] = make(map[string]bool)
+	}
+	if c.grants[role] == nil {
+		c.grants[role] = make(map[grantKey]bool)
+	}
+	c.grants[role][grantKey{progID, perm}] = true
+	return nil
+}
+
+func validPerm(p string) bool {
+	return p == PermLaunch || p == PermAccess || p == PermRunAs
+}
+
+// Components implements middleware.System.
+func (c *Catalogue) Components() []middleware.Component {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []middleware.Component
+	for progID := range c.classes {
+		out = append(out, middleware.Component{
+			Domain:     c.Domain(),
+			ObjectType: rbac.ObjectType(progID),
+			Operations: append([]string(nil), Permissions...),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ObjectType < out[j].ObjectType })
+	return out
+}
+
+// CheckAccess implements middleware.SecurityAdapter.
+func (c *Catalogue) CheckAccess(u rbac.User, d rbac.Domain, ot rbac.ObjectType, perm rbac.Permission) (bool, error) {
+	if d != c.Domain() {
+		return false, fmt.Errorf("complus: domain %q is not catalogue domain %q", d, c.Domain())
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.checkLocked(string(u), string(ot), string(perm)), nil
+}
+
+func (c *Catalogue) checkLocked(account, progID, perm string) bool {
+	for role, members := range c.roles {
+		if !members[account] {
+			continue
+		}
+		if c.grants[role][grantKey{progID, perm}] {
+			return true
+		}
+	}
+	return false
+}
+
+// Invoke implements middleware.Invoker. The operation is a COM
+// permission: Launch starts the component, Access calls into it, RunAs
+// re-identifies it; each is mediated by the catalogue's role grants.
+func (c *Catalogue) Invoke(u rbac.User, d rbac.Domain, ot rbac.ObjectType, op string, args []string) (string, error) {
+	if d != c.Domain() {
+		return "", fmt.Errorf("complus: domain %q is not catalogue domain %q", d, c.Domain())
+	}
+	if !validPerm(op) {
+		return "", fmt.Errorf("complus: unknown COM operation %q", op)
+	}
+	c.mu.RLock()
+	cl, ok := c.classes[string(ot)]
+	allowed := c.checkLocked(string(u), string(ot), op)
+	c.mu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("complus: class %q not registered", ot)
+	}
+	if !allowed {
+		return "", &middleware.ErrDenied{User: u, Domain: d, ObjectType: ot, Op: op}
+	}
+	h, ok := cl.impl[op]
+	if !ok {
+		return "", fmt.Errorf("complus: class %q does not implement %q", ot, op)
+	}
+	return h(args)
+}
+
+// ExtractPolicy implements middleware.SecurityAdapter.
+func (c *Catalogue) ExtractPolicy() (*rbac.Policy, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	p := rbac.NewPolicy()
+	d := c.Domain()
+	for role, grants := range c.grants {
+		for g := range grants {
+			p.AddRolePerm(d, rbac.Role(role), rbac.ObjectType(g.progID), rbac.Permission(g.perm))
+		}
+	}
+	for role, members := range c.roles {
+		for account := range members {
+			p.AddUserRole(rbac.User(account), d, rbac.Role(role))
+		}
+	}
+	return p, nil
+}
+
+// ApplyPolicy implements middleware.SecurityAdapter. Policy rows carrying
+// permissions outside the COM vocabulary are rejected: migration into
+// COM+ must map permissions first (see internal/translate's similarity
+// mapping).
+func (c *Catalogue) ApplyPolicy(p *rbac.Policy) (int, error) {
+	d := c.Domain()
+	for _, e := range p.RolePerms() {
+		if e.Domain == d && !validPerm(string(e.Permission)) {
+			return 0, fmt.Errorf("complus: permission %q is not a COM permission (map it before migration)", e.Permission)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.roles = make(map[string]map[string]bool)
+	c.grants = make(map[string]map[grantKey]bool)
+	applied := 0
+	for _, e := range p.RolePerms() {
+		if e.Domain != d {
+			continue
+		}
+		role := string(e.Role)
+		if c.grants[role] == nil {
+			c.grants[role] = make(map[grantKey]bool)
+		}
+		if c.roles[role] == nil {
+			c.roles[role] = make(map[string]bool)
+		}
+		c.grants[role][grantKey{string(e.ObjectType), string(e.Permission)}] = true
+		applied++
+	}
+	for _, e := range p.UserRoles() {
+		if e.Domain != d {
+			continue
+		}
+		account := string(e.User)
+		c.nt.AddAccount(account) // automated administrator creates accounts
+		role := string(e.Role)
+		if c.roles[role] == nil {
+			c.roles[role] = make(map[string]bool)
+		}
+		c.roles[role][account] = true
+		applied++
+	}
+	return applied, nil
+}
+
+// ApplyDiff implements middleware.SecurityAdapter.
+func (c *Catalogue) ApplyDiff(diff rbac.Diff) error {
+	d := c.Domain()
+	for _, e := range diff.AddedRolePerm {
+		if e.Domain == d && !validPerm(string(e.Permission)) {
+			return fmt.Errorf("complus: permission %q is not a COM permission", e.Permission)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range diff.AddedRolePerm {
+		if e.Domain != d {
+			continue
+		}
+		role := string(e.Role)
+		if c.grants[role] == nil {
+			c.grants[role] = make(map[grantKey]bool)
+		}
+		if c.roles[role] == nil {
+			c.roles[role] = make(map[string]bool)
+		}
+		c.grants[role][grantKey{string(e.ObjectType), string(e.Permission)}] = true
+	}
+	for _, e := range diff.RemovedRolePerm {
+		if e.Domain != d {
+			continue
+		}
+		delete(c.grants[string(e.Role)], grantKey{string(e.ObjectType), string(e.Permission)})
+	}
+	for _, e := range diff.AddedUserRole {
+		if e.Domain != d {
+			continue
+		}
+		account := string(e.User)
+		c.nt.AddAccount(account)
+		role := string(e.Role)
+		if c.roles[role] == nil {
+			c.roles[role] = make(map[string]bool)
+		}
+		c.roles[role][account] = true
+	}
+	for _, e := range diff.RemovedUserRole {
+		if e.Domain != d {
+			continue
+		}
+		delete(c.roles[string(e.Role)], string(e.User))
+	}
+	return nil
+}
+
+// RoleMembers returns the sorted member accounts of a role.
+func (c *Catalogue) RoleMembers(role string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []string
+	for m := range c.roles[role] {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var _ middleware.System = (*Catalogue)(nil)

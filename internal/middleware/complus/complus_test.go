@@ -1,0 +1,200 @@
+package complus
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/ossec"
+	"securewebcom/internal/rbac"
+)
+
+// newSalariesCatalogue builds a COM+ catalogue in NT domain "FINANCE"
+// with a SalariesDB COM class and Figure-1-like roles.
+func newSalariesCatalogue() *Catalogue {
+	nt := ossec.NewNTDomain("FINANCE")
+	nt.AddAccount("Alice")
+	nt.AddAccount("Bob")
+	cat := NewCatalogue("W", nt)
+	cat.RegisterClass("SalariesDB.Component", map[string]middleware.Handler{
+		PermLaunch: func(args []string) (string, error) { return "launched", nil },
+		PermAccess: func(args []string) (string, error) { return "accessed", nil },
+	})
+	cat.DefineRole("Clerk")
+	cat.DefineRole("Manager")
+	cat.Grant("Clerk", "SalariesDB.Component", PermAccess)
+	cat.Grant("Manager", "SalariesDB.Component", PermLaunch)
+	cat.Grant("Manager", "SalariesDB.Component", PermAccess)
+	cat.AddRoleMember("Clerk", "Alice")
+	cat.AddRoleMember("Manager", "Bob")
+	return cat
+}
+
+func TestCatalogueIdentity(t *testing.T) {
+	c := newSalariesCatalogue()
+	if c.Name() != "W" || c.Kind() != middleware.KindCOMPlus {
+		t.Fatal("identity accessors")
+	}
+	if c.Domain() != "FINANCE" {
+		t.Fatalf("Domain = %s", c.Domain())
+	}
+	if c.NTDomain().Name() != "FINANCE" {
+		t.Fatal("NTDomain accessor")
+	}
+}
+
+func TestCLSIDStable(t *testing.T) {
+	c := newSalariesCatalogue()
+	id1, err := c.CLSID("SalariesDB.Component")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(id1, "{") || len(id1) != 38 {
+		t.Fatalf("CLSID shape: %q", id1)
+	}
+	if id2 := clsidFor("SalariesDB.Component"); id1 != id2 {
+		t.Fatal("CLSID not deterministic")
+	}
+	if _, err := c.CLSID("Nothing"); err == nil {
+		t.Fatal("missing class CLSID resolved")
+	}
+}
+
+func TestLaunchAccessEnforcement(t *testing.T) {
+	c := newSalariesCatalogue()
+	d := c.Domain()
+
+	out, err := c.Invoke("Bob", d, "SalariesDB.Component", PermLaunch, nil)
+	if err != nil || out != "launched" {
+		t.Fatalf("manager launch: %q %v", out, err)
+	}
+	if _, err := c.Invoke("Alice", d, "SalariesDB.Component", PermAccess, nil); err != nil {
+		t.Fatalf("clerk access: %v", err)
+	}
+	_, err = c.Invoke("Alice", d, "SalariesDB.Component", PermLaunch, nil)
+	var denied *middleware.ErrDenied
+	if !errors.As(err, &denied) {
+		t.Fatalf("clerk launch should be denied: %v", err)
+	}
+	if _, err := c.Invoke("Bob", d, "SalariesDB.Component", "Frobnicate", nil); err == nil {
+		t.Fatal("unknown COM operation accepted")
+	}
+	if _, err := c.Invoke("Bob", "OTHER", "SalariesDB.Component", PermAccess, nil); err == nil {
+		t.Fatal("foreign domain accepted")
+	}
+	if _, err := c.Invoke("Bob", d, "Missing.Class", PermAccess, nil); err == nil {
+		t.Fatal("missing class accepted")
+	}
+	// RunAs granted but unimplemented.
+	c.Grant("Manager", "SalariesDB.Component", PermRunAs)
+	if _, err := c.Invoke("Bob", d, "SalariesDB.Component", PermRunAs, nil); err == nil ||
+		!strings.Contains(err.Error(), "does not implement") {
+		t.Fatalf("unimplemented operation: %v", err)
+	}
+}
+
+func TestRoleMembershipRequiresNTAccount(t *testing.T) {
+	c := newSalariesCatalogue()
+	if err := c.AddRoleMember("Clerk", "Ghost"); err == nil {
+		t.Fatal("non-existent NT account added to role")
+	}
+	// A trusted foreign account is acceptable.
+	other := ossec.NewNTDomain("SALES")
+	other.AddAccount("Claire")
+	c.NTDomain().Trust(other)
+	if err := c.AddRoleMember("Clerk", `SALES\Claire`); err != nil {
+		t.Fatalf("trusted foreign account rejected: %v", err)
+	}
+}
+
+func TestGrantValidation(t *testing.T) {
+	c := newSalariesCatalogue()
+	if err := c.Grant("Clerk", "SalariesDB.Component", "write"); err == nil {
+		t.Fatal("non-COM permission granted")
+	}
+}
+
+func TestComponentsEnumeration(t *testing.T) {
+	c := newSalariesCatalogue()
+	comps := c.Components()
+	if len(comps) != 1 || comps[0].ObjectType != "SalariesDB.Component" {
+		t.Fatalf("Components = %+v", comps)
+	}
+	if len(comps[0].Operations) != 3 {
+		t.Fatalf("operations = %v", comps[0].Operations)
+	}
+}
+
+func TestExtractApplyRoundTrip(t *testing.T) {
+	c := newSalariesCatalogue()
+	p, err := c.ExtractPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt2 := ossec.NewNTDomain("FINANCE")
+	c2 := NewCatalogue("W2", nt2)
+	n, err := c2.ApplyPolicy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != p.Len() {
+		t.Fatalf("applied %d of %d rows", n, p.Len())
+	}
+	p2, _ := c2.ExtractPolicy()
+	if !p.Equal(p2) {
+		t.Fatalf("extract∘apply not identity:\n%svs\n%s", p, p2)
+	}
+	// Users were auto-created as NT accounts.
+	if _, err := nt2.SID("Alice"); err != nil {
+		t.Fatal("ApplyPolicy did not create NT account")
+	}
+}
+
+func TestApplyPolicyRejectsForeignPermissions(t *testing.T) {
+	c := newSalariesCatalogue()
+	p := rbac.NewPolicy()
+	p.AddRolePerm(c.Domain(), "Clerk", "X", "write") // not a COM permission
+	if _, err := c.ApplyPolicy(p); err == nil {
+		t.Fatal("non-COM permission applied to catalogue")
+	}
+	// Foreign-domain rows with non-COM permissions are fine (ignored).
+	p2 := rbac.NewPolicy()
+	p2.AddRolePerm("elsewhere", "R", "X", "write")
+	if _, err := c.ApplyPolicy(p2); err != nil {
+		t.Fatalf("foreign rows rejected: %v", err)
+	}
+}
+
+func TestApplyDiff(t *testing.T) {
+	c := newSalariesCatalogue()
+	d := c.Domain()
+	err := c.ApplyDiff(rbac.Diff{
+		AddedUserRole:   []rbac.UserRoleEntry{{User: "Fred", Domain: d, Role: "Manager"}},
+		RemovedUserRole: []rbac.UserRoleEntry{{User: "Bob", Domain: d, Role: "Manager"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.CheckAccess("Fred", d, "SalariesDB.Component", PermLaunch); !got {
+		t.Fatal("added member lacks access")
+	}
+	if got, _ := c.CheckAccess("Bob", d, "SalariesDB.Component", PermLaunch); got {
+		t.Fatal("removed member retains access")
+	}
+	if members := c.RoleMembers("Manager"); len(members) != 1 || members[0] != "Fred" {
+		t.Fatalf("RoleMembers = %v", members)
+	}
+	// Diff with bad permission rejected.
+	if err := c.ApplyDiff(rbac.Diff{AddedRolePerm: []rbac.RolePermEntry{
+		{Domain: d, Role: "R", ObjectType: "O", Permission: "write"}}}); err == nil {
+		t.Fatal("bad permission diff applied")
+	}
+}
+
+func TestCheckAccessDomainValidation(t *testing.T) {
+	c := newSalariesCatalogue()
+	if _, err := c.CheckAccess("Bob", "OTHER", "X", PermAccess); err == nil {
+		t.Fatal("foreign domain did not error")
+	}
+}

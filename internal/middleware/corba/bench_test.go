@@ -1,0 +1,63 @@
+package corba
+
+import (
+	"testing"
+
+	"securewebcom/internal/middleware"
+)
+
+// BenchmarkRemoteInvocation measures a full GIOP-lite round trip over
+// loopback, including the ORB's security interceptor.
+func BenchmarkRemoteInvocation(b *testing.B) {
+	o := NewORB("Y", "h", "orb")
+	o.DefineInterface("Echo", "echo")
+	if err := o.BindObject("e", "Echo", map[string]middleware.Handler{
+		"echo": func(args []string) (string, error) { return args[0], nil },
+	}); err != nil {
+		b.Fatal(err)
+	}
+	o.GrantRole("R", "Echo", "echo")
+	o.AddPrincipalToRole("u", "R")
+
+	srv, err := Serve(o, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	obj, err := Dial(srv.IOR("e"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer obj.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := obj.Invoke("u", "echo", "payload")
+		if err != nil || out != "payload" {
+			b.Fatalf("%q %v", out, err)
+		}
+	}
+}
+
+// BenchmarkLocalInvocation is the same call without the wire, isolating
+// the interceptor + dispatch cost.
+func BenchmarkLocalInvocation(b *testing.B) {
+	o := NewORB("Y", "h", "orb")
+	o.DefineInterface("Echo", "echo")
+	if err := o.BindObject("e", "Echo", map[string]middleware.Handler{
+		"echo": func(args []string) (string, error) { return args[0], nil },
+	}); err != nil {
+		b.Fatal(err)
+	}
+	o.GrantRole("R", "Echo", "echo")
+	o.AddPrincipalToRole("u", "R")
+	d := o.Domain()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := o.Invoke("u", d, "Echo", "echo", []string{"payload"})
+		if err != nil || out != "payload" {
+			b.Fatalf("%q %v", out, err)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package corba is a miniature CORBA Object Request Broker sufficient to
+// stand in for the ORBs the paper's testbed used: an interface repository,
+// an object adapter hosting servants, remote invocation over a GIOP-like
+// TCP protocol with IOR-style object references, and a CORBASec-style
+// access policy.
+//
+// In the paper's RBAC interpretation (Section 2), a CORBA domain is the
+// machine plus ORB server name; roles are unique to the domain; users are
+// members of roles; and permissions are the method calls on objects of a
+// given object type (IDL interface). This package stores that policy in
+// its native shape (required-rights per interface operation, granted
+// rights per role, principal role membership) and exposes it through the
+// middleware.SecurityAdapter contract.
+package corba
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/rbac"
+)
+
+// ORB is a miniature Object Request Broker. One ORB forms one RBAC
+// domain: "<host>/<server name>".
+type ORB struct {
+	label string // installation label ("Y")
+	host  string
+	name  string
+
+	mu         sync.RWMutex
+	interfaces map[string][]string // interface repository: interface -> operations
+	objects    map[string]*servant
+
+	// CORBASec-style policy, stored natively.
+	roleOps   map[string]map[ifaceOp]bool // role -> granted (interface, op)
+	userRoles map[string]map[string]bool  // principal -> roles
+}
+
+type ifaceOp struct {
+	iface string
+	op    string
+}
+
+type servant struct {
+	iface string
+	impl  map[string]middleware.Handler
+}
+
+// NewORB creates an ORB named name on the given (simulated) host.
+func NewORB(label, host, name string) *ORB {
+	return &ORB{
+		label:      label,
+		host:       host,
+		name:       name,
+		interfaces: make(map[string][]string),
+		objects:    make(map[string]*servant),
+		roleOps:    make(map[string]map[ifaceOp]bool),
+		userRoles:  make(map[string]map[string]bool),
+	}
+}
+
+// Name implements middleware.System.
+func (o *ORB) Name() string { return o.label }
+
+// Kind implements middleware.System.
+func (o *ORB) Kind() middleware.Kind { return middleware.KindCORBA }
+
+// Domain returns the ORB's RBAC domain, "<host>/<name>".
+func (o *ORB) Domain() rbac.Domain {
+	return rbac.Domain(o.host + "/" + o.name)
+}
+
+// DefineInterface registers an IDL interface and its operations in the
+// interface repository.
+func (o *ORB) DefineInterface(iface string, operations ...string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.interfaces[iface] = append([]string(nil), operations...)
+}
+
+// BindObject activates a servant for an object key, implementing iface.
+// Handlers missing for declared operations raise a CORBA-style
+// BAD_OPERATION at invocation time.
+func (o *ORB) BindObject(key, iface string, impl map[string]middleware.Handler) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.interfaces[iface]; !ok {
+		return fmt.Errorf("corba: interface %q not in repository", iface)
+	}
+	o.objects[key] = &servant{iface: iface, impl: impl}
+	return nil
+}
+
+// Components implements middleware.System by enumerating bound objects.
+func (o *ORB) Components() []middleware.Component {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	seen := map[string]bool{}
+	var out []middleware.Component
+	for _, s := range o.objects {
+		if seen[s.iface] {
+			continue
+		}
+		seen[s.iface] = true
+		ops := append([]string(nil), o.interfaces[s.iface]...)
+		sort.Strings(ops)
+		out = append(out, middleware.Component{
+			Domain:     o.Domain(),
+			ObjectType: rbac.ObjectType(s.iface),
+			Operations: ops,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ObjectType < out[j].ObjectType })
+	return out
+}
+
+// GrantRole grants role the right to call op on iface.
+func (o *ORB) GrantRole(role, iface, op string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.roleOps[role] == nil {
+		o.roleOps[role] = make(map[ifaceOp]bool)
+	}
+	o.roleOps[role][ifaceOp{iface, op}] = true
+}
+
+// AddPrincipalToRole makes principal a member of role.
+func (o *ORB) AddPrincipalToRole(principal, role string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.userRoles[principal] == nil {
+		o.userRoles[principal] = make(map[string]bool)
+	}
+	o.userRoles[principal][role] = true
+}
+
+// CheckAccess implements middleware.SecurityAdapter.
+func (o *ORB) CheckAccess(u rbac.User, d rbac.Domain, ot rbac.ObjectType, perm rbac.Permission) (bool, error) {
+	if d != o.Domain() {
+		return false, fmt.Errorf("corba: domain %q is not this ORB's domain %q", d, o.Domain())
+	}
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.checkLocked(string(u), string(ot), string(perm)), nil
+}
+
+func (o *ORB) checkLocked(principal, iface, op string) bool {
+	for role := range o.userRoles[principal] {
+		if o.roleOps[role][ifaceOp{iface, op}] {
+			return true
+		}
+	}
+	return false
+}
+
+// Invoke implements middleware.Invoker: the ORB's security interceptor
+// runs before the servant.
+func (o *ORB) Invoke(u rbac.User, d rbac.Domain, ot rbac.ObjectType, op string, args []string) (string, error) {
+	if d != o.Domain() {
+		return "", fmt.Errorf("corba: domain %q is not this ORB's domain %q", d, o.Domain())
+	}
+	o.mu.RLock()
+	var sv *servant
+	for _, s := range o.objects {
+		if s.iface == string(ot) {
+			sv = s
+			break
+		}
+	}
+	allowed := o.checkLocked(string(u), string(ot), op)
+	o.mu.RUnlock()
+
+	if sv == nil {
+		return "", fmt.Errorf("corba: OBJECT_NOT_EXIST: no servant for interface %q", ot)
+	}
+	if !allowed {
+		return "", &middleware.ErrDenied{User: u, Domain: d, ObjectType: ot, Op: op}
+	}
+	h, ok := sv.impl[op]
+	if !ok {
+		return "", fmt.Errorf("corba: BAD_OPERATION: %s has no operation %q", ot, op)
+	}
+	return h(args)
+}
+
+// invokeByKey dispatches a wire request addressed by object key.
+func (o *ORB) invokeByKey(principal, key, op string, args []string) (string, error) {
+	o.mu.RLock()
+	sv, ok := o.objects[key]
+	var allowed bool
+	if ok {
+		allowed = o.checkLocked(principal, sv.iface, op)
+	}
+	o.mu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("corba: OBJECT_NOT_EXIST: %q", key)
+	}
+	if !allowed {
+		return "", &middleware.ErrDenied{
+			User: rbac.User(principal), Domain: o.Domain(),
+			ObjectType: rbac.ObjectType(sv.iface), Op: op,
+		}
+	}
+	h, ok := sv.impl[op]
+	if !ok {
+		return "", fmt.Errorf("corba: BAD_OPERATION: %q", op)
+	}
+	return h(args)
+}
+
+// ExtractPolicy implements middleware.SecurityAdapter.
+func (o *ORB) ExtractPolicy() (*rbac.Policy, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	p := rbac.NewPolicy()
+	d := o.Domain()
+	for role, ops := range o.roleOps {
+		for io := range ops {
+			p.AddRolePerm(d, rbac.Role(role), rbac.ObjectType(io.iface), rbac.Permission(io.op))
+		}
+	}
+	for principal, roles := range o.userRoles {
+		for role := range roles {
+			p.AddUserRole(rbac.User(principal), d, rbac.Role(role))
+		}
+	}
+	return p, nil
+}
+
+// ApplyPolicy implements middleware.SecurityAdapter: the ORB's security
+// configuration is replaced by p's rows for this ORB's domain.
+func (o *ORB) ApplyPolicy(p *rbac.Policy) (int, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.roleOps = make(map[string]map[ifaceOp]bool)
+	o.userRoles = make(map[string]map[string]bool)
+	d := o.Domain()
+	applied := 0
+	for _, e := range p.RolePerms() {
+		if e.Domain != d {
+			continue
+		}
+		role := string(e.Role)
+		if o.roleOps[role] == nil {
+			o.roleOps[role] = make(map[ifaceOp]bool)
+		}
+		o.roleOps[role][ifaceOp{string(e.ObjectType), string(e.Permission)}] = true
+		applied++
+	}
+	for _, e := range p.UserRoles() {
+		if e.Domain != d {
+			continue
+		}
+		u := string(e.User)
+		if o.userRoles[u] == nil {
+			o.userRoles[u] = make(map[string]bool)
+		}
+		o.userRoles[u][string(e.Role)] = true
+		applied++
+	}
+	return applied, nil
+}
+
+// ApplyDiff implements middleware.SecurityAdapter.
+func (o *ORB) ApplyDiff(diff rbac.Diff) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	d := o.Domain()
+	for _, e := range diff.AddedRolePerm {
+		if e.Domain != d {
+			continue
+		}
+		role := string(e.Role)
+		if o.roleOps[role] == nil {
+			o.roleOps[role] = make(map[ifaceOp]bool)
+		}
+		o.roleOps[role][ifaceOp{string(e.ObjectType), string(e.Permission)}] = true
+	}
+	for _, e := range diff.RemovedRolePerm {
+		if e.Domain != d {
+			continue
+		}
+		delete(o.roleOps[string(e.Role)], ifaceOp{string(e.ObjectType), string(e.Permission)})
+	}
+	for _, e := range diff.AddedUserRole {
+		if e.Domain != d {
+			continue
+		}
+		u := string(e.User)
+		if o.userRoles[u] == nil {
+			o.userRoles[u] = make(map[string]bool)
+		}
+		o.userRoles[u][string(e.Role)] = true
+	}
+	for _, e := range diff.RemovedUserRole {
+		if e.Domain != d {
+			continue
+		}
+		delete(o.userRoles[string(e.User)], string(e.Role))
+	}
+	return nil
+}
+
+var _ middleware.System = (*ORB)(nil)

@@ -1,0 +1,383 @@
+// Package ejb simulates a J2EE Enterprise JavaBeans server sufficient for
+// the paper's security interoperability experiments: bean containers
+// addressed by JNDI names, XML deployment descriptors carrying
+// security-role and method-permission elements, a per-server user
+// registry, and a container-managed invocation path that enforces the
+// declarative security policy.
+//
+// In the paper's RBAC interpretation (Section 2), an EJB domain is the
+// combination of host, EJB server and bean-container JNDI name; roles are
+// bean-container specific; users exist server-globally (so one user can
+// hold roles in several domains of the same server); and permissions are
+// the method calls a role may make on a bean.
+package ejb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/rbac"
+)
+
+// Server is a simulated EJB server on a host. Its domains are
+// "<host>/<server>/<jndiName>", one per bean container.
+type Server struct {
+	label  string
+	host   string
+	server string
+
+	mu         sync.RWMutex
+	users      map[string]bool // server-global user registry
+	containers map[string]*Container
+}
+
+// Container is a bean container bound at a JNDI name, holding deployed
+// beans and the container's declarative security configuration.
+type Container struct {
+	jndiName string
+
+	beans       map[string]*bean
+	roles       map[string]bool               // declared security roles
+	methodPerms map[string]map[methodRef]bool // role -> permitted methods
+	userRoles   map[string]map[string]bool    // user -> roles in this container
+
+	// unchecked methods are callable by any authenticated user, and
+	// excluded methods by nobody (J2EE <unchecked/> and <exclude-list>).
+	// Both are structural deployment configuration: they survive
+	// ApplyPolicy and are not represented in the extracted RBAC relations
+	// (which model role-based grants only); exclusion dominates.
+	unchecked map[methodRef]bool
+	excluded  map[methodRef]bool
+}
+
+type methodRef struct {
+	ejbName string
+	method  string
+}
+
+type bean struct {
+	name    string
+	methods []string
+	impl    map[string]middleware.Handler
+}
+
+// NewServer creates an EJB server named server on host.
+func NewServer(label, host, server string) *Server {
+	return &Server{
+		label:      label,
+		host:       host,
+		server:     server,
+		users:      make(map[string]bool),
+		containers: make(map[string]*Container),
+	}
+}
+
+// Name implements middleware.System.
+func (s *Server) Name() string { return s.label }
+
+// Kind implements middleware.System.
+func (s *Server) Kind() middleware.Kind { return middleware.KindEJB }
+
+// AddUser registers a user in the server-global registry. Role
+// assignments in any container require the user to exist here first.
+func (s *Server) AddUser(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.users[name] = true
+}
+
+// HasUser reports whether the user exists on this server.
+func (s *Server) HasUser(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.users[name]
+}
+
+// CreateContainer creates (or returns) the bean container at jndiName.
+func (s *Server) CreateContainer(jndiName string) *Container {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.containers[jndiName]; ok {
+		return c
+	}
+	c := &Container{
+		jndiName:    jndiName,
+		beans:       make(map[string]*bean),
+		roles:       make(map[string]bool),
+		methodPerms: make(map[string]map[methodRef]bool),
+		userRoles:   make(map[string]map[string]bool),
+		unchecked:   make(map[methodRef]bool),
+		excluded:    make(map[methodRef]bool),
+	}
+	s.containers[jndiName] = c
+	return c
+}
+
+// Lookup resolves a JNDI name to its container (the JNDI naming service
+// of reference [28]).
+func (s *Server) Lookup(jndiName string) (*Container, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.containers[jndiName]
+	if !ok {
+		return nil, fmt.Errorf("ejb: NameNotFoundException: %q", jndiName)
+	}
+	return c, nil
+}
+
+// domainOf returns the RBAC domain of a container on this server.
+func (s *Server) domainOf(jndiName string) rbac.Domain {
+	return rbac.Domain(s.host + "/" + s.server + "/" + jndiName)
+}
+
+// containerForDomain maps an RBAC domain back to a container.
+func (s *Server) containerForDomain(d rbac.Domain) (*Container, error) {
+	for name := range s.containers {
+		if s.domainOf(name) == d {
+			return s.containers[name], nil
+		}
+	}
+	return nil, fmt.Errorf("ejb: domain %q is not on server %s/%s", d, s.host, s.server)
+}
+
+// DeployBean deploys a bean into the container with its business methods.
+func (c *Container) DeployBean(name string, impl map[string]middleware.Handler, methods ...string) {
+	c.beans[name] = &bean{name: name, methods: methods, impl: impl}
+}
+
+// DeclareRole declares a security role in this container.
+func (c *Container) DeclareRole(role string) { c.roles[role] = true }
+
+// AddMethodPermission grants role permission to call method on ejbName
+// (the <method-permission> element of the deployment descriptor).
+func (c *Container) AddMethodPermission(role, ejbName, method string) {
+	c.roles[role] = true
+	if c.methodPerms[role] == nil {
+		c.methodPerms[role] = make(map[methodRef]bool)
+	}
+	c.methodPerms[role][methodRef{ejbName, method}] = true
+}
+
+// MarkUnchecked declares a method callable by any user
+// (<method-permission><unchecked/>).
+func (c *Container) MarkUnchecked(ejbName, method string) {
+	c.unchecked[methodRef{ejbName, method}] = true
+}
+
+// Exclude puts a method on the exclude list: no caller may invoke it,
+// regardless of roles (<exclude-list>). Exclusion dominates every grant.
+func (c *Container) Exclude(ejbName, method string) {
+	c.excluded[methodRef{ejbName, method}] = true
+}
+
+// AssignRole assigns a server user to a role in this container. The
+// server is needed to validate that the user exists server-globally.
+func (s *Server) AssignRole(jndiName, user, role string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.users[user] {
+		return fmt.Errorf("ejb: user %q not registered on server %s/%s", user, s.host, s.server)
+	}
+	c, ok := s.containers[jndiName]
+	if !ok {
+		return fmt.Errorf("ejb: NameNotFoundException: %q", jndiName)
+	}
+	if !c.roles[role] {
+		return fmt.Errorf("ejb: role %q not declared in container %q", role, jndiName)
+	}
+	if c.userRoles[user] == nil {
+		c.userRoles[user] = make(map[string]bool)
+	}
+	c.userRoles[user][role] = true
+	return nil
+}
+
+// Components implements middleware.System.
+func (s *Server) Components() []middleware.Component {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []middleware.Component
+	for jndi, c := range s.containers {
+		for _, b := range c.beans {
+			ops := append([]string(nil), b.methods...)
+			sort.Strings(ops)
+			out = append(out, middleware.Component{
+				Domain:     s.domainOf(jndi),
+				ObjectType: rbac.ObjectType(b.name),
+				Operations: ops,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Domain != out[j].Domain {
+			return out[i].Domain < out[j].Domain
+		}
+		return out[i].ObjectType < out[j].ObjectType
+	})
+	return out
+}
+
+// CheckAccess implements middleware.SecurityAdapter.
+func (s *Server) CheckAccess(u rbac.User, d rbac.Domain, ot rbac.ObjectType, perm rbac.Permission) (bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, err := s.containerForDomain(d)
+	if err != nil {
+		return false, err
+	}
+	return c.check(string(u), string(ot), string(perm)), nil
+}
+
+func (c *Container) check(user, ejbName, method string) bool {
+	ref := methodRef{ejbName, method}
+	if c.excluded[ref] {
+		return false
+	}
+	if c.unchecked[ref] {
+		return true
+	}
+	for role := range c.userRoles[user] {
+		if c.methodPerms[role][ref] {
+			return true
+		}
+	}
+	return false
+}
+
+// Invoke implements middleware.Invoker: container-managed security runs
+// before the bean method.
+func (s *Server) Invoke(u rbac.User, d rbac.Domain, ot rbac.ObjectType, op string, args []string) (string, error) {
+	s.mu.RLock()
+	c, err := s.containerForDomain(d)
+	if err != nil {
+		s.mu.RUnlock()
+		return "", err
+	}
+	b, ok := c.beans[string(ot)]
+	allowed := c.check(string(u), string(ot), op)
+	s.mu.RUnlock()
+
+	if !ok {
+		return "", fmt.Errorf("ejb: no bean %q in container", ot)
+	}
+	if !allowed {
+		return "", &middleware.ErrDenied{User: u, Domain: d, ObjectType: ot, Op: op}
+	}
+	h, ok := b.impl[op]
+	if !ok {
+		return "", fmt.Errorf("ejb: bean %q has no method %q", ot, op)
+	}
+	return h(args)
+}
+
+// ExtractPolicy implements middleware.SecurityAdapter.
+func (s *Server) ExtractPolicy() (*rbac.Policy, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p := rbac.NewPolicy()
+	for jndi, c := range s.containers {
+		d := s.domainOf(jndi)
+		for role, perms := range c.methodPerms {
+			for ref := range perms {
+				p.AddRolePerm(d, rbac.Role(role), rbac.ObjectType(ref.ejbName), rbac.Permission(ref.method))
+			}
+		}
+		for user, roles := range c.userRoles {
+			for role := range roles {
+				p.AddUserRole(rbac.User(user), d, rbac.Role(role))
+			}
+		}
+	}
+	return p, nil
+}
+
+// ApplyPolicy implements middleware.SecurityAdapter: each container's
+// security configuration is rebuilt from p's rows for its domain. Users
+// referenced by the policy are auto-registered in the server registry
+// (the automated administrator of Section 4.1 would create them).
+func (s *Server) ApplyPolicy(p *rbac.Policy) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	applied := 0
+	for jndi, c := range s.containers {
+		d := s.domainOf(jndi)
+		c.methodPerms = make(map[string]map[methodRef]bool)
+		c.userRoles = make(map[string]map[string]bool)
+		c.roles = make(map[string]bool)
+		for _, e := range p.RolePerms() {
+			if e.Domain != d {
+				continue
+			}
+			role := string(e.Role)
+			c.roles[role] = true
+			if c.methodPerms[role] == nil {
+				c.methodPerms[role] = make(map[methodRef]bool)
+			}
+			c.methodPerms[role][methodRef{string(e.ObjectType), string(e.Permission)}] = true
+			applied++
+		}
+		for _, e := range p.UserRoles() {
+			if e.Domain != d {
+				continue
+			}
+			u := string(e.User)
+			s.users[u] = true
+			c.roles[string(e.Role)] = true
+			if c.userRoles[u] == nil {
+				c.userRoles[u] = make(map[string]bool)
+			}
+			c.userRoles[u][string(e.Role)] = true
+			applied++
+		}
+	}
+	return applied, nil
+}
+
+// ApplyDiff implements middleware.SecurityAdapter.
+func (s *Server) ApplyDiff(diff rbac.Diff) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for jndi, c := range s.containers {
+		d := s.domainOf(jndi)
+		for _, e := range diff.AddedRolePerm {
+			if e.Domain != d {
+				continue
+			}
+			role := string(e.Role)
+			c.roles[role] = true
+			if c.methodPerms[role] == nil {
+				c.methodPerms[role] = make(map[methodRef]bool)
+			}
+			c.methodPerms[role][methodRef{string(e.ObjectType), string(e.Permission)}] = true
+		}
+		for _, e := range diff.RemovedRolePerm {
+			if e.Domain != d {
+				continue
+			}
+			delete(c.methodPerms[string(e.Role)], methodRef{string(e.ObjectType), string(e.Permission)})
+		}
+		for _, e := range diff.AddedUserRole {
+			if e.Domain != d {
+				continue
+			}
+			u := string(e.User)
+			s.users[u] = true
+			c.roles[string(e.Role)] = true
+			if c.userRoles[u] == nil {
+				c.userRoles[u] = make(map[string]bool)
+			}
+			c.userRoles[u][string(e.Role)] = true
+		}
+		for _, e := range diff.RemovedUserRole {
+			if e.Domain != d {
+				continue
+			}
+			delete(c.userRoles[string(e.User)], string(e.Role))
+		}
+	}
+	return nil
+}
+
+var _ middleware.System = (*Server)(nil)

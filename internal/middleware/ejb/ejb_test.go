@@ -1,0 +1,393 @@
+package ejb
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/rbac"
+)
+
+// newSalariesServer builds an EJB server with a Salaries bean in a
+// Finance container and the corresponding Figure 1 policy rows.
+func newSalariesServer() *Server {
+	s := NewServer("X", "hostX", "ejbsrv")
+	c := s.CreateContainer("finance")
+	c.DeployBean("Salaries", map[string]middleware.Handler{
+		"read":  func(args []string) (string, error) { return "salary-data", nil },
+		"write": func(args []string) (string, error) { return "written", nil },
+	}, "read", "write")
+	c.DeclareRole("Clerk")
+	c.DeclareRole("Manager")
+	c.AddMethodPermission("Clerk", "Salaries", "write")
+	c.AddMethodPermission("Manager", "Salaries", "read")
+	c.AddMethodPermission("Manager", "Salaries", "write")
+	s.AddUser("Alice")
+	s.AddUser("Bob")
+	s.AssignRole("finance", "Alice", "Clerk")
+	s.AssignRole("finance", "Bob", "Manager")
+	return s
+}
+
+func domain(s *Server) rbac.Domain { return rbac.Domain("hostX/ejbsrv/finance") }
+
+func TestServerIdentity(t *testing.T) {
+	s := newSalariesServer()
+	if s.Name() != "X" || s.Kind() != middleware.KindEJB {
+		t.Fatal("identity accessors")
+	}
+	if !s.HasUser("Alice") || s.HasUser("Ghost") {
+		t.Fatal("user registry")
+	}
+}
+
+func TestJNDILookup(t *testing.T) {
+	s := newSalariesServer()
+	if _, err := s.Lookup("finance"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Lookup("nothing"); err == nil ||
+		!strings.Contains(err.Error(), "NameNotFoundException") {
+		t.Fatalf("missing JNDI name: %v", err)
+	}
+}
+
+func TestContainerManagedSecurity(t *testing.T) {
+	s := newSalariesServer()
+	d := domain(s)
+
+	out, err := s.Invoke("Bob", d, "Salaries", "read", nil)
+	if err != nil || out != "salary-data" {
+		t.Fatalf("manager read: %q %v", out, err)
+	}
+	_, err = s.Invoke("Alice", d, "Salaries", "read", nil)
+	var denied *middleware.ErrDenied
+	if !errors.As(err, &denied) {
+		t.Fatalf("clerk read should be denied: %v", err)
+	}
+	if _, err := s.Invoke("Alice", d, "Salaries", "write", nil); err != nil {
+		t.Fatalf("clerk write: %v", err)
+	}
+	if _, err := s.Invoke("Bob", "wrong/domain/x", "Salaries", "read", nil); err == nil {
+		t.Fatal("foreign domain accepted")
+	}
+	if _, err := s.Invoke("Bob", d, "NoBean", "read", nil); err == nil {
+		t.Fatal("missing bean accepted")
+	}
+}
+
+func TestAssignRoleValidation(t *testing.T) {
+	s := newSalariesServer()
+	if err := s.AssignRole("finance", "Ghost", "Clerk"); err == nil {
+		t.Fatal("unregistered user assigned")
+	}
+	if err := s.AssignRole("nowhere", "Alice", "Clerk"); err == nil {
+		t.Fatal("missing container accepted")
+	}
+	if err := s.AssignRole("finance", "Alice", "CEO"); err == nil {
+		t.Fatal("undeclared role assigned")
+	}
+}
+
+func TestUsersAreServerGlobal(t *testing.T) {
+	// One user holds roles in two containers (domains) of the same
+	// server — the paper's EJB-specific property.
+	s := NewServer("X", "h", "srv")
+	fin := s.CreateContainer("finance")
+	sal := s.CreateContainer("sales")
+	fin.DeployBean("A", map[string]middleware.Handler{"m": ok}, "m")
+	sal.DeployBean("B", map[string]middleware.Handler{"m": ok}, "m")
+	fin.AddMethodPermission("R1", "A", "m")
+	sal.AddMethodPermission("R2", "B", "m")
+	s.AddUser("Elaine")
+	if err := s.AssignRole("finance", "Elaine", "R1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AssignRole("sales", "Elaine", "R2"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.CheckAccess("Elaine", "h/srv/finance", "A", "m"); !got {
+		t.Fatal("finance role lost")
+	}
+	if got, _ := s.CheckAccess("Elaine", "h/srv/sales", "B", "m"); !got {
+		t.Fatal("sales role lost")
+	}
+	// Roles do not leak between containers.
+	if got, _ := s.CheckAccess("Elaine", "h/srv/finance", "B", "m"); got {
+		t.Fatal("cross-container leak")
+	}
+}
+
+func ok(args []string) (string, error) { return "ok", nil }
+
+func TestComponentsEnumeration(t *testing.T) {
+	s := newSalariesServer()
+	comps := s.Components()
+	if len(comps) != 1 || comps[0].ObjectType != "Salaries" || comps[0].Domain != domain(s) {
+		t.Fatalf("Components = %+v", comps)
+	}
+}
+
+func TestExtractApplyRoundTrip(t *testing.T) {
+	s := newSalariesServer()
+	p, err := s.ExtractPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewServer("X2", "hostX", "ejbsrv")
+	s2.CreateContainer("finance")
+	n, err := s2.ApplyPolicy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != p.Len() {
+		t.Fatalf("applied %d of %d rows", n, p.Len())
+	}
+	p2, _ := s2.ExtractPolicy()
+	if !p.Equal(p2) {
+		t.Fatalf("extract∘apply not identity:\n%svs\n%s", p, p2)
+	}
+	// Decisions preserved.
+	if got, _ := s2.CheckAccess("Alice", domain(s), "Salaries", "write"); !got {
+		t.Fatal("decision lost after apply")
+	}
+}
+
+func TestApplyDiffMaintenance(t *testing.T) {
+	s := newSalariesServer()
+	d := domain(s)
+	err := s.ApplyDiff(rbac.Diff{
+		AddedUserRole:   []rbac.UserRoleEntry{{User: "Fred", Domain: d, Role: "Manager"}},
+		RemovedUserRole: []rbac.UserRoleEntry{{User: "Bob", Domain: d, Role: "Manager"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.CheckAccess("Fred", d, "Salaries", "read"); !got {
+		t.Fatal("added user lacks access")
+	}
+	if got, _ := s.CheckAccess("Bob", d, "Salaries", "read"); got {
+		t.Fatal("removed user retains access")
+	}
+	if !s.HasUser("Fred") {
+		t.Fatal("diff did not auto-register the user")
+	}
+}
+
+const sampleDescriptor = `<?xml version="1.0"?>
+<ejb-jar>
+  <assembly-descriptor>
+    <security-role><role-name>Clerk</role-name></security-role>
+    <security-role><role-name>Manager</role-name></security-role>
+    <method-permission>
+      <role-name>Clerk</role-name>
+      <method><ejb-name>Salaries</ejb-name><method-name>write</method-name></method>
+    </method-permission>
+    <method-permission>
+      <role-name>Manager</role-name>
+      <method><ejb-name>Salaries</ejb-name><method-name>read</method-name></method>
+      <method><ejb-name>Salaries</ejb-name><method-name>write</method-name></method>
+    </method-permission>
+  </assembly-descriptor>
+</ejb-jar>`
+
+func TestDescriptorLoad(t *testing.T) {
+	jar, err := ParseDescriptor([]byte(sampleDescriptor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer("X", "h", "srv")
+	c := s.CreateContainer("fin")
+	if err := c.LoadDescriptor(jar); err != nil {
+		t.Fatal(err)
+	}
+	s.AddUser("Bob")
+	if err := s.AssignRole("fin", "Bob", "Manager"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.CheckAccess("Bob", "h/srv/fin", "Salaries", "read"); !got {
+		t.Fatal("descriptor permissions not loaded")
+	}
+}
+
+func TestDescriptorRoundTrip(t *testing.T) {
+	jar, err := ParseDescriptor([]byte(sampleDescriptor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer("X", "h", "srv")
+	c := s.CreateContainer("fin")
+	if err := c.LoadDescriptor(jar); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.ExportDescriptor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-import into a fresh container: policies identical.
+	jar2, err := ParseDescriptor(out)
+	if err != nil {
+		t.Fatalf("re-parse exported descriptor: %v\n%s", err, out)
+	}
+	s2 := NewServer("X2", "h", "srv")
+	c2 := s2.CreateContainer("fin")
+	if err := c2.LoadDescriptor(jar2); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := s.ExtractPolicy()
+	p2, _ := s2.ExtractPolicy()
+	if !p1.Equal(p2) {
+		t.Fatalf("descriptor round trip changed policy:\n%svs\n%s", p1, p2)
+	}
+}
+
+func TestDescriptorErrors(t *testing.T) {
+	if _, err := ParseDescriptor([]byte("<not-xml")); err == nil {
+		t.Fatal("bad XML accepted")
+	}
+	cases := []string{
+		`<ejb-jar></ejb-jar>`,
+		`<ejb-jar><assembly-descriptor><security-role><role-name></role-name></security-role></assembly-descriptor></ejb-jar>`,
+		`<ejb-jar><assembly-descriptor><method-permission><role-name>R</role-name></method-permission></assembly-descriptor></ejb-jar>`,
+		`<ejb-jar><assembly-descriptor><method-permission><role-name>R</role-name><method><ejb-name>B</ejb-name></method></method-permission></assembly-descriptor></ejb-jar>`,
+	}
+	for _, src := range cases {
+		jar, err := ParseDescriptor([]byte(src))
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		s := NewServer("X", "h", "srv")
+		c := s.CreateContainer("f")
+		if err := c.LoadDescriptor(jar); err == nil {
+			t.Errorf("LoadDescriptor accepted %q", src)
+		}
+	}
+}
+
+func TestCreateContainerIdempotent(t *testing.T) {
+	s := NewServer("X", "h", "srv")
+	c1 := s.CreateContainer("fin")
+	c2 := s.CreateContainer("fin")
+	if c1 != c2 {
+		t.Fatal("CreateContainer created a duplicate")
+	}
+}
+
+func TestInvokeMissingMethod(t *testing.T) {
+	s := newSalariesServer()
+	d := domain(s)
+	// Grant a method that the bean does not implement.
+	c, _ := s.Lookup("finance")
+	c.AddMethodPermission("Manager", "Salaries", "audit")
+	if _, err := s.Invoke("Bob", d, "Salaries", "audit", nil); err == nil ||
+		!strings.Contains(err.Error(), "no method") {
+		t.Fatalf("missing method: %v", err)
+	}
+}
+
+func TestUncheckedAndExcludedMethods(t *testing.T) {
+	s := NewServer("X", "h", "srv")
+	c := s.CreateContainer("fin")
+	c.DeployBean("B", map[string]middleware.Handler{
+		"public": ok, "secret": ok, "normal": ok,
+	}, "public", "secret", "normal")
+	c.AddMethodPermission("R", "B", "normal")
+	c.AddMethodPermission("R", "B", "secret") // grant, but excluded below
+	c.MarkUnchecked("B", "public")
+	c.Exclude("B", "secret")
+	s.AddUser("u")
+	if err := s.AssignRole("fin", "u", "R"); err != nil {
+		t.Fatal(err)
+	}
+	d := rbac.Domain("h/srv/fin")
+
+	// Unchecked: anyone, even without roles.
+	if got, _ := s.CheckAccess("stranger", d, "B", "public"); !got {
+		t.Fatal("unchecked method denied")
+	}
+	// Excluded dominates an explicit grant.
+	if got, _ := s.CheckAccess("u", d, "B", "secret"); got {
+		t.Fatal("excluded method allowed")
+	}
+	// Normal role-based decision unaffected.
+	if got, _ := s.CheckAccess("u", d, "B", "normal"); !got {
+		t.Fatal("role grant broken")
+	}
+	if got, _ := s.CheckAccess("stranger", d, "B", "normal"); got {
+		t.Fatal("stranger allowed on role-guarded method")
+	}
+}
+
+func TestDescriptorUncheckedExcludeRoundTrip(t *testing.T) {
+	const src = `<?xml version="1.0"?>
+<ejb-jar><assembly-descriptor>
+  <security-role><role-name>R</role-name></security-role>
+  <method-permission><role-name>R</role-name>
+    <method><ejb-name>B</ejb-name><method-name>normal</method-name></method>
+  </method-permission>
+  <method-permission><unchecked/>
+    <method><ejb-name>B</ejb-name><method-name>public</method-name></method>
+  </method-permission>
+  <exclude-list>
+    <method><ejb-name>B</ejb-name><method-name>secret</method-name></method>
+  </exclude-list>
+</assembly-descriptor></ejb-jar>`
+	jar, err := ParseDescriptor([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer("X", "h", "srv")
+	c := s.CreateContainer("fin")
+	if err := c.LoadDescriptor(jar); err != nil {
+		t.Fatal(err)
+	}
+	d := rbac.Domain("h/srv/fin")
+	if got, _ := s.CheckAccess("anyone", d, "B", "public"); !got {
+		t.Fatal("unchecked not loaded")
+	}
+	if got, _ := s.CheckAccess("anyone", d, "B", "secret"); got {
+		t.Fatal("exclude-list not loaded")
+	}
+
+	// Export and re-import preserves both lists.
+	out, err := c.ExportDescriptor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jar2, err := ParseDescriptor(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	s2 := NewServer("X2", "h", "srv")
+	c2 := s2.CreateContainer("fin")
+	if err := c2.LoadDescriptor(jar2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s2.CheckAccess("anyone", "h/srv/fin", "B", "public"); !got {
+		t.Fatal("unchecked lost in round trip")
+	}
+	if got, _ := s2.CheckAccess("anyone", "h/srv/fin", "B", "secret"); got {
+		t.Fatal("exclusion lost in round trip")
+	}
+}
+
+func TestUncheckedSurvivesApplyPolicy(t *testing.T) {
+	// ApplyPolicy rebuilds role grants but must not drop structural
+	// unchecked/excluded configuration.
+	s := newSalariesServer()
+	c, _ := s.Lookup("finance")
+	c.MarkUnchecked("Salaries", "ping")
+	c.Exclude("Salaries", "drop")
+	p, _ := s.ExtractPolicy()
+	if _, err := s.ApplyPolicy(p); err != nil {
+		t.Fatal(err)
+	}
+	d := domain(s)
+	if got, _ := s.CheckAccess("anyone", d, "Salaries", "ping"); !got {
+		t.Fatal("unchecked dropped by ApplyPolicy")
+	}
+	if got, _ := s.CheckAccess("Bob", d, "Salaries", "drop"); got {
+		t.Fatal("exclusion dropped by ApplyPolicy")
+	}
+}

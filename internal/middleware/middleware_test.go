@@ -1,0 +1,108 @@
+package middleware
+
+import (
+	"testing"
+
+	"securewebcom/internal/rbac"
+)
+
+// fakeSystem is a minimal System for registry tests.
+type fakeSystem struct {
+	name   string
+	policy *rbac.Policy
+}
+
+func (f *fakeSystem) Name() string { return f.name }
+func (f *fakeSystem) Kind() Kind   { return KindCORBA }
+func (f *fakeSystem) Components() []Component {
+	return nil
+}
+func (f *fakeSystem) ExtractPolicy() (*rbac.Policy, error) { return f.policy.Clone(), nil }
+func (f *fakeSystem) ApplyPolicy(p *rbac.Policy) (int, error) {
+	f.policy = p.Clone()
+	return p.Len(), nil
+}
+func (f *fakeSystem) ApplyDiff(d rbac.Diff) error { f.policy.Apply(d); return nil }
+func (f *fakeSystem) CheckAccess(u rbac.User, d rbac.Domain, ot rbac.ObjectType, p rbac.Permission) (bool, error) {
+	return f.policy.UserHoldsInDomain(u, d, ot, p), nil
+}
+func (f *fakeSystem) Invoke(u rbac.User, d rbac.Domain, ot rbac.ObjectType, op string, args []string) (string, error) {
+	return "", nil
+}
+
+func newFake(name string, domain rbac.Domain) *fakeSystem {
+	p := rbac.NewPolicy()
+	p.AddRolePerm(domain, "R", "O", "op")
+	p.AddUserRole(rbac.User("u-"+name), domain, "R")
+	return &fakeSystem{name: name, policy: p}
+}
+
+func TestRegistryRegisterGet(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(newFake("X", "dx")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(newFake("X", "dx")); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	s, err := r.Get("X")
+	if err != nil || s.Name() != "X" {
+		t.Fatalf("Get: %v", err)
+	}
+	if _, err := r.Get("nope"); err == nil {
+		t.Fatal("missing system found")
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Register(newFake("Z", "dz"))
+	r.Register(newFake("A", "da"))
+	names := r.Names()
+	if len(names) != 2 || names[0] != "A" || names[1] != "Z" {
+		t.Fatalf("Names = %v", names)
+	}
+	all := r.All()
+	if len(all) != 2 || all[0].Name() != "A" {
+		t.Fatalf("All = %v", all)
+	}
+}
+
+func TestGlobalPolicyMergesAllSystems(t *testing.T) {
+	r := NewRegistry()
+	r.Register(newFake("X", "dx"))
+	r.Register(newFake("Y", "dy"))
+	g, err := r.GlobalPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasUserRole("u-X", "dx", "R") || !g.HasUserRole("u-Y", "dy", "R") {
+		t.Fatalf("global policy incomplete:\n%s", g)
+	}
+	if g.Len() != 4 {
+		t.Fatalf("global Len = %d", g.Len())
+	}
+}
+
+func TestErrDeniedMessage(t *testing.T) {
+	e := &ErrDenied{User: "u", Domain: "d", ObjectType: "o", Op: "m"}
+	msg := e.Error()
+	for _, frag := range []string{"u", "d", "o", "m", "denied"} {
+		if !contains(msg, frag) {
+			t.Errorf("error message %q missing %q", msg, frag)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

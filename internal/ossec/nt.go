@@ -1,0 +1,181 @@
+package ossec
+
+import (
+	"fmt"
+	"sync"
+)
+
+// NTDomain simulates a Windows NT domain: accounts with SIDs, groups,
+// resources guarded by ACLs, and one-way trust of other domains. COM+
+// roles (internal/middleware/complus) map their members onto NT accounts
+// in such a domain, exactly as the COM RBAC model of Section 2 extends
+// the Windows security model.
+type NTDomain struct {
+	name string
+
+	mu       sync.RWMutex
+	nextRID  int
+	accounts map[string]string   // account name -> SID
+	groups   map[string][]string // group name -> member SIDs
+	acls     map[string][]ACE    // resource -> ordered ACEs
+	trusted  map[string]*NTDomain
+}
+
+// ACE is an access-control entry. Deny entries take precedence over
+// allow entries regardless of order (the simulator normalises the NT
+// convention of listing denies first).
+type ACE struct {
+	Deny    bool
+	Trustee string // SID or group name qualified as "group:<name>"
+	Rights  map[Access]bool
+}
+
+// NewNTDomain creates an empty NT domain.
+func NewNTDomain(name string) *NTDomain {
+	return &NTDomain{
+		name:     name,
+		nextRID:  1000,
+		accounts: make(map[string]string),
+		groups:   make(map[string][]string),
+		acls:     make(map[string][]ACE),
+		trusted:  make(map[string]*NTDomain),
+	}
+}
+
+// Platform implements Authority.
+func (d *NTDomain) Platform() string { return "windows-nt" }
+
+// Name returns the domain name.
+func (d *NTDomain) Name() string { return d.name }
+
+// AddAccount creates an account and returns its SID
+// ("S-1-5-21-<domain>-<rid>").
+func (d *NTDomain) AddAccount(name string) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if sid, ok := d.accounts[name]; ok {
+		return sid
+	}
+	sid := fmt.Sprintf("S-1-5-21-%s-%d", d.name, d.nextRID)
+	d.nextRID++
+	d.accounts[name] = sid
+	return sid
+}
+
+// SID resolves an account name (local, or "DOMAIN\name" through a trusted
+// domain) to its SID.
+func (d *NTDomain) SID(name string) (string, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.sidLocked(name)
+}
+
+func (d *NTDomain) sidLocked(name string) (string, error) {
+	if sid, ok := d.accounts[name]; ok {
+		return sid, nil
+	}
+	// Qualified foreign account "DOMAIN\user".
+	for i := 0; i < len(name); i++ {
+		if name[i] == '\\' {
+			dom, user := name[:i], name[i+1:]
+			t, ok := d.trusted[dom]
+			if !ok {
+				return "", fmt.Errorf("ossec: domain %s does not trust %q", d.name, dom)
+			}
+			return t.SID(user)
+		}
+	}
+	return "", fmt.Errorf("ossec: unknown account %q in domain %s", name, d.name)
+}
+
+// AddGroup creates a group with the given member account names (resolved
+// to SIDs immediately).
+func (d *NTDomain) AddGroup(group string, members ...string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var sids []string
+	for _, m := range members {
+		sid, err := d.sidLocked(m)
+		if err != nil {
+			return err
+		}
+		sids = append(sids, sid)
+	}
+	d.groups[group] = append(d.groups[group], sids...)
+	return nil
+}
+
+// Trust makes this domain trust other, so other's accounts can be
+// resolved here as "OTHER\name" (one-way, as in NT 4 trust relationships).
+func (d *NTDomain) Trust(other *NTDomain) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.trusted[other.name] = other
+}
+
+// SetACL installs the ACL for a resource, replacing any previous one.
+func (d *NTDomain) SetACL(resource string, aces ...ACE) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.acls[resource] = aces
+}
+
+// Check implements Authority: resolve the principal to a SID, then apply
+// the resource's ACL with deny precedence. A resource with no ACL denies
+// everyone (NT's default-deny posture for secured objects).
+func (d *NTDomain) Check(principal, resource string, a Access) (bool, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	sid, err := d.sidLocked(principal)
+	if err != nil {
+		return false, err
+	}
+	aces, ok := d.acls[resource]
+	if !ok {
+		return false, fmt.Errorf("ossec: resource %q has no ACL in domain %s", resource, d.name)
+	}
+	allowed := false
+	for _, ace := range aces {
+		if !ace.Rights[a] || !d.trusteeMatches(ace.Trustee, sid) {
+			continue
+		}
+		if ace.Deny {
+			return false, nil // deny precedence
+		}
+		allowed = true
+	}
+	return allowed, nil
+}
+
+func (d *NTDomain) trusteeMatches(trustee, sid string) bool {
+	if trustee == "*" {
+		return true
+	}
+	if len(trustee) > 6 && trustee[:6] == "group:" {
+		for _, m := range d.groups[trustee[6:]] {
+			if m == sid {
+				return true
+			}
+		}
+		return false
+	}
+	return trustee == sid
+}
+
+// AllowACE builds an allow entry for the given trustee and rights.
+func AllowACE(trustee string, rights ...Access) ACE {
+	return ACE{Trustee: trustee, Rights: rightsSet(rights)}
+}
+
+// DenyACE builds a deny entry for the given trustee and rights.
+func DenyACE(trustee string, rights ...Access) ACE {
+	return ACE{Deny: true, Trustee: trustee, Rights: rightsSet(rights)}
+}
+
+func rightsSet(rights []Access) map[Access]bool {
+	m := make(map[Access]bool, len(rights))
+	for _, r := range rights {
+		m[r] = true
+	}
+	return m
+}

@@ -1,0 +1,52 @@
+// Package ossec simulates the operating-system security mechanisms that
+// form layer L0 of the paper's stacked security architecture (Figure 10).
+// Two authorities are provided, matching the platforms in Figure 9:
+//
+//   - Unix: uid/gid principals and rwx permission bits on resources
+//     (systems labelled OS(U) in the figure);
+//   - Windows NT: domain accounts with SIDs, groups, ACLs with
+//     deny-precedence semantics, and inter-domain trust (OS(W)).
+//
+// The paper relies on the OS only for a mediation decision ("is this
+// login allowed to touch this resource?"); this package reproduces
+// exactly that decision surface so the stacked authoriser has a real L0
+// to consult.
+package ossec
+
+import "fmt"
+
+// Access is the kind of access requested from the OS layer.
+type Access string
+
+// The access kinds shared by both simulated platforms.
+const (
+	Read    Access = "read"
+	Write   Access = "write"
+	Execute Access = "execute"
+)
+
+// Authority is an OS security mechanism: it decides whether a principal
+// may access a named resource.
+type Authority interface {
+	// Platform returns a short platform label ("unix", "windows-nt").
+	Platform() string
+	// Check decides access for principal on resource. Unknown principals
+	// or resources yield an error, not a silent deny, so that
+	// misconfiguration is distinguishable from denial.
+	Check(principal, resource string, a Access) (bool, error)
+}
+
+// Decision pairs an Authority verdict with its explanation, used by the
+// stacked authoriser's audit trail.
+type Decision struct {
+	Granted bool
+	Reason  string
+}
+
+func (d Decision) String() string {
+	verdict := "deny"
+	if d.Granted {
+		verdict = "grant"
+	}
+	return fmt.Sprintf("%s (%s)", verdict, d.Reason)
+}

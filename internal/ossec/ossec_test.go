@@ -1,0 +1,210 @@
+package ossec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestUnix() *Unix {
+	u := NewUnix("hostX")
+	u.AddUser("root", 0, 0)
+	u.AddUser("alice", 1001, 100)
+	u.AddUser("bob", 1002, 100, 200)
+	u.AddUser("carol", 1003, 300)
+	// salaries.db: owner alice, group 100, rw-r-----
+	u.AddResource("salaries.db", 1001, 100, OwnerRead|OwnerWrite|GroupRead)
+	// report.sh: owner bob, group 200, rwxr-x---
+	u.AddResource("report.sh", 1002, 200, OwnerRead|OwnerWrite|OwnerExec|GroupRead|GroupExec)
+	// public.txt: other-readable
+	u.AddResource("public.txt", 1001, 100, OwnerRead|OwnerWrite|OtherRead)
+	return u
+}
+
+func TestUnixOwnerGroupOther(t *testing.T) {
+	u := newTestUnix()
+	cases := []struct {
+		user, res string
+		a         Access
+		want      bool
+	}{
+		{"alice", "salaries.db", Read, true},
+		{"alice", "salaries.db", Write, true},
+		{"alice", "salaries.db", Execute, false},
+		{"bob", "salaries.db", Read, true}, // group 100
+		{"bob", "salaries.db", Write, false},
+		{"carol", "salaries.db", Read, false}, // other: no bits
+		{"bob", "report.sh", Execute, true},
+		{"alice", "report.sh", Execute, false}, // not in group 200
+		{"carol", "public.txt", Read, true},
+		{"carol", "public.txt", Write, false},
+		{"root", "salaries.db", Write, true}, // root bypass
+		{"root", "report.sh", Execute, true},
+	}
+	for _, c := range cases {
+		got, err := u.Check(c.user, c.res, c.a)
+		if err != nil {
+			t.Errorf("Check(%s,%s,%s): %v", c.user, c.res, c.a, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Check(%s,%s,%s) = %v, want %v", c.user, c.res, c.a, got, c.want)
+		}
+	}
+}
+
+func TestUnixOwnerClassDoesNotFallThrough(t *testing.T) {
+	u := NewUnix("h")
+	u.AddUser("owner", 10, 20)
+	u.AddUser("other", 11, 21)
+	// Mode ---rw-rw-: owner has nothing even though group/other do.
+	u.AddResource("f", 10, 20, GroupRead|GroupWrite|OtherRead|OtherWrite)
+	got, err := u.Check("owner", "f", Write)
+	if err != nil || got {
+		t.Fatalf("owner class fell through to group/other: %v %v", got, err)
+	}
+	got, err = u.Check("other", "f", Write)
+	if err != nil || !got {
+		t.Fatalf("other class broken: %v %v", got, err)
+	}
+}
+
+func TestUnixErrors(t *testing.T) {
+	u := newTestUnix()
+	if _, err := u.Check("nobody", "salaries.db", Read); err == nil {
+		t.Fatal("unknown user did not error")
+	}
+	if _, err := u.Check("alice", "missing", Read); err == nil {
+		t.Fatal("unknown resource did not error")
+	}
+	if _, err := u.Check("alice", "salaries.db", Access("chmod")); err == nil {
+		t.Fatal("unknown access kind did not error")
+	}
+	if u.Platform() != "unix" || u.Host() != "hostX" {
+		t.Fatal("identity accessors broken")
+	}
+}
+
+func TestNTBasics(t *testing.T) {
+	d := NewNTDomain("CORP")
+	aliceSID := d.AddAccount("alice")
+	d.AddAccount("bob")
+	if err := d.AddGroup("Managers", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	d.SetACL("salaries",
+		AllowACE(aliceSID, Read, Write),
+		AllowACE("group:Managers", Read),
+	)
+
+	check := func(user string, a Access, want bool) {
+		t.Helper()
+		got, err := d.Check(user, "salaries", a)
+		if err != nil {
+			t.Fatalf("Check(%s,%s): %v", user, a, err)
+		}
+		if got != want {
+			t.Errorf("Check(%s,%s) = %v, want %v", user, a, got, want)
+		}
+	}
+	check("alice", Read, true)
+	check("alice", Write, true)
+	check("bob", Read, true)
+	check("bob", Write, false)
+}
+
+func TestNTDenyPrecedence(t *testing.T) {
+	d := NewNTDomain("CORP")
+	sid := d.AddAccount("eve")
+	if err := d.AddGroup("Staff", "eve"); err != nil {
+		t.Fatal(err)
+	}
+	// Allow via group, deny individually — deny wins even listed last.
+	d.SetACL("db", AllowACE("group:Staff", Read), DenyACE(sid, Read))
+	got, err := d.Check("eve", "db", Read)
+	if err != nil || got {
+		t.Fatalf("deny ACE did not take precedence: %v %v", got, err)
+	}
+}
+
+func TestNTWildcardTrustee(t *testing.T) {
+	d := NewNTDomain("CORP")
+	d.AddAccount("anyone")
+	d.SetACL("public", AllowACE("*", Read))
+	got, err := d.Check("anyone", "public", Read)
+	if err != nil || !got {
+		t.Fatalf("wildcard ACE failed: %v %v", got, err)
+	}
+}
+
+func TestNTCrossDomainTrust(t *testing.T) {
+	a := NewNTDomain("DOMA")
+	b := NewNTDomain("DOMB")
+	bobSID := b.AddAccount("bob")
+	a.Trust(b)
+
+	a.SetACL("res", AllowACE(bobSID, Read))
+	got, err := a.Check(`DOMB\bob`, "res", Read)
+	if err != nil {
+		t.Fatalf("cross-domain check: %v", err)
+	}
+	if !got {
+		t.Fatal("trusted-domain account denied")
+	}
+	// Untrusted direction.
+	if _, err := b.Check(`DOMA\ghost`, "res", Read); err == nil {
+		t.Fatal("untrusting domain resolved foreign account")
+	}
+}
+
+func TestNTErrors(t *testing.T) {
+	d := NewNTDomain("CORP")
+	d.AddAccount("alice")
+	if _, err := d.Check("ghost", "x", Read); err == nil {
+		t.Fatal("unknown account did not error")
+	}
+	if _, err := d.Check("alice", "noacl", Read); err == nil {
+		t.Fatal("resource without ACL did not error")
+	}
+	if err := d.AddGroup("G", "ghost"); err == nil {
+		t.Fatal("group with unknown member accepted")
+	}
+	if d.Platform() != "windows-nt" || d.Name() != "CORP" {
+		t.Fatal("identity accessors broken")
+	}
+}
+
+func TestNTAddAccountIdempotent(t *testing.T) {
+	d := NewNTDomain("CORP")
+	s1 := d.AddAccount("alice")
+	s2 := d.AddAccount("alice")
+	if s1 != s2 {
+		t.Fatal("re-adding an account changed its SID")
+	}
+}
+
+// Property: Unix decisions depend only on the matching permission class.
+func TestQuickUnixClassIsolation(t *testing.T) {
+	f := func(modeBits uint16, pick uint8) bool {
+		mode := Mode(modeBits) & 0x1FF
+		u := NewUnix("h")
+		u.AddUser("owner", 10, 20)
+		u.AddUser("group", 11, 20)
+		u.AddUser("other", 12, 30)
+		u.AddResource("f", 10, 20, mode)
+		user := []string{"owner", "group", "other"}[int(pick)%3]
+		var rbit Mode
+		switch user {
+		case "owner":
+			rbit = OwnerRead
+		case "group":
+			rbit = GroupRead
+		default:
+			rbit = OtherRead
+		}
+		got, err := u.Check(user, "f", Read)
+		return err == nil && got == (mode&rbit != 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+package paperrepro
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/rbac"
+	"securewebcom/internal/translate"
+)
+
+const seed = "paperrepro"
+
+// paperKeys builds the deterministic principals of the running example.
+func paperKeys() *keys.KeyStore {
+	ks := keys.NewKeyStore()
+	for _, n := range []string{"KWebCom", "Kbob", "Kalice", "Kclaire", "Kdave", "Kelaine", "Kfred"} {
+		ks.Add(keys.Deterministic(n, seed))
+	}
+	return ks
+}
+
+func keyOf(ks *keys.KeyStore, name string) *keys.KeyPair {
+	kp, err := ks.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return kp
+}
+
+// Figure1 regenerates the RBAC relations table and validates the access
+// decisions it implies.
+func Figure1(w io.Writer) error {
+	p := rbac.Figure1()
+	fmt.Fprint(w, p.String())
+
+	checks := []struct {
+		user rbac.User
+		perm rbac.Permission
+		want bool
+	}{
+		{"Alice", "write", true}, {"Alice", "read", false},
+		{"Bob", "read", true}, {"Bob", "write", true},
+		{"Claire", "read", true}, {"Claire", "write", false},
+		{"Dave", "read", false}, {"Dave", "write", false},
+		{"Elaine", "read", true},
+	}
+	for _, c := range checks {
+		if got := p.UserHolds(c.user, "SalariesDB", c.perm); got != c.want {
+			return fmt.Errorf("UserHolds(%s, %s) = %v, paper implies %v", c.user, c.perm, got, c.want)
+		}
+	}
+	fmt.Fprintln(w, "check: all 9 access decisions match the paper's table")
+	return nil
+}
+
+// Figure2 regenerates the policy credential trusting Kbob for read/write
+// on SalariesDB, and verifies the compliance decisions of Example 1/2.
+func Figure2(w io.Writer) error {
+	ks := paperKeys()
+	pol := keynote.MustNew("POLICY", `"Kbob"`,
+		`app_domain=="SalariesDB" && (oper=="read" || oper=="write");`)
+	fmt.Fprint(w, pol.Text())
+
+	chk, err := keynote.NewChecker([]*keynote.Assertion{pol}, keynote.WithResolver(ks))
+	if err != nil {
+		return err
+	}
+	for oper, want := range map[string]bool{"read": true, "write": true, "delete": false} {
+		res, err := chk.Check(keynote.Query{
+			Authorizers: []string{"Kbob"},
+			Attributes:  map[string]string{"app_domain": "SalariesDB", "oper": oper},
+		}, nil)
+		if err != nil {
+			return err
+		}
+		if res.Authorized(nil) != want {
+			return fmt.Errorf("Kbob %s = %v, want %v", oper, res.Authorized(nil), want)
+		}
+	}
+	fmt.Fprintln(w, "check: Kbob may read and write, not delete")
+	return nil
+}
+
+// Figure4 regenerates Bob's delegation to Alice and verifies the
+// two-credential chain of Example 2.
+func Figure4(w io.Writer) error {
+	ks := paperKeys()
+	bob := keyOf(ks, "Kbob")
+
+	pol := keynote.MustNew("POLICY", `"Kbob"`,
+		`app_domain=="SalariesDB" && (oper=="read" || oper=="write");`)
+	deleg := keynote.MustNew(`"Kbob"`, `"Kalice"`,
+		`app_domain=="SalariesDB" && oper=="write";`)
+	if err := deleg.Sign(bob); err != nil {
+		return err
+	}
+	fmt.Fprint(w, deleg.Text())
+
+	chk, err := keynote.NewChecker([]*keynote.Assertion{pol}, keynote.WithResolver(ks))
+	if err != nil {
+		return err
+	}
+	q := func(oper string, creds []*keynote.Assertion) (bool, error) {
+		res, err := chk.Check(keynote.Query{
+			Authorizers: []string{"Kalice"},
+			Attributes:  map[string]string{"app_domain": "SalariesDB", "oper": oper},
+		}, creds)
+		return res.Authorized(nil), err
+	}
+	if got, err := q("write", []*keynote.Assertion{deleg}); err != nil || !got {
+		return fmt.Errorf("Alice write via Bob's credential = %v (err %v), want true", got, err)
+	}
+	if got, err := q("read", []*keynote.Assertion{deleg}); err != nil || got {
+		return fmt.Errorf("Alice read = %v (err %v), want false: Bob delegated write only", got, err)
+	}
+	if got, err := q("write", nil); err != nil || got {
+		return fmt.Errorf("Alice write without credential = %v (err %v), want false", got, err)
+	}
+	fmt.Fprintln(w, "check: chain POLICY -> Kbob -> Kalice authorises write only, and only with the credential presented")
+	return nil
+}
+
+// fig5Encoding encodes the Figure 1 policy as KeyNote (Figures 5 and 6).
+func fig5Encoding(ks *keys.KeyStore) (*translate.Encoded, translate.Options, error) {
+	admin := keyOf(ks, "KWebCom")
+	opt := translate.Options{AdminKey: admin.PublicID()}
+	resolver := func(u rbac.User) (string, error) {
+		return keyOf(ks, "K"+strings.ToLower(string(u))).PublicID(), nil
+	}
+	enc, err := translate.EncodeRBAC(rbac.Figure1(), resolver, opt)
+	if err != nil {
+		return nil, opt, err
+	}
+	if err := enc.SignAll(admin); err != nil {
+		return nil, opt, err
+	}
+	return enc, opt, nil
+}
+
+// Figure5 regenerates the WebCom policy assertion encoding the whole
+// RolePerm table and round-trips it back to RBAC.
+func Figure5(w io.Writer) error {
+	ks := paperKeys()
+	enc, opt, err := fig5Encoding(ks)
+	if err != nil {
+		return err
+	}
+	// Render with the advisory name for readability, as the paper does.
+	text := strings.ReplaceAll(enc.Policy.Text(), opt.AdminKey, "KWebCom")
+	fmt.Fprint(w, text)
+
+	// Round trip: decode and compare with Figure 1's RolePerm.
+	userOf := func(principal string) (rbac.User, error) {
+		name := ks.NameFor(principal)
+		return rbac.User(strings.ToUpper(name[1:2]) + name[2:]), nil
+	}
+	decoded, _, err := translate.DecodeRBAC([]*keynote.Assertion{enc.Policy}, enc.Credentials, userOf, opt)
+	if err != nil {
+		return err
+	}
+	if !decoded.Equal(rbac.Figure1()) {
+		return fmt.Errorf("RBAC -> KeyNote -> RBAC round trip diverged:\n%s", decoded.DiffFrom(rbac.Figure1()))
+	}
+	fmt.Fprintln(w, "check: encoding covers all 4 RolePerm rows; decode(encode(policy)) == policy")
+	return nil
+}
+
+// Figure6 regenerates the credential authorising Claire as a Manager.
+// The paper's Figure 6 text reads Domain=="Finance"; taken together with
+// Figures 1 and 5 (where Claire is a Sales manager) that is a typo in the
+// original — we regenerate the credential from the Figure 1 relations,
+// which yields the Sales domain, and note the discrepancy.
+func Figure6(w io.Writer) error {
+	ks := paperKeys()
+	enc, opt, err := fig5Encoding(ks)
+	if err != nil {
+		return err
+	}
+	claire := keyOf(ks, "Kclaire")
+	var cred *keynote.Assertion
+	for i, u := range enc.Users {
+		if u == "Claire" {
+			cred = enc.Credentials[i]
+		}
+	}
+	if cred == nil {
+		return fmt.Errorf("no credential generated for Claire")
+	}
+	text := cred.Text()
+	text = strings.ReplaceAll(text, opt.AdminKey, "KWebCom")
+	text = strings.ReplaceAll(text, claire.PublicID(), "Kclaire")
+	fmt.Fprint(w, text)
+
+	if err := cred.VerifySignature(ks); err != nil {
+		return fmt.Errorf("Claire's credential does not verify: %w", err)
+	}
+	conjs, err := cred.Conditions.DNF()
+	if err != nil {
+		return err
+	}
+	if len(conjs) != 1 || conjs[0]["Domain"] != "Sales" || conjs[0]["Role"] != "Manager" {
+		return fmt.Errorf("credential conditions %v, want Sales/Manager per Figure 1", conjs)
+	}
+	fmt.Fprintln(w, "check: credential signed by KWebCom, granting Role Manager (Sales domain per Figure 1;")
+	fmt.Fprintln(w, "       the paper's Figure 6 caption says Finance, inconsistent with its own Figure 1)")
+	return nil
+}
+
+// Figure7 regenerates Claire's delegation of her role to Fred and shows
+// Fred gains exactly Claire's access with no policy change.
+func Figure7(w io.Writer) error {
+	ks := paperKeys()
+	enc, opt, err := fig5Encoding(ks)
+	if err != nil {
+		return err
+	}
+	claire, fred := keyOf(ks, "Kclaire"), keyOf(ks, "Kfred")
+	deleg := keynote.MustNew(
+		fmt.Sprintf("%q", claire.PublicID()), fmt.Sprintf("%q", fred.PublicID()),
+		`app_domain=="WebCom" && Domain=="Sales" && Role=="Manager";`)
+	if err := deleg.Sign(claire); err != nil {
+		return err
+	}
+	text := deleg.Text()
+	text = strings.ReplaceAll(text, claire.PublicID(), "Kclaire")
+	text = strings.ReplaceAll(text, fred.PublicID(), "Kfred")
+	fmt.Fprint(w, text)
+
+	chk, err := keynote.NewChecker([]*keynote.Assertion{enc.Policy}, keynote.WithResolver(ks))
+	if err != nil {
+		return err
+	}
+	p := rbac.Figure1()
+	creds := append(append([]*keynote.Assertion{}, enc.Credentials...), deleg)
+	got, err := translate.Decision(chk, creds, fred.PublicID(), p, "SalariesDB", "read", opt)
+	if err != nil {
+		return err
+	}
+	if !got {
+		return fmt.Errorf("Fred not authorised to read via Claire's delegation")
+	}
+	got, err = translate.Decision(chk, creds, fred.PublicID(), p, "SalariesDB", "write", opt)
+	if err != nil {
+		return err
+	}
+	if got {
+		return fmt.Errorf("Fred exceeded Claire's authority (write)")
+	}
+	fmt.Fprintln(w, "check: Fred reads as a Sales Manager via the chain KWebCom -> Kclaire -> Kfred; write stays denied")
+	return nil
+}

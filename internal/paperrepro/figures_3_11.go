@@ -1,0 +1,403 @@
+package paperrepro
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"securewebcom/internal/cg"
+	"securewebcom/internal/ide"
+	"securewebcom/internal/keycom"
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/middleware/complus"
+	"securewebcom/internal/middleware/corba"
+	"securewebcom/internal/middleware/ejb"
+	"securewebcom/internal/ossec"
+	"securewebcom/internal/rbac"
+	"securewebcom/internal/stack"
+	"securewebcom/internal/translate"
+)
+
+// Figure3 runs the WebCom-KeyNote architecture live: a master and a
+// client mutually authenticate; the master schedules an operation only
+// because the client's key is authorised by the master's policy, and the
+// client executes it only because its policy authorises the master.
+func Figure3(w io.Writer) error {
+	ks := paperKeys()
+	masterKey := keys.Deterministic("Kmaster", seed)
+	clientKey := keys.Deterministic("KclientA", seed)
+	ks.Add(masterKey)
+	ks.Add(clientKey)
+
+	masterPolicy, err := keynote.NewChecker([]*keynote.Assertion{keynote.MustNew(
+		"POLICY", fmt.Sprintf("%q", clientKey.PublicID()),
+		`app_domain=="WebCom" && operation=="salaries.report";`)}, keynote.WithResolver(ks))
+	if err != nil {
+		return err
+	}
+	clientPolicy, err := keynote.NewChecker([]*keynote.Assertion{keynote.MustNew(
+		"POLICY", fmt.Sprintf("%q", masterKey.PublicID()), `app_domain=="WebCom";`)},
+		keynote.WithResolver(ks))
+	if err != nil {
+		return err
+	}
+
+	master := newMaster(masterKey, masterPolicy, ks)
+	if err := master.Listen("127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer master.Close()
+
+	client := newClient("A", clientKey, clientPolicy)
+	client.Local = map[string]func([]string) (string, error){
+		"salaries.report": func(args []string) (string, error) {
+			return "report(" + strings.Join(args, ",") + ")", nil
+		},
+	}
+	if err := client.Connect(master.Addr()); err != nil {
+		return err
+	}
+	defer client.Close()
+	waitForClients(master, 1, 2*time.Second)
+
+	g := cg.NewGraph("payroll")
+	g.MustAddNode("op", &cg.Opaque{OpName: "salaries.report", OpArity: 1})
+	if err := g.SetConst("op", 0, "2004-Q1"); err != nil {
+		return err
+	}
+	if err := g.SetExit("op"); err != nil {
+		return err
+	}
+	got, _, err := master.Run(context.Background(), &cg.Engine{}, g, nil)
+	if err != nil {
+		return err
+	}
+	if got != "report(2004-Q1)" {
+		return fmt.Errorf("scheduled result %q", got)
+	}
+	fmt.Fprintf(w, "master %s...\n", masterKey.PublicID()[:28])
+	fmt.Fprintf(w, "client %s... (A)\n", clientKey.PublicID()[:28])
+	fmt.Fprintln(w, "handshake: mutual challenge-response OK")
+	fmt.Fprintln(w, "master policy authorises client A for operation salaries.report -> scheduled")
+	fmt.Fprintf(w, "client executed: %s\n", got)
+
+	// The negative half: an op the master policy does not cover is never
+	// scheduled.
+	g2 := cg.NewGraph("forbidden")
+	g2.MustAddNode("op", &cg.Opaque{OpName: "salaries.wipe", OpArity: 0})
+	if err := g2.SetExit("op"); err != nil {
+		return err
+	}
+	if _, _, err := master.Run(context.Background(), &cg.Engine{}, g2, nil); err == nil {
+		return fmt.Errorf("unauthorised operation was scheduled")
+	}
+	fmt.Fprintln(w, "check: operation salaries.wipe has no authorised client -> not scheduled")
+	return nil
+}
+
+// Figure8 runs the decentralised middleware administration flow live: a
+// WebCom client in Domain B, holding a KeyNote credential, updates the
+// COM+ catalogue of Windows Server Domain A through the KeyCOM service.
+func Figure8(w io.Writer) error {
+	ks := paperKeys()
+	admin := keyOf(ks, "KWebCom")
+	manager := keyOf(ks, "Kclaire")
+
+	nt := ossec.NewNTDomain("DOMA")
+	cat := complus.NewCatalogue("W", nt)
+	cat.RegisterClass("SalariesDB.Component", map[string]middleware.Handler{})
+	cat.DefineRole("Clerk")
+	if err := cat.Grant("Clerk", "SalariesDB.Component", complus.PermAccess); err != nil {
+		return err
+	}
+
+	chk, err := keynote.NewChecker([]*keynote.Assertion{keynote.MustNew(
+		"POLICY", fmt.Sprintf("%q", admin.PublicID()), `app_domain=="KeyCOM";`)},
+		keynote.WithResolver(ks))
+	if err != nil {
+		return err
+	}
+	srv, err := keycom.ListenAndServe(keycom.NewService(cat, chk), "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	cred := keynote.MustNew(
+		fmt.Sprintf("%q", admin.PublicID()), fmt.Sprintf("%q", manager.PublicID()),
+		`app_domain=="KeyCOM" && action=="add-user-role" && Domain=="DOMA" && Role=="Clerk";`)
+	if err := cred.Sign(admin); err != nil {
+		return err
+	}
+	req := &keycom.UpdateRequest{
+		Requester: manager.PublicID(),
+		Diff: rbac.Diff{AddedUserRole: []rbac.UserRoleEntry{
+			{User: "userB", Domain: "DOMA", Role: "Clerk"}}},
+		Credentials: []string{cred.Text()},
+	}
+	if err := req.Sign(manager); err != nil {
+		return err
+	}
+	if err := keycom.Submit(srv.Addr(), req); err != nil {
+		return fmt.Errorf("authorised KeyCOM update failed: %w", err)
+	}
+	ok, err := cat.CheckAccess("userB", "DOMA", "SalariesDB.Component", complus.PermAccess)
+	if err != nil || !ok {
+		return fmt.Errorf("COM catalogue not updated (ok=%v err=%v)", ok, err)
+	}
+	fmt.Fprintln(w, "KeyCOM service on Windows Server Domain A administering the COM Catalogue")
+	fmt.Fprintln(w, "policy update request from Domain B carrying a KeyNote credential:")
+	fmt.Fprint(w, "  "+strings.ReplaceAll(cred.Text(), "\n", "\n  "))
+	fmt.Fprintln(w, "\ncheck: userB added to COM role Clerk; an unauthorised requester is refused")
+
+	// Negative: an outsider without a credential is refused.
+	evil := keys.Deterministic("Kmallory", seed)
+	bad := &keycom.UpdateRequest{
+		Requester: evil.PublicID(),
+		Diff: rbac.Diff{AddedUserRole: []rbac.UserRoleEntry{
+			{User: "mallory", Domain: "DOMA", Role: "Clerk"}}},
+	}
+	if err := bad.Sign(evil); err != nil {
+		return err
+	}
+	if err := keycom.Submit(srv.Addr(), bad); err == nil {
+		return fmt.Errorf("unauthorised KeyCOM update accepted")
+	}
+	return nil
+}
+
+// Figure9 reproduces the interoperating-security-policies scenario: the
+// COM policy of system Y is translated to KeyNote credentials, which
+// configure the EJB policy of system X (legacy migration) and serve as
+// the only security mechanism of system Z.
+func Figure9(w io.Writer) error {
+	ks := paperKeys()
+	admin := keyOf(ks, "KWebCom")
+	opt := translate.Options{AdminKey: admin.PublicID()}
+
+	// System Y: Windows + COM middleware, the legacy policy of record.
+	ntY := ossec.NewNTDomain("DOMY")
+	y := complus.NewCatalogue("Y", ntY)
+	y.RegisterClass("SalariesDB.Component", map[string]middleware.Handler{})
+	y.DefineRole("Clerk")
+	y.DefineRole("Manager")
+	if err := y.Grant("Clerk", "SalariesDB.Component", complus.PermAccess); err != nil {
+		return err
+	}
+	if err := y.Grant("Manager", "SalariesDB.Component", complus.PermLaunch); err != nil {
+		return err
+	}
+	if err := y.Grant("Manager", "SalariesDB.Component", complus.PermAccess); err != nil {
+		return err
+	}
+	ntY.AddAccount("Alice")
+	ntY.AddAccount("Bob")
+	if err := y.AddRoleMember("Clerk", "Alice"); err != nil {
+		return err
+	}
+	if err := y.AddRoleMember("Manager", "Bob"); err != nil {
+		return err
+	}
+
+	// Step 1: comprehend Y's COM policy as KeyNote credentials.
+	comPolicy, err := y.ExtractPolicy()
+	if err != nil {
+		return err
+	}
+	resolver := func(u rbac.User) (string, error) {
+		return keys.Deterministic("K"+strings.ToLower(string(u)), seed).PublicID(), nil
+	}
+	enc, err := translate.EncodeRBAC(comPolicy, resolver, opt)
+	if err != nil {
+		return err
+	}
+	if err := enc.SignAll(admin); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "system Y (OS(W), M(COM)): extracted %d policy rows -> 1 KeyNote policy + %d credentials\n",
+		comPolicy.Len(), len(enc.Credentials))
+
+	// Step 2: X is the replacement EJB system; migrate the legacy COM
+	// policy onto it (domains renamed, COM permissions kept — the bean
+	// methods are named after the COM permissions during transition).
+	x := ejb.NewServer("X", "hostX", "srv")
+	x.CreateContainer("salaries")
+	migrated, _, err := translate.MigratePolicy(comPolicy, translate.MigrationOptions{
+		DomainMap: map[rbac.Domain]rbac.Domain{"DOMY": "hostX/srv/salaries"},
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := x.ApplyPolicy(migrated); err != nil {
+		return err
+	}
+	for _, c := range []struct {
+		u    rbac.User
+		p    rbac.Permission
+		want bool
+	}{{"Alice", complus.PermAccess, true}, {"Alice", complus.PermLaunch, false}, {"Bob", complus.PermLaunch, true}} {
+		gotY, _ := y.CheckAccess(c.u, "DOMY", "SalariesDB.Component", c.p)
+		gotX, _ := x.CheckAccess(c.u, "hostX/srv/salaries", "SalariesDB.Component", c.p)
+		if gotY != c.want || gotX != c.want {
+			return fmt.Errorf("migration decision mismatch for (%s,%s): Y=%v X=%v want %v",
+				c.u, c.p, gotY, gotX, c.want)
+		}
+	}
+	fmt.Fprintln(w, "system X (OS(U), M(EJB)): legacy COM policy migrated; all decisions preserved")
+
+	// Step 3: Z has no middleware security — the KeyNote credentials are
+	// its only mediation (trust management over the OS).
+	chk, err := keynote.NewChecker([]*keynote.Assertion{enc.Policy}, keynote.WithResolver(ks))
+	if err != nil {
+		return err
+	}
+	aliceKey, _ := resolver("Alice")
+	got, err := translate.Decision(chk, enc.Credentials, aliceKey, comPolicy,
+		"SalariesDB.Component", complus.PermAccess, opt)
+	if err != nil {
+		return err
+	}
+	if !got {
+		return fmt.Errorf("Z: KeyNote-only mediation denied Alice's Access")
+	}
+	got, err = translate.Decision(chk, enc.Credentials, aliceKey, comPolicy,
+		"SalariesDB.Component", complus.PermLaunch, opt)
+	if err != nil {
+		return err
+	}
+	if got {
+		return fmt.Errorf("Z: KeyNote-only mediation granted Alice Launch")
+	}
+	fmt.Fprintln(w, "system Z (T(KN), no middleware security): same decisions from credentials alone")
+	fmt.Fprintln(w, "check: COM -> KeyNote -> EJB and COM -> KeyNote-only both preserve every decision")
+	return nil
+}
+
+// Figure10 exercises the stacked security architecture: the same request
+// mediated under OS-only, middleware+TM, and all-layer configurations.
+func Figure10(w io.Writer) error {
+	u := ossec.NewUnix("hostX")
+	u.AddUser("bob", 1002, 100)
+	u.AddResource("salaries.db", 1002, 100, ossec.OwnerRead|ossec.OwnerWrite)
+
+	srv := ejb.NewServer("X", "hostX", "srv")
+	c := srv.CreateContainer("finance")
+	c.DeployBean("Salaries", map[string]middleware.Handler{}, "read")
+	c.AddMethodPermission("Manager", "Salaries", "read")
+	srv.AddUser("Bob")
+	if err := srv.AssignRole("finance", "Bob", "Manager"); err != nil {
+		return err
+	}
+
+	ks := paperKeys()
+	bobKey := keyOf(ks, "Kbob")
+	chk, err := keynote.NewChecker([]*keynote.Assertion{keynote.MustNew(
+		"POLICY", fmt.Sprintf("%q", bobKey.PublicID()),
+		`app_domain=="WebCom" && Domain=="hostX/srv/finance" && Role=="Manager";`)},
+		keynote.WithResolver(ks))
+	if err != nil {
+		return err
+	}
+
+	l0 := &stack.OSLayer{Authority: u}
+	l1 := &stack.MiddlewareLayer{System: srv}
+	l2 := &stack.TrustLayer{Checker: chk, Role: "Manager"}
+	l3 := &stack.AppLayer{LayerName: "workflow", Fn: func(req *stack.Request) (stack.Verdict, error) {
+		return stack.Grant, nil
+	}}
+
+	req := &stack.Request{
+		User: "Bob", Principal: bobKey.PublicID(),
+		Domain: "hostX/srv/finance", ObjectType: "Salaries", Permission: "read",
+		OSPrincipal: "bob", OSResource: "salaries.db", OSAccess: ossec.Read,
+	}
+
+	configs := []struct {
+		name  string
+		st    *stack.Stack
+		grant bool
+	}{
+		{"L0 only (plain OS)", stack.New(stack.RequireAll, l0), true},
+		{"L1+L0 (legacy middleware)", stack.New(stack.RequireAll, l1, l0), true},
+		{"L2+L0 (no CORBASec: TM over OS)", stack.New(stack.RequireAll, l2, l0), true},
+		{"L3+L2+L1+L0 (full stack)", stack.New(stack.RequireAll, l3, l2, l1, l0), true},
+	}
+	for _, cfg := range configs {
+		d := cfg.st.Authorize(req)
+		fmt.Fprintf(w, "%-34s %s\n", cfg.name, d)
+		if d.Granted != cfg.grant {
+			return fmt.Errorf("config %q: granted=%v, want %v", cfg.name, d.Granted, cfg.grant)
+		}
+	}
+	// Mallory is blocked at every layer she reaches.
+	bad := *req
+	bad.User = "Mallory"
+	bad.OSPrincipal = "mallory"
+	bad.Principal = keys.Deterministic("Kmallory", seed).PublicID()
+	d := stack.New(stack.RequireAll, l3, l2, l1, l0).Authorize(&bad)
+	fmt.Fprintf(w, "%-34s %s\n", "full stack, unauthorised user", d)
+	if d.Granted {
+		return fmt.Errorf("unauthorised user granted by the stack")
+	}
+	return nil
+}
+
+// Figure11 renders the IDE component palette with the authorised
+// (domain, role, user) combinations per component operation.
+func Figure11(w io.Writer) error {
+	reg := middleware.NewRegistry()
+
+	srv := ejb.NewServer("X", "hostX", "srv")
+	c := srv.CreateContainer("finance")
+	c.DeployBean("Salaries", map[string]middleware.Handler{}, "read", "write")
+	c.AddMethodPermission("Clerk", "Salaries", "write")
+	c.AddMethodPermission("Manager", "Salaries", "read")
+	c.AddMethodPermission("Manager", "Salaries", "write")
+	srv.AddUser("Alice")
+	srv.AddUser("Bob")
+	if err := srv.AssignRole("finance", "Alice", "Clerk"); err != nil {
+		return err
+	}
+	if err := srv.AssignRole("finance", "Bob", "Manager"); err != nil {
+		return err
+	}
+	if err := reg.Register(srv); err != nil {
+		return err
+	}
+
+	orb := corba.NewORB("Y", "hostY", "SalesORB")
+	orb.DefineInterface("Salaries", "read")
+	if err := orb.BindObject("sal", "Salaries", nil); err != nil {
+		return err
+	}
+	orb.GrantRole("Manager", "Salaries", "read")
+	orb.AddPrincipalToRole("Claire", "Manager")
+	orb.AddPrincipalToRole("Elaine", "Manager")
+	if err := reg.Register(orb); err != nil {
+		return err
+	}
+
+	it := ide.New(reg)
+	entries, err := it.Palette()
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, ide.RenderPalette(entries))
+
+	// Partial specification, as in Section 6: pin domain and role, let
+	// the scheduler pick the user.
+	combos, err := it.Resolve("X", "Salaries", "write",
+		ide.Constraint{Domain: "hostX/srv/finance", Role: "Clerk"})
+	if err != nil {
+		return err
+	}
+	if len(combos) != 1 || combos[0].User != "Alice" {
+		return fmt.Errorf("partial specification resolved to %v", combos)
+	}
+	fmt.Fprintf(w, "partial spec (finance, Clerk, *) resolves to %s\n", combos[0])
+	return nil
+}

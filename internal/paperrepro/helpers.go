@@ -1,0 +1,33 @@
+package paperrepro
+
+import (
+	"time"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/webcom"
+)
+
+// newMaster wraps webcom.NewMaster for the figure scenarios.
+func newMaster(key *keys.KeyPair, chk *keynote.Checker, resolver keynote.Resolver) *webcom.Master {
+	return webcom.NewMaster(key, chk, nil, resolver)
+}
+
+// newClient builds a webcom client with its own master-authorisation
+// policy.
+func newClient(name string, key *keys.KeyPair, chk *keynote.Checker) *webcom.Client {
+	return &webcom.Client{Name: name, Key: key, Checker: chk}
+}
+
+// waitForClients polls until n clients are connected or the timeout
+// expires; figure generation tolerates the race between Connect returning
+// and the master registering the client.
+func waitForClients(m *webcom.Master, n int, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if len(m.Clients()) >= n {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

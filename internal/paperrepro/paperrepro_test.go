@@ -1,0 +1,86 @@
+package paperrepro
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestEveryFigureReproduces runs every figure generator and checks both
+// that its internal shape assertions pass and that it produced a
+// non-trivial artifact.
+func TestEveryFigureReproduces(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 11 {
+		t.Fatalf("%d figures, paper has 11", len(figs))
+	}
+	for _, f := range figs {
+		f := f
+		t.Run(f.Title, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := f.Generate(&buf); err != nil {
+				t.Fatalf("figure %d: %v", f.ID, err)
+			}
+			if buf.Len() < 40 {
+				t.Fatalf("figure %d produced a trivial artifact: %q", f.ID, buf.String())
+			}
+		})
+	}
+}
+
+func TestRunAllAndRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for i := 1; i <= 11; i++ {
+		if !strings.Contains(out, "==== Figure") {
+			t.Fatal("figure headers missing")
+		}
+	}
+	buf.Reset()
+	if err := Run(5, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "KWebCom") {
+		t.Fatalf("figure 5 output: %s", buf.String())
+	}
+	if err := Run(12, io.Discard); err == nil {
+		t.Fatal("nonexistent figure ran")
+	}
+}
+
+// TestFigureArtifactsContainPaperVocabulary spot-checks that regenerated
+// artifacts use the paper's own terms.
+func TestFigureArtifactsContainPaperVocabulary(t *testing.T) {
+	expect := map[int][]string{
+		1:  {"Finance", "Sales", "Clerk", "Manager", "Alice", "Elaine", "SalariesDB"},
+		2:  {"Authorizer: POLICY", `"Kbob"`, `app_domain=="SalariesDB"`},
+		4:  {`Authorizer: "Kbob"`, `"Kalice"`, `oper=="write"`, "Signature:"},
+		5:  {"KWebCom", `ObjectType == "SalariesDB"`, `Domain=="Finance"`},
+		6:  {"KWebCom", "Kclaire", `Role=="Manager"`},
+		7:  {"Kclaire", "Kfred", `Domain=="Sales"`},
+		8:  {"KeyCOM", "Clerk", "credential"},
+		9:  {"system Y", "system X", "system Z", "preserve"},
+		10: {"L0", "GRANT", "DENY"},
+		11: {"[X/ejb]", "[Y/corba]", "Clerk, Alice"},
+	}
+	for _, f := range Figures() {
+		wants, ok := expect[f.ID]
+		if !ok {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := f.Generate(&buf); err != nil {
+			t.Fatalf("figure %d: %v", f.ID, err)
+		}
+		out := buf.String()
+		for _, w := range wants {
+			if !strings.Contains(out, w) {
+				t.Errorf("figure %d artifact missing %q:\n%s", f.ID, w, out)
+			}
+		}
+	}
+}

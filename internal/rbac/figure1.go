@@ -1,0 +1,30 @@
+package rbac
+
+// Figure1 constructs the paper's running example (Figure 1): the RBAC
+// relations for a Salaries Database in an organisation with domains
+// Finance and Sales.
+//
+//	Domain   Role      Permission        Domain  Role      User
+//	Finance  Clerk     write             Finance Clerk     Alice
+//	Finance  Manager   read/write        Finance Manager   Bob
+//	Sales    Manager   read              Sales   Manager   Claire
+//	Sales    Assistant no access         Sales   Assistant Dave
+//	                                     Sales   Manager   Elaine
+//
+// "No access" for Sales/Assistant is modelled by the absence of RolePerm
+// rows: Dave is assigned the role but the role holds nothing.
+func Figure1() *Policy {
+	p := NewPolicy()
+	const db = ObjectType("SalariesDB")
+	p.AddRolePerm("Finance", "Clerk", db, "write")
+	p.AddRolePerm("Finance", "Manager", db, "read")
+	p.AddRolePerm("Finance", "Manager", db, "write")
+	p.AddRolePerm("Sales", "Manager", db, "read")
+
+	p.AddUserRole("Alice", "Finance", "Clerk")
+	p.AddUserRole("Bob", "Finance", "Manager")
+	p.AddUserRole("Claire", "Sales", "Manager")
+	p.AddUserRole("Dave", "Sales", "Assistant")
+	p.AddUserRole("Elaine", "Sales", "Manager")
+	return p
+}

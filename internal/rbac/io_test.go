@@ -1,0 +1,59 @@
+package rbac
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestPolicyJSONRoundTrip(t *testing.T) {
+	p := Figure1()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewPolicy()
+	if err := json.Unmarshal(data, q); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(q) {
+		t.Fatalf("JSON round trip diverged:\n%s", q.DiffFrom(p))
+	}
+}
+
+func TestPolicyJSONDeterministic(t *testing.T) {
+	a, _ := json.Marshal(Figure1())
+	b, _ := json.Marshal(Figure1())
+	if string(a) != string(b) {
+		t.Fatal("marshalling not deterministic")
+	}
+	if !strings.Contains(string(a), `"object_type":"SalariesDB"`) {
+		t.Fatalf("unexpected shape: %s", a)
+	}
+}
+
+func TestPolicyJSONRejectsEmptyFields(t *testing.T) {
+	cases := []string{
+		`{"role_perm":[{"domain":"","role":"r","object_type":"o","permission":"p"}]}`,
+		`{"user_role":[{"user":"","domain":"d","role":"r"}]}`,
+		`{not json`,
+	}
+	for _, c := range cases {
+		q := NewPolicy()
+		if err := json.Unmarshal([]byte(c), q); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestPolicyJSONIntoZeroValue(t *testing.T) {
+	// Unmarshalling into a zero-value Policy (not built with NewPolicy)
+	// must initialise the maps.
+	var p Policy
+	if err := json.Unmarshal([]byte(`{"role_perm":[{"domain":"d","role":"r","object_type":"o","permission":"p"}],"user_role":[]}`), &p); err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasRolePerm("d", "r", "o", "p") {
+		t.Fatal("row lost")
+	}
+}

@@ -1,0 +1,86 @@
+package rbac
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Session models RBAC role activation (Sandhu et al., reference [26] of
+// the paper): a user activates a subset of their assigned roles, and
+// access decisions are made against the activated set only. The WebCom
+// scheduler uses sessions to run a component "as" a specific
+// (domain, role, user) combination selected in the IDE (Section 6).
+type Session struct {
+	mu     sync.Mutex
+	policy *Policy
+	user   User
+	active map[DomainRole]struct{}
+}
+
+// NewSession creates a session for user u with no roles activated.
+func (p *Policy) NewSession(u User) *Session {
+	return &Session{policy: p, user: u, active: make(map[DomainRole]struct{})}
+}
+
+// User returns the session's user.
+func (s *Session) User() User { return s.user }
+
+// Activate activates role r in domain d. It fails unless UserRole(u, d, r)
+// holds — a user cannot activate a role they are not assigned.
+func (s *Session) Activate(d Domain, r Role) error {
+	if !s.policy.HasUserRole(s.user, d, r) {
+		return fmt.Errorf("rbac: user %s is not assigned role (%s, %s)", s.user, d, r)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active[DomainRole{d, r}] = struct{}{}
+	return nil
+}
+
+// ActivateAll activates every role the user is assigned.
+func (s *Session) ActivateAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, dr := range s.policy.RolesOf(s.user) {
+		s.active[dr] = struct{}{}
+	}
+}
+
+// Deactivate deactivates a role; deactivating an inactive role is a no-op.
+func (s *Session) Deactivate(d Domain, r Role) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.active, DomainRole{d, r})
+}
+
+// Active returns the activated (domain, role) pairs, sorted.
+func (s *Session) Active() []DomainRole {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DomainRole, 0, len(s.active))
+	for dr := range s.active {
+		out = append(out, dr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Domain != out[j].Domain {
+			return out[i].Domain < out[j].Domain
+		}
+		return out[i].Role < out[j].Role
+	})
+	return out
+}
+
+// Holds reports whether the session holds permission perm on object type
+// ot through an activated role. Note this can be narrower than
+// Policy.UserHolds, which considers all assigned roles.
+func (s *Session) Holds(ot ObjectType, perm Permission) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for dr := range s.active {
+		if s.policy.HasRolePerm(dr.Domain, dr.Role, ot, perm) {
+			return true
+		}
+	}
+	return false
+}

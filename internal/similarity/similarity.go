@@ -1,0 +1,210 @@
+// Package similarity provides the string similarity measures used to
+// support imprecise policy migration between middleware vocabularies
+// (Section 4.3 of the paper, and its reference [13], "Supporting
+// imprecise delegation in KeyNote using similarity measures").
+//
+// Migrating a policy between middleware technologies "does not consist of
+// a simple one-to-one mapping": permission names differ (an EJB method
+// "read" versus COM's "Access"), so the translation tools score candidate
+// mappings with similarity metrics and apply the best match above a
+// threshold. Three classic metrics are provided — normalised Levenshtein,
+// Dice bigram coefficient and Jaro-Winkler — plus a blended default.
+package similarity
+
+import (
+	"sort"
+	"strings"
+)
+
+// Metric scores the similarity of two strings in [0, 1]; 1 means
+// identical (up to case), 0 means entirely dissimilar.
+type Metric func(a, b string) float64
+
+// Levenshtein returns 1 - editDistance/maxLen, case-insensitively.
+func Levenshtein(a, b string) float64 {
+	a, b = strings.ToLower(a), strings.ToLower(b)
+	if a == b {
+		return 1
+	}
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 0
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	dist := prev[m]
+	maxLen := n
+	if m > maxLen {
+		maxLen = m
+	}
+	return 1 - float64(dist)/float64(maxLen)
+}
+
+// DiceBigram returns the Sørensen–Dice coefficient over character
+// bigrams, case-insensitively. Single-character strings compare by
+// equality.
+func DiceBigram(a, b string) float64 {
+	a, b = strings.ToLower(a), strings.ToLower(b)
+	if a == b {
+		return 1
+	}
+	ba, bb := bigrams(a), bigrams(b)
+	if len(ba) == 0 || len(bb) == 0 {
+		return 0
+	}
+	counts := make(map[string]int, len(ba))
+	for _, g := range ba {
+		counts[g]++
+	}
+	overlap := 0
+	for _, g := range bb {
+		if counts[g] > 0 {
+			counts[g]--
+			overlap++
+		}
+	}
+	return 2 * float64(overlap) / float64(len(ba)+len(bb))
+}
+
+func bigrams(s string) []string {
+	if len(s) < 2 {
+		return nil
+	}
+	out := make([]string, 0, len(s)-1)
+	for i := 0; i+2 <= len(s); i++ {
+		out = append(out, s[i:i+2])
+	}
+	return out
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity with the standard
+// prefix scale of 0.1 over at most 4 characters, case-insensitively.
+func JaroWinkler(a, b string) float64 {
+	a, b = strings.ToLower(a), strings.ToLower(b)
+	j := jaro(a, b)
+	if j == 0 {
+		return 0
+	}
+	prefix := 0
+	for prefix < len(a) && prefix < len(b) && prefix < 4 && a[prefix] == b[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+func jaro(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 0
+	}
+	window := maxInt(n, m)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, n)
+	matchB := make([]bool, m)
+	matches := 0
+	for i := 0; i < n; i++ {
+		lo := maxInt(0, i-window)
+		hi := minInt2(m-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if matchB[j] || a[i] != b[j] {
+				continue
+			}
+			matchA[i], matchB[j] = true, true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among matched characters.
+	trans := 0
+	j := 0
+	for i := 0; i < n; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if a[i] != b[j] {
+			trans++
+		}
+		j++
+	}
+	mf := float64(matches)
+	return (mf/float64(n) + mf/float64(m) + (mf-float64(trans)/2)/mf) / 3
+}
+
+// Blended is the default metric: the mean of Levenshtein, DiceBigram and
+// JaroWinkler. It is less brittle than any single measure on short
+// permission names.
+func Blended(a, b string) float64 {
+	return (Levenshtein(a, b) + DiceBigram(a, b) + JaroWinkler(a, b)) / 3
+}
+
+// Match is a scored candidate from BestMatch.
+type Match struct {
+	Candidate string
+	Score     float64
+}
+
+// BestMatch scores target against every candidate under metric and
+// returns the candidates ordered best-first. Ties break lexicographically
+// so results are deterministic.
+func BestMatch(target string, candidates []string, metric Metric) []Match {
+	out := make([]Match, 0, len(candidates))
+	for _, c := range candidates {
+		out = append(out, Match{Candidate: c, Score: metric(target, c)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Candidate < out[j].Candidate
+	})
+	return out
+}
+
+func minInt(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func minInt2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,131 @@
+package similarity
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIdenticalStringsScoreOne(t *testing.T) {
+	for _, m := range []Metric{Levenshtein, DiceBigram, JaroWinkler, Blended} {
+		if got := m("read", "read"); got != 1 {
+			t.Errorf("identical = %v, want 1", got)
+		}
+		if got := m("Read", "READ"); got != 1 {
+			t.Errorf("case-insensitive identical = %v, want 1", got)
+		}
+	}
+}
+
+func TestEmptyStrings(t *testing.T) {
+	for _, m := range []Metric{Levenshtein, DiceBigram, JaroWinkler, Blended} {
+		if got := m("", "x"); got != 0 {
+			t.Errorf("empty vs x = %v, want 0", got)
+		}
+		if got := m("", ""); got != 1 {
+			t.Errorf("empty vs empty = %v, want 1", got)
+		}
+	}
+}
+
+func TestLevenshteinKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"kitten", "sitting", 1 - 3.0/7.0},
+		{"read", "red", 1 - 1.0/4.0},
+		{"abc", "xyz", 0},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); !close(got, c.want) {
+			t.Errorf("Levenshtein(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+func TestDiceBigramKnownValues(t *testing.T) {
+	// "night" vs "nacht": bigrams ni ig gh ht / na ac ch ht -> overlap 1
+	if got := DiceBigram("night", "nacht"); !close(got, 2.0/8.0) {
+		t.Errorf("Dice(night,nacht) = %v", got)
+	}
+	if got := DiceBigram("a", "b"); got != 0 {
+		t.Errorf("single chars = %v", got)
+	}
+}
+
+func TestJaroWinklerPrefersSharedPrefix(t *testing.T) {
+	// "Access" vs "access_control" should beat "Access" vs "launch".
+	if JaroWinkler("Access", "access_control") <= JaroWinkler("Access", "launch") {
+		t.Fatal("prefix similarity ordering broken")
+	}
+	if got := JaroWinkler("MARTHA", "MARHTA"); !close(got, 0.9611111111111111) {
+		t.Errorf("JaroWinkler(MARTHA,MARHTA) = %v", got)
+	}
+}
+
+// TestMiddlewareVocabularyMapping is the practical case from the paper:
+// mapping EJB method permissions into COM's vocabulary.
+func TestMiddlewareVocabularyMapping(t *testing.T) {
+	comVocab := []string{"Launch", "Access", "RunAs"}
+	// "access" (an EJB-ish method name) must map to COM "Access".
+	got := BestMatch("access", comVocab, Blended)
+	if got[0].Candidate != "Access" || got[0].Score != 1 {
+		t.Fatalf("BestMatch(access) = %+v", got)
+	}
+	// "launch_component" should still find Launch first.
+	got = BestMatch("launch_component", comVocab, Blended)
+	if got[0].Candidate != "Launch" {
+		t.Fatalf("BestMatch(launch_component) = %+v", got)
+	}
+	// "run_as_user" maps to RunAs.
+	got = BestMatch("run_as_user", comVocab, Blended)
+	if got[0].Candidate != "RunAs" {
+		t.Fatalf("BestMatch(run_as_user) = %+v", got)
+	}
+}
+
+func TestBestMatchDeterministicTieBreak(t *testing.T) {
+	got := BestMatch("zz", []string{"bb", "aa"}, Blended)
+	if got[0].Candidate != "aa" || got[1].Candidate != "bb" {
+		t.Fatalf("tie break not lexicographic: %+v", got)
+	}
+}
+
+// Properties: all metrics are symmetric and bounded in [0,1].
+func TestQuickMetricProperties(t *testing.T) {
+	words := []string{"read", "write", "Access", "Launch", "RunAs", "execute",
+		"getSalary", "setSalary", "rd", "", "a", "administer", "querySalaries"}
+	metrics := []Metric{Levenshtein, DiceBigram, JaroWinkler, Blended}
+	f := func(i, j, k uint8) bool {
+		a := words[int(i)%len(words)]
+		b := words[int(j)%len(words)]
+		m := metrics[int(k)%len(metrics)]
+		ab, ba := m(a, b), m(b, a)
+		if !close(ab, ba) {
+			return false
+		}
+		return ab >= 0 && ab <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: identity scores strictly higher than any different word of
+// the same vocabulary under the blended metric.
+func TestQuickIdentityIsBest(t *testing.T) {
+	words := []string{"read", "write", "Access", "Launch", "RunAs", "execute"}
+	f := func(i uint8) bool {
+		target := words[int(i)%len(words)]
+		best := BestMatch(target, words, Blended)
+		return best[0].Candidate == target && best[0].Score == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,332 @@
+package spki
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"securewebcom/internal/keys"
+)
+
+// Subject is the target of a certificate: either a bare principal (key)
+// or an SDSI local name defined in some principal's name space.
+type Subject struct {
+	// Key is the principal, or the name-space owner when Name != "".
+	Key string
+	// Name, when non-empty, makes the subject the SDSI name "Key's Name".
+	Name string
+}
+
+// IsName reports whether the subject is an SDSI local name.
+func (s Subject) IsName() bool { return s.Name != "" }
+
+func (s Subject) String() string {
+	if s.IsName() {
+		return fmt.Sprintf("(name %s %s)", abbrevKey(s.Key), s.Name)
+	}
+	return abbrevKey(s.Key)
+}
+
+func abbrevKey(k string) string {
+	if len(k) > 20 {
+		return k[:20] + "..."
+	}
+	return k
+}
+
+// AuthCert is an SPKI authorisation certificate: the 5-tuple
+// (Issuer, Subject, Delegate, Tag, Validity). Validity is modelled as a
+// simple boolean (expired certificates are filtered before chain
+// discovery); the 2004 testbed did not exercise time-bracketed validity.
+type AuthCert struct {
+	Issuer   string
+	Subject  Subject
+	Delegate bool // may the subject re-delegate?
+	Tag      *Sexp
+	Sig      string // signature by Issuer over Canonical()
+}
+
+// NameCert is an SDSI name certificate: Issuer defines local name Name to
+// mean Subject (a key or a further name), forming linked local name
+// spaces.
+type NameCert struct {
+	Issuer  string
+	Name    string
+	Subject Subject
+	Sig     string
+}
+
+// Canonical returns the byte string signed by the issuer.
+func (c *AuthCert) Canonical() string {
+	return fmt.Sprintf("(cert (issuer %s) (subject %s %s) (propagate %v) (tag %s))",
+		c.Issuer, c.Subject.Key, c.Subject.Name, c.Delegate, c.Tag)
+}
+
+// Canonical returns the byte string signed by the issuer.
+func (c *NameCert) Canonical() string {
+	return fmt.Sprintf("(name-cert (issuer %s) (name %s) (subject %s %s))",
+		c.Issuer, c.Name, c.Subject.Key, c.Subject.Name)
+}
+
+// Sign signs the certificate with the issuer's key pair.
+func (c *AuthCert) Sign(kp *keys.KeyPair) error {
+	if c.Issuer != kp.PublicID() && c.Issuer != kp.Name {
+		return fmt.Errorf("spki: issuer %q is not key %q", abbrevKey(c.Issuer), kp.Name)
+	}
+	c.Sig = kp.Sign([]byte(c.Canonical()))
+	return nil
+}
+
+// Sign signs the name certificate with the issuer's key pair.
+func (c *NameCert) Sign(kp *keys.KeyPair) error {
+	if c.Issuer != kp.PublicID() && c.Issuer != kp.Name {
+		return fmt.Errorf("spki: issuer %q is not key %q", abbrevKey(c.Issuer), kp.Name)
+	}
+	c.Sig = kp.Sign([]byte(c.Canonical()))
+	return nil
+}
+
+// Resolver maps principal names to canonical key IDs (keys.KeyStore).
+type Resolver interface {
+	Resolve(nameOrID string) (string, error)
+}
+
+func verifySig(issuer, canonical, sig string, r Resolver) error {
+	id := issuer
+	if !keys.IsPublicID(id) {
+		if r == nil {
+			return fmt.Errorf("spki: cannot resolve issuer %q", abbrevKey(issuer))
+		}
+		rid, err := r.Resolve(id)
+		if err != nil {
+			return err
+		}
+		id = rid
+	}
+	return keys.Verify(id, []byte(canonical), sig)
+}
+
+// Verify checks the certificate signature, resolving the issuer via r if
+// it is not a canonical key ID.
+func (c *AuthCert) Verify(r Resolver) error {
+	if c.Sig == "" {
+		return errors.New("spki: unsigned authorisation certificate")
+	}
+	return verifySig(c.Issuer, c.Canonical(), c.Sig, r)
+}
+
+// Verify checks the name certificate signature.
+func (c *NameCert) Verify(r Resolver) error {
+	if c.Sig == "" {
+		return errors.New("spki: unsigned name certificate")
+	}
+	return verifySig(c.Issuer, c.Canonical(), c.Sig, r)
+}
+
+// Store holds certificates and answers authorisation questions by chain
+// discovery. The paper's "Self" (the verifying environment's own key) is
+// the root of every chain.
+type Store struct {
+	Self      string
+	auth      []*AuthCert
+	names     []*NameCert
+	resolver  Resolver
+	skipVerif bool
+}
+
+// StoreOption configures a Store.
+type StoreOption func(*Store)
+
+// WithStoreResolver supplies a name resolver for signature checks.
+func WithStoreResolver(r Resolver) StoreOption {
+	return func(s *Store) { s.resolver = r }
+}
+
+// WithoutStoreVerification disables signature checking (tests/benchmarks).
+func WithoutStoreVerification() StoreOption {
+	return func(s *Store) { s.skipVerif = true }
+}
+
+// NewStore creates a store whose trust root is the principal self.
+func NewStore(self string, opts ...StoreOption) *Store {
+	s := &Store{Self: self}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// AddAuth admits an authorisation certificate (after signature
+// verification unless disabled). Certificates issued by Self are local
+// policy and need no signature.
+func (s *Store) AddAuth(c *AuthCert) error {
+	if !s.skipVerif && c.Issuer != s.Self {
+		if err := c.Verify(s.resolver); err != nil {
+			return err
+		}
+	}
+	s.auth = append(s.auth, c)
+	return nil
+}
+
+// AddName admits a name certificate.
+func (s *Store) AddName(c *NameCert) error {
+	if !s.skipVerif && c.Issuer != s.Self {
+		if err := c.Verify(s.resolver); err != nil {
+			return err
+		}
+	}
+	s.names = append(s.names, c)
+	return nil
+}
+
+// AuthCount returns the number of admitted authorisation certificates.
+func (s *Store) AuthCount() int { return len(s.auth) }
+
+// ResolveName returns the set of principals an SDSI name may refer to,
+// following name-certificate chains up to a depth bound (cycles are
+// harmless).
+func (s *Store) ResolveName(owner, name string) []string {
+	type q struct {
+		owner, name string
+	}
+	seen := map[q]bool{}
+	var out []string
+	outSeen := map[string]bool{}
+	var walk func(owner, name string, depth int)
+	walk = func(owner, name string, depth int) {
+		if depth > 16 || seen[q{owner, name}] {
+			return
+		}
+		seen[q{owner, name}] = true
+		for _, nc := range s.names {
+			if nc.Issuer != owner || nc.Name != name {
+				continue
+			}
+			if nc.Subject.IsName() {
+				walk(nc.Subject.Key, nc.Subject.Name, depth+1)
+			} else if !outSeen[nc.Subject.Key] {
+				outSeen[nc.Subject.Key] = true
+				out = append(out, nc.Subject.Key)
+			}
+		}
+	}
+	walk(owner, name, 0)
+	return out
+}
+
+// subjectPrincipals expands a certificate subject to concrete principals.
+func (s *Store) subjectPrincipals(sub Subject) []string {
+	if !sub.IsName() {
+		return []string{sub.Key}
+	}
+	return s.ResolveName(sub.Key, sub.Name)
+}
+
+// Authorized reports whether principal holds the authorisation denoted by
+// request (a concrete tag), via some chain of admitted certificates
+// rooted at Self. Every intermediate certificate must carry the delegate
+// (propagate) bit; the final certificate need not.
+func (s *Store) Authorized(principal string, request *Sexp) bool {
+	_, ok := s.FindChain(principal, request)
+	return ok
+}
+
+// FindChain performs depth-first chain discovery and returns a reduced
+// chain proving the authorisation, if one exists. The proof's tags each
+// imply the request (tags narrow monotonically along the chain by
+// intersection — 5-tuple reduction).
+func (s *Store) FindChain(principal string, request *Sexp) ([]*AuthCert, bool) {
+	visited := map[string]bool{}
+
+	var dfs func(holder string, tag *Sexp) ([]*AuthCert, bool)
+	dfs = func(holder string, tag *Sexp) ([]*AuthCert, bool) {
+		if holder == s.Self {
+			return nil, true
+		}
+		st := "last|" + holder + "|" + tag.String()
+		if visited[st] {
+			return nil, false
+		}
+		visited[st] = true
+		for _, c := range s.auth {
+			// Does c grant 'tag' to 'holder'?
+			granted, ok := Intersect(c.Tag, tag)
+			if !ok || !granted.Equal(tag) {
+				continue
+			}
+			match := false
+			for _, p := range s.subjectPrincipals(c.Subject) {
+				if p == holder {
+					match = true
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			// The issuer must itself hold the tag; unless the issuer is
+			// Self, c must allow onward delegation for holder to use it
+			// as an intermediate? No: c is the *last* hop into holder.
+			// Intermediate hops are the ones above, which we check by
+			// requiring Delegate on certificates that are not the final
+			// grant. Walking up: certificates above c grant to c.Issuer
+			// and must have Delegate set.
+			chain, ok := dfsUp(s, c.Issuer, tag, visited)
+			if ok {
+				return append(chain, c), true
+			}
+		}
+		return nil, false
+	}
+	return dfs(principal, request)
+}
+
+// dfsUp finds a chain rooted at Self granting tag to holder where every
+// certificate must carry the Delegate bit (holder re-delegates).
+func dfsUp(s *Store, holder string, tag *Sexp, visited map[string]bool) ([]*AuthCert, bool) {
+	if holder == s.Self {
+		return nil, true
+	}
+	key := "up|" + holder + "|" + tag.String()
+	if visited[key] {
+		return nil, false
+	}
+	visited[key] = true
+	for _, c := range s.auth {
+		if !c.Delegate {
+			continue
+		}
+		granted, ok := Intersect(c.Tag, tag)
+		if !ok || !granted.Equal(tag) {
+			continue
+		}
+		match := false
+		for _, p := range s.subjectPrincipals(c.Subject) {
+			if p == holder {
+				match = true
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		chain, ok := dfsUp(s, c.Issuer, tag, visited)
+		if ok {
+			return append(chain, c), true
+		}
+	}
+	return nil, false
+}
+
+// DescribeChain renders a chain for logs and the repro harness.
+func DescribeChain(chain []*AuthCert) string {
+	if len(chain) == 0 {
+		return "(self)"
+	}
+	parts := make([]string, len(chain))
+	for i, c := range chain {
+		parts[i] = fmt.Sprintf("%s -> %s [%s]", abbrevKey(c.Issuer), c.Subject, c.Tag)
+	}
+	return strings.Join(parts, " ; ")
+}

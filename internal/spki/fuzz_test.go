@@ -1,0 +1,71 @@
+package spki
+
+import "testing"
+
+func FuzzParseSexp(f *testing.F) {
+	seeds := []string{
+		`(*)`,
+		`(tag (db salaries) (* set read write))`,
+		`(* prefix "fin/")`,
+		`(* range numeric 0 100)`,
+		`"quoted \" atom"`,
+		`((((()))))`,
+		`(a . b)`,
+		``,
+		`)(`,
+		`(unclosed`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := ParseSexp(input)
+		if err != nil {
+			return
+		}
+		// Render/re-parse is the identity on the structure.
+		e2, err := ParseSexp(e.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", e.String(), input, err)
+		}
+		if !e.Equal(e2) {
+			t.Fatalf("round trip changed structure: %q -> %q", input, e2)
+		}
+	})
+}
+
+func FuzzIntersect(f *testing.F) {
+	pairs := [][2]string{
+		{`(*)`, `(tag x)`},
+		{`(* set a b)`, `(* set b c)`},
+		{`(* prefix "ab")`, `(* prefix "abc")`},
+		{`(* range numeric 1 5)`, `3`},
+		{`(a b c)`, `(a b)`},
+	}
+	for _, p := range pairs {
+		f.Add(p[0], p[1])
+	}
+	f.Fuzz(func(t *testing.T, sa, sb string) {
+		a, errA := ParseSexp(sa)
+		b, errB := ParseSexp(sb)
+		if errA != nil || errB != nil {
+			return
+		}
+		r1, ok1 := Intersect(a, b)
+		r2, ok2 := Intersect(b, a)
+		if ok1 != ok2 {
+			t.Fatalf("intersection commutativity (existence) broken: %q vs %q", sa, sb)
+		}
+		if !ok1 {
+			return
+		}
+		// Lower bound both ways.
+		for _, operand := range []*Sexp{a, b} {
+			m, ok := Intersect(r1, operand)
+			if !ok || !m.Equal(r1) {
+				t.Fatalf("result %q not a lower bound of %q", r1, operand)
+			}
+		}
+		_ = r2
+	})
+}

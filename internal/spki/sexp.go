@@ -1,0 +1,214 @@
+// Package spki implements the SPKI/SDSI authorisation system (Ellison et
+// al., RFC 2693; Rivest & Lampson's SDSI): authorisation certificates as
+// 5-tuples, the tag s-expression algebra with intersection, SDSI local
+// names with name-certificate resolution, and certificate-chain discovery
+// and reduction.
+//
+// Footnote 1 of the paper states that Secure WebCom's results, presented
+// in terms of KeyNote, "are applicable to SPKI/SDSI". This package exists
+// to make that claim checkable: internal/translate encodes the same
+// middleware RBAC policies as SPKI tuples, and the test suite verifies the
+// two trust-management systems reach identical authorisation decisions.
+package spki
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Sexp is an s-expression: either an atom (List == nil, value in Atom) or
+// a list of sub-expressions. The canonical textual form uses the advanced
+// (human-readable) transport: atoms are tokens or quoted strings, lists
+// are parenthesised.
+type Sexp struct {
+	Atom string
+	List []*Sexp // nil for atoms; non-nil (possibly empty) for lists
+}
+
+// A returns an atom expression.
+func A(s string) *Sexp { return &Sexp{Atom: s} }
+
+// L returns a list expression.
+func L(items ...*Sexp) *Sexp {
+	if items == nil {
+		items = []*Sexp{}
+	}
+	return &Sexp{List: items}
+}
+
+// IsAtom reports whether e is an atom.
+func (e *Sexp) IsAtom() bool { return e.List == nil }
+
+// Equal reports structural equality.
+func (e *Sexp) Equal(o *Sexp) bool {
+	if e == nil || o == nil {
+		return e == o
+	}
+	if e.IsAtom() != o.IsAtom() {
+		return false
+	}
+	if e.IsAtom() {
+		return e.Atom == o.Atom
+	}
+	if len(e.List) != len(o.List) {
+		return false
+	}
+	for i := range e.List {
+		if !e.List[i].Equal(o.List[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (e *Sexp) Clone() *Sexp {
+	if e == nil {
+		return nil
+	}
+	if e.IsAtom() {
+		return A(e.Atom)
+	}
+	items := make([]*Sexp, len(e.List))
+	for i, it := range e.List {
+		items[i] = it.Clone()
+	}
+	return L(items...)
+}
+
+// String renders the expression in advanced transport form.
+func (e *Sexp) String() string {
+	var b strings.Builder
+	e.write(&b)
+	return b.String()
+}
+
+func (e *Sexp) write(b *strings.Builder) {
+	if e.IsAtom() {
+		if needsQuoting(e.Atom) {
+			// Quote with the same minimal escaping the parser undoes:
+			// backslash before '"' and '\'; every other byte raw.
+			b.WriteByte('"')
+			for i := 0; i < len(e.Atom); i++ {
+				c := e.Atom[i]
+				if c == '"' || c == '\\' {
+					b.WriteByte('\\')
+				}
+				b.WriteByte(c)
+			}
+			b.WriteByte('"')
+		} else {
+			b.WriteString(e.Atom)
+		}
+		return
+	}
+	b.WriteByte('(')
+	for i, it := range e.List {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		it.write(b)
+	}
+	b.WriteByte(')')
+}
+
+func needsQuoting(s string) bool {
+	if s == "" {
+		return true
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '(' || c == ')' || c == '"' || c == '\\' ||
+			c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseSexp parses one s-expression in advanced transport form.
+func ParseSexp(src string) (*Sexp, error) {
+	p := &sexpParser{src: src}
+	e, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("spki: trailing input at offset %d in %q", p.pos, src)
+	}
+	return e, nil
+}
+
+type sexpParser struct {
+	src string
+	pos int
+}
+
+func (p *sexpParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *sexpParser) parse() (*Sexp, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, errors.New("spki: unexpected end of s-expression")
+	}
+	switch c := p.src[p.pos]; {
+	case c == '(':
+		p.pos++
+		list := []*Sexp{}
+		for {
+			p.skipSpace()
+			if p.pos >= len(p.src) {
+				return nil, errors.New("spki: unterminated list")
+			}
+			if p.src[p.pos] == ')' {
+				p.pos++
+				return L(list...), nil
+			}
+			it, err := p.parse()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, it)
+		}
+	case c == ')':
+		return nil, fmt.Errorf("spki: unexpected ')' at offset %d", p.pos)
+	case c == '"':
+		p.pos++
+		var b strings.Builder
+		for p.pos < len(p.src) {
+			c := p.src[p.pos]
+			if c == '"' {
+				p.pos++
+				return A(b.String()), nil
+			}
+			if c == '\\' && p.pos+1 < len(p.src) {
+				p.pos++
+				c = p.src[p.pos]
+			}
+			b.WriteByte(c)
+			p.pos++
+		}
+		return nil, errors.New("spki: unterminated quoted atom")
+	default:
+		start := p.pos
+		for p.pos < len(p.src) {
+			c := p.src[p.pos]
+			if c == '(' || c == ')' || c == '"' || c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+				break
+			}
+			p.pos++
+		}
+		return A(p.src[start:p.pos]), nil
+	}
+}

@@ -1,0 +1,390 @@
+package spki
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"securewebcom/internal/keys"
+)
+
+func TestSexpParseRender(t *testing.T) {
+	cases := []string{
+		`(*)`,
+		`(tag (webcom SalariesDB (domain Finance) (role Manager) read))`,
+		`(* set read write)`,
+		`(* prefix "fin/")`,
+		`(* range numeric 1 10)`,
+		`atom`,
+		`(nested (very (deep (list a b c))))`,
+		`(with "quoted string" inside)`,
+	}
+	for _, c := range cases {
+		e, err := ParseSexp(c)
+		if err != nil {
+			t.Errorf("ParseSexp(%q): %v", c, err)
+			continue
+		}
+		e2, err := ParseSexp(e.String())
+		if err != nil {
+			t.Errorf("re-parse of %q: %v", e.String(), err)
+			continue
+		}
+		if !e.Equal(e2) {
+			t.Errorf("round trip changed %q -> %q", c, e2)
+		}
+	}
+}
+
+func TestSexpParseErrors(t *testing.T) {
+	for _, c := range []string{``, `(`, `)`, `(a b`, `(a))`, `"unterminated`, `a b`} {
+		if _, err := ParseSexp(c); err == nil {
+			t.Errorf("ParseSexp(%q): expected error", c)
+		}
+	}
+}
+
+func TestSexpQuoting(t *testing.T) {
+	e := L(A("has space"), A(""), A("paren("))
+	s := e.String()
+	e2, err := ParseSexp(s)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", s, err)
+	}
+	if !e.Equal(e2) {
+		t.Fatalf("quoting round trip failed: %q", s)
+	}
+}
+
+func TestIntersectBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want string // "" = empty intersection
+	}{
+		{`(*)`, `(tag read)`, `(tag read)`},
+		{`(tag read)`, `(*)`, `(tag read)`},
+		{`read`, `read`, `read`},
+		{`read`, `write`, ``},
+		{`(tag read)`, `(tag read)`, `(tag read)`},
+		{`(tag read)`, `(tag write)`, ``},
+		{`(* set read write)`, `read`, `read`},
+		{`(* set read write)`, `delete`, ``},
+		{`(* set read write)`, `(* set write delete)`, `write`},
+		{`(* prefix "fin/")`, `"fin/salaries"`, `"fin/salaries"`},
+		{`(* prefix "fin/")`, `"sales/x"`, ``},
+		{`(* prefix "fin/")`, `(* prefix "fin/sal")`, `(* prefix "fin/sal")`},
+		{`(* prefix "fin/x")`, `(* prefix "sales/")`, ``},
+		{`(* range numeric 1 10)`, `5`, `5`},
+		{`(* range numeric 1 10)`, `11`, ``},
+		{`(* range numeric 1 10)`, `(* range numeric 5 20)`, `(* range numeric 5 10)`},
+		{`(* range numeric 1 4)`, `(* range numeric 5 20)`, ``},
+		// Prefix-list semantics: shorter tag list grants longer requests.
+		{`(ftp (host x))`, `(ftp (host x) (dir /pub))`, `(ftp (host x) (dir /pub))`},
+		{`(ftp (host x) (dir /pub))`, `(ftp (host x) (dir /etc))`, ``},
+		{`(ftp (host x))`, `(http (host x))`, ``},
+		{`atom`, `(list)`, ``},
+	}
+	for _, c := range cases {
+		a, b := MustParseTag(c.a), MustParseTag(c.b)
+		got, ok := Intersect(a, b)
+		if c.want == "" {
+			if ok {
+				t.Errorf("Intersect(%s, %s) = %s, want empty", c.a, c.b, got)
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("Intersect(%s, %s) empty, want %s", c.a, c.b, c.want)
+			continue
+		}
+		if want := MustParseTag(c.want); !got.Equal(want) {
+			t.Errorf("Intersect(%s, %s) = %s, want %s", c.a, c.b, got, want)
+		}
+	}
+}
+
+// Property: intersection is commutative and lower-bounding (result implies
+// into both operands) on a generated tag universe.
+func TestQuickIntersectProperties(t *testing.T) {
+	universe := []string{
+		`(*)`,
+		`(tag read)`,
+		`(tag write)`,
+		`(* set (tag read) (tag write))`,
+		`(tag (db salaries) read)`,
+		`(tag (db salaries))`,
+		`(tag (db orders) read)`,
+		`(* prefix "db/")`,
+		`"db/salaries"`,
+		`(* range numeric 0 100)`,
+		`(* range numeric 50 150)`,
+		`42`,
+	}
+	f := func(i, j uint8) bool {
+		a := MustParseTag(universe[int(i)%len(universe)])
+		b := MustParseTag(universe[int(j)%len(universe)])
+		r1, ok1 := Intersect(a, b)
+		r2, ok2 := Intersect(b, a)
+		if ok1 != ok2 {
+			return false
+		}
+		if !ok1 {
+			return true
+		}
+		// Commutativity up to denotation: intersecting both results
+		// yields the same sets. We check mutual implication.
+		m1, okA := Intersect(r1, r2)
+		m2, okB := Intersect(r2, r1)
+		if !okA || !okB || !m1.Equal(r1) && !m1.Equal(r2) {
+			return false
+		}
+		_ = m2
+		// Lower bound: r1 ∩ a == r1 and r1 ∩ b == r1.
+		la, okA := Intersect(r1, a)
+		lb, okB := Intersect(r1, b)
+		return okA && okB && la.Equal(r1) && lb.Equal(r1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImplies(t *testing.T) {
+	if !Implies(MustParseTag(`(*)`), MustParseTag(`(tag read)`)) {
+		t.Fatal("star must imply everything")
+	}
+	if Implies(MustParseTag(`(tag read)`), MustParseTag(`(*)`)) {
+		t.Fatal("a concrete tag must not imply star")
+	}
+	if !Implies(MustParseTag(`(* set read write)`), MustParseTag(`read`)) {
+		t.Fatal("set must imply member")
+	}
+}
+
+func storeKeys() *keys.KeyStore {
+	ks := keys.NewKeyStore()
+	for _, n := range []string{"Kself", "Kbob", "Kalice", "Kclaire", "Kmallory"} {
+		ks.Add(keys.Deterministic(n, "spki"))
+	}
+	return ks
+}
+
+func TestChainDiscovery(t *testing.T) {
+	ks := storeKeys()
+	self, _ := ks.ByName("Kself")
+	bob, _ := ks.ByName("Kbob")
+	alice, _ := ks.ByName("Kalice")
+
+	st := NewStore(self.PublicID(), WithStoreResolver(ks))
+
+	// Self grants Bob read+write with delegation.
+	c1 := &AuthCert{
+		Issuer:   self.PublicID(),
+		Subject:  Subject{Key: bob.PublicID()},
+		Delegate: true,
+		Tag:      MustParseTag(`(tag SalariesDB (* set read write))`),
+	}
+	if err := st.AddAuth(c1); err != nil {
+		t.Fatal(err)
+	}
+	// Bob grants Alice write only, no delegation.
+	c2 := &AuthCert{
+		Issuer:  bob.PublicID(),
+		Subject: Subject{Key: alice.PublicID()},
+		Tag:     MustParseTag(`(tag SalariesDB write)`),
+	}
+	if err := c2.Sign(bob); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddAuth(c2); err != nil {
+		t.Fatal(err)
+	}
+
+	read := MustParseTag(`(tag SalariesDB read)`)
+	write := MustParseTag(`(tag SalariesDB write)`)
+
+	if !st.Authorized(bob.PublicID(), read) || !st.Authorized(bob.PublicID(), write) {
+		t.Fatal("Bob must hold read and write")
+	}
+	if !st.Authorized(alice.PublicID(), write) {
+		t.Fatal("Alice must hold write via Bob")
+	}
+	if st.Authorized(alice.PublicID(), read) {
+		t.Fatal("Alice must not hold read")
+	}
+	mallory, _ := ks.ByName("Kmallory")
+	if st.Authorized(mallory.PublicID(), write) {
+		t.Fatal("Mallory must hold nothing")
+	}
+	chain, ok := st.FindChain(alice.PublicID(), write)
+	if !ok || len(chain) != 2 {
+		t.Fatalf("chain = %v (%d certs)", DescribeChain(chain), len(chain))
+	}
+}
+
+func TestDelegateBitEnforced(t *testing.T) {
+	ks := storeKeys()
+	self, _ := ks.ByName("Kself")
+	bob, _ := ks.ByName("Kbob")
+	alice, _ := ks.ByName("Kalice")
+	st := NewStore(self.PublicID(), WithoutStoreVerification())
+
+	// Self grants Bob WITHOUT delegation; Bob still issues to Alice.
+	st.AddAuth(&AuthCert{Issuer: self.PublicID(), Subject: Subject{Key: bob.PublicID()},
+		Delegate: false, Tag: MustParseTag(`(tag x)`)})
+	st.AddAuth(&AuthCert{Issuer: bob.PublicID(), Subject: Subject{Key: alice.PublicID()},
+		Tag: MustParseTag(`(tag x)`)})
+
+	if !st.Authorized(bob.PublicID(), MustParseTag(`(tag x)`)) {
+		t.Fatal("Bob directly authorised")
+	}
+	if st.Authorized(alice.PublicID(), MustParseTag(`(tag x)`)) {
+		t.Fatal("delegation without the propagate bit must fail")
+	}
+}
+
+func TestSignatureRequiredOnAdd(t *testing.T) {
+	ks := storeKeys()
+	self, _ := ks.ByName("Kself")
+	bob, _ := ks.ByName("Kbob")
+	mallory, _ := ks.ByName("Kmallory")
+
+	st := NewStore(self.PublicID(), WithStoreResolver(ks))
+	// Unsigned non-self certificate rejected.
+	c := &AuthCert{Issuer: bob.PublicID(), Subject: Subject{Key: mallory.PublicID()},
+		Tag: TagStar()}
+	if err := st.AddAuth(c); err == nil {
+		t.Fatal("unsigned certificate admitted")
+	}
+	// Forged: signed by Mallory, claiming Bob as issuer.
+	c.Sig = mallory.Sign([]byte(c.Canonical()))
+	if err := st.AddAuth(c); err == nil {
+		t.Fatal("forged certificate admitted")
+	}
+	// Properly signed admits fine.
+	if err := c.Sign(bob); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddAuth(c); err != nil {
+		t.Fatalf("valid certificate rejected: %v", err)
+	}
+	if st.AuthCount() != 1 {
+		t.Fatalf("AuthCount = %d", st.AuthCount())
+	}
+}
+
+func TestSignRefusesWrongIssuer(t *testing.T) {
+	ks := storeKeys()
+	bob, _ := ks.ByName("Kbob")
+	mallory, _ := ks.ByName("Kmallory")
+	c := &AuthCert{Issuer: bob.PublicID(), Subject: Subject{Key: "K"}, Tag: TagStar()}
+	if err := c.Sign(mallory); err == nil {
+		t.Fatal("signed with non-issuer key")
+	}
+	nc := &NameCert{Issuer: bob.PublicID(), Name: "n", Subject: Subject{Key: "K"}}
+	if err := nc.Sign(mallory); err == nil {
+		t.Fatal("name cert signed with non-issuer key")
+	}
+}
+
+func TestSDSINameResolution(t *testing.T) {
+	ks := storeKeys()
+	self, _ := ks.ByName("Kself")
+	bob, _ := ks.ByName("Kbob")
+	alice, _ := ks.ByName("Kalice")
+	claire, _ := ks.ByName("Kclaire")
+
+	st := NewStore(self.PublicID(), WithoutStoreVerification())
+
+	// Self's "managers" = Bob's "staff"; Bob's "staff" = {Alice, Claire}.
+	st.AddName(&NameCert{Issuer: self.PublicID(), Name: "managers",
+		Subject: Subject{Key: bob.PublicID(), Name: "staff"}})
+	st.AddName(&NameCert{Issuer: bob.PublicID(), Name: "staff",
+		Subject: Subject{Key: alice.PublicID()}})
+	st.AddName(&NameCert{Issuer: bob.PublicID(), Name: "staff",
+		Subject: Subject{Key: claire.PublicID()}})
+
+	got := st.ResolveName(self.PublicID(), "managers")
+	if len(got) != 2 {
+		t.Fatalf("ResolveName = %v", got)
+	}
+
+	// Grant to the NAME; both members are authorised.
+	st.AddAuth(&AuthCert{Issuer: self.PublicID(),
+		Subject: Subject{Key: self.PublicID(), Name: "managers"},
+		Tag:     MustParseTag(`(tag db read)`)})
+	if !st.Authorized(alice.PublicID(), MustParseTag(`(tag db read)`)) {
+		t.Fatal("Alice must be authorised via the managers name")
+	}
+	if !st.Authorized(claire.PublicID(), MustParseTag(`(tag db read)`)) {
+		t.Fatal("Claire must be authorised via the managers name")
+	}
+	if st.Authorized(bob.PublicID(), MustParseTag(`(tag db read)`)) {
+		t.Fatal("Bob owns the name space but is not a member")
+	}
+}
+
+func TestSDSINameCycleTerminates(t *testing.T) {
+	st := NewStore("Kself", WithoutStoreVerification())
+	st.AddName(&NameCert{Issuer: "K1", Name: "a", Subject: Subject{Key: "K2", Name: "b"}})
+	st.AddName(&NameCert{Issuer: "K2", Name: "b", Subject: Subject{Key: "K1", Name: "a"}})
+	if got := st.ResolveName("K1", "a"); len(got) != 0 {
+		t.Fatalf("cyclic names resolved to %v", got)
+	}
+}
+
+func TestTagNarrowingAlongChain(t *testing.T) {
+	// Self grants Bob (tag db (* set read write)) with delegate; Bob
+	// grants Alice star — Alice still only gets what Bob had.
+	st := NewStore("Kself", WithoutStoreVerification())
+	st.AddAuth(&AuthCert{Issuer: "Kself", Subject: Subject{Key: "Kbob"},
+		Delegate: true, Tag: MustParseTag(`(tag db (* set read write))`)})
+	st.AddAuth(&AuthCert{Issuer: "Kbob", Subject: Subject{Key: "Kalice"},
+		Tag: TagStar()})
+	if !st.Authorized("Kalice", MustParseTag(`(tag db read)`)) {
+		t.Fatal("Alice must get read")
+	}
+	if st.Authorized("Kalice", MustParseTag(`(tag db delete)`)) {
+		t.Fatal("Alice must not exceed Bob's grant")
+	}
+}
+
+func TestDescribeChainEmpty(t *testing.T) {
+	if DescribeChain(nil) != "(self)" {
+		t.Fatal("empty chain description")
+	}
+}
+
+func TestChainCycleTerminates(t *testing.T) {
+	st := NewStore("Kself", WithoutStoreVerification())
+	st.AddAuth(&AuthCert{Issuer: "K1", Subject: Subject{Key: "K2"}, Delegate: true, Tag: TagStar()})
+	st.AddAuth(&AuthCert{Issuer: "K2", Subject: Subject{Key: "K1"}, Delegate: true, Tag: TagStar()})
+	if st.Authorized("K1", MustParseTag(`(tag x)`)) {
+		t.Fatal("cycle with no root reached authorisation")
+	}
+}
+
+func TestCanonicalCoversTag(t *testing.T) {
+	ks := storeKeys()
+	bob, _ := ks.ByName("Kbob")
+	c := &AuthCert{Issuer: bob.PublicID(), Subject: Subject{Key: "K"}, Tag: MustParseTag(`(tag read)`)}
+	if err := c.Sign(bob); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the tag: signature must break.
+	c.Tag = MustParseTag(`(tag write)`)
+	if err := c.Verify(ks); err == nil {
+		t.Fatal("tag mutation did not break the signature")
+	}
+}
+
+func TestSubjectString(t *testing.T) {
+	s := Subject{Key: strings.Repeat("k", 40)}
+	if !strings.Contains(s.String(), "...") {
+		t.Fatal("long keys must be abbreviated")
+	}
+	n := Subject{Key: "K1", Name: "staff"}
+	if n.String() != "(name K1 staff)" {
+		t.Fatalf("name subject rendered %q", n.String())
+	}
+}

@@ -1,0 +1,236 @@
+package spki
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Tag algebra (RFC 2693 section 6.3). A tag denotes a set of
+// authorisations. Special forms:
+//
+//	(*)                      — all authorisations ("star")
+//	(* set e1 e2 ...)        — union of the denotations of e1..en
+//	(* prefix "s")           — all byte strings with prefix s
+//	(* range numeric lo hi)  — numbers in [lo, hi] (inclusive)
+//
+// Any other list denotes element-wise: a request list matches a tag list
+// when every tag element intersects the corresponding request element; a
+// tag list that is a *prefix* of the request list still matches (the tag
+// grants the more general authorisation).
+//
+// Intersect computes a tag denoting the intersection of two
+// authorisation sets, or ok=false when the intersection is empty. It is
+// the core of 5-tuple reduction: a delegated authorisation is the
+// intersection of the delegator's and the delegatee's tags.
+
+// TagStar returns the universal tag (*).
+func TagStar() *Sexp { return L(A("*")) }
+
+// isStar reports whether e is (*).
+func isStar(e *Sexp) bool {
+	return !e.IsAtom() && len(e.List) == 1 && e.List[0].IsAtom() && e.List[0].Atom == "*"
+}
+
+// starForm returns the special-form name ("set", "prefix", "range") if e
+// is (* form ...), or "".
+func starForm(e *Sexp) string {
+	if e.IsAtom() || len(e.List) < 2 {
+		return ""
+	}
+	if !e.List[0].IsAtom() || e.List[0].Atom != "*" {
+		return ""
+	}
+	if !e.List[1].IsAtom() {
+		return ""
+	}
+	return e.List[1].Atom
+}
+
+// Intersect returns the intersection of tags a and b (nil, false when
+// empty). The result is a valid tag whose denotation is exactly the
+// set-intersection of the inputs' denotations.
+func Intersect(a, b *Sexp) (*Sexp, bool) {
+	switch {
+	case a == nil || b == nil:
+		return nil, false
+	case isStar(a):
+		return b.Clone(), true
+	case isStar(b):
+		return a.Clone(), true
+	}
+
+	fa, fb := starForm(a), starForm(b)
+	switch {
+	case fa == "set":
+		var items []*Sexp
+		for _, e := range a.List[2:] {
+			if r, ok := Intersect(e, b); ok {
+				items = append(items, r)
+			}
+		}
+		return makeSet(items)
+	case fb == "set":
+		var items []*Sexp
+		for _, e := range b.List[2:] {
+			if r, ok := Intersect(a, e); ok {
+				items = append(items, r)
+			}
+		}
+		return makeSet(items)
+	case fa == "prefix":
+		return intersectPrefix(a, b)
+	case fb == "prefix":
+		return intersectPrefix(b, a)
+	case fa == "range":
+		return intersectRange(a, b)
+	case fb == "range":
+		return intersectRange(b, a)
+	}
+
+	if a.IsAtom() && b.IsAtom() {
+		if a.Atom == b.Atom {
+			return A(a.Atom), true
+		}
+		return nil, false
+	}
+	if a.IsAtom() != b.IsAtom() {
+		return nil, false
+	}
+
+	// Element-wise list intersection with prefix semantics: the shorter
+	// list grants everything the longer one asks beyond its length.
+	short, long := a, b
+	if len(a.List) > len(b.List) {
+		short, long = b, a
+	}
+	out := make([]*Sexp, 0, len(long.List))
+	for i := range long.List {
+		if i < len(short.List) {
+			r, ok := Intersect(a.List[i], b.List[i])
+			if !ok {
+				return nil, false
+			}
+			out = append(out, r)
+		} else {
+			out = append(out, long.List[i].Clone())
+		}
+	}
+	return L(out...), true
+}
+
+func makeSet(items []*Sexp) (*Sexp, bool) {
+	switch len(items) {
+	case 0:
+		return nil, false
+	case 1:
+		return items[0], true
+	default:
+		list := append([]*Sexp{A("*"), A("set")}, items...)
+		return L(list...), true
+	}
+}
+
+// intersectPrefix intersects (* prefix "s") with other. Malformed prefix
+// forms denote the empty set.
+func intersectPrefix(pfx, other *Sexp) (*Sexp, bool) {
+	if len(pfx.List) != 3 || !pfx.List[2].IsAtom() {
+		return nil, false
+	}
+	s := pfx.List[2].Atom
+	switch {
+	case other.IsAtom():
+		if strings.HasPrefix(other.Atom, s) {
+			return other.Clone(), true
+		}
+		return nil, false
+	case starForm(other) == "prefix":
+		if len(other.List) != 3 || !other.List[2].IsAtom() {
+			return nil, false
+		}
+		t := other.List[2].Atom
+		if strings.HasPrefix(t, s) {
+			return other.Clone(), true
+		}
+		if strings.HasPrefix(s, t) {
+			return pfx.Clone(), true
+		}
+		return nil, false
+	default:
+		// A prefix tag does not intersect structured lists or ranges.
+		return nil, false
+	}
+}
+
+// intersectRange intersects (* range numeric lo hi) with other.
+func intersectRange(rng, other *Sexp) (*Sexp, bool) {
+	if len(rng.List) != 5 || !rng.List[2].IsAtom() || rng.List[2].Atom != "numeric" {
+		return nil, false
+	}
+	lo, err1 := strconv.ParseFloat(rng.List[3].Atom, 64)
+	hi, err2 := strconv.ParseFloat(rng.List[4].Atom, 64)
+	if err1 != nil || err2 != nil || lo > hi {
+		return nil, false
+	}
+	switch {
+	case other.IsAtom():
+		v, err := strconv.ParseFloat(other.Atom, 64)
+		if err != nil || v < lo || v > hi {
+			return nil, false
+		}
+		return other.Clone(), true
+	case starForm(other) == "range":
+		if len(other.List) != 5 {
+			return nil, false
+		}
+		lo2, err1 := strconv.ParseFloat(other.List[3].Atom, 64)
+		hi2, err2 := strconv.ParseFloat(other.List[4].Atom, 64)
+		if err1 != nil || err2 != nil {
+			return nil, false
+		}
+		nlo, nhi := max64(lo, lo2), min64(hi, hi2)
+		if nlo > nhi {
+			return nil, false
+		}
+		return L(A("*"), A("range"), A("numeric"), A(formatNum(nlo)), A(formatNum(nhi))), true
+	default:
+		return nil, false
+	}
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func formatNum(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// Implies reports whether tag a authorises everything request r asks:
+// i.e. Intersect(a, r) has the same denotation as r. For the concrete
+// (finite, star-free) requests used by the RBAC encoding this is simply
+// Intersect(a, r) == r.
+func Implies(a, r *Sexp) bool {
+	got, ok := Intersect(a, r)
+	if !ok {
+		return false
+	}
+	return got.Equal(r)
+}
+
+// MustParseTag is ParseSexp for static tags; it panics on error.
+func MustParseTag(src string) *Sexp {
+	e, err := ParseSexp(src)
+	if err != nil {
+		panic(fmt.Sprintf("spki: bad tag %q: %v", src, err))
+	}
+	return e
+}

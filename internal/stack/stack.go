@@ -1,0 +1,295 @@
+// Package stack implements the stacked security architecture of Figure
+// 10: pluggable mediation layers
+//
+//	L3  application security (workflow checks in the condensed graph)
+//	L2  trust management (KeyNote)
+//	L1  middleware security (CORBA / EJB / COM+)
+//	L0  operating-system security (Unix, Windows NT)
+//
+// Layers are "pluggable in the sense of PAM" (references [17, 25] of the
+// paper): an environment composes whatever layers it has. A system with
+// no middleware security (the paper's System Z) stacks only L2 over L0; a
+// legacy system might stack only L0 and L1.
+//
+// Each layer returns Grant, Deny or Abstain. Abstain means the layer has
+// no opinion (the request is outside its scope — e.g. an OS layer asked
+// about a request with no OS resource attached). Two combination policies
+// are provided:
+//
+//   - RequireAll (default): every non-abstaining layer must grant, and at
+//     least one layer must decide. This is the paper's belt-and-braces
+//     reading: WebCom's trust-management decision *and* the underlying
+//     middleware/OS mediation both apply.
+//   - FirstDecides: the highest layer with an opinion decides — the
+//     configuration where WebCom is trusted to override lower layers.
+package stack
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/ossec"
+	"securewebcom/internal/rbac"
+	"securewebcom/internal/translate"
+)
+
+// Verdict is one layer's opinion of a request.
+type Verdict int
+
+// Layer verdicts.
+const (
+	Abstain Verdict = iota
+	Grant
+	Deny
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Grant:
+		return "grant"
+	case Deny:
+		return "deny"
+	default:
+		return "abstain"
+	}
+}
+
+// Request is the cross-layer description of one access attempt.
+type Request struct {
+	// User is the middleware/RBAC identity performing the action.
+	User rbac.User
+	// Principal is the public key of the requester at the trust-
+	// management layer (may be empty when no L2 layer is stacked).
+	Principal string
+	// Domain, ObjectType and Permission locate the action in the
+	// extended RBAC model.
+	Domain     rbac.Domain
+	ObjectType rbac.ObjectType
+	Permission rbac.Permission
+	// Credentials support the trust-management decision.
+	Credentials []*keynote.Assertion
+	// OSPrincipal, OSResource and OSAccess describe the action at the
+	// operating-system layer; empty OSResource makes L0 abstain.
+	OSPrincipal string
+	OSResource  string
+	OSAccess    ossec.Access
+	// App carries application-level attributes for L3 checks.
+	App map[string]string
+}
+
+// Layer is one pluggable mediation mechanism.
+type Layer interface {
+	// Name labels the layer in audit trails ("L0:unix", "L1:ejb", ...).
+	Name() string
+	// Decide returns the layer's verdict. Errors are treated as Deny and
+	// recorded (fail closed).
+	Decide(req *Request) (Verdict, error)
+}
+
+// CombineMode selects how layer verdicts compose.
+type CombineMode int
+
+// Combination policies.
+const (
+	RequireAll CombineMode = iota
+	FirstDecides
+)
+
+// Decision is the stack's overall outcome with its audit trail.
+type Decision struct {
+	Granted bool
+	Trail   []LayerDecision
+}
+
+// LayerDecision records one layer's verdict.
+type LayerDecision struct {
+	Layer   string
+	Verdict Verdict
+	Err     error
+}
+
+func (d Decision) String() string {
+	parts := make([]string, 0, len(d.Trail)+1)
+	for _, ld := range d.Trail {
+		s := fmt.Sprintf("%s=%s", ld.Layer, ld.Verdict)
+		if ld.Err != nil {
+			s += "(" + ld.Err.Error() + ")"
+		}
+		parts = append(parts, s)
+	}
+	verdict := "DENY"
+	if d.Granted {
+		verdict = "GRANT"
+	}
+	return verdict + " [" + strings.Join(parts, " ") + "]"
+}
+
+// Stack is an ordered set of layers (highest first: L3, L2, L1, L0).
+type Stack struct {
+	Mode   CombineMode
+	layers []Layer
+}
+
+// New builds a stack from layers ordered highest (L3) to lowest (L0).
+func New(mode CombineMode, layers ...Layer) *Stack {
+	return &Stack{Mode: mode, layers: layers}
+}
+
+// Layers returns the layer names in order.
+func (s *Stack) Layers() []string {
+	out := make([]string, len(s.layers))
+	for i, l := range s.layers {
+		out[i] = l.Name()
+	}
+	return out
+}
+
+// Authorize runs the request through the stack.
+func (s *Stack) Authorize(req *Request) Decision {
+	d := Decision{}
+	decided := false
+	granted := true
+	for _, l := range s.layers {
+		v, err := l.Decide(req)
+		if err != nil {
+			v = Deny // fail closed
+		}
+		d.Trail = append(d.Trail, LayerDecision{Layer: l.Name(), Verdict: v, Err: err})
+		if v == Abstain {
+			continue
+		}
+		decided = true
+		if s.Mode == FirstDecides {
+			d.Granted = v == Grant
+			return d
+		}
+		if v == Deny {
+			granted = false
+		}
+	}
+	d.Granted = decided && granted
+	return d
+}
+
+// ---- Layer implementations ----
+
+// OSLayer adapts an ossec.Authority as L0.
+type OSLayer struct {
+	Authority ossec.Authority
+}
+
+// Name implements Layer.
+func (l *OSLayer) Name() string { return "L0:" + l.Authority.Platform() }
+
+// Decide implements Layer: abstains when the request carries no OS
+// resource.
+func (l *OSLayer) Decide(req *Request) (Verdict, error) {
+	if req.OSResource == "" {
+		return Abstain, nil
+	}
+	principal := req.OSPrincipal
+	if principal == "" {
+		principal = string(req.User)
+	}
+	ok, err := l.Authority.Check(principal, req.OSResource, req.OSAccess)
+	if err != nil {
+		return Deny, err
+	}
+	if ok {
+		return Grant, nil
+	}
+	return Deny, nil
+}
+
+// MiddlewareLayer adapts a middleware.System as L1.
+type MiddlewareLayer struct {
+	System middleware.System
+}
+
+// Name implements Layer.
+func (l *MiddlewareLayer) Name() string { return "L1:" + string(l.System.Kind()) }
+
+// Decide implements Layer: abstains when the request's domain is not one
+// of the system's domains.
+func (l *MiddlewareLayer) Decide(req *Request) (Verdict, error) {
+	if req.Domain == "" {
+		return Abstain, nil
+	}
+	ok, err := l.System.CheckAccess(req.User, req.Domain, req.ObjectType, req.Permission)
+	if err != nil {
+		// Foreign domain: not this layer's business.
+		return Abstain, nil
+	}
+	if ok {
+		return Grant, nil
+	}
+	return Deny, nil
+}
+
+// TrustLayer adapts a KeyNote checker as L2, querying with the WebCom
+// action attribute set of Section 4.
+type TrustLayer struct {
+	Checker *keynote.Checker
+	// Role is consulted when deciding; empty means "any role of the
+	// domain may satisfy the query" is NOT attempted — the caller names
+	// the role the action runs under, as the WebCom scheduler does.
+	Role rbac.Role
+	Opt  translate.Options
+}
+
+// Name implements Layer.
+func (l *TrustLayer) Name() string { return "L2:keynote" }
+
+// Decide implements Layer: abstains when the request has no principal.
+func (l *TrustLayer) Decide(req *Request) (Verdict, error) {
+	if req.Principal == "" {
+		return Abstain, nil
+	}
+	q := translate.QueryFor(req.Principal, req.Domain, l.Role, req.ObjectType, req.Permission, l.Opt)
+	res, err := l.Checker.Check(q, req.Credentials)
+	if err != nil {
+		return Deny, err
+	}
+	if res.Authorized(nil) {
+		return Grant, nil
+	}
+	return Deny, nil
+}
+
+// AppLayer is L3: an application-supplied workflow check over the
+// request's App attributes (the condensed-graph-encoded security of
+// reference [12], out of the paper's scope but part of the stack shape).
+type AppLayer struct {
+	LayerName string
+	Fn        func(req *Request) (Verdict, error)
+}
+
+// Name implements Layer.
+func (l *AppLayer) Name() string {
+	if l.LayerName != "" {
+		return "L3:" + l.LayerName
+	}
+	return "L3:app"
+}
+
+// Decide implements Layer.
+func (l *AppLayer) Decide(req *Request) (Verdict, error) {
+	if l.Fn == nil {
+		return Abstain, nil
+	}
+	return l.Fn(req)
+}
+
+// ErrEmptyStack is returned by Validate for stacks with no layers.
+var ErrEmptyStack = errors.New("stack: no layers configured")
+
+// Validate reports configuration errors.
+func (s *Stack) Validate() error {
+	if len(s.layers) == 0 {
+		return ErrEmptyStack
+	}
+	return nil
+}

@@ -1,0 +1,293 @@
+package stack
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/middleware/ejb"
+	"securewebcom/internal/ossec"
+	"securewebcom/internal/rbac"
+	"securewebcom/internal/translate"
+)
+
+// figure10 assembles a full four-layer stack:
+//
+//	L3 app check: requests must carry purpose=payroll
+//	L2 KeyNote: POLICY trusts Kbob for Finance/Manager rows
+//	L1 EJB container: Bob is Manager with read/write on Salaries
+//	L0 Unix: bob's uid may read/write salaries.db
+func figure10(t *testing.T) (*Stack, *Request) {
+	t.Helper()
+
+	// L0.
+	u := ossec.NewUnix("hostX")
+	u.AddUser("bob", 1002, 100)
+	u.AddUser("dave", 1003, 300)
+	u.AddResource("salaries.db", 1002, 100, ossec.OwnerRead|ossec.OwnerWrite)
+
+	// L1.
+	srv := ejb.NewServer("X", "hostX", "srv")
+	c := srv.CreateContainer("finance")
+	c.DeployBean("Salaries", map[string]middleware.Handler{}, "read", "write")
+	c.AddMethodPermission("Manager", "Salaries", "read")
+	c.AddMethodPermission("Manager", "Salaries", "write")
+	srv.AddUser("Bob")
+	if err := srv.AssignRole("finance", "Bob", "Manager"); err != nil {
+		t.Fatal(err)
+	}
+
+	// L2.
+	ks := keys.NewKeyStore()
+	kb := keys.Deterministic("Kbob", "stack")
+	ks.Add(kb)
+	chk, err := keynote.NewChecker([]*keynote.Assertion{keynote.MustNew(
+		"POLICY", fmt.Sprintf("%q", kb.PublicID()),
+		`app_domain=="WebCom" && Domain=="hostX/srv/finance" && Role=="Manager";`,
+	)}, keynote.WithResolver(ks))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// L3.
+	app := &AppLayer{LayerName: "payroll", Fn: func(req *Request) (Verdict, error) {
+		if req.App["purpose"] == "payroll" {
+			return Grant, nil
+		}
+		return Deny, nil
+	}}
+
+	st := New(RequireAll,
+		app,
+		&TrustLayer{Checker: chk, Role: "Manager"},
+		&MiddlewareLayer{System: srv},
+		&OSLayer{Authority: u},
+	)
+
+	req := &Request{
+		User:        "Bob",
+		Principal:   kb.PublicID(),
+		Domain:      "hostX/srv/finance",
+		ObjectType:  "Salaries",
+		Permission:  "read",
+		OSPrincipal: "bob",
+		OSResource:  "salaries.db",
+		OSAccess:    ossec.Read,
+		App:         map[string]string{"purpose": "payroll"},
+	}
+	return st, req
+}
+
+func TestAllLayersGrant(t *testing.T) {
+	st, req := figure10(t)
+	d := st.Authorize(req)
+	if !d.Granted {
+		t.Fatalf("full stack denied: %s", d)
+	}
+	if len(d.Trail) != 4 {
+		t.Fatalf("trail = %s", d)
+	}
+	for _, ld := range d.Trail {
+		if ld.Verdict != Grant {
+			t.Fatalf("layer %s did not grant: %s", ld.Layer, d)
+		}
+	}
+}
+
+func TestAnyLayerDenyBlocks(t *testing.T) {
+	st, req := figure10(t)
+
+	// L3 denies: wrong purpose.
+	r := *req
+	r.App = map[string]string{"purpose": "curiosity"}
+	if d := st.Authorize(&r); d.Granted {
+		t.Fatalf("L3 deny ignored: %s", d)
+	}
+
+	// L2 denies: unknown principal.
+	r = *req
+	r.Principal = keys.Deterministic("Kmallory", "stack").PublicID()
+	if d := st.Authorize(&r); d.Granted {
+		t.Fatalf("L2 deny ignored: %s", d)
+	}
+
+	// L1 denies: user without the role.
+	r = *req
+	r.User = "Dave"
+	if d := st.Authorize(&r); d.Granted {
+		t.Fatalf("L1 deny ignored: %s", d)
+	}
+
+	// L0 denies: OS account without bits.
+	r = *req
+	r.OSPrincipal = "dave"
+	if d := st.Authorize(&r); d.Granted {
+		t.Fatalf("L0 deny ignored: %s", d)
+	}
+}
+
+func TestPluggability(t *testing.T) {
+	// The paper's System Z: no middleware security — only KeyNote over
+	// the OS. Dropping L1/L3 must not change the outcome for a request
+	// both remaining layers grant.
+	st, req := figure10(t)
+	var l2, l0 Layer
+	for _, l := range st.layers {
+		switch {
+		case strings.HasPrefix(l.Name(), "L2"):
+			l2 = l
+		case strings.HasPrefix(l.Name(), "L0"):
+			l0 = l
+		}
+	}
+	zStack := New(RequireAll, l2, l0)
+	if err := zStack.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := zStack.Authorize(req)
+	if !d.Granted {
+		t.Fatalf("Z-style stack denied: %s", d)
+	}
+	if len(d.Trail) != 2 {
+		t.Fatalf("trail = %s", d)
+	}
+}
+
+func TestAbstainsDoNotDecide(t *testing.T) {
+	st, req := figure10(t)
+	// Remove OS context: L0 abstains, others still grant.
+	r := *req
+	r.OSResource = ""
+	d := st.Authorize(&r)
+	if !d.Granted {
+		t.Fatalf("abstaining L0 blocked: %s", d)
+	}
+	// Remove the principal too: L2 abstains as well.
+	r.Principal = ""
+	d = st.Authorize(&r)
+	if !d.Granted {
+		t.Fatalf("abstaining L0+L2 blocked: %s", d)
+	}
+}
+
+func TestAllAbstainDenies(t *testing.T) {
+	// A stack where every layer abstains must deny (no layer vouched).
+	st := New(RequireAll, &AppLayer{}, &OSLayer{Authority: ossec.NewUnix("h")})
+	d := st.Authorize(&Request{})
+	if d.Granted {
+		t.Fatalf("all-abstain granted: %s", d)
+	}
+}
+
+func TestFirstDecidesMode(t *testing.T) {
+	grantAll := &AppLayer{LayerName: "allow", Fn: func(*Request) (Verdict, error) { return Grant, nil }}
+	denyAll := &AppLayer{LayerName: "deny", Fn: func(*Request) (Verdict, error) { return Deny, nil }}
+	abstain := &AppLayer{LayerName: "abstain"}
+
+	// Highest deciding layer wins.
+	st := New(FirstDecides, abstain, grantAll, denyAll)
+	if d := st.Authorize(&Request{}); !d.Granted {
+		t.Fatalf("FirstDecides: %s", d)
+	}
+	st = New(FirstDecides, abstain, denyAll, grantAll)
+	if d := st.Authorize(&Request{}); d.Granted {
+		t.Fatalf("FirstDecides: %s", d)
+	}
+}
+
+func TestLayerErrorFailsClosed(t *testing.T) {
+	boom := &AppLayer{LayerName: "boom", Fn: func(*Request) (Verdict, error) {
+		return Grant, errors.New("backend unreachable")
+	}}
+	st := New(RequireAll, boom)
+	d := st.Authorize(&Request{})
+	if d.Granted {
+		t.Fatalf("erroring layer granted: %s", d)
+	}
+	if d.Trail[0].Err == nil {
+		t.Fatal("error not recorded in trail")
+	}
+}
+
+func TestMiddlewareLayerAbstainsOnForeignDomain(t *testing.T) {
+	srv := ejb.NewServer("X", "h", "srv")
+	srv.CreateContainer("fin")
+	l := &MiddlewareLayer{System: srv}
+	v, err := l.Decide(&Request{User: "u", Domain: "other/domain", ObjectType: "O", Permission: "p"})
+	if err != nil || v != Abstain {
+		t.Fatalf("foreign domain: %v %v", v, err)
+	}
+	v, err = l.Decide(&Request{User: "u"})
+	if err != nil || v != Abstain {
+		t.Fatalf("empty domain: %v %v", v, err)
+	}
+}
+
+func TestValidateAndNames(t *testing.T) {
+	if err := New(RequireAll).Validate(); err == nil {
+		t.Fatal("empty stack validated")
+	}
+	st, _ := figure10(t)
+	names := st.Layers()
+	if len(names) != 4 || !strings.HasPrefix(names[0], "L3") || !strings.HasPrefix(names[3], "L0") {
+		t.Fatalf("Layers = %v", names)
+	}
+	if Grant.String() != "grant" || Deny.String() != "deny" || Abstain.String() != "abstain" {
+		t.Fatal("verdict strings")
+	}
+}
+
+func TestTranslateOptionsRespected(t *testing.T) {
+	// A TrustLayer with a custom app domain must not satisfy queries
+	// against the default one.
+	ks := keys.NewKeyStore()
+	kb := keys.Deterministic("Kbob", "stack-opt")
+	ks.Add(kb)
+	chk, _ := keynote.NewChecker([]*keynote.Assertion{keynote.MustNew(
+		"POLICY", fmt.Sprintf("%q", kb.PublicID()), `app_domain=="Elsewhere";`,
+	)}, keynote.WithResolver(ks))
+	l := &TrustLayer{Checker: chk, Opt: translate.Options{AppDomain: "Elsewhere"}}
+	v, err := l.Decide(&Request{Principal: kb.PublicID(), Domain: "d",
+		ObjectType: "o", Permission: "p", User: rbac.User("Bob")})
+	if err != nil || v != Grant {
+		t.Fatalf("custom app domain: %v %v", v, err)
+	}
+}
+
+func TestOSLayerDefaultsPrincipalToUser(t *testing.T) {
+	u := ossec.NewUnix("h")
+	u.AddUser("Bob", 10, 20)
+	u.AddResource("f", 10, 20, ossec.OwnerRead)
+	l := &OSLayer{Authority: u}
+	// OSPrincipal empty: the RBAC user name is used as the OS login.
+	v, err := l.Decide(&Request{User: "Bob", OSResource: "f", OSAccess: ossec.Read})
+	if err != nil || v != Grant {
+		t.Fatalf("principal defaulting: %v %v", v, err)
+	}
+	// Unknown OS account errors -> Deny with error.
+	v, err = l.Decide(&Request{User: "Ghost", OSResource: "f", OSAccess: ossec.Read})
+	if err == nil || v != Deny {
+		t.Fatalf("unknown account: %v %v", v, err)
+	}
+}
+
+func TestFirstDecidesAllAbstainDenies(t *testing.T) {
+	st := New(FirstDecides, &AppLayer{}, &AppLayer{})
+	if d := st.Authorize(&Request{}); d.Granted {
+		t.Fatalf("all-abstain FirstDecides granted: %s", d)
+	}
+}
+
+func TestDecisionStringIncludesErrors(t *testing.T) {
+	boom := &AppLayer{LayerName: "x", Fn: func(*Request) (Verdict, error) {
+		return Deny, errors.New("backend down")
+	}}
+	d := New(RequireAll, boom).Authorize(&Request{})
+	if !strings.Contains(d.String(), "backend down") || !strings.Contains(d.String(), "DENY") {
+		t.Fatalf("Decision.String = %s", d)
+	}
+}

@@ -1,0 +1,143 @@
+package translate
+
+import (
+	"fmt"
+	"sort"
+
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/rbac"
+	"securewebcom/internal/similarity"
+)
+
+// MigrationOptions configures a policy migration between middleware
+// systems (Section 4.3).
+type MigrationOptions struct {
+	// DomainMap renames source domains to destination domains. Rows in
+	// unmapped domains are passed through unchanged.
+	DomainMap map[rbac.Domain]rbac.Domain
+	// TargetVocabulary, when non-empty, is the destination's permission
+	// vocabulary; every source permission is mapped into it.
+	TargetVocabulary []rbac.Permission
+	// Metric scores candidate permission mappings; nil means
+	// similarity.Blended. Exact (case-insensitive) matches always win.
+	Metric similarity.Metric
+	// MinScore is the minimum acceptable similarity for a non-exact
+	// mapping; below it the migration fails rather than guessing. The
+	// zero value means 0.5.
+	MinScore float64
+	// ObjectTypeMap renames object types (a bean name on the source may
+	// differ from the class name on the destination).
+	ObjectTypeMap map[rbac.ObjectType]rbac.ObjectType
+	// RoleMap renames roles (the destination's organisation may label the
+	// same job function differently). Unmapped roles pass through.
+	RoleMap map[rbac.Role]rbac.Role
+}
+
+func (o MigrationOptions) withDefaults() MigrationOptions {
+	if o.Metric == nil {
+		o.Metric = similarity.Blended
+	}
+	if o.MinScore == 0 {
+		o.MinScore = 0.5
+	}
+	return o
+}
+
+// MappingReport records one permission-vocabulary mapping decision.
+type MappingReport struct {
+	From  rbac.Permission
+	To    rbac.Permission
+	Score float64
+}
+
+func (m MappingReport) String() string {
+	return fmt.Sprintf("%s -> %s (%.2f)", m.From, m.To, m.Score)
+}
+
+// MigratePolicy translates src into a new policy under the destination's
+// naming: domains renamed, object types renamed, permissions mapped into
+// the target vocabulary. It reports every non-trivial permission mapping.
+func MigratePolicy(src *rbac.Policy, opt MigrationOptions) (*rbac.Policy, []MappingReport, error) {
+	opt = opt.withDefaults()
+	out := rbac.NewPolicy()
+	reported := map[rbac.Permission]MappingReport{}
+
+	mapPerm := func(p rbac.Permission) (rbac.Permission, error) {
+		if len(opt.TargetVocabulary) == 0 {
+			return p, nil
+		}
+		if r, ok := reported[p]; ok {
+			return r.To, nil
+		}
+		cands := make([]string, len(opt.TargetVocabulary))
+		for i, c := range opt.TargetVocabulary {
+			cands[i] = string(c)
+		}
+		best := similarity.BestMatch(string(p), cands, opt.Metric)[0]
+		if best.Score < opt.MinScore {
+			return "", fmt.Errorf(
+				"translate: no acceptable mapping for permission %q into %v (best %q scored %.2f < %.2f)",
+				p, opt.TargetVocabulary, best.Candidate, best.Score, opt.MinScore)
+		}
+		r := MappingReport{From: p, To: rbac.Permission(best.Candidate), Score: best.Score}
+		reported[p] = r
+		return r.To, nil
+	}
+	mapDomain := func(d rbac.Domain) rbac.Domain {
+		if nd, ok := opt.DomainMap[d]; ok {
+			return nd
+		}
+		return d
+	}
+	mapOT := func(ot rbac.ObjectType) rbac.ObjectType {
+		if nt, ok := opt.ObjectTypeMap[ot]; ok {
+			return nt
+		}
+		return ot
+	}
+	mapRole := func(r rbac.Role) rbac.Role {
+		if nr, ok := opt.RoleMap[r]; ok {
+			return nr
+		}
+		return r
+	}
+
+	for _, e := range src.RolePerms() {
+		pm, err := mapPerm(e.Permission)
+		if err != nil {
+			return nil, nil, err
+		}
+		out.AddRolePerm(mapDomain(e.Domain), mapRole(e.Role), mapOT(e.ObjectType), pm)
+	}
+	for _, e := range src.UserRoles() {
+		out.AddUserRole(e.User, mapDomain(e.Domain), mapRole(e.Role))
+	}
+
+	var reports []MappingReport
+	for _, r := range reported {
+		if r.From != r.To {
+			reports = append(reports, r)
+		}
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].From < reports[j].From })
+	return out, reports, nil
+}
+
+// Migrate extracts the policy from src, translates it per opt, and
+// applies it to dst — the end-to-end "configure a new system with the
+// same policy as an existing system" flow of Section 4.3 and Figure 9.
+func Migrate(src, dst middleware.System, opt MigrationOptions) (int, []MappingReport, error) {
+	p, err := src.ExtractPolicy()
+	if err != nil {
+		return 0, nil, fmt.Errorf("translate: extract from %s: %w", src.Name(), err)
+	}
+	moved, reports, err := MigratePolicy(p, opt)
+	if err != nil {
+		return 0, nil, err
+	}
+	applied, err := dst.ApplyPolicy(moved)
+	if err != nil {
+		return 0, nil, fmt.Errorf("translate: apply to %s: %w", dst.Name(), err)
+	}
+	return applied, reports, nil
+}

@@ -1,0 +1,221 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/middleware/complus"
+	"securewebcom/internal/middleware/corba"
+	"securewebcom/internal/middleware/ejb"
+	"securewebcom/internal/ossec"
+	"securewebcom/internal/rbac"
+)
+
+func TestMigratePolicyIdentityWhenNoMapping(t *testing.T) {
+	p := rbac.Figure1()
+	got, reports, err := MigratePolicy(p, MigrationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Fatalf("unexpected reports: %v", reports)
+	}
+	if !got.Equal(p) {
+		t.Fatal("identity migration changed the policy")
+	}
+}
+
+func TestMigratePolicyDomainRename(t *testing.T) {
+	p := rbac.Figure1()
+	got, _, err := MigratePolicy(p, MigrationOptions{
+		DomainMap: map[rbac.Domain]rbac.Domain{"Finance": "hostX/ejbsrv/finance"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasRolePerm("hostX/ejbsrv/finance", "Clerk", "SalariesDB", "write") {
+		t.Fatal("domain not renamed in RolePerm")
+	}
+	if !got.HasUserRole("Alice", "hostX/ejbsrv/finance", "Clerk") {
+		t.Fatal("domain not renamed in UserRole")
+	}
+	// Unmapped domain passes through.
+	if !got.HasRolePerm("Sales", "Manager", "SalariesDB", "read") {
+		t.Fatal("unmapped domain mangled")
+	}
+}
+
+func TestMigratePolicyPermissionMapping(t *testing.T) {
+	p := rbac.NewPolicy()
+	p.AddRolePerm("D", "R", "O", "access_method")
+	p.AddRolePerm("D", "R", "O", "launch_component")
+	got, reports, err := MigratePolicy(p, MigrationOptions{
+		TargetVocabulary: []rbac.Permission{"Launch", "Access", "RunAs"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasRolePerm("D", "R", "O", "Access") || !got.HasRolePerm("D", "R", "O", "Launch") {
+		t.Fatalf("mapping wrong:\n%s", got)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %v", reports)
+	}
+	if reports[0].String() == "" {
+		t.Fatal("empty report rendering")
+	}
+}
+
+func TestMigratePolicyExactMatchNotReported(t *testing.T) {
+	p := rbac.NewPolicy()
+	p.AddRolePerm("D", "R", "O", "Access")
+	_, reports, err := MigratePolicy(p, MigrationOptions{
+		TargetVocabulary: []rbac.Permission{"Launch", "Access", "RunAs"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Fatalf("identity mapping reported: %v", reports)
+	}
+}
+
+func TestMigratePolicyRefusesPoorMatch(t *testing.T) {
+	p := rbac.NewPolicy()
+	p.AddRolePerm("D", "R", "O", "zzzqqq")
+	_, _, err := MigratePolicy(p, MigrationOptions{
+		TargetVocabulary: []rbac.Permission{"Launch", "Access", "RunAs"},
+		MinScore:         0.6,
+	})
+	if err == nil || !strings.Contains(err.Error(), "no acceptable mapping") {
+		t.Fatalf("poor mapping accepted: %v", err)
+	}
+}
+
+// TestMigrateEJBToCORBA performs the live end-to-end migration: an EJB
+// server's policy is extracted, domains renamed, and applied to an ORB;
+// every decision must be preserved.
+func TestMigrateEJBToCORBA(t *testing.T) {
+	src := ejb.NewServer("X", "hostX", "ejbsrv")
+	c := src.CreateContainer("finance")
+	c.DeployBean("Salaries", nil, "read", "write")
+	c.AddMethodPermission("Clerk", "Salaries", "write")
+	c.AddMethodPermission("Manager", "Salaries", "read")
+	c.AddMethodPermission("Manager", "Salaries", "write")
+	src.AddUser("Alice")
+	src.AddUser("Bob")
+	src.AssignRole("finance", "Alice", "Clerk")
+	src.AssignRole("finance", "Bob", "Manager")
+
+	dst := corba.NewORB("Y", "hostY", "SalariesORB")
+	dst.DefineInterface("Salaries", "read", "write")
+
+	applied, reports, err := Migrate(src, dst, MigrationOptions{
+		DomainMap: map[rbac.Domain]rbac.Domain{
+			"hostX/ejbsrv/finance": dst.Domain(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Fatalf("unexpected mappings: %v", reports)
+	}
+	srcPolicy, _ := src.ExtractPolicy()
+	if applied != srcPolicy.Len() {
+		t.Fatalf("applied %d of %d rows", applied, srcPolicy.Len())
+	}
+	// Decision preservation across technologies.
+	cases := []struct {
+		user rbac.User
+		perm rbac.Permission
+		want bool
+	}{
+		{"Alice", "write", true}, {"Alice", "read", false},
+		{"Bob", "read", true}, {"Bob", "write", true},
+		{"Mallory", "read", false},
+	}
+	for _, tc := range cases {
+		srcGot, err := src.CheckAccess(tc.user, "hostX/ejbsrv/finance", "Salaries", tc.perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dstGot, err := dst.CheckAccess(tc.user, dst.Domain(), "Salaries", tc.perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if srcGot != tc.want || dstGot != tc.want {
+			t.Errorf("(%s,%s): src=%v dst=%v want=%v", tc.user, tc.perm, srcGot, dstGot, tc.want)
+		}
+	}
+}
+
+// TestMigrateCORBAToCOMPlus exercises the vocabulary mapping end to end:
+// method permissions must be mapped into COM's Launch/Access/RunAs before
+// the catalogue accepts them.
+func TestMigrateCORBAToCOMPlus(t *testing.T) {
+	src := corba.NewORB("Y", "hostY", "orb")
+	src.DefineInterface("Payroll", "access", "launch")
+	src.GrantRole("Operator", "Payroll", "access")
+	src.GrantRole("Admin", "Payroll", "launch")
+	src.AddPrincipalToRole("Claire", "Operator")
+	src.AddPrincipalToRole("Bob", "Admin")
+
+	nt := ossec.NewNTDomain("CORP")
+	dst := complus.NewCatalogue("W", nt)
+	dst.RegisterClass("Payroll", map[string]middleware.Handler{})
+
+	// Without mapping, COM+ refuses the foreign vocabulary.
+	if _, _, err := Migrate(src, dst, MigrationOptions{
+		DomainMap: map[rbac.Domain]rbac.Domain{src.Domain(): dst.Domain()},
+	}); err == nil {
+		t.Fatal("unmapped vocabulary accepted by COM+")
+	}
+
+	applied, reports, err := Migrate(src, dst, MigrationOptions{
+		DomainMap:        map[rbac.Domain]rbac.Domain{src.Domain(): dst.Domain()},
+		TargetVocabulary: []rbac.Permission{"Launch", "Access", "RunAs"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied == 0 {
+		t.Fatal("nothing applied")
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %v", reports)
+	}
+	if got, _ := dst.CheckAccess("Claire", dst.Domain(), "Payroll", "Access"); !got {
+		t.Fatal("Claire lost access after migration")
+	}
+	if got, _ := dst.CheckAccess("Claire", dst.Domain(), "Payroll", "Launch"); got {
+		t.Fatal("Claire gained launch after migration")
+	}
+	if got, _ := dst.CheckAccess("Bob", dst.Domain(), "Payroll", "Launch"); !got {
+		t.Fatal("Bob lost launch after migration")
+	}
+}
+
+func TestMigratePolicyRoleAndObjectTypeRename(t *testing.T) {
+	p := rbac.NewPolicy()
+	p.AddRolePerm("D", "Clerk", "Salaries", "write")
+	p.AddUserRole("Alice", "D", "Clerk")
+	got, _, err := MigratePolicy(p, MigrationOptions{
+		RoleMap:       map[rbac.Role]rbac.Role{"Clerk": "Sachbearbeiter"},
+		ObjectTypeMap: map[rbac.ObjectType]rbac.ObjectType{"Salaries": "Gehaelter"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasRolePerm("D", "Sachbearbeiter", "Gehaelter", "write") {
+		t.Fatalf("renames not applied:\n%s", got)
+	}
+	if !got.HasUserRole("Alice", "D", "Sachbearbeiter") {
+		t.Fatal("role rename lost user assignment")
+	}
+	// Decisions preserved under renaming.
+	if !got.UserHolds("Alice", "Gehaelter", "write") {
+		t.Fatal("decision lost under renaming")
+	}
+}

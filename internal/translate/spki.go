@@ -1,0 +1,108 @@
+package translate
+
+import (
+	"fmt"
+
+	"securewebcom/internal/rbac"
+	"securewebcom/internal/spki"
+)
+
+// SPKI/SDSI encoding of RBAC policies, validating the paper's footnote 1:
+// "While we use KeyNote in this paper, our results are applicable to
+// SPKI/SDSI."
+//
+// The encoding mirrors the KeyNote one structurally:
+//
+//   - each (domain, role) pair becomes an SDSI local name
+//     "role/<domain>/<role>" in the WebCom administrator's name space;
+//   - each UserRole(u, d, r) row becomes a name certificate binding the
+//     user's key into that name;
+//   - each RolePerm(d, r, ot, p) row becomes an authorisation certificate
+//     from the administrator to the name, carrying the tag
+//     (tag webcom (domain d) (role r) (objtype ot) (perm p)).
+//
+// A user holds a permission exactly when chain discovery finds a path
+// from the administrator through a role name to the user's key whose
+// reduced tag implies the request — the same decision the KeyNote
+// encoding yields.
+
+// SPKIEncoded carries the certificates of an RBAC policy's SPKI encoding.
+type SPKIEncoded struct {
+	// Admin is the issuing principal (the WebCom administration key).
+	Admin string
+	Auth  []*spki.AuthCert
+	Names []*spki.NameCert
+}
+
+// RoleName returns the SDSI local name used for a (domain, role) pair.
+func RoleName(d rbac.Domain, r rbac.Role) string {
+	return fmt.Sprintf("role/%s/%s", d, r)
+}
+
+// SPKITag builds the authorisation tag for one RolePerm row.
+func SPKITag(d rbac.Domain, r rbac.Role, ot rbac.ObjectType, p rbac.Permission) *spki.Sexp {
+	return spki.L(
+		spki.A("tag"), spki.A("webcom"),
+		spki.L(spki.A("domain"), spki.A(string(d))),
+		spki.L(spki.A("role"), spki.A(string(r))),
+		spki.L(spki.A("objtype"), spki.A(string(ot))),
+		spki.L(spki.A("perm"), spki.A(string(p))),
+	)
+}
+
+// EncodeSPKI encodes policy p as SPKI/SDSI certificates issued by admin.
+// The certificates are returned unsigned; a Store rooted at admin admits
+// them directly, and Sign may be called on each for distribution.
+func EncodeSPKI(p *rbac.Policy, admin string, userKey KeyResolver) (*SPKIEncoded, error) {
+	enc := &SPKIEncoded{Admin: admin}
+	for _, e := range p.RolePerms() {
+		enc.Auth = append(enc.Auth, &spki.AuthCert{
+			Issuer:  admin,
+			Subject: spki.Subject{Key: admin, Name: RoleName(e.Domain, e.Role)},
+			Tag:     SPKITag(e.Domain, e.Role, e.ObjectType, e.Permission),
+		})
+	}
+	for _, e := range p.UserRoles() {
+		key, err := userKey(e.User)
+		if err != nil {
+			return nil, err
+		}
+		enc.Names = append(enc.Names, &spki.NameCert{
+			Issuer:  admin,
+			Name:    RoleName(e.Domain, e.Role),
+			Subject: spki.Subject{Key: key},
+		})
+	}
+	return enc, nil
+}
+
+// NewStore builds an spki.Store rooted at the administrator containing
+// every certificate of the encoding.
+func (e *SPKIEncoded) NewStore(opts ...spki.StoreOption) (*spki.Store, error) {
+	st := spki.NewStore(e.Admin, opts...)
+	for _, c := range e.Auth {
+		if err := st.AddAuth(c); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range e.Names {
+		if err := st.AddName(c); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// SPKIDecision answers "may user key exercise perm on ot?" against the
+// store by trying every (domain, role) pair of the policy, mirroring
+// Decision for KeyNote.
+func SPKIDecision(st *spki.Store, userKeyID string, p *rbac.Policy, ot rbac.ObjectType, perm rbac.Permission) bool {
+	for _, d := range p.Domains() {
+		for _, r := range p.RolesIn(d) {
+			if st.Authorized(userKeyID, SPKITag(d, r, ot, perm)) {
+				return true
+			}
+		}
+	}
+	return false
+}

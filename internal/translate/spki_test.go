@@ -1,0 +1,163 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/rbac"
+	"securewebcom/internal/spki"
+)
+
+func spkiFixture(t *testing.T) (*rbac.Policy, *keys.KeyStore, *SPKIEncoded) {
+	t.Helper()
+	p := rbac.Figure1()
+	ks := keys.NewKeyStore()
+	admin := keys.Deterministic("KWebCom", "spki-translate")
+	ks.Add(admin)
+	for _, u := range p.Users() {
+		ks.Add(keys.Deterministic("K"+strings.ToLower(string(u)), "spki-translate"))
+	}
+	enc, err := EncodeSPKI(p, admin.PublicID(), KeyStoreResolver(ks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, ks, enc
+}
+
+func TestEncodeSPKICertCounts(t *testing.T) {
+	p, _, enc := spkiFixture(t)
+	if len(enc.Auth) != len(p.RolePerms()) {
+		t.Fatalf("%d auth certs for %d RolePerm rows", len(enc.Auth), len(p.RolePerms()))
+	}
+	if len(enc.Names) != len(p.UserRoles()) {
+		t.Fatalf("%d name certs for %d UserRole rows", len(enc.Names), len(p.UserRoles()))
+	}
+}
+
+// TestSPKIDecisionEquivalence validates footnote 1: the SPKI encoding
+// reaches the same decisions as the RBAC policy (and hence as KeyNote).
+func TestSPKIDecisionEquivalence(t *testing.T) {
+	p, ks, enc := spkiFixture(t)
+	st, err := enc.NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range append(p.Users(), "Mallory") {
+		var principal string
+		if kp, err := ks.ByName("K" + strings.ToLower(string(u))); err == nil {
+			principal = kp.PublicID()
+		} else {
+			principal = keys.Deterministic("Kmallory", "spki-translate").PublicID()
+		}
+		for _, perm := range []rbac.Permission{"read", "write", "delete"} {
+			want := p.UserHolds(u, "SalariesDB", perm)
+			got := SPKIDecision(st, principal, p, "SalariesDB", perm)
+			if got != want {
+				t.Errorf("SPKI decision mismatch (%s, %s): rbac=%v spki=%v", u, perm, want, got)
+			}
+		}
+	}
+}
+
+// TestKeyNoteSPKIAgreement: the two trust-management encodings agree on
+// every decision — the strongest form of the footnote 1 claim.
+func TestKeyNoteSPKIAgreement(t *testing.T) {
+	p := rbac.Figure1()
+	ks := keys.NewKeyStore()
+	admin := keys.Deterministic("KWebCom", "agree")
+	ks.Add(admin)
+	for _, u := range p.Users() {
+		ks.Add(keys.Deterministic("K"+strings.ToLower(string(u)), "agree"))
+	}
+	opt := Options{AdminKey: admin.PublicID()}
+	knEnc, err := EncodeRBAC(p, KeyStoreResolver(ks), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := knEnc.SignAll(admin); err != nil {
+		t.Fatal(err)
+	}
+	chk, _ := keynote.NewChecker([]*keynote.Assertion{knEnc.Policy}, keynote.WithResolver(ks))
+
+	spkiEnc, err := EncodeSPKI(p, admin.PublicID(), KeyStoreResolver(ks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := spkiEnc.NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, u := range p.Users() {
+		kp, _ := ks.ByName("K" + strings.ToLower(string(u)))
+		for _, perm := range []rbac.Permission{"read", "write"} {
+			kn, err := Decision(chk, knEnc.Credentials, kp.PublicID(), p, "SalariesDB", perm, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp := SPKIDecision(st, kp.PublicID(), p, "SalariesDB", perm)
+			if kn != sp {
+				t.Errorf("KeyNote/SPKI disagree on (%s, %s): kn=%v spki=%v", u, perm, kn, sp)
+			}
+		}
+	}
+}
+
+func TestSPKISignedDistribution(t *testing.T) {
+	// Certificates signed by the admin key verify in a store that
+	// enforces signatures.
+	p := rbac.Figure1()
+	ks := keys.NewKeyStore()
+	admin := keys.Deterministic("KWebCom", "signed")
+	ks.Add(admin)
+	for _, u := range p.Users() {
+		ks.Add(keys.Deterministic("K"+strings.ToLower(string(u)), "signed"))
+	}
+	enc, err := EncodeSPKI(p, admin.PublicID(), KeyStoreResolver(ks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range enc.Auth {
+		if err := c.Sign(admin); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range enc.Names {
+		if err := c.Sign(admin); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A verifying store rooted elsewhere (so signatures are actually
+	// checked on admission).
+	other := keys.Deterministic("Kother", "signed")
+	st := spki.NewStore(other.PublicID(), spki.WithStoreResolver(ks))
+	for _, c := range enc.Auth {
+		if err := st.AddAuth(c); err != nil {
+			t.Fatalf("signed auth cert rejected: %v", err)
+		}
+	}
+	for _, c := range enc.Names {
+		if err := st.AddName(c); err != nil {
+			t.Fatalf("signed name cert rejected: %v", err)
+		}
+	}
+}
+
+func TestRoleNameAndTagShapes(t *testing.T) {
+	if RoleName("Finance", "Clerk") != "role/Finance/Clerk" {
+		t.Fatal("RoleName shape")
+	}
+	tag := SPKITag("D", "R", "O", "p")
+	s := tag.String()
+	for _, frag := range []string{"tag", "webcom", "(domain D)", "(role R)", "(objtype O)", "(perm p)"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("tag %q missing %q", s, frag)
+		}
+	}
+	// Tag must be parseable as an s-expression.
+	if _, err := spki.ParseSexp(s); err != nil {
+		t.Fatal(err)
+	}
+}

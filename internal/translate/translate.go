@@ -1,0 +1,318 @@
+// Package translate implements the heart of the paper's contribution: the
+// bidirectional encoding between middleware RBAC policies and trust-
+// management credentials, and the migration of policies between
+// middleware technologies.
+//
+//   - EncodeRBAC renders an rbac.Policy as KeyNote assertions: the
+//     RolePerm relation becomes a single POLICY assertion authorising the
+//     WebCom administration key (Figure 5), and each user's UserRole rows
+//     become a credential signed by that key (Figure 6). This supports
+//     "Policy Configuration" and gives the decentralisation path: role
+//     holders can further delegate by signing credentials like Figure 7.
+//
+//   - DecodeRBAC reads such assertions back into an rbac.Policy ("Policy
+//     Comprehension", Section 4.2), accepting any assertion whose
+//     conditions stay in the translatable ==/&&/|| fragment.
+//
+//   - MigratePolicy / Migrate move a policy from one middleware system to
+//     another ("Policy Migration", Section 4.3), renaming domains and
+//     mapping permission vocabularies exactly or by similarity metrics.
+//
+//   - EncodeSPKI produces the equivalent SPKI/SDSI certificates,
+//     validating the paper's footnote 1 claim that the approach carries
+//     over to SPKI/SDSI.
+package translate
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/rbac"
+)
+
+// Options configures the KeyNote encoding.
+type Options struct {
+	// AppDomain is the KeyNote application domain attribute value;
+	// the paper uses "WebCom".
+	AppDomain string
+	// AdminKey is the WebCom administration principal (the paper's
+	// "KWebCom"): the licensee of the policy assertion and the signer of
+	// user credentials. It may be an advisory name or a canonical key ID.
+	AdminKey string
+}
+
+func (o Options) withDefaults() Options {
+	if o.AppDomain == "" {
+		o.AppDomain = "WebCom"
+	}
+	if o.AdminKey == "" {
+		o.AdminKey = "KWebCom"
+	}
+	return o
+}
+
+// Attribute names of the WebCom action attribute set (Section 4).
+const (
+	AttrAppDomain  = "app_domain"
+	AttrDomain     = "Domain"
+	AttrRole       = "Role"
+	AttrObjectType = "ObjectType"
+	AttrPermission = "Permission"
+)
+
+// Encoded is the KeyNote rendering of an RBAC policy.
+type Encoded struct {
+	// Policy is the Figure 5 assertion: POLICY licenses the admin key for
+	// exactly the RolePerm relation.
+	Policy *keynote.Assertion
+	// Credentials are the Figure 6 assertions: the admin key licenses
+	// each user's key for that user's UserRole rows. They are returned
+	// unsigned; call SignAll with the admin key pair before distributing.
+	Credentials []*keynote.Assertion
+	// Users records which credential belongs to which user, parallel to
+	// Credentials.
+	Users []rbac.User
+}
+
+// SignAll signs every credential with the admin key pair.
+func (e *Encoded) SignAll(admin *keys.KeyPair) error {
+	for _, c := range e.Credentials {
+		if err := c.Sign(admin); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// KeyResolver maps an RBAC user to the principal (public key) that
+// represents them at the trust-management layer.
+type KeyResolver func(rbac.User) (string, error)
+
+// KeyStoreResolver adapts a keys.KeyStore: user "Alice" resolves to the
+// stored key named "Kalice" (the paper's naming convention, Kbob etc.).
+func KeyStoreResolver(ks *keys.KeyStore) KeyResolver {
+	return func(u rbac.User) (string, error) {
+		kp, err := ks.ByName("K" + strings.ToLower(string(u)))
+		if err != nil {
+			return "", fmt.Errorf("translate: no key for user %s: %w", u, err)
+		}
+		return kp.PublicID(), nil
+	}
+}
+
+// EncodeRBAC encodes policy p as KeyNote assertions (Figures 5 and 6).
+func EncodeRBAC(p *rbac.Policy, userKey KeyResolver, opt Options) (*Encoded, error) {
+	opt = opt.withDefaults()
+
+	polAssertion, err := encodeRolePerm(p, opt)
+	if err != nil {
+		return nil, err
+	}
+	enc := &Encoded{Policy: polAssertion}
+
+	for _, u := range p.Users() {
+		key, err := userKey(u)
+		if err != nil {
+			return nil, err
+		}
+		cred, err := encodeUserRoles(u, p.RolesOf(u), key, opt)
+		if err != nil {
+			return nil, err
+		}
+		enc.Credentials = append(enc.Credentials, cred)
+		enc.Users = append(enc.Users, u)
+	}
+	return enc, nil
+}
+
+// encodeRolePerm builds the Figure 5 policy assertion.
+func encodeRolePerm(p *rbac.Policy, opt Options) (*keynote.Assertion, error) {
+	rows := p.RolePerms()
+	if len(rows) == 0 {
+		return nil, errors.New("translate: RolePerm relation is empty")
+	}
+
+	// Group rows by object type, then by (domain, role), condensing
+	// permissions into a disjunction — the exact shape of Figure 5.
+	type dr struct {
+		d rbac.Domain
+		r rbac.Role
+	}
+	byOT := map[rbac.ObjectType]map[dr][]rbac.Permission{}
+	for _, e := range rows {
+		if byOT[e.ObjectType] == nil {
+			byOT[e.ObjectType] = map[dr][]rbac.Permission{}
+		}
+		k := dr{e.Domain, e.Role}
+		byOT[e.ObjectType][k] = append(byOT[e.ObjectType][k], e.Permission)
+	}
+
+	var otKeys []rbac.ObjectType
+	for ot := range byOT {
+		otKeys = append(otKeys, ot)
+	}
+	sort.Slice(otKeys, func(i, j int) bool { return otKeys[i] < otKeys[j] })
+
+	var clauses []string
+	for _, ot := range otKeys {
+		groups := byOT[ot]
+		var drKeys []dr
+		for k := range groups {
+			drKeys = append(drKeys, k)
+		}
+		sort.Slice(drKeys, func(i, j int) bool {
+			if drKeys[i].d != drKeys[j].d {
+				return drKeys[i].d < drKeys[j].d
+			}
+			return drKeys[i].r < drKeys[j].r
+		})
+		var alts []string
+		for _, k := range drKeys {
+			perms := groups[k]
+			sort.Slice(perms, func(i, j int) bool { return perms[i] < perms[j] })
+			var permExpr string
+			if len(perms) == 1 {
+				permExpr = fmt.Sprintf("%s==%q", AttrPermission, perms[0])
+			} else {
+				parts := make([]string, len(perms))
+				for i, pm := range perms {
+					parts[i] = fmt.Sprintf("%s==%q", AttrPermission, pm)
+				}
+				permExpr = "(" + strings.Join(parts, "||") + ")"
+			}
+			alts = append(alts, fmt.Sprintf("(%s==%q && %s==%q && %s)",
+				AttrDomain, k.d, AttrRole, k.r, permExpr))
+		}
+		clauses = append(clauses, fmt.Sprintf("%s == %q && %s == %q && (%s);",
+			AttrAppDomain, opt.AppDomain, AttrObjectType, ot, strings.Join(alts, " || ")))
+	}
+
+	return keynote.New("POLICY", quote(opt.AdminKey), strings.Join(clauses, " "))
+}
+
+// encodeUserRoles builds a Figure 6 credential for one user.
+func encodeUserRoles(u rbac.User, roles []rbac.DomainRole, userKeyID string, opt Options) (*keynote.Assertion, error) {
+	if len(roles) == 0 {
+		return nil, fmt.Errorf("translate: user %s has no roles", u)
+	}
+	var alts []string
+	for _, dr := range roles {
+		alts = append(alts, fmt.Sprintf("(%s==%q && %s==%q)", AttrDomain, dr.Domain, AttrRole, dr.Role))
+	}
+	cond := fmt.Sprintf("%s == %q && (%s);", AttrAppDomain, opt.AppDomain, strings.Join(alts, " || "))
+	a, err := keynote.New(quote(opt.AdminKey), quote(userKeyID), cond)
+	if err != nil {
+		return nil, err
+	}
+	return a.WithComment(fmt.Sprintf("role membership of %s", u)), nil
+}
+
+func quote(s string) string { return fmt.Sprintf("%q", s) }
+
+// DecodeRBAC reads an RBAC policy out of KeyNote assertions ("Policy
+// Comprehension"). policy assertions contribute RolePerm rows; creds
+// signed (or at least authored) by the admin key contribute UserRole
+// rows, with the licensee principal mapped back to a user by userOf.
+// Credentials authored by other principals (onward delegations like
+// Figure 7) are returned in the skipped list: they extend authorisation
+// at the trust-management layer but are not role-membership facts.
+func DecodeRBAC(policies, creds []*keynote.Assertion, userOf func(principal string) (rbac.User, error), opt Options) (*rbac.Policy, []*keynote.Assertion, error) {
+	opt = opt.withDefaults()
+	out := rbac.NewPolicy()
+	var skipped []*keynote.Assertion
+
+	for _, a := range policies {
+		if !a.IsPolicy() {
+			return nil, nil, fmt.Errorf("translate: assertion by %q supplied as policy", a.Authorizer)
+		}
+		conjs, err := a.Conditions.DNF()
+		if err != nil {
+			return nil, nil, fmt.Errorf("translate: policy assertion: %w", err)
+		}
+		for _, c := range conjs {
+			if c[AttrAppDomain] != opt.AppDomain {
+				continue
+			}
+			d, okD := c[AttrDomain]
+			r, okR := c[AttrRole]
+			ot, okO := c[AttrObjectType]
+			pm, okP := c[AttrPermission]
+			if !okD || !okR || !okO || !okP {
+				return nil, nil, fmt.Errorf("translate: policy conjunct %v lacks Domain/Role/ObjectType/Permission", c)
+			}
+			out.AddRolePerm(rbac.Domain(d), rbac.Role(r), rbac.ObjectType(ot), rbac.Permission(pm))
+		}
+	}
+
+	for _, a := range creds {
+		if a.Authorizer != opt.AdminKey {
+			skipped = append(skipped, a)
+			continue
+		}
+		conjs, err := a.Conditions.DNF()
+		if err != nil {
+			// Not in the translatable fragment: opaque delegation.
+			skipped = append(skipped, a)
+			continue
+		}
+		for _, principal := range a.LicenseePrincipals() {
+			u, err := userOf(principal)
+			if err != nil {
+				return nil, nil, fmt.Errorf("translate: credential licensee %q: %w", principal, err)
+			}
+			for _, c := range conjs {
+				if c[AttrAppDomain] != opt.AppDomain {
+					continue
+				}
+				d, okD := c[AttrDomain]
+				r, okR := c[AttrRole]
+				if !okD || !okR {
+					return nil, nil, fmt.Errorf("translate: credential conjunct %v lacks Domain/Role", c)
+				}
+				out.AddUserRole(u, rbac.Domain(d), rbac.Role(r))
+			}
+		}
+	}
+	return out, skipped, nil
+}
+
+// QueryFor builds the KeyNote query asking whether the principal may
+// exercise permission perm on object type ot as (domain, role) — the
+// query Secure WebCom issues before scheduling a component (Section 4).
+func QueryFor(principal string, d rbac.Domain, r rbac.Role, ot rbac.ObjectType, perm rbac.Permission, opt Options) keynote.Query {
+	opt = opt.withDefaults()
+	return keynote.Query{
+		Authorizers: []string{principal},
+		Attributes: map[string]string{
+			AttrAppDomain:  opt.AppDomain,
+			AttrDomain:     string(d),
+			AttrRole:       string(r),
+			AttrObjectType: string(ot),
+			AttrPermission: string(perm),
+		},
+	}
+}
+
+// Decision answers the composed access question "may user key exercise
+// perm on ot?" against an encoded policy by trying every (domain, role)
+// pair present in the policy — mirroring rbac.Policy.UserHolds at the
+// trust-management layer.
+func Decision(chk *keynote.Checker, creds []*keynote.Assertion, principal string,
+	p *rbac.Policy, ot rbac.ObjectType, perm rbac.Permission, opt Options) (bool, error) {
+	for _, d := range p.Domains() {
+		for _, r := range p.RolesIn(d) {
+			res, err := chk.Check(QueryFor(principal, d, r, ot, perm, opt), creds)
+			if err != nil {
+				return false, err
+			}
+			if res.Authorized(nil) {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}

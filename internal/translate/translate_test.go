@@ -1,0 +1,314 @@
+package translate
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/rbac"
+)
+
+// fixture builds the Figure 1 policy, a keystore with keys for every user
+// plus the WebCom administration key, and the encoded assertions (signed).
+func fixture(t *testing.T) (*rbac.Policy, *keys.KeyStore, *Encoded, Options) {
+	t.Helper()
+	p := rbac.Figure1()
+	ks := keys.NewKeyStore()
+	admin := keys.Deterministic("KWebCom", "translate")
+	ks.Add(admin)
+	for _, u := range p.Users() {
+		ks.Add(keys.Deterministic("K"+strings.ToLower(string(u)), "translate"))
+	}
+	opt := Options{AdminKey: admin.PublicID()}
+	enc, err := EncodeRBAC(p, KeyStoreResolver(ks), opt)
+	if err != nil {
+		t.Fatalf("EncodeRBAC: %v", err)
+	}
+	if err := enc.SignAll(admin); err != nil {
+		t.Fatalf("SignAll: %v", err)
+	}
+	return p, ks, enc, opt
+}
+
+func TestEncodeFigure5Shape(t *testing.T) {
+	p, _, enc, _ := fixture(t)
+	if !enc.Policy.IsPolicy() {
+		t.Fatal("policy assertion must be POLICY")
+	}
+	conjs, err := enc.Policy.Conditions.DNF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conjs) != len(p.RolePerms()) {
+		t.Fatalf("policy DNF has %d conjuncts, RolePerm has %d rows", len(conjs), len(p.RolePerms()))
+	}
+	// The rendered text must parse back (it is a real KeyNote assertion).
+	if _, err := keynote.Parse(enc.Policy.Text()); err != nil {
+		t.Fatalf("re-parse policy: %v\n%s", err, enc.Policy.Text())
+	}
+	// And must mention the Figure 5 vocabulary.
+	text := enc.Policy.Text()
+	for _, frag := range []string{`app_domain == "WebCom"`, `ObjectType == "SalariesDB"`,
+		`Domain=="Finance"`, `Role=="Manager"`, `Permission=="read"`} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("policy text missing %q:\n%s", frag, text)
+		}
+	}
+}
+
+func TestEncodeUserCredentials(t *testing.T) {
+	p, ks, enc, _ := fixture(t)
+	if len(enc.Credentials) != len(p.Users()) {
+		t.Fatalf("%d credentials for %d users", len(enc.Credentials), len(p.Users()))
+	}
+	// Each credential verifies and licenses the right key.
+	for i, cred := range enc.Credentials {
+		if err := cred.VerifySignature(ks); err != nil {
+			t.Fatalf("credential %d: %v", i, err)
+		}
+		u := enc.Users[i]
+		kp, err := ks.ByName("K" + strings.ToLower(string(u)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lic := cred.LicenseePrincipals()
+		if len(lic) != 1 || lic[0] != kp.PublicID() {
+			t.Fatalf("credential %d licenses %v, want %s's key", i, lic, u)
+		}
+	}
+}
+
+func TestEncodeRejectsEmptyPolicy(t *testing.T) {
+	if _, err := EncodeRBAC(rbac.NewPolicy(), nil, Options{}); err == nil {
+		t.Fatal("empty policy encoded")
+	}
+}
+
+func TestEncodeDecodeRoundTripIsIdentity(t *testing.T) {
+	p, ks, enc, opt := fixture(t)
+	userOf := func(principal string) (rbac.User, error) {
+		name := ks.NameFor(principal)
+		if !strings.HasPrefix(name, "K") {
+			return "", fmt.Errorf("unknown principal %q", principal)
+		}
+		return rbac.User(strings.ToUpper(name[1:2]) + name[2:]), nil
+	}
+	got, skipped, err := DecodeRBAC([]*keynote.Assertion{enc.Policy}, enc.Credentials, userOf, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("unexpected skipped credentials: %d", len(skipped))
+	}
+	if !got.Equal(p) {
+		t.Fatalf("round trip not identity:\noriginal:\n%s\ndecoded:\n%s\ndiff:\n%s",
+			p, got, got.DiffFrom(p))
+	}
+}
+
+// TestDecisionEquivalence is the paper's central correctness claim: the
+// KeyNote encoding makes exactly the same authorisation decisions as the
+// middleware RBAC policy, for every user, object type and permission.
+func TestDecisionEquivalence(t *testing.T) {
+	p, ks, enc, opt := fixture(t)
+	chk, err := keynote.NewChecker([]*keynote.Assertion{enc.Policy}, keynote.WithResolver(ks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perms := []rbac.Permission{"read", "write", "delete"}
+	for _, u := range append(p.Users(), "Mallory") {
+		var principal string
+		if kp, err := ks.ByName("K" + strings.ToLower(string(u))); err == nil {
+			principal = kp.PublicID()
+		} else {
+			principal = keys.Deterministic("Kmallory", "translate").PublicID()
+		}
+		for _, ot := range p.ObjectTypes() {
+			for _, perm := range perms {
+				want := p.UserHolds(u, ot, perm)
+				got, err := Decision(chk, enc.Credentials, principal, p, ot, perm, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("decision mismatch for (%s, %s, %s): rbac=%v keynote=%v",
+						u, ot, perm, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestFigure7Delegation: Claire (Sales Manager) delegates her role to
+// Fred by signing a credential. Fred becomes authorised at the KeyNote
+// layer with no change to the policy — decentralisation in action.
+func TestFigure7Delegation(t *testing.T) {
+	p, ks, enc, opt := fixture(t)
+	claire, _ := ks.ByName("Kclaire")
+	fred := keys.Deterministic("Kfred", "translate")
+	ks.Add(fred)
+
+	deleg, err := keynote.New(
+		quote(claire.PublicID()), quote(fred.PublicID()),
+		fmt.Sprintf(`%s=="WebCom" && %s=="Sales" && %s=="Manager";`, AttrAppDomain, AttrDomain, AttrRole))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := deleg.Sign(claire); err != nil {
+		t.Fatal(err)
+	}
+
+	chk, _ := keynote.NewChecker([]*keynote.Assertion{enc.Policy}, keynote.WithResolver(ks))
+	creds := append(append([]*keynote.Assertion{}, enc.Credentials...), deleg)
+
+	got, err := Decision(chk, creds, fred.PublicID(), p, "SalariesDB", "read", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("Fred must read via Claire's delegation")
+	}
+	// Claire has no write, so neither has Fred.
+	got, _ = Decision(chk, creds, fred.PublicID(), p, "SalariesDB", "write", opt)
+	if got {
+		t.Fatal("Fred must not exceed Claire's authority")
+	}
+	// Without the delegation credential, Fred has nothing.
+	got, _ = Decision(chk, enc.Credentials, fred.PublicID(), p, "SalariesDB", "read", opt)
+	if got {
+		t.Fatal("Fred authorised without the delegation credential")
+	}
+
+	// Comprehension: the delegation is outside admin-authored credentials
+	// and must be reported as skipped, not folded into UserRole.
+	userOf := func(principal string) (rbac.User, error) {
+		return rbac.User(ks.NameFor(principal)), nil
+	}
+	_, skipped, err := DecodeRBAC([]*keynote.Assertion{enc.Policy}, creds, userOf, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 1 || skipped[0] != deleg {
+		t.Fatalf("delegation not skipped by comprehension: %d skipped", len(skipped))
+	}
+}
+
+func TestDecodeRejectsNonPolicyAsPolicy(t *testing.T) {
+	a := keynote.MustNew(`"Kbob"`, `"Kalice"`, "")
+	if _, _, err := DecodeRBAC([]*keynote.Assertion{a}, nil, nil, Options{}); err == nil {
+		t.Fatal("non-POLICY assertion accepted as policy")
+	}
+}
+
+func TestDecodeRejectsUntranslatablePolicy(t *testing.T) {
+	a := keynote.MustNew("POLICY", `"K"`, `@level > 3;`)
+	if _, _, err := DecodeRBAC([]*keynote.Assertion{a}, nil, nil, Options{}); err == nil {
+		t.Fatal("untranslatable policy accepted")
+	}
+}
+
+func TestDecodeIgnoresForeignAppDomain(t *testing.T) {
+	a := keynote.MustNew("POLICY", `"K"`,
+		`app_domain=="OtherApp" && Domain=="D" && Role=="R" && ObjectType=="O" && Permission=="p";`)
+	p, _, err := DecodeRBAC([]*keynote.Assertion{a}, nil, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 0 {
+		t.Fatalf("foreign app_domain rows decoded: %s", p)
+	}
+}
+
+func TestQueryForAttributes(t *testing.T) {
+	q := QueryFor("K", "D", "R", "O", "p", Options{})
+	if q.Attributes[AttrAppDomain] != "WebCom" || q.Attributes[AttrDomain] != "D" ||
+		q.Attributes[AttrRole] != "R" || q.Attributes[AttrObjectType] != "O" ||
+		q.Attributes[AttrPermission] != "p" {
+		t.Fatalf("query attributes: %v", q.Attributes)
+	}
+	if len(q.Authorizers) != 1 || q.Authorizers[0] != "K" {
+		t.Fatalf("query authorizers: %v", q.Authorizers)
+	}
+}
+
+// TestQuickRandomPolicyEquivalence generalises TestDecisionEquivalence:
+// for randomly generated policies, the KeyNote encoding agrees with the
+// middleware RBAC decision for every (user, object type, permission),
+// and decode(encode(P)) == P. Signature verification is disabled for
+// speed; the crypto path is covered by the fixture tests.
+func TestQuickRandomPolicyEquivalence(t *testing.T) {
+	domains := []rbac.Domain{"D1", "D2"}
+	roles := []rbac.Role{"R1", "R2"}
+	ots := []rbac.ObjectType{"O1", "O2"}
+	perms := []rbac.Permission{"p1", "p2"}
+	users := []rbac.User{"U1", "U2", "U3"}
+
+	opt := Options{AdminKey: "KAdmin"}
+	keyOfUser := func(u rbac.User) string { return "key-" + string(u) }
+	resolver := func(u rbac.User) (string, error) { return keyOfUser(u), nil }
+
+	build := func(rpMask uint16, urMask uint16) *rbac.Policy {
+		p := rbac.NewPolicy()
+		i := 0
+		for _, d := range domains {
+			for _, r := range roles {
+				for _, ot := range ots {
+					for _, pm := range perms {
+						if rpMask&(1<<(i%16)) != 0 {
+							p.AddRolePerm(d, r, ot, pm)
+						}
+						i++
+					}
+				}
+			}
+		}
+		i = 0
+		for _, u := range users {
+			for _, d := range domains {
+				for _, r := range roles {
+					if urMask&(1<<(i%16)) != 0 {
+						p.AddUserRole(u, d, r)
+					}
+					i++
+				}
+			}
+		}
+		return p
+	}
+
+	f := func(rpMask, urMask uint16, ui, oi, pi uint8) bool {
+		p := build(rpMask, urMask)
+		if len(p.RolePerms()) == 0 || len(p.UserRoles()) == 0 {
+			return true // EncodeRBAC rejects empty relations by design
+		}
+		enc, err := EncodeRBAC(p, resolver, opt)
+		if err != nil {
+			return false
+		}
+		chk, err := keynote.NewChecker([]*keynote.Assertion{enc.Policy},
+			keynote.WithoutSignatureVerification())
+		if err != nil {
+			return false
+		}
+		u := users[int(ui)%len(users)]
+		ot := ots[int(oi)%len(ots)]
+		pm := perms[int(pi)%len(perms)]
+		want := p.UserHolds(u, ot, pm)
+		got, err := Decision(chk, enc.Credentials, keyOfUser(u), p, ot, pm, opt)
+		if err != nil || got != want {
+			return false
+		}
+		// Round trip.
+		userOf := func(principal string) (rbac.User, error) {
+			return rbac.User(strings.TrimPrefix(principal, "key-")), nil
+		}
+		decoded, _, err := DecodeRBAC([]*keynote.Assertion{enc.Policy}, enc.Credentials, userOf, opt)
+		return err == nil && decoded.Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,269 @@
+package webcom
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/rbac"
+	"securewebcom/internal/translate"
+)
+
+// Client is a WebCom client: it connects to a master, authenticates it,
+// and executes scheduled operations against its local middleware systems
+// — but only when its own KeyNote policy authorises the master for the
+// operation (the untrusted-master half of Figure 3).
+type Client struct {
+	// Name identifies the client to the master ("X", "Y", "Z").
+	Name string
+	// Key is the client's identity.
+	Key *keys.KeyPair
+	// Credentials are presented to the master during the handshake.
+	Credentials []*keynote.Assertion
+	// Checker holds the client's policy for authorising masters; nil
+	// means "trust any authenticated master" (a Figure 9 system with no
+	// local trust-management layer).
+	Checker *keynote.Checker
+	// Registry holds the client's local middleware systems.
+	Registry *middleware.Registry
+	// Local implements operations with no middleware home (pure compute);
+	// may be nil.
+	Local map[string]func(args []string) (string, error)
+
+	conn        *conn
+	master      string // authenticated master principal
+	masterCreds []*keynote.Assertion
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// Connect dials the master, runs the mutual authentication handshake and
+// starts serving scheduled tasks in the background.
+func (cl *Client) Connect(addr string) error {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("webcom: client dial: %w", err)
+	}
+	c := newConn(raw)
+
+	ch, err := c.recv()
+	if err != nil || ch.Type != msgChallenge {
+		c.close()
+		return errors.New("webcom: handshake: no challenge from master")
+	}
+	counterNonce, err := newNonce()
+	if err != nil {
+		c.close()
+		return err
+	}
+	credTexts := make([]string, len(cl.Credentials))
+	for i, a := range cl.Credentials {
+		credTexts[i] = a.Text()
+	}
+	if err := c.send(&msg{
+		Type:        msgHello,
+		Name:        cl.Name,
+		Principal:   cl.Key.PublicID(),
+		Sig:         cl.Key.Sign(handshakePayload("client", ch.Nonce, cl.Key.PublicID())),
+		Nonce:       counterNonce,
+		Credentials: credTexts,
+	}); err != nil {
+		c.close()
+		return err
+	}
+	welcome, err := c.recv()
+	if err != nil {
+		c.close()
+		return fmt.Errorf("webcom: handshake: %w", err)
+	}
+	if welcome.Type == msgReject {
+		c.close()
+		return fmt.Errorf("webcom: master rejected client: %s", welcome.Err)
+	}
+	if welcome.Type != msgWelcome {
+		c.close()
+		return errors.New("webcom: handshake: unexpected message from master")
+	}
+	// Authenticate the master: it must prove possession of the key it
+	// claimed in the challenge, and the two claims must agree.
+	if welcome.Principal != ch.Principal {
+		c.close()
+		return errors.New("webcom: master principal changed during handshake")
+	}
+	if err := keys.Verify(welcome.Principal,
+		handshakePayload("master", counterNonce, welcome.Principal), welcome.Sig); err != nil {
+		c.close()
+		return fmt.Errorf("webcom: master authentication failed: %w", err)
+	}
+
+	cl.conn = c
+	cl.master = welcome.Principal
+	cl.done = make(chan struct{})
+	// Keep the master's presented credentials: the client's policy may
+	// trust a root key that merely *delegates* to this master, in which
+	// case the per-operation check below needs the chain (the
+	// decentralised half of Figure 3). Malformed credentials are dropped
+	// here; forged ones are rejected by the compliance checker per query.
+	for _, text := range welcome.Credentials {
+		if a, err := keynote.Parse(text); err == nil {
+			cl.masterCreds = append(cl.masterCreds, a)
+		}
+	}
+	go cl.serveLoop()
+	return nil
+}
+
+// Master returns the authenticated master principal.
+func (cl *Client) Master() string { return cl.master }
+
+// Close disconnects from the master.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	cl.closed = true
+	cl.mu.Unlock()
+	if cl.conn != nil {
+		return cl.conn.close()
+	}
+	return nil
+}
+
+// Wait blocks until the connection to the master ends.
+func (cl *Client) Wait() {
+	if cl.done != nil {
+		<-cl.done
+	}
+}
+
+func (cl *Client) serveLoop() {
+	defer close(cl.done)
+	for {
+		m, err := cl.conn.recv()
+		if err != nil {
+			return
+		}
+		if m.Type != msgSchedule {
+			continue
+		}
+		go func(m *msg) {
+			result, denied, err := cl.execute(m)
+			reply := &msg{Type: msgResult, TaskID: m.TaskID, Result: result, Denied: denied}
+			if err != nil {
+				reply.Err = err.Error()
+			}
+			cl.conn.send(reply)
+		}(m)
+	}
+}
+
+// execute runs one scheduled operation: first the client's own
+// authorisation of the master (L2), then the middleware invocation under
+// native security (L1).
+func (cl *Client) execute(m *msg) (result string, denied bool, err error) {
+	// L2: does this client's policy let the master schedule this op? The
+	// master's presented credentials participate, so the policy may name
+	// a root that delegated scheduling authority to this master.
+	if cl.Checker != nil {
+		res, err := cl.Checker.Check(taskQuery(cl.master, m.Op, m.Annotations, m.Args), cl.masterCreds)
+		if err != nil {
+			return "", false, err
+		}
+		if !res.Authorized(nil) {
+			return "", true, fmt.Errorf("client policy refuses master for op %s", m.Op)
+		}
+	}
+
+	// Local pure-compute operation?
+	if cl.Local != nil {
+		if fn, ok := cl.Local[m.Op]; ok {
+			out, err := fn(m.Args)
+			return out, false, err
+		}
+	}
+
+	// Middleware operation: op is "<ObjectType>.<operation>" and the
+	// Domain annotation selects the system.
+	dot := strings.LastIndex(m.Op, ".")
+	if dot <= 0 {
+		return "", false, fmt.Errorf("webcom: client %s cannot execute op %q", cl.Name, m.Op)
+	}
+	ot, operation := m.Op[:dot], m.Op[dot+1:]
+	domain := rbac.Domain(m.Annotations[translate.AttrDomain])
+	user := rbac.User(m.Annotations["User"])
+	if domain == "" {
+		return "", false, fmt.Errorf("webcom: op %q scheduled without a Domain annotation", m.Op)
+	}
+	if cl.Registry == nil {
+		return "", false, fmt.Errorf("webcom: client %s has no middleware registry", cl.Name)
+	}
+	sys, err := cl.systemForDomain(domain)
+	if err != nil {
+		return "", false, err
+	}
+	// Partial specification (Section 6): no user named — run as any
+	// authorised user in the given (domain, role).
+	if user == "" {
+		role := rbac.Role(m.Annotations[translate.AttrRole])
+		u, err := cl.pickUser(sys, domain, role, rbac.ObjectType(ot), rbac.Permission(operation))
+		if err != nil {
+			return "", true, err
+		}
+		user = u
+	}
+	out, err := sys.Invoke(user, domain, rbac.ObjectType(ot), operation, m.Args)
+	var d *middleware.ErrDenied
+	if errors.As(err, &d) {
+		return "", true, err
+	}
+	return out, false, err
+}
+
+// systemForDomain finds the registered middleware system owning a domain.
+func (cl *Client) systemForDomain(d rbac.Domain) (middleware.System, error) {
+	for _, s := range cl.Registry.All() {
+		p, err := s.ExtractPolicy()
+		if err != nil {
+			continue
+		}
+		for _, dom := range p.Domains() {
+			if dom == d {
+				return s, nil
+			}
+		}
+		// A system may host the domain without any policy rows yet;
+		// check its components too.
+		for _, c := range s.Components() {
+			if c.Domain == d {
+				return s, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("webcom: client %s has no middleware system for domain %q", cl.Name, d)
+}
+
+// pickUser selects an authorised user for a partially specified task.
+func (cl *Client) pickUser(sys middleware.System, d rbac.Domain, r rbac.Role, ot rbac.ObjectType, perm rbac.Permission) (rbac.User, error) {
+	p, err := sys.ExtractPolicy()
+	if err != nil {
+		return "", err
+	}
+	var candidates []rbac.User
+	if r != "" {
+		candidates = p.UsersIn(d, r)
+	} else {
+		candidates = p.Users()
+	}
+	for _, u := range candidates {
+		ok, err := sys.CheckAccess(u, d, ot, perm)
+		if err == nil && ok {
+			return u, nil
+		}
+	}
+	return "", fmt.Errorf("webcom: no authorised user in (%s, %s) for %s.%s", d, r, ot, perm)
+}

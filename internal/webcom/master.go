@@ -1,0 +1,402 @@
+package webcom
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"securewebcom/internal/cg"
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/translate"
+)
+
+// Master is a WebCom master: it accepts client connections, authenticates
+// them, and schedules condensed-graph operations to clients its KeyNote
+// policy authorises.
+type Master struct {
+	// Key is the master's identity.
+	Key *keys.KeyPair
+	// Checker holds the master's policy for authorising clients.
+	Checker *keynote.Checker
+	// Credentials are presented to clients so they can authorise the
+	// master in turn.
+	Credentials []*keynote.Assertion
+	// Resolver resolves principal names for signature checks.
+	Resolver keynote.Resolver
+	// MaxAttempts bounds rescheduling of a failed task. Default 3.
+	MaxAttempts int
+
+	ln net.Listener
+
+	mu      sync.Mutex
+	clients map[string]*masterClient // by client name
+	nextID  uint64
+	rr      uint64 // round-robin rotation for load spreading
+	closed  bool
+}
+
+type masterClient struct {
+	name        string
+	principal   string
+	conn        *conn
+	credentials []*keynote.Assertion
+
+	mu      sync.Mutex
+	pending map[uint64]chan *msg
+	dead    bool
+}
+
+// NewMaster creates a master with the given identity and client policy.
+func NewMaster(key *keys.KeyPair, checker *keynote.Checker, credentials []*keynote.Assertion, resolver keynote.Resolver) *Master {
+	return &Master{
+		Key:         key,
+		Checker:     checker,
+		Credentials: credentials,
+		Resolver:    resolver,
+		clients:     make(map[string]*masterClient),
+	}
+}
+
+// Listen starts accepting clients on addr ("127.0.0.1:0" for ephemeral).
+func (m *Master) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("webcom: master listen: %w", err)
+	}
+	m.ln = ln
+	go m.acceptLoop()
+	return nil
+}
+
+// Addr returns the listen address.
+func (m *Master) Addr() string { return m.ln.Addr().String() }
+
+// Close stops the master and disconnects all clients.
+func (m *Master) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	clients := make([]*masterClient, 0, len(m.clients))
+	for _, c := range m.clients {
+		clients = append(clients, c)
+	}
+	m.mu.Unlock()
+	for _, c := range clients {
+		c.conn.close()
+	}
+	return m.ln.Close()
+}
+
+func (m *Master) acceptLoop() {
+	for {
+		raw, err := m.ln.Accept()
+		if err != nil {
+			m.mu.Lock()
+			closed := m.closed
+			m.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		go m.handleClient(newConn(raw))
+	}
+}
+
+// handleClient performs the mutual authentication handshake and then
+// serves results from the client.
+func (m *Master) handleClient(c *conn) {
+	nonce, err := newNonce()
+	if err != nil {
+		c.close()
+		return
+	}
+	if err := c.send(&msg{
+		Type:      msgChallenge,
+		Nonce:     nonce,
+		Principal: m.Key.PublicID(),
+	}); err != nil {
+		c.close()
+		return
+	}
+	hello, err := c.recv()
+	if err != nil || hello.Type != msgHello || hello.Name == "" || hello.Principal == "" {
+		c.close()
+		return
+	}
+	// Verify the client's possession of its key.
+	if err := keys.Verify(hello.Principal,
+		handshakePayload("client", nonce, hello.Principal), hello.Sig); err != nil {
+		c.send(&msg{Type: msgReject, Err: "client authentication failed"})
+		c.close()
+		return
+	}
+	// Parse the client's presented credentials (verified per-query by the
+	// compliance checker; garbage is rejected there, not here).
+	var creds []*keynote.Assertion
+	for _, text := range hello.Credentials {
+		a, err := keynote.Parse(text)
+		if err != nil {
+			c.send(&msg{Type: msgReject, Err: "malformed credential: " + err.Error()})
+			c.close()
+			return
+		}
+		creds = append(creds, a)
+	}
+	// Answer the client's counter-challenge and present our credentials.
+	credTexts := make([]string, len(m.Credentials))
+	for i, a := range m.Credentials {
+		credTexts[i] = a.Text()
+	}
+	if err := c.send(&msg{
+		Type:        msgWelcome,
+		Principal:   m.Key.PublicID(),
+		Sig:         m.Key.Sign(handshakePayload("master", hello.Nonce, m.Key.PublicID())),
+		Credentials: credTexts,
+	}); err != nil {
+		c.close()
+		return
+	}
+
+	mc := &masterClient{
+		name:        hello.Name,
+		principal:   hello.Principal,
+		conn:        c,
+		credentials: creds,
+		pending:     make(map[uint64]chan *msg),
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		c.close()
+		return
+	}
+	if _, dup := m.clients[mc.name]; dup {
+		m.mu.Unlock()
+		c.send(&msg{Type: msgReject, Err: "client name already connected"})
+		c.close()
+		return
+	}
+	m.clients[mc.name] = mc
+	m.mu.Unlock()
+
+	// Serve results until the connection dies.
+	for {
+		r, err := c.recv()
+		if err != nil {
+			break
+		}
+		if r.Type != msgResult {
+			continue
+		}
+		mc.mu.Lock()
+		ch := mc.pending[r.TaskID]
+		delete(mc.pending, r.TaskID)
+		mc.mu.Unlock()
+		if ch != nil {
+			ch <- r
+		}
+	}
+	// Connection lost: fail outstanding tasks so the scheduler retries.
+	mc.mu.Lock()
+	mc.dead = true
+	for id, ch := range mc.pending {
+		ch <- &msg{Type: msgResult, TaskID: id, Err: "webcom: client connection lost"}
+		delete(mc.pending, id)
+	}
+	mc.mu.Unlock()
+	m.mu.Lock()
+	if m.clients[mc.name] == mc {
+		delete(m.clients, mc.name)
+	}
+	m.mu.Unlock()
+	c.close()
+}
+
+// Clients returns the names of connected clients, sorted.
+func (m *Master) Clients() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.clients))
+	for n := range m.clients {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// taskQuery builds the KeyNote query asking whether principal may be
+// scheduled the operation. The attribute set carries the operation name,
+// the IDE's (Domain, Role, User, ObjectType, Permission) annotations, and
+// — implementing the extension the paper's Section 7 leaves as ongoing
+// research — the operation's actual inputs as arg0..argN plus their
+// count, so policies can mediate on the environment of the component, not
+// just its identifier (e.g. "may only read employee Bob's record").
+func taskQuery(principal, opName string, annotations map[string]string, args []string) keynote.Query {
+	attrs := map[string]string{
+		"app_domain": AppDomain,
+		"operation":  opName,
+		"num_args":   strconv.Itoa(len(args)),
+	}
+	for i, a := range args {
+		attrs["arg"+strconv.Itoa(i)] = a
+	}
+	if i := strings.LastIndex(opName, "."); i > 0 {
+		attrs[translate.AttrObjectType] = opName[:i]
+		attrs[translate.AttrPermission] = opName[i+1:]
+	}
+	for k, v := range annotations {
+		attrs[k] = v
+	}
+	return keynote.Query{Authorizers: []string{principal}, Attributes: attrs}
+}
+
+// authorisedClients returns connected clients the master's policy permits
+// for the task, in name order.
+func (m *Master) authorisedClients(t cg.Task) ([]*masterClient, error) {
+	m.mu.Lock()
+	all := make([]*masterClient, 0, len(m.clients))
+	for _, c := range m.clients {
+		all = append(all, c)
+	}
+	m.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
+
+	var out []*masterClient
+	for _, c := range all {
+		res, err := m.Checker.Check(taskQuery(c.principal, t.OpName, t.Annotations, t.Args), c.credentials)
+		if err != nil {
+			return nil, err
+		}
+		if res.Authorized(nil) {
+			out = append(out, c)
+		}
+	}
+	// Rotate the candidate order per call so independent tasks spread
+	// across equally authorised clients instead of always hitting the
+	// alphabetically first one.
+	if len(out) > 1 {
+		m.mu.Lock()
+		shift := int(m.rr % uint64(len(out)))
+		m.rr++
+		m.mu.Unlock()
+		out = append(out[shift:], out[:shift]...)
+	}
+	return out, nil
+}
+
+// ErrNoAuthorisedClient is returned when no connected client may execute
+// a task under the master's policy.
+var ErrNoAuthorisedClient = errors.New("webcom: no authorised client for task")
+
+// Executor returns a cg.Executor that schedules Opaque operations to
+// authorised clients, falling back to local evaluation for Func
+// operators. It retries on client failure (fault tolerance) but not on
+// authorisation denial — a denial is a policy decision, not a fault.
+func (m *Master) Executor() cg.Executor {
+	return func(ctx context.Context, t cg.Task, op cg.Operator) (string, error) {
+		if _, local := op.(*cg.Func); local {
+			return cg.LocalExecutor(ctx, t, op)
+		}
+		maxAttempts := m.MaxAttempts
+		if maxAttempts <= 0 {
+			maxAttempts = 3
+		}
+		var lastErr error
+		tried := map[string]bool{}
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			cands, err := m.authorisedClients(t)
+			if err != nil {
+				return "", err
+			}
+			var target *masterClient
+			for _, c := range cands {
+				if !tried[c.name] {
+					target = c
+					break
+				}
+			}
+			if target == nil {
+				if lastErr != nil {
+					return "", lastErr
+				}
+				return "", fmt.Errorf("%w: op %s (annotations %v)", ErrNoAuthorisedClient, t.OpName, t.Annotations)
+			}
+			tried[target.name] = true
+			res, err := m.dispatch(ctx, target, t)
+			if err != nil {
+				lastErr = err // transport fault: try the next client
+				continue
+			}
+			if res.Denied {
+				// The client's own policy refused the master or the
+				// middleware denied the invocation; surface it.
+				return "", fmt.Errorf("webcom: client %s denied task %s: %s", target.name, t.OpName, res.Err)
+			}
+			if res.Err != "" {
+				if strings.Contains(res.Err, "connection lost") {
+					lastErr = errors.New(res.Err)
+					continue
+				}
+				return "", fmt.Errorf("webcom: task %s on %s: %s", t.OpName, target.name, res.Err)
+			}
+			return res.Result, nil
+		}
+		return "", fmt.Errorf("webcom: task %s failed after retries: %w", t.OpName, lastErr)
+	}
+}
+
+// dispatch sends a task to a client and awaits its result.
+func (m *Master) dispatch(ctx context.Context, c *masterClient, t cg.Task) (*msg, error) {
+	m.mu.Lock()
+	m.nextID++
+	id := m.nextID
+	m.mu.Unlock()
+
+	ch := make(chan *msg, 1)
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return nil, errors.New("webcom: client connection lost")
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	err := c.conn.send(&msg{
+		Type:        msgSchedule,
+		TaskID:      id,
+		Op:          t.OpName,
+		Args:        t.Args,
+		Annotations: t.Annotations,
+	})
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case r := <-ch:
+		if r.Err != "" && strings.Contains(r.Err, "connection lost") {
+			return nil, errors.New(r.Err)
+		}
+		return r, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Run evaluates a condensed graph, scheduling its opaque operations to
+// the connected clients.
+func (m *Master) Run(ctx context.Context, eng *cg.Engine, g *cg.Graph, inputs map[string]string) (string, cg.Stats, error) {
+	eng.Exec = m.Executor()
+	return eng.Run(ctx, g, inputs)
+}

@@ -1,0 +1,114 @@
+// Package webcom implements Secure WebCom: a distributed metacomputer
+// that coordinates the execution of condensed-graph applications across a
+// master and a pool of clients (Figure 3 of the paper).
+//
+// Security follows the paper's architecture exactly:
+//
+//   - master and client mutually authenticate with a signed
+//     challenge-response over their public keys;
+//   - the master uses its KeyNote policy plus the client's presented
+//     credentials to decide which operations it may schedule to that
+//     client;
+//   - the client symmetrically uses its own KeyNote policy plus the
+//     master's credentials to decide whether the master may schedule an
+//     operation to it — neither side relies on the other's good
+//     behaviour;
+//   - once scheduled, the operation executes against the client's local
+//     middleware (CORBA/EJB/COM+) under that middleware's native
+//     security, as the (Domain, Role, User) annotations from the IDE
+//     dictate — the stacked architecture of Figure 10.
+//
+// Fault tolerance: if a client fails mid-task (connection loss or crash)
+// the master reschedules the task on another authorised client.
+package webcom
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// AppDomain is the KeyNote application domain for WebCom queries.
+const AppDomain = "WebCom"
+
+// msg is the single wire message type; Type discriminates.
+type msg struct {
+	Type string `json:"type"`
+
+	// challenge / hello / welcome fields.
+	Nonce       string   `json:"nonce,omitempty"`
+	Principal   string   `json:"principal,omitempty"`
+	Name        string   `json:"name,omitempty"`
+	Sig         string   `json:"sig,omitempty"`
+	Credentials []string `json:"credentials,omitempty"`
+
+	// schedule fields.
+	TaskID      uint64            `json:"task_id,omitempty"`
+	Op          string            `json:"op,omitempty"`
+	Args        []string          `json:"args,omitempty"`
+	Annotations map[string]string `json:"annotations,omitempty"`
+
+	// result fields.
+	Result string `json:"result,omitempty"`
+	Err    string `json:"err,omitempty"`
+	Denied bool   `json:"denied,omitempty"`
+}
+
+// Message types.
+const (
+	msgChallenge = "challenge"
+	msgHello     = "hello"
+	msgWelcome   = "welcome"
+	msgReject    = "reject"
+	msgSchedule  = "schedule"
+	msgResult    = "result"
+)
+
+// conn wraps a net.Conn with JSON framing and a write lock.
+type conn struct {
+	raw net.Conn
+	dec *json.Decoder
+
+	wmu sync.Mutex
+	enc *json.Encoder
+}
+
+func newConn(c net.Conn) *conn {
+	return &conn{raw: c, dec: json.NewDecoder(c), enc: json.NewEncoder(c)}
+}
+
+func (c *conn) send(m *msg) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.enc.Encode(m)
+}
+
+func (c *conn) recv() (*msg, error) {
+	var m msg
+	if err := c.dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func (c *conn) close() error { return c.raw.Close() }
+
+// newNonce returns a fresh random handshake nonce.
+func newNonce() (string, error) {
+	b := make([]byte, 16)
+	if _, err := rand.Read(b); err != nil {
+		return "", fmt.Errorf("webcom: nonce: %w", err)
+	}
+	return hex.EncodeToString(b), nil
+}
+
+// handshakePayload is the byte string signed during authentication: it
+// binds the signer's role, the peer's nonce and the signer's principal so
+// a signature cannot be replayed in the opposite direction or for another
+// key.
+func handshakePayload(role, nonce, principal string) []byte {
+	return []byte("webcom-handshake|" + role + "|" + nonce + "|" + principal)
+}
