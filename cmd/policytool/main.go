@@ -11,16 +11,25 @@
 //	policytool decode   -policy pol.kn [-creds creds.kn] [-keys dir] [-admin-id K]
 //	policytool migrate  -in policy.json [-map old=new ...] \
 //	                    [-vocab Launch,Access,RunAs] [-min-score 0.5]
+//	policytool lint     -policy pol.kn [-creds creds.kn] [-rbac policy.json] \
+//	                    [-app-domain WebCom] [-keys dir] [-json] [-skip-sig] [-now 20040101]
 //
 // Policies are JSON files in the two-relation format of internal/rbac.
 // encode writes a KeyNote policy assertion plus one signed credential per
 // user, creating per-user keys in -keys (deterministic names "K<user>").
+//
+// lint runs the internal/policylint static analyser over a credential
+// set and exits 0 (clean or info), 1 (warnings) or 2 (errors). With
+// -rbac the set is additionally checked against that catalogue's
+// vocabulary; with -keys signatures are verified against the stored
+// keys.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,6 +37,7 @@ import (
 	"securewebcom/internal/keycom"
 	"securewebcom/internal/keynote"
 	"securewebcom/internal/keys"
+	"securewebcom/internal/policylint"
 	"securewebcom/internal/rbac"
 	"securewebcom/internal/translate"
 )
@@ -51,6 +61,13 @@ func main() {
 		err = cmdDecode(args)
 	case "migrate":
 		err = cmdMigrate(args)
+	case "lint":
+		rep, lintErr := cmdLint(args, os.Stdout)
+		if lintErr != nil {
+			fmt.Fprintln(os.Stderr, "policytool:", lintErr)
+			os.Exit(1)
+		}
+		os.Exit(rep.ExitCode())
 	case "remote-extract":
 		err = cmdRemoteExtract(args)
 	default:
@@ -64,7 +81,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: policytool {render|validate|diff|encode|decode|migrate|remote-extract} [flags]")
+		"usage: policytool {render|validate|diff|encode|decode|migrate|lint|remote-extract} [flags]")
 	os.Exit(2)
 }
 
@@ -291,21 +308,9 @@ func cmdDecode(args []string) error {
 			return err
 		}
 	}
-	ks := keys.NewKeyStore()
-	if *keyDir != "" {
-		entries, err := os.ReadDir(*keyDir)
-		if err != nil {
-			return err
-		}
-		for _, e := range entries {
-			if e.IsDir() {
-				continue
-			}
-			kp, err := keys.Load(filepath.Join(*keyDir, e.Name()))
-			if err == nil {
-				ks.Add(kp)
-			}
-		}
+	ks, err := loadKeyDir(*keyDir)
+	if err != nil {
+		return err
 	}
 	opt := translate.Options{}
 	if *adminID != "" {
@@ -335,6 +340,92 @@ func cmdDecode(args []string) error {
 	return nil
 }
 
+// loadKeyDir builds a keystore from every loadable key file in dir; an
+// empty dir yields an empty store.
+func loadKeyDir(dir string) (*keys.KeyStore, error) {
+	ks := keys.NewKeyStore()
+	if dir == "" {
+		return ks, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		kp, err := keys.Load(filepath.Join(dir, e.Name()))
+		if err == nil {
+			ks.Add(kp)
+		}
+	}
+	return ks, nil
+}
+
+// cmdLint runs the static analyser over a KeyNote credential set. It
+// returns the report (the caller maps it to the process exit code) and
+// writes the rendered findings to w.
+func cmdLint(args []string, w io.Writer) (*policylint.Report, error) {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	policyPath := fs.String("policy", "", "KeyNote policy file")
+	credsPath := fs.String("creds", "", "KeyNote credentials file")
+	rbacPath := fs.String("rbac", "", "RBAC policy JSON supplying the catalogue vocabulary")
+	appDomain := fs.String("app-domain", "WebCom", "allowed app_domain value for the vocabulary check")
+	keyDir := fs.String("keys", "", "directory of key files for principal resolution and signature checks")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	skipSig := fs.Bool("skip-sig", false, "skip the signature check (PL008)")
+	now := fs.String("now", "", "current date for the expiry check (PL009), e.g. 20040101")
+	fs.Parse(args)
+	if *policyPath == "" && *credsPath == "" {
+		return nil, fmt.Errorf("lint requires -policy and/or -creds")
+	}
+
+	var srcs []policylint.Source
+	for _, path := range []string{*policyPath, *credsPath} {
+		if path == "" {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		fileSrcs, err := policylint.ParseSources(path, string(data))
+		if err != nil {
+			return nil, err
+		}
+		srcs = append(srcs, fileSrcs...)
+	}
+
+	opt := policylint.Options{SkipSignatures: *skipSig, Now: *now}
+	if *rbacPath != "" {
+		p, err := loadPolicy(*rbacPath)
+		if err != nil {
+			return nil, err
+		}
+		opt.Vocabulary = policylint.FromPolicy(p, *appDomain)
+	}
+	if *keyDir != "" {
+		ks, err := loadKeyDir(*keyDir)
+		if err != nil {
+			return nil, err
+		}
+		opt.Resolver = ks
+	}
+
+	rep := policylint.LintSources(srcs, opt)
+	if *jsonOut {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(w, string(data))
+	} else {
+		fmt.Fprint(w, rep.String())
+	}
+	return rep, nil
+}
+
 func cmdMigrate(args []string) error {
 	fs := flag.NewFlagSet("migrate", flag.ExitOnError)
 	in := fs.String("in", "", "source policy JSON")
@@ -362,12 +453,15 @@ func cmdMigrate(args []string) error {
 			opt.TargetVocabulary = append(opt.TargetVocabulary, rbac.Permission(v))
 		}
 	}
-	out, reports, err := translate.MigratePolicy(p, opt)
+	out, reports, lintRep, err := translate.MigrateAndLint(p, opt, nil)
 	if err != nil {
 		return err
 	}
 	for _, r := range reports {
 		fmt.Fprintln(os.Stderr, "mapping:", r)
+	}
+	for _, f := range lintRep.Findings {
+		fmt.Fprintln(os.Stderr, "lint:", f)
 	}
 	data, err := json.Marshal(out)
 	if err != nil {

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -11,6 +13,7 @@ import (
 	"securewebcom/internal/keys"
 	"securewebcom/internal/middleware/complus"
 	"securewebcom/internal/ossec"
+	"securewebcom/internal/policylint"
 	"securewebcom/internal/rbac"
 	"securewebcom/internal/translate"
 )
@@ -232,5 +235,64 @@ func TestRemoteExtractCLI(t *testing.T) {
 	// Missing flags.
 	if err := cmdRemoteExtract([]string{"-addr", srv.Addr()}); err == nil {
 		t.Fatal("remote-extract without -key accepted")
+	}
+}
+
+func TestLintCLI(t *testing.T) {
+	dir := t.TempDir()
+	polPath := filepath.Join(dir, "pol.kn")
+	credsPath := filepath.Join(dir, "creds.kn")
+	writeFile := func(path, text string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile(polPath, "Authorizer: POLICY\nLicensees: \"KA\"\nConditions: Domain==\"Sales\";\n")
+	writeFile(credsPath, "Authorizer: \"KX\"\nLicensees: \"KB\"\nConditions: Domain==\"Sales\";\n")
+
+	rep, err := cmdLint([]string{"-policy", polPath, "-creds", credsPath, "-skip-sig"}, io.Discard)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	if got := rep.ExitCode(); got != 1 {
+		t.Fatalf("ExitCode() = %d, want 1 (unreachable credential warning)\n%s", got, rep)
+	}
+	if n := len(rep.ByCode(policylint.CodeUnreachable)); n != 1 {
+		t.Fatalf("got %d PL002 findings, want 1:\n%s", n, rep)
+	}
+
+	var buf bytes.Buffer
+	if _, err := cmdLint([]string{"-policy", polPath, "-skip-sig", "-json"}, &buf); err != nil {
+		t.Fatalf("lint -json: %v", err)
+	}
+	var decoded policylint.Report
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("lint -json output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.Assertions != 1 {
+		t.Fatalf("JSON report assertions = %d, want 1", decoded.Assertions)
+	}
+
+	if _, err := cmdLint([]string{"-skip-sig"}, io.Discard); err == nil {
+		t.Fatal("lint without inputs accepted")
+	}
+}
+
+func TestLintCLIVocabulary(t *testing.T) {
+	dir := t.TempDir()
+	rbacPath := writePolicy(t, dir, "figure1.json", rbac.Figure1())
+	credsPath := filepath.Join(dir, "creds.kn")
+	cred := "Authorizer: POLICY\nLicensees: \"KW\"\n" +
+		"Conditions: app_domain==\"WebCom\" && Domain==\"Marketing\" && Role==\"Clerk\" && ObjectType==\"SalariesDB\" && Permission==\"read\";\n"
+	if err := os.WriteFile(credsPath, []byte(cred), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cmdLint([]string{"-creds", credsPath, "-rbac", rbacPath, "-skip-sig"}, io.Discard)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	if !rep.HasErrors() {
+		t.Fatalf("unknown domain not reported as error:\n%s", rep)
 	}
 }

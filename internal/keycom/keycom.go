@@ -32,7 +32,9 @@ import (
 	"securewebcom/internal/keynote"
 	"securewebcom/internal/keys"
 	"securewebcom/internal/middleware"
+	"securewebcom/internal/policylint"
 	"securewebcom/internal/rbac"
+	"securewebcom/internal/translate"
 )
 
 // AppDomain is the KeyNote application domain of KeyCOM queries.
@@ -92,6 +94,13 @@ type Service struct {
 	System middleware.System
 	// Checker holds the service's administration policy.
 	Checker *keynote.Checker
+	// LintVocab, when non-nil, enables the pre-commit lint gate
+	// (decentralisation with guardrails): before any authorised diff is
+	// applied, the resulting catalogue is re-encoded as KeyNote and run
+	// through internal/policylint against this vocabulary. Updates whose
+	// resulting credential set lints with errors are refused atomically —
+	// the catalogue is left exactly as it was.
+	LintVocab *policylint.Vocabulary
 
 	mu sync.Mutex // serialises policy updates
 }
@@ -138,7 +147,42 @@ func (s *Service) Apply(req *UpdateRequest) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.lintGate(req.Diff); err != nil {
+		return err
+	}
 	return s.System.ApplyDiff(req.Diff)
+}
+
+// lintGate statically analyses the catalogue state the diff would
+// produce. It runs under s.mu, so the extract-check-apply sequence is
+// atomic with respect to other updates; on refusal nothing has been
+// written.
+func (s *Service) lintGate(d rbac.Diff) error {
+	if s.LintVocab == nil {
+		return nil
+	}
+	cur, err := s.System.ExtractPolicy()
+	if err != nil {
+		return fmt.Errorf("keycom: lint gate: extract: %w", err)
+	}
+	next := cur.Clone()
+	next.Apply(d)
+	var rep *policylint.Report
+	if len(next.RolePerms()) > 0 {
+		rep, err = translate.LintEncoded(next, s.LintVocab, translate.Options{})
+		if err != nil {
+			return fmt.Errorf("keycom: lint gate: %w", err)
+		}
+	} else {
+		// Nothing to encode as KeyNote: fall back to row-level checks.
+		rep = policylint.LintPolicy(next, s.LintVocab)
+	}
+	if rep.HasErrors() {
+		errs := rep.BySeverity(policylint.Error)
+		return fmt.Errorf("keycom: update refused, resulting credential set lints with %d error(s), first: %s",
+			len(errs), errs[0].Message)
+	}
+	return nil
 }
 
 func rolePermAttrs(e rbac.RolePermEntry) map[string]string {

@@ -10,6 +10,7 @@ import (
 	"securewebcom/internal/middleware"
 	"securewebcom/internal/middleware/complus"
 	"securewebcom/internal/ossec"
+	"securewebcom/internal/policylint"
 	"securewebcom/internal/rbac"
 )
 
@@ -335,5 +336,58 @@ func TestLegacyFlatUpdateFrameStillWorks(t *testing.T) {
 	}
 	if got, _ := f.cat.CheckAccess("Flat", "DOMA", "SalariesDB.Component", complus.PermAccess); !got {
 		t.Fatal("flat update not applied")
+	}
+}
+
+// TestLintGateRefusesErrorUpdateAtomically: with the pre-commit lint
+// gate enabled, an authorised update that would leave the catalogue
+// referencing vocabulary outside the service's catalogue is refused, and
+// the pre-update catalogue is untouched. In-vocabulary updates still go
+// through the same gate.
+func TestLintGateRefusesErrorUpdateAtomically(t *testing.T) {
+	f := newFigure8(t)
+	cur, err := f.cat.ExtractPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.svc.LintVocab = policylint.FromPolicy(cur)
+	before := cur.Clone()
+
+	// The admin is fully authorised for this change at the KeyNote layer;
+	// only the lint gate stands in the way: "Ops" is not a domain of this
+	// catalogue.
+	req := &UpdateRequest{
+		Requester: f.admin.PublicID(),
+		Diff: rbac.Diff{AddedUserRole: []rbac.UserRoleEntry{
+			{User: "Eve", Domain: "Ops", Role: "Clerk"}}},
+	}
+	if err := req.Sign(f.admin); err != nil {
+		t.Fatal(err)
+	}
+	err = f.svc.Apply(req)
+	if err == nil {
+		t.Fatal("lint-error update accepted")
+	}
+	if !strings.Contains(err.Error(), "lints with") {
+		t.Fatalf("refusal error does not come from the lint gate: %v", err)
+	}
+	after, err := f.cat.ExtractPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Equal(before) {
+		t.Fatalf("catalogue changed by a refused update:\nbefore:\n%safter:\n%s", before, after)
+	}
+
+	// A well-formed update passes the same gate.
+	ok := &UpdateRequest{Requester: f.admin.PublicID(), Diff: addUserDiff("Alice")}
+	if err := ok.Sign(f.admin); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.svc.Apply(ok); err != nil {
+		t.Fatalf("in-vocabulary update refused by the gate: %v", err)
+	}
+	if got, _ := f.cat.CheckAccess("Alice", "DOMA", "SalariesDB.Component", complus.PermAccess); !got {
+		t.Fatal("accepted update not applied")
 	}
 }

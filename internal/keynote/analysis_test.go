@@ -159,3 +159,70 @@ func TestDNFSoundness(t *testing.T) {
 		t.Fatal("mixed assignment unexpectedly satisfies program")
 	}
 }
+
+func TestDNFDetailedRecordsContradictions(t *testing.T) {
+	p, err := ParseConditions(`Domain=="Sales" && Domain=="Finance";`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, drops, err := p.DNFDetailed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 0 {
+		t.Fatalf("conjuncts = %v, want none (contradictory)", cs)
+	}
+	if len(drops) != 1 || drops[0].Attr != "Domain" {
+		t.Fatalf("drops = %v, want one Domain contradiction", drops)
+	}
+	if got := drops[0].String(); got != `Domain bound to both "Sales" and "Finance"` {
+		t.Fatalf("contradiction rendering = %q", got)
+	}
+
+	// A satisfiable disjunct survives while the contradictory one drops.
+	p, err = ParseConditions(`(a=="1" && a=="2") || b=="3";`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, drops, err = p.DNFDetailed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 || cs[0]["b"] != "3" {
+		t.Fatalf("conjuncts = %v, want [b=3]", cs)
+	}
+	if len(drops) != 1 || drops[0].Attr != "a" {
+		t.Fatalf("drops = %v, want one 'a' contradiction", drops)
+	}
+}
+
+func TestExpiryBefore(t *testing.T) {
+	for _, tc := range []struct {
+		src   string
+		want  string
+		found bool
+	}{
+		{`app_domain=="X" && date < "20040101";`, "20040101", true},
+		{`app_domain=="X" && "20040101" > date;`, "20040101", true},
+		{`@date <= 20040101;`, "20040101", true},
+		{`Expiration < "2004-06-01T00:00:00Z";`, "2004-06-01T00:00:00Z", true},
+		// Two validity windows: the later one governs expiry.
+		{`date < "20040101" || date < "20101231";`, "20101231", true},
+		{`app_domain=="X";`, "", false},
+		// A lower bound is not an expiry.
+		{`date > "20040101";`, "", false},
+	} {
+		p, err := ParseConditions(tc.src, nil)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tc.src, err)
+		}
+		got, found := p.ExpiryBefore()
+		if got != tc.want || found != tc.found {
+			t.Errorf("ExpiryBefore(%q) = (%q, %v), want (%q, %v)", tc.src, got, found, tc.want, tc.found)
+		}
+	}
+	var nilProg *Program
+	if _, found := nilProg.ExpiryBefore(); found {
+		t.Error("nil program reported an expiry bound")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"securewebcom/internal/keynote"
 	"securewebcom/internal/keys"
+	"securewebcom/internal/policylint"
 	"securewebcom/internal/rbac"
 	"securewebcom/internal/translate"
 )
@@ -81,7 +82,12 @@ func Figure2(w io.Writer) error {
 		}
 	}
 	fmt.Fprintln(w, "check: Kbob may read and write, not delete")
-	return nil
+
+	v := &policylint.Vocabulary{}
+	v.Allow("app_domain", "SalariesDB")
+	v.Allow("oper", "read", "write")
+	return lintClean(w, []*keynote.Assertion{pol},
+		policylint.Options{Resolver: ks, Vocabulary: v})
 }
 
 // Figure4 regenerates Bob's delegation to Alice and verifies the
@@ -120,7 +126,12 @@ func Figure4(w io.Writer) error {
 		return fmt.Errorf("Alice write without credential = %v (err %v), want false", got, err)
 	}
 	fmt.Fprintln(w, "check: chain POLICY -> Kbob -> Kalice authorises write only, and only with the credential presented")
-	return nil
+
+	v := &policylint.Vocabulary{}
+	v.Allow("app_domain", "SalariesDB")
+	v.Allow("oper", "read", "write")
+	return lintClean(w, []*keynote.Assertion{pol, deleg},
+		policylint.Options{Resolver: ks, Vocabulary: v})
 }
 
 // fig5Encoding encodes the Figure 1 policy as KeyNote (Figures 5 and 6).
@@ -165,7 +176,14 @@ func Figure5(w io.Writer) error {
 		return fmt.Errorf("RBAC -> KeyNote -> RBAC round trip diverged:\n%s", decoded.DiffFrom(rbac.Figure1()))
 	}
 	fmt.Fprintln(w, "check: encoding covers all 4 RolePerm rows; decode(encode(policy)) == policy")
-	return nil
+
+	// Static shape check: the whole regenerated credential set must lint
+	// without errors. (Dave's deliberately permission-less Sales/Assistant
+	// role shows up as one privilege-widening warning — the paper's "no
+	// access" marker.)
+	set := append([]*keynote.Assertion{enc.Policy}, enc.Credentials...)
+	return lintClean(w, set,
+		policylint.Options{Resolver: ks, Vocabulary: fig1Vocabulary(ks)})
 }
 
 // Figure6 regenerates the credential authorising Claire as a Manager.
@@ -206,6 +224,39 @@ func Figure6(w io.Writer) error {
 	}
 	fmt.Fprintln(w, "check: credential signed by KWebCom, granting Role Manager (Sales domain per Figure 1;")
 	fmt.Fprintln(w, "       the paper's Figure 6 caption says Finance, inconsistent with its own Figure 1)")
+
+	// The regenerated set itself lints clean.
+	set := append([]*keynote.Assertion{enc.Policy}, enc.Credentials...)
+	if err := lintClean(w, set,
+		policylint.Options{Resolver: ks, Vocabulary: fig1Vocabulary(ks)}); err != nil {
+		return err
+	}
+
+	// Worked example: feed the linter the paper's *literal* caption
+	// values. Finance/Manager is a perfectly valid catalogue pair (Bob
+	// holds it), so only the member check — Claire's actual assignments —
+	// can catch the discrepancy statically.
+	caption := keynote.MustNew(
+		fmt.Sprintf("%q", opt.AdminKey), fmt.Sprintf("%q", claire.PublicID()),
+		`app_domain == "WebCom" && (Domain=="Finance" && Role=="Manager");`)
+	if err := caption.Sign(keyOf(ks, "KWebCom")); err != nil {
+		return err
+	}
+	rep := policylint.Lint(append(set, caption),
+		policylint.Options{Resolver: ks, Vocabulary: fig1Vocabulary(ks)})
+	var hit *policylint.Finding
+	for _, f := range rep.ByCode(policylint.CodeVocabulary) {
+		if strings.Contains(f.Message, "(Finance, Manager)") {
+			f := f
+			hit = &f
+			break
+		}
+	}
+	if hit == nil {
+		return fmt.Errorf("linter failed to flag the caption's Finance credential:\n%s", rep)
+	}
+	msg := strings.ReplaceAll(hit.Message, claire.PublicID()[:20]+"...", "Kclaire")
+	fmt.Fprintf(w, "lint of the caption's literal values: [%s] %s: %s\n", hit.Code, hit.Severity, msg)
 	return nil
 }
 
@@ -250,5 +301,10 @@ func Figure7(w io.Writer) error {
 		return fmt.Errorf("Fred exceeded Claire's authority (write)")
 	}
 	fmt.Fprintln(w, "check: Fred reads as a Sales Manager via the chain KWebCom -> Kclaire -> Kfred; write stays denied")
-	return nil
+
+	// The delegation stays within Claire's granted authority, so the
+	// whole set — policy, memberships, onward delegation — lints clean.
+	set := append(append([]*keynote.Assertion{enc.Policy}, enc.Credentials...), deleg)
+	return lintClean(w, set,
+		policylint.Options{Resolver: ks, Vocabulary: fig1Vocabulary(ks)})
 }

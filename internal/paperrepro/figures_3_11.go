@@ -17,6 +17,7 @@ import (
 	"securewebcom/internal/middleware/corba"
 	"securewebcom/internal/middleware/ejb"
 	"securewebcom/internal/ossec"
+	"securewebcom/internal/policylint"
 	"securewebcom/internal/rbac"
 	"securewebcom/internal/stack"
 	"securewebcom/internal/translate"
@@ -121,7 +122,15 @@ func Figure8(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	srv, err := keycom.ListenAndServe(keycom.NewService(cat, chk), "127.0.0.1:0")
+	svc := keycom.NewService(cat, chk)
+	// Pre-commit lint gate: every accepted update is re-linted against
+	// the catalogue's vocabulary before it is applied.
+	cur, err := cat.ExtractPolicy()
+	if err != nil {
+		return err
+	}
+	svc.LintVocab = policylint.FromPolicy(cur)
+	srv, err := keycom.ListenAndServe(svc, "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
@@ -153,6 +162,7 @@ func Figure8(w io.Writer) error {
 	fmt.Fprintln(w, "policy update request from Domain B carrying a KeyNote credential:")
 	fmt.Fprint(w, "  "+strings.ReplaceAll(cred.Text(), "\n", "\n  "))
 	fmt.Fprintln(w, "\ncheck: userB added to COM role Clerk; an unauthorised requester is refused")
+	fmt.Fprintln(w, "lint gate: the accepted update was statically analysed against the catalogue vocabulary before commit")
 
 	// Negative: an outsider without a credential is refused.
 	evil := keys.Deterministic("Kmallory", seed)
@@ -220,6 +230,10 @@ func Figure9(w io.Writer) error {
 	}
 	fmt.Fprintf(w, "system Y (OS(W), M(COM)): extracted %d policy rows -> 1 KeyNote policy + %d credentials\n",
 		comPolicy.Len(), len(enc.Credentials))
+	if err := lintClean(w, append([]*keynote.Assertion{enc.Policy}, enc.Credentials...),
+		policylint.Options{Resolver: ks, Vocabulary: policylint.FromPolicy(comPolicy, "WebCom")}); err != nil {
+		return err
+	}
 
 	// Step 2: X is the replacement EJB system; migrate the legacy COM
 	// policy onto it (domains renamed, COM permissions kept — the bean

@@ -1,0 +1,40 @@
+package paperrepro
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/policylint"
+	"securewebcom/internal/rbac"
+)
+
+// fig1Vocabulary is the catalogue vocabulary of the running example:
+// every attribute value of Figure 1 plus, per user key, the (domain,
+// role) pairs that user actually holds. The member map is what makes the
+// Figure 6 caption discrepancy statically detectable.
+func fig1Vocabulary(ks *keys.KeyStore) *policylint.Vocabulary {
+	p := rbac.Figure1()
+	v := policylint.FromPolicy(p, "WebCom")
+	for _, ur := range p.UserRoles() {
+		kp := keyOf(ks, "K"+strings.ToLower(string(ur.User)))
+		v.AllowMember(kp.PublicID(), string(ur.Domain), string(ur.Role))
+	}
+	return v
+}
+
+// lintClean lints a figure's regenerated credential set and writes a
+// one-line summary. Any error-severity finding fails the figure: the
+// regenerated artifacts must always lint clean.
+func lintClean(w io.Writer, asserts []*keynote.Assertion, opt policylint.Options) error {
+	rep := policylint.Lint(asserts, opt)
+	if rep.HasErrors() {
+		return fmt.Errorf("regenerated credential set lints with errors:\n%s", rep)
+	}
+	fmt.Fprintf(w, "lint: %d assertions, 0 errors, %d warnings, %d info\n",
+		rep.Assertions,
+		len(rep.BySeverity(policylint.Warning)), len(rep.BySeverity(policylint.Info)))
+	return nil
+}

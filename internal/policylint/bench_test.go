@@ -1,0 +1,48 @@
+package policylint
+
+import (
+	"fmt"
+	"testing"
+
+	"securewebcom/internal/keynote"
+)
+
+// benchSet builds a realistic set of n credentials: a POLICY root
+// licensing an admin key for a handful of (domain, role) grants, then
+// user credentials fanning out from the admin, with every 8th user
+// delegating onward (the Figure 7 shape).
+func benchSet(b *testing.B, n int) []*keynote.Assertion {
+	b.Helper()
+	domains := []string{"Finance", "Sales", "Ops", "Eng"}
+	roles := []string{"Clerk", "Manager"}
+	out := []*keynote.Assertion{keynote.MustNew("POLICY", `"KAdmin"`,
+		`app_domain=="WebCom" && ((Domain=="Finance" && Role=="Clerk") || (Domain=="Finance" && Role=="Manager") || (Domain=="Sales" && Role=="Clerk") || (Domain=="Sales" && Role=="Manager") || (Domain=="Ops" && Role=="Clerk") || (Domain=="Ops" && Role=="Manager") || (Domain=="Eng" && Role=="Clerk") || (Domain=="Eng" && Role=="Manager"));`)}
+	for i := 0; len(out)-1 < n; i++ {
+		d := domains[i%len(domains)]
+		r := roles[i%len(roles)]
+		cond := fmt.Sprintf(`app_domain=="WebCom" && Domain==%q && Role==%q;`, d, r)
+		out = append(out, keynote.MustNew(`"KAdmin"`, fmt.Sprintf(`"KUser%d"`, i), cond))
+		if len(out)-1 < n && i%8 == 7 {
+			out = append(out, keynote.MustNew(
+				fmt.Sprintf(`"KUser%d"`, i), fmt.Sprintf(`"KDeleg%d"`, i), cond))
+		}
+	}
+	return out
+}
+
+func benchmarkLint(b *testing.B, n int) {
+	set := benchSet(b, n)
+	opt := Options{SkipSignatures: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := Lint(set, opt)
+		if rep.HasErrors() {
+			b.Fatalf("benchmark set lints with errors:\n%s", rep)
+		}
+	}
+}
+
+func BenchmarkLint_10Credentials(b *testing.B)   { benchmarkLint(b, 10) }
+func BenchmarkLint_100Credentials(b *testing.B)  { benchmarkLint(b, 100) }
+func BenchmarkLint_1000Credentials(b *testing.B) { benchmarkLint(b, 1000) }

@@ -1,0 +1,77 @@
+package policylint
+
+import (
+	"fmt"
+	"testing"
+
+	"securewebcom/internal/keynote"
+)
+
+// chain builds POLICY -> K0 -> K1 -> ... -> K(n-1), every edge granting
+// the same (Sales, Clerk) conditions. widenAt, when in [1, n], replaces
+// that assertion's conditions with a Finance binding its authoriser's
+// authority cannot satisfy. Assertion 0 is the POLICY root; assertion i
+// (1-based) is the edge onto K(i-1).
+func chain(n, widenAt int) []*keynote.Assertion {
+	const narrow = `Domain=="Sales" && Role=="Clerk";`
+	const wide = `Domain=="Finance" && Role=="Clerk";`
+	cond := func(i int) string {
+		if i == widenAt {
+			return wide
+		}
+		return narrow
+	}
+	out := []*keynote.Assertion{
+		keynote.MustNew("POLICY", `"K0"`, cond(0)),
+	}
+	for i := 1; i < n; i++ {
+		out = append(out, keynote.MustNew(
+			fmt.Sprintf("%q", fmt.Sprintf("K%d", i-1)),
+			fmt.Sprintf("%q", fmt.Sprintf("K%d", i)),
+			cond(i)))
+	}
+	return out
+}
+
+// TestDeepChainLintsClean: a linear chain of up to 64 delegations with
+// consistent conditions produces no findings at any length.
+func TestDeepChainLintsClean(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 16, 32, 64} {
+		rep := Lint(chain(n+1, -1), Options{SkipSignatures: true})
+		if len(rep.Findings) != 0 {
+			t.Fatalf("chain of %d delegations produced findings:\n%s", n, rep)
+		}
+	}
+}
+
+// TestDeepChainWideningFlaggedAtEveryDepth: one widening edge anywhere in
+// a 64-deep chain is flagged, and the first PL003 finding names exactly
+// the widened credential.
+func TestDeepChainWideningFlaggedAtEveryDepth(t *testing.T) {
+	const depth = 64
+	for w := 1; w <= depth; w++ {
+		rep := Lint(chain(depth+1, w), Options{SkipSignatures: true})
+		wide := rep.ByCode(CodeWidening)
+		if len(wide) == 0 {
+			t.Fatalf("widening at depth %d not flagged", w)
+		}
+		// Findings are sorted by index: the first one is the true source.
+		if wide[0].Index != w {
+			t.Fatalf("widening at depth %d: first PL003 at assertion %d, want %d\n%s",
+				w, wide[0].Index, w, rep)
+		}
+		// The only other admissible PL003 is the immediate successor edge,
+		// whose narrow conditions no longer fit the widened grant.
+		for _, f := range wide[1:] {
+			if f.Index != w+1 {
+				t.Fatalf("widening at depth %d: stray PL003 at assertion %d\n%s", w, f.Index, rep)
+			}
+		}
+		// No other check should fire on a plain chain.
+		for _, f := range rep.Findings {
+			if f.Code != CodeWidening {
+				t.Fatalf("widening at depth %d: unexpected %s finding\n%s", w, f.Code, rep)
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package policylint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzLint feeds arbitrary credential-file text through the linter,
+// seeded with the paper-figure corpora. Two properties are asserted: the
+// linter never panics, and it is deterministic — the same input always
+// yields the same findings.
+func FuzzLint(f *testing.F) {
+	for _, name := range []string{"figure2.kn", "figure4.kn", "figure5.kn", "figure7.kn"} {
+		b, err := os.ReadFile(filepath.Join("..", "keynote", "testdata", name))
+		if err != nil {
+			f.Fatalf("seed corpus %s: %v", name, err)
+		}
+		f.Add(string(b))
+	}
+	// Shapes the corpora do not cover: cycle, unreachable author,
+	// contradiction, opaque conditions, expiry bound.
+	f.Add("Authorizer: POLICY\nLicensees: \"KA\"\nConditions: Domain==\"Sales\";\n\n" +
+		"Authorizer: \"KA\"\nLicensees: \"KA\"\nConditions: Domain==\"Sales\";\n")
+	f.Add("Authorizer: \"KX\"\nLicensees: \"KB\"\nConditions: Domain==\"Sales\" && Domain==\"Finance\";\n")
+	f.Add("Authorizer: \"KA\"\nLicensees: \"KB\"\nConditions: @amount < 100 && date < \"20040101\";\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		opt := Options{SkipSignatures: true, Now: "20040101"}
+		rep1, err1 := LintText("fuzz.kn", text, opt)
+		rep2, err2 := LintText("fuzz.kn", text, opt)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic parse outcome: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return // malformed input is fine as long as it fails cleanly
+		}
+		if !reflect.DeepEqual(rep1, rep2) {
+			t.Fatalf("nondeterministic findings:\n--- first\n%s--- second\n%s", rep1, rep2)
+		}
+	})
+}

@@ -1,0 +1,427 @@
+package policylint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"securewebcom/internal/keynote"
+)
+
+// linter holds the per-run analysis state: the canonicalised delegation
+// graph plus each assertion's compiled conditions.
+type linter struct {
+	srcs []Source
+	opt  Options
+
+	// Per assertion, parallel to srcs.
+	author  []string             // canonical authoriser (PolicyPrincipal for policies)
+	authorD []string             // display form of the authoriser
+	lics    [][]string           // canonical licensee principals, sorted, deduped
+	dnf     [][]keynote.Conjunct // satisfiable disjuncts; [{}] for "no conditions"
+	opaque  []bool               // conditions outside the translatable fragment
+
+	findings []Finding
+}
+
+func newLinter(srcs []Source, opt Options) *linter {
+	return &linter{srcs: srcs, opt: opt}
+}
+
+// canon maps a principal to its canonical key ID when a resolver is
+// available; unresolvable names compare as written (matching the
+// compliance checker's behaviour).
+func (l *linter) canon(p string) string {
+	if p == keynote.PolicyPrincipal || l.opt.Resolver == nil {
+		return p
+	}
+	if id, err := l.opt.Resolver.Resolve(p); err == nil {
+		return id
+	}
+	return p
+}
+
+func (l *linter) report(idx int, code Code, format string, args ...any) {
+	f := Finding{
+		Code:     code,
+		Severity: severityOf[code],
+		Index:    idx,
+		Message:  fmt.Sprintf(format, args...),
+	}
+	if idx >= 0 && idx < len(l.srcs) {
+		f.Authorizer = l.authorD[idx]
+		f.File = l.srcs[idx].File
+		f.Line = l.srcs[idx].Line
+	}
+	l.findings = append(l.findings, f)
+}
+
+func (l *linter) run() {
+	l.compile()
+	l.checkSignaturesAndExpiry()
+	l.checkReachability()
+	l.checkCycles()
+	l.checkWidening()
+	l.checkShadowing()
+	l.checkVocabulary()
+}
+
+// compile canonicalises the graph and converts every assertion's
+// conditions to DNF, emitting the conjunct-level findings (PL004, PL005,
+// PL010) as it goes.
+func (l *linter) compile() {
+	n := len(l.srcs)
+	l.author = make([]string, n)
+	l.authorD = make([]string, n)
+	l.lics = make([][]string, n)
+	l.dnf = make([][]keynote.Conjunct, n)
+	l.opaque = make([]bool, n)
+
+	for i, s := range l.srcs {
+		a := s.Assertion
+		l.author[i] = l.canon(a.Authorizer)
+		l.authorD[i] = display(a.Authorizer)
+		seen := map[string]bool{}
+		for _, p := range a.LicenseePrincipals() {
+			cp := l.canon(p)
+			if !seen[cp] {
+				seen[cp] = true
+				l.lics[i] = append(l.lics[i], cp)
+			}
+		}
+		sort.Strings(l.lics[i])
+
+		if a.Conditions == nil {
+			// No Conditions field: no restriction — the always-true
+			// disjunct.
+			l.dnf[i] = []keynote.Conjunct{{}}
+			continue
+		}
+		conjs, drops, err := a.Conditions.DNFDetailed()
+		if err != nil {
+			l.opaque[i] = true
+			// Opaque conditions still delegate; treat them as
+			// unconstrained for downstream authority computations so the
+			// graph checks stay conservative (no false widening).
+			l.dnf[i] = []keynote.Conjunct{{}}
+			l.report(i, CodeOpaque,
+				"conditions outside the ==/&&/|| fragment (%v); widening, conjunct and vocabulary checks skipped for this assertion", err)
+			continue
+		}
+		for _, d := range drops {
+			l.report(i, CodeConflict,
+				"conjunct is unsatisfiable: %s; it grants nothing and was dropped from analysis", d)
+		}
+		if len(conjs) == 0 {
+			l.report(i, CodeUnsatisfiable,
+				"conditions can never be satisfied: every disjunct is contradictory or false, so the assertion never contributes to a PERMIT")
+		}
+		l.dnf[i] = conjs
+	}
+}
+
+// checkSignaturesAndExpiry covers PL008 and PL009 for non-policy
+// assertions.
+func (l *linter) checkSignaturesAndExpiry() {
+	for i, s := range l.srcs {
+		a := s.Assertion
+		if a.IsPolicy() {
+			continue
+		}
+		if !l.opt.SkipSignatures {
+			if a.Signature == "" {
+				l.report(i, CodeUnsigned,
+					"credential from %s is unsigned; the compliance checker will reject it", l.authorD[i])
+			} else if err := a.VerifySignature(l.opt.Resolver); err != nil {
+				l.report(i, CodeUnsigned, "credential signature does not verify: %v", err)
+			}
+		}
+		if l.opt.Now != "" && a.Conditions != nil {
+			if bound, ok := a.Conditions.ExpiryBefore(); ok && bound <= l.opt.Now {
+				l.report(i, CodeExpired,
+					"credential expired: conditions require a date before %q, but now is %q", bound, l.opt.Now)
+			}
+		}
+	}
+}
+
+// checkReachability flags credentials whose authoriser no delegation
+// chain connects to a POLICY root: they can never contribute to a PERMIT
+// (PL002).
+func (l *linter) checkReachability() {
+	reach := map[string]bool{keynote.PolicyPrincipal: true}
+	// BFS over author -> licensee edges: an assertion extends trust only
+	// once its authoriser is reachable.
+	for changed := true; changed; {
+		changed = false
+		for i := range l.srcs {
+			if !reach[l.author[i]] {
+				continue
+			}
+			for _, p := range l.lics[i] {
+				if !reach[p] {
+					reach[p] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for i, s := range l.srcs {
+		if s.Assertion.IsPolicy() {
+			continue
+		}
+		if !reach[l.author[i]] {
+			l.report(i, CodeUnreachable,
+				"credential from %s is unreachable: no delegation path from any POLICY root licenses its authoriser, so it can never contribute to a PERMIT", l.authorD[i])
+		}
+	}
+}
+
+// checkCycles finds delegation cycles (Kx -> Ky -> Kx) via Tarjan's SCC
+// algorithm over the principal graph (PL001). One finding is emitted per
+// cycle, anchored to the first assertion participating in it.
+func (l *linter) checkCycles() {
+	// Ordered node list and adjacency for determinism.
+	var nodes []string
+	index := map[string]int{}
+	addNode := func(p string) {
+		if _, ok := index[p]; !ok {
+			index[p] = len(nodes)
+			nodes = append(nodes, p)
+		}
+	}
+	type edge struct{ to, via int } // via = assertion index
+	adj := map[int][]edge{}
+	for i := range l.srcs {
+		if l.srcs[i].Assertion.IsPolicy() {
+			continue // POLICY roots cannot be part of a delegation cycle
+		}
+		addNode(l.author[i])
+		for _, p := range l.lics[i] {
+			addNode(p)
+			adj[index[l.author[i]]] = append(adj[index[l.author[i]]], edge{to: index[p], via: i})
+		}
+	}
+
+	// Iterative Tarjan.
+	const unvisited = -1
+	n := len(nodes)
+	idx := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range idx {
+		idx[i] = unvisited
+	}
+	var stack []int
+	counter := 0
+	var sccs [][]int
+
+	type frame struct{ v, ei int }
+	for root := 0; root < n; root++ {
+		if idx[root] != unvisited {
+			continue
+		}
+		frames := []frame{{v: root}}
+		idx[root], low[root] = counter, counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei].to
+				f.ei++
+				if idx[w] == unvisited {
+					idx[w], low[w] = counter, counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] {
+					if idx[w] < low[f.v] {
+						low[f.v] = idx[w]
+					}
+				}
+				continue
+			}
+			// Pop.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == idx[v] {
+				var scc []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+
+	for _, scc := range sccs {
+		inSCC := map[int]bool{}
+		for _, v := range scc {
+			inSCC[v] = true
+		}
+		cyclic := len(scc) > 1
+		if !cyclic {
+			// Single node: cyclic only with a self-loop.
+			v := scc[0]
+			for _, e := range adj[v] {
+				if e.to == v {
+					cyclic = true
+					break
+				}
+			}
+		}
+		if !cyclic {
+			continue
+		}
+		// Anchor: the lowest assertion index whose edge stays inside the
+		// SCC; names listed deterministically.
+		anchor := -1
+		var members []string
+		for _, v := range scc {
+			members = append(members, display(nodes[v]))
+			for _, e := range adj[v] {
+				if inSCC[e.to] && (anchor < 0 || e.via < anchor) {
+					anchor = e.via
+				}
+			}
+		}
+		sort.Strings(members)
+		l.report(anchor, CodeCycle,
+			"delegation cycle among {%s}: authority flows in a loop; such credentials cannot extend anyone's rights beyond the cycle's entry point",
+			strings.Join(members, ", "))
+	}
+}
+
+// incomingConjuncts is the union of the satisfiable disjuncts of every
+// assertion that licenses principal p — the authority p has been granted.
+func (l *linter) incomingConjuncts(p string) []keynote.Conjunct {
+	var in []keynote.Conjunct
+	for i := range l.srcs {
+		for _, lic := range l.lics[i] {
+			if lic == p {
+				in = append(in, l.dnf[i]...)
+				break
+			}
+		}
+	}
+	return in
+}
+
+// compatible reports whether two conjuncts can hold simultaneously.
+func compatible(a, b keynote.Conjunct) bool {
+	for k, v := range a {
+		if w, ok := b[k]; ok && w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// checkWidening flags delegation disjuncts that are jointly unsatisfiable
+// with every conjunct of the authoriser's incoming authority (PL003): the
+// delegate wrote attribute bindings its authoriser's conditions cannot
+// satisfy. KeyNote caps such delegations at run time (Figure 7's
+// property), so they grant nothing — the lint makes the dead grant
+// visible statically.
+func (l *linter) checkWidening() {
+	for i, s := range l.srcs {
+		if s.Assertion.IsPolicy() || l.opaque[i] {
+			continue
+		}
+		in := l.incomingConjuncts(l.author[i])
+		if len(in) == 0 {
+			continue // nothing granted: PL002 already covers this
+		}
+		for _, c := range l.dnf[i] {
+			ok := false
+			for _, a := range in {
+				if compatible(c, a) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				l.report(i, CodeWidening,
+					"privilege widening: disjunct (%s) cannot be satisfied together with any authority granted to %s; the delegation is capped and grants nothing",
+					c, l.authorD[i])
+			}
+		}
+	}
+}
+
+// subsumes reports whether conjunct a is at least as general as b: every
+// binding of a appears identically in b, so any request satisfying b also
+// satisfies a.
+func subsumes(a, b keynote.Conjunct) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// checkShadowing flags disjuncts subsumed by a broader disjunct of the
+// same authoriser-and-licensees group, within or across assertions
+// (PL006): the narrower disjunct is redundant and hides intent.
+func (l *linter) checkShadowing() {
+	type member struct {
+		assertion int
+		conj      keynote.Conjunct
+	}
+	groups := map[string][]member{}
+	var order []string
+	for i := range l.srcs {
+		if l.opaque[i] {
+			continue
+		}
+		key := l.author[i] + "\x00" + strings.Join(l.lics[i], "\x01")
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		for _, c := range l.dnf[i] {
+			groups[key] = append(groups[key], member{assertion: i, conj: c})
+		}
+	}
+	for _, key := range order {
+		ms := groups[key]
+		for i, m := range ms {
+			for j, other := range ms {
+				if i == j {
+					continue
+				}
+				eq := len(other.conj) == len(m.conj)
+				if !subsumes(other.conj, m.conj) {
+					continue
+				}
+				// Equal conjuncts shadow only in one direction (the later
+				// occurrence is the redundant one).
+				if eq && j > i {
+					continue
+				}
+				l.report(m.assertion, CodeShadowed,
+					"disjunct (%s) is shadowed by the broader disjunct (%s) in assertion %d: it grants nothing extra",
+					m.conj, other.conj, other.assertion)
+				break
+			}
+		}
+	}
+}

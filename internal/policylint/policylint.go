@@ -1,0 +1,324 @@
+// Package policylint is a whole-credential-set static analyser for
+// KeyNote policies ("policy comprehension", Sections 4.2 and 4.5 of the
+// paper): administrators must be able to understand and verify a set of
+// credentials without executing requests. The linter constructs the
+// delegation graph over a policy + credential bundle (POLICY roots,
+// licensee expressions, signed credentials) and reports findings with
+// stable codes, severities and source locations.
+//
+// Checks (one code per finding kind):
+//
+//	PL001 delegation-cycle        warning  Kx -> Ky -> Kx chains
+//	PL002 unreachable-credential  warning  no authoriser path from POLICY
+//	PL003 privilege-widening      warning  delegation grants bindings its
+//	                                       authoriser's conditions cannot
+//	                                       satisfy (Figure 7's "capped at
+//	                                       Claire's authority" property)
+//	PL004 conflicting-conjunct    warning  attr bound to two values in one
+//	                                       conjunction (dropped from DNF)
+//	PL005 unsatisfiable-conditions error   conditions can never hold
+//	PL006 shadowed-disjunct       info     disjunct subsumed by a broader
+//	                                       one (same authoriser/licensees)
+//	PL007 unknown-vocabulary      error    attribute or value outside the
+//	                                       RBAC catalogue vocabulary
+//	PL008 unsigned-credential     error    missing or invalid signature
+//	PL009 expired-credential      error    validity window already closed
+//	PL010 opaque-conditions       info     outside the ==/&&/|| fragment;
+//	                                       semantic checks skipped
+//
+// The same engine backs `policytool lint`, the KeyCOM pre-commit gate
+// (decentralisation with guardrails, Figure 8) and post-migration linting
+// in internal/translate.
+package policylint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+)
+
+// Severity orders findings; the CLI's exit code reflects the maximum.
+type Severity int
+
+// Severities, weakest first.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// MarshalJSON renders the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", s.String())), nil
+}
+
+// Code is a stable finding code ("PL001"...). Codes are append-only
+// across releases so CI gates and suppressions stay valid.
+type Code string
+
+// The finding codes, one per check.
+const (
+	CodeCycle         Code = "PL001"
+	CodeUnreachable   Code = "PL002"
+	CodeWidening      Code = "PL003"
+	CodeConflict      Code = "PL004"
+	CodeUnsatisfiable Code = "PL005"
+	CodeShadowed      Code = "PL006"
+	CodeVocabulary    Code = "PL007"
+	CodeUnsigned      Code = "PL008"
+	CodeExpired       Code = "PL009"
+	CodeOpaque        Code = "PL010"
+)
+
+// severityOf is the fixed severity of each code.
+var severityOf = map[Code]Severity{
+	CodeCycle:         Warning,
+	CodeUnreachable:   Warning,
+	CodeWidening:      Warning,
+	CodeConflict:      Warning,
+	CodeUnsatisfiable: Error,
+	CodeShadowed:      Info,
+	CodeVocabulary:    Error,
+	CodeUnsigned:      Error,
+	CodeExpired:       Error,
+	CodeOpaque:        Info,
+}
+
+// Finding is one lint result, anchored to the assertion that caused it.
+type Finding struct {
+	Code     Code     `json:"code"`
+	Severity Severity `json:"severity"`
+	// Index is the assertion's position in the linted set (0-based), or
+	// -1 for findings about the set as a whole (e.g. RBAC row checks).
+	Index int `json:"index"`
+	// Authorizer labels the offending assertion's authoriser (truncated
+	// key IDs for readability).
+	Authorizer string `json:"authorizer,omitempty"`
+	// File and Line locate the assertion in its source file when the set
+	// was parsed from text; Line is 1-based, 0 when unknown.
+	File    string `json:"file,omitempty"`
+	Line    int    `json:"line,omitempty"`
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	loc := ""
+	switch {
+	case f.File != "" && f.Line > 0:
+		loc = fmt.Sprintf("%s:%d: ", f.File, f.Line)
+	case f.File != "":
+		loc = f.File + ": "
+	case f.Index >= 0:
+		loc = fmt.Sprintf("assertion %d: ", f.Index)
+	}
+	return fmt.Sprintf("%s[%s] %s: %s", loc, f.Code, f.Severity, f.Message)
+}
+
+// Source is one assertion plus its provenance.
+type Source struct {
+	Assertion *keynote.Assertion
+	// File and Line locate the assertion's first line in its source file
+	// (1-based); zero values mean "constructed in memory".
+	File string
+	Line int
+}
+
+// Options configures a lint run.
+type Options struct {
+	// Vocabulary enables the unknown-vocabulary check (PL007); nil skips
+	// it.
+	Vocabulary *Vocabulary
+	// Resolver maps advisory principal names to canonical key IDs for
+	// graph identity and signature verification (normally a
+	// keys.KeyStore). Nil means principals are compared as written.
+	Resolver keynote.Resolver
+	// SkipSignatures disables the unsigned/invalid-signature check
+	// (PL008) — for generated, not-yet-signed credential sets.
+	SkipSignatures bool
+	// Now, when non-empty, enables the expired-credential check (PL009):
+	// a credential whose conditions bound date/expiry below Now (lexical
+	// comparison, so use YYYYMMDD or RFC 3339) is expired.
+	Now string
+}
+
+// Report is the outcome of linting one credential set.
+type Report struct {
+	// Findings are sorted by (assertion index, code, message).
+	Findings []Finding `json:"findings"`
+	// Assertions is the number of assertions linted.
+	Assertions int `json:"assertions"`
+}
+
+// Max returns the highest severity present; ok is false for an empty
+// report.
+func (r *Report) Max() (Severity, bool) {
+	if len(r.Findings) == 0 {
+		return Info, false
+	}
+	max := r.Findings[0].Severity
+	for _, f := range r.Findings[1:] {
+		if f.Severity > max {
+			max = f.Severity
+		}
+	}
+	return max, true
+}
+
+// HasErrors reports whether any finding is an error.
+func (r *Report) HasErrors() bool {
+	max, ok := r.Max()
+	return ok && max >= Error
+}
+
+// BySeverity returns the findings at exactly severity s, in report order.
+func (r *Report) BySeverity(s Severity) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Severity == s {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ByCode returns the findings with code c, in report order.
+func (r *Report) ByCode(c Code) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Code == c {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ExitCode maps the report to a process exit status: 0 clean or info
+// only, 1 warnings, 2 errors.
+func (r *Report) ExitCode() int {
+	max, ok := r.Max()
+	if !ok {
+		return 0
+	}
+	switch max {
+	case Error:
+		return 2
+	case Warning:
+		return 1
+	}
+	return 0
+}
+
+// String renders the report for terminals: one line per finding plus a
+// summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, f := range r.Findings {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%d assertions linted: %d errors, %d warnings, %d info\n",
+		r.Assertions,
+		len(r.BySeverity(Error)), len(r.BySeverity(Warning)), len(r.BySeverity(Info)))
+	return b.String()
+}
+
+// Lint analyses a credential set given as bare assertions (no source
+// locations): typically policy assertions first, credentials after, but
+// any order works — POLICY roots are recognised by authoriser.
+func Lint(asserts []*keynote.Assertion, opt Options) *Report {
+	srcs := make([]Source, len(asserts))
+	for i, a := range asserts {
+		srcs[i] = Source{Assertion: a}
+	}
+	return LintSources(srcs, opt)
+}
+
+// LintSources analyses a credential set with provenance. It never fails:
+// malformed aspects of individual assertions become findings.
+func LintSources(srcs []Source, opt Options) *Report {
+	l := newLinter(srcs, opt)
+	l.run()
+	sort.SliceStable(l.findings, func(i, j int) bool {
+		a, b := l.findings[i], l.findings[j]
+		if a.Index != b.Index {
+			return a.Index < b.Index
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+	return &Report{Findings: l.findings, Assertions: len(srcs)}
+}
+
+// LintText parses a sequence of blank-line-separated assertions (the
+// on-disk credential file format) and lints them, recording file/line
+// locations. file labels the findings; it does not need to exist on
+// disk.
+func LintText(file, text string, opt Options) (*Report, error) {
+	srcs, err := ParseSources(file, text)
+	if err != nil {
+		return nil, err
+	}
+	return LintSources(srcs, opt), nil
+}
+
+// ParseSources splits text into assertions the way keynote.ParseAll
+// does, keeping the 1-based line each assertion starts on.
+func ParseSources(file, text string) ([]Source, error) {
+	var srcs []Source
+	lines := strings.Split(text, "\n")
+	start := -1
+	flush := func(end int) error {
+		if start < 0 {
+			return nil
+		}
+		chunk := strings.Join(lines[start:end], "\n")
+		a, err := keynote.Parse(chunk)
+		if err != nil {
+			return fmt.Errorf("%s:%d: %w", file, start+1, err)
+		}
+		srcs = append(srcs, Source{Assertion: a, File: file, Line: start + 1})
+		start = -1
+		return nil
+	}
+	for i, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			if err := flush(i); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	if err := flush(len(lines)); err != nil {
+		return nil, err
+	}
+	return srcs, nil
+}
+
+// display shortens canonical key IDs for messages; advisory names pass
+// through.
+func display(principal string) string {
+	if keys.IsPublicID(principal) && len(principal) > 20 {
+		return principal[:20] + "..."
+	}
+	return principal
+}

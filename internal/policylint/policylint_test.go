@@ -1,0 +1,445 @@
+package policylint
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/rbac"
+)
+
+// lintSet is the common fixture path: build assertions, lint with
+// signatures skipped (fixtures are unsigned).
+func lintSet(t *testing.T, asserts ...*keynote.Assertion) *Report {
+	t.Helper()
+	return Lint(asserts, Options{SkipSignatures: true})
+}
+
+func wantCodes(t *testing.T, rep *Report, codes ...Code) {
+	t.Helper()
+	got := map[Code]int{}
+	for _, f := range rep.Findings {
+		got[f.Code]++
+	}
+	want := map[Code]int{}
+	for _, c := range codes {
+		want[c]++
+	}
+	for c, n := range want {
+		if got[c] != n {
+			t.Errorf("code %s: got %d findings, want %d\n%s", c, got[c], n, rep)
+		}
+	}
+	for c := range got {
+		if want[c] == 0 {
+			t.Errorf("unexpected findings with code %s\n%s", c, rep)
+		}
+	}
+}
+
+func TestLintCleanChain(t *testing.T) {
+	rep := lintSet(t,
+		keynote.MustNew("POLICY", `"KA"`, `Domain=="Sales" && Role=="Clerk";`),
+		keynote.MustNew(`"KA"`, `"KB"`, `Domain=="Sales" && Role=="Clerk";`),
+	)
+	if len(rep.Findings) != 0 {
+		t.Fatalf("clean chain produced findings:\n%s", rep)
+	}
+	if rep.ExitCode() != 0 {
+		t.Fatalf("ExitCode() = %d, want 0", rep.ExitCode())
+	}
+	if rep.Assertions != 2 {
+		t.Fatalf("Assertions = %d, want 2", rep.Assertions)
+	}
+}
+
+func TestDelegationCycle(t *testing.T) {
+	rep := lintSet(t,
+		keynote.MustNew("POLICY", `"KA"`, `Domain=="Sales";`),
+		keynote.MustNew(`"KA"`, `"KB"`, `Domain=="Sales";`),
+		keynote.MustNew(`"KB"`, `"KA"`, `Domain=="Sales";`),
+	)
+	cycles := rep.ByCode(CodeCycle)
+	if len(cycles) != 1 {
+		t.Fatalf("got %d PL001 findings, want 1:\n%s", len(cycles), rep)
+	}
+	f := cycles[0]
+	if f.Index != 1 {
+		t.Errorf("cycle anchored at assertion %d, want 1 (first edge inside the cycle)", f.Index)
+	}
+	if f.Severity != Warning {
+		t.Errorf("cycle severity = %s, want warning", f.Severity)
+	}
+	if !strings.Contains(f.Message, "KA") || !strings.Contains(f.Message, "KB") {
+		t.Errorf("cycle message does not name both principals: %s", f.Message)
+	}
+}
+
+func TestSelfLoopIsCycle(t *testing.T) {
+	rep := lintSet(t,
+		keynote.MustNew("POLICY", `"KA"`, `Domain=="Sales";`),
+		keynote.MustNew(`"KA"`, `"KA"`, `Domain=="Sales";`),
+	)
+	if n := len(rep.ByCode(CodeCycle)); n != 1 {
+		t.Fatalf("self-loop: got %d PL001 findings, want 1:\n%s", n, rep)
+	}
+}
+
+func TestUnreachableCredential(t *testing.T) {
+	rep := lintSet(t,
+		keynote.MustNew("POLICY", `"KA"`, `Domain=="Sales";`),
+		keynote.MustNew(`"KX"`, `"KB"`, `Domain=="Sales";`),
+	)
+	unreach := rep.ByCode(CodeUnreachable)
+	if len(unreach) != 1 {
+		t.Fatalf("got %d PL002 findings, want 1:\n%s", len(unreach), rep)
+	}
+	if unreach[0].Index != 1 {
+		t.Errorf("PL002 at assertion %d, want 1", unreach[0].Index)
+	}
+	// Unreachable credentials are not additionally reported as widening.
+	if n := len(rep.ByCode(CodeWidening)); n != 0 {
+		t.Errorf("unreachable credential also reported as PL003 (%d findings)", n)
+	}
+}
+
+func TestPrivilegeWidening(t *testing.T) {
+	rep := lintSet(t,
+		keynote.MustNew("POLICY", `"KA"`, `Domain=="Sales";`),
+		keynote.MustNew(`"KA"`, `"KB"`, `Domain=="Finance";`),
+	)
+	wide := rep.ByCode(CodeWidening)
+	if len(wide) != 1 {
+		t.Fatalf("got %d PL003 findings, want 1:\n%s", len(wide), rep)
+	}
+	if wide[0].Index != 1 || wide[0].Severity != Warning {
+		t.Errorf("PL003 = index %d severity %s, want index 1 warning", wide[0].Index, wide[0].Severity)
+	}
+}
+
+func TestNarrowingDelegationIsClean(t *testing.T) {
+	// KB's conditions add a binding: strictly narrower than KA's grant —
+	// the legitimate Figure 7 shape.
+	rep := lintSet(t,
+		keynote.MustNew("POLICY", `"KA"`, `Domain=="Sales";`),
+		keynote.MustNew(`"KA"`, `"KB"`, `Domain=="Sales" && Role=="Manager";`),
+	)
+	if n := len(rep.ByCode(CodeWidening)); n != 0 {
+		t.Fatalf("narrowing delegation reported as widening:\n%s", rep)
+	}
+}
+
+func TestConflictingConjunct(t *testing.T) {
+	rep := lintSet(t,
+		keynote.MustNew("POLICY", `"KA"`,
+			`(Domain=="Sales" && Domain=="Finance") || Role=="Clerk";`),
+	)
+	wantCodes(t, rep, CodeConflict)
+	f := rep.ByCode(CodeConflict)[0]
+	if f.Severity != Warning || !strings.Contains(f.Message, "Domain") {
+		t.Errorf("PL004 finding = %s", f)
+	}
+}
+
+func TestUnsatisfiableConditions(t *testing.T) {
+	rep := lintSet(t,
+		keynote.MustNew("POLICY", `"KA"`, `Domain=="Sales" && Domain=="Finance";`),
+	)
+	wantCodes(t, rep, CodeConflict, CodeUnsatisfiable)
+	if !rep.HasErrors() {
+		t.Fatalf("PL005 must be an error:\n%s", rep)
+	}
+	if rep.ExitCode() != 2 {
+		t.Errorf("ExitCode() = %d, want 2", rep.ExitCode())
+	}
+}
+
+func TestShadowedDisjunct(t *testing.T) {
+	// Within one assertion.
+	rep := lintSet(t,
+		keynote.MustNew("POLICY", `"KA"`,
+			`Domain=="Sales" || (Domain=="Sales" && Role=="Clerk");`),
+	)
+	wantCodes(t, rep, CodeShadowed)
+	if rep.ExitCode() != 0 {
+		t.Errorf("info-only report: ExitCode() = %d, want 0", rep.ExitCode())
+	}
+
+	// Across assertions of the same authoriser/licensee pair.
+	rep = lintSet(t,
+		keynote.MustNew("POLICY", `"KA"`, `Domain=="Sales";`),
+		keynote.MustNew("POLICY", `"KA"`, `Domain=="Sales" && Role=="Clerk";`),
+	)
+	shadow := rep.ByCode(CodeShadowed)
+	if len(shadow) != 1 || shadow[0].Index != 1 {
+		t.Fatalf("cross-assertion shadowing: got %v, want one PL006 at assertion 1\n%s", shadow, rep)
+	}
+
+	// Different licensees: no shadowing relation.
+	rep = lintSet(t,
+		keynote.MustNew("POLICY", `"KA"`, `Domain=="Sales";`),
+		keynote.MustNew("POLICY", `"KB"`, `Domain=="Sales" && Role=="Clerk";`),
+	)
+	if n := len(rep.ByCode(CodeShadowed)); n != 0 {
+		t.Fatalf("shadowing reported across different licensees:\n%s", rep)
+	}
+}
+
+func TestUnknownVocabulary(t *testing.T) {
+	p := rbac.NewPolicy()
+	p.AddRolePerm("Sales", "Clerk", "DB", "read")
+	p.AddRolePerm("Finance", "Manager", "DB", "read")
+	p.AddUserRole("Alice", "Sales", "Clerk")
+	v := FromPolicy(p, "WebCom")
+
+	lint := func(cond string) *Report {
+		return Lint([]*keynote.Assertion{
+			keynote.MustNew("POLICY", `"KW"`, `app_domain=="WebCom" && Domain=="Sales" && Role=="Clerk" && ObjectType=="DB" && Permission=="read";`),
+			keynote.MustNew(`"KW"`, `"KAlice"`, cond),
+		}, Options{SkipSignatures: true, Vocabulary: v})
+	}
+
+	// Unknown value.
+	rep := lint(`app_domain=="WebCom" && Domain=="Marketing" && Role=="Clerk";`)
+	if !rep.HasErrors() || len(rep.ByCode(CodeVocabulary)) == 0 {
+		t.Fatalf("unknown domain value not flagged:\n%s", rep)
+	}
+	// Unknown attribute.
+	rep = lint(`app_domain=="WebCom" && Departement=="Sales";`)
+	if len(rep.ByCode(CodeVocabulary)) == 0 {
+		t.Fatalf("unknown attribute not flagged:\n%s", rep)
+	}
+	// Valid values but a (domain, role) pair the catalogue does not have.
+	rep = lint(`app_domain=="WebCom" && Domain=="Finance" && Role=="Clerk";`)
+	found := false
+	for _, f := range rep.ByCode(CodeVocabulary) {
+		if strings.Contains(f.Message, "does not exist in domain") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unknown (domain, role) pair not flagged:\n%s", rep)
+	}
+	// In-vocabulary credential: clean.
+	rep = lint(`app_domain=="WebCom" && Domain=="Sales" && Role=="Clerk";`)
+	if n := len(rep.ByCode(CodeVocabulary)); n != 0 {
+		t.Fatalf("in-vocabulary credential flagged:\n%s", rep)
+	}
+}
+
+func TestMemberVocabulary(t *testing.T) {
+	p := rbac.NewPolicy()
+	p.AddRolePerm("Sales", "Manager", "DB", "read")
+	p.AddRolePerm("Finance", "Manager", "DB", "write")
+	p.AddUserRole("Claire", "Sales", "Manager")
+	p.AddUserRole("Bob", "Finance", "Manager")
+	v := FromPolicy(p, "WebCom")
+	v.AllowMember("KClaire", "Sales", "Manager")
+
+	// (Finance, Manager) is a perfectly valid catalogue pair — Bob holds
+	// it — but it is not one of Claire's assignments: the Figure 6 caption
+	// discrepancy shape.
+	rep := Lint([]*keynote.Assertion{
+		keynote.MustNew("POLICY", `"KW"`, `app_domain=="WebCom" && Domain=="Finance" && Role=="Manager" && ObjectType=="DB" && Permission=="write";`),
+		keynote.MustNew(`"KW"`, `"KClaire"`, `app_domain=="WebCom" && Domain=="Finance" && Role=="Manager";`),
+	}, Options{SkipSignatures: true, Vocabulary: v})
+	vocab := rep.ByCode(CodeVocabulary)
+	if len(vocab) != 1 || !strings.Contains(vocab[0].Message, "not a member of (Finance, Manager)") {
+		t.Fatalf("member mismatch not flagged:\n%s", rep)
+	}
+	if vocab[0].Index != 1 {
+		t.Errorf("member finding at assertion %d, want 1", vocab[0].Index)
+	}
+
+	// The corrected credential (Sales, per Figure 1) is clean.
+	rep = Lint([]*keynote.Assertion{
+		keynote.MustNew("POLICY", `"KW"`, `app_domain=="WebCom" && Domain=="Sales" && Role=="Manager" && ObjectType=="DB" && Permission=="read";`),
+		keynote.MustNew(`"KW"`, `"KClaire"`, `app_domain=="WebCom" && Domain=="Sales" && Role=="Manager";`),
+	}, Options{SkipSignatures: true, Vocabulary: v})
+	if n := len(rep.ByCode(CodeVocabulary)); n != 0 {
+		t.Fatalf("corrected credential flagged:\n%s", rep)
+	}
+}
+
+func TestUnsignedAndSignedCredentials(t *testing.T) {
+	ka := keys.Deterministic("KA", "policylint-test")
+	ks := keys.NewKeyStore()
+	ks.Add(ka)
+
+	signed := keynote.MustNew(`"KA"`, `"KB"`, `Domain=="Sales";`)
+	if err := signed.Sign(ka); err != nil {
+		t.Fatal(err)
+	}
+	unsigned := keynote.MustNew(`"KA"`, `"KC"`, `Domain=="Sales";`)
+
+	rep := Lint([]*keynote.Assertion{
+		keynote.MustNew("POLICY", `"KA"`, `Domain=="Sales";`),
+		signed,
+		unsigned,
+	}, Options{Resolver: ks})
+	uns := rep.ByCode(CodeUnsigned)
+	if len(uns) != 1 || uns[0].Index != 2 {
+		t.Fatalf("got %v, want exactly one PL008 at assertion 2:\n%s", uns, rep)
+	}
+	if !rep.HasErrors() {
+		t.Fatal("PL008 must be an error")
+	}
+
+	// Tampering after signing invalidates the signature.
+	tampered := keynote.MustNew(`"KA"`, `"KB"`, `Domain=="Sales";`)
+	if err := tampered.Sign(ka); err != nil {
+		t.Fatal(err)
+	}
+	tampered.Signature = signed.Signature[:len(signed.Signature)-2] + "00"
+	rep = Lint([]*keynote.Assertion{tampered}, Options{Resolver: ks})
+	if n := len(rep.ByCode(CodeUnsigned)); n != 1 {
+		t.Fatalf("tampered signature: got %d PL008 findings, want 1:\n%s", n, rep)
+	}
+}
+
+func TestExpiredCredential(t *testing.T) {
+	cred := keynote.MustNew(`"KA"`, `"KB"`, `Domain=="Sales" && date < "20040101";`)
+	pol := keynote.MustNew("POLICY", `"KA"`, `Domain=="Sales";`)
+
+	rep := Lint([]*keynote.Assertion{pol, cred},
+		Options{SkipSignatures: true, Now: "20060301"})
+	exp := rep.ByCode(CodeExpired)
+	if len(exp) != 1 || exp[0].Index != 1 || exp[0].Severity != Error {
+		t.Fatalf("expired credential not flagged as PL009 error:\n%s", rep)
+	}
+
+	// Same set, evaluated before the deadline: no expiry finding.
+	rep = Lint([]*keynote.Assertion{pol, cred},
+		Options{SkipSignatures: true, Now: "20031231"})
+	if n := len(rep.ByCode(CodeExpired)); n != 0 {
+		t.Fatalf("unexpired credential flagged:\n%s", rep)
+	}
+
+	// Without Now the check is off.
+	rep = Lint([]*keynote.Assertion{pol, cred}, Options{SkipSignatures: true})
+	if n := len(rep.ByCode(CodeExpired)); n != 0 {
+		t.Fatalf("PL009 fired without Options.Now:\n%s", rep)
+	}
+}
+
+func TestOpaqueConditions(t *testing.T) {
+	rep := lintSet(t,
+		keynote.MustNew("POLICY", `"KA"`, `Domain=="Sales";`),
+		keynote.MustNew(`"KA"`, `"KB"`, `@amount < 100;`),
+	)
+	op := rep.ByCode(CodeOpaque)
+	if len(op) != 1 || op[0].Index != 1 || op[0].Severity != Info {
+		t.Fatalf("opaque conditions not reported as PL010 info:\n%s", rep)
+	}
+	// Opaque assertions are excluded from widening (treated as
+	// unconstrained), so no PL003 here.
+	if n := len(rep.ByCode(CodeWidening)); n != 0 {
+		t.Fatalf("opaque assertion reported as widening:\n%s", rep)
+	}
+}
+
+func TestLintTextLocations(t *testing.T) {
+	text := `KeyNote-Version: 2
+Authorizer: POLICY
+Licensees: "KA"
+Conditions: Domain=="Sales";
+
+KeyNote-Version: 2
+Authorizer: "KX"
+Licensees: "KB"
+Conditions: Domain=="Sales";
+`
+	rep, err := LintText("creds.kn", text, Options{SkipSignatures: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unreach := rep.ByCode(CodeUnreachable)
+	if len(unreach) != 1 {
+		t.Fatalf("want one PL002:\n%s", rep)
+	}
+	if unreach[0].File != "creds.kn" || unreach[0].Line != 6 {
+		t.Errorf("finding located at %s:%d, want creds.kn:6", unreach[0].File, unreach[0].Line)
+	}
+	if got := unreach[0].String(); !strings.HasPrefix(got, "creds.kn:6: [PL002] warning:") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestLintTextParseError(t *testing.T) {
+	if _, err := LintText("bad.kn", "not a keynote assertion", Options{}); err == nil {
+		t.Fatal("parse error not reported")
+	}
+}
+
+func TestResolverCanonicalisation(t *testing.T) {
+	// The same principal appears under its advisory name and its key ID;
+	// with a resolver both spellings are one graph node.
+	ka := keys.Deterministic("KA", "policylint-test")
+	ks := keys.NewKeyStore()
+	ks.Add(ka)
+	rep := Lint([]*keynote.Assertion{
+		keynote.MustNew("POLICY", `"KA"`, `Domain=="Sales";`),
+		keynote.MustNew(fmt2(ka.PublicID()), `"KB"`, `Domain=="Sales";`),
+	}, Options{SkipSignatures: true, Resolver: ks})
+	if n := len(rep.ByCode(CodeUnreachable)); n != 0 {
+		t.Fatalf("resolver did not unify advisory name and key ID:\n%s", rep)
+	}
+}
+
+func fmt2(s string) string { return `"` + s + `"` }
+
+func TestReportJSON(t *testing.T) {
+	rep := lintSet(t,
+		keynote.MustNew("POLICY", `"KA"`, `Domain=="Sales" && Domain=="Finance";`),
+	)
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Findings []struct {
+			Code     string `json:"code"`
+			Severity string `json:"severity"`
+		} `json:"findings"`
+		Assertions int `json:"assertions"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Assertions != 1 || len(decoded.Findings) != 2 {
+		t.Fatalf("JSON round trip: %s", b)
+	}
+	seenError := false
+	for _, f := range decoded.Findings {
+		if f.Severity == "error" && f.Code == "PL005" {
+			seenError = true
+		}
+	}
+	if !seenError {
+		t.Fatalf("JSON severity rendering: %s", b)
+	}
+}
+
+func TestLintPolicyRows(t *testing.T) {
+	vocabSrc := rbac.NewPolicy()
+	vocabSrc.AddRolePerm("Sales", "Clerk", "DB", "read")
+	v := FromPolicy(vocabSrc, "WebCom")
+
+	bad := rbac.NewPolicy()
+	bad.AddUserRole("Mallory", "Ops", "Clerk")
+	rep := LintPolicy(bad, v)
+	if !rep.HasErrors() {
+		t.Fatalf("row in unknown domain not flagged:\n%s", rep)
+	}
+	if rep.Findings[0].Index != -1 {
+		t.Errorf("row-level finding Index = %d, want -1", rep.Findings[0].Index)
+	}
+
+	good := rbac.NewPolicy()
+	good.AddUserRole("Alice", "Sales", "Clerk")
+	if rep := LintPolicy(good, v); len(rep.Findings) != 0 {
+		t.Fatalf("in-vocabulary rows flagged:\n%s", rep)
+	}
+}

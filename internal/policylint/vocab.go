@@ -1,0 +1,246 @@
+package policylint
+
+import (
+	"fmt"
+	"sort"
+
+	"securewebcom/internal/rbac"
+)
+
+// Attribute names of the WebCom action attribute set (Section 4 of the
+// paper). Duplicated from internal/translate, which imports this package,
+// to keep the dependency direction acyclic.
+const (
+	attrAppDomain  = "app_domain"
+	attrDomain     = "Domain"
+	attrRole       = "Role"
+	attrObjectType = "ObjectType"
+	attrPermission = "Permission"
+)
+
+// Vocabulary is the catalogue of attributes, values and assignments a
+// credential set is checked against (PL007). It is typically derived from
+// an RBAC policy via FromPolicy and then extended with Allow /
+// AllowDomainRole / AllowMember.
+type Vocabulary struct {
+	// Attrs maps each known attribute name to its allowed values. An
+	// empty (or nil) value set means any value is acceptable; an attribute
+	// absent from a non-nil map is unknown.
+	Attrs map[string]map[string]bool
+	// DomainRoles maps each known domain to its roles. A domain present
+	// in the map with a role outside its set is a vocabulary error; nil
+	// disables the pair check.
+	DomainRoles map[string]map[string]bool
+	// Members maps a principal (canonical key ID or advisory name) to the
+	// (domain, role) pairs it may be assigned; principals absent from the
+	// map are unconstrained. This is the check that catches Figure 6's
+	// caption discrepancy: (Finance, Manager) is a valid catalogue pair
+	// (Bob holds it) but not one of Claire's assignments.
+	Members map[string]map[string]bool
+}
+
+func pairKey(domain, role string) string { return domain + "\x00" + role }
+
+// FromPolicy builds a vocabulary from an RBAC policy: every domain, role,
+// object type and permission mentioned in either relation becomes an
+// allowed value, every (domain, role) pair a known pair. appDomains lists
+// the acceptable app_domain values (none means any).
+func FromPolicy(p *rbac.Policy, appDomains ...string) *Vocabulary {
+	v := &Vocabulary{
+		Attrs:       map[string]map[string]bool{},
+		DomainRoles: map[string]map[string]bool{},
+	}
+	ad := map[string]bool{}
+	for _, d := range appDomains {
+		ad[d] = true
+	}
+	v.Attrs[attrAppDomain] = ad
+
+	dom := map[string]bool{}
+	role := map[string]bool{}
+	ot := map[string]bool{}
+	perm := map[string]bool{}
+	for _, d := range p.Domains() {
+		dom[string(d)] = true
+		for _, r := range p.RolesIn(d) {
+			role[string(r)] = true
+			if v.DomainRoles[string(d)] == nil {
+				v.DomainRoles[string(d)] = map[string]bool{}
+			}
+			v.DomainRoles[string(d)][string(r)] = true
+		}
+	}
+	for _, o := range p.ObjectTypes() {
+		ot[string(o)] = true
+	}
+	for _, e := range p.RolePerms() {
+		perm[string(e.Permission)] = true
+	}
+	v.Attrs[attrDomain] = dom
+	v.Attrs[attrRole] = role
+	v.Attrs[attrObjectType] = ot
+	v.Attrs[attrPermission] = perm
+	return v
+}
+
+// Allow marks attr as known and adds the given values to its allowed set.
+// Calling it with no values declares a free-form attribute (any value).
+func (v *Vocabulary) Allow(attr string, values ...string) {
+	if v.Attrs == nil {
+		v.Attrs = map[string]map[string]bool{}
+	}
+	set := v.Attrs[attr]
+	if set == nil {
+		set = map[string]bool{}
+		v.Attrs[attr] = set
+	}
+	for _, val := range values {
+		set[val] = true
+	}
+}
+
+// AllowDomainRole adds (domain, role) to the known pairs, extending the
+// Domain/Role value sets when they are already restrictive.
+func (v *Vocabulary) AllowDomainRole(domain, role string) {
+	if v.DomainRoles == nil {
+		v.DomainRoles = map[string]map[string]bool{}
+	}
+	if v.DomainRoles[domain] == nil {
+		v.DomainRoles[domain] = map[string]bool{}
+	}
+	v.DomainRoles[domain][role] = true
+	// Keep the flat value sets consistent, without collapsing an
+	// empty-means-any set into a restrictive one.
+	if set := v.Attrs[attrDomain]; len(set) > 0 {
+		set[domain] = true
+	}
+	if set := v.Attrs[attrRole]; len(set) > 0 {
+		set[role] = true
+	}
+}
+
+// AllowMember records that principal may be assigned (domain, role).
+// The first call for a principal makes that principal's assignments
+// closed-world: pairs not explicitly allowed become PL007 errors.
+func (v *Vocabulary) AllowMember(principal, domain, role string) {
+	if v.Members == nil {
+		v.Members = map[string]map[string]bool{}
+	}
+	if v.Members[principal] == nil {
+		v.Members[principal] = map[string]bool{}
+	}
+	v.Members[principal][pairKey(domain, role)] = true
+}
+
+// checkVocabulary flags attribute names, values, (domain, role) pairs and
+// member assignments outside the catalogue vocabulary (PL007).
+func (l *linter) checkVocabulary() {
+	v := l.opt.Vocabulary
+	if v == nil {
+		return
+	}
+	for i := range l.srcs {
+		if l.opaque[i] {
+			continue
+		}
+		seen := map[string]bool{} // dedupe identical findings per assertion
+		emit := func(format string, args ...any) {
+			msg := fmt.Sprintf(format, args...)
+			if !seen[msg] {
+				seen[msg] = true
+				l.report(i, CodeVocabulary, "%s", msg)
+			}
+		}
+		for _, c := range l.dnf[i] {
+			attrs := make([]string, 0, len(c))
+			for a := range c {
+				attrs = append(attrs, a)
+			}
+			sort.Strings(attrs)
+			for _, a := range attrs {
+				set, known := v.Attrs[a]
+				if v.Attrs != nil && !known {
+					emit("unknown attribute %q: not in the catalogue vocabulary", a)
+					continue
+				}
+				if len(set) > 0 && !set[c[a]] {
+					emit("unknown value %q for attribute %q: not in the catalogue vocabulary", c[a], a)
+				}
+			}
+			d, hasD := c[attrDomain]
+			r, hasR := c[attrRole]
+			if !hasD || !hasR {
+				continue
+			}
+			if v.DomainRoles != nil {
+				if set, ok := v.DomainRoles[d]; ok && !set[r] {
+					emit("role %q does not exist in domain %q", r, d)
+				}
+			}
+			if v.Members != nil {
+				for _, lic := range l.lics[i] {
+					if allowed, tracked := v.Members[lic]; tracked && !allowed[pairKey(d, r)] {
+						emit("principal %s is not a member of (%s, %s): the catalogue assigns it other roles",
+							display(lic), d, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// LintPolicy checks an RBAC policy row by row against a vocabulary — the
+// fallback gate for catalogue states that cannot be encoded as KeyNote
+// assertions (for example an empty RolePerm relation). Findings carry
+// Index -1 (set-level).
+func LintPolicy(p *rbac.Policy, v *Vocabulary) *Report {
+	var fs []Finding
+	seen := map[string]bool{}
+	emit := func(format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		if seen[msg] {
+			return
+		}
+		seen[msg] = true
+		fs = append(fs, Finding{
+			Code:     CodeVocabulary,
+			Severity: severityOf[CodeVocabulary],
+			Index:    -1,
+			Message:  msg,
+		})
+	}
+	if p != nil && v != nil {
+		checkVal := func(attr, val string) {
+			set, known := v.Attrs[attr]
+			if v.Attrs != nil && !known {
+				emit("unknown attribute %q: not in the catalogue vocabulary", attr)
+				return
+			}
+			if len(set) > 0 && !set[val] {
+				emit("unknown value %q for attribute %q: not in the catalogue vocabulary", val, attr)
+			}
+		}
+		checkPair := func(d, r string) {
+			if v.DomainRoles == nil {
+				return
+			}
+			if set, ok := v.DomainRoles[d]; ok && !set[r] {
+				emit("role %q does not exist in domain %q", r, d)
+			}
+		}
+		for _, e := range p.RolePerms() {
+			checkVal(attrDomain, string(e.Domain))
+			checkVal(attrRole, string(e.Role))
+			checkVal(attrObjectType, string(e.ObjectType))
+			checkVal(attrPermission, string(e.Permission))
+			checkPair(string(e.Domain), string(e.Role))
+		}
+		for _, e := range p.UserRoles() {
+			checkVal(attrDomain, string(e.Domain))
+			checkVal(attrRole, string(e.Role))
+			checkPair(string(e.Domain), string(e.Role))
+		}
+	}
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].Message < fs[j].Message })
+	return &Report{Findings: fs}
+}

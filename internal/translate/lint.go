@@ -1,0 +1,58 @@
+package translate
+
+import (
+	"strings"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/policylint"
+	"securewebcom/internal/rbac"
+)
+
+// stubResolver maps users to the paper's advisory key names ("Kalice")
+// without minting real keys — enough for linting an encoding whose
+// signatures are not being checked.
+func stubResolver(u rbac.User) (string, error) {
+	return "K" + strings.ToLower(string(u)), nil
+}
+
+// LintEncoded encodes p as KeyNote assertions (Figures 5 and 6, with
+// advisory-name principals and no signatures) and lints the resulting
+// credential set against vocab (nil skips the vocabulary check). This is
+// the static shape check used after migrations and by the KeyCOM update
+// gate: it catches unsatisfiable conditions, vocabulary drift and
+// dead delegations before the policy is installed anywhere.
+func LintEncoded(p *rbac.Policy, vocab *policylint.Vocabulary, opt Options) (*policylint.Report, error) {
+	enc, err := EncodeRBAC(p, stubResolver, opt)
+	if err != nil {
+		return nil, err
+	}
+	set := append([]*keynote.Assertion{enc.Policy}, enc.Credentials...)
+	return policylint.Lint(set, policylint.Options{
+		Vocabulary:     vocab,
+		SkipSignatures: true,
+	}), nil
+}
+
+// MigrateAndLint is MigratePolicy followed by a lint of the *target*
+// policy after vocabulary mapping: the migrated rows are encoded as
+// KeyNote and analysed, so a mapping that lands outside the destination
+// vocabulary or produces dead grants is reported before deployment.
+// vocab describes the destination catalogue; nil limits the lint to
+// structural checks. Policies that cannot be encoded (empty RolePerm
+// relation) fall back to row-level vocabulary linting.
+func MigrateAndLint(src *rbac.Policy, opt MigrationOptions, vocab *policylint.Vocabulary) (*rbac.Policy, []MappingReport, *policylint.Report, error) {
+	out, reports, err := MigratePolicy(src, opt)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var rep *policylint.Report
+	if len(out.RolePerms()) > 0 {
+		rep, err = LintEncoded(out, vocab, Options{})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	} else {
+		rep = policylint.LintPolicy(out, vocab)
+	}
+	return out, reports, rep, nil
+}

@@ -1,0 +1,78 @@
+package translate
+
+import (
+	"testing"
+
+	"securewebcom/internal/policylint"
+	"securewebcom/internal/rbac"
+)
+
+func TestLintEncodedFigure1(t *testing.T) {
+	p := rbac.Figure1()
+	rep, err := LintEncoded(p, policylint.FromPolicy(p, "WebCom"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HasErrors() {
+		t.Fatalf("Figure 1 encoding lints with errors:\n%s", rep)
+	}
+	// Dave's Sales/Assistant role deliberately holds no permissions
+	// ("no access" in Figure 1), so his credential grants bindings the
+	// policy cannot satisfy — exactly one widening warning.
+	wide := rep.ByCode(policylint.CodeWidening)
+	if len(wide) != 1 {
+		t.Fatalf("got %d PL003 findings, want 1 (Dave's permission-less role):\n%s", len(wide), rep)
+	}
+}
+
+func TestMigrateAndLintVocabularyDrift(t *testing.T) {
+	src := rbac.NewPolicy()
+	src.AddRolePerm("Finance", "Clerk", "DB", "write")
+	src.AddUserRole("Alice", "Finance", "Clerk")
+
+	// Destination catalogue knows only the Treasury domain.
+	dstCatalogue := rbac.NewPolicy()
+	dstCatalogue.AddRolePerm("Treasury", "Clerk", "DB", "write")
+	vocab := policylint.FromPolicy(dstCatalogue, "WebCom")
+
+	// Correct mapping: the migrated policy fits the destination
+	// vocabulary and lints clean.
+	opt := MigrationOptions{DomainMap: map[rbac.Domain]rbac.Domain{"Finance": "Treasury"}}
+	out, _, rep, err := MigrateAndLint(src, opt, vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.HasUserRole("Alice", "Treasury", "Clerk") {
+		t.Fatal("domain rename not applied")
+	}
+	if rep.HasErrors() {
+		t.Fatalf("well-mapped migration lints with errors:\n%s", rep)
+	}
+
+	// Missing mapping: the source domain survives into the target and is
+	// flagged as outside the destination vocabulary.
+	_, _, rep, err = MigrateAndLint(src, MigrationOptions{}, vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HasErrors() || len(rep.ByCode(policylint.CodeVocabulary)) == 0 {
+		t.Fatalf("unmapped domain not reported as vocabulary error:\n%s", rep)
+	}
+}
+
+func TestMigrateAndLintEmptyRolePermFallsBack(t *testing.T) {
+	src := rbac.NewPolicy()
+	src.AddUserRole("Alice", "Ops", "Clerk")
+
+	catalogue := rbac.NewPolicy()
+	catalogue.AddRolePerm("Sales", "Clerk", "DB", "read")
+	vocab := policylint.FromPolicy(catalogue, "WebCom")
+
+	_, _, rep, err := MigrateAndLint(src, MigrationOptions{}, vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HasErrors() {
+		t.Fatalf("row-level fallback missed the unknown domain:\n%s", rep)
+	}
+}
