@@ -26,22 +26,43 @@ import (
 	"securewebcom/internal/webcom"
 )
 
+// opts carries the parsed command line.
+type opts struct {
+	masterAddr, name, keyPath string
+	trustMaster, policyPath   string
+	demoEJB                   bool
+	live                      webcom.Liveness
+	reconnect                 webcom.ReconnectPolicy
+}
+
 func main() {
-	master := flag.String("master", "127.0.0.1:7070", "master address")
-	name := flag.String("name", "client", "client name")
-	keyPath := flag.String("key", "", "client key file (private); empty generates a fresh key")
-	trustMaster := flag.String("trust-master", "", "master public-key file the client trusts")
-	policyPath := flag.String("policy", "", "KeyNote policy file for authorising masters")
-	demoEJB := flag.Bool("demo-ejb", false, "host the demo Salaries EJB container")
+	var o opts
+	flag.StringVar(&o.masterAddr, "master", "127.0.0.1:7070", "master address")
+	flag.StringVar(&o.name, "name", "client", "client name")
+	flag.StringVar(&o.keyPath, "key", "", "client key file (private); empty generates a fresh key")
+	flag.StringVar(&o.trustMaster, "trust-master", "", "master public-key file the client trusts")
+	flag.StringVar(&o.policyPath, "policy", "", "KeyNote policy file for authorising masters")
+	flag.BoolVar(&o.demoEJB, "demo-ejb", false, "host the demo Salaries EJB container")
+
+	// Fault-tolerance knobs; 0 means the library default.
+	flag.BoolVar(&o.reconnect.Enabled, "reconnect", false, "re-dial a lost master (full re-authentication) with backoff")
+	flag.IntVar(&o.reconnect.MaxAttempts, "reconnect-attempts", 0, "redial attempts per outage; negative = forever (0 = default 8)")
+	flag.DurationVar(&o.reconnect.BaseBackoff, "reconnect-backoff", 0, "base redial backoff (0 = default 50ms)")
+	flag.DurationVar(&o.reconnect.MaxBackoff, "reconnect-max-backoff", 0, "redial backoff cap (0 = default 5s)")
+	flag.DurationVar(&o.live.PingInterval, "ping-interval", 0, "heartbeat interval (0 = default 15s)")
+	flag.DurationVar(&o.live.IdleTimeout, "idle-timeout", 0, "silence before the master is declared dead (0 = default 45s)")
+	flag.DurationVar(&o.live.HandshakeTimeout, "handshake-timeout", 0, "handshake read deadline (0 = default 10s)")
 	flag.Parse()
 
-	if err := realMain(*master, *name, *keyPath, *trustMaster, *policyPath, *demoEJB); err != nil {
+	if err := realMain(o); err != nil {
 		fmt.Fprintln(os.Stderr, "webcom-client:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(masterAddr, name, keyPath, trustMaster, policyPath string, demoEJB bool) error {
+func realMain(o opts) error {
+	masterAddr, name, keyPath := o.masterAddr, o.name, o.keyPath
+	trustMaster, policyPath, demoEJB := o.trustMaster, o.policyPath, o.demoEJB
 	ks := keys.NewKeyStore()
 	var clientKey *keys.KeyPair
 	var err error
@@ -96,9 +117,11 @@ func realMain(masterAddr, name, keyPath, trustMaster, policyPath string, demoEJB
 	}
 
 	cl := &webcom.Client{
-		Name:    name,
-		Key:     clientKey,
-		Checker: chk,
+		Name:      name,
+		Key:       clientKey,
+		Checker:   chk,
+		Live:      o.live,
+		Reconnect: o.reconnect,
 		Local: map[string]func([]string) (string, error){
 			"echo": func(args []string) (string, error) {
 				return strings.Join(args, " "), nil

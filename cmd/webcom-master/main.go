@@ -35,25 +35,52 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
 
+// opts carries the parsed command line.
+type opts struct {
+	addr, keyPath, policyPath  string
+	run, graphPath, inputsFlag string
+	waitClients                int
+	trust                      []string
+	retry                      webcom.RetryPolicy
+	live                       webcom.Liveness
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
-	keyPath := flag.String("key", "", "master key file (private); empty generates a fresh key")
-	policyPath := flag.String("policy", "", "KeyNote policy file for authorising clients")
-	run := flag.String("run", "", "operation to schedule once clients connect: \"op arg1 arg2\"")
-	graphPath := flag.String("graph", "", "JSON condensed-graph file to execute (see internal/cg)")
-	inputsFlag := flag.String("inputs", "", "comma-separated name=value graph inputs for -graph")
-	waitClients := flag.Int("wait-clients", 1, "clients to wait for before -run/-graph")
+	var o opts
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:7070", "listen address")
+	flag.StringVar(&o.keyPath, "key", "", "master key file (private); empty generates a fresh key")
+	flag.StringVar(&o.policyPath, "policy", "", "KeyNote policy file for authorising clients")
+	flag.StringVar(&o.run, "run", "", "operation to schedule once clients connect: \"op arg1 arg2\"")
+	flag.StringVar(&o.graphPath, "graph", "", "JSON condensed-graph file to execute (see internal/cg)")
+	flag.StringVar(&o.inputsFlag, "inputs", "", "comma-separated name=value graph inputs for -graph")
+	flag.IntVar(&o.waitClients, "wait-clients", 1, "clients to wait for before -run/-graph")
 	var trust multiFlag
 	flag.Var(&trust, "trust", "client public-key file to trust for all operations (repeatable)")
-	flag.Parse()
 
-	if err := realMain(*addr, *keyPath, *policyPath, *run, *graphPath, *inputsFlag, *waitClients, trust); err != nil {
+	// Fault-tolerance knobs; 0 means the library default.
+	flag.IntVar(&o.retry.MaxAttempts, "max-attempts", 0, "scheduling attempts per task (0 = default 3)")
+	flag.DurationVar(&o.retry.BaseBackoff, "backoff", 0, "base retry backoff (0 = default 25ms)")
+	flag.DurationVar(&o.retry.MaxBackoff, "max-backoff", 0, "backoff cap (0 = default 2s)")
+	flag.DurationVar(&o.retry.DispatchTimeout, "dispatch-timeout", 0, "per-dispatch deadline (0 = default 30s)")
+	flag.IntVar(&o.retry.FailureThreshold, "failure-threshold", 0, "consecutive failures before quarantining a client (0 = default 3)")
+	flag.DurationVar(&o.retry.Quarantine, "quarantine", 0, "circuit-breaker quarantine period (0 = default 2s)")
+	flag.IntVar(&o.retry.MaxInFlight, "max-in-flight", 0, "in-flight tasks per client (0 = default 32)")
+	flag.DurationVar(&o.live.PingInterval, "ping-interval", 0, "heartbeat interval (0 = default 15s)")
+	flag.DurationVar(&o.live.IdleTimeout, "idle-timeout", 0, "silence before a client is declared dead (0 = default 45s)")
+	flag.DurationVar(&o.live.HandshakeTimeout, "handshake-timeout", 0, "handshake read deadline (0 = default 10s)")
+	flag.Parse()
+	o.trust = trust
+
+	if err := realMain(o); err != nil {
 		fmt.Fprintln(os.Stderr, "webcom-master:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(addr, keyPath, policyPath, run, graphPath, inputsFlag string, waitClients int, trust []string) error {
+func realMain(o opts) error {
+	addr, keyPath, policyPath := o.addr, o.keyPath, o.policyPath
+	run, graphPath, inputsFlag := o.run, o.graphPath, o.inputsFlag
+	waitClients, trust := o.waitClients, o.trust
 	ks := keys.NewKeyStore()
 	var masterKey *keys.KeyPair
 	var err error
@@ -106,6 +133,8 @@ func realMain(addr, keyPath, policyPath, run, graphPath, inputsFlag string, wait
 	}
 
 	master := webcom.NewMaster(masterKey, chk, nil, ks)
+	master.Retry = o.retry
+	master.Live = o.live
 	if err := master.Listen(addr); err != nil {
 		return err
 	}

@@ -1,0 +1,297 @@
+package faultnet
+
+import (
+	"bytes"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// pipe returns two ends of a real TCP connection on loopback, so the
+// wrapper is exercised over the same transport production uses.
+func pipe(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server = <-accepted
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestDeterministicAssignment(t *testing.T) {
+	cfg := Config{Seed: 7, PDrop: 0.3, PPartition: 0.3, PCorrupt: 0.3}
+	draw := func() []Class {
+		in := New(cfg)
+		var out []Class
+		for i := 0; i < 50; i++ {
+			class, _, _ := in.draw()
+			out = append(out, class)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs under same seed: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// A different seed must (overwhelmingly) produce a different script.
+	in2 := New(Config{Seed: 8, PDrop: 0.3, PPartition: 0.3, PCorrupt: 0.3})
+	same := 0
+	for i := 0; i < 50; i++ {
+		class, _, _ := in2.draw()
+		if class == a[i] {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seed produced identical fault script")
+	}
+}
+
+func TestHealthyPassThrough(t *testing.T) {
+	in := New(Config{Seed: 1}) // no fault mass: every conn healthy
+	c, s := pipe(t)
+	wc := in.Conn(c)
+	if wc.Class() != None {
+		t.Fatalf("class = %v", wc.Class())
+	}
+	msg := []byte("hello over faultnet")
+	if _, err := wc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := s.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+// wrapAs draws connections until the injector assigns the wanted class —
+// the class assignment is probabilistic, the behaviour is not.
+func wrapAs(t *testing.T, in *Injector, mk func() net.Conn, want Class) *Conn {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		wc := in.Conn(mk())
+		if wc.Class() == want {
+			return wc
+		}
+		wc.Close()
+	}
+	t.Fatalf("no %v connection in 200 draws", want)
+	return nil
+}
+
+func TestStallSwallowsEverything(t *testing.T) {
+	in := New(Config{Seed: 3, PStall: 1})
+	c, s := pipe(t)
+	wc := in.Conn(c)
+	if wc.Class() != Stall {
+		t.Fatalf("class = %v", wc.Class())
+	}
+	// Writes appear to succeed but the peer receives nothing.
+	if _, err := wc.Write([]byte("into the void")); err != nil {
+		t.Fatal(err)
+	}
+	s.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 16)
+	if n, err := s.Read(buf); err == nil {
+		t.Fatalf("peer received %d bytes through a stalled conn", n)
+	}
+	// Reads honour deadlines set on the wrapper (the rescue hatch).
+	if _, err := s.Write([]byte("inbound")); err != nil {
+		t.Fatal(err)
+	}
+	wc.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if n, err := wc.Read(buf); err == nil {
+		t.Fatalf("read %d bytes through a stalled conn", n)
+	}
+	if st := in.Stats(); st.SwallowedBytes == 0 {
+		t.Fatal("no swallowed bytes counted")
+	}
+}
+
+func TestPartitionEngagesMidStream(t *testing.T) {
+	in := New(Config{Seed: 5, PPartition: 1, TriggerBytes: 8})
+	c, s := pipe(t)
+	wc := in.Conn(c)
+	// The trigger offset is in [1, 16): the first 16-byte write crosses
+	// it, so everything after this write is swallowed.
+	if _, err := wc.Write(bytes.Repeat([]byte("x"), 16)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wc.Write([]byte("lost")); err != nil {
+		t.Fatal(err) // swallowed, but reported as success
+	}
+	got := 0
+	s.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	buf := make([]byte, 64)
+	for {
+		n, err := s.Read(buf)
+		got += n
+		if err != nil {
+			break
+		}
+	}
+	if got > 16 {
+		t.Fatalf("peer saw %d bytes; partition leaked", got)
+	}
+}
+
+func TestDropClosesConnection(t *testing.T) {
+	in := New(Config{Seed: 11, PDrop: 1, TriggerBytes: 4})
+	c, _ := pipe(t)
+	wc := in.Conn(c)
+	var err error
+	for i := 0; i < 10 && err == nil; i++ {
+		_, err = wc.Write([]byte("0123456789"))
+	}
+	if err == nil {
+		t.Fatal("drop conn survived 100 bytes with trigger < 8")
+	}
+	if st := in.Stats(); st.DroppedConns == 0 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestCorruptDamagesFrames(t *testing.T) {
+	in := New(Config{Seed: 13, PCorrupt: 1, TriggerBytes: 4})
+	c, s := pipe(t)
+	wc := in.Conn(c)
+	payload := []byte(`{"type":"result"}` + "\n")
+	// Push past the trigger, then check the peer sees a damaged byte.
+	for i := 0; i < 3; i++ {
+		if _, err := wc.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 3*len(payload))
+	total := 0
+	s.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+	for total < len(buf) {
+		n, err := s.Read(buf[total:])
+		total += n
+		if err != nil {
+			break
+		}
+	}
+	if !bytes.Contains(buf[:total], []byte{0xFF}) {
+		t.Fatalf("no corrupted byte reached the peer: %q", buf[:total])
+	}
+	if st := in.Stats(); st.CorruptedWrites == 0 {
+		t.Fatal("corruption not counted")
+	}
+}
+
+func TestLatencyDelays(t *testing.T) {
+	in := New(Config{Seed: 17, PLatency: 1, MaxLatency: 30 * time.Millisecond})
+	c, s := pipe(t)
+	wc := wrapAs(t, in, func() net.Conn { return c }, Latency)
+	go s.Write([]byte("pong"))
+	buf := make([]byte, 4)
+	start := time.Now()
+	if _, err := wc.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	// The per-conn delay is drawn in [0, 30ms); only assert it completes
+	// and the class was applied — tight timing asserts flake under -race.
+	_ = start
+}
+
+func TestForcePartition(t *testing.T) {
+	in := New(Config{Seed: 19})
+	c, s := pipe(t)
+	wc := in.Conn(c)
+	if _, err := wc.Write([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if _, err := s.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	wc.ForcePartition()
+	if _, err := wc.Write([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	s.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if n, err := s.Read(buf); err == nil {
+		t.Fatalf("forced partition leaked %d bytes", n)
+	}
+}
+
+func TestListenerWrapsAndCounts(t *testing.T) {
+	in := New(Config{Seed: 23, PStall: 0.5})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wln := in.Listener(ln)
+	defer wln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			c, err := wln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	const dials = 40
+	for i := 0; i < dials; i++ {
+		c, err := net.Dial("tcp", wln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for in.Stats().Wrapped < dials && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := in.Stats()
+	if st.Wrapped < dials {
+		t.Fatalf("wrapped %d of %d accepted conns", st.Wrapped, dials)
+	}
+	if st.FaultRate() == 0 || st.FaultRate() == 1 {
+		t.Fatalf("fault rate %.2f with PStall=0.5 over %d conns", st.FaultRate(), st.Wrapped)
+	}
+	wln.Close()
+	<-done
+}
+
+func TestObserveTap(t *testing.T) {
+	var writes atomic.Int64
+	in := New(Config{Seed: 29, Observe: func(dir Direction, b []byte) {
+		if dir == Write {
+			writes.Add(1)
+		}
+	}})
+	c, s := pipe(t)
+	wc := in.Conn(c)
+	wc.Write([]byte("a"))
+	wc.Write([]byte("b"))
+	buf := make([]byte, 2)
+	s.Read(buf)
+	if writes.Load() != 2 {
+		t.Fatalf("observe saw %d writes, want 2", writes.Load())
+	}
+}

@@ -1,0 +1,108 @@
+package keycom
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"securewebcom/internal/policylint"
+	"securewebcom/internal/rbac"
+)
+
+// TestConcurrentUpdatesNeverHalfApplied hammers Service.Apply from many
+// goroutines — through the lint-gate path, which does a full
+// extract-lint-apply sequence under the service mutex — while readers
+// continuously extract the policy. Each update adds a PAIR of users, so
+// any reader that ever sees one half of a pair without the other has
+// caught a torn write.
+func TestConcurrentUpdatesNeverHalfApplied(t *testing.T) {
+	f := newFigure8(t)
+	cur, err := f.cat.ExtractPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enable the lint gate so the contended path is the expensive one.
+	f.svc.LintVocab = policylint.FromPolicy(cur)
+
+	const writers = 16
+	pair := func(i int) (rbac.User, rbac.User) {
+		return rbac.User(fmt.Sprintf("U%da", i)), rbac.User(fmt.Sprintf("U%db", i))
+	}
+
+	var readerErr atomic.Value
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p, err := f.cat.ExtractPolicy()
+				if err != nil {
+					readerErr.Store(err)
+					return
+				}
+				present := make(map[rbac.User]bool)
+				for _, u := range p.UsersIn("DOMA", "Clerk") {
+					present[u] = true
+				}
+				for i := 0; i < writers; i++ {
+					a, b := pair(i)
+					if present[a] != present[b] {
+						readerErr.Store(fmt.Errorf(
+							"torn update %d: %s present=%v, %s present=%v",
+							i, a, present[a], b, present[b]))
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, b := pair(i)
+			req := &UpdateRequest{
+				Requester: f.admin.PublicID(),
+				Diff: rbac.Diff{AddedUserRole: []rbac.UserRoleEntry{
+					{User: a, Domain: "DOMA", Role: "Clerk"},
+					{User: b, Domain: "DOMA", Role: "Clerk"},
+				}},
+			}
+			if err := req.Sign(f.admin); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = f.svc.Apply(req)
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent update %d failed: %v", i, err)
+		}
+	}
+	if e := readerErr.Load(); e != nil {
+		t.Fatalf("reader observed inconsistent catalogue: %v", e)
+	}
+	p, err := f.cat.ExtractPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.UsersIn("DOMA", "Clerk")); got != 2*writers {
+		t.Fatalf("catalogue holds %d Clerk users, want %d", got, 2*writers)
+	}
+}

@@ -1,0 +1,50 @@
+package webcom
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"securewebcom/internal/cg"
+	"securewebcom/internal/faultnet"
+)
+
+// BenchmarkDispatch measures one schedule→execute→result round trip over
+// a healthy loopback connection, including the per-task authorisation
+// check on both sides.
+func BenchmarkDispatch(b *testing.B) {
+	env := newChaosEnv(b, faultnet.Config{Seed: 1}, 1, RetryPolicy{}, Liveness{})
+	ctx := context.Background()
+	exec := env.master.Executor()
+	task := cg.Task{OpName: "double", Args: []string{"21"}}
+	op := &cg.Opaque{OpName: "double", OpArity: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec(ctx, task, op); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunUnderFaults measures a 10-task condensed graph run across
+// 3 clients while faultnet injects a ~30% mixed fault load — the price
+// of riding through stalls, partitions, corruption and drops.
+func BenchmarkRunUnderFaults(b *testing.B) {
+	env := newChaosEnv(b, faultnet.Config{
+		Seed: 55, PStall: 0.1, PPartition: 0.1, PCorrupt: 0.05, PDrop: 0.05,
+		TriggerBytes: 1024,
+	}, 3, fastRetry(), fastLive())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, want := chaosGraph(b, 10)
+		got, _, err := env.master.Run(ctx, &cg.Engine{Workers: 8}, g, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got != want {
+			b.Fatalf("result = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package webcom
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-client circuit breaker. A client that keeps failing
+// transport-wise is quarantined: the scheduler stops offering it tasks
+// for the quarantine period, then lets exactly one probe task through.
+// The probe's outcome decides between readmission and renewed
+// quarantine — so one flapping client cannot soak up every retry budget
+// while healthy clients sit idle.
+type breaker struct {
+	threshold  int
+	quarantine time.Duration
+
+	mu       sync.Mutex
+	failures int
+	state    breakerState
+	openedAt time.Time
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen // one probe in flight
+)
+
+func newBreaker(threshold int, quarantine time.Duration) *breaker {
+	return &breaker{threshold: threshold, quarantine: quarantine}
+}
+
+// allow reports whether a dispatch may proceed now. When the quarantine
+// has elapsed it admits a single probe: concurrent callers see false
+// until the probe resolves.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) >= b.quarantine {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// success records a completed dispatch and closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.failures = 0
+	b.state = breakerClosed
+	b.mu.Unlock()
+}
+
+// failure records a transport failure; enough consecutive ones (or a
+// failed probe) open the breaker.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == breakerHalfOpen || b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = now
+	}
+}

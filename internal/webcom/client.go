@@ -6,6 +6,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"securewebcom/internal/keynote"
 	"securewebcom/internal/keys"
@@ -34,34 +35,81 @@ type Client struct {
 	// Local implements operations with no middleware home (pure compute);
 	// may be nil.
 	Local map[string]func(args []string) (string, error)
+	// Live configures heartbeat liveness toward the master and the
+	// handshake deadline. Zero value = defaults.
+	Live Liveness
+	// Reconnect, when enabled, re-dials a lost master with exponential
+	// backoff and re-runs the full mutual-authentication handshake.
+	Reconnect ReconnectPolicy
+	// Dial overrides the transport dialer; nil means plain TCP. Chaos
+	// tests inject faulty transports here.
+	Dial func(addr string) (net.Conn, error)
 
+	mu          sync.Mutex
 	conn        *conn
 	master      string // authenticated master principal
 	masterCreds []*keynote.Assertion
+	addr        string
+	closed      bool
+	closedCh    chan struct{}
+	done        chan struct{}
+}
 
-	mu     sync.Mutex
-	closed bool
-	done   chan struct{}
+func (cl *Client) dial(addr string) (net.Conn, error) {
+	if cl.Dial != nil {
+		return cl.Dial(addr)
+	}
+	return net.Dial("tcp", addr)
 }
 
 // Connect dials the master, runs the mutual authentication handshake and
-// starts serving scheduled tasks in the background.
+// starts serving scheduled tasks in the background. If Reconnect is
+// enabled, a lost connection is re-established (with a fresh handshake)
+// until the reconnect budget is exhausted or Close is called.
 func (cl *Client) Connect(addr string) error {
-	raw, err := net.Dial("tcp", addr)
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return errors.New("webcom: client is closed")
+	}
+	cl.addr = addr
+	if cl.closedCh == nil {
+		cl.closedCh = make(chan struct{})
+	}
+	cl.mu.Unlock()
+
+	c, err := cl.handshake(addr)
 	if err != nil {
-		return fmt.Errorf("webcom: client dial: %w", err)
+		return err
+	}
+	cl.mu.Lock()
+	cl.done = make(chan struct{})
+	cl.mu.Unlock()
+	go cl.supervise(c)
+	return nil
+}
+
+// handshake dials addr and runs the mutual authentication handshake
+// under a read deadline, returning the authenticated connection.
+func (cl *Client) handshake(addr string) (*conn, error) {
+	raw, err := cl.dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("webcom: client dial: %w", err)
 	}
 	c := newConn(raw)
+	// A master (or impostor) that goes silent mid-handshake must not
+	// hang Connect: the whole exchange runs under a deadline.
+	c.setHandshakeDeadline(cl.Live.withDefaults().HandshakeTimeout)
 
 	ch, err := c.recv()
 	if err != nil || ch.Type != msgChallenge {
 		c.close()
-		return errors.New("webcom: handshake: no challenge from master")
+		return nil, errors.New("webcom: handshake: no challenge from master")
 	}
 	counterNonce, err := newNonce()
 	if err != nil {
 		c.close()
-		return err
+		return nil, err
 	}
 	credTexts := make([]string, len(cl.Credentials))
 	for i, a := range cl.Credentials {
@@ -76,89 +124,187 @@ func (cl *Client) Connect(addr string) error {
 		Credentials: credTexts,
 	}); err != nil {
 		c.close()
-		return err
+		return nil, err
 	}
 	welcome, err := c.recv()
 	if err != nil {
 		c.close()
-		return fmt.Errorf("webcom: handshake: %w", err)
+		return nil, fmt.Errorf("webcom: handshake: %w", err)
 	}
 	if welcome.Type == msgReject {
 		c.close()
-		return fmt.Errorf("webcom: master rejected client: %s", welcome.Err)
+		return nil, fmt.Errorf("webcom: master rejected client: %s", welcome.Err)
 	}
 	if welcome.Type != msgWelcome {
 		c.close()
-		return errors.New("webcom: handshake: unexpected message from master")
+		return nil, errors.New("webcom: handshake: unexpected message from master")
 	}
 	// Authenticate the master: it must prove possession of the key it
 	// claimed in the challenge, and the two claims must agree.
 	if welcome.Principal != ch.Principal {
 		c.close()
-		return errors.New("webcom: master principal changed during handshake")
+		return nil, errors.New("webcom: master principal changed during handshake")
 	}
 	if err := keys.Verify(welcome.Principal,
 		handshakePayload("master", counterNonce, welcome.Principal), welcome.Sig); err != nil {
 		c.close()
-		return fmt.Errorf("webcom: master authentication failed: %w", err)
+		return nil, fmt.Errorf("webcom: master authentication failed: %w", err)
 	}
+	c.clearDeadline()
 
-	cl.conn = c
-	cl.master = welcome.Principal
-	cl.done = make(chan struct{})
 	// Keep the master's presented credentials: the client's policy may
 	// trust a root key that merely *delegates* to this master, in which
 	// case the per-operation check below needs the chain (the
 	// decentralised half of Figure 3). Malformed credentials are dropped
 	// here; forged ones are rejected by the compliance checker per query.
+	var masterCreds []*keynote.Assertion
 	for _, text := range welcome.Credentials {
 		if a, err := keynote.Parse(text); err == nil {
-			cl.masterCreds = append(cl.masterCreds, a)
+			masterCreds = append(masterCreds, a)
 		}
 	}
-	go cl.serveLoop()
-	return nil
+	cl.mu.Lock()
+	cl.conn = c
+	cl.master = welcome.Principal
+	cl.masterCreds = masterCreds
+	cl.mu.Unlock()
+	return c, nil
 }
 
 // Master returns the authenticated master principal.
-func (cl *Client) Master() string { return cl.master }
+func (cl *Client) Master() string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.master
+}
 
-// Close disconnects from the master.
+// Close disconnects from the master and stops any reconnection.
 func (cl *Client) Close() error {
 	cl.mu.Lock()
-	cl.closed = true
+	if !cl.closed {
+		cl.closed = true
+		if cl.closedCh != nil {
+			close(cl.closedCh)
+		}
+	}
+	c := cl.conn
 	cl.mu.Unlock()
-	if cl.conn != nil {
-		return cl.conn.close()
+	if c != nil {
+		return c.close()
 	}
 	return nil
 }
 
-// Wait blocks until the connection to the master ends.
+func (cl *Client) isClosed() bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.closed
+}
+
+// Wait blocks until the connection to the master ends for good —
+// including any reconnection attempts.
 func (cl *Client) Wait() {
-	if cl.done != nil {
-		<-cl.done
+	cl.mu.Lock()
+	done := cl.done
+	cl.mu.Unlock()
+	if done != nil {
+		<-done
 	}
 }
 
-func (cl *Client) serveLoop() {
-	defer close(cl.done)
+// supervise serves the connection and, when it dies, re-establishes it
+// under the reconnect policy until closed or out of budget.
+func (cl *Client) supervise(c *conn) {
+	defer func() {
+		cl.mu.Lock()
+		done := cl.done
+		cl.mu.Unlock()
+		close(done)
+	}()
+	rc := cl.Reconnect.withDefaults()
 	for {
-		m, err := cl.conn.recv()
-		if err != nil {
+		cl.serve(c)
+		if cl.isClosed() || !cl.Reconnect.Enabled {
 			return
 		}
-		if m.Type != msgSchedule {
-			continue
+		next, ok := cl.redial(rc)
+		if !ok {
+			return
 		}
-		go func(m *msg) {
-			result, denied, err := cl.execute(m)
-			reply := &msg{Type: msgResult, TaskID: m.TaskID, Result: result, Denied: denied}
-			if err != nil {
-				reply.Err = err.Error()
+		c = next
+	}
+}
+
+// redial re-establishes the connection with exponential backoff and a
+// full re-run of the mutual authentication handshake.
+func (cl *Client) redial(rc ReconnectPolicy) (*conn, bool) {
+	cl.mu.Lock()
+	addr := cl.addr
+	closedCh := cl.closedCh
+	cl.mu.Unlock()
+	for attempt := 0; rc.MaxAttempts < 0 || attempt < rc.MaxAttempts; attempt++ {
+		t := time.NewTimer(rc.backoff(attempt))
+		select {
+		case <-closedCh:
+			t.Stop()
+			return nil, false
+		case <-t.C:
+		}
+		c, err := cl.handshake(addr)
+		if err == nil {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// serve handles one established connection until it dies: it answers
+// the master's pings, heartbeats the master in turn, and executes
+// scheduled tasks.
+func (cl *Client) serve(c *conn) {
+	live := cl.Live.withDefaults()
+	stop := make(chan struct{})
+	defer close(stop)
+	// Heartbeat toward the master: a silent (partitioned) master is
+	// indistinguishable from a healthy idle one without pings.
+	go func() {
+		t := time.NewTicker(live.PingInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if c.idle() > live.IdleTimeout {
+					c.close()
+					return
+				}
+				if err := c.send(&msg{Type: msgPing}); err != nil {
+					c.close()
+					return
+				}
 			}
-			cl.conn.send(reply)
-		}(m)
+		}
+	}()
+	for {
+		m, err := c.recv()
+		if err != nil {
+			c.close()
+			return
+		}
+		switch m.Type {
+		case msgPing:
+			c.send(&msg{Type: msgPong})
+		case msgSchedule:
+			go func(m *msg) {
+				result, denied, err := cl.execute(m)
+				reply := &msg{Type: msgResult, TaskID: m.TaskID, Result: result, Denied: denied}
+				if err != nil {
+					reply.Err = err.Error()
+				}
+				c.send(reply)
+			}(m)
+		}
 	}
 }
 
@@ -169,8 +315,12 @@ func (cl *Client) execute(m *msg) (result string, denied bool, err error) {
 	// L2: does this client's policy let the master schedule this op? The
 	// master's presented credentials participate, so the policy may name
 	// a root that delegated scheduling authority to this master.
+	cl.mu.Lock()
+	master := cl.master
+	masterCreds := cl.masterCreds
+	cl.mu.Unlock()
 	if cl.Checker != nil {
-		res, err := cl.Checker.Check(taskQuery(cl.master, m.Op, m.Annotations, m.Args), cl.masterCreds)
+		res, err := cl.Checker.Check(taskQuery(master, m.Op, m.Annotations, m.Args), masterCreds)
 		if err != nil {
 			return "", false, err
 		}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"securewebcom/internal/cg"
 	"securewebcom/internal/keynote"
@@ -30,7 +31,14 @@ type Master struct {
 	// Resolver resolves principal names for signature checks.
 	Resolver keynote.Resolver
 	// MaxAttempts bounds rescheduling of a failed task. Default 3.
+	// Deprecated in favour of Retry.MaxAttempts, but still honoured.
 	MaxAttempts int
+	// Retry configures retries, backoff, dispatch deadlines, circuit
+	// breaking and per-client in-flight bounds. Zero value = defaults.
+	Retry RetryPolicy
+	// Live configures heartbeat liveness and the handshake deadline.
+	// Zero value = defaults.
+	Live Liveness
 
 	ln net.Listener
 
@@ -46,10 +54,40 @@ type masterClient struct {
 	principal   string
 	conn        *conn
 	credentials []*keynote.Assertion
+	sem         chan struct{} // in-flight slots (backpressure)
+	died        chan struct{} // closed when the connection is declared dead
+	brk         *breaker
 
 	mu      sync.Mutex
 	pending map[uint64]chan *msg
 	dead    bool
+}
+
+// fail declares the client dead exactly once: outstanding tasks are
+// failed so the scheduler retries them elsewhere, waiters on died are
+// released, and the connection is closed.
+func (mc *masterClient) fail(reason string) {
+	mc.mu.Lock()
+	if mc.dead {
+		mc.mu.Unlock()
+		return
+	}
+	mc.dead = true
+	close(mc.died)
+	pend := mc.pending
+	mc.pending = make(map[uint64]chan *msg)
+	mc.mu.Unlock()
+	for id, ch := range pend {
+		ch <- &msg{Type: msgResult, TaskID: id,
+			Err: "webcom: client connection lost (" + reason + ")"}
+	}
+	mc.conn.close()
+}
+
+func (mc *masterClient) isDead() bool {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.dead
 }
 
 // NewMaster creates a master with the given identity and client policy.
@@ -69,9 +107,16 @@ func (m *Master) Listen(addr string) error {
 	if err != nil {
 		return fmt.Errorf("webcom: master listen: %w", err)
 	}
+	m.Serve(ln)
+	return nil
+}
+
+// Serve accepts clients from an already-open listener. It allows callers
+// to interpose transports (TLS, fault injection in chaos tests) between
+// the master and the network.
+func (m *Master) Serve(ln net.Listener) {
 	m.ln = ln
 	go m.acceptLoop()
-	return nil
 }
 
 // Addr returns the listen address.
@@ -87,12 +132,16 @@ func (m *Master) Close() error {
 	}
 	m.mu.Unlock()
 	for _, c := range clients {
-		c.conn.close()
+		c.fail("master shutting down")
 	}
 	return m.ln.Close()
 }
 
 func (m *Master) acceptLoop() {
+	// Transient Accept errors (EMFILE, ECONNABORTED, ...) must not spin
+	// this loop hot: back off exponentially and reset on success.
+	backoff := 5 * time.Millisecond
+	const maxBackoff = time.Second
 	for {
 		raw, err := m.ln.Accept()
 		if err != nil {
@@ -102,8 +151,13 @@ func (m *Master) acceptLoop() {
 			if closed {
 				return
 			}
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
 			continue
 		}
+		backoff = 5 * time.Millisecond
 		go m.handleClient(newConn(raw))
 	}
 }
@@ -111,6 +165,10 @@ func (m *Master) acceptLoop() {
 // handleClient performs the mutual authentication handshake and then
 // serves results from the client.
 func (m *Master) handleClient(c *conn) {
+	live := m.Live.withDefaults()
+	// A connection that sends nothing after the challenge must not pin
+	// this goroutine: the whole handshake runs under a read deadline.
+	c.setHandshakeDeadline(live.HandshakeTimeout)
 	nonce, err := newNonce()
 	if err != nil {
 		c.close()
@@ -148,6 +206,18 @@ func (m *Master) handleClient(c *conn) {
 		}
 		creds = append(creds, a)
 	}
+	// Reject an impersonation attempt before completing the handshake: a
+	// different key claiming an in-use name must never see a welcome.
+	// (Re-checked under the same lock at registration below; this early
+	// check only makes the rejection visible to the impostor's Connect.)
+	m.mu.Lock()
+	if old, dup := m.clients[hello.Name]; dup && old.principal != hello.Principal {
+		m.mu.Unlock()
+		c.send(&msg{Type: msgReject, Err: "client name already connected under another principal"})
+		c.close()
+		return
+	}
+	m.mu.Unlock()
 	// Answer the client's counter-challenge and present our credentials.
 	credTexts := make([]string, len(m.Credentials))
 	for i, a := range m.Credentials {
@@ -162,12 +232,17 @@ func (m *Master) handleClient(c *conn) {
 		c.close()
 		return
 	}
+	c.clearDeadline()
 
+	rp := m.Retry.withDefaults(m.MaxAttempts)
 	mc := &masterClient{
 		name:        hello.Name,
 		principal:   hello.Principal,
 		conn:        c,
 		credentials: creds,
+		sem:         make(chan struct{}, rp.MaxInFlight),
+		died:        make(chan struct{}),
+		brk:         newBreaker(rp.FailureThreshold, rp.Quarantine),
 		pending:     make(map[uint64]chan *msg),
 	}
 	m.mu.Lock()
@@ -176,14 +251,31 @@ func (m *Master) handleClient(c *conn) {
 		c.close()
 		return
 	}
-	if _, dup := m.clients[mc.name]; dup {
+	if old, dup := m.clients[mc.name]; dup {
+		if old.principal != mc.principal {
+			// A different key claiming an in-use name is an
+			// impersonation attempt, not a reconnect.
+			m.mu.Unlock()
+			c.send(&msg{Type: msgReject, Err: "client name already connected under another principal"})
+			c.close()
+			return
+		}
+		// The same principal re-authenticated: the old entry is a stale
+		// connection (silent partition, crash-and-restart). Supersede it
+		// so the reconnecting client is admitted immediately instead of
+		// being locked out until the dead TCP connection times out.
+		m.clients[mc.name] = mc
 		m.mu.Unlock()
-		c.send(&msg{Type: msgReject, Err: "client name already connected"})
-		c.close()
-		return
+		old.fail("superseded by reconnect")
+	} else {
+		m.clients[mc.name] = mc
+		m.mu.Unlock()
 	}
-	m.clients[mc.name] = mc
-	m.mu.Unlock()
+
+	// Heartbeat: ping the client and declare it dead after IdleTimeout
+	// of silence — the only defence against accepted-but-silent peers.
+	stopLiveness := make(chan struct{})
+	go m.liveness(mc, live, stopLiveness)
 
 	// Serve results until the connection dies.
 	for {
@@ -191,31 +283,50 @@ func (m *Master) handleClient(c *conn) {
 		if err != nil {
 			break
 		}
-		if r.Type != msgResult {
-			continue
-		}
-		mc.mu.Lock()
-		ch := mc.pending[r.TaskID]
-		delete(mc.pending, r.TaskID)
-		mc.mu.Unlock()
-		if ch != nil {
-			ch <- r
+		switch r.Type {
+		case msgPing:
+			c.send(&msg{Type: msgPong})
+		case msgResult:
+			mc.mu.Lock()
+			ch := mc.pending[r.TaskID]
+			delete(mc.pending, r.TaskID)
+			mc.mu.Unlock()
+			if ch != nil {
+				ch <- r
+			}
 		}
 	}
+	close(stopLiveness)
 	// Connection lost: fail outstanding tasks so the scheduler retries.
-	mc.mu.Lock()
-	mc.dead = true
-	for id, ch := range mc.pending {
-		ch <- &msg{Type: msgResult, TaskID: id, Err: "webcom: client connection lost"}
-		delete(mc.pending, id)
-	}
-	mc.mu.Unlock()
+	mc.fail("read loop ended")
 	m.mu.Lock()
 	if m.clients[mc.name] == mc {
 		delete(m.clients, mc.name)
 	}
 	m.mu.Unlock()
-	c.close()
+}
+
+// liveness pings mc and declares it dead after IdleTimeout of silence.
+func (m *Master) liveness(mc *masterClient, live Liveness, stop <-chan struct{}) {
+	t := time.NewTicker(live.PingInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-mc.died:
+			return
+		case <-t.C:
+			if mc.conn.idle() > live.IdleTimeout {
+				mc.fail("heartbeat timeout")
+				return
+			}
+			if err := mc.conn.send(&msg{Type: msgPing}); err != nil {
+				mc.fail("ping failed")
+				return
+			}
+		}
+	}
 }
 
 // Clients returns the names of connected clients, sorted.
@@ -257,8 +368,11 @@ func taskQuery(principal, opName string, annotations map[string]string, args []s
 }
 
 // authorisedClients returns connected clients the master's policy permits
-// for the task, in name order.
-func (m *Master) authorisedClients(t cg.Task) ([]*masterClient, error) {
+// for the task, rotated for load spreading, along with the total number
+// of connected clients (so callers can tell "nobody connected" — a
+// transient condition worth retrying — from "connected but none
+// authorised" — a policy decision).
+func (m *Master) authorisedClients(t cg.Task) ([]*masterClient, int, error) {
 	m.mu.Lock()
 	all := make([]*masterClient, 0, len(m.clients))
 	for _, c := range m.clients {
@@ -269,9 +383,12 @@ func (m *Master) authorisedClients(t cg.Task) ([]*masterClient, error) {
 
 	var out []*masterClient
 	for _, c := range all {
+		if c.isDead() {
+			continue
+		}
 		res, err := m.Checker.Check(taskQuery(c.principal, t.OpName, t.Annotations, t.Args), c.credentials)
 		if err != nil {
-			return nil, err
+			return nil, len(all), err
 		}
 		if res.Authorized(nil) {
 			out = append(out, c)
@@ -287,7 +404,7 @@ func (m *Master) authorisedClients(t cg.Task) ([]*masterClient, error) {
 		m.mu.Unlock()
 		out = append(out[shift:], out[:shift]...)
 	}
-	return out, nil
+	return out, len(all), nil
 }
 
 // ErrNoAuthorisedClient is returned when no connected client may execute
@@ -296,43 +413,73 @@ var ErrNoAuthorisedClient = errors.New("webcom: no authorised client for task")
 
 // Executor returns a cg.Executor that schedules Opaque operations to
 // authorised clients, falling back to local evaluation for Func
-// operators. It retries on client failure (fault tolerance) but not on
-// authorisation denial — a denial is a policy decision, not a fault.
+// operators. Transport faults — lost connections, dispatch deadlines,
+// stalled clients — are retried with exponential backoff and jitter on
+// other authorised clients, skipping clients whose circuit breaker is
+// open. Authorisation denials are NEVER retried: a denial is a policy
+// decision, not a fault, and retrying it elsewhere would turn policy
+// routing into a race.
 func (m *Master) Executor() cg.Executor {
+	rp := m.Retry.withDefaults(m.MaxAttempts)
 	return func(ctx context.Context, t cg.Task, op cg.Operator) (string, error) {
 		if _, local := op.(*cg.Func); local {
 			return cg.LocalExecutor(ctx, t, op)
 		}
-		maxAttempts := m.MaxAttempts
-		if maxAttempts <= 0 {
-			maxAttempts = 3
-		}
 		var lastErr error
-		tried := map[string]bool{}
-		for attempt := 0; attempt < maxAttempts; attempt++ {
-			cands, err := m.authorisedClients(t)
+		tried := make(map[*masterClient]bool)
+		for attempt := 0; attempt < rp.MaxAttempts; attempt++ {
+			if attempt > 0 {
+				if err := sleepCtx(ctx, rp.backoff(attempt-1)); err != nil {
+					return "", err
+				}
+			}
+			cands, connected, err := m.authorisedClients(t)
 			if err != nil {
 				return "", err
 			}
+			if len(cands) == 0 {
+				if connected > 0 {
+					// Clients are connected and the policy authorises
+					// none of them: a decision, not a fault.
+					return "", fmt.Errorf("%w: op %s (annotations %v)", ErrNoAuthorisedClient, t.OpName, t.Annotations)
+				}
+				// Nobody connected right now; the pool may be mid-
+				// reconnect, so treat it as transient and retry.
+				lastErr = fmt.Errorf("%w: op %s (no clients connected)", ErrNoAuthorisedClient, t.OpName)
+				continue
+			}
 			var target *masterClient
+			now := time.Now()
 			for _, c := range cands {
-				if !tried[c.name] {
+				if !tried[c] && c.brk.allow(now) {
 					target = c
 					break
 				}
 			}
 			if target == nil {
-				if lastErr != nil {
-					return "", lastErr
+				// Everyone authorised has been tried this round or sits
+				// in quarantine: back off and start a fresh round (a
+				// reconnected client is a new entry and will be
+				// offered again).
+				tried = make(map[*masterClient]bool)
+				if lastErr == nil {
+					lastErr = errors.New("webcom: all authorised clients quarantined")
 				}
-				return "", fmt.Errorf("%w: op %s (annotations %v)", ErrNoAuthorisedClient, t.OpName, t.Annotations)
-			}
-			tried[target.name] = true
-			res, err := m.dispatch(ctx, target, t)
-			if err != nil {
-				lastErr = err // transport fault: try the next client
 				continue
 			}
+			tried[target] = true
+			res, err := m.dispatch(ctx, target, t)
+			if err != nil {
+				target.brk.failure(time.Now())
+				lastErr = err
+				if ctx.Err() != nil {
+					// The caller's context ended; don't burn the
+					// remaining attempts.
+					return "", err
+				}
+				continue
+			}
+			target.brk.success()
 			if res.Denied {
 				// The client's own policy refused the master or the
 				// middleware denied the invocation; surface it.
@@ -347,12 +494,27 @@ func (m *Master) Executor() cg.Executor {
 			}
 			return res.Result, nil
 		}
-		return "", fmt.Errorf("webcom: task %s failed after retries: %w", t.OpName, lastErr)
+		return "", fmt.Errorf("webcom: task %s failed after %d attempts: %w", t.OpName, rp.MaxAttempts, lastErr)
 	}
 }
 
-// dispatch sends a task to a client and awaits its result.
+// dispatch sends a task to a client and awaits its result, bounded by
+// the per-dispatch deadline and the client's in-flight limit.
 func (m *Master) dispatch(ctx context.Context, c *masterClient, t cg.Task) (*msg, error) {
+	rp := m.Retry.withDefaults(m.MaxAttempts)
+	ctx, cancel := context.WithTimeout(ctx, rp.DispatchTimeout)
+	defer cancel()
+
+	// Backpressure: wait for one of the client's in-flight slots.
+	select {
+	case c.sem <- struct{}{}:
+		defer func() { <-c.sem }()
+	case <-c.died:
+		return nil, errors.New("webcom: client connection lost")
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+
 	m.mu.Lock()
 	m.nextID++
 	id := m.nextID

@@ -18,8 +18,21 @@
 //     security, as the (Domain, Role, User) annotations from the IDE
 //     dictate — the stacked architecture of Figure 10.
 //
-// Fault tolerance: if a client fails mid-task (connection loss or crash)
-// the master reschedules the task on another authorised client.
+// Fault tolerance: the scheduler is built to ride through partial
+// failure, not just clean disconnects. Both sides heartbeat (ping/pong)
+// and declare a silent peer dead after an idle timeout, so partitioned
+// or accepted-but-silent connections are detected, not just TCP resets;
+// the handshake itself runs under a read deadline. Each dispatch has a
+// deadline; a failed or timed-out task is rescheduled on another
+// authorised client with exponential backoff and jitter, while a
+// per-client circuit breaker quarantines repeatedly failing clients and
+// probes them before readmission. In-flight tasks per client are
+// bounded (backpressure). Clients can auto-reconnect, re-running the
+// full mutual-authentication handshake; a reconnecting principal
+// supersedes its own stale connection at the master. Authorisation
+// denials are never retried — a denial is a policy decision, not a
+// fault. See RetryPolicy, Liveness and ReconnectPolicy for knobs, and
+// internal/faultnet for the chaos harness that exercises all of this.
 package webcom
 
 import (
@@ -29,6 +42,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // AppDomain is the KeyNote application domain for WebCom queries.
@@ -65,19 +80,27 @@ const (
 	msgReject    = "reject"
 	msgSchedule  = "schedule"
 	msgResult    = "result"
+	msgPing      = "ping"
+	msgPong      = "pong"
 )
 
-// conn wraps a net.Conn with JSON framing and a write lock.
+// conn wraps a net.Conn with JSON framing, a write lock, and a
+// last-received timestamp for heartbeat liveness: any inbound message
+// (pongs included) counts as proof of life.
 type conn struct {
 	raw net.Conn
 	dec *json.Decoder
 
 	wmu sync.Mutex
 	enc *json.Encoder
+
+	lastRecv atomic.Int64 // unix nanos of the last successful recv
 }
 
 func newConn(c net.Conn) *conn {
-	return &conn{raw: c, dec: json.NewDecoder(c), enc: json.NewEncoder(c)}
+	cn := &conn{raw: c, dec: json.NewDecoder(c), enc: json.NewEncoder(c)}
+	cn.lastRecv.Store(time.Now().UnixNano())
+	return cn
 }
 
 func (c *conn) send(m *msg) error {
@@ -91,7 +114,25 @@ func (c *conn) recv() (*msg, error) {
 	if err := c.dec.Decode(&m); err != nil {
 		return nil, err
 	}
+	c.lastRecv.Store(time.Now().UnixNano())
 	return &m, nil
+}
+
+// idle reports how long the connection has been silent.
+func (c *conn) idle() time.Duration {
+	return time.Since(time.Unix(0, c.lastRecv.Load()))
+}
+
+// setHandshakeDeadline arms a read deadline for the handshake phase; a
+// peer that goes silent mid-handshake cannot pin a goroutine forever.
+func (c *conn) setHandshakeDeadline(d time.Duration) {
+	c.raw.SetReadDeadline(time.Now().Add(d))
+}
+
+// clearDeadline disarms the handshake deadline once the peer is
+// authenticated; liveness is heartbeat-driven from here on.
+func (c *conn) clearDeadline() {
+	c.raw.SetReadDeadline(time.Time{})
 }
 
 func (c *conn) close() error { return c.raw.Close() }

@@ -362,23 +362,26 @@ func TestPartialSpecificationPicksAuthorisedUser(t *testing.T) {
 	}
 }
 
-func TestDuplicateClientNameRejected(t *testing.T) {
+func TestDuplicateNameDifferentPrincipalRejected(t *testing.T) {
+	// Same name + same principal is a reconnect and supersedes the stale
+	// entry (TestReconnectSupersedesStaleConnection); same name under a
+	// DIFFERENT key is an impersonation attempt and must be rejected.
 	env := newTestEnv(t, "X")
 	env.attach("X", nil)
 	waitClients(t, env.master, 1)
 
-	ck, _ := env.ks.ByName("KX")
-	dup := &Client{Name: "X", Key: ck}
+	evil := keys.Deterministic("Kevil", "webcom-test-evil")
+	dup := &Client{Name: "X", Key: evil}
 	err := dup.Connect(env.master.Addr())
-	// The rejection may surface at Connect (reject message) or the
-	// connection is simply closed.
 	if err == nil {
-		// Give the master a moment; the duplicate must not be listed twice.
-		time.Sleep(20 * time.Millisecond)
-		if n := len(env.master.Clients()); n != 1 {
-			t.Fatalf("duplicate client admitted: %d clients", n)
-		}
 		dup.Close()
+		t.Fatal("impersonator with a different key was admitted")
+	}
+	if !strings.Contains(err.Error(), "another principal") {
+		t.Fatalf("wrong rejection: %v", err)
+	}
+	if n := len(env.master.Clients()); n != 1 {
+		t.Fatalf("client count = %d, want 1", n)
 	}
 }
 
