@@ -315,7 +315,7 @@ func BenchmarkStackedAuth(b *testing.B) {
 			st := stack.New(stack.RequireAll, layers[4-k:]...)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if d := st.Authorize(req); !d.Granted {
+				if d := st.Authorize(context.Background(), req); !d.Granted {
 					b.Fatalf("denied: %s", d)
 				}
 			}

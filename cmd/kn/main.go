@@ -8,7 +8,7 @@
 //	kn verify  -in signed.kn [-keys dir]
 //	kn fmt     -in assertions.kn
 //	kn query   -policy policy.kn [-creds creds.kn] -authorizer K \
-//	           [-attr name=value ...] [-values v1,v2,...] [-keys dir]
+//	           [-attr name=value ...] [-values v1,v2,...] [-keys dir] [-trace]
 //
 // Assertion files may contain several assertions separated by blank
 // lines. The -keys directory holds *.key / *.pub files written by keygen,
@@ -16,12 +16,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"securewebcom/internal/authz"
 	"securewebcom/internal/keynote"
 	"securewebcom/internal/keys"
 )
@@ -214,6 +216,7 @@ func cmdQuery(args []string) error {
 	authorizer := fs.String("authorizer", "", "requesting principal (name or key)")
 	valuesFlag := fs.String("values", "", "comma-separated compliance values, weakest first")
 	keyDir := fs.String("keys", "", "directory of key files for name resolution")
+	trace := fs.Bool("trace", false, "decide through the authz engine and print the full decision trace")
 	var attrs attrFlags
 	fs.Var(&attrs, "attr", "action attribute name=value (repeatable)")
 	fs.Parse(args)
@@ -250,6 +253,19 @@ func cmdQuery(args []string) error {
 	q := keynote.Query{Authorizers: []string{*authorizer}, Attributes: attrs.m}
 	if *valuesFlag != "" {
 		q.Values = strings.Split(*valuesFlag, ",")
+	}
+	if *trace {
+		// The engine path: credentials admitted into a session (verified
+		// once), the decision computed with its structured trace.
+		d, err := authz.NewEngine(chk).Session(creds).Decide(context.Background(), q)
+		if err != nil {
+			return err
+		}
+		fmt.Print(d.Explain())
+		if !d.Allowed {
+			os.Exit(3)
+		}
+		return nil
 	}
 	res, err := chk.Check(q, creds)
 	if err != nil {

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -154,5 +157,104 @@ func TestErrorPaths(t *testing.T) {
 	in := write(t, dir, "a.kn", "Authorizer: \"K\"\nLicensees: \"L\"\n")
 	if err := cmdSign([]string{"-key", pub, "-in", in}); err == nil {
 		t.Fatal("signed with public-only key")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ferr != nil {
+		t.Fatalf("command failed: %v", ferr)
+	}
+	return string(out)
+}
+
+// TestQueryExplainGolden pins the exact Explain output for a query with
+// a delegation chain, several principal valuations and a rejected
+// credential — the output must be byte-identical across runs (sorted
+// principals, sorted rejections).
+func TestQueryExplainGolden(t *testing.T) {
+	dir := t.TempDir()
+	bob := keys.Deterministic("Kbob", "cli-golden")
+	alice := keys.Deterministic("Kalice", "cli-golden")
+	keyDir := filepath.Join(dir, "keys")
+	os.MkdirAll(keyDir, 0o700)
+	if err := bob.Save(filepath.Join(keyDir, "kbob.pub"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Save(filepath.Join(keyDir, "kalice.pub"), false); err != nil {
+		t.Fatal(err)
+	}
+
+	policy := write(t, dir, "policy.kn",
+		"Authorizer: POLICY\nLicensees: \""+bob.PublicID()+"\"\nConditions: oper==\"write\";\n")
+	good := keynote.MustNew("\""+bob.PublicID()+"\"", "\""+alice.PublicID()+"\"", `oper=="write";`)
+	if err := good.Sign(bob); err != nil {
+		t.Fatal(err)
+	}
+	// An unsigned credential: rejected at admission with a
+	// deterministic reason.
+	forged := keynote.MustNew("\""+bob.PublicID()+"\"", "\""+alice.PublicID()+"\"", `oper=="delete";`)
+	credPath := write(t, dir, "creds.kn", good.Text()+"\n"+forged.Text())
+
+	args := []string{"-policy", policy, "-creds", credPath,
+		"-authorizer", alice.PublicID(), "-attr", "oper=write", "-keys", keyDir}
+	out := captureStdout(t, func() error { return cmdQuery(args) })
+
+	trunc := func(s string) string {
+		if len(s) <= 40 {
+			return s
+		}
+		return s[:40] + "..."
+	}
+	var want strings.Builder
+	want.WriteString("compliance value: true\n")
+	ids := []string{"POLICY", bob.PublicID(), alice.PublicID()}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&want, "  %-20s -> true\n", trunc(id))
+	}
+	fmt.Fprintf(&want, "  granting chain: POLICY <- %s <- %s\n",
+		trunc(bob.PublicID()), trunc(alice.PublicID()))
+	fmt.Fprintf(&want, "  rejected credential from %s: %s\n",
+		trunc(forged.Authorizer), forged.VerifySignature(nil).Error())
+	if out != want.String() {
+		t.Fatalf("golden mismatch:\n got:\n%s\nwant:\n%s", out, want.String())
+	}
+
+	// A second run must be byte-identical (determinism, not luck).
+	if again := captureStdout(t, func() error { return cmdQuery(args) }); again != out {
+		t.Fatalf("output not deterministic:\n%s\nvs\n%s", again, out)
+	}
+}
+
+// TestQueryTraceFlag exercises the -trace path: the engine's decision
+// explanation must carry the verdict, layer, chain and session marker.
+func TestQueryTraceFlag(t *testing.T) {
+	dir := t.TempDir()
+	policy := write(t, dir, "policy.kn",
+		"Authorizer: POLICY\nLicensees: \"Kbob\"\nConditions: oper==\"read\";\n")
+	out := captureStdout(t, func() error {
+		return cmdQuery([]string{"-policy", policy, "-authorizer", "Kbob",
+			"-attr", "oper=read", "-trace"})
+	})
+	for _, wantSub := range []string{"GRANT", "L2:keynote", "grant", "session ", "computed in"} {
+		if !strings.Contains(out, wantSub) {
+			t.Fatalf("-trace output missing %q:\n%s", wantSub, out)
+		}
 	}
 }

@@ -13,6 +13,8 @@
 //	                    [-vocab Launch,Access,RunAs] [-min-score 0.5]
 //	policytool lint     -policy pol.kn [-creds creds.kn] [-rbac policy.json] \
 //	                    [-app-domain WebCom] [-keys dir] [-json] [-skip-sig] [-now 20040101]
+//	policytool check    -policy pol.kn [-creds creds.kn] -authorizer K \
+//	                    [-attr name=value ...] [-keys dir] [-trace]
 //
 // Policies are JSON files in the two-relation format of internal/rbac.
 // encode writes a KeyNote policy assertion plus one signed credential per
@@ -26,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,6 +37,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"securewebcom/internal/authz"
 	"securewebcom/internal/keycom"
 	"securewebcom/internal/keynote"
 	"securewebcom/internal/keys"
@@ -70,6 +74,8 @@ func main() {
 		os.Exit(rep.ExitCode())
 	case "remote-extract":
 		err = cmdRemoteExtract(args)
+	case "check":
+		err = cmdCheck(args)
 	default:
 		usage()
 	}
@@ -81,8 +87,70 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: policytool {render|validate|diff|encode|decode|migrate|lint|remote-extract} [flags]")
+		"usage: policytool {render|validate|diff|encode|decode|migrate|lint|remote-extract|check} [flags]")
 	os.Exit(2)
+}
+
+// cmdCheck decides an authorisation question through the authz engine:
+// the credential set is admitted into a session (signatures verified
+// once) and the decision printed, with its full trace under -trace.
+// Exit code 0 = granted, 3 = denied.
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	policyPath := fs.String("policy", "", "KeyNote policy file")
+	credsPath := fs.String("creds", "", "KeyNote credentials file (optional)")
+	authorizer := fs.String("authorizer", "", "requesting principal (name or key)")
+	keyDir := fs.String("keys", "", "directory of key files for name resolution")
+	trace := fs.Bool("trace", false, "print the full decision trace")
+	var attrs mapFlags
+	fs.Var(&attrs, "attr", "action attribute name=value (repeatable)")
+	fs.Parse(args)
+	if *policyPath == "" || *authorizer == "" {
+		return fmt.Errorf("check requires -policy and -authorizer")
+	}
+	data, err := os.ReadFile(*policyPath)
+	if err != nil {
+		return err
+	}
+	policy, err := keynote.ParseAll(string(data))
+	if err != nil {
+		return err
+	}
+	var creds []*keynote.Assertion
+	if *credsPath != "" {
+		data, err := os.ReadFile(*credsPath)
+		if err != nil {
+			return err
+		}
+		creds, err = keynote.ParseAll(string(data))
+		if err != nil {
+			return err
+		}
+	}
+	ks, err := loadKeyDir(*keyDir)
+	if err != nil {
+		return err
+	}
+	chk, err := keynote.NewChecker(policy, keynote.WithResolver(ks))
+	if err != nil {
+		return err
+	}
+	q := keynote.Query{Authorizers: []string{*authorizer}, Attributes: attrs.m}
+	d, err := authz.NewEngine(chk).Session(creds).Decide(context.Background(), q)
+	if err != nil {
+		return err
+	}
+	if *trace {
+		fmt.Print(d.Explain())
+	} else if d.Allowed {
+		fmt.Println("GRANT")
+	} else {
+		fmt.Println("DENY")
+	}
+	if !d.Allowed {
+		os.Exit(3)
+	}
+	return nil
 }
 
 // cmdRemoteExtract pulls the current policy from a running KeyCOM

@@ -19,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"securewebcom/internal/authz"
 	"securewebcom/internal/keynote"
 	"securewebcom/internal/keys"
 	"securewebcom/internal/middleware"
@@ -30,7 +31,7 @@ import (
 type opts struct {
 	masterAddr, name, keyPath string
 	trustMaster, policyPath   string
-	demoEJB                   bool
+	demoEJB, trace            bool
 	live                      webcom.Liveness
 	reconnect                 webcom.ReconnectPolicy
 }
@@ -43,6 +44,7 @@ func main() {
 	flag.StringVar(&o.trustMaster, "trust-master", "", "master public-key file the client trusts")
 	flag.StringVar(&o.policyPath, "policy", "", "KeyNote policy file for authorising masters")
 	flag.BoolVar(&o.demoEJB, "demo-ejb", false, "host the demo Salaries EJB container")
+	flag.BoolVar(&o.trace, "trace", false, "log every authorisation denial with its full decision trace")
 
 	// Fault-tolerance knobs; 0 means the library default.
 	flag.BoolVar(&o.reconnect.Enabled, "reconnect", false, "re-dial a lost master (full re-authentication) with backoff")
@@ -131,6 +133,12 @@ func realMain(o opts) error {
 				return h, err
 			},
 		},
+	}
+
+	if o.trace {
+		cl.Audit().SetSink(func(e authz.AuditEntry) {
+			fmt.Fprintf(os.Stderr, "trace: %s", e.String())
+		})
 	}
 
 	if demoEJB {

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"securewebcom/internal/authz"
 	"securewebcom/internal/cg"
 	"securewebcom/internal/keynote"
 	"securewebcom/internal/keys"
@@ -40,6 +41,7 @@ type opts struct {
 	addr, keyPath, policyPath  string
 	run, graphPath, inputsFlag string
 	waitClients                int
+	trace                      bool
 	trust                      []string
 	retry                      webcom.RetryPolicy
 	live                       webcom.Liveness
@@ -56,6 +58,7 @@ func main() {
 	flag.IntVar(&o.waitClients, "wait-clients", 1, "clients to wait for before -run/-graph")
 	var trust multiFlag
 	flag.Var(&trust, "trust", "client public-key file to trust for all operations (repeatable)")
+	flag.BoolVar(&o.trace, "trace", false, "log every authorisation denial with its full decision trace")
 
 	// Fault-tolerance knobs; 0 means the library default.
 	flag.IntVar(&o.retry.MaxAttempts, "max-attempts", 0, "scheduling attempts per task (0 = default 3)")
@@ -135,6 +138,11 @@ func realMain(o opts) error {
 	master := webcom.NewMaster(masterKey, chk, nil, ks)
 	master.Retry = o.retry
 	master.Live = o.live
+	if o.trace {
+		master.Audit().SetSink(func(e authz.AuditEntry) {
+			fmt.Fprintf(os.Stderr, "trace: %s", e.String())
+		})
+	}
 	if err := master.Listen(addr); err != nil {
 		return err
 	}

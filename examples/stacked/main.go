@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -90,7 +91,7 @@ func run() error {
 	}
 	fmt.Println("== authorised request (Bob, payroll run) ==")
 	for _, cfg := range configs {
-		d := cfg.st.Authorize(okReq)
+		d := cfg.st.Authorize(context.Background(), okReq)
 		fmt.Printf("  %-32s %s\n", cfg.name, d)
 		if !d.Granted {
 			return fmt.Errorf("config %q denied an authorised request", cfg.name)
@@ -111,7 +112,7 @@ func run() error {
 	for _, v := range violations {
 		r := *okReq
 		v.mutate(&r)
-		d := full.Authorize(&r)
+		d := full.Authorize(context.Background(), &r)
 		fmt.Printf("  %-36s %s\n", v.name, d)
 		if d.Granted {
 			return fmt.Errorf("violation %q slipped through", v.name)
@@ -122,7 +123,7 @@ func run() error {
 	override := stack.New(stack.FirstDecides, l2, l1, l0)
 	r := *okReq
 	r.OSPrincipal = "eve" // L0 would deny, but L2 decides first
-	d := override.Authorize(&r)
+	d := override.Authorize(context.Background(), &r)
 	fmt.Printf("  L2 grants before L0 is consulted: %s\n", d)
 	if !d.Granted {
 		return fmt.Errorf("FirstDecides did not let L2 decide")

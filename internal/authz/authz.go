@@ -1,0 +1,317 @@
+// Package authz is the compiled authorisation engine every Secure WebCom
+// subsystem decides through: the stacked mediation layers, the WebCom
+// master and client schedulers, and the KeyCOM administration service.
+//
+// The KeyNote compliance checker is correct but pays the full price —
+// signature verification, principal canonicalisation, condition
+// compilation, delegation fixpoint — on every call, even though a WebCom
+// session's credentials are fixed at handshake. This package hoists that
+// work out of the request path, the way grid security systems (Welch et
+// al., Security for Grid Services) hoist credential validation out of
+// job dispatch:
+//
+//   - a CredentialSession admits a credential set ONCE: signatures are
+//     verified at admission, principals canonicalised through a memoized
+//     resolver, conditions already compiled at parse time, and the whole
+//     set content-fingerprinted so identical sets share one session;
+//
+//   - a Decision carries a structured Trace — per-layer verdicts, the
+//     granting delegation chain, rejected credentials, timing — so a
+//     denial can always answer "which layer said no, on which chain";
+//
+//   - an LRU decision cache keyed by (session fingerprint, canonical
+//     query) makes repeat decisions O(map lookup), with explicit
+//     invalidation hooks fired by KeyCOM catalogue commits.
+package authz
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"securewebcom/internal/keynote"
+)
+
+// DefaultCacheSize bounds the decision cache when no option overrides it.
+const DefaultCacheSize = 4096
+
+// Engine wraps one keynote.Checker with memoised credential sessions and
+// a shared decision cache. It is safe for concurrent use.
+type Engine struct {
+	checker   *keynote.Checker
+	memo      *keynote.MemoResolver
+	layerName string
+	polHash   string
+
+	mu       sync.Mutex
+	sessions map[string]*CredentialSession // by fingerprint
+	cache    *lruCache
+
+	hits, misses, invalidations uint64
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithCacheSize sets the decision-cache capacity (entries).
+func WithCacheSize(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.cache = newLRUCache(n)
+		}
+	}
+}
+
+// WithLayerName sets the label decisions carry in their trace (default
+// "L2:keynote"; KeyCOM uses "L2:keycom").
+func WithLayerName(name string) Option {
+	return func(e *Engine) { e.layerName = name }
+}
+
+// NewEngine builds an engine over chk. The checker's resolver is wrapped
+// in a memo table so principal canonicalisation is paid once per name,
+// not once per query.
+func NewEngine(chk *keynote.Checker, opts ...Option) *Engine {
+	e := &Engine{
+		checker:   chk,
+		memo:      chk.MemoizeResolver(),
+		layerName: "L2:keynote",
+		polHash:   policyHash(chk.Policy()),
+		sessions:  make(map[string]*CredentialSession),
+		cache:     newLRUCache(DefaultCacheSize),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Checker returns the wrapped compliance checker.
+func (e *Engine) Checker() *keynote.Checker { return e.checker }
+
+// Session admits a credential set, verifying each credential's signature
+// exactly once. Identical sets (by content fingerprint, order-blind)
+// share one session, so a reconnecting client or a repeat administrator
+// costs no re-verification.
+func (e *Engine) Session(creds []*keynote.Assertion) *CredentialSession {
+	fp := e.fingerprint(creds)
+	e.mu.Lock()
+	if s, ok := e.sessions[fp]; ok {
+		e.mu.Unlock()
+		return s
+	}
+	e.mu.Unlock()
+
+	// Admission runs outside the lock: signature verification is the
+	// expensive part and must not serialise unrelated handshakes.
+	s := &CredentialSession{engine: e, fp: fp}
+	for _, cr := range creds {
+		switch {
+		case cr.IsPolicy():
+			s.rejected = append(s.rejected, keynote.RejectedCredential{
+				Authorizer: keynote.PolicyPrincipal,
+				Reason:     "POLICY assertions cannot be submitted as credentials",
+			})
+		case e.checker.Verifies():
+			if err := cr.VerifySignature(e.checker.Resolver()); err != nil {
+				s.rejected = append(s.rejected, keynote.RejectedCredential{
+					Authorizer: cr.Authorizer,
+					Reason:     err.Error(),
+				})
+				continue
+			}
+			s.admitted = append(s.admitted, cr)
+		default:
+			s.admitted = append(s.admitted, cr)
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if prior, ok := e.sessions[fp]; ok {
+		return prior // lost the admission race; identical content anyway
+	}
+	e.sessions[fp] = s
+	return s
+}
+
+// Invalidate flushes the decision cache, the admitted sessions and the
+// resolver memo. KeyCOM fires it on every catalogue commit; anything
+// that changes policy inputs out from under the engine should too.
+func (e *Engine) Invalidate() {
+	e.mu.Lock()
+	e.cache.clear()
+	e.sessions = make(map[string]*CredentialSession)
+	e.invalidations++
+	e.mu.Unlock()
+	if e.memo != nil {
+		e.memo.Flush()
+	}
+}
+
+// Stats is a point-in-time snapshot of the engine's counters.
+type Stats struct {
+	Sessions      int
+	CacheEntries  int
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64
+}
+
+// Stats returns the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		Sessions:      len(e.sessions),
+		CacheEntries:  e.cache.len(),
+		Hits:          e.hits,
+		Misses:        e.misses,
+		Invalidations: e.invalidations,
+	}
+}
+
+func (e *Engine) cacheGet(key string) (*Decision, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d, ok := e.cache.get(key)
+	if ok {
+		e.hits++
+	} else {
+		e.misses++
+	}
+	return d, ok
+}
+
+func (e *Engine) cachePut(key string, d *Decision) {
+	e.mu.Lock()
+	e.cache.put(key, d)
+	e.mu.Unlock()
+}
+
+// fingerprint hashes the credential set (order-blind) together with the
+// engine's policy hash, so a decision cache key pins both sides of the
+// trust computation.
+func (e *Engine) fingerprint(creds []*keynote.Assertion) string {
+	texts := make([]string, len(creds))
+	for i, c := range creds {
+		texts[i] = c.Text()
+	}
+	sort.Strings(texts)
+	h := sha256.New()
+	h.Write([]byte(e.polHash))
+	for _, t := range texts {
+		h.Write([]byte(t))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+func policyHash(policy []*keynote.Assertion) string {
+	h := sha256.New()
+	for _, p := range policy {
+		h.Write([]byte(p.Text()))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// CredentialSession is a credential set admitted by an Engine: verified
+// once, fingerprinted, and ready to decide queries from the cache.
+type CredentialSession struct {
+	engine   *Engine
+	fp       string
+	admitted []*keynote.Assertion
+	rejected []keynote.RejectedCredential
+}
+
+// Fingerprint identifies the admitted set's content (plus engine policy).
+func (s *CredentialSession) Fingerprint() string { return s.fp }
+
+// Admitted returns the credentials that survived admission.
+func (s *CredentialSession) Admitted() []*keynote.Assertion { return s.admitted }
+
+// Rejected returns the credentials refused at admission, with reasons.
+func (s *CredentialSession) Rejected() []keynote.RejectedCredential { return s.rejected }
+
+// Decide answers the query from the decision cache, computing (and
+// caching) it on a miss. The hot path performs no signature
+// verification: that was paid once at admission. Callers must treat the
+// returned Decision as immutable — cache hits share it.
+func (s *CredentialSession) Decide(ctx context.Context, q keynote.Query) (*Decision, error) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key := s.fp + "\x00" + canonicalQuery(q)
+	if d, ok := s.engine.cacheGet(key); ok {
+		hit := *d
+		hit.Trace.CacheHit = true
+		hit.Trace.Elapsed = time.Since(start)
+		return &hit, nil
+	}
+	res, err := s.engine.checker.CheckPreverified(q, s.admitted)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.rejected) > 0 {
+		res.Rejected = append(append([]keynote.RejectedCredential{}, s.rejected...), res.Rejected...)
+	}
+	d := &Decision{
+		Allowed: res.Authorized(q.Values),
+		Value:   res.Value,
+		Result:  res,
+		Trace: Trace{
+			Fingerprint:     s.fp,
+			Elapsed:         time.Since(start),
+			Chain:           res.Chain,
+			Rejected:        res.Rejected,
+			PrincipalValues: res.PrincipalValues,
+		},
+	}
+	verdict := VerdictDeny
+	if d.Allowed {
+		verdict = VerdictGrant
+	}
+	d.Trace.Layers = []LayerTrace{{
+		Layer:   s.engine.layerName,
+		Verdict: verdict,
+		Elapsed: d.Trace.Elapsed,
+	}}
+	s.engine.cachePut(key, d)
+	return d, nil
+}
+
+// canonicalQuery renders a query as a deterministic cache-key component:
+// authorizers in given order (order is visible to conditions through
+// _ACTION_AUTHORIZERS), attributes sorted by name, then the value
+// ordering.
+func canonicalQuery(q keynote.Query) string {
+	var b strings.Builder
+	for _, a := range q.Authorizers {
+		b.WriteString(a)
+		b.WriteByte(0x1f)
+	}
+	b.WriteByte(0x1e)
+	names := make([]string, 0, len(q.Attributes))
+	for k := range q.Attributes {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		b.WriteString(k)
+		b.WriteByte(0x1f)
+		b.WriteString(q.Attributes[k])
+		b.WriteByte(0x1f)
+	}
+	b.WriteByte(0x1e)
+	for _, v := range q.Values {
+		b.WriteString(v)
+		b.WriteByte(0x1f)
+	}
+	return b.String()
+}

@@ -1,0 +1,302 @@
+package authz
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+)
+
+// fixture builds the paper's delegation shape: POLICY trusts Kadmin for
+// WebCom Finance rows; Kadmin delegates Finance/Manager to Kbob with a
+// signed credential.
+type fixture struct {
+	ks     *keys.KeyStore
+	admin  *keys.KeyPair
+	bob    *keys.KeyPair
+	chk    *keynote.Checker
+	cred   *keynote.Assertion
+	engine *Engine
+}
+
+func newFixture(t testing.TB) *fixture {
+	t.Helper()
+	ks := keys.NewKeyStore()
+	admin := keys.Deterministic("Kadmin", "authz-test")
+	bob := keys.Deterministic("Kbob", "authz-test")
+	ks.Add(admin)
+	ks.Add(bob)
+
+	policy := keynote.MustNew("POLICY", fmt.Sprintf("%q", admin.PublicID()),
+		`app_domain=="WebCom" && Domain=="Finance";`)
+	cred := keynote.MustNew(fmt.Sprintf("%q", admin.PublicID()), fmt.Sprintf("%q", bob.PublicID()),
+		`app_domain=="WebCom" && Domain=="Finance" && Role=="Manager";`)
+	if err := cred.Sign(admin); err != nil {
+		t.Fatal(err)
+	}
+	chk, err := keynote.NewChecker([]*keynote.Assertion{policy}, keynote.WithResolver(ks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{ks: ks, admin: admin, bob: bob, chk: chk, cred: cred, engine: NewEngine(chk)}
+}
+
+func (f *fixture) query(role string) keynote.Query {
+	return keynote.Query{
+		Authorizers: []string{f.bob.PublicID()},
+		Attributes: map[string]string{
+			"app_domain": "WebCom", "Domain": "Finance", "Role": role,
+		},
+	}
+}
+
+func TestSessionDecideGrantAndDeny(t *testing.T) {
+	f := newFixture(t)
+	s := f.engine.Session([]*keynote.Assertion{f.cred})
+	ctx := context.Background()
+
+	d, err := s.Decide(ctx, f.query("Manager"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Allowed || d.Value != "true" {
+		t.Fatalf("expected grant, got %+v", d)
+	}
+	if len(d.Trace.Chain) != 3 ||
+		d.Trace.Chain[0] != keynote.PolicyPrincipal ||
+		d.Trace.Chain[1] != f.admin.PublicID() ||
+		d.Trace.Chain[2] != f.bob.PublicID() {
+		t.Fatalf("granting chain = %v", d.Trace.Chain)
+	}
+
+	d, err = s.Decide(ctx, f.query("Clerk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Allowed {
+		t.Fatal("Clerk role granted against Manager-only delegation")
+	}
+	if got := d.Trace.DeniedBy(); got != "L2:keynote" {
+		t.Fatalf("DeniedBy = %q", got)
+	}
+}
+
+func TestDecisionCacheHitAndStats(t *testing.T) {
+	f := newFixture(t)
+	s := f.engine.Session([]*keynote.Assertion{f.cred})
+	ctx := context.Background()
+
+	d1, err := s.Decide(ctx, f.query("Manager"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Trace.CacheHit {
+		t.Fatal("first decision claims a cache hit")
+	}
+	d2, err := s.Decide(ctx, f.query("Manager"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.Trace.CacheHit {
+		t.Fatal("second identical decision missed the cache")
+	}
+	if d2.Allowed != d1.Allowed || d2.Value != d1.Value {
+		t.Fatal("cached decision differs from computed one")
+	}
+	st := f.engine.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.CacheEntries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSessionMemoisedByFingerprint(t *testing.T) {
+	f := newFixture(t)
+	s1 := f.engine.Session([]*keynote.Assertion{f.cred})
+	s2 := f.engine.Session([]*keynote.Assertion{f.cred})
+	if s1 != s2 {
+		t.Fatal("identical credential sets produced distinct sessions")
+	}
+	// Order-blind: same content in different order shares the session.
+	other := keynote.MustNew(fmt.Sprintf("%q", f.admin.PublicID()),
+		fmt.Sprintf("%q", f.bob.PublicID()), `app_domain=="WebCom" && Domain=="Sales";`)
+	if err := other.Sign(f.admin); err != nil {
+		t.Fatal(err)
+	}
+	a := f.engine.Session([]*keynote.Assertion{f.cred, other})
+	b := f.engine.Session([]*keynote.Assertion{other, f.cred})
+	if a != b {
+		t.Fatal("credential order changed the session fingerprint")
+	}
+	if a == s1 {
+		t.Fatal("different credential sets shared a session")
+	}
+}
+
+func TestAdmissionRejectsForgedAndPolicyCredentials(t *testing.T) {
+	f := newFixture(t)
+	forged := keynote.MustNew(fmt.Sprintf("%q", f.admin.PublicID()),
+		fmt.Sprintf("%q", f.bob.PublicID()), `app_domain=="WebCom";`)
+	forged.Signature = strings.Replace(f.cred.Signature, "a", "b", 1)
+	smuggled := keynote.MustNew("POLICY", fmt.Sprintf("%q", f.bob.PublicID()), "")
+
+	s := f.engine.Session([]*keynote.Assertion{forged, smuggled, f.cred})
+	if len(s.Admitted()) != 1 {
+		t.Fatalf("admitted %d credentials, want 1", len(s.Admitted()))
+	}
+	if len(s.Rejected()) != 2 {
+		t.Fatalf("rejected %v, want 2 entries", s.Rejected())
+	}
+
+	// Rejections surface in every decision's trace.
+	d, err := s.Decide(context.Background(), f.query("Manager"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Allowed {
+		t.Fatal("valid credential lost among rejected ones")
+	}
+	if len(d.Trace.Rejected) != 2 {
+		t.Fatalf("trace carries %d rejections, want 2", len(d.Trace.Rejected))
+	}
+}
+
+func TestInvalidateFlushesEverything(t *testing.T) {
+	f := newFixture(t)
+	s := f.engine.Session([]*keynote.Assertion{f.cred})
+	if _, err := s.Decide(context.Background(), f.query("Manager")); err != nil {
+		t.Fatal(err)
+	}
+	f.engine.Invalidate()
+	st := f.engine.Stats()
+	if st.CacheEntries != 0 || st.Sessions != 0 || st.Invalidations != 1 {
+		t.Fatalf("post-invalidate stats = %+v", st)
+	}
+	// The old session still decides (it holds its own admitted set), and
+	// repopulates the cache.
+	d, err := s.Decide(context.Background(), f.query("Manager"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Trace.CacheHit {
+		t.Fatal("cache served a decision after Invalidate")
+	}
+}
+
+func TestDecideHonoursContext(t *testing.T) {
+	f := newFixture(t)
+	s := f.engine.Session(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Decide(ctx, f.query("Manager")); err == nil {
+		t.Fatal("cancelled context decided")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	f := newFixture(t)
+	eng := NewEngine(f.chk, WithCacheSize(2))
+	s := eng.Session([]*keynote.Assertion{f.cred})
+	ctx := context.Background()
+	for _, role := range []string{"A", "B", "C"} {
+		if _, err := s.Decide(ctx, f.query(role)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := eng.Stats().CacheEntries; n != 2 {
+		t.Fatalf("cache holds %d entries, want 2 (capacity)", n)
+	}
+	// "A" was evicted; "C" is fresh.
+	d, _ := s.Decide(ctx, f.query("C"))
+	if !d.Trace.CacheHit {
+		t.Fatal("most recent entry evicted")
+	}
+	d, _ = s.Decide(ctx, f.query("A"))
+	if d.Trace.CacheHit {
+		t.Fatal("evicted entry served from cache")
+	}
+}
+
+func TestAuditLogRingAndSink(t *testing.T) {
+	l := NewAuditLog(2)
+	var sunk []string
+	l.SetSink(func(e AuditEntry) { sunk = append(sunk, e.Op) })
+	d := &Decision{Allowed: false, Value: "false"}
+	l.Record("K1", "op1", d)
+	l.Record("K1", "op2", d)
+	l.Record("K1", "op3", d)
+	es := l.Entries()
+	if len(es) != 2 || es[0].Op != "op2" || es[1].Op != "op3" {
+		t.Fatalf("ring = %v", es)
+	}
+	last, ok := l.Last()
+	if !ok || last.Op != "op3" {
+		t.Fatalf("Last = %v %v", last, ok)
+	}
+	if len(sunk) != 3 {
+		t.Fatalf("sink saw %d entries, want 3", len(sunk))
+	}
+	if !strings.Contains(last.String(), "DENY") {
+		t.Fatalf("entry renders %q", last.String())
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	f := newFixture(t)
+	s := f.engine.Session([]*keynote.Assertion{f.cred})
+	d, err := s.Decide(context.Background(), f.query("Manager"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := d.Explain()
+	for _, want := range []string{"GRANT", "L2:keynote", "chain: POLICY <-", "computed in", "session "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	d2, _ := s.Decide(context.Background(), f.query("Manager"))
+	if !strings.Contains(d2.Explain(), "cached in") {
+		t.Fatalf("cached decision not marked: %s", d2.Explain())
+	}
+}
+
+// TestConcurrentDecide exercises the engine under the race detector:
+// many goroutines share sessions and the cache while another thread
+// periodically invalidates.
+func TestConcurrentDecide(t *testing.T) {
+	f := newFixture(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := f.engine.Session([]*keynote.Assertion{f.cred})
+			for i := 0; i < 50; i++ {
+				role := "Manager"
+				if i%3 == 0 {
+					role = fmt.Sprintf("R%d", i%5)
+				}
+				d, err := s.Decide(context.Background(), f.query(role))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if role == "Manager" && !d.Allowed {
+					t.Error("Manager denied")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			f.engine.Invalidate()
+		}
+	}()
+	wg.Wait()
+}

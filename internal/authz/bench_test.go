@@ -1,0 +1,93 @@
+package authz
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"securewebcom/internal/keynote"
+)
+
+// BenchmarkSeedCheck is the pre-engine baseline: every call pays full
+// admission — signature verification, canonicalisation, fixpoint — the
+// way the stack and WebCom dispatch paths did before internal/authz.
+func BenchmarkSeedCheck(b *testing.B) {
+	f := newFixture(b)
+	q := f.query("Manager")
+	creds := []*keynote.Assertion{f.cred}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.chk.Check(q, creds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionCold measures handshake cost: admission (one Ed25519
+// verification per credential) plus fingerprinting, on an engine that
+// has never seen the set.
+func BenchmarkSessionCold(b *testing.B) {
+	f := newFixture(b)
+	creds := []*keynote.Assertion{f.cred}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(f.chk)
+		if s := e.Session(creds); len(s.Admitted()) != 1 {
+			b.Fatal("admission failed")
+		}
+	}
+}
+
+// BenchmarkSessionWarm measures a reconnecting client: the fingerprint
+// is already admitted, so Session is a hash plus a map hit.
+func BenchmarkSessionWarm(b *testing.B) {
+	f := newFixture(b)
+	creds := []*keynote.Assertion{f.cred}
+	f.engine.Session(creds)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := f.engine.Session(creds); len(s.Admitted()) != 1 {
+			b.Fatal("admission failed")
+		}
+	}
+}
+
+// BenchmarkDecideWarm is the WebCom dispatch hot path: a repeated query
+// on an admitted session, served from the decision cache.
+func BenchmarkDecideWarm(b *testing.B) {
+	f := newFixture(b)
+	s := f.engine.Session([]*keynote.Assertion{f.cred})
+	q := f.query("Manager")
+	ctx := context.Background()
+	if _, err := s.Decide(ctx, q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := s.Decide(ctx, q)
+		if err != nil || !d.Allowed {
+			b.Fatal("warm decide failed")
+		}
+	}
+}
+
+// BenchmarkDecideUncached varies the query every iteration so each
+// decision misses the cache but still skips signature verification —
+// the floor for novel queries on an admitted session.
+func BenchmarkDecideUncached(b *testing.B) {
+	f := newFixture(b)
+	s := f.engine.Session([]*keynote.Assertion{f.cred})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := f.query(fmt.Sprintf("Role-%d", i))
+		if _, err := s.Decide(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package authz
+
+import "container/list"
+
+// lruCache is a plain LRU over decision pointers. Not safe for
+// concurrent use on its own — the Engine serialises access under its
+// mutex, which also keeps the hit/miss counters consistent.
+type lruCache struct {
+	cap   int
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	d   *Decision
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *lruCache) get(key string) (*Decision, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).d, true
+}
+
+func (c *lruCache) put(key string, d *Decision) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).d = d
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, d: d})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }
+
+func (c *lruCache) clear() {
+	c.ll.Init()
+	c.items = make(map[string]*list.Element, c.cap)
+}

@@ -1,6 +1,7 @@
 package keycom
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -86,7 +87,11 @@ func (s *Service) Extract(req *ExtractRequest) (*rbac.Policy, error) {
 		}
 		creds = append(creds, a)
 	}
-	if err := s.authorise(req.Requester, creds, ActionExtract, nil); err != nil {
+	eng := s.Engine()
+	if eng == nil {
+		return nil, errors.New("keycom: no checker configured")
+	}
+	if err := s.authorise(context.Background(), eng.Session(creds), req.Requester, ActionExtract, nil); err != nil {
 		return nil, err
 	}
 	return s.System.ExtractPolicy()

@@ -23,12 +23,14 @@
 package keycom
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
 
+	"securewebcom/internal/authz"
 	"securewebcom/internal/keynote"
 	"securewebcom/internal/keys"
 	"securewebcom/internal/middleware"
@@ -102,12 +104,48 @@ type Service struct {
 	// the catalogue is left exactly as it was.
 	LintVocab *policylint.Vocabulary
 
-	mu sync.Mutex // serialises policy updates
+	engOnce sync.Once
+	eng     *authz.Engine
+	audit   *authz.AuditLog
+
+	mu    sync.Mutex // serialises policy updates
+	hooks []func()   // fired after every committed catalogue change
 }
 
 // NewService creates a KeyCOM service.
 func NewService(sys middleware.System, chk *keynote.Checker) *Service {
 	return &Service{System: sys, Checker: chk}
+}
+
+// Engine returns the service's authorisation engine (lazily built from
+// Checker). Each administrator's credential set is admitted into a
+// session once; per-row decisions come from the decision cache.
+func (s *Service) Engine() *authz.Engine {
+	s.engOnce.Do(func() {
+		if s.Checker != nil {
+			s.eng = authz.NewEngine(s.Checker, authz.WithLayerName("L2:keycom"))
+		}
+		s.audit = authz.NewAuditLog(256)
+	})
+	return s.eng
+}
+
+// Audit returns the service's denial log: refused row changes with full
+// decision traces.
+func (s *Service) Audit() *authz.AuditLog {
+	s.Engine()
+	return s.audit
+}
+
+// OnCommit registers a hook fired after every successfully applied
+// catalogue update. Consumers whose authorisation decisions depend on
+// the catalogue — a WebCom master's engine, a stack's trust layer —
+// register their Engine.Invalidate here so a KeyCOM commit flushes
+// their decision caches.
+func (s *Service) OnCommit(fn func()) {
+	s.mu.Lock()
+	s.hooks = append(s.hooks, fn)
+	s.mu.Unlock()
 }
 
 // Apply validates and applies an update request. Either the whole diff is
@@ -124,24 +162,32 @@ func (s *Service) Apply(req *UpdateRequest) error {
 		}
 		creds = append(creds, a)
 	}
+	// Admit the administrator's credential set once; every row change
+	// below is a (mostly cached) decision on that session.
+	eng := s.Engine()
+	if eng == nil {
+		return errors.New("keycom: no checker configured")
+	}
+	session := eng.Session(creds)
+	ctx := context.Background()
 	// Authorise every row change before touching the catalogue.
 	for _, e := range req.Diff.AddedRolePerm {
-		if err := s.authorise(req.Requester, creds, ActionAddRolePerm, rolePermAttrs(e)); err != nil {
+		if err := s.authorise(ctx, session, req.Requester, ActionAddRolePerm, rolePermAttrs(e)); err != nil {
 			return err
 		}
 	}
 	for _, e := range req.Diff.RemovedRolePerm {
-		if err := s.authorise(req.Requester, creds, ActionRemoveRolePerm, rolePermAttrs(e)); err != nil {
+		if err := s.authorise(ctx, session, req.Requester, ActionRemoveRolePerm, rolePermAttrs(e)); err != nil {
 			return err
 		}
 	}
 	for _, e := range req.Diff.AddedUserRole {
-		if err := s.authorise(req.Requester, creds, ActionAddUserRole, userRoleAttrs(e)); err != nil {
+		if err := s.authorise(ctx, session, req.Requester, ActionAddUserRole, userRoleAttrs(e)); err != nil {
 			return err
 		}
 	}
 	for _, e := range req.Diff.RemovedUserRole {
-		if err := s.authorise(req.Requester, creds, ActionRemoveUserRole, userRoleAttrs(e)); err != nil {
+		if err := s.authorise(ctx, session, req.Requester, ActionRemoveUserRole, userRoleAttrs(e)); err != nil {
 			return err
 		}
 	}
@@ -150,7 +196,20 @@ func (s *Service) Apply(req *UpdateRequest) error {
 	if err := s.lintGate(req.Diff); err != nil {
 		return err
 	}
-	return s.System.ApplyDiff(req.Diff)
+	if err := s.System.ApplyDiff(req.Diff); err != nil {
+		return err
+	}
+	// The catalogue changed: flush our own decision cache and fire the
+	// registered invalidation hooks (still under s.mu, so a reader that
+	// sees the new catalogue never races a stale cached decision from
+	// this service).
+	if eng := s.Engine(); eng != nil {
+		eng.Invalidate()
+	}
+	for _, fn := range s.hooks {
+		fn()
+	}
+	return nil
 }
 
 // lintGate statically analyses the catalogue state the diff would
@@ -202,7 +261,7 @@ func userRoleAttrs(e rbac.UserRoleEntry) map[string]string {
 	}
 }
 
-func (s *Service) authorise(requester string, creds []*keynote.Assertion, action string, attrs map[string]string) error {
+func (s *Service) authorise(ctx context.Context, session *authz.CredentialSession, requester, action string, attrs map[string]string) error {
 	q := keynote.Query{
 		Authorizers: []string{requester},
 		Attributes:  map[string]string{"app_domain": AppDomain, "action": action},
@@ -210,11 +269,14 @@ func (s *Service) authorise(requester string, creds []*keynote.Assertion, action
 	for k, v := range attrs {
 		q.Attributes[k] = v
 	}
-	res, err := s.Checker.Check(q, creds)
+	d, err := session.Decide(ctx, q)
 	if err != nil {
 		return err
 	}
-	if !res.Authorized(nil) {
+	if !d.Allowed {
+		if !d.Trace.CacheHit {
+			s.Audit().Record(requester, action, d)
+		}
 		return fmt.Errorf("keycom: requester not authorised for %s (%v)", action, attrs)
 	}
 	return nil

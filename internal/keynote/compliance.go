@@ -32,6 +32,10 @@ type Result struct {
 	// PrincipalValues records the final fixpoint valuation of every
 	// principal encountered, for explanation and debugging.
 	PrincipalValues map[string]string
+	// Chain is the granting delegation chain: the principals whose
+	// assertions carried the request's trust from the action authorizers
+	// up to POLICY, POLICY first. Empty when POLICY stayed at _MIN_TRUST.
+	Chain []string
 }
 
 // Authorized reports whether the result reached _MAX_TRUST. For the
@@ -95,11 +99,30 @@ func NewChecker(policy []*Assertion, opts ...CheckerOption) (*Checker, error) {
 // Policy returns the checker's policy assertions.
 func (c *Checker) Policy() []*Assertion { return c.policy }
 
+// Resolver returns the checker's principal-name resolver (may be nil).
+func (c *Checker) Resolver() Resolver { return c.resolver }
+
+// Verifies reports whether the checker verifies credential signatures.
+func (c *Checker) Verifies() bool { return !c.skipVerify }
+
 // Check computes the compliance value of the query given the submitted
 // credentials. Credentials failing signature verification are skipped and
 // reported in Result.Rejected; they never abort the query (an attacker
 // must not be able to poison a request by attaching garbage).
 func (c *Checker) Check(q Query, credentials []*Assertion) (Result, error) {
+	return c.check(q, credentials, false)
+}
+
+// CheckPreverified is Check for credentials whose signatures the caller
+// has already verified (an authz.CredentialSession admits a set once at
+// handshake time). Signature verification — the dominant per-call cost —
+// is skipped; everything else, including the POLICY-as-credential
+// rejection, behaves exactly as Check.
+func (c *Checker) CheckPreverified(q Query, credentials []*Assertion) (Result, error) {
+	return c.check(q, credentials, true)
+}
+
+func (c *Checker) check(q Query, credentials []*Assertion, preverified bool) (Result, error) {
 	if len(q.Authorizers) == 0 {
 		return Result{}, errors.New("keynote: query has no action authorizers")
 	}
@@ -113,25 +136,29 @@ func (c *Checker) Check(q Query, credentials []*Assertion) (Result, error) {
 
 	res := Result{PrincipalValues: make(map[string]string)}
 
-	// Canonicalise principals so that "Kbob" and its key ID unify.
+	// Canonicalise principals so that "Kbob" and its key ID unify. Each
+	// distinct principal hits the resolver at most once per check: the
+	// fixpoint loop below performs O(passes × licensees) lookups, and
+	// before this memo every one of them was a resolver round-trip.
+	canonOf := make(map[string]string)
 	canon := func(p string) string {
-		if p == PolicyPrincipal || c.resolver == nil {
-			return p
-		}
-		if id, err := c.resolver.Resolve(p); err == nil {
+		if id, ok := canonOf[p]; ok {
 			return id
 		}
-		return p
+		id := p
+		if p != PolicyPrincipal && c.resolver != nil {
+			if r, err := c.resolver.Resolve(p); err == nil {
+				id = r
+			}
+		}
+		canonOf[p] = id
+		return id
 	}
 
 	// Admit assertions: all policy, plus verified credentials.
-	type admitted struct {
-		a          *Assertion
-		authorizer string // canonical
-	}
-	var admittedAsserts []admitted
+	var admittedAsserts []admittedAssertion
 	for _, p := range c.policy {
-		admittedAsserts = append(admittedAsserts, admitted{a: p, authorizer: PolicyPrincipal})
+		admittedAsserts = append(admittedAsserts, admittedAssertion{a: p, authorizer: PolicyPrincipal})
 	}
 	for _, cr := range credentials {
 		if cr.IsPolicy() {
@@ -143,7 +170,7 @@ func (c *Checker) Check(q Query, credentials []*Assertion) (Result, error) {
 			})
 			continue
 		}
-		if !c.skipVerify {
+		if !c.skipVerify && !preverified {
 			if err := cr.VerifySignature(c.resolver); err != nil {
 				res.Rejected = append(res.Rejected, RejectedCredential{
 					Authorizer: cr.Authorizer,
@@ -152,7 +179,7 @@ func (c *Checker) Check(q Query, credentials []*Assertion) (Result, error) {
 				continue
 			}
 		}
-		admittedAsserts = append(admittedAsserts, admitted{a: cr, authorizer: canon(cr.Authorizer)})
+		admittedAsserts = append(admittedAsserts, admittedAssertion{a: cr, authorizer: canon(cr.Authorizer)})
 	}
 
 	env := newEnv(q.Attributes, values, q.Authorizers)
@@ -165,6 +192,16 @@ func (c *Checker) Check(q Query, credentials []*Assertion) (Result, error) {
 		val[canon(p)] = maxIdx
 	}
 
+	// Canonicalise every licensee principal once, before the fixpoint:
+	// the loop below may visit each licensee many times.
+	for _, ad := range admittedAsserts {
+		if ad.a.Licensees != nil {
+			for _, p := range ad.a.Licensees.Principals(nil) {
+				canon(p)
+			}
+		}
+	}
+
 	// Pre-evaluate each admitted assertion's conditions once (they depend
 	// only on the action attribute set, not on the valuation).
 	condVal := make([]int, len(admittedAsserts))
@@ -172,7 +209,12 @@ func (c *Checker) Check(q Query, credentials []*Assertion) (Result, error) {
 		condVal[i] = evalProgram(ad.a.Conditions, env)
 	}
 
-	lookup := func(p string) int { return val[canon(p)] }
+	lookup := func(p string) int { return val[canonOf[p]] }
+
+	// grantedBy records, per canonical principal, the admitted assertion
+	// that last raised its valuation — enough to reconstruct the granting
+	// delegation chain for the trace.
+	grantedBy := make(map[string]int)
 
 	// Monotone fixpoint: each pass propagates trust one delegation step
 	// from the requesters towards POLICY. The valuation is bounded by
@@ -191,6 +233,7 @@ func (c *Checker) Check(q Query, credentials []*Assertion) (Result, error) {
 			}
 			if contribution > val[ad.authorizer] {
 				val[ad.authorizer] = contribution
+				grantedBy[ad.authorizer] = i
 				changed = true
 			}
 		}
@@ -207,11 +250,55 @@ func (c *Checker) Check(q Query, credentials []*Assertion) (Result, error) {
 	}
 	res.Index = val[PolicyPrincipal]
 	res.Value = values[res.Index]
+	if res.Index > 0 {
+		res.Chain = grantingChain(grantedBy, admittedAsserts, val, canonOf)
+	}
 	return res, nil
 }
 
+// admittedAssertion is an assertion that passed admission, paired with
+// its canonicalised authorizer principal.
+type admittedAssertion struct {
+	a          *Assertion
+	authorizer string // canonical
+}
+
+// grantingChain walks grantedBy from POLICY towards the action
+// authorizers, picking at each step the highest-valued licensee of the
+// assertion that granted the current principal its value.
+func grantingChain(grantedBy map[string]int, admitted []admittedAssertion, val map[string]int, canonOf map[string]string) []string {
+	chain := []string{PolicyPrincipal}
+	cur := PolicyPrincipal
+	for len(chain) <= len(admitted)+1 { // cycle guard
+		i, ok := grantedBy[cur]
+		if !ok || admitted[i].a.Licensees == nil {
+			break
+		}
+		next, best := "", -1
+		for _, p := range admitted[i].a.Licensees.Principals(nil) {
+			// The valuation is keyed by canonical principals; licensee
+			// names are raw.
+			cp := canonOf[p]
+			v, ok := val[cp]
+			if !ok {
+				continue
+			}
+			if v > best {
+				next, best = cp, v
+			}
+		}
+		if next == "" || next == cur {
+			break
+		}
+		chain = append(chain, next)
+		cur = next
+	}
+	return chain
+}
+
 // Explain renders a human-readable account of a result, used by cmd/kn and
-// the examples.
+// the examples. The output is deterministic: principal valuations and
+// rejected credentials are both rendered in sorted order.
 func (r Result) Explain() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "compliance value: %s\n", r.Value)
@@ -223,8 +310,22 @@ func (r Result) Explain() string {
 	for _, p := range ps {
 		fmt.Fprintf(&b, "  %-20s -> %s\n", truncate(p, 40), r.PrincipalValues[p])
 	}
-	for _, rej := range r.Rejected {
-		fmt.Fprintf(&b, "  rejected credential from %s: %s\n", truncate(rej.Authorizer, 40), rej.Reason)
+	if len(r.Chain) > 1 {
+		parts := make([]string, len(r.Chain))
+		for i, p := range r.Chain {
+			parts[i] = truncate(p, 40)
+		}
+		fmt.Fprintf(&b, "  granting chain: %s\n", strings.Join(parts, " <- "))
+	}
+	rej := append([]RejectedCredential(nil), r.Rejected...)
+	sort.Slice(rej, func(i, j int) bool {
+		if rej[i].Authorizer != rej[j].Authorizer {
+			return rej[i].Authorizer < rej[j].Authorizer
+		}
+		return rej[i].Reason < rej[j].Reason
+	})
+	for _, re := range rej {
+		fmt.Fprintf(&b, "  rejected credential from %s: %s\n", truncate(re.Authorizer, 40), re.Reason)
 	}
 	return b.String()
 }

@@ -341,7 +341,7 @@ func Figure10(w io.Writer) error {
 		{"L3+L2+L1+L0 (full stack)", stack.New(stack.RequireAll, l3, l2, l1, l0), true},
 	}
 	for _, cfg := range configs {
-		d := cfg.st.Authorize(req)
+		d := cfg.st.Authorize(context.Background(), req)
 		fmt.Fprintf(w, "%-34s %s\n", cfg.name, d)
 		if d.Granted != cfg.grant {
 			return fmt.Errorf("config %q: granted=%v, want %v", cfg.name, d.Granted, cfg.grant)
@@ -352,7 +352,7 @@ func Figure10(w io.Writer) error {
 	bad.User = "Mallory"
 	bad.OSPrincipal = "mallory"
 	bad.Principal = keys.Deterministic("Kmallory", seed).PublicID()
-	d := stack.New(stack.RequireAll, l3, l2, l1, l0).Authorize(&bad)
+	d := stack.New(stack.RequireAll, l3, l2, l1, l0).Authorize(context.Background(), &bad)
 	fmt.Fprintf(w, "%-34s %s\n", "full stack, unauthorised user", d)
 	if d.Granted {
 		return fmt.Errorf("unauthorised user granted by the stack")

@@ -22,13 +22,24 @@
 //     middleware/OS mediation both apply.
 //   - FirstDecides: the highest layer with an opinion decides — the
 //     configuration where WebCom is trusted to override lower layers.
+//
+// Every Authorize carries a context.Context down through the layers and
+// produces, alongside the boolean outcome, a shared *authz.Trace: each
+// layer appends its verdict and timing, and the trust layer — which
+// decides through an authz.Engine rather than a bare compliance check —
+// contributes the granting delegation chain, rejected credentials and
+// final principal valuation.
 package stack
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
+	"time"
 
+	"securewebcom/internal/authz"
 	"securewebcom/internal/keynote"
 	"securewebcom/internal/middleware"
 	"securewebcom/internal/ossec"
@@ -86,7 +97,15 @@ type Layer interface {
 	Name() string
 	// Decide returns the layer's verdict. Errors are treated as Deny and
 	// recorded (fail closed).
-	Decide(req *Request) (Verdict, error)
+	Decide(ctx context.Context, req *Request) (Verdict, error)
+}
+
+// TracedLayer is a Layer that can explain itself: its decision carries a
+// full authz trace (delegation chain, rejections, valuation) which the
+// stack merges into the request's shared trace. TrustLayer implements it.
+type TracedLayer interface {
+	Layer
+	DecideTraced(ctx context.Context, req *Request) (Verdict, *authz.Decision, error)
 }
 
 // CombineMode selects how layer verdicts compose.
@@ -98,10 +117,22 @@ const (
 	FirstDecides
 )
 
+// ErrNoLayerDecided is recorded on a Decision when every configured
+// layer abstained: nothing vouched for the request, so it is denied.
+var ErrNoLayerDecided = errors.New("stack: no layer decided (all abstained)")
+
 // Decision is the stack's overall outcome with its audit trail.
 type Decision struct {
 	Granted bool
-	Trail   []LayerDecision
+	// Err is set when the stack as a whole failed to mediate — every
+	// layer abstained, or the context was cancelled mid-walk. Individual
+	// layer errors stay in the Trail (fail closed).
+	Err   error
+	Trail []LayerDecision
+	// Trace is the structured account shared across layers: per-layer
+	// verdicts with timing, plus the trust layer's delegation chain,
+	// rejected credentials and principal valuation when L2 decided.
+	Trace *authz.Trace
 }
 
 // LayerDecision records one layer's verdict.
@@ -123,6 +154,9 @@ func (d Decision) String() string {
 	verdict := "DENY"
 	if d.Granted {
 		verdict = "GRANT"
+	}
+	if d.Err != nil {
+		parts = append(parts, "err="+d.Err.Error())
 	}
 	return verdict + " [" + strings.Join(parts, " ") + "]"
 }
@@ -147,30 +181,65 @@ func (s *Stack) Layers() []string {
 	return out
 }
 
-// Authorize runs the request through the stack.
-func (s *Stack) Authorize(req *Request) Decision {
-	d := Decision{}
+// Authorize runs the request through the stack. The context bounds the
+// walk: cancellation fails closed, recording how far mediation got.
+func (s *Stack) Authorize(ctx context.Context, req *Request) Decision {
+	start := time.Now()
+	d := Decision{Trace: &authz.Trace{}}
 	decided := false
 	granted := true
 	for _, l := range s.layers {
-		v, err := l.Decide(req)
+		if err := ctx.Err(); err != nil {
+			d.Err = err
+			d.Granted = false
+			d.Trace.Elapsed = time.Since(start)
+			return d
+		}
+		layerStart := time.Now()
+		var (
+			v   Verdict
+			ad  *authz.Decision
+			err error
+		)
+		if tl, ok := l.(TracedLayer); ok {
+			v, ad, err = tl.DecideTraced(ctx, req)
+		} else {
+			v, err = l.Decide(ctx, req)
+		}
 		if err != nil {
 			v = Deny // fail closed
 		}
 		d.Trail = append(d.Trail, LayerDecision{Layer: l.Name(), Verdict: v, Err: err})
+		lt := authz.LayerTrace{Layer: l.Name(), Verdict: v.String(), Elapsed: time.Since(layerStart)}
+		if err != nil {
+			lt.Err = err.Error()
+		}
+		d.Trace.Layers = append(d.Trace.Layers, lt)
+		if ad != nil {
+			d.Trace.Fingerprint = ad.Trace.Fingerprint
+			d.Trace.CacheHit = ad.Trace.CacheHit
+			d.Trace.Chain = ad.Trace.Chain
+			d.Trace.Rejected = ad.Trace.Rejected
+			d.Trace.PrincipalValues = ad.Trace.PrincipalValues
+		}
 		if v == Abstain {
 			continue
 		}
 		decided = true
 		if s.Mode == FirstDecides {
 			d.Granted = v == Grant
+			d.Trace.Elapsed = time.Since(start)
 			return d
 		}
 		if v == Deny {
 			granted = false
 		}
 	}
+	if !decided {
+		d.Err = ErrNoLayerDecided
+	}
 	d.Granted = decided && granted
+	d.Trace.Elapsed = time.Since(start)
 	return d
 }
 
@@ -186,7 +255,7 @@ func (l *OSLayer) Name() string { return "L0:" + l.Authority.Platform() }
 
 // Decide implements Layer: abstains when the request carries no OS
 // resource.
-func (l *OSLayer) Decide(req *Request) (Verdict, error) {
+func (l *OSLayer) Decide(_ context.Context, req *Request) (Verdict, error) {
 	if req.OSResource == "" {
 		return Abstain, nil
 	}
@@ -214,7 +283,7 @@ func (l *MiddlewareLayer) Name() string { return "L1:" + string(l.System.Kind())
 
 // Decide implements Layer: abstains when the request's domain is not one
 // of the system's domains.
-func (l *MiddlewareLayer) Decide(req *Request) (Verdict, error) {
+func (l *MiddlewareLayer) Decide(_ context.Context, req *Request) (Verdict, error) {
 	if req.Domain == "" {
 		return Abstain, nil
 	}
@@ -230,33 +299,63 @@ func (l *MiddlewareLayer) Decide(req *Request) (Verdict, error) {
 }
 
 // TrustLayer adapts a KeyNote checker as L2, querying with the WebCom
-// action attribute set of Section 4.
+// action attribute set of Section 4. Decisions go through an
+// authz.Engine: the request's credential set is admitted into a session
+// (signatures verified once, set fingerprinted) and repeat queries are
+// served from the engine's decision cache.
 type TrustLayer struct {
 	Checker *keynote.Checker
+	// Engine, when set, is used directly — share one engine across
+	// layers and schedulers to share its session and decision caches.
+	// When nil, one is built from Checker on first use.
+	Engine *authz.Engine
 	// Role is consulted when deciding; empty means "any role of the
 	// domain may satisfy the query" is NOT attempted — the caller names
 	// the role the action runs under, as the WebCom scheduler does.
 	Role rbac.Role
 	Opt  translate.Options
+
+	once sync.Once
 }
 
 // Name implements Layer.
 func (l *TrustLayer) Name() string { return "L2:keynote" }
 
+func (l *TrustLayer) engine() *authz.Engine {
+	l.once.Do(func() {
+		if l.Engine == nil && l.Checker != nil {
+			l.Engine = authz.NewEngine(l.Checker)
+		}
+	})
+	return l.Engine
+}
+
 // Decide implements Layer: abstains when the request has no principal.
-func (l *TrustLayer) Decide(req *Request) (Verdict, error) {
+func (l *TrustLayer) Decide(ctx context.Context, req *Request) (Verdict, error) {
+	v, _, err := l.DecideTraced(ctx, req)
+	return v, err
+}
+
+// DecideTraced implements TracedLayer, exposing the full authz decision
+// so the stack can merge the delegation chain and rejections into the
+// request's shared trace.
+func (l *TrustLayer) DecideTraced(ctx context.Context, req *Request) (Verdict, *authz.Decision, error) {
 	if req.Principal == "" {
-		return Abstain, nil
+		return Abstain, nil, nil
+	}
+	e := l.engine()
+	if e == nil {
+		return Deny, nil, errors.New("stack: trust layer has no checker")
 	}
 	q := translate.QueryFor(req.Principal, req.Domain, l.Role, req.ObjectType, req.Permission, l.Opt)
-	res, err := l.Checker.Check(q, req.Credentials)
+	d, err := e.Session(req.Credentials).Decide(ctx, q)
 	if err != nil {
-		return Deny, err
+		return Deny, nil, err
 	}
-	if res.Authorized(nil) {
-		return Grant, nil
+	if d.Allowed {
+		return Grant, d, nil
 	}
-	return Deny, nil
+	return Deny, d, nil
 }
 
 // AppLayer is L3: an application-supplied workflow check over the
@@ -276,7 +375,7 @@ func (l *AppLayer) Name() string {
 }
 
 // Decide implements Layer.
-func (l *AppLayer) Decide(req *Request) (Verdict, error) {
+func (l *AppLayer) Decide(_ context.Context, req *Request) (Verdict, error) {
 	if l.Fn == nil {
 		return Abstain, nil
 	}

@@ -1,11 +1,13 @@
 package stack
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"testing"
 
+	"securewebcom/internal/authz"
 	"securewebcom/internal/keynote"
 	"securewebcom/internal/keys"
 	"securewebcom/internal/middleware"
@@ -84,7 +86,7 @@ func figure10(t *testing.T) (*Stack, *Request) {
 
 func TestAllLayersGrant(t *testing.T) {
 	st, req := figure10(t)
-	d := st.Authorize(req)
+	d := st.Authorize(context.Background(), req)
 	if !d.Granted {
 		t.Fatalf("full stack denied: %s", d)
 	}
@@ -104,28 +106,28 @@ func TestAnyLayerDenyBlocks(t *testing.T) {
 	// L3 denies: wrong purpose.
 	r := *req
 	r.App = map[string]string{"purpose": "curiosity"}
-	if d := st.Authorize(&r); d.Granted {
+	if d := st.Authorize(context.Background(), &r); d.Granted {
 		t.Fatalf("L3 deny ignored: %s", d)
 	}
 
 	// L2 denies: unknown principal.
 	r = *req
 	r.Principal = keys.Deterministic("Kmallory", "stack").PublicID()
-	if d := st.Authorize(&r); d.Granted {
+	if d := st.Authorize(context.Background(), &r); d.Granted {
 		t.Fatalf("L2 deny ignored: %s", d)
 	}
 
 	// L1 denies: user without the role.
 	r = *req
 	r.User = "Dave"
-	if d := st.Authorize(&r); d.Granted {
+	if d := st.Authorize(context.Background(), &r); d.Granted {
 		t.Fatalf("L1 deny ignored: %s", d)
 	}
 
 	// L0 denies: OS account without bits.
 	r = *req
 	r.OSPrincipal = "dave"
-	if d := st.Authorize(&r); d.Granted {
+	if d := st.Authorize(context.Background(), &r); d.Granted {
 		t.Fatalf("L0 deny ignored: %s", d)
 	}
 }
@@ -148,7 +150,7 @@ func TestPluggability(t *testing.T) {
 	if err := zStack.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	d := zStack.Authorize(req)
+	d := zStack.Authorize(context.Background(), req)
 	if !d.Granted {
 		t.Fatalf("Z-style stack denied: %s", d)
 	}
@@ -162,13 +164,13 @@ func TestAbstainsDoNotDecide(t *testing.T) {
 	// Remove OS context: L0 abstains, others still grant.
 	r := *req
 	r.OSResource = ""
-	d := st.Authorize(&r)
+	d := st.Authorize(context.Background(), &r)
 	if !d.Granted {
 		t.Fatalf("abstaining L0 blocked: %s", d)
 	}
 	// Remove the principal too: L2 abstains as well.
 	r.Principal = ""
-	d = st.Authorize(&r)
+	d = st.Authorize(context.Background(), &r)
 	if !d.Granted {
 		t.Fatalf("abstaining L0+L2 blocked: %s", d)
 	}
@@ -177,7 +179,7 @@ func TestAbstainsDoNotDecide(t *testing.T) {
 func TestAllAbstainDenies(t *testing.T) {
 	// A stack where every layer abstains must deny (no layer vouched).
 	st := New(RequireAll, &AppLayer{}, &OSLayer{Authority: ossec.NewUnix("h")})
-	d := st.Authorize(&Request{})
+	d := st.Authorize(context.Background(), &Request{})
 	if d.Granted {
 		t.Fatalf("all-abstain granted: %s", d)
 	}
@@ -190,11 +192,11 @@ func TestFirstDecidesMode(t *testing.T) {
 
 	// Highest deciding layer wins.
 	st := New(FirstDecides, abstain, grantAll, denyAll)
-	if d := st.Authorize(&Request{}); !d.Granted {
+	if d := st.Authorize(context.Background(), &Request{}); !d.Granted {
 		t.Fatalf("FirstDecides: %s", d)
 	}
 	st = New(FirstDecides, abstain, denyAll, grantAll)
-	if d := st.Authorize(&Request{}); d.Granted {
+	if d := st.Authorize(context.Background(), &Request{}); d.Granted {
 		t.Fatalf("FirstDecides: %s", d)
 	}
 }
@@ -204,7 +206,7 @@ func TestLayerErrorFailsClosed(t *testing.T) {
 		return Grant, errors.New("backend unreachable")
 	}}
 	st := New(RequireAll, boom)
-	d := st.Authorize(&Request{})
+	d := st.Authorize(context.Background(), &Request{})
 	if d.Granted {
 		t.Fatalf("erroring layer granted: %s", d)
 	}
@@ -217,11 +219,11 @@ func TestMiddlewareLayerAbstainsOnForeignDomain(t *testing.T) {
 	srv := ejb.NewServer("X", "h", "srv")
 	srv.CreateContainer("fin")
 	l := &MiddlewareLayer{System: srv}
-	v, err := l.Decide(&Request{User: "u", Domain: "other/domain", ObjectType: "O", Permission: "p"})
+	v, err := l.Decide(context.Background(), &Request{User: "u", Domain: "other/domain", ObjectType: "O", Permission: "p"})
 	if err != nil || v != Abstain {
 		t.Fatalf("foreign domain: %v %v", v, err)
 	}
-	v, err = l.Decide(&Request{User: "u"})
+	v, err = l.Decide(context.Background(), &Request{User: "u"})
 	if err != nil || v != Abstain {
 		t.Fatalf("empty domain: %v %v", v, err)
 	}
@@ -251,7 +253,7 @@ func TestTranslateOptionsRespected(t *testing.T) {
 		"POLICY", fmt.Sprintf("%q", kb.PublicID()), `app_domain=="Elsewhere";`,
 	)}, keynote.WithResolver(ks))
 	l := &TrustLayer{Checker: chk, Opt: translate.Options{AppDomain: "Elsewhere"}}
-	v, err := l.Decide(&Request{Principal: kb.PublicID(), Domain: "d",
+	v, err := l.Decide(context.Background(), &Request{Principal: kb.PublicID(), Domain: "d",
 		ObjectType: "o", Permission: "p", User: rbac.User("Bob")})
 	if err != nil || v != Grant {
 		t.Fatalf("custom app domain: %v %v", v, err)
@@ -264,12 +266,12 @@ func TestOSLayerDefaultsPrincipalToUser(t *testing.T) {
 	u.AddResource("f", 10, 20, ossec.OwnerRead)
 	l := &OSLayer{Authority: u}
 	// OSPrincipal empty: the RBAC user name is used as the OS login.
-	v, err := l.Decide(&Request{User: "Bob", OSResource: "f", OSAccess: ossec.Read})
+	v, err := l.Decide(context.Background(), &Request{User: "Bob", OSResource: "f", OSAccess: ossec.Read})
 	if err != nil || v != Grant {
 		t.Fatalf("principal defaulting: %v %v", v, err)
 	}
 	// Unknown OS account errors -> Deny with error.
-	v, err = l.Decide(&Request{User: "Ghost", OSResource: "f", OSAccess: ossec.Read})
+	v, err = l.Decide(context.Background(), &Request{User: "Ghost", OSResource: "f", OSAccess: ossec.Read})
 	if err == nil || v != Deny {
 		t.Fatalf("unknown account: %v %v", v, err)
 	}
@@ -277,7 +279,7 @@ func TestOSLayerDefaultsPrincipalToUser(t *testing.T) {
 
 func TestFirstDecidesAllAbstainDenies(t *testing.T) {
 	st := New(FirstDecides, &AppLayer{}, &AppLayer{})
-	if d := st.Authorize(&Request{}); d.Granted {
+	if d := st.Authorize(context.Background(), &Request{}); d.Granted {
 		t.Fatalf("all-abstain FirstDecides granted: %s", d)
 	}
 }
@@ -286,8 +288,152 @@ func TestDecisionStringIncludesErrors(t *testing.T) {
 	boom := &AppLayer{LayerName: "x", Fn: func(*Request) (Verdict, error) {
 		return Deny, errors.New("backend down")
 	}}
-	d := New(RequireAll, boom).Authorize(&Request{})
+	d := New(RequireAll, boom).Authorize(context.Background(), &Request{})
 	if !strings.Contains(d.String(), "backend down") || !strings.Contains(d.String(), "DENY") {
 		t.Fatalf("Decision.String = %s", d)
+	}
+}
+
+// layerOf builds a canned layer with a fixed verdict for matrix tests.
+func layerOf(name string, v Verdict) Layer {
+	return &AppLayer{LayerName: name, Fn: func(*Request) (Verdict, error) { return v, nil }}
+}
+
+// TestCombinationMatrix pins the RequireAll vs FirstDecides semantics
+// over every two-layer verdict combination.
+func TestCombinationMatrix(t *testing.T) {
+	cases := []struct {
+		hi, lo               Verdict
+		requireAll, firstDec bool
+	}{
+		{Grant, Grant, true, true},
+		{Grant, Deny, false, true},
+		{Grant, Abstain, true, true},
+		{Deny, Grant, false, false},
+		{Deny, Deny, false, false},
+		{Deny, Abstain, false, false},
+		{Abstain, Grant, true, true},
+		{Abstain, Deny, false, false},
+		{Abstain, Abstain, false, false},
+	}
+	for _, c := range cases {
+		ra := New(RequireAll, layerOf("hi", c.hi), layerOf("lo", c.lo)).
+			Authorize(context.Background(), &Request{})
+		if ra.Granted != c.requireAll {
+			t.Errorf("RequireAll(%v,%v) = %v, want %v", c.hi, c.lo, ra.Granted, c.requireAll)
+		}
+		fd := New(FirstDecides, layerOf("hi", c.hi), layerOf("lo", c.lo)).
+			Authorize(context.Background(), &Request{})
+		if fd.Granted != c.firstDec {
+			t.Errorf("FirstDecides(%v,%v) = %v, want %v", c.hi, c.lo, fd.Granted, c.firstDec)
+		}
+	}
+}
+
+// TestAllAbstainRecordsError asserts the all-abstain denial is
+// explainable: Decision.Err names the cause in both combine modes.
+func TestAllAbstainRecordsError(t *testing.T) {
+	for _, mode := range []CombineMode{RequireAll, FirstDecides} {
+		d := New(mode, &AppLayer{}, &AppLayer{}).Authorize(context.Background(), &Request{})
+		if d.Granted {
+			t.Fatalf("mode %v: all-abstain granted", mode)
+		}
+		if !errors.Is(d.Err, ErrNoLayerDecided) {
+			t.Fatalf("mode %v: Err = %v, want ErrNoLayerDecided", mode, d.Err)
+		}
+		if !strings.Contains(d.String(), "no layer decided") {
+			t.Fatalf("mode %v: String() = %s", mode, d)
+		}
+	}
+}
+
+// TestL2DenyL1GrantConflict: the trust layer refuses a principal the
+// middleware layer would admit. RequireAll must deny; FirstDecides lets
+// the higher (trust) layer's denial stand without consulting L1.
+func TestL2DenyL1GrantConflict(t *testing.T) {
+	st, req := figure10(t)
+	r := *req
+	r.Principal = keys.Deterministic("Kmallory", "stack").PublicID()
+	d := st.Authorize(context.Background(), &r)
+	if d.Granted {
+		t.Fatalf("RequireAll ignored L2 deny: %s", d)
+	}
+	var l2, l1 Layer
+	for _, l := range st.layers {
+		switch {
+		case strings.HasPrefix(l.Name(), "L2"):
+			l2 = l
+		case strings.HasPrefix(l.Name(), "L1"):
+			l1 = l
+		}
+	}
+	fd := New(FirstDecides, l2, l1).Authorize(context.Background(), &r)
+	if fd.Granted {
+		t.Fatalf("FirstDecides let L1 override an L2 deny: %s", fd)
+	}
+	if len(fd.Trail) != 1 || !strings.HasPrefix(fd.Trail[0].Layer, "L2") {
+		t.Fatalf("FirstDecides walked past the deciding layer: %s", fd)
+	}
+	if got := fd.Trace.DeniedBy(); got != "L2:keynote" {
+		t.Fatalf("trace DeniedBy = %q", got)
+	}
+}
+
+// TestAuthorizeTracePopulated asserts the shared trace carries per-layer
+// verdicts, the granting chain from L2, and cache behaviour across
+// repeated authorisations.
+func TestAuthorizeTracePopulated(t *testing.T) {
+	st, req := figure10(t)
+	d := st.Authorize(context.Background(), req)
+	if d.Trace == nil || len(d.Trace.Layers) != 4 {
+		t.Fatalf("trace = %+v", d.Trace)
+	}
+	for i, want := range []string{"L3:", "L2:", "L1:", "L0:"} {
+		if !strings.HasPrefix(d.Trace.Layers[i].Layer, want) ||
+			d.Trace.Layers[i].Verdict != "grant" {
+			t.Fatalf("layer %d trace = %+v", i, d.Trace.Layers[i])
+		}
+	}
+	if len(d.Trace.Chain) != 2 || d.Trace.Chain[0] != keynote.PolicyPrincipal {
+		t.Fatalf("chain = %v", d.Trace.Chain)
+	}
+	if d.Trace.CacheHit {
+		t.Fatal("first authorisation claims a cache hit")
+	}
+	d2 := st.Authorize(context.Background(), req)
+	if !d2.Trace.CacheHit {
+		t.Fatal("repeat authorisation missed the decision cache")
+	}
+}
+
+// TestAuthorizeCancelledContext: a cancelled context fails closed and is
+// recorded on the decision.
+func TestAuthorizeCancelledContext(t *testing.T) {
+	st, req := figure10(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := st.Authorize(ctx, req)
+	if d.Granted || d.Err == nil {
+		t.Fatalf("cancelled context: %s", d)
+	}
+}
+
+// TestSharedEngineAcrossLayers: a TrustLayer given an explicit Engine
+// shares its decision cache with other consumers of that engine.
+func TestSharedEngineAcrossLayers(t *testing.T) {
+	st, req := figure10(t)
+	var tl *TrustLayer
+	for _, l := range st.layers {
+		if x, ok := l.(*TrustLayer); ok {
+			tl = x
+		}
+	}
+	eng := authz.NewEngine(tl.Checker)
+	shared := &TrustLayer{Engine: eng, Role: tl.Role, Opt: tl.Opt}
+	if v, _, err := shared.DecideTraced(context.Background(), req); err != nil || v != Grant {
+		t.Fatalf("shared engine: %v %v", v, err)
+	}
+	if st := eng.Stats(); st.Misses != 1 || st.Sessions != 1 {
+		t.Fatalf("engine stats = %+v", st)
 	}
 }

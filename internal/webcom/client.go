@@ -1,6 +1,7 @@
 package webcom
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -8,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"securewebcom/internal/authz"
 	"securewebcom/internal/keynote"
 	"securewebcom/internal/keys"
 	"securewebcom/internal/middleware"
@@ -45,14 +47,41 @@ type Client struct {
 	// tests inject faulty transports here.
 	Dial func(addr string) (net.Conn, error)
 
+	engOnce sync.Once
+	eng     *authz.Engine
+	audit   *authz.AuditLog
+
 	mu          sync.Mutex
 	conn        *conn
 	master      string // authenticated master principal
 	masterCreds []*keynote.Assertion
-	addr        string
-	closed      bool
-	closedCh    chan struct{}
-	done        chan struct{}
+	// session is the master's credential set admitted into the client's
+	// authz engine at handshake; per-operation authorisation of the
+	// master is decided from its cache. Nil when Checker is nil.
+	session  *authz.CredentialSession
+	addr     string
+	closed   bool
+	closedCh chan struct{}
+	done     chan struct{}
+}
+
+// Engine returns the client's authorisation engine (lazily built from
+// Checker; nil when the client trusts any authenticated master).
+func (cl *Client) Engine() *authz.Engine {
+	cl.engOnce.Do(func() {
+		if cl.Checker != nil {
+			cl.eng = authz.NewEngine(cl.Checker)
+		}
+		cl.audit = authz.NewAuditLog(256)
+	})
+	return cl.eng
+}
+
+// Audit returns the client's denial log: operations it refused to run
+// for the master, with full decision traces.
+func (cl *Client) Audit() *authz.AuditLog {
+	cl.Engine()
+	return cl.audit
 }
 
 func (cl *Client) dial(addr string) (net.Conn, error) {
@@ -156,17 +185,23 @@ func (cl *Client) handshake(addr string) (*conn, error) {
 	// trust a root key that merely *delegates* to this master, in which
 	// case the per-operation check below needs the chain (the
 	// decentralised half of Figure 3). Malformed credentials are dropped
-	// here; forged ones are rejected by the compliance checker per query.
+	// here; forged ones are rejected once, at session admission — their
+	// signatures are never re-checked per operation.
 	var masterCreds []*keynote.Assertion
 	for _, text := range welcome.Credentials {
 		if a, err := keynote.Parse(text); err == nil {
 			masterCreds = append(masterCreds, a)
 		}
 	}
+	var session *authz.CredentialSession
+	if eng := cl.Engine(); eng != nil {
+		session = eng.Session(masterCreds)
+	}
 	cl.mu.Lock()
 	cl.conn = c
 	cl.master = welcome.Principal
 	cl.masterCreds = masterCreds
+	cl.session = session
 	cl.mu.Unlock()
 	return c, nil
 }
@@ -314,18 +349,23 @@ func (cl *Client) serve(c *conn) {
 func (cl *Client) execute(m *msg) (result string, denied bool, err error) {
 	// L2: does this client's policy let the master schedule this op? The
 	// master's presented credentials participate, so the policy may name
-	// a root that delegated scheduling authority to this master.
+	// a root that delegated scheduling authority to this master. The
+	// session was admitted at handshake; this is a cached decision, not
+	// a signature verification.
 	cl.mu.Lock()
 	master := cl.master
-	masterCreds := cl.masterCreds
+	session := cl.session
 	cl.mu.Unlock()
-	if cl.Checker != nil {
-		res, err := cl.Checker.Check(taskQuery(master, m.Op, m.Annotations, m.Args), masterCreds)
+	if session != nil {
+		d, err := session.Decide(context.Background(), taskQuery(master, m.Op, m.Annotations, m.Args))
 		if err != nil {
 			return "", false, err
 		}
-		if !res.Authorized(nil) {
-			return "", true, fmt.Errorf("client policy refuses master for op %s", m.Op)
+		if !d.Allowed {
+			if !d.Trace.CacheHit {
+				cl.Audit().Record(master, m.Op, d)
+			}
+			return "", true, fmt.Errorf("client policy refuses master for op %s (denied by %s)", m.Op, d.Trace.DeniedBy())
 		}
 	}
 

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"securewebcom/internal/authz"
 	"securewebcom/internal/cg"
 	"securewebcom/internal/keynote"
 	"securewebcom/internal/keys"
@@ -42,6 +43,12 @@ type Master struct {
 
 	ln net.Listener
 
+	// engOnce guards the lazy authz engine so Masters built as struct
+	// literals (tests, examples) get one too.
+	engOnce sync.Once
+	eng     *authz.Engine
+	audit   *authz.AuditLog
+
 	mu      sync.Mutex
 	clients map[string]*masterClient // by client name
 	nextID  uint64
@@ -49,14 +56,38 @@ type Master struct {
 	closed  bool
 }
 
+// Engine returns the master's authorisation engine (built lazily from
+// Checker). Sessions are admitted per client at handshake; per-task
+// decisions are served from its cache.
+func (m *Master) Engine() *authz.Engine {
+	m.engOnce.Do(func() {
+		if m.Checker != nil {
+			m.eng = authz.NewEngine(m.Checker)
+		}
+		m.audit = authz.NewAuditLog(256)
+	})
+	return m.eng
+}
+
+// Audit returns the master's denial log: every task the policy refused,
+// with its full decision trace.
+func (m *Master) Audit() *authz.AuditLog {
+	m.Engine()
+	return m.audit
+}
+
 type masterClient struct {
 	name        string
 	principal   string
 	conn        *conn
 	credentials []*keynote.Assertion
-	sem         chan struct{} // in-flight slots (backpressure)
-	died        chan struct{} // closed when the connection is declared dead
-	brk         *breaker
+	// session is the client's credential set admitted into the master's
+	// authz engine at handshake: signatures verified once, per-task
+	// decisions cached. Nil when the master has no checker.
+	session *authz.CredentialSession
+	sem     chan struct{} // in-flight slots (backpressure)
+	died    chan struct{} // closed when the connection is declared dead
+	brk     *breaker
 
 	mu      sync.Mutex
 	pending map[uint64]chan *msg
@@ -194,8 +225,10 @@ func (m *Master) handleClient(c *conn) {
 		c.close()
 		return
 	}
-	// Parse the client's presented credentials (verified per-query by the
-	// compliance checker; garbage is rejected there, not here).
+	// Parse the client's presented credentials. Signature verification
+	// happens ONCE, below, when the set is admitted into the authz
+	// engine's session — not per scheduled task. Forged credentials are
+	// recorded in the session's rejections and simply never grant.
 	var creds []*keynote.Assertion
 	for _, text := range hello.Credentials {
 		a, err := keynote.Parse(text)
@@ -244,6 +277,11 @@ func (m *Master) handleClient(c *conn) {
 		died:        make(chan struct{}),
 		brk:         newBreaker(rp.FailureThreshold, rp.Quarantine),
 		pending:     make(map[uint64]chan *msg),
+	}
+	// Admit the credential set now (one signature verification per
+	// credential); the dispatch path only consults the decision cache.
+	if eng := m.Engine(); eng != nil {
+		mc.session = eng.Session(creds)
 	}
 	m.mu.Lock()
 	if m.closed {
@@ -372,7 +410,7 @@ func taskQuery(principal, opName string, annotations map[string]string, args []s
 // of connected clients (so callers can tell "nobody connected" — a
 // transient condition worth retrying — from "connected but none
 // authorised" — a policy decision).
-func (m *Master) authorisedClients(t cg.Task) ([]*masterClient, int, error) {
+func (m *Master) authorisedClients(ctx context.Context, t cg.Task) ([]*masterClient, int, error) {
 	m.mu.Lock()
 	all := make([]*masterClient, 0, len(m.clients))
 	for _, c := range m.clients {
@@ -386,12 +424,20 @@ func (m *Master) authorisedClients(t cg.Task) ([]*masterClient, int, error) {
 		if c.isDead() {
 			continue
 		}
-		res, err := m.Checker.Check(taskQuery(c.principal, t.OpName, t.Annotations, t.Args), c.credentials)
+		if c.session == nil {
+			// No checker configured: an authenticated client is enough.
+			out = append(out, c)
+			continue
+		}
+		d, err := c.session.Decide(ctx, taskQuery(c.principal, t.OpName, t.Annotations, t.Args))
 		if err != nil {
 			return nil, len(all), err
 		}
-		if res.Authorized(nil) {
+		if d.Allowed {
 			out = append(out, c)
+		} else if !d.Trace.CacheHit {
+			// Log each distinct denial once (cache hits are repeats).
+			m.Audit().Record(c.name, t.OpName, d)
 		}
 	}
 	// Rotate the candidate order per call so independent tasks spread
@@ -433,7 +479,7 @@ func (m *Master) Executor() cg.Executor {
 					return "", err
 				}
 			}
-			cands, connected, err := m.authorisedClients(t)
+			cands, connected, err := m.authorisedClients(ctx, t)
 			if err != nil {
 				return "", err
 			}

@@ -750,3 +750,93 @@ func TestRoundRobinSpreadsLoad(t *testing.T) {
 		t.Fatalf("load not spread: A=%d B=%d", hitA.Load(), hitB.Load())
 	}
 }
+
+// TestDeniedTaskTrace asserts the end-to-end trace of a denied task: the
+// master's audit log records the denial with the deciding layer, the
+// session fingerprint, and the client's name — and the session was
+// admitted once, so dispatch attempts did not re-verify signatures.
+func TestDeniedTaskTrace(t *testing.T) {
+	env := newTestEnv(t, "X")
+	env.attach("Z", map[string]func([]string) (string, error){"echo": echoOp})
+	waitClients(t, env.master, 1)
+
+	g := cg.NewGraph("app")
+	g.MustAddNode("remote", &cg.Opaque{OpName: "echo", OpArity: 1})
+	if err := g.SetConst("remote", 0, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetExit("remote"); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := env.master.Run(context.Background(), &cg.Engine{}, g, nil)
+	if err == nil {
+		t.Fatal("unauthorised client was scheduled")
+	}
+
+	entry, ok := env.master.Audit().Last()
+	if !ok {
+		t.Fatal("denial not recorded in the master's audit log")
+	}
+	if entry.Peer != "Z" || entry.Op != "echo" {
+		t.Fatalf("audit entry = peer %q op %q", entry.Peer, entry.Op)
+	}
+	d := entry.Decision
+	if d.Allowed {
+		t.Fatal("audited decision claims the task was allowed")
+	}
+	if got := d.Trace.DeniedBy(); got != "L2:keynote" {
+		t.Fatalf("DeniedBy = %q", got)
+	}
+	if d.Trace.Fingerprint == "" {
+		t.Fatal("trace carries no session fingerprint")
+	}
+	if len(d.Trace.Layers) != 1 || d.Trace.Layers[0].Verdict != "deny" {
+		t.Fatalf("layer trace = %+v", d.Trace.Layers)
+	}
+	if !strings.Contains(entry.String(), "DENY") {
+		t.Fatalf("audit entry renders %q", entry.String())
+	}
+
+	// The authz engine admitted Z's (empty) credential set exactly once,
+	// and the denial was computed exactly once (denials are not retried).
+	st := env.master.Engine().Stats()
+	if st.Sessions != 1 {
+		t.Fatalf("engine admitted %d sessions, want 1", st.Sessions)
+	}
+	if st.Misses != 1 {
+		t.Fatalf("engine stats = %+v (want exactly one computed decision)", st)
+	}
+}
+
+// TestWarmDispatchUsesDecisionCache runs the same task twice and asserts
+// the second authorisation was a cache hit — the no-per-request-
+// verification guarantee of the session design.
+func TestWarmDispatchUsesDecisionCache(t *testing.T) {
+	env := newTestEnv(t, "X")
+	env.attach("X", map[string]func([]string) (string, error){"echo": echoOp})
+	waitClients(t, env.master, 1)
+
+	run := func() {
+		g := cg.NewGraph("app")
+		g.MustAddNode("remote", &cg.Opaque{OpName: "echo", OpArity: 1})
+		if err := g.SetConst("remote", 0, "x"); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.SetExit("remote"); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := env.master.Run(context.Background(), &cg.Engine{}, g, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	before := env.master.Engine().Stats()
+	run()
+	after := env.master.Engine().Stats()
+	if after.Misses != before.Misses {
+		t.Fatalf("repeat task recomputed its decision: %+v -> %+v", before, after)
+	}
+	if after.Hits <= before.Hits {
+		t.Fatalf("repeat task did not hit the cache: %+v -> %+v", before, after)
+	}
+}
