@@ -243,7 +243,7 @@ func newBenchCOM() middleware.System {
 }
 
 func domainOf(s middleware.System) rbac.Domain {
-	p, err := s.ExtractPolicy()
+	p, err := s.ExtractPolicy(context.Background())
 	if err != nil || len(p.Domains()) == 0 {
 		panic("bench system without domain")
 	}
@@ -270,7 +270,7 @@ func BenchmarkMigration(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := translate.Migrate(src, dst, opt); err != nil {
+				if _, _, err := translate.Migrate(context.Background(), src, dst, opt); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -334,7 +334,7 @@ func BenchmarkCheckAccess(b *testing.B) {
 			d := domainOf(sys)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				ok, err := sys.CheckAccess("u1", d, "DB", "Access")
+				ok, err := sys.CheckAccess(context.Background(), "u1", d, "DB", "Access")
 				if err != nil || !ok {
 					b.Fatalf("decision: %v %v", ok, err)
 				}

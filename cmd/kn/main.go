@@ -26,6 +26,7 @@ import (
 	"securewebcom/internal/authz"
 	"securewebcom/internal/keynote"
 	"securewebcom/internal/keys"
+	"securewebcom/internal/telemetry"
 )
 
 func main() {
@@ -256,12 +257,16 @@ func cmdQuery(args []string) error {
 	}
 	if *trace {
 		// The engine path: credentials admitted into a session (verified
-		// once), the decision computed with its structured trace.
-		d, err := authz.NewEngine(chk).Session(creds).Decide(context.Background(), q)
+		// once), the decision computed with its structured trace. A
+		// per-invocation tracer captures the span timings.
+		tr := telemetry.NewTracer(0)
+		ctx := telemetry.WithTracer(context.Background(), tr)
+		d, err := authz.NewEngine(chk).Session(creds).Decide(ctx, q)
 		if err != nil {
 			return err
 		}
 		fmt.Print(d.Explain())
+		printSpans(tr)
 		if !d.Allowed {
 			os.Exit(3)
 		}
@@ -276,6 +281,14 @@ func cmdQuery(args []string) error {
 		os.Exit(3) // distinguishable "denied" exit code
 	}
 	return nil
+}
+
+// printSpans renders the finished spans of a per-invocation tracer,
+// start-ordered, under the decision trace.
+func printSpans(tr *telemetry.Tracer) {
+	for _, sp := range tr.Spans() {
+		fmt.Printf("  span %-14s %v\n", sp.Name, sp.Duration())
+	}
 }
 
 // attrFlags collects repeated -attr name=value flags.

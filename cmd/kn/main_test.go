@@ -252,7 +252,8 @@ func TestQueryTraceFlag(t *testing.T) {
 		return cmdQuery([]string{"-policy", policy, "-authorizer", "Kbob",
 			"-attr", "oper=read", "-trace"})
 	})
-	for _, wantSub := range []string{"GRANT", "L2:keynote", "grant", "session ", "computed in"} {
+	for _, wantSub := range []string{"GRANT", "L2:keynote", "grant", "session ", "computed in",
+		"span authz.decide"} {
 		if !strings.Contains(out, wantSub) {
 			t.Fatalf("-trace output missing %q:\n%s", wantSub, out)
 		}

@@ -33,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -43,6 +44,7 @@ import (
 	"securewebcom/internal/keys"
 	"securewebcom/internal/policylint"
 	"securewebcom/internal/rbac"
+	"securewebcom/internal/telemetry"
 	"securewebcom/internal/translate"
 )
 
@@ -76,6 +78,8 @@ func main() {
 		err = cmdRemoteExtract(args)
 	case "check":
 		err = cmdCheck(args)
+	case "metrics":
+		err = cmdMetrics(args)
 	default:
 		usage()
 	}
@@ -87,8 +91,43 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: policytool {render|validate|diff|encode|decode|migrate|lint|remote-extract|check} [flags]")
+		"usage: policytool {render|validate|diff|encode|decode|migrate|lint|remote-extract|check|metrics} [flags]")
 	os.Exit(2)
+}
+
+// cmdMetrics dumps the telemetry surface of a running webcom-master (or
+// any process serving internal/telemetry's handler): /metrics by
+// default, /traces with -traces. The same data the Prometheus scrape
+// sees, for operators without a scraper at hand.
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	addr := fs.String("addr", "", "metrics address of the running process (host:port)")
+	jsonOut := fs.Bool("json", false, "fetch the JSON rendering instead of Prometheus text")
+	traces := fs.Bool("traces", false, "fetch recent spans (/traces) instead of metrics")
+	traceID := fs.String("trace", "", "with -traces, only spans of this trace id")
+	fs.Parse(args)
+	if *addr == "" {
+		return fmt.Errorf("metrics requires -addr")
+	}
+	url := "http://" + *addr + "/metrics"
+	if *traces {
+		url = "http://" + *addr + "/traces"
+		if *traceID != "" {
+			url += "?trace=" + *traceID
+		}
+	} else if *jsonOut {
+		url += "?format=json"
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
 }
 
 // cmdCheck decides an authorisation question through the authz engine:
@@ -136,12 +175,17 @@ func cmdCheck(args []string) error {
 		return err
 	}
 	q := keynote.Query{Authorizers: []string{*authorizer}, Attributes: attrs.m}
-	d, err := authz.NewEngine(chk).Session(creds).Decide(context.Background(), q)
+	tr := telemetry.NewTracer(0)
+	ctx := telemetry.WithTracer(context.Background(), tr)
+	d, err := authz.NewEngine(chk).Session(creds).Decide(ctx, q)
 	if err != nil {
 		return err
 	}
 	if *trace {
 		fmt.Print(d.Explain())
+		for _, sp := range tr.Spans() {
+			fmt.Printf("  span %-14s %v\n", sp.Name, sp.Duration())
+		}
 	} else if d.Allowed {
 		fmt.Println("GRANT")
 	} else {

@@ -20,6 +20,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -28,6 +30,7 @@ import (
 	"securewebcom/internal/cg"
 	"securewebcom/internal/keynote"
 	"securewebcom/internal/keys"
+	"securewebcom/internal/telemetry"
 	"securewebcom/internal/webcom"
 )
 
@@ -40,6 +43,7 @@ func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
 type opts struct {
 	addr, keyPath, policyPath  string
 	run, graphPath, inputsFlag string
+	metricsAddr                string
 	waitClients                int
 	trace                      bool
 	trust                      []string
@@ -59,6 +63,7 @@ func main() {
 	var trust multiFlag
 	flag.Var(&trust, "trust", "client public-key file to trust for all operations (repeatable)")
 	flag.BoolVar(&o.trace, "trace", false, "log every authorisation denial with its full decision trace")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics, /healthz and /traces on this address (empty disables telemetry)")
 
 	// Fault-tolerance knobs; 0 means the library default.
 	flag.IntVar(&o.retry.MaxAttempts, "max-attempts", 0, "scheduling attempts per task (0 = default 3)")
@@ -138,6 +143,23 @@ func realMain(o opts) error {
 	master := webcom.NewMaster(masterKey, chk, nil, ks)
 	master.Retry = o.retry
 	master.Live = o.live
+	if o.metricsAddr != "" {
+		master.Tel = telemetry.NewRegistry()
+		master.Tracer = telemetry.NewTracer(0)
+		ln, err := net.Listen("tcp", o.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		h := telemetry.NewHandler(master.Tel, master.Tracer, func() error {
+			if len(master.Clients()) == 0 {
+				return fmt.Errorf("no clients connected")
+			}
+			return nil
+		})
+		go http.Serve(ln, h)
+		fmt.Printf("telemetry on http://%s/metrics\n", ln.Addr())
+	}
 	if o.trace {
 		master.Audit().SetSink(func(e authz.AuditEntry) {
 			fmt.Fprintf(os.Stderr, "trace: %s", e.String())

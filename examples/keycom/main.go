@@ -12,6 +12,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -84,7 +86,7 @@ func run() error {
 	if err := keycom.Submit(srv.Addr(), req); err != nil {
 		return fmt.Errorf("delegated update refused: %w", err)
 	}
-	ok, err := cat.CheckAccess("newhire", "DOMA", "SalariesDB.Component", complus.PermAccess)
+	ok, err := cat.CheckAccess(context.Background(), "newhire", "DOMA", "SalariesDB.Component", complus.PermAccess)
 	if err != nil || !ok {
 		return fmt.Errorf("catalogue not updated (ok=%v err=%v)", ok, err)
 	}

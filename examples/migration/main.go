@@ -16,6 +16,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"strings"
@@ -49,7 +51,7 @@ func run() error {
 	must(y.AddRoleMember("Clerk", "Alice"))
 	must(y.AddRoleMember("Manager", "Bob"))
 
-	legacy, err := y.ExtractPolicy()
+	legacy, err := y.ExtractPolicy(context.Background())
 	if err != nil {
 		return err
 	}
@@ -95,7 +97,7 @@ func run() error {
 	for _, r := range reports {
 		fmt.Println("  ", r)
 	}
-	if _, err := x.ApplyPolicy(migrated); err != nil {
+	if _, err := x.ApplyPolicy(context.Background(), migrated); err != nil {
 		return err
 	}
 	fmt.Println("\n== migrated EJB policy (system X) ==")
@@ -110,8 +112,8 @@ func run() error {
 	}
 	for _, u := range []rbac.User{"Alice", "Bob", "Mallory"} {
 		for _, comPerm := range []rbac.Permission{complus.PermAccess, complus.PermLaunch} {
-			yGot, _ := y.CheckAccess(u, "DOMY", "SalariesDB.Component", comPerm)
-			xGot, _ := x.CheckAccess(u, "hostX/srv/salaries", "SalariesDB.Component", vocab[comPerm])
+			yGot, _ := y.CheckAccess(context.Background(), u, "DOMY", "SalariesDB.Component", comPerm)
+			xGot, _ := x.CheckAccess(context.Background(), u, "hostX/srv/salaries", "SalariesDB.Component", vocab[comPerm])
 			principal := keys.Deterministic("K"+strings.ToLower(string(u)), "migration-example").PublicID()
 			zGot, err := translate.Decision(chk, enc.Credentials, principal, legacy,
 				"SalariesDB.Component", comPerm, opt)

@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -50,7 +52,7 @@ func run() error {
 
 	fmt.Println("== native EJB container security (stack layer L1) ==")
 	invoke := func(user rbac.User, op string, args ...string) {
-		out, err := srv.Invoke(user, domain, "Salaries", op, args)
+		out, err := srv.Invoke(context.Background(), user, domain, "Salaries", op, args)
 		if err != nil {
 			fmt.Printf("  %-6s %-5s -> DENIED (%v)\n", user, op, err)
 			return
@@ -68,14 +70,14 @@ func run() error {
 		return err
 	}
 	must(fw.RegisterSystem(srv))
-	global, err := fw.GlobalPolicy()
+	global, err := fw.GlobalPolicy(context.Background())
 	if err != nil {
 		return err
 	}
 	fmt.Println("\n== comprehended RBAC policy ==")
 	fmt.Print(global.String())
 
-	enc, err := fw.EncodeGlobal("quickstart")
+	enc, err := fw.EncodeGlobal(context.Background(), "quickstart")
 	if err != nil {
 		return err
 	}
@@ -92,7 +94,7 @@ func run() error {
 		{"Alice", "write"}, {"Alice", "read"},
 		{"Bob", "read"}, {"Bob", "write"}, {"Mallory", "read"},
 	} {
-		kn, err := fw.Authorize(enc, q.user, "Salaries", q.perm)
+		kn, err := fw.Authorize(context.Background(), enc, q.user, "Salaries", q.perm)
 		if err != nil {
 			return err
 		}

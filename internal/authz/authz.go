@@ -29,11 +29,13 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"securewebcom/internal/keynote"
+	"securewebcom/internal/telemetry"
 )
 
 // DefaultCacheSize bounds the decision cache when no option overrides it.
@@ -52,6 +54,8 @@ type Engine struct {
 	cache    *lruCache
 
 	hits, misses, invalidations uint64
+
+	tel *telemetry.Registry
 }
 
 // Option configures an Engine.
@@ -70,6 +74,14 @@ func WithCacheSize(n int) Option {
 // "L2:keynote"; KeyCOM uses "L2:keycom").
 func WithLayerName(name string) Option {
 	return func(e *Engine) { e.layerName = name }
+}
+
+// WithTelemetry mirrors the engine's counters into reg (authz.cache.hits,
+// authz.cache.misses, authz.cache.invalidations) and records per-decision
+// latency (authz.decide.latency, seconds) and delegation fixpoint passes
+// (authz.fixpoint.passes) on cache misses. Nil reg disables mirroring.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(e *Engine) { e.tel = reg }
 }
 
 // NewEngine builds an engine over chk. The checker's resolver is wrapped
@@ -148,6 +160,7 @@ func (e *Engine) Invalidate() {
 	e.sessions = make(map[string]*CredentialSession)
 	e.invalidations++
 	e.mu.Unlock()
+	e.tel.Counter("authz.cache.invalidations").Inc()
 	if e.memo != nil {
 		e.memo.Flush()
 	}
@@ -177,12 +190,17 @@ func (e *Engine) Stats() Stats {
 
 func (e *Engine) cacheGet(key string) (*Decision, bool) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	d, ok := e.cache.get(key)
 	if ok {
 		e.hits++
 	} else {
 		e.misses++
+	}
+	e.mu.Unlock()
+	if ok {
+		e.tel.Counter("authz.cache.hits").Inc()
+	} else {
+		e.tel.Counter("authz.cache.misses").Inc()
 	}
 	return d, ok
 }
@@ -247,17 +265,28 @@ func (s *CredentialSession) Decide(ctx context.Context, q keynote.Query) (*Decis
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	_, span := telemetry.StartSpan(ctx, "authz.decide")
+	defer span.Finish()
+	if tel := s.engine.tel; tel != nil {
+		defer func() {
+			tel.Histogram("authz.decide.latency").ObserveDuration(time.Since(start))
+		}()
+	}
 	key := s.fp + "\x00" + canonicalQuery(q)
 	if d, ok := s.engine.cacheGet(key); ok {
 		hit := *d
 		hit.Trace.CacheHit = true
 		hit.Trace.Elapsed = time.Since(start)
+		span.SetAttr("cache", "hit")
+		span.SetAttr("allowed", strconv.FormatBool(hit.Allowed))
 		return &hit, nil
 	}
+	span.SetAttr("cache", "miss")
 	res, err := s.engine.checker.CheckPreverified(q, s.admitted)
 	if err != nil {
 		return nil, err
 	}
+	s.engine.tel.Histogram("authz.fixpoint.passes").Observe(float64(res.Passes))
 	if len(s.rejected) > 0 {
 		res.Rejected = append(append([]keynote.RejectedCredential{}, s.rejected...), res.Rejected...)
 	}
@@ -282,6 +311,7 @@ func (s *CredentialSession) Decide(ctx context.Context, q keynote.Query) (*Decis
 		Verdict: verdict,
 		Elapsed: d.Trace.Elapsed,
 	}}
+	span.SetAttr("allowed", strconv.FormatBool(d.Allowed))
 	s.engine.cachePut(key, d)
 	return d, nil
 }

@@ -466,7 +466,7 @@ func TestInterceptorVetoesFiring(t *testing.T) {
 	check(t, g.SetConst("secret", 0, "data"))
 	check(t, g.SetExit("secret"))
 
-	e := &Engine{Interceptor: func(task Task) error {
+	e := &Engine{Interceptor: func(_ context.Context, task Task) error {
 		if task.Annotations["classification"] == "secret" {
 			return errors.New("workflow policy forbids secret nodes here")
 		}
@@ -495,7 +495,7 @@ func TestInterceptorSeesArgs(t *testing.T) {
 	check(t, g.BindInput("who", "n", 1))
 	check(t, g.SetExit("n"))
 	var seen []string
-	e := &Engine{Interceptor: func(task Task) error {
+	e := &Engine{Interceptor: func(_ context.Context, task Task) error {
 		seen = append([]string{}, task.Args...)
 		return nil
 	}}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"securewebcom/internal/telemetry"
 )
 
 // Mode selects the evaluation strategy.
@@ -80,9 +82,14 @@ type Engine struct {
 	// conditionals and condensations). A non-nil error vetoes the firing
 	// and fails the run: this is the hook for application-level workflow
 	// security, the L3 layer of the paper's Figure 10 (reference [12]).
-	Interceptor func(t Task) error
+	// The context carries the run's trace so interceptor-level decisions
+	// join the same span chain as the firing they guard.
+	Interceptor func(ctx context.Context, t Task) error
 	// MaxDepth bounds condensation recursion. Default 64.
 	MaxDepth int
+	// Tel, when non-nil, counts firings (cg.fired), condensation
+	// expansions (cg.expanded) and interceptor vetoes (cg.vetoes).
+	Tel *telemetry.Registry
 }
 
 func (e *Engine) workers() int {
@@ -150,6 +157,9 @@ func (e *Engine) runGraph(ctx context.Context, g *Graph, inputs map[string]strin
 	if depth > e.maxDepth() {
 		return "", Stats{}, fmt.Errorf("cg: condensation depth exceeds %d (runaway recursion?)", e.maxDepth())
 	}
+	ctx, span := telemetry.StartSpan(ctx, "cg.run")
+	defer span.Finish()
+	span.SetAttr("graph", g.Name)
 	for _, in := range g.Inputs() {
 		if _, ok := inputs[in]; !ok {
 			return "", Stats{}, fmt.Errorf("cg: graph %q input %q not supplied", g.Name, in)
@@ -378,6 +388,7 @@ func (e *Engine) fire(ctx context.Context, g *Graph, st *nodeState,
 		for i, name := range ins {
 			subInputs[name] = operandValue(n.operands[i])
 		}
+		e.Tel.Counter("cg.expanded").Inc()
 		res, s, err := e.runGraph(ctx, sub, subInputs, depth+1)
 		s.Expanded++
 		return res, s, err
@@ -394,12 +405,22 @@ func (e *Engine) fire(ctx context.Context, g *Graph, st *nodeState,
 			Args:        args,
 			Annotations: n.Annotations,
 		}
+		ctx, span := telemetry.StartSpan(ctx, "cg.fire")
+		defer span.Finish()
+		span.SetAttr("node", n.ID)
+		span.SetAttr("op", n.Op.Name())
+		e.Tel.Counter("cg.fired").Inc()
 		if e.Interceptor != nil {
-			if err := e.Interceptor(t); err != nil {
+			if err := e.Interceptor(ctx, t); err != nil {
+				e.Tel.Counter("cg.vetoes").Inc()
+				span.SetAttr("vetoed", "true")
 				return "", Stats{}, fmt.Errorf("interceptor vetoed firing: %w", err)
 			}
 		}
 		res, err := e.exec()(ctx, t, n.Op)
+		if err != nil {
+			span.SetAttr("err", err.Error())
+		}
 		return res, Stats{}, err
 	}
 }

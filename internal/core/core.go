@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -73,15 +74,15 @@ func (f *Framework) EnsureUserKey(u rbac.User, seed string) (*keys.KeyPair, erro
 
 // GlobalPolicy synthesises the unified RBAC view of every registered
 // system ("Policy Comprehension").
-func (f *Framework) GlobalPolicy() (*rbac.Policy, error) {
-	return f.Registry.GlobalPolicy()
+func (f *Framework) GlobalPolicy(ctx context.Context) (*rbac.Policy, error) {
+	return f.Registry.GlobalPolicy(ctx)
 }
 
 // EncodeGlobal encodes the global policy as signed KeyNote assertions,
 // creating user keys on demand (deterministically derived from keySeed
 // when non-empty).
-func (f *Framework) EncodeGlobal(keySeed string) (*translate.Encoded, error) {
-	p, err := f.GlobalPolicy()
+func (f *Framework) EncodeGlobal(ctx context.Context, keySeed string) (*translate.Encoded, error) {
+	p, err := f.GlobalPolicy(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -115,10 +116,10 @@ func (f *Framework) Checker(enc *translate.Encoded) (*keynote.Checker, error) {
 // PushPolicy applies a global RBAC policy to every registered system
 // ("Policy Configuration"). It returns the number of rows each system
 // accepted.
-func (f *Framework) PushPolicy(p *rbac.Policy) (map[string]int, error) {
+func (f *Framework) PushPolicy(ctx context.Context, p *rbac.Policy) (map[string]int, error) {
 	out := make(map[string]int)
 	for _, s := range f.Registry.All() {
-		n, err := s.ApplyPolicy(p)
+		n, err := s.ApplyPolicy(ctx, p)
 		if err != nil {
 			return nil, fmt.Errorf("core: apply to %s: %w", s.Name(), err)
 		}
@@ -129,9 +130,9 @@ func (f *Framework) PushPolicy(p *rbac.Policy) (map[string]int, error) {
 
 // PropagateDiff applies an RBAC change set to every registered system
 // ("Policy Maintenance", Section 4.4).
-func (f *Framework) PropagateDiff(d rbac.Diff) error {
+func (f *Framework) PropagateDiff(ctx context.Context, d rbac.Diff) error {
 	for _, s := range f.Registry.All() {
-		if err := s.ApplyDiff(d); err != nil {
+		if err := s.ApplyDiff(ctx, d); err != nil {
 			return fmt.Errorf("core: propagate to %s: %w", s.Name(), err)
 		}
 	}
@@ -140,7 +141,7 @@ func (f *Framework) PropagateDiff(d rbac.Diff) error {
 
 // Migrate moves the policy of system src onto system dst ("Policy
 // Migration", Section 4.3).
-func (f *Framework) Migrate(src, dst string, opt translate.MigrationOptions) (int, []translate.MappingReport, error) {
+func (f *Framework) Migrate(ctx context.Context, src, dst string, opt translate.MigrationOptions) (int, []translate.MappingReport, error) {
 	s, err := f.Registry.Get(src)
 	if err != nil {
 		return 0, nil, err
@@ -149,7 +150,7 @@ func (f *Framework) Migrate(src, dst string, opt translate.MigrationOptions) (in
 	if err != nil {
 		return 0, nil, err
 	}
-	return translate.Migrate(s, d, opt)
+	return translate.Migrate(ctx, s, d, opt)
 }
 
 // Interrogator returns the IDE interrogation view of the framework's
@@ -162,7 +163,7 @@ func (f *Framework) Interrogator() *ide.Interrogator {
 // ot anywhere?" at the trust-management layer: it encodes the current
 // global policy and runs the KeyNote decision, which by the translation
 // equivalence property matches the middleware answer.
-func (f *Framework) Authorize(enc *translate.Encoded, u rbac.User, ot rbac.ObjectType, perm rbac.Permission, extraCreds ...*keynote.Assertion) (bool, error) {
+func (f *Framework) Authorize(ctx context.Context, enc *translate.Encoded, u rbac.User, ot rbac.ObjectType, perm rbac.Permission, extraCreds ...*keynote.Assertion) (bool, error) {
 	kp, err := f.EnsureUserKey(u, "")
 	if err != nil {
 		return false, err
@@ -171,7 +172,7 @@ func (f *Framework) Authorize(enc *translate.Encoded, u rbac.User, ot rbac.Objec
 	if err != nil {
 		return false, err
 	}
-	p, err := f.GlobalPolicy()
+	p, err := f.GlobalPolicy(ctx)
 	if err != nil {
 		return false, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -58,7 +59,7 @@ func newFramework(t *testing.T) (*Framework, *ejb.Server, *corba.ORB, *complus.C
 
 func TestGlobalPolicyComprehension(t *testing.T) {
 	f, _, _, _ := newFramework(t)
-	g, err := f.GlobalPolicy()
+	g, err := f.GlobalPolicy(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,11 +77,11 @@ func TestGlobalPolicyComprehension(t *testing.T) {
 
 func TestEncodeGlobalAndAuthorize(t *testing.T) {
 	f, _, _, _ := newFramework(t)
-	enc, err := f.EncodeGlobal("core-test")
+	enc, err := f.EncodeGlobal(context.Background(), "core-test")
 	if err != nil {
 		t.Fatal(err)
 	}
-	g, _ := f.GlobalPolicy()
+	g, _ := f.GlobalPolicy(context.Background())
 	if len(enc.Credentials) != len(g.Users()) {
 		t.Fatalf("%d credentials for %d users", len(enc.Credentials), len(g.Users()))
 	}
@@ -99,7 +100,7 @@ func TestEncodeGlobalAndAuthorize(t *testing.T) {
 		{"Dave", "Salaries", "read", false},
 	}
 	for _, c := range cases {
-		got, err := f.Authorize(enc, c.user, c.ot, c.perm)
+		got, err := f.Authorize(context.Background(), enc, c.user, c.ot, c.perm)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,7 +112,7 @@ func TestEncodeGlobalAndAuthorize(t *testing.T) {
 
 func TestAuthorizeWithDelegation(t *testing.T) {
 	f, _, _, _ := newFramework(t)
-	enc, err := f.EncodeGlobal("core-test")
+	enc, err := f.EncodeGlobal(context.Background(), "core-test")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,14 +130,14 @@ func TestAuthorizeWithDelegation(t *testing.T) {
 	if err := deleg.Sign(claire); err != nil {
 		t.Fatal(err)
 	}
-	got, err := f.Authorize(enc, "Fred", "Salaries", "read", deleg)
+	got, err := f.Authorize(context.Background(), enc, "Fred", "Salaries", "read", deleg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !got {
 		t.Fatal("delegated authorisation failed")
 	}
-	got, err = f.Authorize(enc, "Fred", "Salaries", "read")
+	got, err = f.Authorize(context.Background(), enc, "Fred", "Salaries", "read")
 	if err != nil || got {
 		t.Fatal("Fred authorised without the delegation")
 	}
@@ -145,20 +146,20 @@ func TestAuthorizeWithDelegation(t *testing.T) {
 func TestPushPolicyConfiguresAllSystems(t *testing.T) {
 	f, x, y, _ := newFramework(t)
 	// A fresh global policy: new clerk on both X and Y.
-	p, _ := f.GlobalPolicy()
+	p, _ := f.GlobalPolicy(context.Background())
 	p.AddUserRole("Fred", "hostX/srv/finance", "Manager")
 	p.AddUserRole("Fred", "hostY/SalesORB", "Manager")
-	counts, err := f.PushPolicy(p)
+	counts, err := f.PushPolicy(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if counts["X"] == 0 || counts["Y"] == 0 || counts["W"] == 0 {
 		t.Fatalf("counts = %v", counts)
 	}
-	if ok, _ := x.CheckAccess("Fred", "hostX/srv/finance", "Salaries", "read"); !ok {
+	if ok, _ := x.CheckAccess(context.Background(), "Fred", "hostX/srv/finance", "Salaries", "read"); !ok {
 		t.Fatal("push did not configure X")
 	}
-	if ok, _ := y.CheckAccess("Fred", "hostY/SalesORB", "Salaries", "read"); !ok {
+	if ok, _ := y.CheckAccess(context.Background(), "Fred", "hostY/SalesORB", "Salaries", "read"); !ok {
 		t.Fatal("push did not configure Y")
 	}
 }
@@ -169,13 +170,13 @@ func TestPropagateDiffMaintenance(t *testing.T) {
 		AddedUserRole:   []rbac.UserRoleEntry{{User: "Grace", Domain: "hostX/srv/finance", Role: "Clerk"}},
 		RemovedUserRole: []rbac.UserRoleEntry{{User: "Alice", Domain: "hostX/srv/finance", Role: "Clerk"}},
 	}
-	if err := f.PropagateDiff(diff); err != nil {
+	if err := f.PropagateDiff(context.Background(), diff); err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := x.CheckAccess("Grace", "hostX/srv/finance", "Salaries", "write"); !ok {
+	if ok, _ := x.CheckAccess(context.Background(), "Grace", "hostX/srv/finance", "Salaries", "write"); !ok {
 		t.Fatal("added user missing")
 	}
-	if ok, _ := x.CheckAccess("Alice", "hostX/srv/finance", "Salaries", "write"); ok {
+	if ok, _ := x.CheckAccess(context.Background(), "Alice", "hostX/srv/finance", "Salaries", "write"); ok {
 		t.Fatal("removed user persists")
 	}
 }
@@ -189,7 +190,7 @@ func TestMigrateBetweenRegisteredSystems(t *testing.T) {
 	if err := f.RegisterSystem(z); err != nil {
 		t.Fatal(err)
 	}
-	applied, _, err := f.Migrate("Y", "Z", translate.MigrationOptions{
+	applied, _, err := f.Migrate(context.Background(), "Y", "Z", translate.MigrationOptions{
 		DomainMap: map[rbac.Domain]rbac.Domain{y.Domain(): z.Domain()},
 	})
 	if err != nil {
@@ -198,13 +199,13 @@ func TestMigrateBetweenRegisteredSystems(t *testing.T) {
 	if applied == 0 {
 		t.Fatal("nothing migrated")
 	}
-	if ok, _ := z.CheckAccess("Claire", z.Domain(), "Salaries", "read"); !ok {
+	if ok, _ := z.CheckAccess(context.Background(), "Claire", z.Domain(), "Salaries", "read"); !ok {
 		t.Fatal("migration lost Claire's access")
 	}
-	if _, _, err := f.Migrate("nope", "Z", translate.MigrationOptions{}); err == nil {
+	if _, _, err := f.Migrate(context.Background(), "nope", "Z", translate.MigrationOptions{}); err == nil {
 		t.Fatal("unknown source accepted")
 	}
-	if _, _, err := f.Migrate("Y", "nope", translate.MigrationOptions{}); err == nil {
+	if _, _, err := f.Migrate(context.Background(), "Y", "nope", translate.MigrationOptions{}); err == nil {
 		t.Fatal("unknown destination accepted")
 	}
 }
@@ -212,7 +213,7 @@ func TestMigrateBetweenRegisteredSystems(t *testing.T) {
 func TestInterrogatorAvailable(t *testing.T) {
 	f, _, _, _ := newFramework(t)
 	it := f.Interrogator()
-	entries, err := it.Palette()
+	entries, err := it.Palette(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,6 +32,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"securewebcom/internal/telemetry"
 )
 
 // Class is an injectable fault class.
@@ -96,6 +98,13 @@ type Config struct {
 	// are applied to it — a tap for tests that count protocol frames.
 	// It must be safe for concurrent use.
 	Observe func(dir Direction, b []byte)
+
+	// Tel, when non-nil, mirrors the injection counters into a telemetry
+	// registry: faultnet.wrapped, faultnet.class.<name> per assigned
+	// class, faultnet.swallowed.bytes, faultnet.corrupted.writes and
+	// faultnet.dropped.conns — so a chaos suite can assert fault rates
+	// from the same /metrics surface production reads.
+	Tel *telemetry.Registry
 }
 
 // Stats counts injected faults. All fields are cumulative.
@@ -187,6 +196,8 @@ func (in *Injector) draw() (Class, int64, time.Duration) {
 		in.stats.ByClass = make(map[Class]int)
 	}
 	in.stats.ByClass[class]++
+	in.cfg.Tel.Counter("faultnet.wrapped").Inc()
+	in.cfg.Tel.Counter("faultnet.class." + class.String()).Inc()
 	return class, trigger, delay
 }
 
@@ -350,16 +361,19 @@ func (in *Injector) countSwallowed(n int64) {
 	in.mu.Lock()
 	in.stats.SwallowedBytes += n
 	in.mu.Unlock()
+	in.cfg.Tel.Counter("faultnet.swallowed.bytes").Add(n)
 }
 
 func (in *Injector) countCorrupted() {
 	in.mu.Lock()
 	in.stats.CorruptedWrites++
 	in.mu.Unlock()
+	in.cfg.Tel.Counter("faultnet.corrupted.writes").Inc()
 }
 
 func (in *Injector) countDrop() {
 	in.mu.Lock()
 	in.stats.DroppedConns++
 	in.mu.Unlock()
+	in.cfg.Tel.Counter("faultnet.dropped.conns").Inc()
 }

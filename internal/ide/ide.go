@@ -12,6 +12,7 @@
 package ide
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -54,10 +55,10 @@ func New(reg *middleware.Registry) *Interrogator {
 
 // Palette interrogates every registered system and returns the component
 // palette, sorted by system then component.
-func (it *Interrogator) Palette() ([]PaletteEntry, error) {
+func (it *Interrogator) Palette(ctx context.Context) ([]PaletteEntry, error) {
 	var out []PaletteEntry
 	for _, sys := range it.Registry.All() {
-		policy, err := sys.ExtractPolicy()
+		policy, err := sys.ExtractPolicy(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("ide: interrogate %s: %w", sys.Name(), err)
 		}
@@ -115,12 +116,12 @@ type Constraint struct {
 // Resolve enumerates the authorised combos for operation op of component
 // (domain implied by the component) matching the constraint. The WebCom
 // scheduler schedules the component under one of the returned combos.
-func (it *Interrogator) Resolve(systemName string, ot rbac.ObjectType, op string, con Constraint) ([]Combo, error) {
+func (it *Interrogator) Resolve(ctx context.Context, systemName string, ot rbac.ObjectType, op string, con Constraint) ([]Combo, error) {
 	sys, err := it.Registry.Get(systemName)
 	if err != nil {
 		return nil, err
 	}
-	policy, err := sys.ExtractPolicy()
+	policy, err := sys.ExtractPolicy(ctx)
 	if err != nil {
 		return nil, err
 	}

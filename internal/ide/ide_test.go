@@ -1,6 +1,7 @@
 package ide
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -50,7 +51,7 @@ func newRegistry(t *testing.T) *middleware.Registry {
 
 func TestPaletteEnumeratesAllSystems(t *testing.T) {
 	it := New(newRegistry(t))
-	entries, err := it.Palette()
+	entries, err := it.Palette(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,42 +84,42 @@ func TestResolveFullAndPartial(t *testing.T) {
 	it := New(newRegistry(t))
 
 	// Fully specified.
-	combos, err := it.Resolve("X", "Salaries", "write",
+	combos, err := it.Resolve(context.Background(), "X", "Salaries", "write",
 		Constraint{Domain: "hostX/srv/finance", Role: "Clerk", User: "Alice"})
 	if err != nil || len(combos) != 1 {
 		t.Fatalf("full: %v %v", combos, err)
 	}
 
 	// Domain+role only: any authorised user in the role (Section 6).
-	combos, err = it.Resolve("X", "Salaries", "write",
+	combos, err = it.Resolve(context.Background(), "X", "Salaries", "write",
 		Constraint{Domain: "hostX/srv/finance", Role: "Manager"})
 	if err != nil || len(combos) != 1 || combos[0].User != "Bob" {
 		t.Fatalf("partial role: %v %v", combos, err)
 	}
 
 	// Unconstrained: every combination.
-	combos, err = it.Resolve("X", "Salaries", "write", Constraint{})
+	combos, err = it.Resolve(context.Background(), "X", "Salaries", "write", Constraint{})
 	if err != nil || len(combos) != 2 {
 		t.Fatalf("unconstrained: %v %v", combos, err)
 	}
 
 	// Unauthorised pinning errors.
-	if _, err := it.Resolve("X", "Salaries", "read",
+	if _, err := it.Resolve(context.Background(), "X", "Salaries", "read",
 		Constraint{Role: "Clerk"}); err == nil {
 		t.Fatal("clerk read resolved")
 	}
-	if _, err := it.Resolve("X", "Salaries", "write",
+	if _, err := it.Resolve(context.Background(), "X", "Salaries", "write",
 		Constraint{User: "Mallory"}); err == nil {
 		t.Fatal("unknown user resolved")
 	}
-	if _, err := it.Resolve("nowhere", "Salaries", "read", Constraint{}); err == nil {
+	if _, err := it.Resolve(context.Background(), "nowhere", "Salaries", "read", Constraint{}); err == nil {
 		t.Fatal("unknown system resolved")
 	}
 }
 
 func TestRenderPalette(t *testing.T) {
 	it := New(newRegistry(t))
-	entries, err := it.Palette()
+	entries, err := it.Palette(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestPaletteEmptyRoleShowsNoCombos(t *testing.T) {
 	orb.GrantRole("Ghost", "Thing", "use")
 	reg.Register(orb)
 	it := New(reg)
-	entries, err := it.Palette()
+	entries, err := it.Palette(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

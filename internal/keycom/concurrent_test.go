@@ -1,6 +1,7 @@
 package keycom
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -19,7 +20,7 @@ import (
 // caught a torn write.
 func TestConcurrentUpdatesNeverHalfApplied(t *testing.T) {
 	f := newFigure8(t)
-	cur, err := f.cat.ExtractPolicy()
+	cur, err := f.cat.ExtractPolicy(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestConcurrentUpdatesNeverHalfApplied(t *testing.T) {
 					return
 				default:
 				}
-				p, err := f.cat.ExtractPolicy()
+				p, err := f.cat.ExtractPolicy(context.Background())
 				if err != nil {
 					readerErr.Store(err)
 					return
@@ -84,7 +85,7 @@ func TestConcurrentUpdatesNeverHalfApplied(t *testing.T) {
 				errs[i] = err
 				return
 			}
-			errs[i] = f.svc.Apply(req)
+			errs[i] = f.svc.Apply(context.Background(), req)
 		}(i)
 	}
 	wg.Wait()
@@ -99,7 +100,7 @@ func TestConcurrentUpdatesNeverHalfApplied(t *testing.T) {
 	if e := readerErr.Load(); e != nil {
 		t.Fatalf("reader observed inconsistent catalogue: %v", e)
 	}
-	p, err := f.cat.ExtractPolicy()
+	p, err := f.cat.ExtractPolicy(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestCommitInvalidatesDecisionCaches(t *testing.T) {
 					readerErr.Store(err)
 					return
 				}
-				p, err := f.svc.Extract(req)
+				p, err := f.svc.Extract(context.Background(), req)
 				if err != nil {
 					readerErr.Store(err)
 					return
@@ -178,7 +179,7 @@ func TestCommitInvalidatesDecisionCaches(t *testing.T) {
 		if err := req.Sign(f.admin); err != nil {
 			t.Fatal(err)
 		}
-		if err := f.svc.Apply(req); err != nil {
+		if err := f.svc.Apply(context.Background(), req); err != nil {
 			t.Fatalf("update %d: %v", i, err)
 		}
 	}

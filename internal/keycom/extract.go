@@ -75,7 +75,7 @@ func newNonce() (string, error) {
 
 // Extract validates the request and returns the administered system's
 // current policy.
-func (s *Service) Extract(req *ExtractRequest) (*rbac.Policy, error) {
+func (s *Service) Extract(ctx context.Context, req *ExtractRequest) (*rbac.Policy, error) {
 	if err := req.Verify(); err != nil {
 		return nil, err
 	}
@@ -91,10 +91,10 @@ func (s *Service) Extract(req *ExtractRequest) (*rbac.Policy, error) {
 	if eng == nil {
 		return nil, errors.New("keycom: no checker configured")
 	}
-	if err := s.authorise(context.Background(), eng.Session(creds), req.Requester, ActionExtract, nil); err != nil {
+	if err := s.authorise(ctx, eng.Session(creds), req.Requester, ActionExtract, nil); err != nil {
 		return nil, err
 	}
-	return s.System.ExtractPolicy()
+	return s.System.ExtractPolicy(ctx)
 }
 
 // wireEnvelope is the top-level request frame: exactly one of Update or

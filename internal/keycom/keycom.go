@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"securewebcom/internal/authz"
 	"securewebcom/internal/keynote"
@@ -36,6 +37,7 @@ import (
 	"securewebcom/internal/middleware"
 	"securewebcom/internal/policylint"
 	"securewebcom/internal/rbac"
+	"securewebcom/internal/telemetry"
 	"securewebcom/internal/translate"
 )
 
@@ -103,6 +105,10 @@ type Service struct {
 	// resulting credential set lints with errors are refused atomically —
 	// the catalogue is left exactly as it was.
 	LintVocab *policylint.Vocabulary
+	// Tel, when non-nil, receives commit metrics: keycom.commits,
+	// keycom.refusals and the keycom.commit.latency histogram
+	// (seconds). A nil registry disables all instrumentation.
+	Tel *telemetry.Registry
 
 	engOnce sync.Once
 	eng     *authz.Engine
@@ -149,8 +155,25 @@ func (s *Service) OnCommit(fn func()) {
 }
 
 // Apply validates and applies an update request. Either the whole diff is
-// authorised and applied atomically, or nothing changes.
-func (s *Service) Apply(req *UpdateRequest) error {
+// authorised and applied atomically, or nothing changes. The context
+// carries the request-scoped trace into the per-row authorisation
+// decisions and the middleware commit.
+func (s *Service) Apply(ctx context.Context, req *UpdateRequest) error {
+	ctx, span := telemetry.StartSpan(ctx, "keycom.apply")
+	defer span.Finish()
+	start := time.Now()
+	err := s.apply(ctx, req)
+	if err != nil {
+		span.SetAttr("refused", "true")
+		s.Tel.Counter("keycom.refusals").Inc()
+	} else {
+		s.Tel.Counter("keycom.commits").Inc()
+		s.Tel.Histogram("keycom.commit.latency").ObserveDuration(time.Since(start))
+	}
+	return err
+}
+
+func (s *Service) apply(ctx context.Context, req *UpdateRequest) error {
 	if err := req.Verify(); err != nil {
 		return err
 	}
@@ -169,7 +192,6 @@ func (s *Service) Apply(req *UpdateRequest) error {
 		return errors.New("keycom: no checker configured")
 	}
 	session := eng.Session(creds)
-	ctx := context.Background()
 	// Authorise every row change before touching the catalogue.
 	for _, e := range req.Diff.AddedRolePerm {
 		if err := s.authorise(ctx, session, req.Requester, ActionAddRolePerm, rolePermAttrs(e)); err != nil {
@@ -193,10 +215,10 @@ func (s *Service) Apply(req *UpdateRequest) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.lintGate(req.Diff); err != nil {
+	if err := s.lintGate(ctx, req.Diff); err != nil {
 		return err
 	}
-	if err := s.System.ApplyDiff(req.Diff); err != nil {
+	if err := s.System.ApplyDiff(ctx, req.Diff); err != nil {
 		return err
 	}
 	// The catalogue changed: flush our own decision cache and fire the
@@ -216,11 +238,11 @@ func (s *Service) Apply(req *UpdateRequest) error {
 // produce. It runs under s.mu, so the extract-check-apply sequence is
 // atomic with respect to other updates; on refusal nothing has been
 // written.
-func (s *Service) lintGate(d rbac.Diff) error {
+func (s *Service) lintGate(ctx context.Context, d rbac.Diff) error {
 	if s.LintVocab == nil {
 		return nil
 	}
-	cur, err := s.System.ExtractPolicy()
+	cur, err := s.System.ExtractPolicy(ctx)
 	if err != nil {
 		return fmt.Errorf("keycom: lint gate: extract: %w", err)
 	}
@@ -349,7 +371,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		switch {
 		case env.Extract != nil:
 			resp := extractResponse{OK: true}
-			p, err := s.svc.Extract(env.Extract)
+			p, err := s.svc.Extract(context.Background(), env.Extract)
 			if err != nil {
 				resp = extractResponse{Err: err.Error()}
 			} else {
@@ -375,7 +397,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				}
 			}
 			resp := wireResponse{OK: true}
-			if err := s.svc.Apply(req); err != nil {
+			if err := s.svc.Apply(context.Background(), req); err != nil {
 				resp = wireResponse{OK: false, Err: err.Error()}
 			}
 			if err := enc.Encode(&resp); err != nil {

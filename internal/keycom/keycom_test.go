@@ -1,6 +1,7 @@
 package keycom
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -12,6 +13,7 @@ import (
 	"securewebcom/internal/ossec"
 	"securewebcom/internal/policylint"
 	"securewebcom/internal/rbac"
+	"securewebcom/internal/telemetry"
 )
 
 // figure8 builds the paper's Figure 8 setting: a COM+ catalogue in
@@ -74,10 +76,10 @@ func TestAdminCanUpdateDirectly(t *testing.T) {
 	if err := req.Sign(f.admin); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.svc.Apply(req); err != nil {
+	if err := f.svc.Apply(context.Background(), req); err != nil {
 		t.Fatalf("admin update refused: %v", err)
 	}
-	if got, _ := f.cat.CheckAccess("Alice", "DOMA", "SalariesDB.Component", complus.PermAccess); !got {
+	if got, _ := f.cat.CheckAccess(context.Background(), "Alice", "DOMA", "SalariesDB.Component", complus.PermAccess); !got {
 		t.Fatal("catalogue not updated")
 	}
 }
@@ -92,11 +94,58 @@ func TestDelegatedManagerCanAddClerks(t *testing.T) {
 	if err := req.Sign(f.manager); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.svc.Apply(req); err != nil {
+	if err := f.svc.Apply(context.Background(), req); err != nil {
 		t.Fatalf("delegated update refused: %v", err)
 	}
 	if members := f.cat.RoleMembers("Clerk"); len(members) != 1 || members[0] != "Bob" {
 		t.Fatalf("RoleMembers = %v", members)
+	}
+}
+
+// TestApplyTelemetry checks that commits and refusals land in the
+// service's telemetry registry and that Apply runs under a keycom.apply
+// span carrying the refusal marker.
+func TestApplyTelemetry(t *testing.T) {
+	f := newFigure8(t)
+	f.svc.Tel = telemetry.NewRegistry()
+	tr := telemetry.NewTracer(0)
+	ctx := telemetry.WithTracer(context.Background(), tr)
+
+	ok := &UpdateRequest{Requester: f.admin.PublicID(), Diff: addUserDiff("Alice")}
+	if err := ok.Sign(f.admin); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.svc.Apply(ctx, ok); err != nil {
+		t.Fatalf("admin update refused: %v", err)
+	}
+	bad := &UpdateRequest{Requester: f.outsider.PublicID(), Diff: addUserDiff("Eve")}
+	if err := bad.Sign(f.outsider); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.svc.Apply(ctx, bad); err == nil {
+		t.Fatal("outsider update committed")
+	}
+
+	snap := f.svc.Tel.Snapshot()
+	if snap.Counters["keycom.commits"] != 1 || snap.Counters["keycom.refusals"] != 1 {
+		t.Fatalf("commits/refusals = %d/%d, want 1/1",
+			snap.Counters["keycom.commits"], snap.Counters["keycom.refusals"])
+	}
+	if h, ok := snap.Histograms["keycom.commit.latency"]; !ok || h.Count != 1 {
+		t.Fatalf("keycom.commit.latency = %+v", snap.Histograms)
+	}
+	var applies, refused int
+	for _, sp := range tr.Spans() {
+		if sp.Name != "keycom.apply" {
+			continue
+		}
+		applies++
+		if sp.Attrs["refused"] == "true" {
+			refused++
+		}
+	}
+	if applies != 2 || refused != 1 {
+		t.Fatalf("keycom.apply spans = %d (refused %d), want 2 (1)", applies, refused)
 	}
 }
 
@@ -112,7 +161,7 @@ func TestManagerCannotExceedDelegation(t *testing.T) {
 	if err := req.Sign(f.manager); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.svc.Apply(req); err == nil {
+	if err := f.svc.Apply(context.Background(), req); err == nil {
 		t.Fatal("manager removed a user beyond their delegation")
 	}
 	// Nor adding to another role.
@@ -126,7 +175,7 @@ func TestManagerCannotExceedDelegation(t *testing.T) {
 	if err := req2.Sign(f.manager); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.svc.Apply(req2); err == nil {
+	if err := f.svc.Apply(context.Background(), req2); err == nil {
 		t.Fatal("manager added to a role beyond their delegation")
 	}
 }
@@ -137,7 +186,7 @@ func TestOutsiderRejected(t *testing.T) {
 	if err := req.Sign(f.outsider); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.svc.Apply(req); err == nil {
+	if err := f.svc.Apply(context.Background(), req); err == nil {
 		t.Fatal("outsider update accepted")
 	}
 }
@@ -146,7 +195,7 @@ func TestSignatureRequiredAndBinding(t *testing.T) {
 	f := newFigure8(t)
 	// Unsigned.
 	req := &UpdateRequest{Requester: f.admin.PublicID(), Diff: addUserDiff("Alice")}
-	if err := f.svc.Apply(req); err == nil {
+	if err := f.svc.Apply(context.Background(), req); err == nil {
 		t.Fatal("unsigned request accepted")
 	}
 	// Signed, then tampered.
@@ -154,7 +203,7 @@ func TestSignatureRequiredAndBinding(t *testing.T) {
 		t.Fatal(err)
 	}
 	req.Diff = addUserDiff("Mallory")
-	if err := f.svc.Apply(req); err == nil {
+	if err := f.svc.Apply(context.Background(), req); err == nil {
 		t.Fatal("tampered request accepted")
 	}
 	// Signed by a key other than the claimed requester.
@@ -182,7 +231,7 @@ func TestAtomicity(t *testing.T) {
 	if err := req.Sign(f.manager); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.svc.Apply(req); err == nil {
+	if err := f.svc.Apply(context.Background(), req); err == nil {
 		t.Fatal("partially authorised diff accepted")
 	}
 	if members := f.cat.RoleMembers("Clerk"); len(members) != 0 {
@@ -200,7 +249,7 @@ func TestMalformedCredentialRejected(t *testing.T) {
 	if err := req.Sign(f.manager); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.svc.Apply(req); err == nil || !strings.Contains(err.Error(), "malformed") {
+	if err := f.svc.Apply(context.Background(), req); err == nil || !strings.Contains(err.Error(), "malformed") {
 		t.Fatalf("malformed credential: %v", err)
 	}
 }
@@ -225,7 +274,7 @@ func TestNetworkRoundTrip(t *testing.T) {
 	if err := Submit(srv.Addr(), req); err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
-	if got, _ := f.cat.CheckAccess("Bob", "DOMA", "SalariesDB.Component", complus.PermAccess); !got {
+	if got, _ := f.cat.CheckAccess(context.Background(), "Bob", "DOMA", "SalariesDB.Component", complus.PermAccess); !got {
 		t.Fatal("remote update not applied")
 	}
 
@@ -246,7 +295,7 @@ func TestExtractLocalAndRemote(t *testing.T) {
 	if err := req.Sign(f.admin); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.svc.Apply(req); err != nil {
+	if err := f.svc.Apply(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
 
@@ -255,7 +304,7 @@ func TestExtractLocalAndRemote(t *testing.T) {
 	if err := ext.Sign(f.admin); err != nil {
 		t.Fatal(err)
 	}
-	p, err := f.svc.Extract(ext)
+	p, err := f.svc.Extract(context.Background(), ext)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,12 +341,12 @@ func TestExtractRequiresAuthorisation(t *testing.T) {
 	if err := ext.Sign(f.manager); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.svc.Extract(ext); err == nil {
+	if _, err := f.svc.Extract(context.Background(), ext); err == nil {
 		t.Fatal("extract authorised beyond delegation")
 	}
 	// Unsigned request refused.
 	bad := &ExtractRequest{Requester: f.admin.PublicID(), Nonce: "n"}
-	if _, err := f.svc.Extract(bad); err == nil {
+	if _, err := f.svc.Extract(context.Background(), bad); err == nil {
 		t.Fatal("unsigned extract accepted")
 	}
 	// A delegated extract right works.
@@ -314,7 +363,7 @@ func TestExtractRequiresAuthorisation(t *testing.T) {
 	if err := ok.Sign(f.manager); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.svc.Extract(ok); err != nil {
+	if _, err := f.svc.Extract(context.Background(), ok); err != nil {
 		t.Fatalf("delegated extract refused: %v", err)
 	}
 }
@@ -334,7 +383,7 @@ func TestLegacyFlatUpdateFrameStillWorks(t *testing.T) {
 	if err := Submit(srv.Addr(), req); err != nil {
 		t.Fatalf("legacy flat update refused: %v", err)
 	}
-	if got, _ := f.cat.CheckAccess("Flat", "DOMA", "SalariesDB.Component", complus.PermAccess); !got {
+	if got, _ := f.cat.CheckAccess(context.Background(), "Flat", "DOMA", "SalariesDB.Component", complus.PermAccess); !got {
 		t.Fatal("flat update not applied")
 	}
 }
@@ -346,7 +395,7 @@ func TestLegacyFlatUpdateFrameStillWorks(t *testing.T) {
 // through the same gate.
 func TestLintGateRefusesErrorUpdateAtomically(t *testing.T) {
 	f := newFigure8(t)
-	cur, err := f.cat.ExtractPolicy()
+	cur, err := f.cat.ExtractPolicy(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,14 +413,14 @@ func TestLintGateRefusesErrorUpdateAtomically(t *testing.T) {
 	if err := req.Sign(f.admin); err != nil {
 		t.Fatal(err)
 	}
-	err = f.svc.Apply(req)
+	err = f.svc.Apply(context.Background(), req)
 	if err == nil {
 		t.Fatal("lint-error update accepted")
 	}
 	if !strings.Contains(err.Error(), "lints with") {
 		t.Fatalf("refusal error does not come from the lint gate: %v", err)
 	}
-	after, err := f.cat.ExtractPolicy()
+	after, err := f.cat.ExtractPolicy(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,10 +433,10 @@ func TestLintGateRefusesErrorUpdateAtomically(t *testing.T) {
 	if err := ok.Sign(f.admin); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.svc.Apply(ok); err != nil {
+	if err := f.svc.Apply(context.Background(), ok); err != nil {
 		t.Fatalf("in-vocabulary update refused by the gate: %v", err)
 	}
-	if got, _ := f.cat.CheckAccess("Alice", "DOMA", "SalariesDB.Component", complus.PermAccess); !got {
+	if got, _ := f.cat.CheckAccess(context.Background(), "Alice", "DOMA", "SalariesDB.Component", complus.PermAccess); !got {
 		t.Fatal("accepted update not applied")
 	}
 }

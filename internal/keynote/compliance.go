@@ -36,6 +36,10 @@ type Result struct {
 	// assertions carried the request's trust from the action authorizers
 	// up to POLICY, POLICY first. Empty when POLICY stayed at _MIN_TRUST.
 	Chain []string
+	// Passes is the number of delegation fixpoint iterations the
+	// computation took to converge (chain depth + 1 in practice); the
+	// authz engine exports it as a depth-of-delegation metric.
+	Passes int
 }
 
 // Authorized reports whether the result reached _MAX_TRUST. For the
@@ -221,6 +225,7 @@ func (c *Checker) check(q Query, credentials []*Assertion, preverified bool) (Re
 	// len(values) per principal, so len(asserts)*len(values) passes always
 	// suffice; in practice it converges in chain-depth passes.
 	for pass := 0; ; pass++ {
+		res.Passes = pass + 1
 		changed := false
 		for i, ad := range admittedAsserts {
 			if ad.a.Licensees == nil || condVal[i] == 0 {

@@ -13,6 +13,7 @@
 package complus
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 	"securewebcom/internal/middleware"
 	"securewebcom/internal/ossec"
 	"securewebcom/internal/rbac"
+	"securewebcom/internal/telemetry"
 )
 
 // The COM permissions of the paper.
@@ -171,7 +173,9 @@ func (c *Catalogue) Components() []middleware.Component {
 }
 
 // CheckAccess implements middleware.SecurityAdapter.
-func (c *Catalogue) CheckAccess(u rbac.User, d rbac.Domain, ot rbac.ObjectType, perm rbac.Permission) (bool, error) {
+func (c *Catalogue) CheckAccess(ctx context.Context, u rbac.User, d rbac.Domain, ot rbac.ObjectType, perm rbac.Permission) (bool, error) {
+	_, span := telemetry.StartSpan(ctx, "complus.check")
+	defer span.Finish()
 	if d != c.Domain() {
 		return false, fmt.Errorf("complus: domain %q is not catalogue domain %q", d, c.Domain())
 	}
@@ -195,7 +199,12 @@ func (c *Catalogue) checkLocked(account, progID, perm string) bool {
 // Invoke implements middleware.Invoker. The operation is a COM
 // permission: Launch starts the component, Access calls into it, RunAs
 // re-identifies it; each is mediated by the catalogue's role grants.
-func (c *Catalogue) Invoke(u rbac.User, d rbac.Domain, ot rbac.ObjectType, op string, args []string) (string, error) {
+func (c *Catalogue) Invoke(ctx context.Context, u rbac.User, d rbac.Domain, ot rbac.ObjectType, op string, args []string) (string, error) {
+	_, span := telemetry.StartSpan(ctx, "complus.invoke")
+	defer span.Finish()
+	span.SetAttr("user", string(u))
+	span.SetAttr("object", string(ot))
+	span.SetAttr("op", op)
 	if d != c.Domain() {
 		return "", fmt.Errorf("complus: domain %q is not catalogue domain %q", d, c.Domain())
 	}
@@ -210,6 +219,7 @@ func (c *Catalogue) Invoke(u rbac.User, d rbac.Domain, ot rbac.ObjectType, op st
 		return "", fmt.Errorf("complus: class %q not registered", ot)
 	}
 	if !allowed {
+		span.SetAttr("denied", "true")
 		return "", &middleware.ErrDenied{User: u, Domain: d, ObjectType: ot, Op: op}
 	}
 	h, ok := cl.impl[op]
@@ -220,7 +230,7 @@ func (c *Catalogue) Invoke(u rbac.User, d rbac.Domain, ot rbac.ObjectType, op st
 }
 
 // ExtractPolicy implements middleware.SecurityAdapter.
-func (c *Catalogue) ExtractPolicy() (*rbac.Policy, error) {
+func (c *Catalogue) ExtractPolicy(_ context.Context) (*rbac.Policy, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	p := rbac.NewPolicy()
@@ -242,7 +252,7 @@ func (c *Catalogue) ExtractPolicy() (*rbac.Policy, error) {
 // permissions outside the COM vocabulary are rejected: migration into
 // COM+ must map permissions first (see internal/translate's similarity
 // mapping).
-func (c *Catalogue) ApplyPolicy(p *rbac.Policy) (int, error) {
+func (c *Catalogue) ApplyPolicy(_ context.Context, p *rbac.Policy) (int, error) {
 	d := c.Domain()
 	for _, e := range p.RolePerms() {
 		if e.Domain == d && !validPerm(string(e.Permission)) {
@@ -285,7 +295,7 @@ func (c *Catalogue) ApplyPolicy(p *rbac.Policy) (int, error) {
 }
 
 // ApplyDiff implements middleware.SecurityAdapter.
-func (c *Catalogue) ApplyDiff(diff rbac.Diff) error {
+func (c *Catalogue) ApplyDiff(_ context.Context, diff rbac.Diff) error {
 	d := c.Domain()
 	for _, e := range diff.AddedRolePerm {
 		if e.Domain == d && !validPerm(string(e.Permission)) {

@@ -1,6 +1,7 @@
 package complus
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -65,30 +66,30 @@ func TestLaunchAccessEnforcement(t *testing.T) {
 	c := newSalariesCatalogue()
 	d := c.Domain()
 
-	out, err := c.Invoke("Bob", d, "SalariesDB.Component", PermLaunch, nil)
+	out, err := c.Invoke(context.Background(), "Bob", d, "SalariesDB.Component", PermLaunch, nil)
 	if err != nil || out != "launched" {
 		t.Fatalf("manager launch: %q %v", out, err)
 	}
-	if _, err := c.Invoke("Alice", d, "SalariesDB.Component", PermAccess, nil); err != nil {
+	if _, err := c.Invoke(context.Background(), "Alice", d, "SalariesDB.Component", PermAccess, nil); err != nil {
 		t.Fatalf("clerk access: %v", err)
 	}
-	_, err = c.Invoke("Alice", d, "SalariesDB.Component", PermLaunch, nil)
+	_, err = c.Invoke(context.Background(), "Alice", d, "SalariesDB.Component", PermLaunch, nil)
 	var denied *middleware.ErrDenied
 	if !errors.As(err, &denied) {
 		t.Fatalf("clerk launch should be denied: %v", err)
 	}
-	if _, err := c.Invoke("Bob", d, "SalariesDB.Component", "Frobnicate", nil); err == nil {
+	if _, err := c.Invoke(context.Background(), "Bob", d, "SalariesDB.Component", "Frobnicate", nil); err == nil {
 		t.Fatal("unknown COM operation accepted")
 	}
-	if _, err := c.Invoke("Bob", "OTHER", "SalariesDB.Component", PermAccess, nil); err == nil {
+	if _, err := c.Invoke(context.Background(), "Bob", "OTHER", "SalariesDB.Component", PermAccess, nil); err == nil {
 		t.Fatal("foreign domain accepted")
 	}
-	if _, err := c.Invoke("Bob", d, "Missing.Class", PermAccess, nil); err == nil {
+	if _, err := c.Invoke(context.Background(), "Bob", d, "Missing.Class", PermAccess, nil); err == nil {
 		t.Fatal("missing class accepted")
 	}
 	// RunAs granted but unimplemented.
 	c.Grant("Manager", "SalariesDB.Component", PermRunAs)
-	if _, err := c.Invoke("Bob", d, "SalariesDB.Component", PermRunAs, nil); err == nil ||
+	if _, err := c.Invoke(context.Background(), "Bob", d, "SalariesDB.Component", PermRunAs, nil); err == nil ||
 		!strings.Contains(err.Error(), "does not implement") {
 		t.Fatalf("unimplemented operation: %v", err)
 	}
@@ -128,20 +129,20 @@ func TestComponentsEnumeration(t *testing.T) {
 
 func TestExtractApplyRoundTrip(t *testing.T) {
 	c := newSalariesCatalogue()
-	p, err := c.ExtractPolicy()
+	p, err := c.ExtractPolicy(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	nt2 := ossec.NewNTDomain("FINANCE")
 	c2 := NewCatalogue("W2", nt2)
-	n, err := c2.ApplyPolicy(p)
+	n, err := c2.ApplyPolicy(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != p.Len() {
 		t.Fatalf("applied %d of %d rows", n, p.Len())
 	}
-	p2, _ := c2.ExtractPolicy()
+	p2, _ := c2.ExtractPolicy(context.Background())
 	if !p.Equal(p2) {
 		t.Fatalf("extract∘apply not identity:\n%svs\n%s", p, p2)
 	}
@@ -155,13 +156,13 @@ func TestApplyPolicyRejectsForeignPermissions(t *testing.T) {
 	c := newSalariesCatalogue()
 	p := rbac.NewPolicy()
 	p.AddRolePerm(c.Domain(), "Clerk", "X", "write") // not a COM permission
-	if _, err := c.ApplyPolicy(p); err == nil {
+	if _, err := c.ApplyPolicy(context.Background(), p); err == nil {
 		t.Fatal("non-COM permission applied to catalogue")
 	}
 	// Foreign-domain rows with non-COM permissions are fine (ignored).
 	p2 := rbac.NewPolicy()
 	p2.AddRolePerm("elsewhere", "R", "X", "write")
-	if _, err := c.ApplyPolicy(p2); err != nil {
+	if _, err := c.ApplyPolicy(context.Background(), p2); err != nil {
 		t.Fatalf("foreign rows rejected: %v", err)
 	}
 }
@@ -169,24 +170,24 @@ func TestApplyPolicyRejectsForeignPermissions(t *testing.T) {
 func TestApplyDiff(t *testing.T) {
 	c := newSalariesCatalogue()
 	d := c.Domain()
-	err := c.ApplyDiff(rbac.Diff{
+	err := c.ApplyDiff(context.Background(), rbac.Diff{
 		AddedUserRole:   []rbac.UserRoleEntry{{User: "Fred", Domain: d, Role: "Manager"}},
 		RemovedUserRole: []rbac.UserRoleEntry{{User: "Bob", Domain: d, Role: "Manager"}},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := c.CheckAccess("Fred", d, "SalariesDB.Component", PermLaunch); !got {
+	if got, _ := c.CheckAccess(context.Background(), "Fred", d, "SalariesDB.Component", PermLaunch); !got {
 		t.Fatal("added member lacks access")
 	}
-	if got, _ := c.CheckAccess("Bob", d, "SalariesDB.Component", PermLaunch); got {
+	if got, _ := c.CheckAccess(context.Background(), "Bob", d, "SalariesDB.Component", PermLaunch); got {
 		t.Fatal("removed member retains access")
 	}
 	if members := c.RoleMembers("Manager"); len(members) != 1 || members[0] != "Fred" {
 		t.Fatalf("RoleMembers = %v", members)
 	}
 	// Diff with bad permission rejected.
-	if err := c.ApplyDiff(rbac.Diff{AddedRolePerm: []rbac.RolePermEntry{
+	if err := c.ApplyDiff(context.Background(), rbac.Diff{AddedRolePerm: []rbac.RolePermEntry{
 		{Domain: d, Role: "R", ObjectType: "O", Permission: "write"}}}); err == nil {
 		t.Fatal("bad permission diff applied")
 	}
@@ -194,7 +195,7 @@ func TestApplyDiff(t *testing.T) {
 
 func TestCheckAccessDomainValidation(t *testing.T) {
 	c := newSalariesCatalogue()
-	if _, err := c.CheckAccess("Bob", "OTHER", "X", PermAccess); err == nil {
+	if _, err := c.CheckAccess(context.Background(), "Bob", "OTHER", "X", PermAccess); err == nil {
 		t.Fatal("foreign domain did not error")
 	}
 }

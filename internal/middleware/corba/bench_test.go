@@ -1,6 +1,7 @@
 package corba
 
 import (
+	"context"
 	"testing"
 
 	"securewebcom/internal/middleware"
@@ -55,7 +56,7 @@ func BenchmarkLocalInvocation(b *testing.B) {
 	d := o.Domain()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		out, err := o.Invoke("u", d, "Echo", "echo", []string{"payload"})
+		out, err := o.Invoke(context.Background(), "u", d, "Echo", "echo", []string{"payload"})
 		if err != nil || out != "payload" {
 			b.Fatalf("%q %v", out, err)
 		}

@@ -1,6 +1,7 @@
 package corba
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -70,30 +71,30 @@ func TestORBLocalInvokeEnforcement(t *testing.T) {
 	o := newSalariesORB()
 	d := o.Domain()
 
-	if _, err := o.Invoke("Alice", d, "SalariesDB", "write", []string{"Eve", "42000"}); err != nil {
+	if _, err := o.Invoke(context.Background(), "Alice", d, "SalariesDB", "write", []string{"Eve", "42000"}); err != nil {
 		t.Fatalf("clerk write: %v", err)
 	}
-	_, err := o.Invoke("Alice", d, "SalariesDB", "read", []string{"Bob"})
+	_, err := o.Invoke(context.Background(), "Alice", d, "SalariesDB", "read", []string{"Bob"})
 	var denied *middleware.ErrDenied
 	if !errors.As(err, &denied) {
 		t.Fatalf("clerk read should be denied, got %v", err)
 	}
-	out, err := o.Invoke("Bob", d, "SalariesDB", "read", []string{"Eve"})
+	out, err := o.Invoke(context.Background(), "Bob", d, "SalariesDB", "read", []string{"Eve"})
 	if err != nil || out != "42000" {
 		t.Fatalf("manager read: %q, %v", out, err)
 	}
 	// Wrong domain.
-	if _, err := o.Invoke("Bob", "other/orb", "SalariesDB", "read", nil); err == nil {
+	if _, err := o.Invoke(context.Background(), "Bob", "other/orb", "SalariesDB", "read", nil); err == nil {
 		t.Fatal("foreign domain accepted")
 	}
 	// Unknown interface.
-	if _, err := o.Invoke("Bob", d, "Nothing", "read", nil); err == nil {
+	if _, err := o.Invoke(context.Background(), "Bob", d, "Nothing", "read", nil); err == nil {
 		t.Fatal("missing servant accepted")
 	}
 	// Declared but unimplemented op surfaces BAD_OPERATION only for
 	// authorised callers.
 	o.GrantRole("Manager", "SalariesDB", "audit")
-	if _, err := o.Invoke("Bob", d, "SalariesDB", "audit", nil); err == nil ||
+	if _, err := o.Invoke(context.Background(), "Bob", d, "SalariesDB", "audit", nil); err == nil ||
 		!strings.Contains(err.Error(), "BAD_OPERATION") {
 		t.Fatalf("expected BAD_OPERATION, got %v", err)
 	}
@@ -113,19 +114,19 @@ func TestORBCheckAccess(t *testing.T) {
 		{"Mallory", "read", false},
 	}
 	for _, c := range cases {
-		got, err := o.CheckAccess(c.user, d, "SalariesDB", c.perm)
+		got, err := o.CheckAccess(context.Background(), c.user, d, "SalariesDB", c.perm)
 		if err != nil || got != c.want {
 			t.Errorf("CheckAccess(%s, %s) = %v, %v; want %v", c.user, c.perm, got, err, c.want)
 		}
 	}
-	if _, err := o.CheckAccess("Bob", "elsewhere", "SalariesDB", "read"); err == nil {
+	if _, err := o.CheckAccess(context.Background(), "Bob", "elsewhere", "SalariesDB", "read"); err == nil {
 		t.Fatal("foreign domain did not error")
 	}
 }
 
 func TestORBExtractApplyRoundTrip(t *testing.T) {
 	o := newSalariesORB()
-	p, err := o.ExtractPolicy()
+	p, err := o.ExtractPolicy(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,14 +140,14 @@ func TestORBExtractApplyRoundTrip(t *testing.T) {
 	// Wipe and re-apply: decisions must be identical.
 	o2 := NewORB("Y2", "hostY", "SalariesORB") // same domain
 	o2.DefineInterface("SalariesDB", "read", "write")
-	n, err := o2.ApplyPolicy(p)
+	n, err := o2.ApplyPolicy(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != p.Len() {
 		t.Fatalf("applied %d rows, policy has %d", n, p.Len())
 	}
-	p2, _ := o2.ExtractPolicy()
+	p2, _ := o2.ExtractPolicy(context.Background())
 	if !p.Equal(p2) {
 		t.Fatalf("extract∘apply not identity:\n%s\nvs\n%s", p, p2)
 	}
@@ -157,7 +158,7 @@ func TestORBApplyPolicyIgnoresForeignDomains(t *testing.T) {
 	p := rbac.NewPolicy()
 	p.AddRolePerm("other/domain", "R", "O", "x")
 	p.AddUserRole("u", "other/domain", "R")
-	n, err := o.ApplyPolicy(p)
+	n, err := o.ApplyPolicy(context.Background(), p)
 	if err != nil || n != 0 {
 		t.Fatalf("foreign rows applied: n=%d err=%v", n, err)
 	}
@@ -170,17 +171,17 @@ func TestORBApplyDiff(t *testing.T) {
 		AddedUserRole:   []rbac.UserRoleEntry{{User: "Fred", Domain: d, Role: "Manager"}},
 		RemovedUserRole: []rbac.UserRoleEntry{{User: "Alice", Domain: d, Role: "Clerk"}},
 	}
-	if err := o.ApplyDiff(diff); err != nil {
+	if err := o.ApplyDiff(context.Background(), diff); err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := o.CheckAccess("Fred", d, "SalariesDB", "read"); !ok {
+	if ok, _ := o.CheckAccess(context.Background(), "Fred", d, "SalariesDB", "read"); !ok {
 		t.Fatal("diff add not applied")
 	}
-	if ok, _ := o.CheckAccess("Alice", d, "SalariesDB", "write"); ok {
+	if ok, _ := o.CheckAccess(context.Background(), "Alice", d, "SalariesDB", "write"); ok {
 		t.Fatal("diff removal not applied")
 	}
 	// Foreign rows ignored.
-	if err := o.ApplyDiff(rbac.Diff{AddedRolePerm: []rbac.RolePermEntry{
+	if err := o.ApplyDiff(context.Background(), rbac.Diff{AddedRolePerm: []rbac.RolePermEntry{
 		{Domain: "x/y", Role: "R", ObjectType: "O", Permission: "p"}}}); err != nil {
 		t.Fatal(err)
 	}

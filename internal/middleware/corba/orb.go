@@ -14,12 +14,14 @@
 package corba
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
 	"securewebcom/internal/middleware"
 	"securewebcom/internal/rbac"
+	"securewebcom/internal/telemetry"
 )
 
 // ORB is a miniature Object Request Broker. One ORB forms one RBAC
@@ -137,7 +139,9 @@ func (o *ORB) AddPrincipalToRole(principal, role string) {
 }
 
 // CheckAccess implements middleware.SecurityAdapter.
-func (o *ORB) CheckAccess(u rbac.User, d rbac.Domain, ot rbac.ObjectType, perm rbac.Permission) (bool, error) {
+func (o *ORB) CheckAccess(ctx context.Context, u rbac.User, d rbac.Domain, ot rbac.ObjectType, perm rbac.Permission) (bool, error) {
+	_, span := telemetry.StartSpan(ctx, "corba.check")
+	defer span.Finish()
 	if d != o.Domain() {
 		return false, fmt.Errorf("corba: domain %q is not this ORB's domain %q", d, o.Domain())
 	}
@@ -157,7 +161,12 @@ func (o *ORB) checkLocked(principal, iface, op string) bool {
 
 // Invoke implements middleware.Invoker: the ORB's security interceptor
 // runs before the servant.
-func (o *ORB) Invoke(u rbac.User, d rbac.Domain, ot rbac.ObjectType, op string, args []string) (string, error) {
+func (o *ORB) Invoke(ctx context.Context, u rbac.User, d rbac.Domain, ot rbac.ObjectType, op string, args []string) (string, error) {
+	_, span := telemetry.StartSpan(ctx, "corba.invoke")
+	defer span.Finish()
+	span.SetAttr("user", string(u))
+	span.SetAttr("object", string(ot))
+	span.SetAttr("op", op)
 	if d != o.Domain() {
 		return "", fmt.Errorf("corba: domain %q is not this ORB's domain %q", d, o.Domain())
 	}
@@ -176,6 +185,7 @@ func (o *ORB) Invoke(u rbac.User, d rbac.Domain, ot rbac.ObjectType, op string, 
 		return "", fmt.Errorf("corba: OBJECT_NOT_EXIST: no servant for interface %q", ot)
 	}
 	if !allowed {
+		span.SetAttr("denied", "true")
 		return "", &middleware.ErrDenied{User: u, Domain: d, ObjectType: ot, Op: op}
 	}
 	h, ok := sv.impl[op]
@@ -211,7 +221,7 @@ func (o *ORB) invokeByKey(principal, key, op string, args []string) (string, err
 }
 
 // ExtractPolicy implements middleware.SecurityAdapter.
-func (o *ORB) ExtractPolicy() (*rbac.Policy, error) {
+func (o *ORB) ExtractPolicy(_ context.Context) (*rbac.Policy, error) {
 	o.mu.RLock()
 	defer o.mu.RUnlock()
 	p := rbac.NewPolicy()
@@ -231,7 +241,7 @@ func (o *ORB) ExtractPolicy() (*rbac.Policy, error) {
 
 // ApplyPolicy implements middleware.SecurityAdapter: the ORB's security
 // configuration is replaced by p's rows for this ORB's domain.
-func (o *ORB) ApplyPolicy(p *rbac.Policy) (int, error) {
+func (o *ORB) ApplyPolicy(_ context.Context, p *rbac.Policy) (int, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.roleOps = make(map[string]map[ifaceOp]bool)
@@ -264,7 +274,7 @@ func (o *ORB) ApplyPolicy(p *rbac.Policy) (int, error) {
 }
 
 // ApplyDiff implements middleware.SecurityAdapter.
-func (o *ORB) ApplyDiff(diff rbac.Diff) error {
+func (o *ORB) ApplyDiff(_ context.Context, diff rbac.Diff) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	d := o.Domain()

@@ -13,12 +13,14 @@
 package ejb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
 	"securewebcom/internal/middleware"
 	"securewebcom/internal/rbac"
+	"securewebcom/internal/telemetry"
 )
 
 // Server is a simulated EJB server on a host. Its domains are
@@ -220,7 +222,9 @@ func (s *Server) Components() []middleware.Component {
 }
 
 // CheckAccess implements middleware.SecurityAdapter.
-func (s *Server) CheckAccess(u rbac.User, d rbac.Domain, ot rbac.ObjectType, perm rbac.Permission) (bool, error) {
+func (s *Server) CheckAccess(ctx context.Context, u rbac.User, d rbac.Domain, ot rbac.ObjectType, perm rbac.Permission) (bool, error) {
+	_, span := telemetry.StartSpan(ctx, "ejb.check")
+	defer span.Finish()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	c, err := s.containerForDomain(d)
@@ -248,7 +252,12 @@ func (c *Container) check(user, ejbName, method string) bool {
 
 // Invoke implements middleware.Invoker: container-managed security runs
 // before the bean method.
-func (s *Server) Invoke(u rbac.User, d rbac.Domain, ot rbac.ObjectType, op string, args []string) (string, error) {
+func (s *Server) Invoke(ctx context.Context, u rbac.User, d rbac.Domain, ot rbac.ObjectType, op string, args []string) (string, error) {
+	_, span := telemetry.StartSpan(ctx, "ejb.invoke")
+	defer span.Finish()
+	span.SetAttr("user", string(u))
+	span.SetAttr("object", string(ot))
+	span.SetAttr("op", op)
 	s.mu.RLock()
 	c, err := s.containerForDomain(d)
 	if err != nil {
@@ -263,6 +272,7 @@ func (s *Server) Invoke(u rbac.User, d rbac.Domain, ot rbac.ObjectType, op strin
 		return "", fmt.Errorf("ejb: no bean %q in container", ot)
 	}
 	if !allowed {
+		span.SetAttr("denied", "true")
 		return "", &middleware.ErrDenied{User: u, Domain: d, ObjectType: ot, Op: op}
 	}
 	h, ok := b.impl[op]
@@ -273,7 +283,7 @@ func (s *Server) Invoke(u rbac.User, d rbac.Domain, ot rbac.ObjectType, op strin
 }
 
 // ExtractPolicy implements middleware.SecurityAdapter.
-func (s *Server) ExtractPolicy() (*rbac.Policy, error) {
+func (s *Server) ExtractPolicy(_ context.Context) (*rbac.Policy, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	p := rbac.NewPolicy()
@@ -297,7 +307,7 @@ func (s *Server) ExtractPolicy() (*rbac.Policy, error) {
 // security configuration is rebuilt from p's rows for its domain. Users
 // referenced by the policy are auto-registered in the server registry
 // (the automated administrator of Section 4.1 would create them).
-func (s *Server) ApplyPolicy(p *rbac.Policy) (int, error) {
+func (s *Server) ApplyPolicy(_ context.Context, p *rbac.Policy) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	applied := 0
@@ -336,7 +346,7 @@ func (s *Server) ApplyPolicy(p *rbac.Policy) (int, error) {
 }
 
 // ApplyDiff implements middleware.SecurityAdapter.
-func (s *Server) ApplyDiff(diff rbac.Diff) error {
+func (s *Server) ApplyDiff(_ context.Context, diff rbac.Diff) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for jndi, c := range s.containers {

@@ -1,6 +1,7 @@
 package ejb
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -57,22 +58,22 @@ func TestContainerManagedSecurity(t *testing.T) {
 	s := newSalariesServer()
 	d := domain(s)
 
-	out, err := s.Invoke("Bob", d, "Salaries", "read", nil)
+	out, err := s.Invoke(context.Background(), "Bob", d, "Salaries", "read", nil)
 	if err != nil || out != "salary-data" {
 		t.Fatalf("manager read: %q %v", out, err)
 	}
-	_, err = s.Invoke("Alice", d, "Salaries", "read", nil)
+	_, err = s.Invoke(context.Background(), "Alice", d, "Salaries", "read", nil)
 	var denied *middleware.ErrDenied
 	if !errors.As(err, &denied) {
 		t.Fatalf("clerk read should be denied: %v", err)
 	}
-	if _, err := s.Invoke("Alice", d, "Salaries", "write", nil); err != nil {
+	if _, err := s.Invoke(context.Background(), "Alice", d, "Salaries", "write", nil); err != nil {
 		t.Fatalf("clerk write: %v", err)
 	}
-	if _, err := s.Invoke("Bob", "wrong/domain/x", "Salaries", "read", nil); err == nil {
+	if _, err := s.Invoke(context.Background(), "Bob", "wrong/domain/x", "Salaries", "read", nil); err == nil {
 		t.Fatal("foreign domain accepted")
 	}
-	if _, err := s.Invoke("Bob", d, "NoBean", "read", nil); err == nil {
+	if _, err := s.Invoke(context.Background(), "Bob", d, "NoBean", "read", nil); err == nil {
 		t.Fatal("missing bean accepted")
 	}
 }
@@ -107,14 +108,14 @@ func TestUsersAreServerGlobal(t *testing.T) {
 	if err := s.AssignRole("sales", "Elaine", "R2"); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := s.CheckAccess("Elaine", "h/srv/finance", "A", "m"); !got {
+	if got, _ := s.CheckAccess(context.Background(), "Elaine", "h/srv/finance", "A", "m"); !got {
 		t.Fatal("finance role lost")
 	}
-	if got, _ := s.CheckAccess("Elaine", "h/srv/sales", "B", "m"); !got {
+	if got, _ := s.CheckAccess(context.Background(), "Elaine", "h/srv/sales", "B", "m"); !got {
 		t.Fatal("sales role lost")
 	}
 	// Roles do not leak between containers.
-	if got, _ := s.CheckAccess("Elaine", "h/srv/finance", "B", "m"); got {
+	if got, _ := s.CheckAccess(context.Background(), "Elaine", "h/srv/finance", "B", "m"); got {
 		t.Fatal("cross-container leak")
 	}
 }
@@ -131,25 +132,25 @@ func TestComponentsEnumeration(t *testing.T) {
 
 func TestExtractApplyRoundTrip(t *testing.T) {
 	s := newSalariesServer()
-	p, err := s.ExtractPolicy()
+	p, err := s.ExtractPolicy(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	s2 := NewServer("X2", "hostX", "ejbsrv")
 	s2.CreateContainer("finance")
-	n, err := s2.ApplyPolicy(p)
+	n, err := s2.ApplyPolicy(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != p.Len() {
 		t.Fatalf("applied %d of %d rows", n, p.Len())
 	}
-	p2, _ := s2.ExtractPolicy()
+	p2, _ := s2.ExtractPolicy(context.Background())
 	if !p.Equal(p2) {
 		t.Fatalf("extract∘apply not identity:\n%svs\n%s", p, p2)
 	}
 	// Decisions preserved.
-	if got, _ := s2.CheckAccess("Alice", domain(s), "Salaries", "write"); !got {
+	if got, _ := s2.CheckAccess(context.Background(), "Alice", domain(s), "Salaries", "write"); !got {
 		t.Fatal("decision lost after apply")
 	}
 }
@@ -157,17 +158,17 @@ func TestExtractApplyRoundTrip(t *testing.T) {
 func TestApplyDiffMaintenance(t *testing.T) {
 	s := newSalariesServer()
 	d := domain(s)
-	err := s.ApplyDiff(rbac.Diff{
+	err := s.ApplyDiff(context.Background(), rbac.Diff{
 		AddedUserRole:   []rbac.UserRoleEntry{{User: "Fred", Domain: d, Role: "Manager"}},
 		RemovedUserRole: []rbac.UserRoleEntry{{User: "Bob", Domain: d, Role: "Manager"}},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := s.CheckAccess("Fred", d, "Salaries", "read"); !got {
+	if got, _ := s.CheckAccess(context.Background(), "Fred", d, "Salaries", "read"); !got {
 		t.Fatal("added user lacks access")
 	}
-	if got, _ := s.CheckAccess("Bob", d, "Salaries", "read"); got {
+	if got, _ := s.CheckAccess(context.Background(), "Bob", d, "Salaries", "read"); got {
 		t.Fatal("removed user retains access")
 	}
 	if !s.HasUser("Fred") {
@@ -206,7 +207,7 @@ func TestDescriptorLoad(t *testing.T) {
 	if err := s.AssignRole("fin", "Bob", "Manager"); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := s.CheckAccess("Bob", "h/srv/fin", "Salaries", "read"); !got {
+	if got, _ := s.CheckAccess(context.Background(), "Bob", "h/srv/fin", "Salaries", "read"); !got {
 		t.Fatal("descriptor permissions not loaded")
 	}
 }
@@ -235,8 +236,8 @@ func TestDescriptorRoundTrip(t *testing.T) {
 	if err := c2.LoadDescriptor(jar2); err != nil {
 		t.Fatal(err)
 	}
-	p1, _ := s.ExtractPolicy()
-	p2, _ := s2.ExtractPolicy()
+	p1, _ := s.ExtractPolicy(context.Background())
+	p2, _ := s2.ExtractPolicy(context.Background())
 	if !p1.Equal(p2) {
 		t.Fatalf("descriptor round trip changed policy:\n%svs\n%s", p1, p2)
 	}
@@ -280,7 +281,7 @@ func TestInvokeMissingMethod(t *testing.T) {
 	// Grant a method that the bean does not implement.
 	c, _ := s.Lookup("finance")
 	c.AddMethodPermission("Manager", "Salaries", "audit")
-	if _, err := s.Invoke("Bob", d, "Salaries", "audit", nil); err == nil ||
+	if _, err := s.Invoke(context.Background(), "Bob", d, "Salaries", "audit", nil); err == nil ||
 		!strings.Contains(err.Error(), "no method") {
 		t.Fatalf("missing method: %v", err)
 	}
@@ -303,18 +304,18 @@ func TestUncheckedAndExcludedMethods(t *testing.T) {
 	d := rbac.Domain("h/srv/fin")
 
 	// Unchecked: anyone, even without roles.
-	if got, _ := s.CheckAccess("stranger", d, "B", "public"); !got {
+	if got, _ := s.CheckAccess(context.Background(), "stranger", d, "B", "public"); !got {
 		t.Fatal("unchecked method denied")
 	}
 	// Excluded dominates an explicit grant.
-	if got, _ := s.CheckAccess("u", d, "B", "secret"); got {
+	if got, _ := s.CheckAccess(context.Background(), "u", d, "B", "secret"); got {
 		t.Fatal("excluded method allowed")
 	}
 	// Normal role-based decision unaffected.
-	if got, _ := s.CheckAccess("u", d, "B", "normal"); !got {
+	if got, _ := s.CheckAccess(context.Background(), "u", d, "B", "normal"); !got {
 		t.Fatal("role grant broken")
 	}
-	if got, _ := s.CheckAccess("stranger", d, "B", "normal"); got {
+	if got, _ := s.CheckAccess(context.Background(), "stranger", d, "B", "normal"); got {
 		t.Fatal("stranger allowed on role-guarded method")
 	}
 }
@@ -343,10 +344,10 @@ func TestDescriptorUncheckedExcludeRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := rbac.Domain("h/srv/fin")
-	if got, _ := s.CheckAccess("anyone", d, "B", "public"); !got {
+	if got, _ := s.CheckAccess(context.Background(), "anyone", d, "B", "public"); !got {
 		t.Fatal("unchecked not loaded")
 	}
-	if got, _ := s.CheckAccess("anyone", d, "B", "secret"); got {
+	if got, _ := s.CheckAccess(context.Background(), "anyone", d, "B", "secret"); got {
 		t.Fatal("exclude-list not loaded")
 	}
 
@@ -364,10 +365,10 @@ func TestDescriptorUncheckedExcludeRoundTrip(t *testing.T) {
 	if err := c2.LoadDescriptor(jar2); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := s2.CheckAccess("anyone", "h/srv/fin", "B", "public"); !got {
+	if got, _ := s2.CheckAccess(context.Background(), "anyone", "h/srv/fin", "B", "public"); !got {
 		t.Fatal("unchecked lost in round trip")
 	}
-	if got, _ := s2.CheckAccess("anyone", "h/srv/fin", "B", "secret"); got {
+	if got, _ := s2.CheckAccess(context.Background(), "anyone", "h/srv/fin", "B", "secret"); got {
 		t.Fatal("exclusion lost in round trip")
 	}
 }
@@ -379,15 +380,15 @@ func TestUncheckedSurvivesApplyPolicy(t *testing.T) {
 	c, _ := s.Lookup("finance")
 	c.MarkUnchecked("Salaries", "ping")
 	c.Exclude("Salaries", "drop")
-	p, _ := s.ExtractPolicy()
-	if _, err := s.ApplyPolicy(p); err != nil {
+	p, _ := s.ExtractPolicy(context.Background())
+	if _, err := s.ApplyPolicy(context.Background(), p); err != nil {
 		t.Fatal(err)
 	}
 	d := domain(s)
-	if got, _ := s.CheckAccess("anyone", d, "Salaries", "ping"); !got {
+	if got, _ := s.CheckAccess(context.Background(), "anyone", d, "Salaries", "ping"); !got {
 		t.Fatal("unchecked dropped by ApplyPolicy")
 	}
-	if got, _ := s.CheckAccess("Bob", d, "Salaries", "drop"); got {
+	if got, _ := s.CheckAccess(context.Background(), "Bob", d, "Salaries", "drop"); got {
 		t.Fatal("exclusion dropped by ApplyPolicy")
 	}
 }

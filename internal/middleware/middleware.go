@@ -12,6 +12,7 @@
 package middleware
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -57,22 +58,25 @@ type System interface {
 }
 
 // SecurityAdapter is the bidirectional bridge between a middleware's
-// native security configuration and the common RBAC model.
+// native security configuration and the common RBAC model. Every
+// method takes a context.Context so request-scoped trace/span chains
+// (internal/telemetry) and cancellation follow an operation into the
+// native mediation layer.
 type SecurityAdapter interface {
 	// ExtractPolicy renders the native security configuration as an RBAC
 	// policy ("Policy Comprehension").
-	ExtractPolicy() (*rbac.Policy, error)
+	ExtractPolicy(ctx context.Context) (*rbac.Policy, error)
 	// ApplyPolicy replaces the security configuration with the rows of p
 	// that belong to this system's domains ("Policy Configuration" /
 	// "Policy Migration"). Rows for foreign domains are ignored and
 	// reported in the returned count of applied rows.
-	ApplyPolicy(p *rbac.Policy) (applied int, err error)
+	ApplyPolicy(ctx context.Context, p *rbac.Policy) (applied int, err error)
 	// ApplyDiff applies an incremental policy change (the KeyCOM service,
 	// Figure 8, and "Policy Maintenance", Section 4.4).
-	ApplyDiff(d rbac.Diff) error
+	ApplyDiff(ctx context.Context, d rbac.Diff) error
 	// CheckAccess is the native access-control decision for user u
 	// requesting permission perm on object type ot in domain d.
-	CheckAccess(u rbac.User, d rbac.Domain, ot rbac.ObjectType, perm rbac.Permission) (bool, error)
+	CheckAccess(ctx context.Context, u rbac.User, d rbac.Domain, ot rbac.ObjectType, perm rbac.Permission) (bool, error)
 }
 
 // Invoker is the live execution path: invoking an operation on a
@@ -81,8 +85,10 @@ type SecurityAdapter interface {
 type Invoker interface {
 	// Invoke runs operation op of component ot as user u with the given
 	// arguments, returning the component's textual result. ErrDenied is
-	// returned when the native policy denies the call.
-	Invoke(u rbac.User, d rbac.Domain, ot rbac.ObjectType, op string, args []string) (string, error)
+	// returned when the native policy denies the call. The context
+	// carries the request-scoped trace; implementations start an
+	// "invoke" span under it.
+	Invoke(ctx context.Context, u rbac.User, d rbac.Domain, ot rbac.ObjectType, op string, args []string) (string, error)
 }
 
 // ErrDenied is returned by Invoke when native security mediation denies
@@ -163,11 +169,22 @@ func (r *Registry) All() []System {
 
 // GlobalPolicy merges the extracted policies of every registered system
 // into one unified RBAC policy — the system-wide synthesis the paper's
-// "Policy Comprehension" property calls for.
-func (r *Registry) GlobalPolicy() (*rbac.Policy, error) {
+// "Policy Comprehension" property calls for. The whole snapshot-and-
+// extract runs under one read lock so a concurrent Register cannot
+// interleave a half-old, half-new view of the environment into the
+// merged policy.
+func (r *Registry) GlobalPolicy(ctx context.Context) (*rbac.Policy, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.systems))
+	for n := range r.systems {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	global := rbac.NewPolicy()
-	for _, s := range r.All() {
-		p, err := s.ExtractPolicy()
+	for _, n := range names {
+		s := r.systems[n]
+		p, err := s.ExtractPolicy(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("middleware: extract from %s: %w", s.Name(), err)
 		}

@@ -1,6 +1,9 @@
 package middleware
 
 import (
+	"context"
+	"fmt"
+	"sync"
 	"testing"
 
 	"securewebcom/internal/rbac"
@@ -17,16 +20,18 @@ func (f *fakeSystem) Kind() Kind   { return KindCORBA }
 func (f *fakeSystem) Components() []Component {
 	return nil
 }
-func (f *fakeSystem) ExtractPolicy() (*rbac.Policy, error) { return f.policy.Clone(), nil }
-func (f *fakeSystem) ApplyPolicy(p *rbac.Policy) (int, error) {
+func (f *fakeSystem) ExtractPolicy(_ context.Context) (*rbac.Policy, error) {
+	return f.policy.Clone(), nil
+}
+func (f *fakeSystem) ApplyPolicy(_ context.Context, p *rbac.Policy) (int, error) {
 	f.policy = p.Clone()
 	return p.Len(), nil
 }
-func (f *fakeSystem) ApplyDiff(d rbac.Diff) error { f.policy.Apply(d); return nil }
-func (f *fakeSystem) CheckAccess(u rbac.User, d rbac.Domain, ot rbac.ObjectType, p rbac.Permission) (bool, error) {
+func (f *fakeSystem) ApplyDiff(_ context.Context, d rbac.Diff) error { f.policy.Apply(d); return nil }
+func (f *fakeSystem) CheckAccess(_ context.Context, u rbac.User, d rbac.Domain, ot rbac.ObjectType, p rbac.Permission) (bool, error) {
 	return f.policy.UserHoldsInDomain(u, d, ot, p), nil
 }
-func (f *fakeSystem) Invoke(u rbac.User, d rbac.Domain, ot rbac.ObjectType, op string, args []string) (string, error) {
+func (f *fakeSystem) Invoke(_ context.Context, u rbac.User, d rbac.Domain, ot rbac.ObjectType, op string, args []string) (string, error) {
 	return "", nil
 }
 
@@ -72,7 +77,7 @@ func TestGlobalPolicyMergesAllSystems(t *testing.T) {
 	r := NewRegistry()
 	r.Register(newFake("X", "dx"))
 	r.Register(newFake("Y", "dy"))
-	g, err := r.GlobalPolicy()
+	g, err := r.GlobalPolicy(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,6 +86,59 @@ func TestGlobalPolicyMergesAllSystems(t *testing.T) {
 	}
 	if g.Len() != 4 {
 		t.Fatalf("global Len = %d", g.Len())
+	}
+}
+
+// TestGlobalPolicyConcurrentWithRegister races GlobalPolicy readers
+// against a writer registering new systems. Run under -race it proves
+// the snapshot-and-extract happens under one read lock: every merged
+// policy must be internally complete (each fake contributes exactly two
+// entries, so a torn half-registered view would show up as an odd Len).
+func TestGlobalPolicyConcurrentWithRegister(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(newFake("S0", "d0")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i <= 50; i++ {
+			if err := r.Register(newFake(fmt.Sprintf("S%d", i), rbac.Domain(fmt.Sprintf("d%d", i)))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				g, err := r.GlobalPolicy(context.Background())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if n := g.Len(); n < 2 || n%2 != 0 {
+					t.Errorf("torn global policy: Len = %d", n)
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	g, err := r.GlobalPolicy(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2*51 {
+		t.Fatalf("final global Len = %d, want %d", g.Len(), 2*51)
 	}
 }
 

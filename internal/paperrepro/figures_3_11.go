@@ -125,7 +125,7 @@ func Figure8(w io.Writer) error {
 	svc := keycom.NewService(cat, chk)
 	// Pre-commit lint gate: every accepted update is re-linted against
 	// the catalogue's vocabulary before it is applied.
-	cur, err := cat.ExtractPolicy()
+	cur, err := cat.ExtractPolicy(context.Background())
 	if err != nil {
 		return err
 	}
@@ -154,7 +154,7 @@ func Figure8(w io.Writer) error {
 	if err := keycom.Submit(srv.Addr(), req); err != nil {
 		return fmt.Errorf("authorised KeyCOM update failed: %w", err)
 	}
-	ok, err := cat.CheckAccess("userB", "DOMA", "SalariesDB.Component", complus.PermAccess)
+	ok, err := cat.CheckAccess(context.Background(), "userB", "DOMA", "SalariesDB.Component", complus.PermAccess)
 	if err != nil || !ok {
 		return fmt.Errorf("COM catalogue not updated (ok=%v err=%v)", ok, err)
 	}
@@ -214,7 +214,7 @@ func Figure9(w io.Writer) error {
 	}
 
 	// Step 1: comprehend Y's COM policy as KeyNote credentials.
-	comPolicy, err := y.ExtractPolicy()
+	comPolicy, err := y.ExtractPolicy(context.Background())
 	if err != nil {
 		return err
 	}
@@ -246,7 +246,7 @@ func Figure9(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if _, err := x.ApplyPolicy(migrated); err != nil {
+	if _, err := x.ApplyPolicy(context.Background(), migrated); err != nil {
 		return err
 	}
 	for _, c := range []struct {
@@ -254,8 +254,8 @@ func Figure9(w io.Writer) error {
 		p    rbac.Permission
 		want bool
 	}{{"Alice", complus.PermAccess, true}, {"Alice", complus.PermLaunch, false}, {"Bob", complus.PermLaunch, true}} {
-		gotY, _ := y.CheckAccess(c.u, "DOMY", "SalariesDB.Component", c.p)
-		gotX, _ := x.CheckAccess(c.u, "hostX/srv/salaries", "SalariesDB.Component", c.p)
+		gotY, _ := y.CheckAccess(context.Background(), c.u, "DOMY", "SalariesDB.Component", c.p)
+		gotX, _ := x.CheckAccess(context.Background(), c.u, "hostX/srv/salaries", "SalariesDB.Component", c.p)
 		if gotY != c.want || gotX != c.want {
 			return fmt.Errorf("migration decision mismatch for (%s,%s): Y=%v X=%v want %v",
 				c.u, c.p, gotY, gotX, c.want)
@@ -396,7 +396,7 @@ func Figure11(w io.Writer) error {
 	}
 
 	it := ide.New(reg)
-	entries, err := it.Palette()
+	entries, err := it.Palette(context.Background())
 	if err != nil {
 		return err
 	}
@@ -404,7 +404,7 @@ func Figure11(w io.Writer) error {
 
 	// Partial specification, as in Section 6: pin domain and role, let
 	// the scheduler pick the user.
-	combos, err := it.Resolve("X", "Salaries", "write",
+	combos, err := it.Resolve(context.Background(), "X", "Salaries", "write",
 		ide.Constraint{Domain: "hostX/srv/finance", Role: "Clerk"})
 	if err != nil {
 		return err

@@ -44,6 +44,7 @@ import (
 	"securewebcom/internal/middleware"
 	"securewebcom/internal/ossec"
 	"securewebcom/internal/rbac"
+	"securewebcom/internal/telemetry"
 	"securewebcom/internal/translate"
 )
 
@@ -183,8 +184,13 @@ func (s *Stack) Layers() []string {
 
 // Authorize runs the request through the stack. The context bounds the
 // walk: cancellation fails closed, recording how far mediation got.
+// When the context carries a telemetry.Tracer, the walk opens a
+// "stack.authorize" span with one child span per layer, so the stack's
+// share of a request-scoped trace chain is visible per layer.
 func (s *Stack) Authorize(ctx context.Context, req *Request) Decision {
 	start := time.Now()
+	ctx, span := telemetry.StartSpan(ctx, "stack.authorize")
+	defer span.Finish()
 	d := Decision{Trace: &authz.Trace{}}
 	decided := false
 	granted := true
@@ -201,14 +207,18 @@ func (s *Stack) Authorize(ctx context.Context, req *Request) Decision {
 			ad  *authz.Decision
 			err error
 		)
+		lctx, lspan := telemetry.StartSpan(ctx, "stack."+l.Name())
 		if tl, ok := l.(TracedLayer); ok {
-			v, ad, err = tl.DecideTraced(ctx, req)
+			v, ad, err = tl.DecideTraced(lctx, req)
 		} else {
-			v, err = l.Decide(ctx, req)
+			v, err = l.Decide(lctx, req)
 		}
 		if err != nil {
 			v = Deny // fail closed
+			lspan.SetAttr("err", err.Error())
 		}
+		lspan.SetAttr("verdict", v.String())
+		lspan.Finish()
 		d.Trail = append(d.Trail, LayerDecision{Layer: l.Name(), Verdict: v, Err: err})
 		lt := authz.LayerTrace{Layer: l.Name(), Verdict: v.String(), Elapsed: time.Since(layerStart)}
 		if err != nil {
@@ -283,11 +293,11 @@ func (l *MiddlewareLayer) Name() string { return "L1:" + string(l.System.Kind())
 
 // Decide implements Layer: abstains when the request's domain is not one
 // of the system's domains.
-func (l *MiddlewareLayer) Decide(_ context.Context, req *Request) (Verdict, error) {
+func (l *MiddlewareLayer) Decide(ctx context.Context, req *Request) (Verdict, error) {
 	if req.Domain == "" {
 		return Abstain, nil
 	}
-	ok, err := l.System.CheckAccess(req.User, req.Domain, req.ObjectType, req.Permission)
+	ok, err := l.System.CheckAccess(ctx, req.User, req.Domain, req.ObjectType, req.Permission)
 	if err != nil {
 		// Foreign domain: not this layer's business.
 		return Abstain, nil

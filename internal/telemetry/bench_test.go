@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkCounterDisabled measures the cost of instrumentation when
+// telemetry is off (nil registry) — the hot-path overhead every
+// package pays when no sinks are attached. Must stay near zero.
+func BenchmarkCounterDisabled(b *testing.B) {
+	var r *Registry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Counter("x").Inc()
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveDuration(time.Microsecond)
+	}
+}
+
+// BenchmarkSpanDisabled measures StartSpan+Finish without a tracer in
+// the context — the per-request tracing overhead with sinks detached.
+func BenchmarkSpanDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := StartSpan(ctx, "op")
+		s.Finish()
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	ctx := WithTracer(context.Background(), NewTracer(256))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := StartSpan(ctx, "op")
+		s.Finish()
+	}
+}

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// Handler serves a registry (and optionally a tracer) over HTTP:
+//
+//	GET /metrics          Prometheus text format
+//	GET /metrics?format=json  expvar-style flat JSON
+//	GET /healthz          200 "ok" (or 503 with the Health error)
+//	GET /traces           finished spans, JSON, newest ring window
+//	GET /traces?trace=ID  spans of one trace
+//
+// The zero value is unusable; construct with NewHandler.
+type Handler struct {
+	reg    *Registry
+	tracer *Tracer
+	health func() error
+	mux    *http.ServeMux
+}
+
+// NewHandler builds an HTTP handler exposing reg and tracer. health
+// may be nil (always healthy) and is consulted by /healthz; tracer
+// may be nil (404 on /traces).
+func NewHandler(reg *Registry, tracer *Tracer, health func() error) *Handler {
+	h := &Handler{reg: reg, tracer: tracer, health: health, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/metrics", h.serveMetrics)
+	h.mux.HandleFunc("/healthz", h.serveHealth)
+	h.mux.HandleFunc("/traces", h.serveTraces)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format == "" && strings.Contains(r.Header.Get("Accept"), "application/json") {
+		format = "json"
+	}
+	switch format {
+	case "json":
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = h.reg.WriteJSON(w)
+	default:
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = h.reg.WritePrometheus(w)
+	}
+}
+
+func (h *Handler) serveHealth(w http.ResponseWriter, _ *http.Request) {
+	if h.health != nil {
+		if err := h.health(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (h *Handler) serveTraces(w http.ResponseWriter, r *http.Request) {
+	if h.tracer == nil {
+		http.NotFound(w, r)
+		return
+	}
+	spans := h.tracer.Spans()
+	if id := r.URL.Query().Get("trace"); id != "" {
+		filtered := spans[:0:0]
+		for _, s := range spans {
+			if s.TraceID == id {
+				filtered = append(filtered, s)
+			}
+		}
+		spans = filtered
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Total int64  `json:"total_finished"`
+		Spans []Span `json:"spans"`
+	}{h.tracer.Total(), spans})
+}

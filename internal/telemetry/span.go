@@ -1,0 +1,257 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// idCounter seeds span/trace identifiers. The high bits come from the
+// process start time so identifiers from distinct processes (master
+// vs. client) are distinguishable when traces are merged; the low bits
+// are a per-process sequence.
+var idCounter atomic.Uint64
+
+func init() {
+	idCounter.Store(uint64(time.Now().UnixNano()) << 16)
+}
+
+func newID(prefix string) string {
+	return fmt.Sprintf("%s%016x", prefix, idCounter.Add(1))
+}
+
+// Span is one timed operation inside a trace. Spans form a tree via
+// ParentID; every span in one request-scoped chain shares a TraceID.
+// A nil *Span is the "tracing disabled" value: all methods no-op.
+type Span struct {
+	TraceID  string            `json:"trace_id"`
+	SpanID   string            `json:"span_id"`
+	ParentID string            `json:"parent_id,omitempty"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	End      time.Time         `json:"end"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+
+	tracer *Tracer
+	mu     *sync.Mutex
+	ended  bool
+}
+
+// Duration returns End-Start for a finished span (zero otherwise).
+// Safe on a nil receiver.
+func (s *Span) Duration() time.Duration {
+	if s == nil || s.End.IsZero() {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+// SetAttr attaches a key=value annotation. Safe on a nil receiver.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Attrs == nil {
+		s.Attrs = map[string]string{}
+	}
+	s.Attrs[key] = value
+}
+
+// Finish stamps the end time and records the span with its tracer.
+// Calling Finish more than once is a no-op, as is calling it on a nil
+// span.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.End = time.Now()
+	s.mu.Unlock()
+	if s.tracer != nil {
+		s.tracer.record(s)
+	}
+}
+
+// snapshot returns a tracer-safe copy (attrs included) of the span.
+func (s *Span) snapshot() Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := Span{
+		TraceID:  s.TraceID,
+		SpanID:   s.SpanID,
+		ParentID: s.ParentID,
+		Name:     s.Name,
+		Start:    s.Start,
+		End:      s.End,
+	}
+	if len(s.Attrs) > 0 {
+		cp.Attrs = make(map[string]string, len(s.Attrs))
+		for k, v := range s.Attrs {
+			cp.Attrs[k] = v
+		}
+	}
+	return cp
+}
+
+// tracerRing is the default number of finished spans a Tracer keeps.
+const tracerRing = 256
+
+// Tracer collects finished spans in a fixed-size ring. Attach one to
+// a context with WithTracer; downstream StartSpan calls then produce
+// real spans.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Span
+	next  int
+	total int64
+}
+
+// NewTracer returns a tracer retaining the most recent window
+// finished spans (a default is used when window <= 0).
+func NewTracer(window int) *Tracer {
+	if window <= 0 {
+		window = tracerRing
+	}
+	return &Tracer{ring: make([]Span, 0, window)}
+}
+
+func (t *Tracer) record(s *Span) {
+	cp := s.snapshot()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, cp)
+	} else {
+		t.ring[t.next] = cp
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+}
+
+// Spans returns the retained finished spans ordered by start time.
+// Safe on a nil receiver (returns nil).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.ring))
+	copy(out, t.ring)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Trace returns the retained spans belonging to traceID, ordered by
+// start time. Safe on a nil receiver.
+func (t *Tracer) Trace(traceID string) []Span {
+	var out []Span
+	for _, s := range t.Spans() {
+		if s.TraceID == traceID {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Total reports how many spans have finished over the tracer's
+// lifetime (including those evicted from the ring). Safe on nil.
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+type tracerKey struct{}
+type spanKey struct{}
+
+// WithTracer returns a context carrying t; spans started under it are
+// recorded there. Passing a nil tracer returns ctx unchanged.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the tracer carried by ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// SpanFrom returns the active span carried by ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// TraceIDFrom returns the trace ID of the active span in ctx, or "".
+func TraceIDFrom(ctx context.Context) string {
+	if s := SpanFrom(ctx); s != nil {
+		return s.TraceID
+	}
+	return ""
+}
+
+// StartSpan begins a span named name under the tracer and parent span
+// carried by ctx. When ctx carries no tracer it returns ctx unchanged
+// and a nil span, making the disabled path two context lookups and no
+// allocation. Callers must Finish the returned span (nil-safe).
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		SpanID: newID("s"),
+		Name:   name,
+		Start:  time.Now(),
+		tracer: t,
+		mu:     &sync.Mutex{},
+	}
+	if parent := SpanFrom(ctx); parent != nil {
+		s.TraceID = parent.TraceID
+		s.ParentID = parent.SpanID
+	} else {
+		s.TraceID = newID("t")
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// StartRemoteSpan begins a span that continues a trace started in
+// another process: traceID and parentID arrive over the wire. A new
+// trace ID is minted if traceID is empty. Like StartSpan it returns
+// (ctx, nil) when ctx carries no tracer.
+func StartRemoteSpan(ctx context.Context, name, traceID, parentID string) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	if traceID == "" {
+		return StartSpan(ctx, name)
+	}
+	s := &Span{
+		TraceID:  traceID,
+		SpanID:   newID("s"),
+		ParentID: parentID,
+		Name:     name,
+		Start:    time.Now(),
+		tracer:   t,
+		mu:       &sync.Mutex{},
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}

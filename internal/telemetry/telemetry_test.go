@@ -1,0 +1,280 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(4)
+	if got := r.Counter("a.b").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	r.GaugeFunc("fn", func() int64 { return 42 })
+	snap := r.Snapshot()
+	if snap.Gauges["fn"] != 42 {
+		t.Fatalf("gauge func = %d, want 42", snap.Gauges["fn"])
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.GaugeFunc("z", func() int64 { return 1 })
+	r.Histogram("h").Observe(1)
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("count/min/max = %d/%g/%g", s.Count, s.Min, s.Max)
+	}
+	if s.P50 != 50 || s.P95 != 95 || s.P99 != 99 {
+		t.Fatalf("p50/p95/p99 = %g/%g/%g", s.P50, s.P95, s.P99)
+	}
+	if s.Sum != 5050 {
+		t.Fatalf("sum = %g, want 5050", s.Sum)
+	}
+}
+
+func TestHistogramRingEviction(t *testing.T) {
+	h := newHistogram(4)
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 10 {
+		t.Fatalf("lifetime count = %d, want 10", s.Count)
+	}
+	// Ring holds {7,8,9,10}; the median of the window is 8.
+	if s.P50 != 8 {
+		t.Fatalf("windowed p50 = %g, want 8", s.P50)
+	}
+}
+
+func TestSpanChain(t *testing.T) {
+	tr := NewTracer(16)
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "root")
+	if root == nil {
+		t.Fatal("expected a live span under a tracer")
+	}
+	ctx2, child := StartSpan(ctx, "child")
+	child.SetAttr("k", "v")
+	if child.TraceID != root.TraceID {
+		t.Fatalf("trace id mismatch: %q vs %q", child.TraceID, root.TraceID)
+	}
+	if child.ParentID != root.SpanID {
+		t.Fatalf("child parent = %q, want %q", child.ParentID, root.SpanID)
+	}
+	_, grand := StartSpan(ctx2, "grandchild")
+	grand.Finish()
+	child.Finish()
+	root.Finish()
+
+	spans := tr.Trace(root.TraceID)
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Name != "root" || spans[1].Name != "child" || spans[2].Name != "grandchild" {
+		t.Fatalf("order: %s %s %s", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+	if spans[1].Attrs["k"] != "v" {
+		t.Fatalf("attrs lost: %+v", spans[1].Attrs)
+	}
+	if spans[2].ParentID != spans[1].SpanID {
+		t.Fatal("grandchild not parented to child")
+	}
+}
+
+func TestStartSpanWithoutTracerIsNil(t *testing.T) {
+	ctx, s := StartSpan(context.Background(), "x")
+	if s != nil {
+		t.Fatal("expected nil span without a tracer")
+	}
+	s.SetAttr("a", "b") // must not panic
+	s.Finish()
+	if SpanFrom(ctx) != nil {
+		t.Fatal("nil span leaked into context")
+	}
+}
+
+func TestStartRemoteSpanContinuesTrace(t *testing.T) {
+	tr := NewTracer(8)
+	ctx := WithTracer(context.Background(), tr)
+	_, s := StartRemoteSpan(ctx, "client.execute", "t-remote", "s-parent")
+	if s.TraceID != "t-remote" || s.ParentID != "s-parent" {
+		t.Fatalf("remote parentage lost: %+v", s)
+	}
+	s.Finish()
+	if got := len(tr.Trace("t-remote")); got != 1 {
+		t.Fatalf("trace spans = %d, want 1", got)
+	}
+}
+
+func TestSpanDoubleFinish(t *testing.T) {
+	tr := NewTracer(8)
+	ctx := WithTracer(context.Background(), tr)
+	_, s := StartSpan(ctx, "x")
+	s.Finish()
+	s.Finish()
+	if tr.Total() != 1 {
+		t.Fatalf("double finish recorded %d spans", tr.Total())
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(2)
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 5; i++ {
+		_, s := StartSpan(ctx, "s")
+		s.Finish()
+	}
+	if got := len(tr.Spans()); got != 2 {
+		t.Fatalf("ring len = %d, want 2", got)
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("total = %d, want 5", tr.Total())
+	}
+}
+
+func TestWriteJSONAndPrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("webcom.dispatch.total").Add(3)
+	r.Gauge("webcom.clients").Set(2)
+	r.Histogram("authz.decide.latency").Observe(0.25)
+
+	var jb strings.Builder
+	if err := r.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var flat map[string]any
+	if err := json.Unmarshal([]byte(jb.String()), &flat); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, jb.String())
+	}
+	if flat["webcom.dispatch.total"] != float64(3) {
+		t.Fatalf("json counter = %v", flat["webcom.dispatch.total"])
+	}
+
+	var pb strings.Builder
+	if err := r.WritePrometheus(&pb); err != nil {
+		t.Fatal(err)
+	}
+	text := pb.String()
+	for _, want := range []string{
+		"# TYPE webcom_dispatch_total counter",
+		"webcom_dispatch_total 3",
+		"# TYPE webcom_clients gauge",
+		"# TYPE authz_decide_latency summary",
+		`authz_decide_latency{quantile="0.5"} 0.25`,
+		"authz_decide_latency_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	tr := NewTracer(8)
+	ctx := WithTracer(context.Background(), tr)
+	_, s := StartSpan(ctx, "op")
+	s.Finish()
+
+	h := NewHandler(r, tr, nil)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "c 1") {
+		t.Fatalf("/metrics: %d %q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Header().Get("Content-Type"), "json") {
+		t.Fatalf("/metrics?format=json: %d %s", rec.Code, rec.Header().Get("Content-Type"))
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 || rec.Body.String() != "ok\n" {
+		t.Fatalf("/healthz: %d %q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/traces", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"name": "op"`) {
+		t.Fatalf("/traces: %d %q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/traces?trace="+s.TraceID, nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), s.SpanID) {
+		t.Fatalf("/traces?trace=: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestHTTPHealthError(t *testing.T) {
+	h := NewHandler(NewRegistry(), nil, func() error { return context.DeadlineExceeded })
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("unhealthy /healthz = %d, want 503", rec.Code)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(64)
+	ctx := WithTracer(context.Background(), tr)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").ObserveDuration(time.Microsecond)
+				cctx, s := StartSpan(ctx, "op")
+				_, inner := StartSpan(cctx, "inner")
+				inner.Finish()
+				s.Finish()
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 1600 {
+		t.Fatalf("counter = %d, want 1600", got)
+	}
+	if tr.Total() != 3200 {
+		t.Fatalf("spans = %d, want 3200", tr.Total())
+	}
+}

@@ -1,6 +1,7 @@
 package translate
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -126,8 +127,8 @@ func MigratePolicy(src *rbac.Policy, opt MigrationOptions) (*rbac.Policy, []Mapp
 // Migrate extracts the policy from src, translates it per opt, and
 // applies it to dst — the end-to-end "configure a new system with the
 // same policy as an existing system" flow of Section 4.3 and Figure 9.
-func Migrate(src, dst middleware.System, opt MigrationOptions) (int, []MappingReport, error) {
-	p, err := src.ExtractPolicy()
+func Migrate(ctx context.Context, src, dst middleware.System, opt MigrationOptions) (int, []MappingReport, error) {
+	p, err := src.ExtractPolicy(ctx)
 	if err != nil {
 		return 0, nil, fmt.Errorf("translate: extract from %s: %w", src.Name(), err)
 	}
@@ -135,7 +136,7 @@ func Migrate(src, dst middleware.System, opt MigrationOptions) (int, []MappingRe
 	if err != nil {
 		return 0, nil, err
 	}
-	applied, err := dst.ApplyPolicy(moved)
+	applied, err := dst.ApplyPolicy(ctx, moved)
 	if err != nil {
 		return 0, nil, fmt.Errorf("translate: apply to %s: %w", dst.Name(), err)
 	}

@@ -1,6 +1,7 @@
 package translate
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -111,7 +112,7 @@ func TestMigrateEJBToCORBA(t *testing.T) {
 	dst := corba.NewORB("Y", "hostY", "SalariesORB")
 	dst.DefineInterface("Salaries", "read", "write")
 
-	applied, reports, err := Migrate(src, dst, MigrationOptions{
+	applied, reports, err := Migrate(context.Background(), src, dst, MigrationOptions{
 		DomainMap: map[rbac.Domain]rbac.Domain{
 			"hostX/ejbsrv/finance": dst.Domain(),
 		},
@@ -122,7 +123,7 @@ func TestMigrateEJBToCORBA(t *testing.T) {
 	if len(reports) != 0 {
 		t.Fatalf("unexpected mappings: %v", reports)
 	}
-	srcPolicy, _ := src.ExtractPolicy()
+	srcPolicy, _ := src.ExtractPolicy(context.Background())
 	if applied != srcPolicy.Len() {
 		t.Fatalf("applied %d of %d rows", applied, srcPolicy.Len())
 	}
@@ -137,11 +138,11 @@ func TestMigrateEJBToCORBA(t *testing.T) {
 		{"Mallory", "read", false},
 	}
 	for _, tc := range cases {
-		srcGot, err := src.CheckAccess(tc.user, "hostX/ejbsrv/finance", "Salaries", tc.perm)
+		srcGot, err := src.CheckAccess(context.Background(), tc.user, "hostX/ejbsrv/finance", "Salaries", tc.perm)
 		if err != nil {
 			t.Fatal(err)
 		}
-		dstGot, err := dst.CheckAccess(tc.user, dst.Domain(), "Salaries", tc.perm)
+		dstGot, err := dst.CheckAccess(context.Background(), tc.user, dst.Domain(), "Salaries", tc.perm)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -167,13 +168,13 @@ func TestMigrateCORBAToCOMPlus(t *testing.T) {
 	dst.RegisterClass("Payroll", map[string]middleware.Handler{})
 
 	// Without mapping, COM+ refuses the foreign vocabulary.
-	if _, _, err := Migrate(src, dst, MigrationOptions{
+	if _, _, err := Migrate(context.Background(), src, dst, MigrationOptions{
 		DomainMap: map[rbac.Domain]rbac.Domain{src.Domain(): dst.Domain()},
 	}); err == nil {
 		t.Fatal("unmapped vocabulary accepted by COM+")
 	}
 
-	applied, reports, err := Migrate(src, dst, MigrationOptions{
+	applied, reports, err := Migrate(context.Background(), src, dst, MigrationOptions{
 		DomainMap:        map[rbac.Domain]rbac.Domain{src.Domain(): dst.Domain()},
 		TargetVocabulary: []rbac.Permission{"Launch", "Access", "RunAs"},
 	})
@@ -186,13 +187,13 @@ func TestMigrateCORBAToCOMPlus(t *testing.T) {
 	if len(reports) != 2 {
 		t.Fatalf("reports = %v", reports)
 	}
-	if got, _ := dst.CheckAccess("Claire", dst.Domain(), "Payroll", "Access"); !got {
+	if got, _ := dst.CheckAccess(context.Background(), "Claire", dst.Domain(), "Payroll", "Access"); !got {
 		t.Fatal("Claire lost access after migration")
 	}
-	if got, _ := dst.CheckAccess("Claire", dst.Domain(), "Payroll", "Launch"); got {
+	if got, _ := dst.CheckAccess(context.Background(), "Claire", dst.Domain(), "Payroll", "Launch"); got {
 		t.Fatal("Claire gained launch after migration")
 	}
-	if got, _ := dst.CheckAccess("Bob", dst.Domain(), "Payroll", "Launch"); !got {
+	if got, _ := dst.CheckAccess(context.Background(), "Bob", dst.Domain(), "Payroll", "Launch"); !got {
 		t.Fatal("Bob lost launch after migration")
 	}
 }

@@ -14,6 +14,10 @@ import (
 type breaker struct {
 	threshold  int
 	quarantine time.Duration
+	// onTransition, when non-nil, observes every state change (for
+	// telemetry counters). Called with the breaker lock held; it must
+	// not call back into the breaker.
+	onTransition func(from, to breakerState)
 
 	mu       sync.Mutex
 	failures int
@@ -33,6 +37,19 @@ func newBreaker(threshold int, quarantine time.Duration) *breaker {
 	return &breaker{threshold: threshold, quarantine: quarantine}
 }
 
+// setState transitions the breaker (lock held) and notifies the
+// observer on actual changes.
+func (b *breaker) setState(to breakerState) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
 // allow reports whether a dispatch may proceed now. When the quarantine
 // has elapsed it admits a single probe: concurrent callers see false
 // until the probe resolves.
@@ -44,7 +61,7 @@ func (b *breaker) allow(now time.Time) bool {
 		return true
 	case breakerOpen:
 		if now.Sub(b.openedAt) >= b.quarantine {
-			b.state = breakerHalfOpen
+			b.setState(breakerHalfOpen)
 			return true
 		}
 		return false
@@ -57,7 +74,7 @@ func (b *breaker) allow(now time.Time) bool {
 func (b *breaker) success() {
 	b.mu.Lock()
 	b.failures = 0
-	b.state = breakerClosed
+	b.setState(breakerClosed)
 	b.mu.Unlock()
 }
 
@@ -68,7 +85,7 @@ func (b *breaker) failure(now time.Time) {
 	defer b.mu.Unlock()
 	b.failures++
 	if b.state == breakerHalfOpen || b.failures >= b.threshold {
-		b.state = breakerOpen
+		b.setState(breakerOpen)
 		b.openedAt = now
 	}
 }

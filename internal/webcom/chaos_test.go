@@ -15,6 +15,7 @@ import (
 	"securewebcom/internal/faultnet"
 	"securewebcom/internal/keynote"
 	"securewebcom/internal/keys"
+	"securewebcom/internal/telemetry"
 )
 
 // leakCheck fails the test if goroutines outlive the test's cleanups.
@@ -242,6 +243,8 @@ func TestChaosSuite(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			leakCheck(t)
+			tel := telemetry.NewRegistry()
+			tc.cfg.Tel = tel
 			env := newChaosEnv(t, tc.cfg, 3, fastRetry(), fastLive())
 			g, want := chaosGraph(t, tasks)
 			ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
@@ -277,6 +280,37 @@ func TestChaosSuite(t *testing.T) {
 			}
 			if st.Wrapped < wantConns {
 				t.Errorf("only %d connections wrapped, want >= %d", st.Wrapped, wantConns)
+			}
+
+			// The injector mirrors everything into the telemetry registry;
+			// the fault rate must be recoverable from the metrics alone.
+			snap := tel.Snapshot()
+			if got := snap.Counters["faultnet.wrapped"]; got != int64(st.Wrapped) {
+				t.Errorf("faultnet.wrapped = %d, injector saw %d", got, st.Wrapped)
+			}
+			var faulted int64
+			for class, n := range st.ByClass {
+				key := "faultnet.class." + class.String()
+				if got := snap.Counters[key]; got != int64(n) {
+					t.Errorf("%s = %d, injector saw %d", key, got, n)
+				}
+				if class != faultnet.None {
+					faulted += snap.Counters[key]
+				}
+			}
+			if wrapped := snap.Counters["faultnet.wrapped"]; wrapped > 0 {
+				if rate := float64(faulted) / float64(wrapped); rate < wantRate {
+					t.Errorf("metric-derived fault rate %.2f < %.2f", rate, wantRate)
+				}
+			}
+			if got := snap.Counters["faultnet.swallowed.bytes"]; got != st.SwallowedBytes {
+				t.Errorf("faultnet.swallowed.bytes = %d, injector saw %d", got, st.SwallowedBytes)
+			}
+			if got := snap.Counters["faultnet.corrupted.writes"]; got != st.CorruptedWrites {
+				t.Errorf("faultnet.corrupted.writes = %d, injector saw %d", got, st.CorruptedWrites)
+			}
+			if got := snap.Counters["faultnet.dropped.conns"]; got != int64(st.DroppedConns) {
+				t.Errorf("faultnet.dropped.conns = %d, injector saw %d", got, st.DroppedConns)
 			}
 		})
 	}

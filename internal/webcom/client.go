@@ -14,6 +14,7 @@ import (
 	"securewebcom/internal/keys"
 	"securewebcom/internal/middleware"
 	"securewebcom/internal/rbac"
+	"securewebcom/internal/telemetry"
 	"securewebcom/internal/translate"
 )
 
@@ -46,6 +47,14 @@ type Client struct {
 	// Dial overrides the transport dialer; nil means plain TCP. Chaos
 	// tests inject faulty transports here.
 	Dial func(addr string) (net.Conn, error)
+	// Tel, when non-nil, receives execution metrics
+	// (webcom.client.executions, webcom.client.denials). Nil disables
+	// all instrumentation.
+	Tel *telemetry.Registry
+	// Tracer, when non-nil, records execution spans. Scheduled tasks
+	// carry the master's trace/span IDs over the wire, so client spans
+	// continue the master's request-scoped chain.
+	Tracer *telemetry.Tracer
 
 	engOnce sync.Once
 	eng     *authz.Engine
@@ -70,7 +79,7 @@ type Client struct {
 func (cl *Client) Engine() *authz.Engine {
 	cl.engOnce.Do(func() {
 		if cl.Checker != nil {
-			cl.eng = authz.NewEngine(cl.Checker)
+			cl.eng = authz.NewEngine(cl.Checker, authz.WithTelemetry(cl.Tel))
 		}
 		cl.audit = authz.NewAuditLog(256)
 	})
@@ -347,6 +356,15 @@ func (cl *Client) serve(c *conn) {
 // authorisation of the master (L2), then the middleware invocation under
 // native security (L1).
 func (cl *Client) execute(m *msg) (result string, denied bool, err error) {
+	// The scheduled message may carry the master's trace identifiers;
+	// continuing them parents this client's spans under the master's
+	// dispatch span, so one request-scoped chain covers both processes.
+	ctx := telemetry.WithTracer(context.Background(), cl.Tracer)
+	ctx, span := telemetry.StartRemoteSpan(ctx, "client.execute", m.TraceID, m.SpanID)
+	defer span.Finish()
+	span.SetAttr("op", m.Op)
+	cl.Tel.Counter("webcom.client.executions").Inc()
+
 	// L2: does this client's policy let the master schedule this op? The
 	// master's presented credentials participate, so the policy may name
 	// a root that delegated scheduling authority to this master. The
@@ -357,7 +375,7 @@ func (cl *Client) execute(m *msg) (result string, denied bool, err error) {
 	session := cl.session
 	cl.mu.Unlock()
 	if session != nil {
-		d, err := session.Decide(context.Background(), taskQuery(master, m.Op, m.Annotations, m.Args))
+		d, err := session.Decide(ctx, taskQuery(master, m.Op, m.Annotations, m.Args))
 		if err != nil {
 			return "", false, err
 		}
@@ -365,6 +383,8 @@ func (cl *Client) execute(m *msg) (result string, denied bool, err error) {
 			if !d.Trace.CacheHit {
 				cl.Audit().Record(master, m.Op, d)
 			}
+			cl.Tel.Counter("webcom.client.denials").Inc()
+			span.SetAttr("denied", "true")
 			return "", true, fmt.Errorf("client policy refuses master for op %s (denied by %s)", m.Op, d.Trace.DeniedBy())
 		}
 	}
@@ -392,7 +412,7 @@ func (cl *Client) execute(m *msg) (result string, denied bool, err error) {
 	if cl.Registry == nil {
 		return "", false, fmt.Errorf("webcom: client %s has no middleware registry", cl.Name)
 	}
-	sys, err := cl.systemForDomain(domain)
+	sys, err := cl.systemForDomain(ctx, domain)
 	if err != nil {
 		return "", false, err
 	}
@@ -400,24 +420,26 @@ func (cl *Client) execute(m *msg) (result string, denied bool, err error) {
 	// authorised user in the given (domain, role).
 	if user == "" {
 		role := rbac.Role(m.Annotations[translate.AttrRole])
-		u, err := cl.pickUser(sys, domain, role, rbac.ObjectType(ot), rbac.Permission(operation))
+		u, err := cl.pickUser(ctx, sys, domain, role, rbac.ObjectType(ot), rbac.Permission(operation))
 		if err != nil {
 			return "", true, err
 		}
 		user = u
 	}
-	out, err := sys.Invoke(user, domain, rbac.ObjectType(ot), operation, m.Args)
+	out, err := sys.Invoke(ctx, user, domain, rbac.ObjectType(ot), operation, m.Args)
 	var d *middleware.ErrDenied
 	if errors.As(err, &d) {
+		cl.Tel.Counter("webcom.client.denials").Inc()
+		span.SetAttr("denied", "true")
 		return "", true, err
 	}
 	return out, false, err
 }
 
 // systemForDomain finds the registered middleware system owning a domain.
-func (cl *Client) systemForDomain(d rbac.Domain) (middleware.System, error) {
+func (cl *Client) systemForDomain(ctx context.Context, d rbac.Domain) (middleware.System, error) {
 	for _, s := range cl.Registry.All() {
-		p, err := s.ExtractPolicy()
+		p, err := s.ExtractPolicy(ctx)
 		if err != nil {
 			continue
 		}
@@ -438,8 +460,8 @@ func (cl *Client) systemForDomain(d rbac.Domain) (middleware.System, error) {
 }
 
 // pickUser selects an authorised user for a partially specified task.
-func (cl *Client) pickUser(sys middleware.System, d rbac.Domain, r rbac.Role, ot rbac.ObjectType, perm rbac.Permission) (rbac.User, error) {
-	p, err := sys.ExtractPolicy()
+func (cl *Client) pickUser(ctx context.Context, sys middleware.System, d rbac.Domain, r rbac.Role, ot rbac.ObjectType, perm rbac.Permission) (rbac.User, error) {
+	p, err := sys.ExtractPolicy(ctx)
 	if err != nil {
 		return "", err
 	}
@@ -450,7 +472,7 @@ func (cl *Client) pickUser(sys middleware.System, d rbac.Domain, r rbac.Role, ot
 		candidates = p.Users()
 	}
 	for _, u := range candidates {
-		ok, err := sys.CheckAccess(u, d, ot, perm)
+		ok, err := sys.CheckAccess(ctx, u, d, ot, perm)
 		if err == nil && ok {
 			return u, nil
 		}

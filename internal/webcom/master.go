@@ -15,6 +15,7 @@ import (
 	"securewebcom/internal/cg"
 	"securewebcom/internal/keynote"
 	"securewebcom/internal/keys"
+	"securewebcom/internal/telemetry"
 	"securewebcom/internal/translate"
 )
 
@@ -40,6 +41,14 @@ type Master struct {
 	// Live configures heartbeat liveness and the handshake deadline.
 	// Zero value = defaults.
 	Live Liveness
+	// Tel, when non-nil, receives scheduler metrics: dispatch counts
+	// and latency, retries, denials, breaker transitions and the
+	// connected-client gauge. Nil disables all instrumentation.
+	Tel *telemetry.Registry
+	// Tracer, when non-nil, records request-scoped spans for every
+	// scheduled task; Run installs it on the evaluation context, and
+	// dispatch propagates trace identifiers to clients over the wire.
+	Tracer *telemetry.Tracer
 
 	ln net.Listener
 
@@ -62,7 +71,7 @@ type Master struct {
 func (m *Master) Engine() *authz.Engine {
 	m.engOnce.Do(func() {
 		if m.Checker != nil {
-			m.eng = authz.NewEngine(m.Checker)
+			m.eng = authz.NewEngine(m.Checker, authz.WithTelemetry(m.Tel))
 		}
 		m.audit = authz.NewAuditLog(256)
 	})
@@ -147,6 +156,11 @@ func (m *Master) Listen(addr string) error {
 // the master and the network.
 func (m *Master) Serve(ln net.Listener) {
 	m.ln = ln
+	m.Tel.GaugeFunc("webcom.clients", func() int64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return int64(len(m.clients))
+	})
 	go m.acceptLoop()
 }
 
@@ -277,6 +291,18 @@ func (m *Master) handleClient(c *conn) {
 		died:        make(chan struct{}),
 		brk:         newBreaker(rp.FailureThreshold, rp.Quarantine),
 		pending:     make(map[uint64]chan *msg),
+	}
+	if m.Tel != nil {
+		mc.brk.onTransition = func(_, to breakerState) {
+			switch to {
+			case breakerOpen:
+				m.Tel.Counter("webcom.breaker.opened").Inc()
+			case breakerHalfOpen:
+				m.Tel.Counter("webcom.breaker.halfopen").Inc()
+			case breakerClosed:
+				m.Tel.Counter("webcom.breaker.closed").Inc()
+			}
+		}
 	}
 	// Admit the credential set now (one signature verification per
 	// credential); the dispatch path only consults the decision cache.
@@ -435,9 +461,12 @@ func (m *Master) authorisedClients(ctx context.Context, t cg.Task) ([]*masterCli
 		}
 		if d.Allowed {
 			out = append(out, c)
-		} else if !d.Trace.CacheHit {
-			// Log each distinct denial once (cache hits are repeats).
-			m.Audit().Record(c.name, t.OpName, d)
+		} else {
+			m.Tel.Counter("webcom.denials").Inc()
+			if !d.Trace.CacheHit {
+				// Log each distinct denial once (cache hits are repeats).
+				m.Audit().Record(c.name, t.OpName, d)
+			}
 		}
 	}
 	// Rotate the candidate order per call so independent tasks spread
@@ -471,10 +500,14 @@ func (m *Master) Executor() cg.Executor {
 		if _, local := op.(*cg.Func); local {
 			return cg.LocalExecutor(ctx, t, op)
 		}
+		ctx, span := telemetry.StartSpan(ctx, "webcom.schedule")
+		defer span.Finish()
+		span.SetAttr("op", t.OpName)
 		var lastErr error
 		tried := make(map[*masterClient]bool)
 		for attempt := 0; attempt < rp.MaxAttempts; attempt++ {
 			if attempt > 0 {
+				m.Tel.Counter("webcom.retries").Inc()
 				if err := sleepCtx(ctx, rp.backoff(attempt-1)); err != nil {
 					return "", err
 				}
@@ -529,6 +562,8 @@ func (m *Master) Executor() cg.Executor {
 			if res.Denied {
 				// The client's own policy refused the master or the
 				// middleware denied the invocation; surface it.
+				m.Tel.Counter("webcom.denials").Inc()
+				span.SetAttr("denied", "true")
 				return "", fmt.Errorf("webcom: client %s denied task %s: %s", target.name, t.OpName, res.Err)
 			}
 			if res.Err != "" {
@@ -540,6 +575,8 @@ func (m *Master) Executor() cg.Executor {
 			}
 			return res.Result, nil
 		}
+		m.Tel.Counter("webcom.failures").Inc()
+		span.SetAttr("failed", "true")
 		return "", fmt.Errorf("webcom: task %s failed after %d attempts: %w", t.OpName, rp.MaxAttempts, lastErr)
 	}
 }
@@ -550,6 +587,15 @@ func (m *Master) dispatch(ctx context.Context, c *masterClient, t cg.Task) (*msg
 	rp := m.Retry.withDefaults(m.MaxAttempts)
 	ctx, cancel := context.WithTimeout(ctx, rp.DispatchTimeout)
 	defer cancel()
+
+	ctx, span := telemetry.StartSpan(ctx, "webcom.dispatch")
+	defer span.Finish()
+	span.SetAttr("client", c.name)
+	m.Tel.Counter("webcom.dispatch.total").Inc()
+	start := time.Now()
+	defer func() {
+		m.Tel.Histogram("webcom.dispatch.latency").ObserveDuration(time.Since(start))
+	}()
 
 	// Backpressure: wait for one of the client's in-flight slots.
 	select {
@@ -575,13 +621,20 @@ func (m *Master) dispatch(ctx context.Context, c *masterClient, t cg.Task) (*msg
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	err := c.conn.send(&msg{
+	sched := &msg{
 		Type:        msgSchedule,
 		TaskID:      id,
 		Op:          t.OpName,
 		Args:        t.Args,
 		Annotations: t.Annotations,
-	})
+	}
+	if span != nil {
+		// Carry the trace across the wire so the client's execution
+		// spans parent under this dispatch span.
+		sched.TraceID = span.TraceID
+		sched.SpanID = span.SpanID
+	}
+	err := c.conn.send(sched)
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
@@ -606,5 +659,11 @@ func (m *Master) dispatch(ctx context.Context, c *masterClient, t cg.Task) (*msg
 // the connected clients.
 func (m *Master) Run(ctx context.Context, eng *cg.Engine, g *cg.Graph, inputs map[string]string) (string, cg.Stats, error) {
 	eng.Exec = m.Executor()
+	if eng.Tel == nil {
+		eng.Tel = m.Tel
+	}
+	if m.Tracer != nil {
+		ctx = telemetry.WithTracer(ctx, m.Tracer)
+	}
 	return eng.Run(ctx, g, inputs)
 }

@@ -60,11 +60,16 @@ type msg struct {
 	Sig         string   `json:"sig,omitempty"`
 	Credentials []string `json:"credentials,omitempty"`
 
-	// schedule fields.
+	// schedule fields. TraceID and SpanID carry the master's
+	// request-scoped trace across the wire: the client parents its
+	// execution spans under the master's dispatch span, giving one
+	// connected chain per task across both processes.
 	TaskID      uint64            `json:"task_id,omitempty"`
 	Op          string            `json:"op,omitempty"`
 	Args        []string          `json:"args,omitempty"`
 	Annotations map[string]string `json:"annotations,omitempty"`
+	TraceID     string            `json:"trace_id,omitempty"`
+	SpanID      string            `json:"span_id,omitempty"`
 
 	// result fields.
 	Result string `json:"result,omitempty"`

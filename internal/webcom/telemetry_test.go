@@ -1,0 +1,307 @@
+package webcom
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"securewebcom/internal/cg"
+	"securewebcom/internal/middleware"
+	"securewebcom/internal/middleware/ejb"
+	"securewebcom/internal/telemetry"
+)
+
+// ejbClient attaches a middleware-backed client with telemetry enabled
+// and returns it together with its registry and tracer.
+func ejbClient(t *testing.T, env *testEnv) *Client {
+	t.Helper()
+	srv := ejb.NewServer("ejbX", "hostX", "srv")
+	c := srv.CreateContainer("finance")
+	c.DeployBean("Salaries", map[string]middleware.Handler{
+		"read": func(args []string) (string, error) { return "42000", nil },
+	}, "read")
+	c.AddMethodPermission("Manager", "Salaries", "read")
+	srv.AddUser("Bob")
+	srv.AddUser("Dave")
+	if err := srv.AssignRole("finance", "Bob", "Manager"); err != nil {
+		t.Fatal(err)
+	}
+	reg := middleware.NewRegistry()
+	if err := reg.Register(srv); err != nil {
+		t.Fatal(err)
+	}
+	ck, _ := env.ks.ByName("KX")
+	cl := &Client{
+		Name:     "X",
+		Key:      ck,
+		Registry: reg,
+		Tel:      telemetry.NewRegistry(),
+		Tracer:   telemetry.NewTracer(0),
+	}
+	if err := cl.Connect(env.master.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func salariesGraph(t *testing.T, user string) *cg.Graph {
+	t.Helper()
+	g := cg.NewGraph("app")
+	n := g.MustAddNode("read", &cg.Opaque{OpName: "Salaries.read", OpArity: 1})
+	n.Annotations["Domain"] = "hostX/srv/finance"
+	n.Annotations["User"] = user
+	if err := g.SetConst("read", 0, "Bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetExit("read"); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// spanByName returns the first finished span with the given name.
+func spanByName(spans []telemetry.Span, name string) (telemetry.Span, bool) {
+	for _, s := range spans {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return telemetry.Span{}, false
+}
+
+// TestDispatchSpanChain is the acceptance check for the unified trace:
+// one dispatched task must yield a single connected span chain from the
+// engine's firing through the scheduler's dispatch into the client's
+// execution and down to the middleware invocation — every span sharing
+// one trace id, each parented on the previous hop, and the whole chain
+// retrievable from the master's HTTP trace surface.
+func TestDispatchSpanChain(t *testing.T) {
+	env := newTestEnv(t, "X")
+	env.master.Tel = telemetry.NewRegistry()
+	env.master.Tracer = telemetry.NewTracer(0)
+	cl := ejbClient(t, env)
+	waitClients(t, env.master, 1)
+
+	got, _, err := env.master.Run(context.Background(), &cg.Engine{}, salariesGraph(t, "Bob"), nil)
+	if err != nil || got != "42000" {
+		t.Fatalf("run: %q %v", got, err)
+	}
+
+	ms := env.master.Tracer.Spans()
+	run, ok := spanByName(ms, "cg.run")
+	if !ok || run.ParentID != "" {
+		t.Fatalf("no root cg.run span (spans %+v)", ms)
+	}
+	fire, ok := spanByName(ms, "cg.fire")
+	if !ok || fire.ParentID != run.SpanID || fire.TraceID != run.TraceID {
+		t.Fatalf("cg.fire not parented on cg.run: %+v", fire)
+	}
+	sched, ok := spanByName(ms, "webcom.schedule")
+	if !ok || sched.ParentID != fire.SpanID || sched.TraceID != run.TraceID {
+		t.Fatalf("webcom.schedule not parented on cg.fire: %+v", sched)
+	}
+	disp, ok := spanByName(ms, "webcom.dispatch")
+	if !ok || disp.ParentID != sched.SpanID || disp.TraceID != run.TraceID {
+		t.Fatalf("webcom.dispatch not parented on webcom.schedule: %+v", disp)
+	}
+
+	// The client's spans continue the master's chain across the wire.
+	cs := cl.Tracer.Spans()
+	exec, ok := spanByName(cs, "client.execute")
+	if !ok {
+		t.Fatalf("client recorded no client.execute span: %+v", cs)
+	}
+	if exec.TraceID != run.TraceID || exec.ParentID != disp.SpanID {
+		t.Fatalf("client.execute not parented on the master's dispatch: %+v (want trace %s parent %s)",
+			exec, run.TraceID, disp.SpanID)
+	}
+	invoke, ok := spanByName(cs, "ejb.invoke")
+	if !ok || invoke.TraceID != run.TraceID {
+		t.Fatalf("ejb.invoke missing or off-trace: %+v", invoke)
+	}
+	// The invoke span descends from client.execute (directly or through
+	// intermediate spans); walk the parent links to be sure.
+	parents := make(map[string]string, len(cs))
+	for _, s := range cs {
+		parents[s.SpanID] = s.ParentID
+	}
+	found := false
+	for id := invoke.ParentID; id != ""; id = parents[id] {
+		if id == exec.SpanID {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("ejb.invoke does not descend from client.execute: %+v", cs)
+	}
+
+	// The chain is retrievable over the master's HTTP surface.
+	h := telemetry.NewHandler(env.master.Tel, env.master.Tracer, nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/traces?trace=" + run.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Spans []telemetry.Span `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Spans) < 4 {
+		t.Fatalf("/traces returned %d spans, want the full master-side chain", len(out.Spans))
+	}
+	for _, s := range out.Spans {
+		if s.TraceID != run.TraceID {
+			t.Fatalf("/traces?trace= filter leaked span %+v", s)
+		}
+	}
+
+	// And the dispatch counters surfaced on /metrics.
+	mresp, err := http.Get(srv.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var metrics map[string]any
+	if err := json.NewDecoder(mresp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := metrics["webcom.dispatch.total"].(float64); !ok || n < 1 {
+		t.Fatalf("/metrics webcom.dispatch.total = %v", metrics["webcom.dispatch.total"])
+	}
+	if _, ok := metrics["webcom.dispatch.latency"]; !ok {
+		t.Fatal("/metrics misses webcom.dispatch.latency summary")
+	}
+}
+
+// TestDeniedInvocationTelemetry covers ErrDenied propagation end to end:
+// a middleware denial on the client must fail the run through cg.Engine,
+// bump the denial counters on both sides, and mark the spans denied.
+func TestDeniedInvocationTelemetry(t *testing.T) {
+	env := newTestEnv(t, "X")
+	env.master.Tel = telemetry.NewRegistry()
+	env.master.Tracer = telemetry.NewTracer(0)
+	cl := ejbClient(t, env)
+	waitClients(t, env.master, 1)
+
+	// Dave holds no role: the EJB container denies.
+	_, _, err := env.master.Run(context.Background(), &cg.Engine{}, salariesGraph(t, "Dave"), nil)
+	if err == nil || !strings.Contains(err.Error(), "denied") {
+		t.Fatalf("denial did not propagate through cg.Engine: %v", err)
+	}
+
+	if n := env.master.Tel.Snapshot().Counters["webcom.denials"]; n < 1 {
+		t.Fatalf("master webcom.denials = %d, want >= 1", n)
+	}
+	snap := cl.Tel.Snapshot()
+	if n := snap.Counters["webcom.client.denials"]; n < 1 {
+		t.Fatalf("client webcom.client.denials = %d, want >= 1", n)
+	}
+	if n := snap.Counters["webcom.client.executions"]; n < 1 {
+		t.Fatalf("client webcom.client.executions = %d, want >= 1", n)
+	}
+
+	cs := cl.Tracer.Spans()
+	exec, ok := spanByName(cs, "client.execute")
+	if !ok || exec.Attrs["denied"] != "true" {
+		t.Fatalf("client.execute span not marked denied: %+v", exec)
+	}
+	invoke, ok := spanByName(cs, "ejb.invoke")
+	if !ok || invoke.Attrs["denied"] != "true" {
+		t.Fatalf("ejb.invoke span not marked denied: %+v", invoke)
+	}
+
+	// A denial is a policy decision: never retried, exactly one dispatch.
+	if n := env.master.Tel.Snapshot().Counters["webcom.retries"]; n != 0 {
+		t.Fatalf("denied task was retried %d times", n)
+	}
+}
+
+// TestInterceptorVetoTelemetry covers the L3 hook: a vetoing interceptor
+// fails the run and counts under cg.vetoes, and the veto reaches the
+// master's audit ring via the denial path when wired by the caller.
+func TestInterceptorVetoTelemetry(t *testing.T) {
+	env := newTestEnv(t, "X")
+	env.master.Tel = telemetry.NewRegistry()
+	env.attach("X", map[string]func([]string) (string, error){"echo": echoOp})
+	waitClients(t, env.master, 1)
+
+	g := cg.NewGraph("app")
+	g.MustAddNode("remote", &cg.Opaque{OpName: "echo", OpArity: 1})
+	if err := g.SetConst("remote", 0, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetExit("remote"); err != nil {
+		t.Fatal(err)
+	}
+	eng := &cg.Engine{Interceptor: func(ctx context.Context, task cg.Task) error {
+		if task.OpName == "echo" {
+			return &middleware.ErrDenied{User: "anon", Op: "echo"}
+		}
+		return nil
+	}}
+	_, _, err := env.master.Run(context.Background(), eng, g, nil)
+	if err == nil || !strings.Contains(err.Error(), "vetoed") {
+		t.Fatalf("interceptor veto did not fail the run: %v", err)
+	}
+	if n := env.master.Tel.Snapshot().Counters["cg.vetoes"]; n != 1 {
+		t.Fatalf("cg.vetoes = %d, want 1", n)
+	}
+}
+
+// TestBreakerTransitionCounters asserts the circuit-breaker state changes
+// surface as counters when a client keeps timing out.
+func TestBreakerTransitionCounters(t *testing.T) {
+	env := newTestEnv(t, "X")
+	env.master.Tel = telemetry.NewRegistry()
+	env.master.Retry = RetryPolicy{
+		MaxAttempts:      2,
+		BaseBackoff:      time.Millisecond,
+		MaxBackoff:       5 * time.Millisecond,
+		DispatchTimeout:  60 * time.Millisecond,
+		FailureThreshold: 1,
+		Quarantine:       10 * time.Minute,
+		MaxInFlight:      4,
+	}
+	unblock := make(chan struct{})
+	env.attach("X", map[string]func([]string) (string, error){
+		"slow": func([]string) (string, error) {
+			<-unblock
+			return "late", nil
+		},
+	})
+	t.Cleanup(func() { close(unblock) })
+	waitClients(t, env.master, 1)
+
+	g := cg.NewGraph("app")
+	g.MustAddNode("remote", &cg.Opaque{OpName: "slow", OpArity: 1})
+	if err := g.SetConst("remote", 0, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetExit("remote"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := env.master.Run(context.Background(), &cg.Engine{}, g, nil); err == nil {
+		t.Fatal("run against a stalling client succeeded")
+	}
+	snap := env.master.Tel.Snapshot()
+	if snap.Counters["webcom.breaker.opened"] < 1 {
+		t.Fatalf("breaker opened %d times, want >= 1 (counters %+v)",
+			snap.Counters["webcom.breaker.opened"], snap.Counters)
+	}
+	if snap.Counters["webcom.failures"] < 1 {
+		t.Fatalf("webcom.failures = %d, want >= 1", snap.Counters["webcom.failures"])
+	}
+	if snap.Counters["webcom.retries"] < 1 {
+		t.Fatalf("webcom.retries = %d, want >= 1", snap.Counters["webcom.retries"])
+	}
+}
