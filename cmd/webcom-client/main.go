@@ -11,6 +11,16 @@
 // The -trust-master flag names the master's public-key file; the client's
 // policy authorises exactly that master for all WebCom operations. For a
 // narrower policy pass -policy with a KeyNote policy file.
+//
+// With -submaster-addr the client additionally runs an embedded master
+// (the paper's Figure 3 recursion): it announces the submaster role to
+// its own master, listens for leaf clients of its own, and accepts whole
+// condensed subgraphs under a delegation credential it re-lints before
+// honouring. Trust the leaves with repeatable -submaster-trust flags or
+// a -submaster-policy file:
+//
+//	webcom-client -master root:7070 -name S0 -trust-master root.pub \
+//	    -submaster-addr :7071 -submaster-trust leaf0.pub -submaster-trust leaf1.pub
 package main
 
 import (
@@ -27,10 +37,17 @@ import (
 	"securewebcom/internal/webcom"
 )
 
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
 // opts carries the parsed command line.
 type opts struct {
 	masterAddr, name, keyPath string
 	trustMaster, policyPath   string
+	subAddr, subPolicyPath    string
+	subTrust                  []string
 	demoEJB, trace            bool
 	live                      webcom.Liveness
 	reconnect                 webcom.ReconnectPolicy
@@ -46,6 +63,12 @@ func main() {
 	flag.BoolVar(&o.demoEJB, "demo-ejb", false, "host the demo Salaries EJB container")
 	flag.BoolVar(&o.trace, "trace", false, "log every authorisation denial with its full decision trace")
 
+	// Sub-master (hierarchical federation) knobs.
+	flag.StringVar(&o.subAddr, "submaster-addr", "", "run an embedded master for leaf clients on this address (empty disables)")
+	var subTrust multiFlag
+	flag.Var(&subTrust, "submaster-trust", "leaf-client public-key file the embedded master trusts (repeatable)")
+	flag.StringVar(&o.subPolicyPath, "submaster-policy", "", "KeyNote policy file for the embedded master's leaf clients")
+
 	// Fault-tolerance knobs; 0 means the library default.
 	flag.BoolVar(&o.reconnect.Enabled, "reconnect", false, "re-dial a lost master (full re-authentication) with backoff")
 	flag.IntVar(&o.reconnect.MaxAttempts, "reconnect-attempts", 0, "redial attempts per outage; negative = forever (0 = default 8)")
@@ -55,6 +78,7 @@ func main() {
 	flag.DurationVar(&o.live.IdleTimeout, "idle-timeout", 0, "silence before the master is declared dead (0 = default 45s)")
 	flag.DurationVar(&o.live.HandshakeTimeout, "handshake-timeout", 0, "handshake read deadline (0 = default 10s)")
 	flag.Parse()
+	o.subTrust = subTrust
 
 	if err := realMain(o); err != nil {
 		fmt.Fprintln(os.Stderr, "webcom-client:", err)
@@ -139,6 +163,52 @@ func realMain(o opts) error {
 		cl.Audit().SetSink(func(e authz.AuditEntry) {
 			fmt.Fprintf(os.Stderr, "trace: %s", e.String())
 		})
+	}
+
+	if o.subAddr != "" {
+		var subPolicy []*keynote.Assertion
+		for _, path := range o.subTrust {
+			kp, err := keys.Load(path)
+			if err != nil {
+				return err
+			}
+			ks.Add(kp)
+			a, err := keynote.New("POLICY", fmt.Sprintf("%q", kp.PublicID()), `app_domain=="WebCom";`)
+			if err != nil {
+				return err
+			}
+			subPolicy = append(subPolicy, a.WithComment("trusted leaf "+kp.Name))
+		}
+		if o.subPolicyPath != "" {
+			data, err := os.ReadFile(o.subPolicyPath)
+			if err != nil {
+				return err
+			}
+			more, err := keynote.ParseAll(string(data))
+			if err != nil {
+				return err
+			}
+			subPolicy = append(subPolicy, more...)
+		}
+		if len(subPolicy) == 0 {
+			return fmt.Errorf("no leaf client authorised: pass -submaster-trust or -submaster-policy with -submaster-addr")
+		}
+		subChk, err := keynote.NewChecker(subPolicy, keynote.WithResolver(ks))
+		if err != nil {
+			return err
+		}
+		// The embedded master signs as the same principal the client
+		// authenticates with, so the delegation credential the root mints
+		// for this client is exactly the one the subgraph runs under.
+		sub := webcom.NewMaster(clientKey, subChk, nil, ks)
+		sub.Live = o.live
+		if err := sub.Listen(o.subAddr); err != nil {
+			return err
+		}
+		defer sub.Close()
+		cl.Sub = sub
+		fmt.Printf("embedded sub-master listening on %s (%d policy assertions)\n",
+			sub.Addr(), len(subPolicy))
 	}
 
 	if demoEJB {

@@ -73,6 +73,7 @@ func main() {
 	flag.IntVar(&o.retry.FailureThreshold, "failure-threshold", 0, "consecutive failures before quarantining a client (0 = default 3)")
 	flag.DurationVar(&o.retry.Quarantine, "quarantine", 0, "circuit-breaker quarantine period (0 = default 2s)")
 	flag.IntVar(&o.retry.MaxInFlight, "max-in-flight", 0, "in-flight tasks per client (0 = default 32)")
+	flag.DurationVar(&o.retry.DelegateTimeout, "delegate-timeout", 0, "per-subgraph delegation deadline for sub-masters (0 = default 4x dispatch timeout)")
 	flag.DurationVar(&o.live.PingInterval, "ping-interval", 0, "heartbeat interval (0 = default 15s)")
 	flag.DurationVar(&o.live.IdleTimeout, "idle-timeout", 0, "silence before a client is declared dead (0 = default 45s)")
 	flag.DurationVar(&o.live.HandshakeTimeout, "handshake-timeout", 0, "handshake read deadline (0 = default 10s)")

@@ -1,0 +1,170 @@
+package authz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/policylint"
+)
+
+// Scoped delegation for hierarchical WebCom federation. When a master
+// hands a condensed subgraph to a sub-master it mints a KeyNote
+// credential authorising that sub-master for exactly the subgraph's
+// operation/domain vocabulary — the least-privilege scoping grid
+// security systems apply to delegated jobs (Welch et al.). Both ends
+// lint the minted chain with policylint before honouring it: a
+// credential wider than the subgraph it accompanies shows up as PL003
+// (privilege widening) or PL007 (vocabulary) findings and is refused.
+
+// DelegationScope is the vocabulary a delegated subgraph needs: the
+// operation names of its opaque nodes and the Domain annotations of its
+// middleware-bound nodes. AppDomain defaults to "WebCom".
+type DelegationScope struct {
+	AppDomain  string
+	Operations []string
+	Domains    []string
+}
+
+// conditions renders the scope as a KeyNote conditions program inside
+// the ==/&&/|| fragment, so both the compliance checker and the DNF
+// analysis in policylint can reason about it exactly.
+func (s DelegationScope) conditions() (string, error) {
+	if len(s.Operations) == 0 {
+		return "", fmt.Errorf("authz: delegation scope has no operations")
+	}
+	app := s.AppDomain
+	if app == "" {
+		app = "WebCom"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "app_domain==%q", app)
+	b.WriteString(" && " + disjunction("operation", dedupe(s.Operations)))
+	if len(s.Domains) > 0 {
+		b.WriteString(" && " + disjunction("Domain", dedupe(s.Domains)))
+	}
+	b.WriteString(";")
+	return b.String(), nil
+}
+
+func dedupe(vals []string) []string {
+	set := make(map[string]bool, len(vals))
+	for _, v := range vals {
+		set[v] = true
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func disjunction(attr string, vals []string) string {
+	terms := make([]string, len(vals))
+	for i, v := range vals {
+		terms[i] = fmt.Sprintf("%s==%q", attr, v)
+	}
+	if len(terms) == 1 {
+		return terms[0]
+	}
+	return "(" + strings.Join(terms, " || ") + ")"
+}
+
+// vocabulary builds the policylint vocabulary admitting exactly this
+// scope: any condition binding an operation or domain outside it is a
+// PL007 error.
+func (s DelegationScope) vocabulary() *policylint.Vocabulary {
+	app := s.AppDomain
+	if app == "" {
+		app = "WebCom"
+	}
+	v := &policylint.Vocabulary{}
+	v.Allow("app_domain", app)
+	v.Allow("operation", dedupe(s.Operations)...)
+	if len(s.Domains) > 0 {
+		v.Allow("Domain", dedupe(s.Domains)...)
+	}
+	// Attributes the WebCom task query may carry alongside the scoped
+	// ones; free-form, so narrowing on them is allowed but not required.
+	v.Allow("num_args")
+	v.Allow("Role")
+	v.Allow("User")
+	v.Allow("ObjectType")
+	v.Allow("Permission")
+	return v
+}
+
+// MintScopedDelegation signs a credential from parent authorising
+// subPrincipal for exactly the scope's operation/domain vocabulary. The
+// parent key must hold its private half.
+func MintScopedDelegation(parent *keys.KeyPair, subPrincipal string, scope DelegationScope) (*keynote.Assertion, error) {
+	cond, err := scope.conditions()
+	if err != nil {
+		return nil, err
+	}
+	a, err := keynote.New(
+		fmt.Sprintf("%q", parent.PublicID()),
+		fmt.Sprintf("%q", subPrincipal),
+		cond,
+	)
+	if err != nil {
+		return nil, fmt.Errorf("authz: mint delegation: %w", err)
+	}
+	if err := a.Sign(parent); err != nil {
+		return nil, fmt.Errorf("authz: sign delegation: %w", err)
+	}
+	return a, nil
+}
+
+// LintDelegationChain lints a delegation chain against a scope. The
+// chain is rooted at a synthetic POLICY assertion granting
+// parentPrincipal exactly the scope — the authority the parent claims
+// when delegating this subgraph — so a minted credential broader than
+// the subgraph shows up as PL003 (its extra disjuncts are incompatible
+// with every incoming conjunct) and out-of-vocabulary values as PL007.
+// Signatures are not re-checked here; admission through the authz
+// session path already verified them once.
+func LintDelegationChain(parentPrincipal string, chain []*keynote.Assertion, scope DelegationScope) (*policylint.Report, error) {
+	cond, err := scope.conditions()
+	if err != nil {
+		return nil, err
+	}
+	root, err := keynote.New(keynote.PolicyPrincipal, fmt.Sprintf("%q", parentPrincipal), cond)
+	if err != nil {
+		return nil, fmt.Errorf("authz: delegation lint root: %w", err)
+	}
+	set := append([]*keynote.Assertion{root}, chain...)
+	return policylint.Lint(set, policylint.Options{
+		Vocabulary:     scope.vocabulary(),
+		SkipSignatures: true,
+	}), nil
+}
+
+// ValidateDelegation is the admission check a sub-master runs on a
+// received delegation chain: the chain must lint clean against the
+// subgraph's scope — no PL003 widening, no error-severity findings
+// (PL005 unsatisfiable, PL007 vocabulary). It returns nil when the
+// chain is honourable.
+func ValidateDelegation(parentPrincipal string, chain []*keynote.Assertion, scope DelegationScope) error {
+	if len(chain) == 0 {
+		return fmt.Errorf("authz: delegation carries no credentials")
+	}
+	rep, err := LintDelegationChain(parentPrincipal, chain, scope)
+	if err != nil {
+		return err
+	}
+	if w := rep.ByCode(policylint.CodeWidening); len(w) > 0 {
+		return fmt.Errorf("authz: delegation widens privilege (PL003): %s", w[0].Message)
+	}
+	if rep.HasErrors() {
+		for _, f := range rep.Findings {
+			if f.Severity >= policylint.Error {
+				return fmt.Errorf("authz: delegation chain rejected (%s): %s", f.Code, f.Message)
+			}
+		}
+	}
+	return nil
+}

@@ -44,6 +44,17 @@ type Task struct {
 // Opaque operators to authorised remote clients.
 type Executor func(ctx context.Context, t Task, op Operator) (string, error)
 
+// Condenser is offered every Condensed-node firing before the engine
+// evaporates the subgraph locally. A federated scheduler (a WebCom
+// master with sub-masters) can claim the whole subgraph — inputs are the
+// subgraph's named input values — and evaluate it remotely, returning
+// handled=true with the exit value and the remote evaluation's stats
+// (exclusive of the evaporation itself; the engine accounts that).
+// Returning handled=false falls back to local evaporation, so a dead or
+// refusing sub-master degrades to one-box evaluation instead of failing
+// the run. A non-nil error aborts the run.
+type Condenser func(ctx context.Context, t Task, op *Condensed, inputs map[string]string) (string, Stats, bool, error)
+
 // LocalExecutor evaluates Func operators locally and rejects Opaque ones.
 func LocalExecutor(ctx context.Context, t Task, op Operator) (string, error) {
 	if f, ok := op.(*Func); ok {
@@ -85,6 +96,11 @@ type Engine struct {
 	// The context carries the run's trace so interceptor-level decisions
 	// join the same span chain as the firing they guard.
 	Interceptor func(ctx context.Context, t Task) error
+	// Condenser, when non-nil, is offered every Condensed firing before
+	// local evaporation; Secure WebCom installs one that delegates whole
+	// subgraphs to authorised sub-masters (the hierarchical half of the
+	// paper's Figure 3, where a client may itself be a master).
+	Condenser Condenser
 	// MaxDepth bounds condensation recursion. Default 64.
 	MaxDepth int
 	// Tel, when non-nil, counts firings (cg.fired), condensation
@@ -385,8 +401,28 @@ func (e *Engine) fire(ctx context.Context, g *Graph, st *nodeState,
 				n.ID, op.Arity(), op.GraphName, len(ins))
 		}
 		subInputs := make(map[string]string, len(ins))
+		args := make([]string, len(ins))
 		for i, name := range ins {
-			subInputs[name] = operandValue(n.operands[i])
+			args[i] = operandValue(n.operands[i])
+			subInputs[name] = args[i]
+		}
+		if e.Condenser != nil {
+			t := Task{
+				Graph:       g.Name,
+				NodeID:      n.ID,
+				OpName:      n.Op.Name(),
+				Args:        args,
+				Annotations: n.Annotations,
+			}
+			res, s, handled, err := e.Condenser(ctx, t, op, subInputs)
+			if err != nil {
+				return "", s, err
+			}
+			if handled {
+				e.Tel.Counter("cg.expanded").Inc()
+				s.Expanded++
+				return res, s, nil
+			}
 		}
 		e.Tel.Counter("cg.expanded").Inc()
 		res, s, err := e.runGraph(ctx, sub, subInputs, depth+1)

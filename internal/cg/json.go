@@ -2,7 +2,9 @@ package cg
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -170,4 +172,153 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 		def.Nodes = append(def.Nodes, nd)
 	}
 	return json.MarshalIndent(&def, "", "  ")
+}
+
+// closureNames walks the condensation references of name transitively,
+// returning every library graph the subgraph can reach (name included),
+// sorted. Recursive definitions terminate because each graph is visited
+// once.
+func closureNames(lib *Library, name string) ([]string, error) {
+	seen := map[string]bool{}
+	var walk func(n string) error
+	walk = func(n string) error {
+		if seen[n] {
+			return nil
+		}
+		seen[n] = true
+		g, err := lib.Lookup(n)
+		if err != nil {
+			return err
+		}
+		for _, id := range g.Nodes() {
+			node, _ := g.Node(id)
+			if c, ok := node.Op.(*Condensed); ok {
+				if err := walk(c.GraphName); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(name); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ExportClosure serialises the library graph name plus every graph its
+// condensations can reach, keyed by graph name — the wire form of a
+// delegated subgraph. The receiving side rebuilds it with ImportClosure.
+func ExportClosure(lib *Library, name string) (map[string]json.RawMessage, error) {
+	if lib == nil {
+		return nil, errors.New("cg: export closure: nil library")
+	}
+	names, err := closureNames(lib, name)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]json.RawMessage, len(names))
+	for _, n := range names {
+		g, err := lib.Lookup(n)
+		if err != nil {
+			return nil, err
+		}
+		data, err := g.MarshalJSON()
+		if err != nil {
+			return nil, err
+		}
+		out[n] = data
+	}
+	return out, nil
+}
+
+// ImportClosure parses an ExportClosure payload into a fresh library and
+// returns it together with the entry graph. Every graph is re-validated
+// on parse, so a malformed or hostile payload fails here, not mid-run.
+func ImportClosure(raw map[string]json.RawMessage, entry string) (*Library, *Graph, error) {
+	lib := NewLibrary()
+	for name, data := range raw {
+		g, err := ParseJSON(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cg: import closure graph %q: %w", name, err)
+		}
+		if g.Name != name {
+			return nil, nil, fmt.Errorf("cg: import closure: graph keyed %q declares name %q", name, g.Name)
+		}
+		if err := lib.Define(g); err != nil {
+			return nil, nil, err
+		}
+	}
+	g, err := lib.Lookup(entry)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cg: import closure: %w", err)
+	}
+	return lib, g, nil
+}
+
+// SubgraphVocabulary collects the operation names of every Opaque node
+// and the Domain annotation values reachable from the library graph name
+// (through nested condensations) — exactly the vocabulary a delegation
+// credential for that subgraph must be scoped to. Both slices are sorted
+// and deduplicated; domains may be empty.
+func SubgraphVocabulary(lib *Library, name string) (ops, domains []string, err error) {
+	names, err := closureNames(lib, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	opSet, domSet := map[string]bool{}, map[string]bool{}
+	for _, n := range names {
+		g, err := lib.Lookup(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, id := range g.Nodes() {
+			node, _ := g.Node(id)
+			if o, ok := node.Op.(*Opaque); ok {
+				opSet[o.OpName] = true
+			}
+			if d := node.Annotations["Domain"]; d != "" {
+				domSet[d] = true
+			}
+		}
+	}
+	for o := range opSet {
+		ops = append(ops, o)
+	}
+	for d := range domSet {
+		domains = append(domains, d)
+	}
+	sort.Strings(ops)
+	sort.Strings(domains)
+	return ops, domains, nil
+}
+
+// OpaqueCount reports how many Opaque nodes the closure of the library
+// graph name contains (each graph counted once, recursion not unrolled) —
+// the per-task dispatch cost a scheduler avoids by delegating the whole
+// subgraph to a sub-master.
+func OpaqueCount(lib *Library, name string) (int, error) {
+	names, err := closureNames(lib, name)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for _, n := range names {
+		g, err := lib.Lookup(n)
+		if err != nil {
+			return 0, err
+		}
+		for _, id := range g.Nodes() {
+			node, _ := g.Node(id)
+			if _, ok := node.Op.(*Opaque); ok {
+				count++
+			}
+		}
+	}
+	return count, nil
 }

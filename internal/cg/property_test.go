@@ -1,0 +1,354 @@
+package cg
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// Property test: for randomly generated (typed, acyclic) condensed
+// graphs with nested condensation, the exit value is invariant across
+// evaluation strategies — eager, lazy, flat-distributed and federated —
+// and the fire counts obey the model's invariants:
+//
+//   - eager fires every node exactly once (the generator guarantees the
+//     exit transitively consumes everything), so eager stats equal the
+//     analytically computed count,
+//   - lazy fires a subset (conditionals evaluate one branch),
+//   - flat-distributed and federated evaluation fire exactly as eager
+//     does: distribution must change *where* nodes run, never *whether*.
+
+// propOps executes the opaque vocabulary of generated graphs.
+func propOps(t Task) (string, error) {
+	n, err := strconv.ParseInt(t.Args[0], 10, 64)
+	if err != nil {
+		return "", err
+	}
+	switch t.OpName {
+	case "double":
+		return strconv.FormatInt(2*n, 10), nil
+	case "inc":
+		return strconv.FormatInt(n+1, 10), nil
+	}
+	return "", fmt.Errorf("unknown opaque op %q", t.OpName)
+}
+
+func propExec(ctx context.Context, t Task, op Operator) (string, error) {
+	if _, ok := op.(*Opaque); ok {
+		return propOps(t)
+	}
+	return LocalExecutor(ctx, t, op)
+}
+
+// distExec simulates flat distribution: every opaque task crosses a
+// channel to one of a pool of executor goroutines, as a master would
+// dispatch it to a remote client.
+func newDistExec(tb testing.TB) (Executor, func()) {
+	type job struct {
+		t     Task
+		reply chan [2]string
+	}
+	jobs := make(chan job)
+	done := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		go func() {
+			for {
+				select {
+				case j := <-jobs:
+					out, err := propOps(j.t)
+					if err != nil {
+						j.reply <- [2]string{"", err.Error()}
+					} else {
+						j.reply <- [2]string{out, ""}
+					}
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	exec := func(ctx context.Context, t Task, op Operator) (string, error) {
+		if _, ok := op.(*Opaque); !ok {
+			return LocalExecutor(ctx, t, op)
+		}
+		reply := make(chan [2]string, 1)
+		select {
+		case jobs <- job{t: t, reply: reply}:
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+		r := <-reply
+		if r[1] != "" {
+			return "", fmt.Errorf("%s", r[1])
+		}
+		return r[0], nil
+	}
+	return exec, func() { close(done) }
+}
+
+// propGen grows one random typed graph. Every node is transitively
+// consumed by the exit — dangling values are folded into an add chain —
+// except nodes consumed only by a conditional branch, which eager still
+// fires and lazy may skip.
+type propGen struct {
+	rng *rand.Rand
+	g   *Graph
+	n   int // node counter
+	// typed pools of already-created nodes
+	ints, bools []string
+	consumed    map[string]bool
+}
+
+func (p *propGen) id() string {
+	p.n++
+	return fmt.Sprintf("n%d", p.n)
+}
+
+// intOperand feeds port (node, idx) from a random int source: an
+// existing int node, a constant, or the graph input.
+func (p *propGen) intOperand(tb testing.TB, node string, idx int) {
+	switch k := p.rng.Intn(4); {
+	case k <= 1 && len(p.ints) > 0:
+		from := p.ints[p.rng.Intn(len(p.ints))]
+		if err := p.g.Connect(from, node, idx); err != nil {
+			tb.Fatal(err)
+		}
+		p.consumed[from] = true
+	case k == 2:
+		if err := p.g.SetConst(node, idx, strconv.Itoa(p.rng.Intn(10))); err != nil {
+			tb.Fatal(err)
+		}
+	default:
+		if err := p.g.BindInput("x", node, idx); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+// boolOperand feeds port (node, idx) from a bool node or constant.
+func (p *propGen) boolOperand(tb testing.TB, node string, idx int) {
+	if len(p.bools) > 0 && p.rng.Intn(2) == 0 {
+		from := p.bools[p.rng.Intn(len(p.bools))]
+		if err := p.g.Connect(from, node, idx); err != nil {
+			tb.Fatal(err)
+		}
+		p.consumed[from] = true
+		return
+	}
+	v := "false"
+	if p.rng.Intn(2) == 0 {
+		v = "true"
+	}
+	if err := p.g.SetConst(node, idx, v); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// propGraph builds one graph of 3..10 nodes (before folding); sublibs
+// are the deeper library graphs its condensed nodes may reference.
+func propGraph(tb testing.TB, rng *rand.Rand, name string, sublibs []string) *Graph {
+	p := &propGen{rng: rng, g: NewGraph(name), consumed: map[string]bool{}}
+	// The first node consumes the graph input, so every graph has the
+	// one-input shape condensed nodes expect.
+	root := p.id()
+	p.g.MustAddNode(root, &Opaque{OpName: "double", OpArity: 1})
+	if err := p.g.BindInput("x", root, 0); err != nil {
+		tb.Fatal(err)
+	}
+	p.ints = append(p.ints, root)
+
+	for extra := 2 + rng.Intn(7); extra > 0; extra-- {
+		id := p.id()
+		switch kind := rng.Intn(6); {
+		case kind == 0: // add
+			p.g.MustAddNode(id, Add())
+			p.intOperand(tb, id, 0)
+			p.intOperand(tb, id, 1)
+			p.ints = append(p.ints, id)
+		case kind == 1: // leq -> bool
+			p.g.MustAddNode(id, LessEq())
+			p.intOperand(tb, id, 0)
+			p.intOperand(tb, id, 1)
+			p.bools = append(p.bools, id)
+		case kind == 2: // conditional
+			p.g.MustAddNode(id, IfElse{})
+			p.boolOperand(tb, id, 0)
+			p.intOperand(tb, id, 1)
+			p.intOperand(tb, id, 2)
+			p.ints = append(p.ints, id)
+		case kind == 3 && len(sublibs) > 0: // nested condensation
+			sub := sublibs[rng.Intn(len(sublibs))]
+			p.g.MustAddNode(id, &Condensed{GraphName: sub, ArityHint: 1})
+			p.intOperand(tb, id, 0)
+			p.ints = append(p.ints, id)
+		default: // opaque unary
+			op := "inc"
+			if rng.Intn(2) == 0 {
+				op = "double"
+			}
+			p.g.MustAddNode(id, &Opaque{OpName: op, OpArity: 1})
+			p.intOperand(tb, id, 0)
+			p.ints = append(p.ints, id)
+		}
+	}
+
+	// Fold every unconsumed value into an add chain ending at the exit,
+	// so the exit transitively depends on every node. Unconsumed bools
+	// are first converted to ints through a conditional.
+	var dangling []string
+	for _, id := range p.bools {
+		if !p.consumed[id] {
+			conv := p.id()
+			p.g.MustAddNode(conv, IfElse{})
+			if err := p.g.Connect(id, conv, 0); err != nil {
+				tb.Fatal(err)
+			}
+			if err := p.g.SetConst(conv, 1, "1"); err != nil {
+				tb.Fatal(err)
+			}
+			if err := p.g.SetConst(conv, 2, "0"); err != nil {
+				tb.Fatal(err)
+			}
+			p.consumed[id] = true
+			dangling = append(dangling, conv)
+		}
+	}
+	for _, id := range p.ints {
+		if !p.consumed[id] {
+			dangling = append(dangling, id)
+		}
+	}
+	exit := dangling[0]
+	for _, id := range dangling[1:] {
+		sum := p.id()
+		p.g.MustAddNode(sum, Add())
+		if err := p.g.Connect(exit, sum, 0); err != nil {
+			tb.Fatal(err)
+		}
+		if err := p.g.Connect(id, sum, 1); err != nil {
+			tb.Fatal(err)
+		}
+		exit = sum
+	}
+	if err := p.g.SetExit(exit); err != nil {
+		tb.Fatal(err)
+	}
+	return p.g
+}
+
+// propLibrary builds a library of three graphs with strictly layered
+// condensation (lib2 may condense lib1/lib0, lib1 may condense lib0)
+// plus a root graph condensing any of them: nesting depth <= 3.
+func propLibrary(tb testing.TB, rng *rand.Rand) (*Library, *Graph) {
+	lib := NewLibrary()
+	var names []string
+	for i := 0; i < 3; i++ {
+		g := propGraph(tb, rng, fmt.Sprintf("lib%d", i), names)
+		if err := lib.Define(g); err != nil {
+			tb.Fatal(err)
+		}
+		names = append(names, g.Name)
+	}
+	return lib, propGraph(tb, rng, "root", names)
+}
+
+// analyticStats is the model-predicted eager cost: every node of the
+// graph fires once; every condensed node additionally evaporates,
+// firing its whole subgraph recursively.
+func analyticStats(tb testing.TB, lib *Library, g *Graph) Stats {
+	st := Stats{Fired: len(g.nodes)}
+	for _, n := range g.nodes {
+		if c, ok := n.Op.(*Condensed); ok {
+			sub, err := lib.Lookup(c.GraphName)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			s := analyticStats(tb, lib, sub)
+			st.Fired += s.Fired
+			st.Expanded += s.Expanded + 1
+		}
+	}
+	return st
+}
+
+// fedCondenser delegates condensed subgraphs to a fresh engine, as a
+// WebCom master hands them to a sub-master; when always is false it
+// delegates only even-numbered library graphs, exercising mixed
+// local/remote evaporation in one run.
+func fedCondenser(lib *Library, exec Executor, always bool) Condenser {
+	var c Condenser
+	c = func(ctx context.Context, t Task, op *Condensed, inputs map[string]string) (string, Stats, bool, error) {
+		if !always && (op.GraphName == "lib1" || op.GraphName == "root") {
+			return "", Stats{}, false, nil
+		}
+		sub, err := lib.Lookup(op.GraphName)
+		if err != nil {
+			return "", Stats{}, false, nil
+		}
+		inner := &Engine{Library: lib, Exec: exec, Condenser: c}
+		res, st, err := inner.Run(ctx, sub, inputs)
+		if err != nil {
+			return "", st, false, err
+		}
+		return res, st, true, nil
+	}
+	return c
+}
+
+func TestPropertyEvaluationStrategiesAgree(t *testing.T) {
+	distExec, stop := newDistExec(t)
+	defer stop()
+	ctx := context.Background()
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		lib, root := propLibrary(t, rng)
+		inputs := map[string]string{"x": strconv.Itoa(rng.Intn(10))}
+		want := analyticStats(t, lib, root)
+
+		eager := &Engine{Library: lib, Exec: propExec}
+		eagerRes, eagerStats, err := eager.Run(ctx, root, inputs)
+		if err != nil {
+			t.Fatalf("seed %d: eager: %v", seed, err)
+		}
+		if eagerStats != want {
+			t.Fatalf("seed %d: eager stats %+v, analytic %+v", seed, eagerStats, want)
+		}
+
+		lazy := &Engine{Mode: Lazy, Library: lib, Exec: propExec}
+		lazyRes, lazyStats, err := lazy.Run(ctx, root, inputs)
+		if err != nil {
+			t.Fatalf("seed %d: lazy: %v", seed, err)
+		}
+		if lazyRes != eagerRes {
+			t.Fatalf("seed %d: lazy %q != eager %q", seed, lazyRes, eagerRes)
+		}
+		if lazyStats.Fired > eagerStats.Fired || lazyStats.Expanded > eagerStats.Expanded {
+			t.Fatalf("seed %d: lazy stats %+v exceed eager %+v", seed, lazyStats, eagerStats)
+		}
+
+		dist := &Engine{Library: lib, Exec: distExec}
+		distRes, distStats, err := dist.Run(ctx, root, inputs)
+		if err != nil {
+			t.Fatalf("seed %d: distributed: %v", seed, err)
+		}
+		if distRes != eagerRes || distStats != eagerStats {
+			t.Fatalf("seed %d: distributed (%q, %+v) != eager (%q, %+v)",
+				seed, distRes, distStats, eagerRes, eagerStats)
+		}
+
+		for _, always := range []bool{true, false} {
+			fed := &Engine{Library: lib, Exec: distExec,
+				Condenser: fedCondenser(lib, distExec, always)}
+			fedRes, fedStats, err := fed.Run(ctx, root, inputs)
+			if err != nil {
+				t.Fatalf("seed %d: federated(always=%v): %v", seed, always, err)
+			}
+			if fedRes != eagerRes || fedStats != eagerStats {
+				t.Fatalf("seed %d: federated(always=%v) (%q, %+v) != eager (%q, %+v)",
+					seed, always, fedRes, fedStats, eagerRes, eagerStats)
+			}
+		}
+	}
+}

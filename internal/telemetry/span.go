@@ -138,6 +138,38 @@ func (t *Tracer) record(s *Span) {
 	}
 }
 
+// Ingest merges finished spans recorded by another process (or another
+// tracer) into this tracer's ring — the cross-tier half of trace
+// continuation: a WebCom client ships its spans back with each result,
+// and the master ingests them so one /traces query shows the connected
+// chain across every tier. Spans already present (by SpanID) are
+// skipped, so retried results cannot duplicate a chain. Safe on a nil
+// receiver.
+func (t *Tracer) Ingest(spans []Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := make(map[string]bool, len(t.ring))
+	for i := range t.ring {
+		seen[t.ring[i].SpanID] = true
+	}
+	for _, s := range spans {
+		if s.SpanID == "" || seen[s.SpanID] {
+			continue
+		}
+		seen[s.SpanID] = true
+		t.total++
+		if len(t.ring) < cap(t.ring) {
+			t.ring = append(t.ring, s)
+		} else {
+			t.ring[t.next] = s
+			t.next = (t.next + 1) % cap(t.ring)
+		}
+	}
+}
+
 // Spans returns the retained finished spans ordered by start time.
 // Safe on a nil receiver (returns nil).
 func (t *Tracer) Spans() []Span {

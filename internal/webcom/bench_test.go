@@ -26,6 +26,29 @@ func BenchmarkDispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkFederatedRun measures one two-tier federated evaluation: the
+// root delegates both condensed wing subgraphs (credential mint + lint +
+// wire transfer) to a sub-master that schedules them over two leaves.
+// Compare against BenchmarkDispatch to price a delegation hop relative
+// to a single flat task round trip.
+func BenchmarkFederatedRun(b *testing.B) {
+	env := newFedEnv(b, 1, 2, nil, nil, RetryPolicy{}, Liveness{})
+	lib := fedLibrary(b)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := fedRootGraph(b)
+		got, _, err := env.root.Run(ctx, &cg.Engine{Library: lib, Workers: 4}, g, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got != "40" {
+			b.Fatalf("result = %q, want 40", got)
+		}
+	}
+}
+
 // BenchmarkRunUnderFaults measures a 10-task condensed graph run across
 // 3 clients while faultnet injects a ~30% mixed fault load — the price
 // of riding through stalls, partitions, corruption and drops.

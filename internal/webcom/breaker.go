@@ -33,6 +33,26 @@ const (
 	breakerHalfOpen // one probe in flight
 )
 
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// currentState reads the breaker's state under its lock — the race-safe
+// accessor observers (Loads, tests asserting quarantine) must use
+// instead of peeking at the field.
+func (b *breaker) currentState() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
 func newBreaker(threshold int, quarantine time.Duration) *breaker {
 	return &breaker{threshold: threshold, quarantine: quarantine}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"securewebcom/internal/authz"
+	"securewebcom/internal/cg"
 	"securewebcom/internal/keynote"
 	"securewebcom/internal/keys"
 	"securewebcom/internal/middleware"
@@ -55,6 +56,15 @@ type Client struct {
 	// carry the master's trace/span IDs over the wire, so client spans
 	// continue the master's request-scoped chain.
 	Tracer *telemetry.Tracer
+	// Sub, when non-nil, makes this client a sub-master (the paper's
+	// Figure 3 recursion: a client that is itself a master). It announces
+	// the submaster role at handshake, accepts delegated condensed
+	// subgraphs — after independently re-linting the delegation
+	// credential against the received subgraph's vocabulary — and
+	// schedules them over Sub's own connected clients. Plain scheduled
+	// tasks are relayed through Sub's scheduler too, so a middle tier
+	// works under per-task dispatch as well as whole-subgraph delegation.
+	Sub *Master
 
 	engOnce sync.Once
 	eng     *authz.Engine
@@ -153,12 +163,17 @@ func (cl *Client) handshake(addr string) (*conn, error) {
 	for i, a := range cl.Credentials {
 		credTexts[i] = a.Text()
 	}
+	role := ""
+	if cl.Sub != nil {
+		role = roleSubmaster
+	}
 	if err := c.send(&msg{
 		Type:        msgHello,
 		Name:        cl.Name,
 		Principal:   cl.Key.PublicID(),
 		Sig:         cl.Key.Sign(handshakePayload("client", ch.Nonce, cl.Key.PublicID())),
 		Nonce:       counterNonce,
+		Role:        role,
 		Credentials: credTexts,
 	}); err != nil {
 		c.close()
@@ -346,6 +361,25 @@ func (cl *Client) serve(c *conn) {
 				if err != nil {
 					reply.Err = err.Error()
 				}
+				// Ship the finished spans of this task's trace back with
+				// the result so the tier above can merge them into one
+				// connected chain.
+				if m.TraceID != "" && cl.Tracer != nil {
+					reply.Spans = cl.Tracer.Trace(m.TraceID)
+				}
+				c.send(reply)
+			}(m)
+		case msgDelegate:
+			go func(m *msg) {
+				result, st, denied, err := cl.executeDelegate(m)
+				reply := &msg{Type: msgResult, TaskID: m.TaskID, Result: result,
+					Denied: denied, Fired: st.Fired, Expanded: st.Expanded}
+				if err != nil {
+					reply.Err = err.Error()
+				}
+				if m.TraceID != "" && cl.Tracer != nil {
+					reply.Spans = cl.Tracer.Trace(m.TraceID)
+				}
 				c.send(reply)
 			}(m)
 		}
@@ -395,6 +429,25 @@ func (cl *Client) execute(m *msg) (result string, denied bool, err error) {
 			out, err := fn(m.Args)
 			return out, false, err
 		}
+	}
+
+	// A sub-master relays plain tasks down to its own clients: the middle
+	// tier of a federation tree executes nothing itself, it re-schedules
+	// under its own policy. Denials below — the sub-master's policy
+	// refusing every client, or a leaf's own refusal — propagate as
+	// denials, not transport faults, so no tier above retries them.
+	if cl.Sub != nil {
+		t := cg.Task{Graph: "relay", NodeID: m.Op, OpName: m.Op, Args: m.Args, Annotations: m.Annotations}
+		out, err := cl.Sub.Executor()(ctx, t, &cg.Opaque{OpName: m.Op})
+		if err != nil {
+			if errors.Is(err, ErrTaskDenied) || errors.Is(err, ErrNoAuthorisedClient) {
+				cl.Tel.Counter("webcom.client.denials").Inc()
+				span.SetAttr("denied", "true")
+				return "", true, err
+			}
+			return "", false, err
+		}
+		return out, false, nil
 	}
 
 	// Middleware operation: op is "<ObjectType>.<operation>" and the

@@ -1,0 +1,148 @@
+package webcom
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"securewebcom/internal/authz"
+	"securewebcom/internal/cg"
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/telemetry"
+)
+
+// executeDelegate is the sub-master half of federation: admit a delegated
+// condensed subgraph, or refuse it. Admission is deliberately paranoid —
+// the parent already linted the delegation before sending, but this tier
+// re-derives the subgraph's vocabulary from the bytes it actually
+// received and re-lints the credential against that, so a parent (or an
+// impostor) shipping a credential wider than the subgraph, an unsigned
+// or forged credential, or a subgraph the client's own policy refuses,
+// is denied before any node fires. Denials are returned with denied=true
+// so the parent treats them as policy decisions, never transport faults.
+func (cl *Client) executeDelegate(m *msg) (result string, st cg.Stats, denied bool, err error) {
+	ctx := telemetry.WithTracer(context.Background(), cl.Tracer)
+	ctx, span := telemetry.StartRemoteSpan(ctx, "client.delegate", m.TraceID, m.SpanID)
+	defer span.Finish()
+	span.SetAttr("subgraph", m.Op)
+	cl.Tel.Counter("webcom.client.delegations").Inc()
+
+	deny := func(reason error) (string, cg.Stats, bool, error) {
+		cl.Tel.Counter("webcom.client.delegation.denied").Inc()
+		span.SetAttr("denied", "true")
+		return "", cg.Stats{}, true, reason
+	}
+
+	if cl.Sub == nil {
+		return deny(fmt.Errorf("webcom: client %s is not a sub-master", cl.Name))
+	}
+	cl.mu.Lock()
+	master := cl.master
+	masterCreds := cl.masterCreds
+	session := cl.session
+	cl.mu.Unlock()
+
+	// Reconstruct the subgraph from the received bytes (each graph is
+	// re-validated structurally) and derive the vocabulary the delegation
+	// credential must be scoped to — from what arrived, not from what the
+	// parent claims.
+	lib, g, err := cg.ImportClosure(m.Library, m.Op)
+	if err != nil {
+		return deny(fmt.Errorf("webcom: delegated subgraph rejected: %v", err))
+	}
+	ops, domains, err := cg.SubgraphVocabulary(lib, m.Op)
+	if err != nil {
+		return deny(fmt.Errorf("webcom: delegated subgraph rejected: %v", err))
+	}
+	scope := authz.DelegationScope{AppDomain: AppDomain, Operations: ops, Domains: domains}
+
+	// The delegation credential: parsed, signature-verified (through the
+	// authz session path when this client has a checker, directly
+	// otherwise), issued by the authenticated master, and licensing this
+	// client's key.
+	var delegCreds []*keynote.Assertion
+	for _, text := range m.Delegation {
+		a, err := keynote.Parse(text)
+		if err != nil {
+			return deny(fmt.Errorf("webcom: malformed delegation credential: %v", err))
+		}
+		delegCreds = append(delegCreds, a)
+	}
+	if len(delegCreds) == 0 {
+		return deny(errors.New("webcom: delegation carries no credential"))
+	}
+	if eng := cl.Engine(); eng != nil {
+		all := append(append([]*keynote.Assertion{}, masterCreds...), delegCreds...)
+		sess := eng.Session(all)
+		admitted := make(map[string]bool, len(sess.Admitted()))
+		for _, a := range sess.Admitted() {
+			admitted[a.Text()] = true
+		}
+		for _, a := range delegCreds {
+			if !admitted[a.Text()] {
+				return deny(fmt.Errorf("webcom: delegation credential from %q not admitted (bad signature?)", a.Authorizer))
+			}
+		}
+	} else {
+		for _, a := range delegCreds {
+			if err := a.VerifySignature(nil); err != nil {
+				return deny(fmt.Errorf("webcom: delegation credential rejected: %v", err))
+			}
+		}
+	}
+	head := delegCreds[0]
+	if head.Authorizer != master {
+		return deny(fmt.Errorf("webcom: delegation issued by %q, not the authenticated master", head.Authorizer))
+	}
+	licensed := false
+	for _, p := range head.LicenseePrincipals() {
+		if p == cl.Key.PublicID() {
+			licensed = true
+			break
+		}
+	}
+	if !licensed {
+		return deny(errors.New("webcom: delegation credential does not license this client"))
+	}
+	// Least privilege: the credential must be scoped to exactly this
+	// subgraph's vocabulary. A wider mint is PL003; out-of-vocabulary
+	// values are PL007. Either refuses the delegation.
+	if err := authz.ValidateDelegation(master, delegCreds, scope); err != nil {
+		return deny(err)
+	}
+
+	// L2, as for any scheduled task: this client's own policy must let the
+	// authenticated master schedule every operation the subgraph can fire.
+	if session != nil {
+		for _, op := range ops {
+			d, err := session.Decide(ctx, taskQuery(master, op, nil, nil))
+			if err != nil {
+				return "", cg.Stats{}, false, err
+			}
+			if !d.Allowed {
+				if !d.Trace.CacheHit {
+					cl.Audit().Record(master, op, d)
+				}
+				cl.Tel.Counter("webcom.client.denials").Inc()
+				return deny(fmt.Errorf("client policy refuses master for delegated op %s (denied by %s)", op, d.Trace.DeniedBy()))
+			}
+		}
+	}
+
+	// Evaluate the subgraph over this sub-master's own clients. The
+	// deadline bounds the evaluation even if the parent vanishes
+	// mid-subgraph, so no goroutine outlives the delegation for long.
+	rp := cl.Sub.Retry.withDefaults(cl.Sub.MaxAttempts)
+	ctx, cancel := context.WithTimeout(ctx, rp.DelegateTimeout)
+	defer cancel()
+	eng := &cg.Engine{Library: lib}
+	res, st, err := cl.Sub.Run(ctx, eng, g, m.Inputs)
+	if err != nil {
+		// A denial inside the subgraph stays an error (its message carries
+		// "denied" up the tiers); denied=false distinguishes it from this
+		// tier refusing the delegation itself.
+		return "", st, false, err
+	}
+	span.SetAttr("result", res)
+	return res, st, false, nil
+}

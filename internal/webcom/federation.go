@@ -1,0 +1,271 @@
+// Hierarchical federation: the paper's Figure 3 makes a WebCom client
+// "itself a master" — it receives a condensed node and schedules the
+// subgraph across its own clients under the same mutual authentication.
+// This file is the master half of that recursion: when the engine fires
+// a Condensed node, the master offers the whole subgraph to a connected
+// sub-master instead of evaporating it locally, provided
+//
+//   - the sub-master is authorised by this master's policy for every
+//     operation the subgraph can fire (decided through the cached authz
+//     session, like any task), and
+//   - delegating is cheaper than per-task dispatch under the current
+//     load picture (the sub-master's score vs. the best leaf's score
+//     times the subgraph's task count), and
+//   - a delegation credential can be minted scoped to exactly the
+//     subgraph's operation/domain vocabulary and the resulting chain
+//     lints clean (no PL003 widening) — enforced again, independently,
+//     by the receiving sub-master before it honours the delegation.
+//
+// Failure semantics: a dead, refusing or timing-out sub-master never
+// fails the run — the condenser reports "not handled" and the engine
+// falls back to local evaporation, where every task still crosses the
+// normal per-task authorisation path. Denials are never retried.
+package webcom
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"securewebcom/internal/authz"
+	"securewebcom/internal/cg"
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/telemetry"
+)
+
+// submasterCandidates returns live, breaker-admitted sub-master
+// connections authorised for every operation in ops, cheapest first.
+func (m *Master) submasterCandidates(ctx context.Context, ops []string, annotations map[string]string) []*masterClient {
+	m.mu.Lock()
+	all := make([]*masterClient, 0, len(m.clients))
+	for _, c := range m.clients {
+		if c.role == roleSubmaster {
+			all = append(all, c)
+		}
+	}
+	m.mu.Unlock()
+
+	now := time.Now()
+	var out []*masterClient
+	for _, c := range all {
+		if c.isDead() || !c.brk.allow(now) {
+			continue
+		}
+		if c.session != nil {
+			allowed := true
+			for _, op := range ops {
+				d, err := c.session.Decide(ctx, taskQuery(c.principal, op, annotations, nil))
+				if err != nil || !d.Allowed {
+					if err == nil && !d.Trace.CacheHit {
+						m.Audit().Record(c.name, op, d)
+					}
+					allowed = false
+					break
+				}
+			}
+			if !allowed {
+				continue
+			}
+		}
+		out = append(out, c)
+	}
+	return m.orderByLoad(out)
+}
+
+// bestLeafScore is the cheapest per-task score among live non-sub-master
+// clients, with ok=false when none is connected.
+func (m *Master) bestLeafScore() (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	best, ok := 0.0, false
+	for _, c := range m.clients {
+		if c.role == roleSubmaster || c.dead {
+			continue
+		}
+		s := c.load.score()
+		if !ok || s < best {
+			best, ok = s, true
+		}
+	}
+	return best, ok
+}
+
+// Condenser returns the cg.Condenser that delegates whole condensed
+// subgraphs to authorised sub-masters. Master.Run installs it whenever
+// the engine evaluates with a graph library.
+func (m *Master) Condenser(lib *cg.Library) cg.Condenser {
+	rp := m.Retry.withDefaults(m.MaxAttempts)
+	return func(ctx context.Context, t cg.Task, op *cg.Condensed, inputs map[string]string) (string, cg.Stats, bool, error) {
+		ops, domains, err := cg.SubgraphVocabulary(lib, op.GraphName)
+		if err != nil || len(ops) == 0 {
+			// Nothing remotely schedulable in the subgraph (or it cannot
+			// be resolved here): evaporate locally.
+			return "", cg.Stats{}, false, nil
+		}
+		cands := m.submasterCandidates(ctx, ops, t.Annotations)
+		if len(cands) == 0 {
+			return "", cg.Stats{}, false, nil
+		}
+		// Load-aware preference: delegating one subgraph costs one
+		// sub-master slot; dispatching it flat costs one leaf slot per
+		// opaque task. Delegate when the cheapest sub-master undercuts
+		// the cheapest leaf scaled by the task count (and always when no
+		// leaves are connected at all).
+		nTasks, err := cg.OpaqueCount(lib, op.GraphName)
+		if err != nil {
+			return "", cg.Stats{}, false, nil
+		}
+		if leaf, ok := m.bestLeafScore(); ok {
+			if !loadTied(cands[0].load.score(), leaf*float64(nTasks)) {
+				return "", cg.Stats{}, false, nil
+			}
+		}
+
+		closure, err := cg.ExportClosure(lib, op.GraphName)
+		if err != nil {
+			return "", cg.Stats{}, false, nil
+		}
+		scope := authz.DelegationScope{AppDomain: AppDomain, Operations: ops, Domains: domains}
+
+		ctx, span := telemetry.StartSpan(ctx, "webcom.delegate")
+		defer span.Finish()
+		span.SetAttr("subgraph", op.GraphName)
+
+		var lastErr error
+		for _, c := range cands {
+			// Mint per candidate: the credential licenses exactly this
+			// sub-master's principal for exactly this subgraph's
+			// vocabulary. Lint the chain before trusting it to the wire;
+			// the sub-master re-lints on receipt.
+			deleg, err := authz.MintScopedDelegation(m.Key, c.principal, scope)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if err := authz.ValidateDelegation(m.Key.PublicID(), []*keynote.Assertion{deleg}, scope); err != nil {
+				lastErr = err
+				continue
+			}
+			m.Tel.Counter("webcom.delegate.total").Inc()
+			res, err := m.dispatchDelegate(ctx, c, op.GraphName, closure, inputs, deleg, rp)
+			if err != nil {
+				c.brk.failure(time.Now())
+				m.Tel.Counter("webcom.delegate.failures").Inc()
+				lastErr = err
+				if ctx.Err() != nil {
+					return "", cg.Stats{}, false, ctx.Err()
+				}
+				continue
+			}
+			c.brk.success()
+			if res.Denied {
+				// The sub-master's own policy (or its lint of our
+				// credential) refused the delegation. A policy decision:
+				// don't shop the subgraph around, evaporate locally where
+				// per-task authorisation still governs every firing.
+				m.Tel.Counter("webcom.delegate.denied").Inc()
+				span.SetAttr("denied", "true")
+				return "", cg.Stats{}, false, nil
+			}
+			if res.Err != "" {
+				lastErr = errors.New(res.Err)
+				if strings.Contains(res.Err, "denied") {
+					// A task inside the subgraph was denied at a lower
+					// tier; local evaporation would deny it identically,
+					// so surface the denial instead of retrying.
+					return "", cg.Stats{}, true, fmt.Errorf("%w: delegated subgraph %s on %s: %s",
+						ErrTaskDenied, op.GraphName, c.name, res.Err)
+				}
+				continue
+			}
+			span.SetAttr("submaster", c.name)
+			return res.Result, cg.Stats{Fired: res.Fired, Expanded: res.Expanded}, true, nil
+		}
+		// Every sub-master failed transport-wise: fall back to local
+		// evaporation so the run survives a dying sub-tier.
+		if lastErr != nil {
+			span.SetAttr("fallback", lastErr.Error())
+		}
+		return "", cg.Stats{}, false, nil
+	}
+}
+
+// dispatchDelegate ships one condensed subgraph to a sub-master and
+// awaits the exit value, bounded by the delegate deadline and the
+// sub-master's in-flight slots.
+func (m *Master) dispatchDelegate(ctx context.Context, c *masterClient, entry string,
+	closure map[string]json.RawMessage, inputs map[string]string, deleg *keynote.Assertion, rp RetryPolicy) (*msg, error) {
+	ctx, cancel := context.WithTimeout(ctx, rp.DelegateTimeout)
+	defer cancel()
+
+	ctx, span := telemetry.StartSpan(ctx, "webcom.delegate.dispatch")
+	defer span.Finish()
+	span.SetAttr("submaster", c.name)
+	start := time.Now()
+	c.load.begin()
+	defer func() {
+		d := time.Since(start)
+		c.load.end(d)
+		m.Tel.Histogram("webcom.delegate.latency").ObserveDuration(d)
+	}()
+
+	select {
+	case c.sem <- struct{}{}:
+		defer func() { <-c.sem }()
+	case <-c.died:
+		return nil, errors.New("webcom: client connection lost")
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+
+	m.mu.Lock()
+	m.nextID++
+	id := m.nextID
+	m.mu.Unlock()
+
+	ch := make(chan *msg, 1)
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return nil, errors.New("webcom: client connection lost")
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	del := &msg{
+		Type:       msgDelegate,
+		TaskID:     id,
+		Op:         entry,
+		Library:    closure,
+		Inputs:     inputs,
+		Delegation: []string{deleg.Text()},
+	}
+	if span != nil {
+		del.TraceID = span.TraceID
+		del.SpanID = span.SpanID
+	}
+	if err := c.conn.send(del); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case r := <-ch:
+		if r.Err != "" && strings.Contains(r.Err, "connection lost") {
+			return nil, errors.New(r.Err)
+		}
+		if len(r.Spans) > 0 {
+			telemetry.TracerFrom(ctx).Ingest(r.Spans)
+		}
+		return r, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}

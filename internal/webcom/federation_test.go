@@ -1,0 +1,684 @@
+package webcom
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"securewebcom/internal/authz"
+	"securewebcom/internal/cg"
+	"securewebcom/internal/faultnet"
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/telemetry"
+)
+
+// fedEnv is a federation tree: a root master whose only clients are
+// sub-masters, each sub-master running an embedded master over its own
+// pool of leaf clients. Every tier mutually authenticates; every leaf's
+// own policy denies the op "forbidden".
+type fedEnv struct {
+	root          *Master
+	rootTel       *telemetry.Registry
+	rootTracer    *telemetry.Tracer
+	subs          []*Client
+	subMasters    []*Master
+	leaves        []*Client
+	forbiddenRuns atomic.Int64
+}
+
+// connectRetrying dials until the handshake survives the (possibly
+// faulty) transport.
+func connectRetrying(tb testing.TB, cl *Client, addr string) {
+	tb.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if err := cl.Connect(addr); err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			tb.Fatalf("client %s could not complete a handshake in 20s", cl.Name)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// newFedEnv builds a root master with nSubs sub-masters, each serving
+// leavesPerSub leaf clients. rootInj/subInj, when non-nil, interpose
+// faultnet on the root's and every sub-master's listener respectively.
+func newFedEnv(tb testing.TB, nSubs, leavesPerSub int, rootInj, subInj *faultnet.Injector, retry RetryPolicy, live Liveness) *fedEnv {
+	tb.Helper()
+	const seed = "webcom-fed"
+	env := &fedEnv{rootTel: telemetry.NewRegistry(), rootTracer: telemetry.NewTracer(4096)}
+	ks := keys.NewKeyStore()
+	rootKey := keys.Deterministic("Kroot", seed)
+	ks.Add(rootKey)
+
+	var rootPolicy []*keynote.Assertion
+	subKeys := make([]*keys.KeyPair, nSubs)
+	for i := range subKeys {
+		subKeys[i] = keys.Deterministic(fmt.Sprintf("KS%d", i), seed)
+		ks.Add(subKeys[i])
+		rootPolicy = append(rootPolicy, keynote.MustNew(
+			"POLICY", fmt.Sprintf("%q", subKeys[i].PublicID()), `app_domain=="WebCom";`))
+	}
+	rootChk, err := keynote.NewChecker(rootPolicy, keynote.WithResolver(ks))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	env.root = NewMaster(rootKey, rootChk, nil, ks)
+	env.root.Retry = retry
+	env.root.Live = live
+	env.root.Tel = env.rootTel
+	env.root.Tracer = env.rootTracer
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if rootInj != nil {
+		env.root.Serve(rootInj.Listener(ln))
+	} else {
+		env.root.Serve(ln)
+	}
+	tb.Cleanup(func() { env.root.Close() })
+
+	for i := 0; i < nSubs; i++ {
+		subKey := subKeys[i]
+		// The sub-master's embedded master: its policy trusts its own
+		// leaf clients for every WebCom operation.
+		var subPolicy []*keynote.Assertion
+		leafKeys := make([]*keys.KeyPair, leavesPerSub)
+		for j := range leafKeys {
+			leafKeys[j] = keys.Deterministic(fmt.Sprintf("KS%dL%d", i, j), seed)
+			ks.Add(leafKeys[j])
+			subPolicy = append(subPolicy, keynote.MustNew(
+				"POLICY", fmt.Sprintf("%q", leafKeys[j].PublicID()), `app_domain=="WebCom";`))
+		}
+		subChk, err := keynote.NewChecker(subPolicy, keynote.WithResolver(ks))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		subM := NewMaster(subKey, subChk, nil, ks)
+		subM.Retry = retry
+		subM.Live = live
+		subLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if subInj != nil {
+			subM.Serve(subInj.Listener(subLn))
+		} else {
+			subM.Serve(subLn)
+		}
+		tb.Cleanup(func() { subM.Close() })
+		env.subMasters = append(env.subMasters, subM)
+
+		// The sub-master client: trusts the root for everything, shares
+		// the embedded master's tracer context so the whole sub-tier
+		// contributes to one span chain.
+		subCliChk, err := keynote.NewChecker([]*keynote.Assertion{keynote.MustNew(
+			"POLICY", fmt.Sprintf("%q", rootKey.PublicID()), `app_domain=="WebCom";`)},
+			keynote.WithResolver(ks))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		sub := &Client{
+			Name:    fmt.Sprintf("S%d", i),
+			Key:     subKey,
+			Checker: subCliChk,
+			Sub:     subM,
+			Live:    live,
+			Tracer:  telemetry.NewTracer(4096),
+			Reconnect: ReconnectPolicy{Enabled: true, MaxAttempts: -1,
+				BaseBackoff: 10 * time.Millisecond, MaxBackoff: 100 * time.Millisecond},
+		}
+		env.subs = append(env.subs, sub)
+
+		// Leaf clients: deny "forbidden" by their own policy, execute
+		// "double" locally.
+		for j := 0; j < leavesPerSub; j++ {
+			leafChk, err := keynote.NewChecker([]*keynote.Assertion{keynote.MustNew(
+				"POLICY", fmt.Sprintf("%q", subKey.PublicID()),
+				`app_domain=="WebCom" && operation != "forbidden";`)},
+				keynote.WithResolver(ks))
+			if err != nil {
+				tb.Fatal(err)
+			}
+			leaf := &Client{
+				Name:    fmt.Sprintf("S%dL%d", i, j),
+				Key:     leafKeys[j],
+				Checker: leafChk,
+				Local: map[string]func([]string) (string, error){
+					"double": func(args []string) (string, error) {
+						n, err := strconv.Atoi(args[0])
+						if err != nil {
+							return "", err
+						}
+						return strconv.Itoa(2 * n), nil
+					},
+					"forbidden": func([]string) (string, error) {
+						env.forbiddenRuns.Add(1)
+						return "must never run", nil
+					},
+				},
+				Live:   live,
+				Tracer: telemetry.NewTracer(4096),
+				Reconnect: ReconnectPolicy{Enabled: true, MaxAttempts: -1,
+					BaseBackoff: 10 * time.Millisecond, MaxBackoff: 100 * time.Millisecond},
+			}
+			env.leaves = append(env.leaves, leaf)
+			connectRetrying(tb, leaf, subM.Addr())
+			tb.Cleanup(func() { leaf.Close() })
+		}
+		waitN(tb, subM, leavesPerSub)
+		connectRetrying(tb, sub, env.root.Addr())
+		tb.Cleanup(func() { sub.Close() })
+	}
+	waitN(tb, env.root, nSubs)
+	return env
+}
+
+// fedLibrary defines wing(x) = double(x) + double(5).
+func fedLibrary(tb testing.TB) *cg.Library {
+	tb.Helper()
+	lib := cg.NewLibrary()
+	w := cg.NewGraph("wing")
+	w.MustAddNode("dx", &cg.Opaque{OpName: "double", OpArity: 1})
+	w.MustAddNode("d5", &cg.Opaque{OpName: "double", OpArity: 1})
+	w.MustAddNode("sum", cg.Add())
+	if err := w.BindInput("x", "dx", 0); err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.SetConst("d5", 0, "5"); err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.Connect("dx", "sum", 0); err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.Connect("d5", "sum", 1); err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.SetExit("sum"); err != nil {
+		tb.Fatal(err)
+	}
+	if err := lib.Define(w); err != nil {
+		tb.Fatal(err)
+	}
+	return lib
+}
+
+// fedRootGraph builds main = wing(3) + wing(7): two condensed nodes the
+// root can delegate whole, feeding one local add. Expected value 40.
+func fedRootGraph(tb testing.TB) *cg.Graph {
+	tb.Helper()
+	g := cg.NewGraph("main")
+	g.MustAddNode("w1", &cg.Condensed{GraphName: "wing", ArityHint: 1})
+	g.MustAddNode("w2", &cg.Condensed{GraphName: "wing", ArityHint: 1})
+	g.MustAddNode("total", cg.Add())
+	if err := g.SetConst("w1", 0, "3"); err != nil {
+		tb.Fatal(err)
+	}
+	if err := g.SetConst("w2", 0, "7"); err != nil {
+		tb.Fatal(err)
+	}
+	if err := g.Connect("w1", "total", 0); err != nil {
+		tb.Fatal(err)
+	}
+	if err := g.Connect("w2", "total", 1); err != nil {
+		tb.Fatal(err)
+	}
+	if err := g.SetExit("total"); err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+// flatEval evaluates the same application single-master, executing
+// "double" in-process — the ground truth a federated run must match.
+func flatEval(tb testing.TB, lib *cg.Library, g *cg.Graph) (string, cg.Stats) {
+	tb.Helper()
+	eng := &cg.Engine{Library: lib, Workers: 4,
+		Exec: func(ctx context.Context, t cg.Task, op cg.Operator) (string, error) {
+			if t.OpName == "double" {
+				n, err := strconv.Atoi(t.Args[0])
+				if err != nil {
+					return "", err
+				}
+				return strconv.Itoa(2 * n), nil
+			}
+			return cg.LocalExecutor(ctx, t, op)
+		}}
+	res, stats, err := eng.Run(context.Background(), g, nil)
+	if err != nil {
+		tb.Fatalf("flat evaluation failed: %v", err)
+	}
+	return res, stats
+}
+
+// TestFederatedDelegationMatchesFlatEvaluation is the two-tier e2e
+// acceptance test: under fault injection (latency on the root tier), the
+// root delegates whole condensed subgraphs to a sub-master, leaves
+// evaluate them, and the root's result and stats equal single-master
+// evaluation. The trace for one leaf task must be a single connected
+// span chain root -> sub-master -> leaf, retrievable from the root's
+// /traces endpoint.
+func TestFederatedDelegationMatchesFlatEvaluation(t *testing.T) {
+	leakCheck(t)
+	inj := faultnet.New(faultnet.Config{
+		Seed: 7, PLatency: 0.6, MaxLatency: 3 * time.Millisecond, TriggerBytes: 128,
+	})
+	env := newFedEnv(t, 1, 2, inj, nil, fastRetry(), fastLive())
+	lib := fedLibrary(t)
+	want, wantStats := flatEval(t, lib, fedRootGraph(t))
+	if want != "40" {
+		t.Fatalf("flat evaluation = %q, want 40", want)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	got, stats, err := env.root.Run(ctx, &cg.Engine{Library: lib, Workers: 4}, fedRootGraph(t), nil)
+	if err != nil {
+		t.Fatalf("federated run: %v", err)
+	}
+	if got != want {
+		t.Fatalf("federated result = %q, flat evaluation = %q", got, want)
+	}
+	if stats != wantStats {
+		t.Fatalf("federated stats = %+v, flat stats = %+v", stats, wantStats)
+	}
+
+	snap := env.rootTel.Snapshot()
+	if n := snap.Counters["webcom.delegate.total"]; n < 1 {
+		t.Fatalf("no delegation happened (webcom.delegate.total = %d)", n)
+	}
+	if n := snap.Counters["webcom.delegate.denied"]; n != 0 {
+		t.Fatalf("webcom.delegate.denied = %d, want 0", n)
+	}
+	if st := inj.Stats(); st.Wrapped < 1 {
+		t.Fatalf("fault injector saw no connections")
+	}
+
+	// The acceptance bar for tracing: fetch the run's trace from the
+	// root's /traces endpoint and walk one leaf execution up to the root
+	// span — every hop must resolve, crossing client.delegate (the
+	// sub-master) and webcom.delegate (the root's delegation decision).
+	srv := httptest.NewServer(telemetry.NewHandler(env.rootTel, env.rootTracer, nil))
+	defer srv.Close()
+	var traceID string
+	for _, s := range env.rootTracer.Spans() {
+		if s.Name == "webcom.delegate" {
+			traceID = s.TraceID
+			break
+		}
+	}
+	if traceID == "" {
+		t.Fatal("no webcom.delegate span recorded at the root")
+	}
+	resp, err := http.Get(srv.URL + "/traces?trace=" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var page struct {
+		Spans []telemetry.Span `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatalf("decode /traces: %v", err)
+	}
+	spans := page.Spans
+	byID := make(map[string]telemetry.Span, len(spans))
+	for _, s := range spans {
+		byID[s.SpanID] = s
+	}
+	var leaf *telemetry.Span
+	for i := range spans {
+		if spans[i].Name == "client.execute" {
+			leaf = &spans[i]
+			break
+		}
+	}
+	if leaf == nil {
+		t.Fatalf("no leaf client.execute span in the root's trace (%d spans)", len(spans))
+	}
+	visited := map[string]bool{}
+	hops := map[string]bool{}
+	cur := *leaf
+	for cur.ParentID != "" {
+		if visited[cur.SpanID] {
+			t.Fatalf("span chain cycles at %s", cur.SpanID)
+		}
+		visited[cur.SpanID] = true
+		hops[cur.Name] = true
+		parent, ok := byID[cur.ParentID]
+		if !ok {
+			t.Fatalf("span chain broken: %s (%s) has unresolved parent %s",
+				cur.Name, cur.SpanID, cur.ParentID)
+		}
+		cur = parent
+	}
+	hops[cur.Name] = true
+	for _, must := range []string{"client.execute", "client.delegate", "webcom.delegate", "cg.run"} {
+		if !hops[must] {
+			t.Fatalf("span chain from leaf to root misses %q; walked %v", must, hops)
+		}
+	}
+}
+
+// TestFederationChaosTree soaks a three-tier tree — one root, two
+// sub-masters, four leaves — under injected drops, stalls and latency on
+// both the root's and the sub-masters' listeners. Every run must produce
+// the single-master exit value, a policy-denied op must never execute at
+// any tier, and (via leakCheck) no goroutine may outlive the tree.
+func TestFederationChaosTree(t *testing.T) {
+	leakCheck(t)
+	rootInj := faultnet.New(faultnet.Config{
+		Seed: 21, PLatency: 0.3, PDrop: 0.1, PStall: 0.05,
+		MaxLatency: 2 * time.Millisecond, TriggerBytes: 2048,
+	})
+	subInj := faultnet.New(faultnet.Config{
+		Seed: 22, PLatency: 0.3, PDrop: 0.1, PStall: 0.05,
+		MaxLatency: 2 * time.Millisecond, TriggerBytes: 2048,
+	})
+	retry := fastRetry()
+	retry.DelegateTimeout = 3 * time.Second
+	env := newFedEnv(t, 2, 2, rootInj, subInj, retry, fastLive())
+	lib := fedLibrary(t)
+	want, _ := flatEval(t, lib, fedRootGraph(t))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		got, _, err := env.root.Run(ctx, &cg.Engine{Library: lib, Workers: 4}, fedRootGraph(t), nil)
+		if err != nil {
+			t.Fatalf("run %d under faults: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("run %d under faults = %q, flat evaluation = %q", i, got, want)
+		}
+	}
+
+	if _, err := runOpaque(ctx, env.root, "forbidden"); err == nil {
+		t.Fatal("forbidden op succeeded across the faulty tree")
+	} else if !strings.Contains(err.Error(), "denied") {
+		t.Fatalf("forbidden op failed for the wrong reason: %v", err)
+	}
+	if n := env.forbiddenRuns.Load(); n != 0 {
+		t.Fatalf("policy-denied op executed %d times under faults", n)
+	}
+
+	if st := rootInj.Stats(); st.Wrapped < 2 {
+		t.Fatalf("root tier saw only %d connections", st.Wrapped)
+	}
+	if st := subInj.Stats(); st.Wrapped < 4 {
+		t.Fatalf("sub tier saw only %d connections", st.Wrapped)
+	}
+}
+
+// TestSubmasterRelaysPlainTasks: a root whose only clients are
+// sub-masters can still run plain opaque tasks — the sub-master relays
+// them to its own leaves instead of executing (or refusing) them itself.
+func TestSubmasterRelaysPlainTasks(t *testing.T) {
+	leakCheck(t)
+	env := newFedEnv(t, 1, 2, nil, nil, fastRetry(), fastLive())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	got, err := runOpaque(ctx, env.root, "double", "21")
+	if err != nil {
+		t.Fatalf("relayed task: %v", err)
+	}
+	if got != "42" {
+		t.Fatalf("relayed task = %q, want 42", got)
+	}
+}
+
+// TestFederatedDenialNeverExecutes: a leaf-policy-denied op scheduled at
+// the root crosses two tiers and must surface as a denial — never a
+// retry storm, never an execution.
+func TestFederatedDenialNeverExecutes(t *testing.T) {
+	leakCheck(t)
+	env := newFedEnv(t, 1, 2, nil, nil, fastRetry(), fastLive())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err := runOpaque(ctx, env.root, "forbidden")
+	if err == nil {
+		t.Fatal("forbidden op succeeded across tiers")
+	}
+	if !strings.Contains(err.Error(), "denied") {
+		t.Fatalf("forbidden op failed for the wrong reason: %v", err)
+	}
+	if n := env.forbiddenRuns.Load(); n != 0 {
+		t.Fatalf("policy-denied op executed %d times", n)
+	}
+}
+
+// delegateMsg builds a delegate message for the wing subgraph carrying
+// the given credentials.
+func delegateMsg(tb testing.TB, creds ...*keynote.Assertion) *msg {
+	tb.Helper()
+	lib := fedLibrary(tb)
+	closure, err := cg.ExportClosure(lib, "wing")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	texts := make([]string, len(creds))
+	for i, a := range creds {
+		texts[i] = a.Text()
+	}
+	return &msg{Type: msgDelegate, TaskID: 1, Op: "wing",
+		Library: closure, Inputs: map[string]string{"x": "3"}, Delegation: texts}
+}
+
+// TestExecuteDelegateAdmission drives the sub-master's admission checks
+// directly: a correctly scoped credential is honoured; a widened, forged,
+// foreign-issuer or wrong-licensee credential is denied before any node
+// fires.
+func TestExecuteDelegateAdmission(t *testing.T) {
+	leakCheck(t)
+	env := newFedEnv(t, 1, 1, nil, nil, fastRetry(), fastLive())
+	sub := env.subs[0]
+	rootKey := keys.Deterministic("Kroot", "webcom-fed")
+	scope := authz.DelegationScope{AppDomain: AppDomain, Operations: []string{"double"}}
+
+	t.Run("scoped credential honoured", func(t *testing.T) {
+		deleg, err := authz.MintScopedDelegation(rootKey, sub.Key.PublicID(), scope)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, st, denied, err := sub.executeDelegate(delegateMsg(t, deleg))
+		if err != nil || denied {
+			t.Fatalf("valid delegation refused: denied=%v err=%v", denied, err)
+		}
+		if res != "16" { // wing(3) = 6 + 10
+			t.Fatalf("delegated wing(3) = %q, want 16", res)
+		}
+		if st.Fired == 0 {
+			t.Fatalf("no firings reported for delegated subgraph: %+v", st)
+		}
+	})
+
+	t.Run("widened credential is PL003-denied", func(t *testing.T) {
+		wide := authz.DelegationScope{AppDomain: AppDomain,
+			Operations: []string{"double", "Payroll.raise"}}
+		deleg, err := authz.MintScopedDelegation(rootKey, sub.Key.PublicID(), wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, denied, err := sub.executeDelegate(delegateMsg(t, deleg))
+		if !denied {
+			t.Fatalf("widened delegation admitted: err=%v", err)
+		}
+		if err == nil || !strings.Contains(err.Error(), "PL003") {
+			t.Fatalf("widened delegation denied without a PL003 finding: %v", err)
+		}
+		if n := env.forbiddenRuns.Load(); n != 0 {
+			t.Fatal("denied delegation reached a leaf")
+		}
+	})
+
+	t.Run("forged signature denied", func(t *testing.T) {
+		deleg, err := authz.MintScopedDelegation(rootKey, sub.Key.PublicID(), scope)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forged, err := keynote.Parse(deleg.Text())
+		if err != nil {
+			t.Fatal(err)
+		}
+		forged.Signature = "sig-ed25519:" + strings.Repeat("00", 64)
+		_, _, denied, err := sub.executeDelegate(delegateMsg(t, forged))
+		if !denied {
+			t.Fatalf("forged delegation admitted: err=%v", err)
+		}
+	})
+
+	t.Run("foreign issuer denied", func(t *testing.T) {
+		stranger := keys.Deterministic("Kstranger", "webcom-fed")
+		deleg, err := authz.MintScopedDelegation(stranger, sub.Key.PublicID(), scope)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, denied, err := sub.executeDelegate(delegateMsg(t, deleg))
+		if !denied {
+			t.Fatalf("delegation from a non-master issuer admitted: err=%v", err)
+		}
+	})
+
+	t.Run("wrong licensee denied", func(t *testing.T) {
+		other := keys.Deterministic("Kother", "webcom-fed")
+		deleg, err := authz.MintScopedDelegation(rootKey, other.PublicID(), scope)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, denied, err := sub.executeDelegate(delegateMsg(t, deleg))
+		if !denied {
+			t.Fatalf("delegation licensing another principal admitted: err=%v", err)
+		}
+	})
+
+	t.Run("no credential denied", func(t *testing.T) {
+		_, _, denied, _ := sub.executeDelegate(delegateMsg(t))
+		if !denied {
+			t.Fatal("credential-less delegation admitted")
+		}
+	})
+}
+
+// TestLoadAwarePlacementPrefersCheapClient: with one slow and one fast
+// authorised client, the scheduler's EWMA x in-flight score must route
+// nearly all tasks to the fast one once both are sampled.
+func TestLoadAwarePlacementPrefersCheapClient(t *testing.T) {
+	leakCheck(t)
+	m, ks := newMasterFixture(t, "fast", "slow")
+	if err := m.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+
+	mk := func(name string, delay time.Duration) *Client {
+		return trustingClient(t, ks, name, map[string]func([]string) (string, error){
+			"work": func([]string) (string, error) {
+				time.Sleep(delay)
+				return name, nil
+			},
+		})
+	}
+	fast := mk("fast", time.Millisecond)
+	slow := mk("slow", 80*time.Millisecond)
+	for _, cl := range []*Client{fast, slow} {
+		if err := cl.Connect(m.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		cl := cl
+		t.Cleanup(func() { cl.Close() })
+	}
+	waitN(t, m, 2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	counts := map[string]int{}
+	for i := 0; i < 24; i++ {
+		got, err := runOpaque(ctx, m, "work")
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[got]++
+	}
+	// The first few dispatches round-robin (both unsampled); after that
+	// the 80x latency gap must dominate placement.
+	if counts["fast"] < 18 {
+		t.Fatalf("load-aware placement sent only %d/24 tasks to the fast client (%v)", counts["fast"], counts)
+	}
+
+	loads := m.Loads()
+	if len(loads) != 2 {
+		t.Fatalf("Loads() = %d entries, want 2", len(loads))
+	}
+	byName := map[string]ClientLoad{}
+	for _, l := range loads {
+		byName[l.Name] = l
+	}
+	if byName["slow"].Score <= byName["fast"].Score {
+		t.Fatalf("slow client scored %.4f <= fast %.4f", byName["slow"].Score, byName["fast"].Score)
+	}
+	if byName["fast"].Samples == 0 || byName["slow"].Samples == 0 {
+		t.Fatalf("load snapshot missing samples: %+v", loads)
+	}
+}
+
+// TestSnapshotAccessorsRaceSafeUnderReconnect hammers the master's
+// observer APIs (Clients, Loads, breaker states) while a client
+// connects, works and disconnects repeatedly. The race detector turns
+// any unlocked access into a failure.
+func TestSnapshotAccessorsRaceSafeUnderReconnect(t *testing.T) {
+	leakCheck(t)
+	m, ks := newMasterFixture(t, "X")
+	if err := m.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.Clients()
+				for _, l := range m.Loads() {
+					_ = l.Breaker
+				}
+			}
+		}()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		cl := trustingClient(t, ks, "X", map[string]func([]string) (string, error){"echo": echoOp})
+		if err := cl.Connect(m.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		waitN(t, m, 1)
+		if got, err := runOpaque(ctx, m, "echo", "hi"); err != nil || got != "hi" {
+			t.Fatalf("round %d: %q, %v", i, got, err)
+		}
+		cl.Close()
+	}
+	close(stop)
+	wg.Wait()
+}

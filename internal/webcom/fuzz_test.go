@@ -1,0 +1,91 @@
+package webcom
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"securewebcom/internal/authz"
+	"securewebcom/internal/cg"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/telemetry"
+)
+
+// fuzzSeedMsgs builds one representative message per protocol phase —
+// the same shapes a recorded master/sub-master/leaf session produces,
+// including a real delegate payload with an exported closure and a
+// minted, linted delegation credential.
+func fuzzSeedMsgs(tb testing.TB) []*msg {
+	tb.Helper()
+	kp := keys.Deterministic("Kfuzz", "webcom-fuzz")
+	deleg, err := authz.MintScopedDelegation(kp, kp.PublicID(), authz.DelegationScope{
+		AppDomain: AppDomain, Operations: []string{"double"},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	lib := fedLibrary(tb)
+	closure, err := cg.ExportClosure(lib, "wing")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	return []*msg{
+		{Type: msgChallenge, Nonce: "6e6f6e6365", Principal: kp.PublicID()},
+		{Type: msgHello, Name: "S0", Role: roleSubmaster, Principal: kp.PublicID(),
+			Nonce: "726573706f6e6365", Sig: "sig-ed25519:00ff", Credentials: []string{deleg.Text()}},
+		{Type: msgWelcome, Name: "master"},
+		{Type: msgReject, Err: "handshake refused"},
+		{Type: msgSchedule, TaskID: 7, Op: "double", Args: []string{"21"},
+			Annotations: map[string]string{"Domain": "Payroll", "Role": "clerk"},
+			TraceID:     "t-1", SpanID: "s-1"},
+		{Type: msgDelegate, TaskID: 8, Op: "wing", Library: closure,
+			Inputs: map[string]string{"x": "3"}, Delegation: []string{deleg.Text()},
+			TraceID: "t-1", SpanID: "s-2"},
+		{Type: msgResult, TaskID: 8, Result: "16", Fired: 3, Expanded: 0,
+			Spans: []telemetry.Span{{TraceID: "t-1", SpanID: "s-3", ParentID: "s-2",
+				Name: "client.execute", Start: now, End: now.Add(time.Millisecond),
+				Attrs: map[string]string{"op": "double"}}}},
+		{Type: msgResult, TaskID: 9, Denied: true, Err: "task denied by policy"},
+		{Type: msgPing},
+		{Type: msgPong},
+	}
+}
+
+// FuzzMsgDecode hardens the wire protocol against hostile peers: any
+// byte string either fails to decode or yields a message whose
+// re-encoding is a fixed point (encode∘decode∘encode == encode), so a
+// relaying tier can never mutate a message by round-tripping it. It
+// must never panic — every field, including the delegate closure and
+// span payloads, is attacker-controlled before authentication completes.
+func FuzzMsgDecode(f *testing.F) {
+	for _, m := range fuzzSeedMsgs(f) {
+		b, err := json.Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m msg
+		if err := json.Unmarshal(data, &m); err != nil {
+			return
+		}
+		enc1, err := json.Marshal(&m)
+		if err != nil {
+			t.Fatalf("decoded message does not re-encode: %v", err)
+		}
+		var m2 msg
+		if err := json.Unmarshal(enc1, &m2); err != nil {
+			t.Fatalf("re-encoded message does not decode: %v\n%s", err, enc1)
+		}
+		enc2, err := json.Marshal(&m2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("round trip is not a fixed point:\n%s\n%s", enc1, enc2)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package webcom
+
+import (
+	"sync"
+	"time"
+)
+
+// loadTracker keeps a per-client view of scheduling cost: how many
+// dispatches are in flight right now and an exponentially weighted
+// moving average of dispatch latency, observed at the same point as the
+// webcom.dispatch.latency telemetry histogram. The scheduler combines
+// the two into a score — expected seconds of queueing a new task behind
+// this client — and prefers the least-loaded authorised candidates.
+type loadTracker struct {
+	mu       sync.Mutex
+	inflight int
+	ewma     float64 // seconds
+	samples  int
+}
+
+// ewmaAlpha weights new latency samples; ~0.3 follows load shifts within
+// a handful of dispatches without thrashing on one outlier.
+const ewmaAlpha = 0.3
+
+func (lt *loadTracker) begin() {
+	lt.mu.Lock()
+	lt.inflight++
+	lt.mu.Unlock()
+}
+
+func (lt *loadTracker) end(d time.Duration) {
+	s := d.Seconds()
+	lt.mu.Lock()
+	if lt.inflight > 0 {
+		lt.inflight--
+	}
+	if lt.samples == 0 {
+		lt.ewma = s
+	} else {
+		lt.ewma = ewmaAlpha*s + (1-ewmaAlpha)*lt.ewma
+	}
+	lt.samples++
+	lt.mu.Unlock()
+}
+
+// score estimates the cost of queueing one more task behind this client:
+// the latency EWMA scaled by the work already in flight. An unsampled
+// client scores zero — optimistic, so fresh clients are probed instead
+// of starved.
+func (lt *loadTracker) score() float64 {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if lt.samples == 0 {
+		return 0
+	}
+	return lt.ewma * float64(lt.inflight+1)
+}
+
+// snapshot returns (ewma seconds, in-flight count, samples).
+func (lt *loadTracker) snapshot() (float64, int, int) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return lt.ewma, lt.inflight, lt.samples
+}
+
+// loadTieSlack is the band within which candidate scores count as tied:
+// scores up to 4x the best plus one millisecond. Tied candidates are
+// rotated round-robin, so equally cheap clients share work exactly as
+// the pre-federation scheduler spread it; only a clearly more expensive
+// client (slow, saturated, or both) drops out of the leading group.
+func loadTied(score, best float64) bool {
+	return score <= best*4+0.001
+}
+
+// ClientLoad is a point-in-time load view of one connected client.
+type ClientLoad struct {
+	Name      string
+	Role      string
+	InFlight  int
+	EWMA      time.Duration
+	Samples   int
+	Score     float64
+	Breaker   string
+	Dead      bool
+	Principal string
+}
+
+// Loads reports every connected client's load and breaker state — a
+// race-safe snapshot taken under the master's lock, safe to call while
+// clients reconnect.
+func (m *Master) Loads() []ClientLoad {
+	m.mu.Lock()
+	clients := make([]*masterClient, 0, len(m.clients))
+	for _, c := range m.clients {
+		clients = append(clients, c)
+	}
+	m.mu.Unlock()
+	out := make([]ClientLoad, 0, len(clients))
+	for _, c := range clients {
+		ewma, inflight, samples := c.load.snapshot()
+		out = append(out, ClientLoad{
+			Name:      c.name,
+			Role:      c.role,
+			InFlight:  inflight,
+			EWMA:      time.Duration(ewma * float64(time.Second)),
+			Samples:   samples,
+			Score:     c.load.score(),
+			Breaker:   c.brk.currentState().String(),
+			Dead:      c.isDead(),
+			Principal: c.principal,
+		})
+	}
+	return out
+}

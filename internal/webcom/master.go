@@ -88,6 +88,7 @@ func (m *Master) Audit() *authz.AuditLog {
 type masterClient struct {
 	name        string
 	principal   string
+	role        string // "" plain client, roleSubmaster for embedded masters
 	conn        *conn
 	credentials []*keynote.Assertion
 	// session is the client's credential set admitted into the master's
@@ -97,6 +98,7 @@ type masterClient struct {
 	sem     chan struct{} // in-flight slots (backpressure)
 	died    chan struct{} // closed when the connection is declared dead
 	brk     *breaker
+	load    loadTracker // in-flight / latency EWMA for load-aware placement
 
 	mu      sync.Mutex
 	pending map[uint64]chan *msg
@@ -285,6 +287,7 @@ func (m *Master) handleClient(c *conn) {
 	mc := &masterClient{
 		name:        hello.Name,
 		principal:   hello.Principal,
+		role:        hello.Role,
 		conn:        c,
 		credentials: creds,
 		sem:         make(chan struct{}, rp.MaxInFlight),
@@ -469,22 +472,57 @@ func (m *Master) authorisedClients(ctx context.Context, t cg.Task) ([]*masterCli
 			}
 		}
 	}
-	// Rotate the candidate order per call so independent tasks spread
-	// across equally authorised clients instead of always hitting the
-	// alphabetically first one.
-	if len(out) > 1 {
+	return m.orderByLoad(out), len(all), nil
+}
+
+// orderByLoad orders candidates cheapest-first by load score (latency
+// EWMA x queued work). Candidates whose scores are near-tied with the
+// best are rotated round-robin, so equally cheap clients share work the
+// way the pre-federation scheduler spread it; clearly more expensive
+// clients (slow, saturated, or both) sink to the back and are only
+// reached when the cheap ones fail.
+func (m *Master) orderByLoad(cands []*masterClient) []*masterClient {
+	if len(cands) < 2 {
+		return cands
+	}
+	scores := make([]float64, len(cands))
+	for i, c := range cands {
+		scores[i] = c.load.score()
+	}
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	ordered := make([]*masterClient, len(cands))
+	for i, j := range idx {
+		ordered[i] = cands[j]
+	}
+	best := scores[idx[0]]
+	tie := 1
+	for tie < len(ordered) && loadTied(scores[idx[tie]], best) {
+		tie++
+	}
+	if tie > 1 {
 		m.mu.Lock()
-		shift := int(m.rr % uint64(len(out)))
+		shift := int(m.rr % uint64(tie))
 		m.rr++
 		m.mu.Unlock()
-		out = append(out[shift:], out[:shift]...)
+		rotated := append(append([]*masterClient{}, ordered[shift:tie]...), ordered[:shift]...)
+		copy(ordered[:tie], rotated)
 	}
-	return out, len(all), nil
+	return ordered
 }
 
 // ErrNoAuthorisedClient is returned when no connected client may execute
 // a task under the master's policy.
 var ErrNoAuthorisedClient = errors.New("webcom: no authorised client for task")
+
+// ErrTaskDenied is returned when a client's own policy (or its
+// middleware) refused the task. A denial is a policy decision, never
+// retried; sub-masters relaying tasks detect it with errors.Is so the
+// denial propagates as a denial, not a transport fault, at every tier.
+var ErrTaskDenied = errors.New("webcom: task denied")
 
 // Executor returns a cg.Executor that schedules Opaque operations to
 // authorised clients, falling back to local evaluation for Func
@@ -564,7 +602,7 @@ func (m *Master) Executor() cg.Executor {
 				// middleware denied the invocation; surface it.
 				m.Tel.Counter("webcom.denials").Inc()
 				span.SetAttr("denied", "true")
-				return "", fmt.Errorf("webcom: client %s denied task %s: %s", target.name, t.OpName, res.Err)
+				return "", fmt.Errorf("%w: client %s refused %s: %s", ErrTaskDenied, target.name, t.OpName, res.Err)
 			}
 			if res.Err != "" {
 				if strings.Contains(res.Err, "connection lost") {
@@ -593,8 +631,15 @@ func (m *Master) dispatch(ctx context.Context, c *masterClient, t cg.Task) (*msg
 	span.SetAttr("client", c.name)
 	m.Tel.Counter("webcom.dispatch.total").Inc()
 	start := time.Now()
+	c.load.begin()
 	defer func() {
-		m.Tel.Histogram("webcom.dispatch.latency").ObserveDuration(time.Since(start))
+		// One observation point feeds both the telemetry histogram and
+		// the scheduler's per-client EWMA, success or failure alike — a
+		// timed-out dispatch is exactly the signal that should push a
+		// client down the placement order.
+		d := time.Since(start)
+		c.load.end(d)
+		m.Tel.Histogram("webcom.dispatch.latency").ObserveDuration(d)
 	}()
 
 	// Backpressure: wait for one of the client's in-flight slots.
@@ -646,6 +691,13 @@ func (m *Master) dispatch(ctx context.Context, c *masterClient, t cg.Task) (*msg
 		if r.Err != "" && strings.Contains(r.Err, "connection lost") {
 			return nil, errors.New(r.Err)
 		}
+		// The client ships its finished spans for this trace back with
+		// the result; merging them here keeps one connected chain per
+		// task visible from this tier's /traces endpoint — and, on a
+		// sub-master, forwardable another hop up.
+		if len(r.Spans) > 0 {
+			telemetry.TracerFrom(ctx).Ingest(r.Spans)
+		}
 		return r, nil
 	case <-ctx.Done():
 		c.mu.Lock()
@@ -656,11 +708,16 @@ func (m *Master) dispatch(ctx context.Context, c *masterClient, t cg.Task) (*msg
 }
 
 // Run evaluates a condensed graph, scheduling its opaque operations to
-// the connected clients.
+// the connected clients. When the engine has a graph library, condensed
+// nodes are offered whole to authorised sub-masters first (scoped
+// delegation); local evaporation remains the fallback.
 func (m *Master) Run(ctx context.Context, eng *cg.Engine, g *cg.Graph, inputs map[string]string) (string, cg.Stats, error) {
 	eng.Exec = m.Executor()
 	if eng.Tel == nil {
 		eng.Tel = m.Tel
+	}
+	if eng.Library != nil && eng.Condenser == nil {
+		eng.Condenser = m.Condenser(eng.Library)
 	}
 	if m.Tracer != nil {
 		ctx = telemetry.WithTracer(ctx, m.Tracer)

@@ -41,6 +41,11 @@ type RetryPolicy struct {
 	// further dispatches block (backpressure) until a slot frees or the
 	// dispatch deadline fires. Default 32.
 	MaxInFlight int
+	// DelegateTimeout bounds one condensed-subgraph delegation to a
+	// sub-master end to end. A delegated subgraph is many tasks, so it
+	// gets a longer leash than a single dispatch. Default
+	// 4 x DispatchTimeout.
+	DelegateTimeout time.Duration
 }
 
 func (p RetryPolicy) withDefaults(legacyMaxAttempts int) RetryPolicy {
@@ -70,6 +75,9 @@ func (p RetryPolicy) withDefaults(legacyMaxAttempts int) RetryPolicy {
 	}
 	if p.MaxInFlight <= 0 {
 		p.MaxInFlight = 32
+	}
+	if p.DelegateTimeout <= 0 {
+		p.DelegateTimeout = 4 * p.DispatchTimeout
 	}
 	return p
 }

@@ -44,6 +44,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"securewebcom/internal/telemetry"
 )
 
 // AppDomain is the KeyNote application domain for WebCom queries.
@@ -53,10 +55,14 @@ const AppDomain = "WebCom"
 type msg struct {
 	Type string `json:"type"`
 
-	// challenge / hello / welcome fields.
+	// challenge / hello / welcome fields. Role distinguishes a plain
+	// executing client from a sub-master ("submaster"): a client that
+	// runs an embedded master and can be handed whole condensed
+	// subgraphs (the hierarchical Figure 3 topology).
 	Nonce       string   `json:"nonce,omitempty"`
 	Principal   string   `json:"principal,omitempty"`
 	Name        string   `json:"name,omitempty"`
+	Role        string   `json:"role,omitempty"`
 	Sig         string   `json:"sig,omitempty"`
 	Credentials []string `json:"credentials,omitempty"`
 
@@ -71,10 +77,26 @@ type msg struct {
 	TraceID     string            `json:"trace_id,omitempty"`
 	SpanID      string            `json:"span_id,omitempty"`
 
-	// result fields.
-	Result string `json:"result,omitempty"`
-	Err    string `json:"err,omitempty"`
-	Denied bool   `json:"denied,omitempty"`
+	// delegate fields: a serialized condensed subgraph (the entry graph
+	// name travels in Op, the full closure in Library), its input
+	// values, and the delegation credentials the parent minted for this
+	// sub-master — scoped to exactly the subgraph's operation/domain
+	// vocabulary and linted (PL003/PL007) on both ends.
+	Library    map[string]json.RawMessage `json:"library,omitempty"`
+	Inputs     map[string]string          `json:"inputs,omitempty"`
+	Delegation []string                   `json:"delegation,omitempty"`
+
+	// result fields. Spans carry the executing tier's finished spans for
+	// the task's trace back up the tree, so the root's tracer can serve
+	// the complete root→sub-master→leaf chain from one /traces query.
+	// Fired/Expanded propagate remote evaluation stats for delegate
+	// results.
+	Result   string           `json:"result,omitempty"`
+	Err      string           `json:"err,omitempty"`
+	Denied   bool             `json:"denied,omitempty"`
+	Spans    []telemetry.Span `json:"spans,omitempty"`
+	Fired    int              `json:"fired,omitempty"`
+	Expanded int              `json:"expanded,omitempty"`
 }
 
 // Message types.
@@ -84,10 +106,15 @@ const (
 	msgWelcome   = "welcome"
 	msgReject    = "reject"
 	msgSchedule  = "schedule"
+	msgDelegate  = "delegate"
 	msgResult    = "result"
 	msgPing      = "ping"
 	msgPong      = "pong"
 )
+
+// roleSubmaster is the hello Role of a client running an embedded
+// master; only such clients are offered whole condensed subgraphs.
+const roleSubmaster = "submaster"
 
 // conn wraps a net.Conn with JSON framing, a write lock, and a
 // last-received timestamp for heartbeat liveness: any inbound message
