@@ -218,6 +218,7 @@ func cmdQuery(args []string) error {
 	valuesFlag := fs.String("values", "", "comma-separated compliance values, weakest first")
 	keyDir := fs.String("keys", "", "directory of key files for name resolution")
 	trace := fs.Bool("trace", false, "decide through the authz engine and print the full decision trace")
+	interpret := fs.Bool("interpret", false, "with -trace, decide through the tree-walking interpreter instead of the compiled decision DAG")
 	var attrs attrFlags
 	fs.Var(&attrs, "attr", "action attribute name=value (repeatable)")
 	fs.Parse(args)
@@ -261,7 +262,11 @@ func cmdQuery(args []string) error {
 		// per-invocation tracer captures the span timings.
 		tr := telemetry.NewTracer(0)
 		ctx := telemetry.WithTracer(context.Background(), tr)
-		d, err := authz.NewEngine(chk).Session(creds).Decide(ctx, q)
+		var opts []authz.Option
+		if *interpret {
+			opts = append(opts, authz.WithoutCompilation())
+		}
+		d, err := authz.NewEngine(chk, opts...).Session(creds).Decide(ctx, q)
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 	"testing"
@@ -239,6 +240,46 @@ func TestQueryExplainGolden(t *testing.T) {
 	// A second run must be byte-identical (determinism, not luck).
 	if again := captureStdout(t, func() error { return cmdQuery(args) }); again != out {
 		t.Fatalf("output not deterministic:\n%s\nvs\n%s", again, out)
+	}
+}
+
+// TestQueryTraceParityCompiledVsInterpreted pins the Explain/trace
+// parity contract: the compiled decision DAG and the tree-walking
+// interpreter must render byte-identical -trace output once elapsed
+// durations (the only nondeterministic content) are normalised.
+func TestQueryTraceParityCompiledVsInterpreted(t *testing.T) {
+	dir := t.TempDir()
+	bob := keys.Deterministic("Kbob", "cli-parity")
+	alice := keys.Deterministic("Kalice", "cli-parity")
+	keyDir := filepath.Join(dir, "keys")
+	os.MkdirAll(keyDir, 0o700)
+	if err := bob.Save(filepath.Join(keyDir, "kbob.pub"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Save(filepath.Join(keyDir, "kalice.pub"), false); err != nil {
+		t.Fatal(err)
+	}
+	policy := write(t, dir, "policy.kn",
+		"Authorizer: POLICY\nLicensees: \""+bob.PublicID()+"\"\nConditions: oper==\"write\";\n")
+	cred := keynote.MustNew("\""+bob.PublicID()+"\"", "\""+alice.PublicID()+"\"", `oper=="write";`)
+	if err := cred.Sign(bob); err != nil {
+		t.Fatal(err)
+	}
+	credPath := write(t, dir, "creds.kn", cred.Text())
+
+	args := []string{"-policy", policy, "-creds", credPath,
+		"-authorizer", alice.PublicID(), "-attr", "oper=write", "-keys", keyDir, "-trace"}
+	compiled := captureStdout(t, func() error { return cmdQuery(args) })
+	interpreted := captureStdout(t, func() error { return cmdQuery(append(args, "-interpret")) })
+
+	durations := regexp.MustCompile(`[0-9]+(\.[0-9]+)?(ns|µs|ms|s)\b`)
+	nc := durations.ReplaceAllString(compiled, "<dur>")
+	ni := durations.ReplaceAllString(interpreted, "<dur>")
+	if nc != ni {
+		t.Fatalf("trace output diverges between compiled and interpreted runs:\ncompiled:\n%s\ninterpreted:\n%s", nc, ni)
+	}
+	if !strings.Contains(nc, "GRANT") {
+		t.Fatalf("parity output lost the verdict:\n%s", nc)
 	}
 }
 

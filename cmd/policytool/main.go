@@ -141,6 +141,7 @@ func cmdCheck(args []string) error {
 	authorizer := fs.String("authorizer", "", "requesting principal (name or key)")
 	keyDir := fs.String("keys", "", "directory of key files for name resolution")
 	trace := fs.Bool("trace", false, "print the full decision trace")
+	interpret := fs.Bool("interpret", false, "decide through the tree-walking interpreter instead of the compiled decision DAG")
 	var attrs mapFlags
 	fs.Var(&attrs, "attr", "action attribute name=value (repeatable)")
 	fs.Parse(args)
@@ -177,7 +178,11 @@ func cmdCheck(args []string) error {
 	q := keynote.Query{Authorizers: []string{*authorizer}, Attributes: attrs.m}
 	tr := telemetry.NewTracer(0)
 	ctx := telemetry.WithTracer(context.Background(), tr)
-	d, err := authz.NewEngine(chk).Session(creds).Decide(ctx, q)
+	var opts []authz.Option
+	if *interpret {
+		opts = append(opts, authz.WithoutCompilation())
+	}
+	d, err := authz.NewEngine(chk, opts...).Session(creds).Decide(ctx, q)
 	if err != nil {
 		return err
 	}

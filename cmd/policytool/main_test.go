@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"testing"
 
 	"securewebcom/internal/keycom"
@@ -294,5 +296,73 @@ func TestLintCLIVocabulary(t *testing.T) {
 	}
 	if !rep.HasErrors() {
 		t.Fatalf("unknown domain not reported as error:\n%s", rep)
+	}
+}
+
+// captureCheckOutput redirects stdout around a CLI invocation so the
+// trace-parity test can diff what the command printed.
+func captureCheckOutput(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	data, _ := io.ReadAll(r)
+	r.Close()
+	if runErr != nil {
+		t.Fatalf("command failed: %v\n%s", runErr, data)
+	}
+	return string(data)
+}
+
+// TestCheckTraceParityCompiledVsInterpreted mirrors the kn test: the
+// compiled decision DAG and the interpreter must produce identical
+// `check -trace` output modulo elapsed durations.
+func TestCheckTraceParityCompiledVsInterpreted(t *testing.T) {
+	dir := t.TempDir()
+	bob := keys.Deterministic("Kbob", "check-parity")
+	alice := keys.Deterministic("Kalice", "check-parity")
+	keyDir := filepath.Join(dir, "keys")
+	if err := os.MkdirAll(keyDir, 0o700); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Save(filepath.Join(keyDir, "kbob.pub"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Save(filepath.Join(keyDir, "kalice.pub"), false); err != nil {
+		t.Fatal(err)
+	}
+	policyPath := filepath.Join(dir, "policy.kn")
+	policy := "Authorizer: POLICY\nLicensees: \"" + bob.PublicID() + "\"\nConditions: oper==\"write\";\n"
+	if err := os.WriteFile(policyPath, []byte(policy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cred := keynote.MustNew("\""+bob.PublicID()+"\"", "\""+alice.PublicID()+"\"", `oper=="write";`)
+	if err := cred.Sign(bob); err != nil {
+		t.Fatal(err)
+	}
+	credPath := filepath.Join(dir, "creds.kn")
+	if err := os.WriteFile(credPath, []byte(cred.Text()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	args := []string{"-policy", policyPath, "-creds", credPath,
+		"-authorizer", alice.PublicID(), "-attr", "oper=write", "-keys", keyDir, "-trace"}
+	compiled := captureCheckOutput(t, func() error { return cmdCheck(args) })
+	interpreted := captureCheckOutput(t, func() error { return cmdCheck(append(args, "-interpret")) })
+
+	durations := regexp.MustCompile(`[0-9]+(\.[0-9]+)?(ns|µs|ms|s)\b`)
+	nc := durations.ReplaceAllString(compiled, "<dur>")
+	ni := durations.ReplaceAllString(interpreted, "<dur>")
+	if nc != ni {
+		t.Fatalf("trace output diverges between compiled and interpreted runs:\ncompiled:\n%s\ninterpreted:\n%s", nc, ni)
+	}
+	if !strings.Contains(nc, "GRANT") || !strings.Contains(nc, "span authz.decide") {
+		t.Fatalf("parity output missing verdict or span lines:\n%s", nc)
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"securewebcom/internal/keynote"
+	"securewebcom/internal/keynote/compile"
 	"securewebcom/internal/telemetry"
 )
 
@@ -55,7 +56,8 @@ type Engine struct {
 
 	hits, misses, invalidations uint64
 
-	tel *telemetry.Registry
+	tel       *telemetry.Registry
+	noCompile bool
 }
 
 // Option configures an Engine.
@@ -82,6 +84,13 @@ func WithLayerName(name string) Option {
 // (authz.fixpoint.passes) on cache misses. Nil reg disables mirroring.
 func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(e *Engine) { e.tel = reg }
+}
+
+// WithoutCompilation disables the static compiler: sessions evaluate
+// through the tree-walking interpreter only. Intended for differential
+// testing and as an escape hatch; compilation is on by default.
+func WithoutCompilation() Option {
+	return func(e *Engine) { e.noCompile = true }
 }
 
 // NewEngine builds an engine over chk. The checker's resolver is wrapped
@@ -139,6 +148,20 @@ func (e *Engine) Session(creds []*keynote.Assertion) *CredentialSession {
 			s.admitted = append(s.admitted, cr)
 		default:
 			s.admitted = append(s.admitted, cr)
+		}
+	}
+
+	// Compile the admitted set to a decision DAG, still outside the
+	// lock. The session fingerprint doubles as the compilation cache
+	// key: identical sets share the session and therefore the DAG, and
+	// Invalidate drops both together. Compilation failure is not an
+	// admission failure — the session falls back to the interpreter.
+	if !e.noCompile {
+		if dag, err := compile.Compile(e.checker.Policy(), s.admitted, e.checker.Resolver()); err == nil {
+			s.compiled = dag
+			e.tel.Counter("authz.compile.sessions").Inc()
+		} else {
+			e.tel.Counter("authz.compile.fallbacks").Inc()
 		}
 	}
 
@@ -211,6 +234,38 @@ func (e *Engine) cachePut(key string, d *Decision) {
 	e.mu.Unlock()
 }
 
+// cacheGetBatch looks up every key under one lock acquisition. The
+// result slice is parallel to keys, nil for misses.
+func (e *Engine) cacheGetBatch(keys []string) []*Decision {
+	out := make([]*Decision, len(keys))
+	var hits, misses int64
+	e.mu.Lock()
+	for i, key := range keys {
+		if d, ok := e.cache.get(key); ok {
+			out[i] = d
+			hits++
+		} else {
+			misses++
+		}
+	}
+	e.hits += uint64(hits)
+	e.misses += uint64(misses)
+	e.mu.Unlock()
+	e.tel.Counter("authz.cache.hits").Add(hits)
+	e.tel.Counter("authz.cache.misses").Add(misses)
+	return out
+}
+
+// cachePutBatch inserts all key/decision pairs under one lock
+// acquisition.
+func (e *Engine) cachePutBatch(keys []string, ds []*Decision) {
+	e.mu.Lock()
+	for i, key := range keys {
+		e.cache.put(key, ds[i])
+	}
+	e.mu.Unlock()
+}
+
 // fingerprint hashes the credential set (order-blind) together with the
 // engine's policy hash, so a decision cache key pins both sides of the
 // trust computation.
@@ -245,6 +300,7 @@ type CredentialSession struct {
 	fp       string
 	admitted []*keynote.Assertion
 	rejected []keynote.RejectedCredential
+	compiled *compile.DAG // nil when compilation is disabled or failed
 }
 
 // Fingerprint identifies the admitted set's content (plus engine policy).
@@ -255,6 +311,38 @@ func (s *CredentialSession) Admitted() []*keynote.Assertion { return s.admitted 
 
 // Rejected returns the credentials refused at admission, with reasons.
 func (s *CredentialSession) Rejected() []keynote.RejectedCredential { return s.rejected }
+
+// CompiledOK reports whether this session decides through a compiled
+// decision DAG (false: interpreter fallback).
+func (s *CredentialSession) CompiledOK() bool { return s.compiled != nil }
+
+// CompileStats returns the compiled DAG's statistics, ok=false when the
+// session runs on the interpreter.
+func (s *CredentialSession) CompileStats() (compile.Stats, bool) {
+	if s.compiled == nil {
+		return compile.Stats{}, false
+	}
+	return s.compiled.Stats(), true
+}
+
+// CompileFacts returns the static-analysis facts gathered while
+// compiling this session's policy+credential set (nil on fallback).
+func (s *CredentialSession) CompileFacts() []compile.Fact {
+	if s.compiled == nil {
+		return nil
+	}
+	return s.compiled.Facts()
+}
+
+// evaluate runs one compliance check through the compiled DAG when the
+// session has one, else through the interpreter. Both paths are
+// observationally identical (guarded by FuzzCompiledVsInterpreted).
+func (s *CredentialSession) evaluate(q keynote.Query) (keynote.Result, error) {
+	if s.compiled != nil {
+		return s.compiled.Check(q)
+	}
+	return s.engine.checker.CheckPreverified(q, s.admitted)
+}
 
 // Decide answers the query from the decision cache, computing (and
 // caching) it on a miss. The hot path performs no signature
@@ -282,10 +370,19 @@ func (s *CredentialSession) Decide(ctx context.Context, q keynote.Query) (*Decis
 		return &hit, nil
 	}
 	span.SetAttr("cache", "miss")
-	res, err := s.engine.checker.CheckPreverified(q, s.admitted)
+	res, err := s.evaluate(q)
 	if err != nil {
 		return nil, err
 	}
+	d := s.decisionOf(q, res, start)
+	span.SetAttr("allowed", strconv.FormatBool(d.Allowed))
+	s.engine.cachePut(key, d)
+	return d, nil
+}
+
+// decisionOf wraps one compliance result in a Decision, prepending the
+// session's admission rejections and recording the fixpoint-pass count.
+func (s *CredentialSession) decisionOf(q keynote.Query, res keynote.Result, start time.Time) *Decision {
 	s.engine.tel.Histogram("authz.fixpoint.passes").Observe(float64(res.Passes))
 	if len(s.rejected) > 0 {
 		res.Rejected = append(append([]keynote.RejectedCredential{}, s.rejected...), res.Rejected...)
@@ -311,9 +408,81 @@ func (s *CredentialSession) Decide(ctx context.Context, q keynote.Query) (*Decis
 		Verdict: verdict,
 		Elapsed: d.Trace.Elapsed,
 	}}
-	span.SetAttr("allowed", strconv.FormatBool(d.Allowed))
-	s.engine.cachePut(key, d)
-	return d, nil
+	return d
+}
+
+// DecideBulk answers a batch of queries in one pass, amortising the
+// per-decision overhead Decide pays: one span and one latency
+// observation for the batch, a single cache transaction for all
+// lookups and one for all inserts, and — on the compiled path — one
+// reusable valuation for every miss instead of a pool round-trip per
+// query. Decisions come back in query order; the whole batch fails on
+// the first malformed query.
+func (s *CredentialSession) DecideBulk(ctx context.Context, qs []keynote.Query) ([]*Decision, error) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	_, span := telemetry.StartSpan(ctx, "authz.decide.bulk")
+	defer span.Finish()
+	span.SetAttr("batch", strconv.Itoa(len(qs)))
+	if tel := s.engine.tel; tel != nil {
+		defer func() {
+			tel.Histogram("authz.decide.bulk.latency").ObserveDuration(time.Since(start))
+		}()
+	}
+
+	keys := make([]string, len(qs))
+	for i := range qs {
+		keys[i] = s.fp + "\x00" + canonicalQuery(qs[i])
+	}
+	out := s.engine.cacheGetBatch(keys)
+	var missIdx []int
+	for i, d := range out {
+		if d == nil {
+			missIdx = append(missIdx, i)
+			continue
+		}
+		hit := *d
+		hit.Trace.CacheHit = true
+		hit.Trace.Elapsed = time.Since(start)
+		out[i] = &hit
+	}
+	span.SetAttr("hits", strconv.Itoa(len(qs)-len(missIdx)))
+	if len(missIdx) == 0 {
+		return out, nil
+	}
+
+	if s.compiled != nil {
+		missQs := make([]keynote.Query, len(missIdx))
+		for j, i := range missIdx {
+			missQs[j] = qs[i]
+		}
+		results, err := s.compiled.CheckBatch(missQs)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range missIdx {
+			out[i] = s.decisionOf(qs[i], results[j], start)
+		}
+	} else {
+		for _, i := range missIdx {
+			res, err := s.engine.checker.CheckPreverified(qs[i], s.admitted)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = s.decisionOf(qs[i], res, start)
+		}
+	}
+
+	missKeys := make([]string, len(missIdx))
+	missDecisions := make([]*Decision, len(missIdx))
+	for j, i := range missIdx {
+		missKeys[j] = keys[i]
+		missDecisions[j] = out[i]
+	}
+	s.engine.cachePutBatch(missKeys, missDecisions)
+	return out, nil
 }
 
 // canonicalQuery renders a query as a deterministic cache-key component:

@@ -1,0 +1,221 @@
+package authz
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/policylint"
+	"securewebcom/internal/telemetry"
+)
+
+func TestSessionCompilesAtAdmission(t *testing.T) {
+	f := newFixture(t)
+	reg := telemetry.NewRegistry()
+	eng := NewEngine(f.chk, WithTelemetry(reg))
+	s := eng.Session([]*keynote.Assertion{f.cred})
+	if !s.CompiledOK() {
+		t.Fatal("session not compiled")
+	}
+	st, ok := s.CompileStats()
+	if !ok || st.Assertions != 2 || st.EvalAssertions != 2 {
+		t.Fatalf("CompileStats = %+v, %v", st, ok)
+	}
+	if got := reg.Counter("authz.compile.sessions").Value(); got != 1 {
+		t.Fatalf("compile.sessions counter = %d", got)
+	}
+	if facts := s.CompileFacts(); len(facts) != 0 {
+		t.Fatalf("clean fixture produced facts: %v", facts)
+	}
+}
+
+func TestWithoutCompilationFallsBack(t *testing.T) {
+	f := newFixture(t)
+	eng := NewEngine(f.chk, WithoutCompilation())
+	s := eng.Session([]*keynote.Assertion{f.cred})
+	if s.CompiledOK() {
+		t.Fatal("WithoutCompilation session still compiled")
+	}
+	if _, ok := s.CompileStats(); ok {
+		t.Fatal("CompileStats ok on interpreter fallback")
+	}
+	d, err := s.Decide(context.Background(), f.query("Manager"))
+	if err != nil || !d.Allowed {
+		t.Fatalf("interpreter fallback Decide = %+v, %v", d, err)
+	}
+}
+
+// TestCompiledMatchesInterpretedDecisions drives the same queries through
+// a compiled and an interpreter-only engine and requires identical
+// decisions (modulo timing).
+func TestCompiledMatchesInterpretedDecisions(t *testing.T) {
+	f := newFixture(t)
+	compiled := NewEngine(f.chk).Session([]*keynote.Assertion{f.cred})
+	interp := NewEngine(f.chk, WithoutCompilation()).Session([]*keynote.Assertion{f.cred})
+	if !compiled.CompiledOK() || interp.CompiledOK() {
+		t.Fatal("fixture sessions mis-configured")
+	}
+	ctx := context.Background()
+	for _, role := range []string{"Manager", "Clerk", "", "Manager"} {
+		q := f.query(role)
+		dc, err := compiled.Decide(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		di, err := interp.Decide(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dc.Allowed != di.Allowed || dc.Value != di.Value ||
+			!reflect.DeepEqual(dc.Result.PrincipalValues, di.Result.PrincipalValues) ||
+			!reflect.DeepEqual(dc.Trace.Chain, di.Trace.Chain) ||
+			dc.Result.Passes != di.Result.Passes {
+			t.Fatalf("role %q: compiled %+v != interpreted %+v", role, dc, di)
+		}
+	}
+}
+
+func TestDecideBulk(t *testing.T) {
+	f := newFixture(t)
+	s := f.engine.Session([]*keynote.Assertion{f.cred})
+	ctx := context.Background()
+
+	qs := []keynote.Query{f.query("Manager"), f.query("Clerk"), f.query("Manager"), f.query("Auditor")}
+	ds, err := s.DecideBulk(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != len(qs) {
+		t.Fatalf("got %d decisions for %d queries", len(ds), len(qs))
+	}
+	if !ds[0].Allowed || ds[1].Allowed || !ds[2].Allowed || ds[3].Allowed {
+		t.Fatalf("verdicts = %v %v %v %v", ds[0].Allowed, ds[1].Allowed, ds[2].Allowed, ds[3].Allowed)
+	}
+	// Duplicate queries in one batch: both computed before any insert, so
+	// neither is marked a cache hit, but they agree.
+	if ds[0].Value != ds[2].Value {
+		t.Fatalf("duplicate queries disagree: %v vs %v", ds[0], ds[2])
+	}
+
+	// Second batch: everything now cached.
+	ds2, err := s.DecideBulk(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range ds2 {
+		if !d.Trace.CacheHit {
+			t.Fatalf("batch 2 decision %d not a cache hit", i)
+		}
+		if d.Allowed != ds[i].Allowed || d.Value != ds[i].Value {
+			t.Fatalf("batch 2 decision %d diverged: %+v vs %+v", i, d, ds[i])
+		}
+	}
+
+	// Bulk and single-query paths agree decision-for-decision.
+	for i, q := range qs {
+		single, err := s.Decide(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.Allowed != ds[i].Allowed || single.Value != ds[i].Value {
+			t.Fatalf("bulk/single divergence on %d: %+v vs %+v", i, ds[i], single)
+		}
+	}
+
+	// Malformed query fails the whole batch.
+	if _, err := s.DecideBulk(ctx, []keynote.Query{{}}); err == nil {
+		t.Fatal("DecideBulk accepted a malformed query")
+	}
+	// Context cancellation short-circuits.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := s.DecideBulk(cctx, qs); err == nil {
+		t.Fatal("DecideBulk ignored cancelled context")
+	}
+}
+
+func TestDecideBulkInterpreterFallback(t *testing.T) {
+	f := newFixture(t)
+	s := NewEngine(f.chk, WithoutCompilation()).Session([]*keynote.Assertion{f.cred})
+	qs := []keynote.Query{f.query("Manager"), f.query("Clerk")}
+	ds, err := s.DecideBulk(context.Background(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds[0].Allowed || ds[1].Allowed {
+		t.Fatalf("fallback bulk verdicts = %v %v", ds[0].Allowed, ds[1].Allowed)
+	}
+}
+
+func TestInvalidateDropsCompiledSessions(t *testing.T) {
+	f := newFixture(t)
+	s := f.engine.Session([]*keynote.Assertion{f.cred})
+	if !s.CompiledOK() {
+		t.Fatal("expected compiled session")
+	}
+	f.engine.Invalidate()
+	s2 := f.engine.Session([]*keynote.Assertion{f.cred})
+	if s2 == s {
+		t.Fatal("Invalidate kept the old session (and its DAG) alive")
+	}
+	if !s2.CompiledOK() {
+		t.Fatal("re-admitted session not compiled")
+	}
+}
+
+func TestSessionCompileFactsSurfaceStaticBugs(t *testing.T) {
+	f := newFixture(t)
+	// A credential whose conditions are interval-contradictory: admitted
+	// (signature fine) but statically void; the compiler prunes it and
+	// records the facts.
+	bad := keynote.MustNew(fmt.Sprintf("%q", f.admin.PublicID()), `"Kcarol"`,
+		`app_domain=="WebCom" && @level > 5 && @level < 3;`)
+	if err := bad.Sign(f.admin); err != nil {
+		t.Fatal(err)
+	}
+	s := f.engine.Session([]*keynote.Assertion{f.cred, bad})
+	if !s.CompiledOK() {
+		t.Fatal("session not compiled")
+	}
+	var sawInterval bool
+	for _, fact := range s.CompileFacts() {
+		sawInterval = sawInterval || fact.Kind.String() == "interval-contradiction"
+	}
+	if !sawInterval {
+		t.Fatalf("facts = %v, want an interval contradiction", s.CompileFacts())
+	}
+	// And the statically void credential indeed never grants.
+	d, err := s.Decide(context.Background(), keynote.Query{
+		Authorizers: []string{"Kcarol"},
+		Attributes:  map[string]string{"app_domain": "WebCom", "level": "4"},
+	})
+	if err != nil || d.Allowed {
+		t.Fatalf("void credential granted: %+v, %v", d, err)
+	}
+}
+
+func TestValidateDelegationRejectsStaticFindings(t *testing.T) {
+	scope := DelegationScope{Operations: []string{"op"}}
+	// A handcrafted "delegation" whose conditions are constant-true:
+	// grants the scope's vocabulary check nothing to chew on, but PL011
+	// flags it and validation refuses.
+	constCred := keynote.MustNew(`"Kparent"`, `"Ksub"`, `"x" == "x";`)
+	err := ValidateDelegation("Kparent", []*keynote.Assertion{constCred}, scope)
+	if err == nil {
+		t.Fatal("constant-condition delegation accepted")
+	}
+	if got := err.Error(); !strings.Contains(got, string(policylint.CodeConstCondition)) &&
+		!strings.Contains(got, string(policylint.CodeTypeConfused)) &&
+		!strings.Contains(got, string(policylint.CodeIntervalUnsat)) {
+		t.Fatalf("rejection cites no static code: %v", err)
+	}
+
+	// Interval-contradictory delegation conditions: PL014 (error) refuses.
+	unsat := keynote.MustNew(`"Kparent"`, `"Ksub"`, `@level > 5 && @level < 3;`)
+	if err := ValidateDelegation("Kparent", []*keynote.Assertion{unsat}, scope); err == nil {
+		t.Fatal("interval-contradictory delegation accepted")
+	}
+}

@@ -146,8 +146,12 @@ func LintDelegationChain(parentPrincipal string, chain []*keynote.Assertion, sco
 // ValidateDelegation is the admission check a sub-master runs on a
 // received delegation chain: the chain must lint clean against the
 // subgraph's scope — no PL003 widening, no error-severity findings
-// (PL005 unsatisfiable, PL007 vocabulary). It returns nil when the
-// chain is honourable.
+// (PL005 unsatisfiable, PL007 vocabulary, PL012 type confusion, PL014
+// interval contradiction), and none of the static-analysis warnings a
+// freshly minted chain has no business carrying (PL011 constant
+// conditions, PL013 dead assertions: a delegation that is statically
+// inert or unconditionally true is a minting bug, not a policy). It
+// returns nil when the chain is honourable.
 func ValidateDelegation(parentPrincipal string, chain []*keynote.Assertion, scope DelegationScope) error {
 	if len(chain) == 0 {
 		return fmt.Errorf("authz: delegation carries no credentials")
@@ -158,6 +162,11 @@ func ValidateDelegation(parentPrincipal string, chain []*keynote.Assertion, scop
 	}
 	if w := rep.ByCode(policylint.CodeWidening); len(w) > 0 {
 		return fmt.Errorf("authz: delegation widens privilege (PL003): %s", w[0].Message)
+	}
+	for _, code := range []policylint.Code{policylint.CodeConstCondition, policylint.CodeDeadAssertion} {
+		if got := rep.ByCode(code); len(got) > 0 {
+			return fmt.Errorf("authz: delegation chain rejected (%s): %s", code, got[0].Message)
+		}
 	}
 	if rep.HasErrors() {
 		for _, f := range rep.Findings {

@@ -263,6 +263,17 @@ func (s *Service) lintGate(ctx context.Context, d rbac.Diff) error {
 		return fmt.Errorf("keycom: update refused, resulting credential set lints with %d error(s), first: %s",
 			len(errs), errs[0].Message)
 	}
+	// Static-analysis warnings from the keynote compiler (PL011 constant
+	// conditions, PL013 dead assertions) also refuse the commit: a
+	// catalogue whose encoded credentials are statically inert or
+	// unconditionally true is corrupt even though it still evaluates.
+	// (PL012/PL014 are error-severity and already caught above.)
+	for _, code := range []policylint.Code{policylint.CodeConstCondition, policylint.CodeDeadAssertion} {
+		if got := rep.ByCode(code); len(got) > 0 {
+			return fmt.Errorf("keycom: update refused, static analysis flags %s on the resulting set: %s",
+				code, got[0].Message)
+		}
+	}
 	return nil
 }
 

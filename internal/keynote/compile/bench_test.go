@@ -1,0 +1,117 @@
+package compile
+
+import (
+	"fmt"
+	"testing"
+
+	"securewebcom/internal/keynote"
+)
+
+// benchSet is the paper's Figure 4 shape plus a threshold credential, a
+// realistic small admitted set.
+const benchSet = `Authorizer: POLICY
+Licensees: "Kbob"
+Conditions: app_domain=="SalariesDB" && (oper=="read" || oper=="write");
+
+KeyNote-Version: 2
+Authorizer: "Kbob"
+Licensees: "Kalice" || 2-of("Kcarol", "Kdave", "Kerin")
+Conditions: app_domain=="SalariesDB" && oper=="write";
+`
+
+func benchFixture(b *testing.B) (policy, creds []*keynote.Assertion, dag *DAG, chk *keynote.Checker) {
+	b.Helper()
+	asserts, err := keynote.ParseAll(benchSet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, a := range asserts {
+		if a.IsPolicy() {
+			policy = append(policy, a)
+		} else {
+			creds = append(creds, a)
+		}
+	}
+	dag, err = Compile(policy, creds, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chk, err = keynote.NewChecker(policy, keynote.WithoutSignatureVerification())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return policy, creds, dag, chk
+}
+
+var benchQuery = keynote.Query{
+	Authorizers: []string{"Kalice"},
+	Attributes:  map[string]string{"app_domain": "SalariesDB", "oper": "write"},
+}
+
+// BenchmarkCompile is the one-time admission cost of static analysis
+// plus DAG construction — paid once per credential session, not per
+// decision.
+func BenchmarkCompile(b *testing.B) {
+	policy, creds, _, _ := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(policy, creds, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledCheck is one full compliance computation on the
+// compiled DAG: bytecode condition tests, dense fixpoint, chain walk.
+func BenchmarkCompiledCheck(b *testing.B) {
+	_, _, dag, _ := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dag.Check(benchQuery)
+		if err != nil || res.Index != 1 {
+			b.Fatalf("Check = (%+v, %v)", res, err)
+		}
+	}
+}
+
+// BenchmarkInterpretedCheck is the same computation on the tree-walking
+// interpreter (signature verification already skipped), the baseline
+// the compiler is measured against.
+func BenchmarkInterpretedCheck(b *testing.B) {
+	_, creds, _, chk := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := chk.CheckPreverified(benchQuery, creds)
+		if err != nil || res.Index != 1 {
+			b.Fatalf("CheckPreverified = (%+v, %v)", res, err)
+		}
+	}
+}
+
+// BenchmarkCheckBatch amortises valuation reuse across a batch of
+// distinct queries.
+func BenchmarkCheckBatch(b *testing.B) {
+	_, _, dag, _ := benchFixture(b)
+	for _, batch := range []int{10, 100} {
+		b.Run(fmt.Sprintf("batch-%d", batch), func(b *testing.B) {
+			qs := make([]keynote.Query, batch)
+			for i := range qs {
+				qs[i] = keynote.Query{
+					Authorizers: []string{"Kalice"},
+					Attributes:  map[string]string{"app_domain": "SalariesDB", "oper": fmt.Sprintf("op-%d", i)},
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dag.CheckBatch(qs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/query")
+		})
+	}
+}

@@ -1,0 +1,239 @@
+package compile
+
+import "regexp"
+
+// Condition tests compile to a postfix stack machine. One instruction
+// is an opcode plus an int32 operand (constant-pool index, attribute
+// slot, regex index, or jump target). The machine has no error values:
+// any evaluation error — type mismatch, unparsable dereference, bad
+// regex, division by zero — aborts execution with ok=false, which makes
+// the enclosing clause contribute nothing, exactly like the
+// interpreter's "signal failure" behaviour.
+
+type opcode uint8
+
+const (
+	opConst      opcode = iota // push consts[a]
+	opAttr                     // push strVal(slot a)
+	opAttrDyn                  // pop name (must be string); push its attribute value
+	opDerefInt                 // pop v; @-dereference
+	opDerefFloat               // pop v; &-dereference
+	opNot                      // pop bool; push negation
+	opNeg                      // pop num; push arithmetic negation
+	opJumpFalse                // pop bool; if false push false and jump to a (&&)
+	opJumpTrue                 // pop bool; if true push true and jump to a (||)
+	opToBool                   // pop; must be bool; push it back (right operand check)
+	opEq                       // pop r, l; push l == r
+	opNe                       // pop r, l; push l != r
+	opLt                       // pop r, l; push l < r
+	opGt                       // pop r, l; push l > r
+	opLe                       // pop r, l; push l <= r
+	opGe                       // pop r, l; push l >= r
+	opMatch                    // pop pattern, subject; dynamic regex match
+	opMatchConst               // pop subject; match against regexes[a] (nil = bad pattern)
+	opConcat                   // pop r, l; push l . r
+	opAdd                      // pop r, l; push l + r
+	opSub                      // pop r, l; push l - r
+	opMul                      // pop r, l; push l * r
+	opDiv                      // pop r, l; push l / r
+	opMod                      // pop r, l; push l % r
+	opPow                      // pop r, l; push l ^ r
+)
+
+type instr struct {
+	op opcode
+	a  int32
+}
+
+// exec runs one compiled test program and returns its value. ok=false
+// signals an evaluation error (the clause fails).
+func (v *valuation) exec(code []instr) (value, bool) {
+	d := v.d
+	st := v.stack[:0]
+	for pc := 0; pc < len(code); pc++ {
+		in := code[pc]
+		switch in.op {
+		case opConst:
+			st = append(st, d.consts[in.a])
+		case opAttr:
+			st = append(st, strVal(v.slots[in.a]))
+		case opAttrDyn:
+			name := st[len(st)-1]
+			if name.kind != vStr {
+				return value{}, false
+			}
+			st[len(st)-1] = strVal(v.lookup(name.s))
+		case opDerefInt, opDerefFloat:
+			out, ok := derefValue(st[len(st)-1], in.op == opDerefFloat)
+			if !ok {
+				return value{}, false
+			}
+			st[len(st)-1] = out
+		case opNot:
+			x := st[len(st)-1]
+			if x.kind != vBool {
+				return value{}, false
+			}
+			st[len(st)-1] = boolVal(!x.b)
+		case opNeg:
+			x := st[len(st)-1]
+			if x.kind != vNum {
+				return value{}, false
+			}
+			out := numVal(-x.f)
+			out.isInt = x.isInt
+			st[len(st)-1] = out
+		case opJumpFalse:
+			x := st[len(st)-1]
+			if x.kind != vBool {
+				return value{}, false
+			}
+			if !x.b {
+				pc = int(in.a) - 1 // leave false on the stack
+			} else {
+				st = st[:len(st)-1]
+			}
+		case opJumpTrue:
+			x := st[len(st)-1]
+			if x.kind != vBool {
+				return value{}, false
+			}
+			if x.b {
+				pc = int(in.a) - 1 // leave true on the stack
+			} else {
+				st = st[:len(st)-1]
+			}
+		case opToBool:
+			if st[len(st)-1].kind != vBool {
+				return value{}, false
+			}
+		case opEq, opNe, opLt, opGt, opLe, opGe:
+			r, l := st[len(st)-1], st[len(st)-2]
+			out, ok := compareValues(in.op, l, r)
+			if !ok {
+				return value{}, false
+			}
+			st = st[:len(st)-1]
+			st[len(st)-1] = out
+		case opMatch:
+			r, l := st[len(st)-1], st[len(st)-2]
+			if l.kind != vStr || r.kind != vStr {
+				return value{}, false
+			}
+			re, ok := v.compileRegex(r.s)
+			if !ok {
+				return value{}, false
+			}
+			st = st[:len(st)-1]
+			st[len(st)-1] = boolVal(re.MatchString(l.s))
+		case opMatchConst:
+			l := st[len(st)-1]
+			if l.kind != vStr {
+				return value{}, false
+			}
+			re := d.regexes[in.a]
+			if re == nil { // constant pattern that does not compile
+				return value{}, false
+			}
+			st[len(st)-1] = boolVal(re.MatchString(l.s))
+		case opConcat:
+			r, l := st[len(st)-1], st[len(st)-2]
+			out, ok := concatValues(l, r)
+			if !ok {
+				return value{}, false
+			}
+			st = st[:len(st)-1]
+			st[len(st)-1] = out
+		default: // opAdd..opPow
+			r, l := st[len(st)-1], st[len(st)-2]
+			out, ok := arithValues(in.op, l, r)
+			if !ok {
+				return value{}, false
+			}
+			st = st[:len(st)-1]
+			st[len(st)-1] = out
+		}
+	}
+	v.stack = st[:0]
+	return st[0], true
+}
+
+// compileRegex resolves a dynamic ~= pattern through the valuation's
+// cache. The cache is bounded: pathological query attributes cannot
+// grow it without limit.
+func (v *valuation) compileRegex(pat string) (*regexp.Regexp, bool) {
+	if re, ok := v.regexCache[pat]; ok {
+		return re, re != nil
+	}
+	if v.regexCache == nil || len(v.regexCache) >= 64 {
+		v.regexCache = make(map[string]*regexp.Regexp, 8)
+	}
+	re, err := regexp.Compile(pat)
+	if err != nil {
+		v.regexCache[pat] = nil
+		return nil, false
+	}
+	v.regexCache[pat] = re
+	return re, true
+}
+
+// Licensee expressions compile to a postfix program over an int stack:
+// push a principal's current valuation, combine with min (&&), max
+// (||), or K-th largest (threshold).
+
+type licOpcode uint8
+
+const (
+	licPush licOpcode = iota // push valuation of principal pid a
+	licAnd                   // pop two, push min
+	licOr                    // pop two, push max
+	licKOf                   // pop n (in b), push K-th (a) largest
+)
+
+type licInstr struct {
+	op licOpcode
+	a  int32 // pid for licPush; K for licKOf
+	b  int32 // arity for licKOf
+}
+
+// execLic evaluates a compiled licensee program against the current
+// principal valuation.
+func (v *valuation) execLic(code []licInstr) int {
+	st := v.licStack[:0]
+	for _, in := range code {
+		switch in.op {
+		case licPush:
+			st = append(st, v.val[in.a])
+		case licAnd:
+			a, b := st[len(st)-2], st[len(st)-1]
+			st = st[:len(st)-1]
+			if b < a {
+				st[len(st)-1] = b
+			}
+		case licOr:
+			a, b := st[len(st)-2], st[len(st)-1]
+			st = st[:len(st)-1]
+			if b > a {
+				st[len(st)-1] = b
+			}
+		default: // licKOf: K-th largest of the top b values
+			n := int(in.b)
+			args := st[len(st)-n:]
+			// Insertion sort, descending; n is small (threshold arity).
+			for i := 1; i < n; i++ {
+				x := args[i]
+				j := i - 1
+				for j >= 0 && args[j] < x {
+					args[j+1] = args[j]
+					j--
+				}
+				args[j+1] = x
+			}
+			kth := args[int(in.a)-1]
+			st = st[:len(st)-n]
+			st = append(st, kth)
+		}
+	}
+	v.licStack = st[:0]
+	return st[0]
+}

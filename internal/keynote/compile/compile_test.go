@@ -1,0 +1,486 @@
+package compile
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+)
+
+func mustParseAll(t *testing.T, src string) (policy, creds []*keynote.Assertion) {
+	t.Helper()
+	asserts, err := keynote.ParseAll(src)
+	if err != nil {
+		t.Fatalf("ParseAll: %v", err)
+	}
+	for _, a := range asserts {
+		if a.IsPolicy() {
+			policy = append(policy, a)
+		} else {
+			creds = append(creds, a)
+		}
+	}
+	return policy, creds
+}
+
+func compileSet(t *testing.T, src string) *DAG {
+	t.Helper()
+	policy, creds := mustParseAll(t, src)
+	d, err := Compile(policy, creds, nil)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return d
+}
+
+func factKinds(d *DAG) map[FactKind]int {
+	out := map[FactKind]int{}
+	for _, f := range d.Facts() {
+		out[f.Kind]++
+	}
+	return out
+}
+
+// assertParity checks a compiled set against the interpreter on one query.
+func assertParity(t *testing.T, policy, creds []*keynote.Assertion, d *DAG, q keynote.Query) {
+	t.Helper()
+	chk, err := keynote.NewChecker(policy, keynote.WithoutSignatureVerification())
+	if err != nil {
+		t.Fatalf("NewChecker: %v", err)
+	}
+	want, werr := chk.CheckPreverified(q, creds)
+	got, gerr := d.Check(q)
+	if (werr == nil) != (gerr == nil) {
+		t.Fatalf("error divergence: interpreter=%v compiled=%v", werr, gerr)
+	}
+	if werr != nil {
+		if werr.Error() != gerr.Error() {
+			t.Fatalf("error text: interpreter=%q compiled=%q", werr, gerr)
+		}
+		return
+	}
+	if want.Value != got.Value || want.Index != got.Index || want.Passes != got.Passes {
+		t.Fatalf("divergence on %+v:\ninterpreter (%q, %d, passes %d)\ncompiled    (%q, %d, passes %d)",
+			q, want.Value, want.Index, want.Passes, got.Value, got.Index, got.Passes)
+	}
+	if !reflect.DeepEqual(want.PrincipalValues, got.PrincipalValues) {
+		t.Fatalf("principal values: interpreter=%v compiled=%v", want.PrincipalValues, got.PrincipalValues)
+	}
+	if !reflect.DeepEqual(want.Chain, got.Chain) {
+		t.Fatalf("chain: interpreter=%v compiled=%v", want.Chain, got.Chain)
+	}
+}
+
+func TestFigureCorporaParity(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "testdata", "*.kn"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no figure corpora found: %v", err)
+	}
+	queries := []keynote.Query{
+		{Authorizers: []string{"Kalice"}, Attributes: map[string]string{"app_domain": "SalariesDB", "oper": "write"}},
+		{Authorizers: []string{"Kbob"}, Attributes: map[string]string{"app_domain": "SalariesDB", "oper": "read"}},
+		{Authorizers: []string{"Kbob", "Kalice"}, Attributes: map[string]string{"app_domain": "other", "oper": "write"}},
+		{Authorizers: []string{"Kunknown"}, Attributes: map[string]string{}},
+		{Authorizers: []string{"Kalice"}, Attributes: map[string]string{"app_domain": "SalariesDB", "oper": "write"},
+			Values: []string{"_MIN_TRUST", "low", "high", "_MAX_TRUST"}},
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			policy, creds := mustParseAll(t, string(data))
+			if len(policy) == 0 {
+				t.Skip("no POLICY assertion in corpus")
+			}
+			d, err := Compile(policy, creds, nil)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			for _, q := range queries {
+				assertParity(t, policy, creds, d, q)
+			}
+		})
+	}
+}
+
+func TestCheckErrorsMatchInterpreter(t *testing.T) {
+	d := compileSet(t, "Authorizer: POLICY\nLicensees: \"A\"\n")
+	if _, err := d.Check(keynote.Query{}); err == nil ||
+		err.Error() != "keynote: query has no action authorizers" {
+		t.Fatalf("no-authorizers error = %v", err)
+	}
+	if _, err := d.Check(keynote.Query{Authorizers: []string{"A"}, Values: []string{"only"}}); err == nil ||
+		err.Error() != "keynote: compliance-value ordering needs at least two values" {
+		t.Fatalf("short-values error = %v", err)
+	}
+}
+
+func TestCompileRejectsMisuse(t *testing.T) {
+	pol, _ := mustParseAll(t, "Authorizer: POLICY\nLicensees: \"A\"\n")
+	cred, _ := keynote.Parse("KeyNote-Version: 2\nAuthorizer: \"A\"\nLicensees: \"B\"\n")
+	if _, err := Compile([]*keynote.Assertion{cred}, nil, nil); err == nil {
+		t.Fatal("non-POLICY assertion accepted as policy")
+	}
+	if _, err := Compile(pol, pol, nil); err == nil {
+		t.Fatal("POLICY assertion accepted as credential")
+	}
+}
+
+func TestConstantFoldingPrunesClauses(t *testing.T) {
+	// Clause 1 is statically true (kept, test elided); clause 2 is
+	// statically false (pruned); clause 3 stays dynamic.
+	d := compileSet(t, `Authorizer: POLICY
+Licensees: "A"
+Conditions: 1 + 2 == 3; "a" == "b" -> "true"; app == "x";
+`)
+	st := d.Stats()
+	if st.PrunedClauses != 1 {
+		t.Fatalf("PrunedClauses = %d, want 1", st.PrunedClauses)
+	}
+	kinds := factKinds(d)
+	if kinds[FactAlwaysTrue] != 1 || kinds[FactAlwaysFalse] != 1 {
+		t.Fatalf("fact kinds = %v, want one always-true and one always-false", kinds)
+	}
+	// The always-true clause must still grant.
+	res, err := d.Check(keynote.Query{Authorizers: []string{"A"}, Attributes: map[string]string{}})
+	if err != nil || res.Value != "true" {
+		t.Fatalf("Check = (%v, %v), want grant via folded clause", res.Value, err)
+	}
+}
+
+func TestConstantPropagationThroughLocalConstants(t *testing.T) {
+	// parseConstants substitutes W at parse time; the comparison folds.
+	d := compileSet(t, `Local-Constants: W="42"
+Authorizer: POLICY
+Licensees: "A"
+Conditions: @W > 40;
+`)
+	if got := factKinds(d)[FactAlwaysTrue]; got != 1 {
+		t.Fatalf("constant comparison did not fold: facts=%v", d.Facts())
+	}
+	res, err := d.Check(keynote.Query{Authorizers: []string{"A"}})
+	if err != nil || res.Index != 1 {
+		t.Fatalf("Check = (%+v, %v)", res, err)
+	}
+}
+
+func TestTypeErrorFacts(t *testing.T) {
+	d := compileSet(t, `Authorizer: POLICY
+Licensees: "A"
+Conditions: true > 1; @("x" . "y") == 1 || ! "str";
+`)
+	if got := factKinds(d)[FactTypeError]; got < 1 {
+		t.Fatalf("expected type-error facts, got %v", d.Facts())
+	}
+	// Type-confused clauses evaluate to errors in the interpreter and
+	// contribute nothing; parity must hold regardless.
+	policy, creds := mustParseAll(t, `Authorizer: POLICY
+Licensees: "A"
+Conditions: true > 1; @("x" . "y") == 1 || ! "str";
+`)
+	assertParity(t, policy, creds, d, keynote.Query{Authorizers: []string{"A"}})
+}
+
+func TestIntervalContradictionFacts(t *testing.T) {
+	d := compileSet(t, `Authorizer: POLICY
+Licensees: "A"
+Conditions: @level > 5 && @level < 3; &f >= 1.5 && &f <= 1.0 -> "true";
+`)
+	if got := factKinds(d)[FactIntervalContradiction]; got != 2 {
+		t.Fatalf("interval facts = %d, want 2: %v", got, d.Facts())
+	}
+	if st := d.Stats(); st.PrunedClauses != 2 {
+		t.Fatalf("PrunedClauses = %d, want 2", st.PrunedClauses)
+	}
+	// Both clauses unsatisfiable in every environment: always deny.
+	for _, level := range []string{"1", "4", "6", "x"} {
+		res, err := d.Check(keynote.Query{Authorizers: []string{"A"}, Attributes: map[string]string{"level": level, "f": "1.2"}})
+		if err != nil || res.Index != 0 {
+			t.Fatalf("level=%s: Check = (%+v, %v), want deny", level, res, err)
+		}
+	}
+}
+
+func TestIntervalSatisfiableNotPruned(t *testing.T) {
+	d := compileSet(t, `Authorizer: POLICY
+Licensees: "A"
+Conditions: @level > 3 && @level < 5;
+`)
+	if got := factKinds(d)[FactIntervalContradiction]; got != 0 {
+		t.Fatalf("satisfiable interval flagged: %v", d.Facts())
+	}
+	res, err := d.Check(keynote.Query{Authorizers: []string{"A"}, Attributes: map[string]string{"level": "4"}})
+	if err != nil || res.Index != 1 {
+		t.Fatalf("Check = (%+v, %v), want grant", res, err)
+	}
+}
+
+func TestDeadAssertionFact(t *testing.T) {
+	// POLICY delegates to A only under a statically false condition, so
+	// A's onward delegation to B is dead — but raw reachability (which
+	// ignores conditions) still connects it, so PL002 would stay quiet.
+	d := compileSet(t, `Authorizer: POLICY
+Licensees: "A"
+Conditions: 1 == 2;
+
+KeyNote-Version: 2
+Authorizer: "A"
+Licensees: "B"
+`)
+	var dead []Fact
+	for _, f := range d.Facts() {
+		if f.Kind == FactDeadAssertion {
+			dead = append(dead, f)
+		}
+	}
+	if len(dead) != 1 || dead[0].Assertion != 1 {
+		t.Fatalf("dead-assertion facts = %v, want exactly assertion 1", dead)
+	}
+	if !strings.Contains(dead[0].Detail, "unreachable from POLICY") {
+		t.Fatalf("detail = %q", dead[0].Detail)
+	}
+	// And the set indeed denies B.
+	res, err := d.Check(keynote.Query{Authorizers: []string{"B"}})
+	if err != nil || res.Index != 0 {
+		t.Fatalf("Check = (%+v, %v), want deny", res, err)
+	}
+}
+
+func TestCheckBatchMatchesCheck(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "testdata", "figure4.kn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, creds := mustParseAll(t, string(data))
+	d, err := Compile(policy, creds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []keynote.Query{
+		{Authorizers: []string{"Kalice"}, Attributes: map[string]string{"app_domain": "SalariesDB", "oper": "write"}},
+		{Authorizers: []string{"Kalice"}, Attributes: map[string]string{"app_domain": "SalariesDB", "oper": "read"}},
+		{Authorizers: []string{"Kbob"}, Attributes: map[string]string{"app_domain": "SalariesDB", "oper": "read"}},
+		{Authorizers: []string{"Keve"}, Attributes: nil},
+	}
+	batch, err := d.CheckBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		single, err := d.Check(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch[i], single) {
+			t.Fatalf("query %d: batch=%+v single=%+v", i, batch[i], single)
+		}
+	}
+	if _, err := d.CheckBatch([]keynote.Query{{}}); err == nil {
+		t.Fatal("CheckBatch accepted a malformed query")
+	}
+}
+
+func TestAnalyzeAssertionsMixedSet(t *testing.T) {
+	asserts, err := keynote.ParseAll(`Authorizer: POLICY
+Licensees: "A"
+Conditions: 2 > 1;
+
+KeyNote-Version: 2
+Authorizer: "A"
+Licensees: "B"
+Conditions: @x < 1 && @x > 1;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := AnalyzeAssertions(asserts, nil)
+	var sawTrue, sawInterval bool
+	for _, f := range facts {
+		switch f.Kind {
+		case FactAlwaysTrue:
+			sawTrue = f.Assertion == 0
+		case FactIntervalContradiction:
+			sawInterval = f.Assertion == 1
+		}
+	}
+	if !sawTrue || !sawInterval {
+		t.Fatalf("facts = %v, want always-true on assertion 0 and interval contradiction on assertion 1", facts)
+	}
+}
+
+func TestFactPositionsPointIntoConditions(t *testing.T) {
+	src := `Authorizer: POLICY
+Licensees: "A"
+Conditions: app == "x"; 1 == 2;
+`
+	d := compileSet(t, src)
+	var got *Fact
+	for i := range d.Facts() {
+		if d.Facts()[i].Kind == FactAlwaysFalse {
+			got = &d.Facts()[i]
+		}
+	}
+	if got == nil {
+		t.Fatalf("no always-false fact: %v", d.Facts())
+	}
+	if got.Clause != 1 {
+		t.Fatalf("Clause = %d, want 1", got.Clause)
+	}
+	asserts, _ := keynote.ParseAll(src)
+	raw := asserts[0].ConditionsRaw
+	if got.Pos < 0 || got.Pos >= len(raw) || !strings.HasPrefix(raw[got.Pos:], "1 == 2") {
+		t.Fatalf("Pos = %d does not point at the offending clause in %q", got.Pos, raw)
+	}
+}
+
+func TestThresholdLicenseesParity(t *testing.T) {
+	src := `Authorizer: POLICY
+Licensees: 2-of("A", "B", "C") || "D"
+Conditions: op == "go";
+`
+	policy, creds := mustParseAll(t, src)
+	d, err := Compile(policy, creds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, auth := range [][]string{{"A"}, {"A", "B"}, {"A", "B", "C"}, {"D"}, {"A", "D"}} {
+		assertParity(t, policy, creds, d, keynote.Query{
+			Authorizers: auth,
+			Attributes:  map[string]string{"op": "go"},
+		})
+	}
+}
+
+func TestCompiledSessionConcurrency(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "testdata", "figure4.kn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, creds := mustParseAll(t, string(data))
+	d, err := Compile(policy, creds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := keynote.Query{Authorizers: []string{"Kalice"}, Attributes: map[string]string{"app_domain": "SalariesDB", "oper": "write"}}
+	want, err := d.Check(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 200; i++ {
+				res, err := d.Check(q)
+				if err != nil || !reflect.DeepEqual(res, want) {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent Check: %v", err)
+		}
+	}
+}
+
+// TestOperatorMatrixParity sweeps the full expression vocabulary —
+// arithmetic (including ^, %, unary minus), string concatenation,
+// regex matching, $-dereference, the derived _MIN/_MAX/_VALUES/
+// _ACTION_AUTHORIZERS specials resolved dynamically, and constants on
+// the left of comparisons — through both engines over several
+// environments. This is the coverage backstop for the bytecode VM's
+// long tail of opcodes; the fuzzer explores the same space
+// probabilistically.
+func TestOperatorMatrixParity(t *testing.T) {
+	conds := []string{
+		`@num + 1 == 3;`,
+		`@x * 2 >= 6 && @x - 1 < 9;`,
+		`@y / 2 == 2 && @y % 3 == 1;`,
+		`@x ^ 2 == 9;`,
+		`-@x == -3;`,
+		`&f >= 1.25 && &f * 2.0 <= 3.0;`,
+		`name ~= "^finance\\.(manager|clerk)$";`,
+		`name ~= "^sales\\." -> "low";`,
+		`s . "def" == "abcdef";`,
+		`$("na" . "me") == "finance.manager";`,
+		`$("_MIN" . "_TRUST") == "false" && $("_MAX" . "_TRUST") == "true";`,
+		`$("_VAL" . "UES") != "" && $("_ACTION" . "_AUTHORIZERS") != "";`,
+		`2 < @num + 1 && 10 > @y;`,
+		`true && ! false || "a" < "b";`,
+		`s < "zzz" && s >= "abc" && s != "abd";`,
+		`@num == 2 -> "low"; @x == 3 -> "true";`,
+		`name ~= "(" -> "true";`, // bad pattern: clause must error-skip in both engines
+	}
+	envs := []map[string]string{
+		{"num": "2", "x": "3", "y": "4", "f": "1.5", "name": "finance.manager", "s": "abc"},
+		{"num": "7", "x": "0", "y": "9", "f": "0.5", "name": "sales.clerk", "s": "zzz"},
+		{},
+	}
+	for _, cond := range conds {
+		src := "Authorizer: POLICY\nLicensees: \"Kbob\"\nConditions: " + cond + "\n"
+		policy, creds := mustParseAll(t, src)
+		dag := compileSet(t, src)
+		for _, env := range envs {
+			q := keynote.Query{
+				Authorizers: []string{"Kbob"},
+				Attributes:  env,
+				Values:      []string{"false", "low", "true"},
+			}
+			assertParity(t, policy, creds, dag, q)
+		}
+	}
+}
+
+// TestResolverCanonicalisationParity compiles against a live keystore
+// resolver: assertions name principals by advisory name, queries by
+// canonical key ID, and both engines must agree through the shared
+// canonicalisation.
+func TestResolverCanonicalisationParity(t *testing.T) {
+	ks := keys.NewKeyStore()
+	bob := keys.Deterministic("Kbob", "compile-resolver")
+	alice := keys.Deterministic("Kalice", "compile-resolver")
+	ks.Add(bob)
+	ks.Add(alice)
+
+	policy, creds := mustParseAll(t,
+		"Authorizer: POLICY\nLicensees: \"Kbob\"\nConditions: oper==\"read\";\n\n"+
+			"KeyNote-Version: 2\nAuthorizer: \"Kbob\"\nLicensees: \"Kalice\"\nConditions: oper==\"read\";\n")
+	dag, err := Compile(policy, creds, ks)
+	if err != nil {
+		t.Fatalf("Compile with resolver: %v", err)
+	}
+	chk, err := keynote.NewChecker(policy,
+		keynote.WithResolver(ks), keynote.WithoutSignatureVerification())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query by canonical ID and by advisory name: both resolve to the
+	// same principal through the resolver.
+	for _, authorizer := range []string{alice.PublicID(), "Kalice"} {
+		q := keynote.Query{
+			Authorizers: []string{authorizer},
+			Attributes:  map[string]string{"oper": "read"},
+		}
+		got, gotErr := dag.Check(q)
+		want, wantErr := chk.CheckPreverified(q, creds)
+		if (gotErr != nil) != (wantErr != nil) {
+			t.Fatalf("authorizer %q: err %v vs %v", authorizer, gotErr, wantErr)
+		}
+		if got.Value != want.Value || got.Index != want.Index {
+			t.Fatalf("authorizer %q: compiled %q/%d, interpreted %q/%d",
+				authorizer, got.Value, got.Index, want.Value, want.Index)
+		}
+		if want.Value != "true" {
+			t.Fatalf("authorizer %q: expected grant, got %q", authorizer, want.Value)
+		}
+	}
+}

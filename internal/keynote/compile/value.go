@@ -1,0 +1,198 @@
+// Package compile is a static-analysis front end and compiler for
+// admitted KeyNote credential sets. It abstract-interprets every
+// Conditions program (constant folding, type inference, interval
+// analysis of comparison atoms), prunes clauses that can never
+// contribute, and emits a decision DAG: interned principals, postfix
+// licensee programs and stack-machine bytecode for condition tests,
+// evaluable without parse-tree walks or per-check map churn.
+//
+// The DAG's Check is observationally identical to
+// keynote.Checker.CheckPreverified on the same admitted set: same
+// Result (Value, Index, PrincipalValues, Chain, Passes), same error
+// strings. That parity is what lets authz keep Trace/Explain derivable
+// from compiled runs, and it is guarded by FuzzCompiledVsInterpreted.
+//
+// The analysis facts gathered while compiling (always-true/false
+// clauses, type-confused operations, interval contradictions, dead
+// assertions) feed policylint rules PL011–PL014.
+package compile
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file mirrors the dynamic value kernel of internal/keynote's
+// eval.go exactly. The kinds, renderings, coercions and error cases
+// must not drift: the differential fuzzer compares the two evaluators
+// on random programs, and any divergence is a correctness bug here,
+// not there.
+
+type valKind int
+
+const (
+	vStr valKind = iota
+	vNum
+	vBool
+)
+
+type value struct {
+	kind valKind
+	s    string
+	f    float64
+	b    bool
+	// isInt records whether a numeric value is integral, for % semantics.
+	isInt bool
+}
+
+func strVal(s string) value { return value{kind: vStr, s: s} }
+func boolVal(b bool) value  { return value{kind: vBool, b: b} }
+func numVal(f float64) value {
+	return value{kind: vNum, f: f, isInt: f == math.Trunc(f) && !math.IsInf(f, 0)}
+}
+func intVal(i int64) value { return value{kind: vNum, f: float64(i), isInt: true} }
+
+func (v value) String() string {
+	switch v.kind {
+	case vStr:
+		return v.s
+	case vBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	default:
+		if v.isInt {
+			return strconv.FormatInt(int64(v.f), 10)
+		}
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	}
+}
+
+// numLitValue parses a numeric literal the way the interpreter does:
+// integer unless the text contains '.', falling back to float. ok is
+// false when the literal does not evaluate (e.g. digits overflowing
+// both int64 and float64 range rules).
+func numLitValue(text string) (value, bool) {
+	if !strings.Contains(text, ".") {
+		if i, err := strconv.ParseInt(text, 10, 64); err == nil {
+			return intVal(i), true
+		}
+	}
+	f, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return value{}, false
+	}
+	return numVal(f), true
+}
+
+// derefValue applies @ / & numeric dereference semantics to an already
+// evaluated operand. ok is false on evaluation error.
+func derefValue(v value, float bool) (value, bool) {
+	var s string
+	switch v.kind {
+	case vStr:
+		s = v.s
+	case vNum:
+		return v, true // @3 or &(1+2): already numeric
+	default:
+		return value{}, false // numeric dereference of boolean
+	}
+	if float {
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return value{}, false
+		}
+		return numVal(f), true
+	}
+	i, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return value{}, false
+	}
+	return intVal(i), true
+}
+
+// compareValues implements the six ordering comparisons. ok is false on
+// a type error (boolean operand).
+func compareValues(op opcode, l, r value) (value, bool) {
+	var cmp int
+	if l.kind == vNum && r.kind == vNum {
+		switch {
+		case l.f < r.f:
+			cmp = -1
+		case l.f > r.f:
+			cmp = 1
+		}
+	} else if l.kind == vBool || r.kind == vBool {
+		return value{}, false
+	} else {
+		// String comparison; numeric operands coerce to their string
+		// rendering (so @level == "3" behaves predictably).
+		cmp = strings.Compare(l.String(), r.String())
+	}
+	switch op {
+	case opEq:
+		return boolVal(cmp == 0), true
+	case opNe:
+		return boolVal(cmp != 0), true
+	case opLt:
+		return boolVal(cmp < 0), true
+	case opGt:
+		return boolVal(cmp > 0), true
+	case opLe:
+		return boolVal(cmp <= 0), true
+	default: // opGe
+		return boolVal(cmp >= 0), true
+	}
+}
+
+// arithValues implements + - * / % ^ on numeric operands. ok is false
+// on type errors, division/modulo by zero and non-integer modulo.
+func arithValues(op opcode, l, r value) (value, bool) {
+	if l.kind != vNum || r.kind != vNum {
+		return value{}, false
+	}
+	bothInt := l.isInt && r.isInt
+	var f float64
+	switch op {
+	case opAdd:
+		f = l.f + r.f
+	case opSub:
+		f = l.f - r.f
+	case opMul:
+		f = l.f * r.f
+	case opDiv:
+		if r.f == 0 {
+			return value{}, false
+		}
+		if bothInt {
+			return intVal(int64(l.f) / int64(r.f)), true
+		}
+		f = l.f / r.f
+	case opMod:
+		if !bothInt {
+			return value{}, false
+		}
+		if int64(r.f) == 0 {
+			return value{}, false
+		}
+		return intVal(int64(l.f) % int64(r.f)), true
+	case opPow:
+		f = math.Pow(l.f, r.f)
+	}
+	v := numVal(f)
+	if bothInt && f == math.Trunc(f) {
+		v.isInt = true
+	}
+	return v, true
+}
+
+// concatValues implements the '.' operator. ok is false when either
+// operand is boolean.
+func concatValues(l, r value) (value, bool) {
+	if l.kind == vBool || r.kind == vBool {
+		return value{}, false
+	}
+	return strVal(l.String() + r.String()), true
+}

@@ -1,0 +1,132 @@
+package keynote_test
+
+// Differential fuzzing of the compiled decision DAG against the
+// tree-walking interpreter. The compile package promises observational
+// equivalence with Checker.CheckPreverified on any admitted set; this
+// target hunts for divergence — in the folded constants, the pruned
+// clauses, the bytecode machine, the fixpoint, or the chain walk — by
+// throwing arbitrary assertion sets and query environments at both
+// evaluators and comparing every observable field.
+//
+// It lives in package keynote_test because compile imports keynote.
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keynote/compile"
+)
+
+// fuzzValues maps the fuzzed selector onto a few compliance-value
+// orderings, including the default boolean one.
+func fuzzValues(sel uint8) []string {
+	switch sel % 4 {
+	case 0:
+		return nil // DefaultValues
+	case 1:
+		return []string{"_MIN_TRUST", "weak", "strong", "_MAX_TRUST"}
+	case 2:
+		return []string{"no", "maybe", "yes"}
+	default:
+		return []string{"0", "1"}
+	}
+}
+
+func FuzzCompiledVsInterpreted(f *testing.F) {
+	// Seed with the paper's figure corpora plus sets that exercise the
+	// analyses: foldable constants, type confusion, interval-unsat
+	// conjuncts, dead delegation branches, thresholds, $-indirection.
+	for _, name := range []string{"figure2.kn", "figure4.kn", "figure5.kn", "figure7.kn"} {
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			f.Fatalf("reading seed corpus %s: %v", name, err)
+		}
+		f.Add(string(data), "app_domain=SalariesDB\noper=write", "Kalice", "Kbob", uint8(0))
+	}
+	f.Add("Authorizer: POLICY\nLicensees: \"A\"\nConditions: 1+2==3 -> \"yes\"; @x > 2 && @x < 1 -> \"yes\";\n",
+		"x=5", "A", "", uint8(2))
+	f.Add("Authorizer: POLICY\nLicensees: \"A\" && 2-of(\"B\",\"C\",\"D\")\nConditions: $(\"na\" . \"me\") == \"v\";\n",
+		"name=v", "B", "C", uint8(1))
+	f.Add("Authorizer: POLICY\nLicensees: \"A\"\nConditions: true > 1;\n", "", "A", "", uint8(0))
+	f.Add("Authorizer: POLICY\nLicensees: \"A\"\n\nKeyNote-Version: 2\nAuthorizer: \"Z\"\nLicensees: \"Q\"\n",
+		"k=v", "Q", "Z", uint8(3))
+	f.Add("Local-Constants: W=\"3\"\nAuthorizer: POLICY\nLicensees: \"A\"\nConditions: @W % 2 == 1 && &f / 0.5 > 1;\n",
+		"f=1.25", "A", "", uint8(0))
+
+	f.Fuzz(func(t *testing.T, src, attrBlob, auth1, auth2 string, valSel uint8) {
+		asserts, err := keynote.ParseAll(src)
+		if err != nil || len(asserts) == 0 {
+			return
+		}
+		var policy, creds []*keynote.Assertion
+		for _, a := range asserts {
+			if a.IsPolicy() {
+				policy = append(policy, a)
+			} else {
+				creds = append(creds, a)
+			}
+		}
+		if len(policy) == 0 {
+			return
+		}
+		chk, err := keynote.NewChecker(policy, keynote.WithoutSignatureVerification())
+		if err != nil {
+			return
+		}
+		dag, err := compile.Compile(policy, creds, nil)
+		if err != nil {
+			t.Fatalf("Compile failed on a set NewChecker accepted: %v", err)
+		}
+
+		attrs := map[string]string{}
+		for _, line := range strings.Split(attrBlob, "\n") {
+			if k, v, ok := strings.Cut(line, "="); ok && k != "" {
+				attrs[k] = v
+			}
+		}
+		var authorizers []string
+		for _, a := range []string{auth1, auth2} {
+			if a != "" {
+				authorizers = append(authorizers, a)
+			}
+		}
+		q := keynote.Query{
+			Authorizers: authorizers,
+			Attributes:  attrs,
+			Values:      fuzzValues(valSel),
+		}
+
+		want, werr := chk.CheckPreverified(q, creds)
+		got, gerr := dag.Check(q)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("error divergence: interpreter=%v compiled=%v\nset:\n%s", werr, gerr, src)
+		}
+		if werr != nil {
+			if werr.Error() != gerr.Error() {
+				t.Fatalf("error text divergence: interpreter=%q compiled=%q", werr, gerr)
+			}
+			return
+		}
+		if want.Value != got.Value || want.Index != got.Index {
+			t.Fatalf("value divergence: interpreter=(%q,%d) compiled=(%q,%d)\nset:\n%s\nquery: %+v",
+				want.Value, want.Index, got.Value, got.Index, src, q)
+		}
+		if want.Passes != got.Passes {
+			t.Fatalf("fixpoint pass divergence: interpreter=%d compiled=%d\nset:\n%s", want.Passes, got.Passes, src)
+		}
+		if !reflect.DeepEqual(want.PrincipalValues, got.PrincipalValues) {
+			t.Fatalf("principal-value divergence:\ninterpreter=%v\ncompiled=%v\nset:\n%s\nquery: %+v",
+				want.PrincipalValues, got.PrincipalValues, src, q)
+		}
+		if !reflect.DeepEqual(want.Chain, got.Chain) {
+			t.Fatalf("chain divergence: interpreter=%v compiled=%v\nset:\n%s", want.Chain, got.Chain, src)
+		}
+		if len(got.Rejected) != 0 {
+			t.Fatalf("compiled Check reported rejections: %v", got.Rejected)
+		}
+	})
+}

@@ -37,6 +37,10 @@ type Clause struct {
 	Test  Expr
 	Value string
 	Sub   *Program
+	// Pos is the byte offset of the clause's first token in the source
+	// given to ParseConditions (0 for programmatically built clauses).
+	// Static analysis uses it for atom→source-span provenance.
+	Pos int
 }
 
 func (p *Program) String() string {
@@ -268,11 +272,12 @@ func (p *parser) parseProgram(top bool) (*Program, error) {
 		if p.at(tEOF) || p.at(tRBrace) {
 			return prog, nil
 		}
+		pos := p.cur().pos
 		test, err := p.parseExpr()
 		if err != nil {
 			return nil, err
 		}
-		cl := Clause{Test: test}
+		cl := Clause{Test: test, Pos: pos}
 		if p.accept(tArrow) {
 			switch {
 			case p.accept(tLBrace):

@@ -64,6 +64,7 @@ func (l *linter) run() {
 	l.checkWidening()
 	l.checkShadowing()
 	l.checkVocabulary()
+	l.checkStaticFacts()
 }
 
 // compile canonicalises the graph and converts every assertion's

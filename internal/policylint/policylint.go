@@ -25,6 +25,19 @@
 //	PL009 expired-credential      error    validity window already closed
 //	PL010 opaque-conditions       info     outside the ==/&&/|| fragment;
 //	                                       semantic checks skipped
+//	PL011 constant-condition      warning  clause test folds to a constant
+//	                                       under constant propagation
+//	PL012 type-confused           error    expression always fails with a
+//	                                       type error when reached
+//	PL013 dead-assertion          warning  authorizer unreachable from
+//	                                       POLICY once statically void
+//	                                       assertions are removed
+//	PL014 interval-contradiction  error    conjunction bounds a numeric
+//	                                       attribute to an empty interval
+//
+// PL011–PL014 come from the keynote compiler's abstract interpreter
+// (internal/keynote/compile), the same analysis the authz engine runs
+// when it compiles a session's decision DAG at admission.
 //
 // The same engine backs `policytool lint`, the KeyCOM pre-commit gate
 // (decentralisation with guardrails, Figure 8) and post-migration linting
@@ -73,30 +86,38 @@ type Code string
 
 // The finding codes, one per check.
 const (
-	CodeCycle         Code = "PL001"
-	CodeUnreachable   Code = "PL002"
-	CodeWidening      Code = "PL003"
-	CodeConflict      Code = "PL004"
-	CodeUnsatisfiable Code = "PL005"
-	CodeShadowed      Code = "PL006"
-	CodeVocabulary    Code = "PL007"
-	CodeUnsigned      Code = "PL008"
-	CodeExpired       Code = "PL009"
-	CodeOpaque        Code = "PL010"
+	CodeCycle          Code = "PL001"
+	CodeUnreachable    Code = "PL002"
+	CodeWidening       Code = "PL003"
+	CodeConflict       Code = "PL004"
+	CodeUnsatisfiable  Code = "PL005"
+	CodeShadowed       Code = "PL006"
+	CodeVocabulary     Code = "PL007"
+	CodeUnsigned       Code = "PL008"
+	CodeExpired        Code = "PL009"
+	CodeOpaque         Code = "PL010"
+	CodeConstCondition Code = "PL011"
+	CodeTypeConfused   Code = "PL012"
+	CodeDeadAssertion  Code = "PL013"
+	CodeIntervalUnsat  Code = "PL014"
 )
 
 // severityOf is the fixed severity of each code.
 var severityOf = map[Code]Severity{
-	CodeCycle:         Warning,
-	CodeUnreachable:   Warning,
-	CodeWidening:      Warning,
-	CodeConflict:      Warning,
-	CodeUnsatisfiable: Error,
-	CodeShadowed:      Info,
-	CodeVocabulary:    Error,
-	CodeUnsigned:      Error,
-	CodeExpired:       Error,
-	CodeOpaque:        Info,
+	CodeCycle:          Warning,
+	CodeUnreachable:    Warning,
+	CodeWidening:       Warning,
+	CodeConflict:       Warning,
+	CodeUnsatisfiable:  Error,
+	CodeShadowed:       Info,
+	CodeVocabulary:     Error,
+	CodeUnsigned:       Error,
+	CodeExpired:        Error,
+	CodeOpaque:         Info,
+	CodeConstCondition: Warning,
+	CodeTypeConfused:   Error,
+	CodeDeadAssertion:  Warning,
+	CodeIntervalUnsat:  Error,
 }
 
 // Finding is one lint result, anchored to the assertion that caused it.

@@ -1,0 +1,85 @@
+package policylint
+
+import (
+	"fmt"
+	"strings"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keynote/compile"
+)
+
+// checkStaticFacts runs the keynote compiler's abstract interpreter over
+// the linted set and surfaces its analysis facts as findings:
+//
+//	PL011 constant-condition     a clause test is statically true or
+//	                             statically false (folds to a constant
+//	                             under constant propagation)
+//	PL012 type-confused          a subexpression always fails evaluation
+//	                             with a type error when reached (boolean
+//	                             compared, dereferenced or concatenated;
+//	                             division by a constant zero; constant
+//	                             regex that does not compile)
+//	PL013 dead-assertion         the authorizer is unreachable from
+//	                             POLICY once statically void assertions
+//	                             stop contributing delegation edges
+//	                             (plain reachability — PL002 — still
+//	                             sees a path, so the two never overlap)
+//	PL014 interval-contradiction a conjunction constrains a numeric
+//	                             dereference to an empty interval, so
+//	                             the clause is unsatisfiable in every
+//	                             environment
+//
+// These are the same facts the authz engine's session compiler gathers
+// at admission; surfacing them here means `policytool lint`, the KeyCOM
+// pre-commit gate and delegation minting all agree on what "statically
+// broken" means.
+func (l *linter) checkStaticFacts() {
+	asserts := make([]*keynote.Assertion, len(l.srcs))
+	for i, s := range l.srcs {
+		asserts[i] = s.Assertion
+	}
+	for _, f := range compile.AnalyzeAssertions(asserts, l.opt.Resolver) {
+		code, msg := factFinding(f)
+		if code == "" {
+			continue
+		}
+		l.report(f.Assertion, code, "%s", msg)
+	}
+}
+
+// factFinding maps one compiler fact to a finding code and message.
+func factFinding(f compile.Fact) (Code, string) {
+	var b strings.Builder
+	var code Code
+	switch f.Kind {
+	case compile.FactAlwaysTrue:
+		code = CodeConstCondition
+		b.WriteString("condition clause is always true")
+	case compile.FactAlwaysFalse:
+		code = CodeConstCondition
+		b.WriteString("condition clause can never hold")
+	case compile.FactTypeError:
+		code = CodeTypeConfused
+		b.WriteString("expression always fails with a type error")
+	case compile.FactDeadAssertion:
+		code = CodeDeadAssertion
+		b.WriteString("assertion is dead")
+	case compile.FactIntervalContradiction:
+		code = CodeIntervalUnsat
+		b.WriteString("conjunction is interval-unsatisfiable")
+	default:
+		return "", ""
+	}
+	if f.Detail != "" {
+		b.WriteString(": ")
+		b.WriteString(f.Detail)
+	}
+	if f.Expr != "" {
+		b.WriteString(": ")
+		b.WriteString(f.Expr)
+	}
+	if f.Clause >= 0 {
+		fmt.Fprintf(&b, " (clause %d, conditions offset %d)", f.Clause, f.Pos)
+	}
+	return code, b.String()
+}

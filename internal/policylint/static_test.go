@@ -1,0 +1,102 @@
+package policylint
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintText(t *testing.T, src string) *Report {
+	t.Helper()
+	rep, err := LintText("set.kn", src, Options{SkipSignatures: true})
+	if err != nil {
+		t.Fatalf("LintText: %v", err)
+	}
+	return rep
+}
+
+func TestPL011ConstantCondition(t *testing.T) {
+	rep := lintText(t, `Authorizer: POLICY
+Licensees: "A"
+Conditions: 1 + 2 == 3; "x" == "y" -> "true";
+`)
+	got := rep.ByCode(CodeConstCondition)
+	if len(got) != 2 {
+		t.Fatalf("PL011 findings = %v, want 2", rep.Findings)
+	}
+	if got[0].Severity != Warning {
+		t.Fatalf("PL011 severity = %v, want warning", got[0].Severity)
+	}
+	var sawTrue, sawFalse bool
+	for _, f := range got {
+		sawTrue = sawTrue || strings.Contains(f.Message, "always true")
+		sawFalse = sawFalse || strings.Contains(f.Message, "never hold")
+	}
+	if !sawTrue || !sawFalse {
+		t.Fatalf("messages missing variants: %v", got)
+	}
+}
+
+func TestPL012TypeConfused(t *testing.T) {
+	rep := lintText(t, `Authorizer: POLICY
+Licensees: "A"
+Conditions: true > 1;
+`)
+	got := rep.ByCode(CodeTypeConfused)
+	if len(got) == 0 {
+		t.Fatalf("no PL012 finding: %v", rep.Findings)
+	}
+	if got[0].Severity != Error || !rep.HasErrors() {
+		t.Fatalf("PL012 must be an error: %v", got[0])
+	}
+}
+
+func TestPL013DeadAssertion(t *testing.T) {
+	rep := lintText(t, `Authorizer: POLICY
+Licensees: "A"
+Conditions: 1 == 2;
+
+KeyNote-Version: 2
+Authorizer: "A"
+Licensees: "B"
+`)
+	got := rep.ByCode(CodeDeadAssertion)
+	if len(got) != 1 || got[0].Index != 1 {
+		t.Fatalf("PL013 findings = %v, want one on assertion 1", rep.Findings)
+	}
+	if got[0].Severity != Warning {
+		t.Fatalf("PL013 severity = %v", got[0].Severity)
+	}
+	// PL002 must stay quiet: the raw graph still connects A.
+	if ur := rep.ByCode(CodeUnreachable); len(ur) != 0 {
+		t.Fatalf("PL002 double-reported: %v", ur)
+	}
+}
+
+func TestPL014IntervalContradiction(t *testing.T) {
+	rep := lintText(t, `Authorizer: POLICY
+Licensees: "A"
+Conditions: @level > 5 && @level < 3;
+`)
+	got := rep.ByCode(CodeIntervalUnsat)
+	if len(got) != 1 {
+		t.Fatalf("PL014 findings = %v, want 1", rep.Findings)
+	}
+	if got[0].Severity != Error || !rep.HasErrors() {
+		t.Fatalf("PL014 must be an error: %v", got[0])
+	}
+	if !strings.Contains(got[0].Message, "@level") {
+		t.Fatalf("message should name the contradicted atom: %q", got[0].Message)
+	}
+}
+
+func TestStaticFactsQuietOnCleanSet(t *testing.T) {
+	rep := lintText(t, `Authorizer: POLICY
+Licensees: "A"
+Conditions: app_domain == "SalariesDB" && (oper == "read" || oper == "write");
+`)
+	for _, code := range []Code{CodeConstCondition, CodeTypeConfused, CodeDeadAssertion, CodeIntervalUnsat} {
+		if got := rep.ByCode(code); len(got) != 0 {
+			t.Fatalf("%s fired on a clean set: %v", code, got)
+		}
+	}
+}

@@ -18,6 +18,7 @@ func BenchmarkDispatch(b *testing.B) {
 	exec := env.master.Executor()
 	task := cg.Task{OpName: "double", Args: []string{"21"}}
 	op := &cg.Opaque{OpName: "double", OpArity: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := exec(ctx, task, op); err != nil {
@@ -36,6 +37,7 @@ func BenchmarkFederatedRun(b *testing.B) {
 	lib := fedLibrary(b)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g := fedRootGraph(b)
@@ -59,6 +61,7 @@ func BenchmarkRunUnderFaults(b *testing.B) {
 	}, 3, fastRetry(), fastLive())
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g, want := chaosGraph(b, 10)

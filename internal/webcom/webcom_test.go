@@ -87,6 +87,38 @@ func waitClients(t *testing.T, m *Master, n int) {
 
 func echoOp(args []string) (string, error) { return strings.Join(args, ","), nil }
 
+// TestHandshakeSessionsAreCompiled pins the static-compilation wiring:
+// after a handshake both ends' admitted credential sessions decide
+// through a compiled decision DAG, not the tree-walking interpreter.
+func TestHandshakeSessionsAreCompiled(t *testing.T) {
+	env := newTestEnv(t, "X")
+	cl := env.attach("X", map[string]func([]string) (string, error){"echo": echoOp})
+	waitClients(t, env.master, 1)
+
+	env.master.mu.Lock()
+	mc := env.master.clients["X"]
+	env.master.mu.Unlock()
+	if mc == nil || mc.session == nil {
+		t.Fatal("master has no admitted session for client X")
+	}
+	if !mc.session.CompiledOK() {
+		t.Fatal("master-side session not compiled at admission")
+	}
+
+	cl.mu.Lock()
+	cs := cl.session
+	cl.mu.Unlock()
+	if cs == nil {
+		t.Fatal("client has no session for the master")
+	}
+	if !cs.CompiledOK() {
+		t.Fatal("client-side session not compiled at admission")
+	}
+	if st, ok := cs.CompileStats(); !ok || st.Assertions == 0 {
+		t.Fatalf("client-side compile stats = %+v, %v", st, ok)
+	}
+}
+
 func TestHandshakeAndScheduling(t *testing.T) {
 	env := newTestEnv(t, "X")
 	env.attach("X", map[string]func([]string) (string, error){"echo": echoOp})

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, p pass, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("fixture does not parse: %v", err)
+	}
+	return p(fset, f)
+}
+
+func TestCtxFirstFlagsMisplacedContext(t *testing.T) {
+	src := `package p
+
+import "context"
+
+func Decide(q Query, ctx context.Context) error { return nil }
+
+func (s *Session) Submit(name string, ctx context.Context, n int) error { return nil }
+`
+	diags := run(t, ctxFirst, src)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "Decide") || !strings.Contains(diags[0].Message, "parameter 2") {
+		t.Fatalf("first diagnostic wrong: %v", diags[0])
+	}
+	if !strings.Contains(diags[1].Message, "Submit") {
+		t.Fatalf("second diagnostic wrong: %v", diags[1])
+	}
+}
+
+func TestCtxFirstAcceptsConventionalSignatures(t *testing.T) {
+	src := `package p
+
+import "context"
+
+func Decide(ctx context.Context, q Query) error { return nil }
+
+func Plain(a, b int) int { return a + b }
+
+func NoParams() {}
+
+func (s *Session) Check(_ context.Context, q Query) error { return nil }
+
+// unexported helpers are exempt: test helpers take testing.TB first.
+func runForbidden(tb testing.TB, env *chaosEnv, ctx context.Context) error { return nil }
+`
+	if diags := run(t, ctxFirst, src); len(diags) != 0 {
+		t.Fatalf("clean fixture flagged: %v", diags)
+	}
+}
+
+func TestCtxFirstGroupedParameters(t *testing.T) {
+	// a, b share one field; ctx lands at position 3.
+	src := `package p
+
+import "context"
+
+func Merge(a, b string, ctx context.Context) error { return nil }
+`
+	diags := run(t, ctxFirst, src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "parameter 3") {
+		t.Fatalf("grouped parameters miscounted: %v", diags)
+	}
+}
+
+func TestNilTelemetryFlagsRedundantGuard(t *testing.T) {
+	src := `package p
+
+func (s *Session) hit() {
+	if s.tel != nil {
+		s.tel.Counter("authz.cache.hits").Inc()
+		s.tel.Histogram("authz.decide.latency").Observe(1)
+	}
+	if nil != tel {
+		tel.Counter("x").Inc()
+	}
+}
+`
+	diags := run(t, nilTelemetry, src)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "s.tel") {
+		t.Fatalf("first diagnostic wrong: %v", diags[0])
+	}
+}
+
+func TestNilTelemetrySkipsInitFormDeferPattern(t *testing.T) {
+	// The authz.Decide hot-path shape: the guard exists to skip the
+	// cost of building the defer closure, not to protect against nil.
+	src := `package p
+
+func (s *Session) decide() {
+	if tel := s.engine.tel; tel != nil {
+		defer func() {
+			tel.Histogram("authz.decide.latency").ObserveDuration(start)
+		}()
+	}
+}
+`
+	if diags := run(t, nilTelemetry, src); len(diags) != 0 {
+		t.Fatalf("init-form defer pattern flagged: %v", diags)
+	}
+}
+
+func TestNilTelemetrySkipsGuardsDoingRealWork(t *testing.T) {
+	// The webcom breaker hookup: body registers a callback, so the
+	// guard is load-bearing.
+	src := `package p
+
+func (m *Master) attach(mc *client) {
+	if m.Tel != nil {
+		mc.brk.onTransition = func(_, to breakerState) {
+			m.Tel.Counter("webcom.breaker.opened").Inc()
+		}
+	}
+	if m.Tel != nil {
+		m.Tel.Counter("ok").Inc()
+		log.Println("mixed body")
+	}
+	if m.conn != nil {
+		m.conn.Close()
+	}
+	if m.Tel != nil {
+	}
+}
+`
+	if diags := run(t, nilTelemetry, src); len(diags) != 0 {
+		t.Fatalf("load-bearing or non-telemetry guards flagged: %v", diags)
+	}
+}
+
+func TestChainContains(t *testing.T) {
+	src := `package p
+
+func f() {
+	s.engine.tel.Counter("x").Add(2)
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var call *ast.CallExpr
+	ast.Inspect(f, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && call == nil {
+			call = c
+		}
+		return true
+	})
+	if call == nil {
+		t.Fatal("no call in fixture")
+	}
+	if !chainContains(call, "s.engine.tel") {
+		t.Fatal("chain should contain s.engine.tel")
+	}
+	if chainContains(call, "s.other.tel") {
+		t.Fatal("chain should not contain s.other.tel")
+	}
+}
+
+func TestAnalyzeTreeRunsCleanOnRepo(t *testing.T) {
+	diags, err := analyzeTree("../..")
+	if err != nil {
+		t.Fatalf("analyzeTree: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("repository has analyzer findings:\n%v", diags)
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// ctxFirst reports exported functions and methods whose parameter list
+// contains a context.Context anywhere but first. The repo threads one
+// request context through every layer (authz, webcom, federation); a
+// context buried mid-signature is how the wrong one gets passed.
+func ctxFirst(fset *token.FileSet, f *ast.File) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(f, func(n ast.Node) bool {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok || fd.Type.Params == nil || !fd.Name.IsExported() {
+			return true
+		}
+		pos := 0
+		for _, field := range fd.Type.Params.List {
+			width := len(field.Names)
+			if width == 0 {
+				width = 1
+			}
+			if isContextContext(field.Type) && pos != 0 {
+				diags = append(diags, Diagnostic{
+					Pos:  fset.Position(field.Pos()),
+					Pass: "ctxfirst",
+					Message: fmt.Sprintf(
+						"exported func %s has context.Context as parameter %d; context must be the first parameter",
+						fd.Name.Name, pos+1),
+				})
+			}
+			pos += width
+		}
+		return true
+	})
+	return diags
+}
+
+// isContextContext matches the type expression context.Context.
+func isContextContext(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "context"
+}

@@ -1,0 +1,3 @@
+module securewebcom/tools/analyzers
+
+go 1.22

@@ -1,0 +1,99 @@
+// Command analyzers walks a Go source tree and reports violations of
+// repo-local conventions go vet cannot check. See README.md for why
+// this is a standalone stdlib walker rather than a
+// golang.org/x/tools/go/analysis vettool.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Diagnostic is one finding from a pass, addressable to a source
+// position the same way go vet findings are.
+type Diagnostic struct {
+	Pos     token.Position
+	Pass    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Pass)
+}
+
+// pass is a single check over one parsed file.
+type pass func(fset *token.FileSet, f *ast.File) []Diagnostic
+
+var passes = []pass{ctxFirst, nilTelemetry}
+
+func main() {
+	root := flag.String("root", ".", "directory tree to analyze")
+	flag.Parse()
+	diags, err := analyzeTree(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyzers:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "analyzers: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// analyzeTree parses every .go file under root (skipping .git and
+// testdata directories) and runs all passes over each.
+func analyzeTree(root string) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	var diags []Diagnostic
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		for _, p := range passes {
+			diags = append(diags, p(fset, f)...)
+		}
+		return nil
+	})
+	return diags, err
+}
+
+// exprString renders the dotted form of an identifier or selector
+// chain ("s.engine.tel"); anything else renders empty and never
+// matches.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		base := exprString(v.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + v.Sel.Name
+	}
+	return ""
+}
