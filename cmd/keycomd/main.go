@@ -6,18 +6,31 @@
 // Usage:
 //
 //	keycomd -addr 127.0.0.1:7080 -domain DOMA -admin admin.pub \
-//	    [-class SalariesDB.Component] [-role Clerk]
+//	    [-class SalariesDB.Component] [-role Clerk] [-store /var/lib/keycomd]
 //
 // The service's policy trusts the key in -admin for all KeyCOM actions;
 // that administrator can delegate narrower authority (e.g. "add users to
 // Clerk") to other keys with ordinary KeyNote credentials, which
 // requesters submit alongside their update.
+//
+// With -store the catalogue is durable: every acknowledged update is
+// fsynced to a write-ahead log and a hash-chained audit log before the
+// response goes out, and on restart the daemon replays the store —
+// discarding any torn tail a crash left behind — so it serves exactly
+// the acknowledged history. SIGINT/SIGTERM shut the daemon down
+// gracefully: the listener closes, in-flight commits drain, and the
+// store is flushed and closed before the process exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"securewebcom/internal/keycom"
 	"securewebcom/internal/keynote"
@@ -27,36 +40,55 @@ import (
 	"securewebcom/internal/ossec"
 )
 
+// drainTimeout bounds the graceful drain of in-flight requests.
+const drainTimeout = 5 * time.Second
+
+type config struct {
+	addr     string
+	domain   string
+	admin    string
+	class    string
+	role     string
+	storeDir string
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7080", "listen address")
-	domain := flag.String("domain", "DOMA", "Windows NT domain name of the catalogue")
-	adminPath := flag.String("admin", "", "administrator public-key file")
-	class := flag.String("class", "SalariesDB.Component", "demo COM class ProgID")
-	role := flag.String("role", "Clerk", "demo COM role granted Access on the class")
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:7080", "listen address")
+	flag.StringVar(&cfg.domain, "domain", "DOMA", "Windows NT domain name of the catalogue")
+	flag.StringVar(&cfg.admin, "admin", "", "administrator public-key file")
+	flag.StringVar(&cfg.class, "class", "SalariesDB.Component", "demo COM class ProgID")
+	flag.StringVar(&cfg.role, "role", "Clerk", "demo COM role granted Access on the class")
+	flag.StringVar(&cfg.storeDir, "store", "", "durable store directory (WAL, snapshots, audit chain); empty keeps the catalogue in memory only")
 	flag.Parse()
 
-	if err := realMain(*addr, *domain, *adminPath, *class, *role); err != nil {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := realMain(cfg, os.Stdout, stop); err != nil {
 		fmt.Fprintln(os.Stderr, "keycomd:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(addr, domain, adminPath, class, role string) error {
-	if adminPath == "" {
+// realMain builds the service, serves until stop delivers a signal, and
+// shuts down gracefully. It is the whole daemon minus process plumbing,
+// so tests can run it in a child process and watch out.
+func realMain(cfg config, out io.Writer, stop <-chan os.Signal) error {
+	if cfg.admin == "" {
 		return fmt.Errorf("pass -admin with the administrator's public-key file")
 	}
-	admin, err := keys.Load(adminPath)
+	admin, err := keys.Load(cfg.admin)
 	if err != nil {
 		return err
 	}
 	ks := keys.NewKeyStore()
 	ks.Add(admin)
 
-	nt := ossec.NewNTDomain(domain)
+	nt := ossec.NewNTDomain(cfg.domain)
 	cat := complus.NewCatalogue("keycomd", nt)
-	clsid := cat.RegisterClass(class, map[string]middleware.Handler{})
-	cat.DefineRole(role)
-	if err := cat.Grant(role, class, complus.PermAccess); err != nil {
+	clsid := cat.RegisterClass(cfg.class, map[string]middleware.Handler{})
+	cat.DefineRole(cfg.role)
+	if err := cat.Grant(cfg.role, cfg.class, complus.PermAccess); err != nil {
 		return err
 	}
 
@@ -68,12 +100,50 @@ func realMain(addr, domain, adminPath, class, role string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := keycom.ListenAndServe(keycom.NewService(cat, chk), addr)
+	svc := keycom.NewService(cat, chk)
+
+	var st *keycom.Store
+	if cfg.storeDir != "" {
+		st, err = keycom.OpenStore(cfg.storeDir, keycom.StoreOptions{})
+		if err != nil {
+			return err
+		}
+		info := st.RecoveryInfo()
+		fmt.Fprintf(out, "store: %s at seq %d (snapshot seq %d, %d wal frames replayed)\n",
+			cfg.storeDir, st.Seq(), info.SnapshotSeq, info.Replayed)
+		if info.TornWALBytes > 0 || info.TornAuditBytes > 0 || info.AuditRepaired > 0 {
+			fmt.Fprintf(out, "store: crash repair: %d torn wal bytes discarded, %d torn audit bytes discarded, %d audit lines rebuilt from the wal\n",
+				info.TornWALBytes, info.TornAuditBytes, info.AuditRepaired)
+		}
+		if err := svc.AttachStore(context.Background(), st); err != nil {
+			st.Close()
+			return err
+		}
+	}
+
+	srv, err := keycom.ListenAndServe(svc, cfg.addr)
 	if err != nil {
+		if st != nil {
+			st.Close()
+		}
 		return err
 	}
-	fmt.Printf("keycomd administering NT domain %s on %s\n", domain, srv.Addr())
-	fmt.Printf("catalogue: class %s %s, role %s (Access)\n", class, clsid, role)
-	fmt.Printf("administrator: %s\n", admin.PublicID())
-	select {}
+	fmt.Fprintf(out, "keycomd administering NT domain %s on %s\n", cfg.domain, srv.Addr())
+	fmt.Fprintf(out, "catalogue: class %s %s, role %s (Access)\n", cfg.class, clsid, cfg.role)
+	fmt.Fprintf(out, "administrator: %s\n", admin.PublicID())
+
+	sig := <-stop
+	fmt.Fprintf(out, "keycomd: %s received, draining\n", sig)
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(out, "keycomd: drain timed out, severing connections: %v\n", err)
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			return fmt.Errorf("close store: %w", err)
+		}
+	}
+	fmt.Fprintln(out, "keycomd: shutdown complete")
+	return nil
 }

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"securewebcom/internal/keycom"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/rbac"
+)
+
+// The restart test runs the real daemon — signal handling, store
+// recovery, graceful drain — as a child process: the test binary
+// re-execs itself, and TestMain routes the child into realMain.
+
+func TestMain(m *testing.M) {
+	if os.Getenv("KEYCOMD_E2E_HELPER") == "1" {
+		runHelper()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func runHelper() {
+	cfg := config{
+		addr:     os.Getenv("KEYCOMD_E2E_ADDR"),
+		domain:   "DOMA",
+		admin:    os.Getenv("KEYCOMD_E2E_ADMIN"),
+		class:    "SalariesDB.Component",
+		role:     "Clerk",
+		storeDir: os.Getenv("KEYCOMD_E2E_STORE"),
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := realMain(cfg, os.Stdout, stop); err != nil {
+		fmt.Fprintln(os.Stderr, "keycomd:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// daemon is one child keycomd process under test.
+type daemon struct {
+	cmd   *exec.Cmd
+	lines chan string
+}
+
+// lineWriter splits the child's stdout into lines on a channel. It is
+// wired as cmd.Stdout so exec's pipe copier — which cmd.Wait waits for —
+// feeds it, and no output can be lost to a Wait/read race.
+type lineWriter struct {
+	mu  sync.Mutex
+	buf []byte
+	ch  chan string
+}
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = append(w.buf, p...)
+	for {
+		i := bytes.IndexByte(w.buf, '\n')
+		if i < 0 {
+			return len(p), nil
+		}
+		w.ch <- string(w.buf[:i])
+		w.buf = w.buf[i+1:]
+	}
+}
+
+func startDaemon(t *testing.T, adminPub, storeDir string) *daemon {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"KEYCOMD_E2E_HELPER=1",
+		"KEYCOMD_E2E_ADDR=127.0.0.1:0",
+		"KEYCOMD_E2E_ADMIN="+adminPub,
+		"KEYCOMD_E2E_STORE="+storeDir,
+	)
+	d := &daemon{cmd: cmd, lines: make(chan string, 64)}
+	cmd.Stdout = &lineWriter{ch: d.lines}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return d
+}
+
+// waitLine returns the suffix of the first output line starting with
+// prefix, consuming lines until it appears.
+func (d *daemon) waitLine(t *testing.T, prefix string) string {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case line, ok := <-d.lines:
+			if !ok {
+				t.Fatalf("daemon exited before printing %q", prefix)
+			}
+			if strings.HasPrefix(line, prefix) {
+				return strings.TrimPrefix(line, prefix)
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for daemon output %q", prefix)
+		}
+	}
+}
+
+// stop SIGTERMs the daemon and waits for a clean exit.
+func (d *daemon) stop(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		d.cmd.Process.Kill()
+		t.Fatal("daemon did not exit within 10s of SIGTERM")
+	}
+}
+
+// TestDaemonRestartServesCommittedState is the end-to-end durability
+// check: commit an update over the wire, SIGTERM the daemon, restart it
+// on the same store, and the recovered daemon must serve the committed
+// credential — while an unauthorised update is still refused.
+func TestDaemonRestartServesCommittedState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	dir := t.TempDir()
+	admin := keys.Deterministic("admin", "keycomd-e2e")
+	outsider := keys.Deterministic("mallory", "keycomd-e2e")
+	adminPub := filepath.Join(dir, "admin.pub")
+	if err := admin.Save(adminPub, false); err != nil {
+		t.Fatal(err)
+	}
+	storeDir := filepath.Join(dir, "store")
+
+	// First life: boot, commit alice into Clerk, shut down gracefully.
+	d1 := startDaemon(t, adminPub, storeDir)
+	addr := d1.waitLine(t, "keycomd administering NT domain DOMA on ")
+	add := &keycom.UpdateRequest{
+		Requester: admin.PublicID(),
+		Diff: rbac.Diff{AddedUserRole: []rbac.UserRoleEntry{
+			{User: "alice", Domain: "DOMA", Role: "Clerk"}}},
+	}
+	if err := add.Sign(admin); err != nil {
+		t.Fatal(err)
+	}
+	if err := keycom.Submit(addr, add); err != nil {
+		t.Fatalf("authorised update refused: %v", err)
+	}
+	d1.stop(t)
+
+	// Second life: recover from the store and serve the committed state.
+	d2 := startDaemon(t, adminPub, storeDir)
+	recovered := d2.waitLine(t, "store: "+storeDir+" at seq ")
+	if strings.HasPrefix(recovered, "0 ") {
+		t.Fatalf("restart recovered nothing: seq %s", recovered)
+	}
+	addr2 := d2.waitLine(t, "keycomd administering NT domain DOMA on ")
+
+	ext := &keycom.ExtractRequest{Requester: admin.PublicID()}
+	if err := ext.Sign(admin); err != nil {
+		t.Fatal(err)
+	}
+	p, err := keycom.SubmitExtract(addr2, ext)
+	if err != nil {
+		t.Fatalf("extract after restart: %v", err)
+	}
+	if !p.UserHolds("alice", "SalariesDB.Component", "Access") {
+		t.Fatalf("restarted daemon lost the committed credential:\n%s", p)
+	}
+
+	// Authorisation survives recovery too: an outsider's signed update
+	// is still refused.
+	evil := &keycom.UpdateRequest{
+		Requester: outsider.PublicID(),
+		Diff: rbac.Diff{AddedUserRole: []rbac.UserRoleEntry{
+			{User: "mallory", Domain: "DOMA", Role: "Clerk"}}},
+	}
+	if err := evil.Sign(outsider); err != nil {
+		t.Fatal(err)
+	}
+	if err := keycom.Submit(addr2, evil); err == nil {
+		t.Fatal("unauthorised update accepted after restart")
+	}
+	d2.stop(t)
+	d2.waitLine(t, "keycomd: shutdown complete")
+}

@@ -76,6 +76,8 @@ func main() {
 		os.Exit(rep.ExitCode())
 	case "remote-extract":
 		err = cmdRemoteExtract(args)
+	case "audit":
+		err = cmdAudit(args, os.Stdout)
 	case "check":
 		err = cmdCheck(args)
 	case "metrics":
@@ -91,8 +93,64 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: policytool {render|validate|diff|encode|decode|migrate|lint|remote-extract|check|metrics} [flags]")
+		"usage: policytool {render|validate|diff|encode|decode|migrate|lint|remote-extract|audit|check|metrics} [flags]")
 	os.Exit(2)
+}
+
+// cmdAudit verifies a KeyCOM store's hash-chained audit log offline:
+// every record's digest is recomputed, every link checked against its
+// predecessor, and the sequence numbers must run contiguously from 1 —
+// so reordering and in-place edits are detected without trusting the
+// machine that wrote the log. With -dir the chain is additionally
+// cross-referenced against the store's snapshot and write-ahead log,
+// which pin the length the chain must reach — catching a truncated
+// tail that is self-consistent on its own.
+func cmdAudit(args []string, w io.Writer) error {
+	if len(args) < 1 || args[0] != "verify" {
+		return fmt.Errorf("usage: policytool audit verify {-dir storedir | -file audit.log}")
+	}
+	fs := flag.NewFlagSet("audit verify", flag.ExitOnError)
+	dir := fs.String("dir", "", "KeyCOM store directory (cross-checks audit.log against snapshot and WAL)")
+	file := fs.String("file", "", "audit log file to verify (chain consistency only)")
+	jsonOut := fs.Bool("json", false, "emit the verified records as JSON")
+	fs.Parse(args[1:])
+	var chain []keycom.AuditRecord
+	var path string
+	switch {
+	case *dir != "":
+		path = filepath.Join(*dir, "audit.log")
+		var err error
+		if chain, err = keycom.VerifyStoreAudit(nil, *dir); err != nil {
+			return fmt.Errorf("%s: %w", *dir, err)
+		}
+	case *file != "":
+		path = *file
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if chain, err = keycom.VerifyAuditChain(data); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	default:
+		return fmt.Errorf("audit verify requires -dir or -file")
+	}
+	if *jsonOut {
+		out, err := json.MarshalIndent(chain, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, string(out))
+		return nil
+	}
+	if len(chain) == 0 {
+		fmt.Fprintf(w, "%s: empty chain OK\n", path)
+		return nil
+	}
+	head := chain[len(chain)-1]
+	fmt.Fprintf(w, "%s: chain OK, %d records, head %s\n", path, len(chain), head.Hash)
+	fmt.Fprintf(w, "last commit: seq %d by %s (%s)\n", head.Seq, head.Requester, head.Summary)
+	return nil
 }
 
 // cmdMetrics dumps the telemetry surface of a running webcom-master (or

@@ -366,3 +366,85 @@ func TestCheckTraceParityCompiledVsInterpreted(t *testing.T) {
 		t.Fatalf("parity output missing verdict or span lines:\n%s", nc)
 	}
 }
+
+func TestAuditVerifyCLI(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "store")
+	st, err := keycom.OpenStore(storeDir, keycom.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range []rbac.User{"Alice", "Bob", "Carol"} {
+		d := rbac.Diff{AddedUserRole: []rbac.UserRoleEntry{{User: u, Domain: "DOMA", Role: "Clerk"}}}
+		if _, err := st.Commit("admin", d); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	head := st.AuditHead()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := cmdAudit([]string{"verify", "-dir", storeDir}, &out); err != nil {
+		t.Fatalf("verify of intact chain: %v", err)
+	}
+	if !strings.Contains(out.String(), "chain OK, 3 records") || !strings.Contains(out.String(), head) {
+		t.Fatalf("verify output missing record count or head:\n%s", out.String())
+	}
+
+	// -json emits the verified records themselves.
+	out.Reset()
+	if err := cmdAudit([]string{"verify", "-dir", storeDir, "-json"}, &out); err != nil {
+		t.Fatalf("verify -json: %v", err)
+	}
+	var recs []keycom.AuditRecord
+	if err := json.Unmarshal(out.Bytes(), &recs); err != nil {
+		t.Fatalf("verify -json output not a record list: %v", err)
+	}
+	if len(recs) != 3 || recs[2].Hash != head {
+		t.Fatalf("verify -json returned %d records, head %q", len(recs), recs[len(recs)-1].Hash)
+	}
+
+	// An in-place edit is detected.
+	logPath := filepath.Join(storeDir, "audit.log")
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(data, []byte("Alice"), []byte("Mallo"), 1)
+	if err := os.WriteFile(logPath, tampered, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAudit([]string{"verify", "-file", logPath}, io.Discard); err == nil {
+		t.Fatal("verify accepted a tampered chain")
+	}
+
+	// Truncation at a line boundary leaves a self-consistent prefix the
+	// chain alone cannot fault — but -dir cross-references the WAL,
+	// whose frames anchor the length the chain must reach. One missing
+	// line is the repairable crash artifact; two is truncation.
+	lines := bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n"))
+	cutOne := append(bytes.Join(lines[:2], []byte("\n")), '\n')
+	if err := os.WriteFile(logPath, cutOne, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var short bytes.Buffer
+	if err := cmdAudit([]string{"verify", "-file", logPath}, &short); err != nil {
+		t.Fatalf("chain-only verify of line-boundary cut: %v", err)
+	}
+	if !strings.Contains(short.String(), "chain OK, 2 records") {
+		t.Fatalf("shortened chain output:\n%s", short.String())
+	}
+	if err := cmdAudit([]string{"verify", "-dir", storeDir}, io.Discard); err != nil {
+		t.Fatalf("one missing line is the repairable crash artifact: %v", err)
+	}
+	cutTwo := append([]byte{}, lines[0]...)
+	cutTwo = append(cutTwo, '\n')
+	if err := os.WriteFile(logPath, cutTwo, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAudit([]string{"verify", "-dir", storeDir}, io.Discard); err == nil {
+		t.Fatal("verify -dir accepted a chain two records short of the WAL head")
+	}
+}

@@ -23,7 +23,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"securewebcom/internal/authz"
@@ -174,7 +176,19 @@ func realMain(o opts) error {
 		masterKey.PublicID()[:24]+"...", master.Addr(), len(policy))
 
 	if run == "" && graphPath == "" {
-		select {} // serve forever
+		// Serve until interrupted, then drain gracefully: stop accepting,
+		// let in-flight dispatches finish, and only then sever clients.
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		sig := <-stop
+		fmt.Printf("webcom-master: %s received, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := master.Shutdown(ctx); err != nil {
+			fmt.Printf("webcom-master: drain timed out, severing clients: %v\n", err)
+		}
+		fmt.Println("webcom-master: shutdown complete")
+		return nil
 	}
 
 	deadline := time.Now().Add(30 * time.Second)

@@ -109,13 +109,30 @@ type Service struct {
 	// keycom.refusals and the keycom.commit.latency histogram
 	// (seconds). A nil registry disables all instrumentation.
 	Tel *telemetry.Registry
+	// Store, when non-nil, is the durable catalogue: every authorised
+	// diff is committed (WAL + audit chain, fsynced) before it touches
+	// System, so an acknowledged update survives any crash. Wire it with
+	// AttachStore, which also replays recovered state into System.
+	Store *Store
 
 	engOnce sync.Once
 	eng     *authz.Engine
 	audit   *authz.AuditLog
 
-	mu    sync.Mutex // serialises policy updates
-	hooks []func()   // fired after every committed catalogue change
+	mu sync.Mutex // serialises policy updates
+
+	hookMu sync.Mutex // guards hooks registration
+	hooks  []func()   // fired after every committed catalogue change
+
+	// Commit hooks fire outside s.mu (a hook that touched the service
+	// would otherwise deadlock — recovery replay re-fires them through
+	// the same path), but still strictly in commit order: each commit
+	// takes a ticket under s.mu and the turnstile below admits tickets
+	// one at a time.
+	turnMu   sync.Mutex
+	turnCond *sync.Cond
+	ticket   uint64 // last ticket issued (under s.mu)
+	turnDone uint64 // last ticket whose hooks finished (under turnMu)
 }
 
 // NewService creates a KeyCOM service.
@@ -148,10 +165,14 @@ func (s *Service) Audit() *authz.AuditLog {
 // the catalogue — a WebCom master's engine, a stack's trust layer —
 // register their Engine.Invalidate here so a KeyCOM commit flushes
 // their decision caches.
+//
+// Hooks run outside the service lock, in commit order; a hook may query
+// the service or register further hooks, but must not call Apply
+// synchronously (the next commit's hooks wait for it to return).
 func (s *Service) OnCommit(fn func()) {
-	s.mu.Lock()
+	s.hookMu.Lock()
 	s.hooks = append(s.hooks, fn)
-	s.mu.Unlock()
+	s.hookMu.Unlock()
 }
 
 // Apply validates and applies an update request. Either the whole diff is
@@ -213,24 +234,113 @@ func (s *Service) apply(ctx context.Context, req *UpdateRequest) error {
 			return err
 		}
 	}
+	ticket, err := s.commit(ctx, req)
+	if err != nil {
+		return err
+	}
+	s.dispatchHooks(ticket)
+	return nil
+}
+
+// diffValidator is implemented by middleware systems that can reject a
+// diff without applying it (e.g. complus.Catalogue). The commit path
+// checks it before writing the WAL frame so acknowledged frames always
+// re-apply during recovery replay.
+type diffValidator interface {
+	ValidateDiff(d rbac.Diff) error
+}
+
+// commit runs the critical section of an authorised update: lint gate,
+// durable append (when a store is attached), then the middleware
+// catalogue. It returns the commit's hook ticket. The service's own
+// decision cache is flushed before the lock is released, so a reader
+// that sees the new catalogue never races a stale cached decision from
+// this service; external hooks fire later, outside the lock.
+func (s *Service) commit(ctx context.Context, req *UpdateRequest) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.lintGate(ctx, req.Diff); err != nil {
-		return err
+		return 0, err
+	}
+	if v, ok := s.System.(diffValidator); ok {
+		if err := v.ValidateDiff(req.Diff); err != nil {
+			return 0, err
+		}
+	}
+	if s.Store != nil {
+		if _, err := s.Store.Commit(req.Requester, req.Diff); err != nil {
+			return 0, err
+		}
 	}
 	if err := s.System.ApplyDiff(ctx, req.Diff); err != nil {
-		return err
+		return 0, err
 	}
-	// The catalogue changed: flush our own decision cache and fire the
-	// registered invalidation hooks (still under s.mu, so a reader that
-	// sees the new catalogue never races a stale cached decision from
-	// this service).
 	if eng := s.Engine(); eng != nil {
 		eng.Invalidate()
 	}
-	for _, fn := range s.hooks {
+	s.ticket++
+	return s.ticket, nil
+}
+
+// dispatchHooks fires the registered hooks for one commit, outside the
+// service lock but strictly in ticket order.
+func (s *Service) dispatchHooks(ticket uint64) {
+	s.turnMu.Lock()
+	if s.turnCond == nil {
+		s.turnCond = sync.NewCond(&s.turnMu)
+	}
+	for s.turnDone != ticket-1 {
+		s.turnCond.Wait()
+	}
+	s.turnMu.Unlock()
+	s.hookMu.Lock()
+	hooks := append([]func(){}, s.hooks...)
+	s.hookMu.Unlock()
+	for _, fn := range hooks {
 		fn()
 	}
+	s.turnMu.Lock()
+	s.turnDone = ticket
+	s.turnCond.Broadcast()
+	s.turnMu.Unlock()
+}
+
+// AttachStore wires a durable store into the service and replays its
+// recovered catalogue into System: the recovered rows replace the
+// middleware configuration, the service's decision cache is flushed,
+// and the commit hooks are re-fired once — through the same
+// outside-the-lock dispatch path as a live commit — so every consumer
+// cache rebuilds against exactly the last acknowledged commit.
+func (s *Service) AttachStore(ctx context.Context, st *Store) error {
+	s.mu.Lock()
+	s.Store = st
+	if st.Seq() == 0 {
+		// A fresh store adopts the current catalogue (demo seeding, an
+		// installer's initial grants) as its baseline commit, so from here
+		// on the store alone reconstructs the whole configuration.
+		cur, err := s.System.ExtractPolicy(ctx)
+		if err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("keycom: baseline extract: %w", err)
+		}
+		if cur.Len() > 0 {
+			if _, err := st.Commit("baseline", cur.DiffFrom(rbac.NewPolicy())); err != nil {
+				s.mu.Unlock()
+				return fmt.Errorf("keycom: baseline commit: %w", err)
+			}
+		}
+	}
+	if _, err := s.System.ApplyPolicy(ctx, st.Policy()); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("keycom: replay recovered catalogue: %w", err)
+	}
+	if eng := s.Engine(); eng != nil {
+		eng.Invalidate()
+	}
+	s.ticket++
+	ticket := s.ticket
+	s.mu.Unlock()
+	s.dispatchHooks(ticket)
 	return nil
 }
 
@@ -325,6 +435,8 @@ type Server struct {
 
 	mu     sync.Mutex
 	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup // in-flight request handlers
 }
 
 type wireResponse struct {
@@ -338,7 +450,7 @@ func ListenAndServe(svc *Service, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("keycom: listen: %w", err)
 	}
-	s := &Server{svc: svc, ln: ln}
+	s := &Server{svc: svc, ln: ln, conns: make(map[net.Conn]struct{})}
 	go s.acceptLoop()
 	return s, nil
 }
@@ -346,12 +458,65 @@ func ListenAndServe(svc *Service, addr string) (*Server, error) {
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server.
+// Close stops the server immediately: the accept loop ends and every
+// open connection is severed, without waiting for in-flight requests.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
 	s.mu.Unlock()
 	return s.ln.Close()
+}
+
+// Shutdown stops the server gracefully: the listener closes (no new
+// connections), in-flight requests drain — a commit that has been
+// accepted finishes, is fsynced and answered — and only then are the
+// idle connections closed. The context bounds the drain; on expiry the
+// remaining connections are severed and ctx.Err() returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		s.ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// track registers (or on done=false deregisters) a live connection; it
+// reports false when the server is already closing and the connection
+// should be refused.
+func (s *Server) track(conn net.Conn, add bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		if s.closed {
+			return false
+		}
+		s.conns[conn] = struct{}{}
+		return true
+	}
+	delete(s.conns, conn)
+	return true
 }
 
 func (s *Server) acceptLoop() {
@@ -372,6 +537,10 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	if !s.track(conn, true) {
+		return
+	}
+	defer s.track(conn, false)
 	dec := json.NewDecoder(conn)
 	enc := json.NewEncoder(conn)
 	for {
@@ -379,42 +548,51 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := dec.Decode(&env); err != nil {
 			return
 		}
-		switch {
-		case env.Extract != nil:
-			resp := extractResponse{OK: true}
-			p, err := s.svc.Extract(context.Background(), env.Extract)
+		// The request is in flight from here until its response is
+		// written; Shutdown waits for it.
+		s.wg.Add(1)
+		ok := s.handle(&env, enc)
+		s.wg.Done()
+		if !ok {
+			return
+		}
+	}
+}
+
+// handle serves one decoded request and reports whether the connection
+// should stay open.
+func (s *Server) handle(env *wireEnvelope, enc *json.Encoder) bool {
+	switch {
+	case env.Extract != nil:
+		resp := extractResponse{OK: true}
+		p, err := s.svc.Extract(context.Background(), env.Extract)
+		if err != nil {
+			resp = extractResponse{Err: err.Error()}
+		} else {
+			data, err := json.Marshal(p)
 			if err != nil {
 				resp = extractResponse{Err: err.Error()}
 			} else {
-				data, err := json.Marshal(p)
-				if err != nil {
-					resp = extractResponse{Err: err.Error()}
-				} else {
-					resp.Policy = data
-				}
-			}
-			if err := enc.Encode(&resp); err != nil {
-				return
-			}
-		default:
-			req := env.Update
-			if req == nil {
-				// Legacy flat frame: the envelope fields are the update.
-				req = &UpdateRequest{
-					Requester:   env.Requester,
-					Diff:        env.Diff,
-					Credentials: env.Credentials,
-					Sig:         env.Sig,
-				}
-			}
-			resp := wireResponse{OK: true}
-			if err := s.svc.Apply(context.Background(), req); err != nil {
-				resp = wireResponse{OK: false, Err: err.Error()}
-			}
-			if err := enc.Encode(&resp); err != nil {
-				return
+				resp.Policy = data
 			}
 		}
+		return enc.Encode(&resp) == nil
+	default:
+		req := env.Update
+		if req == nil {
+			// Legacy flat frame: the envelope fields are the update.
+			req = &UpdateRequest{
+				Requester:   env.Requester,
+				Diff:        env.Diff,
+				Credentials: env.Credentials,
+				Sig:         env.Sig,
+			}
+		}
+		resp := wireResponse{OK: true}
+		if err := s.svc.Apply(context.Background(), req); err != nil {
+			resp = wireResponse{OK: false, Err: err.Error()}
+		}
+		return enc.Encode(&resp) == nil
 	}
 }
 

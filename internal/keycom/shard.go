@@ -1,0 +1,174 @@
+package keycom
+
+import (
+	"sync"
+
+	"securewebcom/internal/rbac"
+)
+
+// The sharded catalogue index: lock-striped principal→roles and
+// (domain,role)→permissions maps behind the durable store. rbac.Policy
+// answers UserHolds by scanning the whole UserRole relation under one
+// lock; at catalogue sizes the ROADMAP targets (10⁵–10⁶ principals)
+// that scan — and the lock convoy of admission checks behind it — is
+// what makes extract latency grow with the catalogue. The index keeps
+// both relations pre-joined per key and striped across indexShards
+// locks so concurrent admission and the pre-commit lint gate stay flat
+// as the catalogue grows.
+const indexShards = 32
+
+// objPerm is one (object type, permission) grant of a domain-role.
+type objPerm struct {
+	OT rbac.ObjectType
+	P  rbac.Permission
+}
+
+type userShard struct {
+	mu    sync.RWMutex
+	roles map[rbac.User]map[rbac.DomainRole]struct{}
+}
+
+type roleShard struct {
+	mu    sync.RWMutex
+	perms map[rbac.DomainRole]map[objPerm]struct{}
+}
+
+// shardedIndex is the striped read path over a catalogue. Writers
+// (Store.Commit, recovery replay) mutate it under the store lock;
+// readers take only the two shard read-locks their key hashes to.
+type shardedIndex struct {
+	users [indexShards]userShard
+	roles [indexShards]roleShard
+}
+
+func newShardedIndex() *shardedIndex {
+	idx := &shardedIndex{}
+	for i := range idx.users {
+		idx.users[i].roles = make(map[rbac.User]map[rbac.DomainRole]struct{})
+	}
+	for i := range idx.roles {
+		idx.roles[i].perms = make(map[rbac.DomainRole]map[objPerm]struct{})
+	}
+	return idx
+}
+
+// fnv1a is the shard hash (FNV-1a, 32-bit).
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (x *shardedIndex) userShardOf(u rbac.User) *userShard {
+	return &x.users[fnv1a(string(u))%indexShards]
+}
+
+func (x *shardedIndex) roleShardOf(dr rbac.DomainRole) *roleShard {
+	return &x.roles[fnv1a(string(dr.Domain)+"\x00"+string(dr.Role))%indexShards]
+}
+
+// rebuild replaces the index content with policy's rows.
+func (x *shardedIndex) rebuild(p *rbac.Policy) {
+	for i := range x.users {
+		x.users[i].mu.Lock()
+		x.users[i].roles = make(map[rbac.User]map[rbac.DomainRole]struct{})
+		x.users[i].mu.Unlock()
+	}
+	for i := range x.roles {
+		x.roles[i].mu.Lock()
+		x.roles[i].perms = make(map[rbac.DomainRole]map[objPerm]struct{})
+		x.roles[i].mu.Unlock()
+	}
+	var d rbac.Diff
+	d.AddedRolePerm = p.RolePerms()
+	d.AddedUserRole = p.UserRoles()
+	x.apply(d)
+}
+
+// apply folds one committed diff into the index.
+func (x *shardedIndex) apply(d rbac.Diff) {
+	for _, e := range d.AddedRolePerm {
+		sh := x.roleShardOf(rbac.DomainRole{Domain: e.Domain, Role: e.Role})
+		sh.mu.Lock()
+		dr := rbac.DomainRole{Domain: e.Domain, Role: e.Role}
+		set := sh.perms[dr]
+		if set == nil {
+			set = make(map[objPerm]struct{})
+			sh.perms[dr] = set
+		}
+		set[objPerm{e.ObjectType, e.Permission}] = struct{}{}
+		sh.mu.Unlock()
+	}
+	for _, e := range d.RemovedRolePerm {
+		dr := rbac.DomainRole{Domain: e.Domain, Role: e.Role}
+		sh := x.roleShardOf(dr)
+		sh.mu.Lock()
+		if set := sh.perms[dr]; set != nil {
+			delete(set, objPerm{e.ObjectType, e.Permission})
+			if len(set) == 0 {
+				delete(sh.perms, dr)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	for _, e := range d.AddedUserRole {
+		sh := x.userShardOf(e.User)
+		sh.mu.Lock()
+		set := sh.roles[e.User]
+		if set == nil {
+			set = make(map[rbac.DomainRole]struct{})
+			sh.roles[e.User] = set
+		}
+		set[rbac.DomainRole{Domain: e.Domain, Role: e.Role}] = struct{}{}
+		sh.mu.Unlock()
+	}
+	for _, e := range d.RemovedUserRole {
+		sh := x.userShardOf(e.User)
+		sh.mu.Lock()
+		if set := sh.roles[e.User]; set != nil {
+			delete(set, rbac.DomainRole{Domain: e.Domain, Role: e.Role})
+			if len(set) == 0 {
+				delete(sh.roles, e.User)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// userHolds is the composed access-control decision over the index:
+// ∃ (d, r): UserRole(u, d, r) ∧ RolePerm(d, r, ot, p). It reads the
+// user's shard once, then only the role shards that user's assignments
+// hash to.
+func (x *shardedIndex) userHolds(u rbac.User, ot rbac.ObjectType, p rbac.Permission) bool {
+	ush := x.userShardOf(u)
+	ush.mu.RLock()
+	assigned := ush.roles[u]
+	drs := make([]rbac.DomainRole, 0, len(assigned))
+	for dr := range assigned {
+		drs = append(drs, dr)
+	}
+	ush.mu.RUnlock()
+	want := objPerm{ot, p}
+	for _, dr := range drs {
+		rsh := x.roleShardOf(dr)
+		rsh.mu.RLock()
+		_, ok := rsh.perms[dr][want]
+		rsh.mu.RUnlock()
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// rolesOf returns how many domain-role pairs u is assigned to — used by
+// tests to cross-check the index against the policy oracle.
+func (x *shardedIndex) rolesOf(u rbac.User) int {
+	ush := x.userShardOf(u)
+	ush.mu.RLock()
+	defer ush.mu.RUnlock()
+	return len(ush.roles[u])
+}

@@ -1,0 +1,163 @@
+package keycom
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"time"
+
+	"securewebcom/internal/faultfs"
+	"securewebcom/internal/rbac"
+	"securewebcom/internal/telemetry"
+)
+
+// The write-ahead log: every committed catalogue update is appended as
+// one length-prefixed, checksummed frame and fsynced before the commit
+// is acknowledged. Frame layout:
+//
+//	[4 bytes big-endian payload length][4 bytes CRC32C of payload][payload]
+//
+// The payload is the JSON walRecord. Recovery reads frames
+// sequentially; the first frame whose header is short, whose length is
+// implausible, whose checksum fails, or whose payload does not decode
+// marks the torn tail — everything from that offset is truncated, never
+// loaded. A checksum-valid record whose sequence number breaks
+// contiguity is not a torn tail but corruption in the middle of
+// acknowledged history, and opening the store fails loudly instead.
+
+// maxWALRecord bounds a frame's declared payload length so a garbage
+// header cannot drive a huge allocation.
+const maxWALRecord = 16 << 20
+
+// walHeaderSize is the frame header: length + checksum.
+const walHeaderSize = 8
+
+// ErrWALCorrupt reports checksum-valid but semantically impossible WAL
+// content (sequence gaps, duplicate sequence numbers): acknowledged
+// history has been altered, and the store refuses to open.
+var ErrWALCorrupt = errors.New("keycom: write-ahead log corrupt")
+
+// walRecord is one committed update. It embeds the full audit record
+// for the commit so recovery can re-append an audit line the crash cut
+// off between the WAL fsync and the audit fsync.
+type walRecord struct {
+	Seq   uint64      `json:"seq"`
+	Diff  rbac.Diff   `json:"diff"`
+	Audit AuditRecord `json:"audit"`
+}
+
+// encodeWALRecord renders the frame for one record.
+func encodeWALRecord(rec *walRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("keycom: encode wal record: %w", err)
+	}
+	frame := make([]byte, walHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	copy(frame[walHeaderSize:], payload)
+	return frame, nil
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// parseWAL decodes frames from data. It returns the decoded records and
+// the byte length of the good prefix; bytes past good are a torn tail
+// the caller should truncate. A contiguity violation among
+// checksum-valid records returns ErrWALCorrupt. firstSeq is the
+// sequence number the first record above base must carry (base+1);
+// records with Seq <= base are skipped as pre-snapshot history.
+func parseWAL(data []byte, base uint64) (recs []walRecord, good int, err error) {
+	last := base
+	off := 0
+	for {
+		if len(data)-off < walHeaderSize {
+			return recs, off, nil // torn or empty tail
+		}
+		n := int(binary.BigEndian.Uint32(data[off : off+4]))
+		sum := binary.BigEndian.Uint32(data[off+4 : off+8])
+		if n == 0 || n > maxWALRecord || len(data)-off-walHeaderSize < n {
+			return recs, off, nil
+		}
+		payload := data[off+walHeaderSize : off+walHeaderSize+n]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return recs, off, nil
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, off, nil
+		}
+		if rec.Seq <= base {
+			// Pre-snapshot history awaiting truncation: skip, but it
+			// still has to be internally contiguous ground we walked on.
+			off += walHeaderSize + n
+			continue
+		}
+		if rec.Seq != last+1 {
+			return recs, off, fmt.Errorf("%w: record seq %d after %d", ErrWALCorrupt, rec.Seq, last)
+		}
+		last = rec.Seq
+		recs = append(recs, rec)
+		off += walHeaderSize + n
+	}
+}
+
+// wal is the open write-ahead log file.
+type wal struct {
+	fs   faultfs.FS
+	path string
+	f    faultfs.File
+	size int64 // bytes of fully acknowledged frames
+	tel  *telemetry.Registry
+}
+
+// openWAL opens (creating if absent) the log for appending. size must
+// be the good-prefix length recovery established.
+func openWAL(fsys faultfs.FS, path string, size int64, tel *telemetry.Registry) (*wal, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("keycom: open wal: %w", err)
+	}
+	return &wal{fs: fsys, path: path, f: f, size: size, tel: tel}, nil
+}
+
+// append writes and fsyncs one record. On failure it rewinds the file
+// to the last acknowledged frame so a partial frame cannot poison later
+// appends; if even the rewind fails the error is wrapped and the caller
+// must treat the log as unusable.
+func (w *wal) append(rec *walRecord) error {
+	frame, err := encodeWALRecord(rec)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	_, werr := w.f.Write(frame)
+	if werr == nil {
+		werr = w.f.Sync()
+	}
+	if werr != nil {
+		if terr := w.f.Truncate(w.size); terr != nil {
+			return fmt.Errorf("keycom: wal append failed (%w) and rewind failed (%v): log unusable", werr, terr)
+		}
+		return fmt.Errorf("keycom: wal append: %w", werr)
+	}
+	w.size += int64(len(frame))
+	w.tel.Counter("keycom.wal.appends").Inc()
+	w.tel.Counter("keycom.wal.fsyncs").Inc()
+	w.tel.Histogram("keycom.wal.fsync.latency").ObserveDuration(time.Since(start))
+	return nil
+}
+
+// close closes the underlying file. Every acknowledged frame is already
+// fsynced, so close has nothing left to flush.
+func (w *wal) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

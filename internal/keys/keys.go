@@ -134,27 +134,62 @@ func Verify(pubID string, data []byte, sig string) error {
 	return nil
 }
 
-// KeyStore holds named key pairs. It is safe for concurrent use.
+// keyStoreShards stripes the keystore's two maps across independent
+// locks: principal admission resolves keys on every request, and at
+// catalogue scale (10⁵+ principals) a single RWMutex in front of both
+// maps becomes the contention point.
+const keyStoreShards = 16
+
+type keyShard struct {
+	mu sync.RWMutex
+	m  map[string]*KeyPair
+}
+
+func (s *keyShard) get(k string) (*KeyPair, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	kp, ok := s.m[k]
+	return kp, ok
+}
+
+// keyShardFor is FNV-1a reduced to the shard count.
+func keyShardFor(k string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(k); i++ {
+		h ^= uint32(k[i])
+		h *= 16777619
+	}
+	return h % keyStoreShards
+}
+
+// KeyStore holds named key pairs. It is safe for concurrent use; name
+// and ID lookups are striped across independent lock shards.
 type KeyStore struct {
-	mu     sync.RWMutex
-	byName map[string]*KeyPair
-	byID   map[string]*KeyPair
+	byName [keyStoreShards]keyShard
+	byID   [keyStoreShards]keyShard
 }
 
 // NewKeyStore returns an empty keystore.
 func NewKeyStore() *KeyStore {
-	return &KeyStore{
-		byName: make(map[string]*KeyPair),
-		byID:   make(map[string]*KeyPair),
+	ks := &KeyStore{}
+	for i := 0; i < keyStoreShards; i++ {
+		ks.byName[i].m = make(map[string]*KeyPair)
+		ks.byID[i].m = make(map[string]*KeyPair)
 	}
+	return ks
 }
 
 // Add registers a key pair under its name, replacing any previous binding.
 func (ks *KeyStore) Add(kp *KeyPair) {
-	ks.mu.Lock()
-	defer ks.mu.Unlock()
-	ks.byName[kp.Name] = kp
-	ks.byID[kp.PublicID()] = kp
+	id := kp.PublicID()
+	sh := &ks.byName[keyShardFor(kp.Name)]
+	sh.mu.Lock()
+	sh.m[kp.Name] = kp
+	sh.mu.Unlock()
+	sh = &ks.byID[keyShardFor(id)]
+	sh.mu.Lock()
+	sh.m[id] = kp
+	sh.mu.Unlock()
 }
 
 // GenerateNamed generates (or deterministically derives, if seed != "") a
@@ -176,9 +211,7 @@ func (ks *KeyStore) GenerateNamed(name, seed string) (*KeyPair, error) {
 
 // ByName looks up a key pair by its advisory name.
 func (ks *KeyStore) ByName(name string) (*KeyPair, error) {
-	ks.mu.RLock()
-	defer ks.mu.RUnlock()
-	kp, ok := ks.byName[name]
+	kp, ok := ks.byName[keyShardFor(name)].get(name)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
@@ -187,9 +220,7 @@ func (ks *KeyStore) ByName(name string) (*KeyPair, error) {
 
 // ByID looks up a key pair by canonical public key.
 func (ks *KeyStore) ByID(id string) (*KeyPair, error) {
-	ks.mu.RLock()
-	defer ks.mu.RUnlock()
-	kp, ok := ks.byID[id]
+	kp, ok := ks.byID[keyShardFor(id)].get(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
@@ -212,9 +243,7 @@ func (ks *KeyStore) Resolve(nameOrID string) (string, error) {
 // NameFor returns the advisory name for a canonical ID, or the ID itself if
 // unknown. Useful for rendering credentials in the paper's notation.
 func (ks *KeyStore) NameFor(id string) string {
-	ks.mu.RLock()
-	defer ks.mu.RUnlock()
-	if kp, ok := ks.byID[id]; ok {
+	if kp, ok := ks.byID[keyShardFor(id)].get(id); ok {
 		return kp.Name
 	}
 	return id
@@ -222,11 +251,14 @@ func (ks *KeyStore) NameFor(id string) string {
 
 // Names returns the sorted advisory names of all stored keys.
 func (ks *KeyStore) Names() []string {
-	ks.mu.RLock()
-	defer ks.mu.RUnlock()
-	names := make([]string, 0, len(ks.byName))
-	for n := range ks.byName {
-		names = append(names, n)
+	var names []string
+	for i := range ks.byName {
+		sh := &ks.byName[i]
+		sh.mu.RLock()
+		for n := range sh.m {
+			names = append(names, n)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(names)
 	return names
@@ -234,7 +266,12 @@ func (ks *KeyStore) Names() []string {
 
 // Len returns the number of stored key pairs.
 func (ks *KeyStore) Len() int {
-	ks.mu.RLock()
-	defer ks.mu.RUnlock()
-	return len(ks.byName)
+	n := 0
+	for i := range ks.byName {
+		sh := &ks.byName[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
 }

@@ -294,14 +294,26 @@ func (c *Catalogue) ApplyPolicy(_ context.Context, p *rbac.Policy) (int, error) 
 	return applied, nil
 }
 
-// ApplyDiff implements middleware.SecurityAdapter.
-func (c *Catalogue) ApplyDiff(_ context.Context, diff rbac.Diff) error {
+// ValidateDiff reports, without changing anything, whether ApplyDiff
+// would refuse diff. KeyCOM's durable store calls it before writing a
+// commit to the write-ahead log, so an acknowledged WAL frame can never
+// fail to apply to the catalogue during recovery replay.
+func (c *Catalogue) ValidateDiff(diff rbac.Diff) error {
 	d := c.Domain()
 	for _, e := range diff.AddedRolePerm {
 		if e.Domain == d && !validPerm(string(e.Permission)) {
 			return fmt.Errorf("complus: permission %q is not a COM permission", e.Permission)
 		}
 	}
+	return nil
+}
+
+// ApplyDiff implements middleware.SecurityAdapter.
+func (c *Catalogue) ApplyDiff(_ context.Context, diff rbac.Diff) error {
+	if err := c.ValidateDiff(diff); err != nil {
+		return err
+	}
+	d := c.Domain()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, e := range diff.AddedRolePerm {

@@ -63,6 +63,7 @@ type Master struct {
 	nextID  uint64
 	rr      uint64 // round-robin rotation for load spreading
 	closed  bool
+	wg      sync.WaitGroup // in-flight dispatches, for graceful Shutdown
 }
 
 // Engine returns the master's authorisation engine (built lazily from
@@ -182,6 +183,42 @@ func (m *Master) Close() error {
 		c.fail("master shutting down")
 	}
 	return m.ln.Close()
+}
+
+// Shutdown stops the master gracefully: the listener closes so no new
+// clients are accepted, in-flight dispatches drain — a task already on
+// the wire gets its result back — and only then are the remaining
+// client connections severed. The context bounds the drain; on expiry
+// the clients are severed anyway and ctx.Err() returned.
+func (m *Master) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	already := m.closed
+	m.closed = true
+	m.mu.Unlock()
+	if !already && m.ln != nil {
+		m.ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	m.mu.Lock()
+	clients := make([]*masterClient, 0, len(m.clients))
+	for _, c := range m.clients {
+		clients = append(clients, c)
+	}
+	m.mu.Unlock()
+	for _, c := range clients {
+		c.fail("master shutting down")
+	}
+	return err
 }
 
 func (m *Master) acceptLoop() {
@@ -622,6 +659,8 @@ func (m *Master) Executor() cg.Executor {
 // dispatch sends a task to a client and awaits its result, bounded by
 // the per-dispatch deadline and the client's in-flight limit.
 func (m *Master) dispatch(ctx context.Context, c *masterClient, t cg.Task) (*msg, error) {
+	m.wg.Add(1)
+	defer m.wg.Done()
 	rp := m.Retry.withDefaults(m.MaxAttempts)
 	ctx, cancel := context.WithTimeout(ctx, rp.DispatchTimeout)
 	defer cancel()

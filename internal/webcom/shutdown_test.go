@@ -1,0 +1,125 @@
+package webcom
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"securewebcom/internal/cg"
+)
+
+func slowGraph(t *testing.T) *cg.Graph {
+	t.Helper()
+	g := cg.NewGraph("slow")
+	g.MustAddNode("n", &cg.Opaque{OpName: "slow", OpArity: 1})
+	if err := g.SetConst("n", 0, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetExit("n"); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestMasterShutdownDrainsInFlightDispatch: a graceful shutdown started
+// while a task is on the wire must let that dispatch finish — the client
+// keeps its connection until the result is back — while refusing new
+// connections immediately.
+func TestMasterShutdownDrainsInFlightDispatch(t *testing.T) {
+	env := newTestEnv(t, "X")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	env.attach("X", map[string]func([]string) (string, error){
+		"slow": func(args []string) (string, error) {
+			close(started)
+			<-release
+			return "done", nil
+		},
+	})
+	waitClients(t, env.master, 1)
+
+	type runResult struct {
+		out string
+		err error
+	}
+	runDone := make(chan runResult, 1)
+	go func() {
+		out, _, err := env.master.Run(context.Background(), &cg.Engine{}, slowGraph(t), nil)
+		runDone <- runResult{out, err}
+	}()
+	<-started
+
+	shutDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutDone <- env.master.Shutdown(ctx)
+	}()
+
+	// The listener is closed promptly even while the drain waits.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c, err := net.DialTimeout("tcp", env.master.Addr(), 200*time.Millisecond)
+		if err == nil {
+			c.Close()
+		}
+		if err != nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	select {
+	case err := <-shutDone:
+		t.Fatalf("shutdown returned before the in-flight dispatch drained: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	if err := <-shutDone; err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	r := <-runDone
+	if r.err != nil || r.out != "done" {
+		t.Fatalf("in-flight run under shutdown: %q %v", r.out, r.err)
+	}
+}
+
+// TestMasterShutdownTimeoutSevers: when the drain deadline expires, the
+// remaining clients are severed and ctx.Err() reported.
+func TestMasterShutdownTimeoutSevers(t *testing.T) {
+	env := newTestEnv(t, "X")
+	started := make(chan struct{})
+	block := make(chan struct{})
+	defer close(block)
+	env.attach("X", map[string]func([]string) (string, error){
+		"slow": func(args []string) (string, error) {
+			close(started)
+			<-block
+			return "late", nil
+		},
+	})
+	waitClients(t, env.master, 1)
+
+	runDone := make(chan error, 1)
+	go func() {
+		_, _, err := env.master.Run(context.Background(), &cg.Engine{}, slowGraph(t), nil)
+		runDone <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := env.master.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired drain reported %v, want DeadlineExceeded", err)
+	}
+	select {
+	case err := <-runDone:
+		if err == nil {
+			t.Fatal("run succeeded although its client was severed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not fail after its client was severed")
+	}
+}
