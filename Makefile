@@ -1,0 +1,45 @@
+# Offline build/test/bench entry points. Everything here runs with the
+# Go toolchain and the standard library only — no network, no external
+# binaries — so `make bench` gives the same regression verdicts on a
+# laptop as in CI.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-dispatch bench-authz bench-keycom fuzz-smoke
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the three gated benchmark families -count=5 and compares
+# each median against its recorded BENCH_*.json baseline via
+# tools/benchcmp. Thresholds are deliberately loose (1.5x) — they catch
+# real regressions, not scheduler noise; CI holds the tighter gates.
+bench: bench-dispatch bench-authz bench-keycom
+
+bench-dispatch:
+	$(GO) test -run '^$$' -bench 'BenchmarkDispatch|BenchmarkRunUnderFaults' -benchmem -count=5 -timeout 30m ./internal/webcom/ \
+		| $(GO) run ./tools/benchcmp -baseline BENCH_webcom.json -threshold 1.5
+
+bench-authz:
+	$(GO) test -run '^$$' -bench 'Benchmark' -benchmem -count=5 -timeout 30m ./internal/authz/ \
+		| $(GO) run ./tools/benchcmp -baseline BENCH_authz.json -threshold 1.5
+
+# The default keycom tiers (10k/100k principals) gate here; the 1M tier
+# is opt-in via KEYCOM_BENCH_1M=1 and is recorded informationally in
+# BENCH_keycom.json rather than gated (seeding it takes minutes).
+bench-keycom:
+	$(GO) test -run '^$$' -bench 'BenchmarkStore(Commit|UserHolds|Recover)/' -benchmem -count=5 -timeout 30m ./internal/keycom/ \
+		| $(GO) run ./tools/benchcmp -baseline BENCH_keycom.json -threshold 1.5
+
+fuzz-smoke:
+	$(GO) test -run Fuzz -fuzz=FuzzMsgDecode -fuzztime=10s ./internal/webcom
+	$(GO) test -run Fuzz -fuzz=FuzzCodecRoundTrip -fuzztime=10s ./internal/webcom
+	$(GO) test -run Fuzz -fuzz=FuzzCodecDecode -fuzztime=10s ./internal/webcom

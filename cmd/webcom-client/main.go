@@ -47,6 +47,7 @@ type opts struct {
 	masterAddr, name, keyPath string
 	trustMaster, policyPath   string
 	subAddr, subPolicyPath    string
+	codec                     string
 	subTrust                  []string
 	demoEJB, trace            bool
 	live                      webcom.Liveness
@@ -62,6 +63,7 @@ func main() {
 	flag.StringVar(&o.policyPath, "policy", "", "KeyNote policy file for authorising masters")
 	flag.BoolVar(&o.demoEJB, "demo-ejb", false, "host the demo Salaries EJB container")
 	flag.BoolVar(&o.trace, "trace", false, "log every authorisation denial with its full decision trace")
+	flag.StringVar(&o.codec, "codec", "", "wire codec: empty/\"binary\" negotiates the binary framed codec, \"json\" pins the JSON fallback")
 
 	// Sub-master (hierarchical federation) knobs.
 	flag.StringVar(&o.subAddr, "submaster-addr", "", "run an embedded master for leaf clients on this address (empty disables)")
@@ -145,6 +147,7 @@ func realMain(o opts) error {
 	cl := &webcom.Client{
 		Name:      name,
 		Key:       clientKey,
+		Codec:     o.codec,
 		Checker:   chk,
 		Live:      o.live,
 		Reconnect: o.reconnect,

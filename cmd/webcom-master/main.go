@@ -46,6 +46,7 @@ type opts struct {
 	addr, keyPath, policyPath  string
 	run, graphPath, inputsFlag string
 	metricsAddr                string
+	codec                      string
 	waitClients                int
 	trace                      bool
 	trust                      []string
@@ -66,6 +67,7 @@ func main() {
 	flag.Var(&trust, "trust", "client public-key file to trust for all operations (repeatable)")
 	flag.BoolVar(&o.trace, "trace", false, "log every authorisation denial with its full decision trace")
 	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics, /healthz and /traces on this address (empty disables telemetry)")
+	flag.StringVar(&o.codec, "codec", "", "wire codec: empty/\"binary\" negotiates the binary framed codec per client, \"json\" pins every connection to the JSON fallback")
 
 	// Fault-tolerance knobs; 0 means the library default.
 	flag.IntVar(&o.retry.MaxAttempts, "max-attempts", 0, "scheduling attempts per task (0 = default 3)")
@@ -146,6 +148,7 @@ func realMain(o opts) error {
 	master := webcom.NewMaster(masterKey, chk, nil, ks)
 	master.Retry = o.retry
 	master.Live = o.live
+	master.Codec = o.codec
 	if o.metricsAddr != "" {
 		master.Tel = telemetry.NewRegistry()
 		master.Tracer = telemetry.NewTracer(0)

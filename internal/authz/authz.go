@@ -32,6 +32,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"securewebcom/internal/keynote"
@@ -53,6 +54,7 @@ type Engine struct {
 	mu       sync.Mutex
 	sessions map[string]*CredentialSession // by fingerprint
 	cache    *lruCache
+	epoch    atomic.Uint64 // bumped by Invalidate; see Epoch
 
 	hits, misses, invalidations uint64
 
@@ -174,10 +176,19 @@ func (e *Engine) Session(creds []*keynote.Assertion) *CredentialSession {
 	return s
 }
 
+// Epoch returns the engine's invalidation epoch: a counter bumped by
+// every Invalidate. Callers that derive state from decisions (e.g. the
+// WebCom admission-time verdict bitmaps) snapshot the epoch before
+// deciding and discard the derivation if it moved — a decision computed
+// under epoch N must not be memoised into epoch N+1.
+func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
+
 // Invalidate flushes the decision cache, the admitted sessions and the
-// resolver memo. KeyCOM fires it on every catalogue commit; anything
-// that changes policy inputs out from under the engine should too.
+// resolver memo, and advances the epoch. KeyCOM fires it on every
+// catalogue commit; anything that changes policy inputs out from under
+// the engine should too.
 func (e *Engine) Invalidate() {
+	e.epoch.Add(1)
 	e.mu.Lock()
 	e.cache.clear()
 	e.sessions = make(map[string]*CredentialSession)

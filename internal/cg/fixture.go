@@ -1,0 +1,80 @@
+package cg
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+)
+
+// FixtureSpec parameterises a synthetic condensed graph for benchmarks
+// and SLO gates. The generator is fully deterministic in (Nodes, Seed):
+// the same spec always yields the same wiring, the same constants and
+// the same analytic result, so latency gates never chase a moving
+// workload.
+type FixtureSpec struct {
+	// Nodes is the number of operator nodes (≥ 1). The standard tiers
+	// are 1_000, 10_000 and 50_000.
+	Nodes int
+	// Seed drives the pseudo-random wiring and constants.
+	Seed int64
+	// Remote makes every node an Opaque "add" — the shape the webcom
+	// dispatch plane ships to clients. When false, nodes are local Func
+	// adders and the graph evaluates under LocalExecutor.
+	Remote bool
+}
+
+// Fixture generates a layered binary-add DAG and its expected result.
+//
+// Node i's first operand is node i-1 (a spine that makes the exit
+// depend on every node) and its second is a pseudo-randomly chosen
+// earlier node, so the graph exercises both sequential chains and
+// fan-out (one node feeding many operand ports). Node 0 sums two
+// constants. The expected value is computed analytically alongside
+// construction with the same wrapping int64 arithmetic the "add"
+// operator uses, so correctness checks are exact at any size.
+func Fixture(spec FixtureSpec) (*Graph, string, error) {
+	if spec.Nodes < 1 {
+		return nil, "", fmt.Errorf("cg: fixture needs at least 1 node, got %d", spec.Nodes)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	g := NewGraph(fmt.Sprintf("fixture-%d-%d", spec.Nodes, spec.Seed))
+	newAdd := func() Operator {
+		if spec.Remote {
+			return &Opaque{OpName: "add", OpArity: 2}
+		}
+		return Add()
+	}
+	vals := make([]int64, spec.Nodes)
+	for i := 0; i < spec.Nodes; i++ {
+		id := "n" + strconv.Itoa(i)
+		if _, err := g.AddNode(id, newAdd()); err != nil {
+			return nil, "", err
+		}
+		if i == 0 {
+			a, b := int64(rng.Intn(1000)), int64(rng.Intn(1000))
+			if err := g.SetConst(id, 0, strconv.FormatInt(a, 10)); err != nil {
+				return nil, "", err
+			}
+			if err := g.SetConst(id, 1, strconv.FormatInt(b, 10)); err != nil {
+				return nil, "", err
+			}
+			vals[0] = a + b
+			continue
+		}
+		if err := g.Connect("n"+strconv.Itoa(i-1), id, 0); err != nil {
+			return nil, "", err
+		}
+		j := rng.Intn(i)
+		if err := g.Connect("n"+strconv.Itoa(j), id, 1); err != nil {
+			return nil, "", err
+		}
+		vals[i] = vals[i-1] + vals[j] // wraps exactly like the add op
+	}
+	if err := g.SetExit("n" + strconv.Itoa(spec.Nodes-1)); err != nil {
+		return nil, "", err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, "", err
+	}
+	return g, strconv.FormatInt(vals[spec.Nodes-1], 10), nil
+}

@@ -1,0 +1,81 @@
+package cg
+
+import (
+	"context"
+	"testing"
+)
+
+// TestFixtureTiers evaluates every standard fixture tier locally and
+// checks the engine's answer against the analytically computed result.
+func TestFixtureTiers(t *testing.T) {
+	sizes := []int{1_000, 10_000, 50_000}
+	if testing.Short() {
+		sizes = sizes[:1]
+	}
+	for _, n := range sizes {
+		g, want, err := Fixture(FixtureSpec{Nodes: n, Seed: 42})
+		if err != nil {
+			t.Fatalf("Fixture(%d): %v", n, err)
+		}
+		if got := len(g.Nodes()); got != n {
+			t.Fatalf("Fixture(%d) has %d nodes", n, got)
+		}
+		got, stats, err := (&Engine{Workers: 8}).Run(context.Background(), g, nil)
+		if err != nil {
+			t.Fatalf("run %d nodes: %v", n, err)
+		}
+		if got != want {
+			t.Fatalf("%d nodes: result %q, want %q", n, got, want)
+		}
+		if stats.Fired != n {
+			t.Fatalf("%d nodes: fired %d", n, stats.Fired)
+		}
+	}
+}
+
+// TestFixtureDeterministic pins that identical specs generate identical
+// graphs and results, and that the seed actually matters.
+func TestFixtureDeterministic(t *testing.T) {
+	_, want1, err := Fixture(FixtureSpec{Nodes: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want2, err := Fixture(FixtureSpec{Nodes: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want1 != want2 {
+		t.Fatalf("same spec, different results: %q vs %q", want1, want2)
+	}
+	_, other, err := Fixture(FixtureSpec{Nodes: 500, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == want1 {
+		t.Fatal("different seeds produced identical results (suspicious)")
+	}
+}
+
+// TestFixtureRemoteShape verifies Remote fixtures are built from Opaque
+// nodes — the operator kind the webcom dispatch plane ships to clients.
+func TestFixtureRemoteShape(t *testing.T) {
+	g, _, err := Fixture(FixtureSpec{Nodes: 10, Seed: 1, Remote: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range g.Nodes() {
+		n, _ := g.Node(id)
+		if _, ok := n.Op.(*Opaque); !ok {
+			t.Fatalf("node %s is %T, want *Opaque", id, n.Op)
+		}
+	}
+	if _, _, err := (&Engine{}).Run(context.Background(), g, nil); err == nil {
+		t.Fatal("LocalExecutor accepted an Opaque fixture")
+	}
+}
+
+func TestFixtureRejectsEmpty(t *testing.T) {
+	if _, _, err := Fixture(FixtureSpec{Nodes: 0}); err == nil {
+		t.Fatal("want error for 0 nodes")
+	}
+}

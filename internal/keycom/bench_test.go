@@ -2,6 +2,7 @@ package keycom
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -91,6 +92,97 @@ func BenchmarkStoreUserHolds(b *testing.B) {
 			})
 		})
 	}
+}
+
+// --- 1M-principal tier -------------------------------------------------
+//
+// The million-principal tier is opt-in (KEYCOM_BENCH_1M=1) because
+// seeding it writes tens of megabytes of WAL and takes tens of seconds;
+// the default tiers stay fast enough for every `make bench` run. Seeding
+// uses 20k-user batches — 50 commits total — so setup is bounded by a
+// handful of fsyncs rather than a thousand.
+//
+// Commit latency at this scale is dominated by the snapshot cadence: a
+// full-catalogue snapshot at 1M principals writes ~10^6 JSON rows, and
+// the default every-64-commits cadence folds that cost into the commit
+// stream. That is the intended durability cost model; BENCH_keycom.json
+// records the measured number so regressions are judged against it
+// rather than against the 10k/100k tiers.
+
+const (
+	bench1MSize  = 1_000_000
+	bench1MBatch = 20_000
+)
+
+func skipUnless1M(b *testing.B) {
+	b.Helper()
+	if os.Getenv("KEYCOM_BENCH_1M") == "" {
+		b.Skip("1M-principal tier is opt-in: set KEYCOM_BENCH_1M=1")
+	}
+}
+
+// seedStore1M fills a store with bench1MSize principals in bench1MBatch
+// commits (batch 0 also grants Clerk its permission, like seedDiff).
+func seedStore1M(b *testing.B, st *Store) {
+	b.Helper()
+	for i := 0; i < bench1MSize/bench1MBatch; i++ {
+		var d rbac.Diff
+		if i == 0 {
+			d.AddedRolePerm = []rbac.RolePermEntry{
+				{Domain: "DOMA", Role: "Clerk", ObjectType: "SalariesDB.Component", Permission: "Access"}}
+		}
+		for j := 0; j < bench1MBatch; j++ {
+			d.AddedUserRole = append(d.AddedUserRole, rbac.UserRoleEntry{
+				User: rbac.User(fmt.Sprintf("u%07d", i*bench1MBatch+j)), Domain: "DOMA", Role: "Clerk"})
+		}
+		if _, err := st.Commit("seed", d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreCommit1M appends single-user diffs to a real-disk store
+// holding one million principals, with the default snapshot cadence —
+// the commit-latency number quoted in BENCH_keycom.json.
+func BenchmarkStoreCommit1M(b *testing.B) {
+	skipUnless1M(b)
+	st, err := OpenStore(filepath.Join(b.TempDir(), "store"), StoreOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	seedStore1M(b, st)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := rbac.Diff{AddedUserRole: []rbac.UserRoleEntry{
+			{User: rbac.User(fmt.Sprintf("w%09d", i)), Domain: "DOMA", Role: "Clerk"}}}
+		if _, err := st.Commit("bench", d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreUserHolds1M is the admission read path against a
+// million-principal sharded index (MemFS; no disk in the loop).
+func BenchmarkStoreUserHolds1M(b *testing.B) {
+	skipUnless1M(b)
+	st, err := OpenStore("store", StoreOptions{FS: faultfs.NewMemFS(), SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	seedStore1M(b, st)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			u := rbac.User(fmt.Sprintf("u%07d", i%bench1MSize))
+			if !st.UserHolds(u, "SalariesDB.Component", "Access") {
+				b.Fatalf("seeded principal %s lost access", u)
+			}
+			i++
+		}
+	})
 }
 
 func BenchmarkStoreRecover(b *testing.B) {

@@ -2,18 +2,162 @@ package webcom
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
 	"testing"
 	"time"
 
 	"securewebcom/internal/cg"
 	"securewebcom/internal/faultnet"
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
 )
 
-// BenchmarkDispatch measures one schedule→execute→result round trip over
-// a healthy loopback connection, including the per-task authorisation
-// check on both sides.
+// pipeListener is an in-process transport: Accept hands out the server
+// half of a net.Pipe whose client half dialMem returned. It removes the
+// kernel from the loop, so dispatch-plane benchmarks measure the codec,
+// the scheduler and the authorisation path — not the host's syscall and
+// loopback latency, which varies an order of magnitude across machines.
+type pipeListener struct {
+	ch   chan net.Conn
+	done chan struct{}
+}
+
+func newPipeListener() *pipeListener {
+	return &pipeListener{ch: make(chan net.Conn), done: make(chan struct{})}
+}
+
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, errors.New("pipe listener closed")
+	}
+}
+
+func (l *pipeListener) Close() error {
+	select {
+	case <-l.done:
+	default:
+		close(l.done)
+	}
+	return nil
+}
+
+func (l *pipeListener) Addr() net.Addr {
+	return &net.UnixAddr{Name: "pipe", Net: "mem"}
+}
+
+func (l *pipeListener) dialMem(string) (net.Conn, error) {
+	c1, c2 := net.Pipe()
+	select {
+	case l.ch <- c2:
+		return c1, nil
+	case <-l.done:
+		c1.Close()
+		c2.Close()
+		return nil, errors.New("pipe listener closed")
+	}
+}
+
+// newBenchEnv builds a single-client environment speaking the given
+// codec, with the same policies as the chaos suite. With mem=true the
+// pair is wired over net.Pipe (no syscalls); otherwise it rides healthy
+// loopback TCP through faultnet like the chaos suite.
+func newBenchEnv(tb testing.TB, codec string, mem bool) *chaosEnv {
+	if !mem {
+		return newChaosEnvCodec(tb, faultnet.Config{Seed: 1}, 1, RetryPolicy{}, Liveness{}, codec)
+	}
+	tb.Helper()
+	env := &chaosEnv{tb: tb}
+	ks := keys.NewKeyStore()
+	mk := keys.Deterministic("Kmaster", "webcom-bench")
+	ck := keys.Deterministic("KC0", "webcom-bench")
+	ks.Add(mk)
+	ks.Add(ck)
+	chk, err := keynote.NewChecker([]*keynote.Assertion{keynote.MustNew(
+		"POLICY", fmt.Sprintf("%q", ck.PublicID()), `app_domain=="WebCom";`)},
+		keynote.WithResolver(ks))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	env.master = NewMaster(mk, chk, nil, ks)
+	env.master.Codec = codec
+	ln := newPipeListener()
+	env.master.Serve(ln)
+	tb.Cleanup(func() { env.master.Close() })
+
+	clientChk, err := keynote.NewChecker([]*keynote.Assertion{keynote.MustNew(
+		"POLICY", fmt.Sprintf("%q", mk.PublicID()),
+		`app_domain=="WebCom" && operation != "forbidden";`)},
+		keynote.WithResolver(ks))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cl := &Client{
+		Name:    "C0",
+		Key:     ck,
+		Codec:   codec,
+		Checker: clientChk,
+		Dial:    ln.dialMem,
+		Local: map[string]func([]string) (string, error){
+			"double": func(args []string) (string, error) {
+				n, err := strconv.Atoi(args[0])
+				if err != nil {
+					return "", err
+				}
+				return strconv.Itoa(2 * n), nil
+			},
+			// "add" serves the cg fixture graphs the SLO gates dispatch.
+			"add": func(args []string) (string, error) {
+				a, err := strconv.ParseInt(args[0], 10, 64)
+				if err != nil {
+					return "", err
+				}
+				b, err := strconv.ParseInt(args[1], 10, 64)
+				if err != nil {
+					return "", err
+				}
+				return strconv.FormatInt(a+b, 10), nil
+			},
+		},
+	}
+	if err := cl.Connect(env.master.Addr()); err != nil {
+		tb.Fatal(err)
+	}
+	env.clients = append(env.clients, cl)
+	tb.Cleanup(func() { cl.Close() })
+	waitN(tb, env.master, 1)
+	return env
+}
+
+// BenchmarkDispatch measures one schedule→execute→result round trip of
+// the dispatch plane — binary codec, coalesced writes, admission-time
+// authorisation on both sides — over an in-process pipe transport. This
+// is the number the TestSLO_Dispatch* gates and the CI dispatch-bench
+// job track; BenchmarkDispatchTCP prices the same round trip with the
+// kernel in the loop.
 func BenchmarkDispatch(b *testing.B) {
-	env := newChaosEnv(b, faultnet.Config{Seed: 1}, 1, RetryPolicy{}, Liveness{})
+	benchDispatch(b, newBenchEnv(b, CodecAuto, true))
+}
+
+// BenchmarkDispatchJSON is BenchmarkDispatch over the negotiated-down
+// JSON fallback: the price an old peer pays on the same architecture.
+func BenchmarkDispatchJSON(b *testing.B) {
+	benchDispatch(b, newBenchEnv(b, CodecJSON, true))
+}
+
+// BenchmarkDispatchTCP measures the full round trip over healthy
+// loopback TCP (through the faultnet wrapper, like the chaos suite), so
+// the syscall + loopback floor is visible next to BenchmarkDispatch.
+func BenchmarkDispatchTCP(b *testing.B) {
+	benchDispatch(b, newBenchEnv(b, CodecAuto, false))
+}
+
+func benchDispatch(b *testing.B, env *chaosEnv) {
 	ctx := context.Background()
 	exec := env.master.Executor()
 	task := cg.Task{OpName: "double", Args: []string{"21"}}

@@ -79,6 +79,15 @@ type chaosEnv struct {
 // denials survive chaos without ever executing.
 func newChaosEnv(tb testing.TB, cfg faultnet.Config, nClients int, retry RetryPolicy, live Liveness) *chaosEnv {
 	tb.Helper()
+	return newChaosEnvCodec(tb, cfg, nClients, retry, live, CodecAuto)
+}
+
+// newChaosEnvCodec is newChaosEnv with the wire codec pinned on both
+// sides: CodecAuto negotiates binary/1, CodecJSON keeps every frame on
+// the JSON fallback (required by tests that inspect raw wire bytes, and
+// by the acceptance gate that the fallback survives the full suite).
+func newChaosEnvCodec(tb testing.TB, cfg faultnet.Config, nClients int, retry RetryPolicy, live Liveness, codec string) *chaosEnv {
+	tb.Helper()
 	env := &chaosEnv{tb: tb, inj: faultnet.New(cfg)}
 	ks := keys.NewKeyStore()
 	mk := keys.Deterministic("Kmaster", "webcom-chaos")
@@ -99,6 +108,7 @@ func newChaosEnv(tb testing.TB, cfg faultnet.Config, nClients int, retry RetryPo
 	env.master = NewMaster(mk, chk, nil, ks)
 	env.master.Retry = retry
 	env.master.Live = live
+	env.master.Codec = codec
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		tb.Fatal(err)
@@ -118,6 +128,7 @@ func newChaosEnv(tb testing.TB, cfg faultnet.Config, nClients int, retry RetryPo
 		cl := &Client{
 			Name:    name,
 			Key:     ck,
+			Codec:   codec,
 			Checker: clientChk,
 			Local: map[string]func([]string) (string, error){
 				"double": func(args []string) (string, error) {
@@ -240,78 +251,87 @@ func TestChaosSuite(t *testing.T) {
 	// Acceptance floor: every class must actually land on >= 30% of the
 	// connections it saw, across >= 3 clients.
 	const wantRate, wantConns = 0.3, 3
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			leakCheck(t)
-			tel := telemetry.NewRegistry()
-			tc.cfg.Tel = tel
-			env := newChaosEnv(t, tc.cfg, 3, fastRetry(), fastLive())
-			g, want := chaosGraph(t, tasks)
-			ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
-			defer cancel()
+	// Every fault class runs against both wire codecs: the negotiated
+	// binary/1 frames and the JSON fallback old peers still speak.
+	for _, codec := range []string{CodecAuto, CodecJSON} {
+		codecName := "binary"
+		if codec == CodecJSON {
+			codecName = "json"
+		}
+		for _, tc := range cases {
+			tc := tc
+			t.Run(codecName+"/"+tc.name, func(t *testing.T) {
+				leakCheck(t)
+				tel := telemetry.NewRegistry()
+				tc.cfg.Tel = tel
+				env := newChaosEnvCodec(t, tc.cfg, 3, fastRetry(), fastLive(), codec)
+				g, want := chaosGraph(t, tasks)
+				ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+				defer cancel()
 
-			got, stats, err := env.master.Run(ctx, &cg.Engine{Workers: 8}, g, nil)
-			if err != nil {
-				t.Fatalf("graph failed under %s: %v", tc.name, err)
-			}
-			if got != want {
-				t.Fatalf("result = %q, want %q", got, want)
-			}
-			if stats.Fired != tasks+1 {
-				t.Fatalf("fired %d nodes, want %d", stats.Fired, tasks+1)
-			}
-
-			// The policy-denied op must surface as a denial and must
-			// never have executed, chaos or not.
-			if err := runForbidden(t, env, ctx); err == nil {
-				t.Fatal("forbidden op succeeded")
-			} else if !strings.Contains(err.Error(), "denied") {
-				t.Fatalf("forbidden op failed for the wrong reason: %v", err)
-			}
-			if n := env.forbiddenRuns.Load(); n != 0 {
-				t.Fatalf("policy-denied op executed %d times", n)
-			}
-
-			st := env.inj.Stats()
-			t.Logf("%s: %d conns wrapped, fault rate %.2f, swallowed %dB, corrupted %d writes, dropped %d conns",
-				tc.name, st.Wrapped, st.FaultRate(), st.SwallowedBytes, st.CorruptedWrites, st.DroppedConns)
-			if st.FaultRate() < wantRate {
-				t.Errorf("observed fault rate %.2f < %.2f over %d conns", st.FaultRate(), wantRate, st.Wrapped)
-			}
-			if st.Wrapped < wantConns {
-				t.Errorf("only %d connections wrapped, want >= %d", st.Wrapped, wantConns)
-			}
-
-			// The injector mirrors everything into the telemetry registry;
-			// the fault rate must be recoverable from the metrics alone.
-			snap := tel.Snapshot()
-			if got := snap.Counters["faultnet.wrapped"]; got != int64(st.Wrapped) {
-				t.Errorf("faultnet.wrapped = %d, injector saw %d", got, st.Wrapped)
-			}
-			var faulted int64
-			for class, n := range st.ByClass {
-				key := "faultnet.class." + class.String()
-				if got := snap.Counters[key]; got != int64(n) {
-					t.Errorf("%s = %d, injector saw %d", key, got, n)
+				got, stats, err := env.master.Run(ctx, &cg.Engine{Workers: 8}, g, nil)
+				if err != nil {
+					t.Fatalf("graph failed under %s: %v", tc.name, err)
 				}
-				if class != faultnet.None {
-					faulted += snap.Counters[key]
+				if got != want {
+					t.Fatalf("result = %q, want %q", got, want)
 				}
-			}
-			if wrapped := snap.Counters["faultnet.wrapped"]; wrapped > 0 {
-				if rate := float64(faulted) / float64(wrapped); rate < wantRate {
-					t.Errorf("metric-derived fault rate %.2f < %.2f", rate, wantRate)
+				if stats.Fired != tasks+1 {
+					t.Fatalf("fired %d nodes, want %d", stats.Fired, tasks+1)
 				}
-			}
-			if got := snap.Counters["faultnet.swallowed.bytes"]; got != st.SwallowedBytes {
-				t.Errorf("faultnet.swallowed.bytes = %d, injector saw %d", got, st.SwallowedBytes)
-			}
-			if got := snap.Counters["faultnet.corrupted.writes"]; got != st.CorruptedWrites {
-				t.Errorf("faultnet.corrupted.writes = %d, injector saw %d", got, st.CorruptedWrites)
-			}
-			if got := snap.Counters["faultnet.dropped.conns"]; got != int64(st.DroppedConns) {
-				t.Errorf("faultnet.dropped.conns = %d, injector saw %d", got, st.DroppedConns)
-			}
-		})
+
+				// The policy-denied op must surface as a denial and must
+				// never have executed, chaos or not.
+				if err := runForbidden(t, env, ctx); err == nil {
+					t.Fatal("forbidden op succeeded")
+				} else if !strings.Contains(err.Error(), "denied") {
+					t.Fatalf("forbidden op failed for the wrong reason: %v", err)
+				}
+				if n := env.forbiddenRuns.Load(); n != 0 {
+					t.Fatalf("policy-denied op executed %d times", n)
+				}
+
+				st := env.inj.Stats()
+				t.Logf("%s: %d conns wrapped, fault rate %.2f, swallowed %dB, corrupted %d writes, dropped %d conns",
+					tc.name, st.Wrapped, st.FaultRate(), st.SwallowedBytes, st.CorruptedWrites, st.DroppedConns)
+				if st.FaultRate() < wantRate {
+					t.Errorf("observed fault rate %.2f < %.2f over %d conns", st.FaultRate(), wantRate, st.Wrapped)
+				}
+				if st.Wrapped < wantConns {
+					t.Errorf("only %d connections wrapped, want >= %d", st.Wrapped, wantConns)
+				}
+
+				// The injector mirrors everything into the telemetry registry;
+				// the fault rate must be recoverable from the metrics alone.
+				snap := tel.Snapshot()
+				if got := snap.Counters["faultnet.wrapped"]; got != int64(st.Wrapped) {
+					t.Errorf("faultnet.wrapped = %d, injector saw %d", got, st.Wrapped)
+				}
+				var faulted int64
+				for class, n := range st.ByClass {
+					key := "faultnet.class." + class.String()
+					if got := snap.Counters[key]; got != int64(n) {
+						t.Errorf("%s = %d, injector saw %d", key, got, n)
+					}
+					if class != faultnet.None {
+						faulted += snap.Counters[key]
+					}
+				}
+				if wrapped := snap.Counters["faultnet.wrapped"]; wrapped > 0 {
+					if rate := float64(faulted) / float64(wrapped); rate < wantRate {
+						t.Errorf("metric-derived fault rate %.2f < %.2f", rate, wantRate)
+					}
+				}
+				if got := snap.Counters["faultnet.swallowed.bytes"]; got != st.SwallowedBytes {
+					t.Errorf("faultnet.swallowed.bytes = %d, injector saw %d", got, st.SwallowedBytes)
+				}
+				if got := snap.Counters["faultnet.corrupted.writes"]; got != st.CorruptedWrites {
+					t.Errorf("faultnet.corrupted.writes = %d, injector saw %d", got, st.CorruptedWrites)
+				}
+				if got := snap.Counters["faultnet.dropped.conns"]; got != int64(st.DroppedConns) {
+					t.Errorf("faultnet.dropped.conns = %d, injector saw %d", got, st.DroppedConns)
+				}
+			})
+		}
 	}
 }

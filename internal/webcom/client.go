@@ -56,6 +56,10 @@ type Client struct {
 	// carry the master's trace/span IDs over the wire, so client spans
 	// continue the master's request-scoped chain.
 	Tracer *telemetry.Tracer
+	// Codec selects the wire codec echoed to the master's offer:
+	// CodecAuto/CodecBinary accept binary/1 when offered, CodecJSON
+	// declines every offer and keeps the JSON fallback.
+	Codec string
 	// Sub, when non-nil, makes this client a sub-master (the paper's
 	// Figure 3 recursion: a client that is itself a master). It announces
 	// the submaster role at handshake, accepts delegated condensed
@@ -77,7 +81,10 @@ type Client struct {
 	// session is the master's credential set admitted into the client's
 	// authz engine at handshake; per-operation authorisation of the
 	// master is decided from its cache. Nil when Checker is nil.
-	session  *authz.CredentialSession
+	session *authz.CredentialSession
+	// verdicts is the admission-time verdict bitmap for the current
+	// session (see verdicts.go); nil when Checker is nil.
+	verdicts *verdictSet
 	addr     string
 	closed   bool
 	closedCh chan struct{}
@@ -167,6 +174,9 @@ func (cl *Client) handshake(addr string) (*conn, error) {
 	if cl.Sub != nil {
 		role = roleSubmaster
 	}
+	// Pick one of the master's offered codecs (an old master offers
+	// none; Codec=CodecJSON declines them all).
+	wantCodec := pickCodec(cl.Codec, ch.Codecs)
 	if err := c.send(&msg{
 		Type:        msgHello,
 		Name:        cl.Name,
@@ -175,6 +185,7 @@ func (cl *Client) handshake(addr string) (*conn, error) {
 		Nonce:       counterNonce,
 		Role:        role,
 		Credentials: credTexts,
+		Codec:       wantCodec,
 	}); err != nil {
 		c.close()
 		return nil, err
@@ -203,6 +214,11 @@ func (cl *Client) handshake(addr string) (*conn, error) {
 		c.close()
 		return nil, fmt.Errorf("webcom: master authentication failed: %w", err)
 	}
+	// The master confirms the codec in the welcome; both sides switch
+	// right here, after the last JSON frame of the handshake.
+	if wantCodec == codecBinaryV1 && welcome.Codec == wantCodec {
+		c.setBinary()
+	}
 	c.clearDeadline()
 
 	// Keep the master's presented credentials: the client's policy may
@@ -218,14 +234,17 @@ func (cl *Client) handshake(addr string) (*conn, error) {
 		}
 	}
 	var session *authz.CredentialSession
+	var verdicts *verdictSet
 	if eng := cl.Engine(); eng != nil {
 		session = eng.Session(masterCreds)
+		verdicts = newVerdictSet(eng, session)
 	}
 	cl.mu.Lock()
 	cl.conn = c
 	cl.master = welcome.Principal
 	cl.masterCreds = masterCreds
 	cl.session = session
+	cl.verdicts = verdicts
 	cl.mu.Unlock()
 	return c, nil
 }
@@ -317,9 +336,18 @@ func (cl *Client) redial(rc ReconnectPolicy) (*conn, bool) {
 	return nil, false
 }
 
+// taskWorkers is the size of the per-connection execution pool and its
+// queue depth. Tasks beyond the queue spill to dedicated goroutines, so
+// a saturated pool delays nothing — it only stops the steady state from
+// paying a goroutine spawn per task.
+const (
+	taskWorkers   = 4
+	taskQueueSize = 256
+)
+
 // serve handles one established connection until it dies: it answers
 // the master's pings, heartbeats the master in turn, and executes
-// scheduled tasks.
+// scheduled tasks on a small worker pool.
 func (cl *Client) serve(c *conn) {
 	live := cl.Live.withDefaults()
 	stop := make(chan struct{})
@@ -338,13 +366,24 @@ func (cl *Client) serve(c *conn) {
 					c.close()
 					return
 				}
-				if err := c.send(&msg{Type: msgPing}); err != nil {
+				if err := c.send(pingMsg); err != nil {
 					c.close()
 					return
 				}
 			}
 		}
 	}()
+	// Execution pool: the read loop is the only sender into taskCh, so
+	// closing it on exit is race-free; workers drain and quit.
+	taskCh := make(chan *msg, taskQueueSize)
+	defer close(taskCh)
+	for i := 0; i < taskWorkers; i++ {
+		go func() {
+			for m := range taskCh {
+				cl.runTask(c, m)
+			}
+		}()
+	}
 	for {
 		m, err := c.recv()
 		if err != nil {
@@ -353,37 +392,70 @@ func (cl *Client) serve(c *conn) {
 		}
 		switch m.Type {
 		case msgPing:
-			c.send(&msg{Type: msgPong})
+			c.send(pongMsg)
+			msgRelease(m)
 		case msgSchedule:
-			go func(m *msg) {
-				result, denied, err := cl.execute(m)
-				reply := &msg{Type: msgResult, TaskID: m.TaskID, Result: result, Denied: denied}
-				if err != nil {
-					reply.Err = err.Error()
-				}
-				// Ship the finished spans of this task's trace back with
-				// the result so the tier above can merge them into one
-				// connected chain.
-				if m.TraceID != "" && cl.Tracer != nil {
-					reply.Spans = cl.Tracer.Trace(m.TraceID)
-				}
-				c.send(reply)
-			}(m)
+			select {
+			case taskCh <- m:
+			default:
+				// Queue full: spill to a fresh goroutine rather than
+				// block the read loop — pings must keep flowing even
+				// under a task flood.
+				go cl.runTask(c, m)
+			}
 		case msgDelegate:
-			go func(m *msg) {
-				result, st, denied, err := cl.executeDelegate(m)
-				reply := &msg{Type: msgResult, TaskID: m.TaskID, Result: result,
-					Denied: denied, Fired: st.Fired, Expanded: st.Expanded}
-				if err != nil {
-					reply.Err = err.Error()
-				}
-				if m.TraceID != "" && cl.Tracer != nil {
-					reply.Spans = cl.Tracer.Trace(m.TraceID)
-				}
-				c.send(reply)
-			}(m)
+			// Whole-subgraph delegations run long and are rare; they
+			// always get their own goroutine so they cannot wedge the
+			// task pool.
+			go cl.runDelegate(c, m)
+		default:
+			msgRelease(m)
 		}
 	}
+}
+
+// runTask executes one scheduled operation and ships the result back,
+// releasing both the task and reply messages to the pool.
+func (cl *Client) runTask(c *conn, m *msg) {
+	result, denied, err := cl.execute(m)
+	reply := msgAcquire()
+	reply.Type = msgResult
+	reply.TaskID = m.TaskID
+	reply.Result = result
+	reply.Denied = denied
+	if err != nil {
+		reply.Err = err.Error()
+	}
+	// Ship the finished spans of this task's trace back with the result
+	// so the tier above can merge them into one connected chain.
+	if m.TraceID != "" && cl.Tracer != nil {
+		reply.Spans = cl.Tracer.Trace(m.TraceID)
+	}
+	c.send(reply)
+	msgRelease(reply)
+	msgRelease(m)
+}
+
+// runDelegate evaluates one delegated condensed subgraph and replies
+// with its exit value and evaluation stats.
+func (cl *Client) runDelegate(c *conn, m *msg) {
+	result, st, denied, err := cl.executeDelegate(m)
+	reply := msgAcquire()
+	reply.Type = msgResult
+	reply.TaskID = m.TaskID
+	reply.Result = result
+	reply.Denied = denied
+	reply.Fired = st.Fired
+	reply.Expanded = st.Expanded
+	if err != nil {
+		reply.Err = err.Error()
+	}
+	if m.TraceID != "" && cl.Tracer != nil {
+		reply.Spans = cl.Tracer.Trace(m.TraceID)
+	}
+	c.send(reply)
+	msgRelease(reply)
+	msgRelease(m)
 }
 
 // execute runs one scheduled operation: first the client's own
@@ -407,19 +479,33 @@ func (cl *Client) execute(m *msg) (result string, denied bool, err error) {
 	cl.mu.Lock()
 	master := cl.master
 	session := cl.session
+	verdicts := cl.verdicts
 	cl.mu.Unlock()
 	if session != nil {
-		d, err := session.Decide(ctx, taskQuery(master, m.Op, m.Annotations, m.Args))
-		if err != nil {
-			return "", false, err
-		}
-		if !d.Allowed {
-			if !d.Trace.CacheHit {
-				cl.Audit().Record(master, m.Op, d)
-			}
+		// Fast path: eligible sessions answer from the admission-time
+		// verdict bitmap (one atomic load); vUnknown falls back to the
+		// full cached decision and stamps the result.
+		switch verdicts.lookup(m.Op, m.Annotations) {
+		case vAllow:
+		case vDeny:
 			cl.Tel.Counter("webcom.client.denials").Inc()
 			span.SetAttr("denied", "true")
-			return "", true, fmt.Errorf("client policy refuses master for op %s (denied by %s)", m.Op, d.Trace.DeniedBy())
+			return "", true, fmt.Errorf("client policy refuses master for op %s (admitted-session verdict)", m.Op)
+		default:
+			epoch := cl.Engine().Epoch()
+			d, err := session.Decide(ctx, taskQuery(master, m.Op, m.Annotations, m.Args))
+			if err != nil {
+				return "", false, err
+			}
+			verdicts.stamp(m.Op, m.Annotations, d.Allowed, epoch)
+			if !d.Allowed {
+				if !d.Trace.CacheHit {
+					cl.Audit().Record(master, m.Op, d)
+				}
+				cl.Tel.Counter("webcom.client.denials").Inc()
+				span.SetAttr("denied", "true")
+				return "", true, fmt.Errorf("client policy refuses master for op %s (denied by %s)", m.Op, d.Trace.DeniedBy())
+			}
 		}
 	}
 

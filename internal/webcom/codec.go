@@ -1,0 +1,701 @@
+// Binary wire codec (codec name "binary/1"), negotiated at handshake
+// with JSON retained as the fallback for peers that do not offer it.
+//
+// Frame format: one uvarint payload length, then the payload. The
+// payload is a field-presence bitmask (uvarint) followed by the present
+// fields of msg in declaration order. No reflection, no per-field
+// interface boxing: every field is appended/parsed with hand-rolled
+// varint/length-prefixed primitives, strings decode through a per-
+// connection intern table so hot values (op names, repeated args,
+// annotation keys) cost zero allocations after first sight, and the
+// whole encode path appends into a pooled buffer — one allocation-free
+// memcpy per message in steady state.
+//
+// Encoding rules mirror encoding/json's omitempty semantics exactly, so
+// binary encode→decode is observationally identical to a JSON round
+// trip (guarded by FuzzCodecRoundTrip): a field is present iff its JSON
+// encoding would be, empty-but-non-nil slices/maps decode as nil (JSON
+// re-encoding cannot tell the difference), times travel as
+// time.Time.MarshalBinary (wall clock + offset, monotonic reading
+// dropped — the same information RFC 3339 carries), and signed ints use
+// zigzag varints so hostile negative values round-trip too. CRC is
+// deliberately absent: TCP already checksums the stream, and the chaos
+// suite's corruption class exercises the decoder against damaged frames.
+package webcom
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"securewebcom/internal/telemetry"
+)
+
+// codecBinaryV1 is the codec identifier offered and echoed during
+// handshake negotiation. Version it: a future "binary/2" negotiates the
+// same way without breaking "binary/1" peers.
+const codecBinaryV1 = "binary/1"
+
+// maxFrame bounds one decoded frame (64 MiB). Delegate frames carry
+// whole serialized subgraph closures, so the bound is generous; it
+// exists to stop a hostile peer declaring a multi-gigabyte frame and
+// pinning memory before authentication completes.
+const maxFrame = 64 << 20
+
+// Field bits of the presence bitmask, in msg declaration order. The
+// bitmask is the binary analogue of omitempty: bit set iff the field
+// would appear in the JSON encoding.
+const (
+	fType = 1 << iota
+	fNonce
+	fPrincipal
+	fName
+	fRole
+	fSig
+	fCredentials
+	fCodecs
+	fCodec
+	fTaskID
+	fOp
+	fArgs
+	fAnnotations
+	fTraceID
+	fSpanID
+	fLibrary
+	fInputs
+	fDelegation
+	fResult
+	fErr
+	fDenied
+	fSpans
+	fFired
+	fExpanded
+)
+
+var errFrameTruncated = errors.New("webcom: binary frame truncated")
+
+// --- append primitives -------------------------------------------------
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendZigzag(b []byte, v int64) []byte {
+	return binary.AppendUvarint(b, uint64(v<<1)^uint64(v>>63))
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b []byte, s []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendStrings(b []byte, ss []string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = appendString(b, s)
+	}
+	return b
+}
+
+// appendStringMap appends a map with keys sorted, so encoding is
+// deterministic (the fixed-point property FuzzCodecRoundTrip checks).
+func appendStringMap(b []byte, m map[string]string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(m)))
+	if len(m) == 0 {
+		return b
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b = appendString(b, k)
+		b = appendString(b, m[k])
+	}
+	return b
+}
+
+func appendRawMap(b []byte, m map[string]rawJSON) []byte {
+	b = binary.AppendUvarint(b, uint64(len(m)))
+	if len(m) == 0 {
+		return b
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b = appendString(b, k)
+		b = appendBytes(b, m[k])
+	}
+	return b
+}
+
+func appendTime(b []byte, t time.Time) ([]byte, error) {
+	tb, err := t.MarshalBinary()
+	if err != nil {
+		return b, err
+	}
+	return appendBytes(b, tb), nil
+}
+
+func appendSpan(b []byte, s *telemetry.Span) ([]byte, error) {
+	b = appendString(b, s.TraceID)
+	b = appendString(b, s.SpanID)
+	b = appendString(b, s.ParentID)
+	b = appendString(b, s.Name)
+	var err error
+	if b, err = appendTime(b, s.Start); err != nil {
+		return b, err
+	}
+	if b, err = appendTime(b, s.End); err != nil {
+		return b, err
+	}
+	return appendStringMap(b, s.Attrs), nil
+}
+
+// appendMsgBinary appends m's binary payload (no length prefix) to dst.
+func appendMsgBinary(dst []byte, m *msg) ([]byte, error) {
+	var mask uint64
+	if m.Type != "" {
+		mask |= fType
+	}
+	if m.Nonce != "" {
+		mask |= fNonce
+	}
+	if m.Principal != "" {
+		mask |= fPrincipal
+	}
+	if m.Name != "" {
+		mask |= fName
+	}
+	if m.Role != "" {
+		mask |= fRole
+	}
+	if m.Sig != "" {
+		mask |= fSig
+	}
+	if len(m.Credentials) > 0 {
+		mask |= fCredentials
+	}
+	if len(m.Codecs) > 0 {
+		mask |= fCodecs
+	}
+	if m.Codec != "" {
+		mask |= fCodec
+	}
+	if m.TaskID != 0 {
+		mask |= fTaskID
+	}
+	if m.Op != "" {
+		mask |= fOp
+	}
+	if len(m.Args) > 0 {
+		mask |= fArgs
+	}
+	if len(m.Annotations) > 0 {
+		mask |= fAnnotations
+	}
+	if m.TraceID != "" {
+		mask |= fTraceID
+	}
+	if m.SpanID != "" {
+		mask |= fSpanID
+	}
+	if len(m.Library) > 0 {
+		mask |= fLibrary
+	}
+	if len(m.Inputs) > 0 {
+		mask |= fInputs
+	}
+	if len(m.Delegation) > 0 {
+		mask |= fDelegation
+	}
+	if m.Result != "" {
+		mask |= fResult
+	}
+	if m.Err != "" {
+		mask |= fErr
+	}
+	if m.Denied {
+		mask |= fDenied
+	}
+	if len(m.Spans) > 0 {
+		mask |= fSpans
+	}
+	if m.Fired != 0 {
+		mask |= fFired
+	}
+	if m.Expanded != 0 {
+		mask |= fExpanded
+	}
+
+	b := binary.AppendUvarint(dst, mask)
+	if mask&fType != 0 {
+		b = appendString(b, m.Type)
+	}
+	if mask&fNonce != 0 {
+		b = appendString(b, m.Nonce)
+	}
+	if mask&fPrincipal != 0 {
+		b = appendString(b, m.Principal)
+	}
+	if mask&fName != 0 {
+		b = appendString(b, m.Name)
+	}
+	if mask&fRole != 0 {
+		b = appendString(b, m.Role)
+	}
+	if mask&fSig != 0 {
+		b = appendString(b, m.Sig)
+	}
+	if mask&fCredentials != 0 {
+		b = appendStrings(b, m.Credentials)
+	}
+	if mask&fCodecs != 0 {
+		b = appendStrings(b, m.Codecs)
+	}
+	if mask&fCodec != 0 {
+		b = appendString(b, m.Codec)
+	}
+	if mask&fTaskID != 0 {
+		b = binary.AppendUvarint(b, m.TaskID)
+	}
+	if mask&fOp != 0 {
+		b = appendString(b, m.Op)
+	}
+	if mask&fArgs != 0 {
+		b = appendStrings(b, m.Args)
+	}
+	if mask&fAnnotations != 0 {
+		b = appendStringMap(b, m.Annotations)
+	}
+	if mask&fTraceID != 0 {
+		b = appendString(b, m.TraceID)
+	}
+	if mask&fSpanID != 0 {
+		b = appendString(b, m.SpanID)
+	}
+	if mask&fLibrary != 0 {
+		b = appendRawMap(b, m.Library)
+	}
+	if mask&fInputs != 0 {
+		b = appendStringMap(b, m.Inputs)
+	}
+	if mask&fDelegation != 0 {
+		b = appendStrings(b, m.Delegation)
+	}
+	if mask&fResult != 0 {
+		b = appendString(b, m.Result)
+	}
+	if mask&fErr != 0 {
+		b = appendString(b, m.Err)
+	}
+	if mask&fSpans != 0 {
+		b = binary.AppendUvarint(b, uint64(len(m.Spans)))
+		for i := range m.Spans {
+			var err error
+			if b, err = appendSpan(b, &m.Spans[i]); err != nil {
+				return dst, err
+			}
+		}
+	}
+	if mask&fFired != 0 {
+		b = appendZigzag(b, int64(m.Fired))
+	}
+	if mask&fExpanded != 0 {
+		b = appendZigzag(b, int64(m.Expanded))
+	}
+	return b, nil
+}
+
+// --- decode primitives -------------------------------------------------
+
+// reader parses a binary payload in place; it never copies except to
+// materialise strings, and those go through the intern table first.
+type reader struct {
+	b  []byte
+	in *internTable // nil means no interning (tests, fuzzing)
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, errFrameTruncated
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *reader) zigzag() (int64, error) {
+	u, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return int64(u>>1) ^ -int64(u&1), nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)) {
+		return nil, errFrameTruncated
+	}
+	b := r.b[:n]
+	r.b = r.b[n:]
+	return b, nil
+}
+
+func (r *reader) str() (string, error) {
+	b, err := r.bytes()
+	if err != nil {
+		return "", err
+	}
+	return r.in.intern(b), nil
+}
+
+func (r *reader) strings() ([]string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > uint64(len(r.b)) { // each element needs >= 1 byte
+		return nil, errFrameTruncated
+	}
+	out := make([]string, n)
+	for i := range out {
+		if out[i], err = r.str(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// stringsInto decodes a string slice reusing dst's backing array when
+// it is large enough — the hot-path variant for pooled messages.
+func (r *reader) stringsInto(dst []string) ([]string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > uint64(len(r.b)) {
+		return nil, errFrameTruncated
+	}
+	if uint64(cap(dst)) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]string, n)
+	}
+	for i := range dst {
+		if dst[i], err = r.str(); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func (r *reader) stringMap() (map[string]string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > uint64(len(r.b)) {
+		return nil, errFrameTruncated
+	}
+	m := make(map[string]string, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		m[k] = v
+	}
+	return m, nil
+}
+
+func (r *reader) rawMap() (map[string]rawJSON, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > uint64(len(r.b)) {
+		return nil, errFrameTruncated
+	}
+	m := make(map[string]rawJSON, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		// Library entries are raw JSON on both wires; a binary frame
+		// smuggling non-JSON bytes would poison any later JSON hop, so
+		// reject it at the codec boundary (delegates are rare — the
+		// validation never touches the task hot path).
+		if !json.Valid(v) {
+			return nil, fmt.Errorf("webcom: library entry %q is not valid JSON", k)
+		}
+		m[k] = append(rawJSON(nil), v...) // must outlive the frame buffer
+	}
+	return m, nil
+}
+
+func (r *reader) time() (time.Time, error) {
+	b, err := r.bytes()
+	if err != nil {
+		return time.Time{}, err
+	}
+	var t time.Time
+	if err := t.UnmarshalBinary(b); err != nil {
+		return time.Time{}, fmt.Errorf("webcom: bad time in frame: %w", err)
+	}
+	// time.UnmarshalBinary accepts years JSON cannot re-encode; refuse
+	// them here so a hostile binary frame can never produce a message
+	// that poisons a downstream JSON fallback hop (FuzzCodecDecode).
+	if y := t.Year(); y < 0 || y > 9999 {
+		return time.Time{}, fmt.Errorf("webcom: time year %d out of RFC 3339 range in frame", y)
+	}
+	return t, nil
+}
+
+func (r *reader) span(s *telemetry.Span) error {
+	var err error
+	if s.TraceID, err = r.str(); err != nil {
+		return err
+	}
+	if s.SpanID, err = r.str(); err != nil {
+		return err
+	}
+	if s.ParentID, err = r.str(); err != nil {
+		return err
+	}
+	if s.Name, err = r.str(); err != nil {
+		return err
+	}
+	if s.Start, err = r.time(); err != nil {
+		return err
+	}
+	if s.End, err = r.time(); err != nil {
+		return err
+	}
+	if s.Attrs, err = r.stringMap(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// decodeMsgBinary parses one binary payload into m, which must be
+// zeroed (or pool-reset: Args/Credentials keep their backing arrays).
+// The data buffer may be reused afterwards — every reference m retains
+// is either an interned/copied string or copied bytes.
+func decodeMsgBinary(data []byte, m *msg, in *internTable) error {
+	r := reader{b: data, in: in}
+	mask, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if mask&fType != 0 {
+		if m.Type, err = r.str(); err != nil {
+			return err
+		}
+	}
+	if mask&fNonce != 0 {
+		if m.Nonce, err = r.str(); err != nil {
+			return err
+		}
+	}
+	if mask&fPrincipal != 0 {
+		if m.Principal, err = r.str(); err != nil {
+			return err
+		}
+	}
+	if mask&fName != 0 {
+		if m.Name, err = r.str(); err != nil {
+			return err
+		}
+	}
+	if mask&fRole != 0 {
+		if m.Role, err = r.str(); err != nil {
+			return err
+		}
+	}
+	if mask&fSig != 0 {
+		if m.Sig, err = r.str(); err != nil {
+			return err
+		}
+	}
+	if mask&fCredentials != 0 {
+		if m.Credentials, err = r.stringsInto(m.Credentials[:0]); err != nil {
+			return err
+		}
+	}
+	if mask&fCodecs != 0 {
+		if m.Codecs, err = r.strings(); err != nil {
+			return err
+		}
+	}
+	if mask&fCodec != 0 {
+		if m.Codec, err = r.str(); err != nil {
+			return err
+		}
+	}
+	if mask&fTaskID != 0 {
+		if m.TaskID, err = r.uvarint(); err != nil {
+			return err
+		}
+	}
+	if mask&fOp != 0 {
+		if m.Op, err = r.str(); err != nil {
+			return err
+		}
+	}
+	if mask&fArgs != 0 {
+		if m.Args, err = r.stringsInto(m.Args[:0]); err != nil {
+			return err
+		}
+	}
+	if mask&fAnnotations != 0 {
+		if m.Annotations, err = r.stringMap(); err != nil {
+			return err
+		}
+	}
+	if mask&fTraceID != 0 {
+		if m.TraceID, err = r.str(); err != nil {
+			return err
+		}
+	}
+	if mask&fSpanID != 0 {
+		if m.SpanID, err = r.str(); err != nil {
+			return err
+		}
+	}
+	if mask&fLibrary != 0 {
+		if m.Library, err = r.rawMap(); err != nil {
+			return err
+		}
+	}
+	if mask&fInputs != 0 {
+		if m.Inputs, err = r.stringMap(); err != nil {
+			return err
+		}
+	}
+	if mask&fDelegation != 0 {
+		if m.Delegation, err = r.stringsInto(m.Delegation[:0]); err != nil {
+			return err
+		}
+	}
+	if mask&fResult != 0 {
+		if m.Result, err = r.str(); err != nil {
+			return err
+		}
+	}
+	if mask&fErr != 0 {
+		if m.Err, err = r.str(); err != nil {
+			return err
+		}
+	}
+	m.Denied = mask&fDenied != 0
+	if mask&fSpans != 0 {
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if n > uint64(len(r.b)) {
+			return errFrameTruncated
+		}
+		m.Spans = make([]telemetry.Span, n)
+		for i := range m.Spans {
+			if err := r.span(&m.Spans[i]); err != nil {
+				return err
+			}
+		}
+	}
+	if mask&fFired != 0 {
+		v, err := r.zigzag()
+		if err != nil {
+			return err
+		}
+		m.Fired = int(v)
+	}
+	if mask&fExpanded != 0 {
+		v, err := r.zigzag()
+		if err != nil {
+			return err
+		}
+		m.Expanded = int(v)
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("webcom: %d trailing bytes in frame", len(r.b))
+	}
+	return nil
+}
+
+// --- string interning --------------------------------------------------
+
+// internMax bounds the per-connection intern table so a hostile peer
+// streaming unique strings cannot grow it without bound; once full,
+// unseen strings simply allocate.
+const internMax = 4096
+
+// internTable maps recently seen byte strings to canonical string
+// values, so the hot decode path (repeated op names, args, annotation
+// keys, principals) allocates only on first sight. It is owned by one
+// reading goroutine — no locking.
+type internTable struct {
+	m map[string]string
+}
+
+func newInternTable() *internTable {
+	return &internTable{m: make(map[string]string, 64)}
+}
+
+// intern returns the canonical string for b. The map lookup with a
+// string(b) key does not allocate (compiler-recognised pattern); only
+// first-sight inserts copy.
+func (t *internTable) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if t == nil || len(b) > 64 {
+		return string(b)
+	}
+	if s, ok := t.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(t.m) < internMax {
+		t.m[s] = s
+	}
+	return s
+}

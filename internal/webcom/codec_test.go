@@ -1,0 +1,267 @@
+package webcom
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"securewebcom/internal/telemetry"
+)
+
+// fullMsg returns a msg with every field populated, including the shapes
+// that stress the codec: multi-byte varints, negative counters, nested
+// spans with times, and raw-JSON library entries.
+func fullMsg() *msg {
+	start := time.Date(2026, 8, 7, 12, 30, 45, 123456789, time.UTC)
+	return &msg{
+		Type:        msgSchedule,
+		Nonce:       "n-0123456789abcdef",
+		Principal:   "rsa-base64:AAAA",
+		Name:        "C0",
+		Role:        roleSubmaster,
+		Sig:         "sig-bytes-base64",
+		Credentials: []string{"cred-one", "cred-two"},
+		Codecs:      []string{codecBinaryV1},
+		Codec:       codecBinaryV1,
+		TaskID:      1<<40 + 7,
+		Op:          "payment.wire_transfer",
+		Args:        []string{"21", "", strings.Repeat("x", 300)},
+		Annotations: map[string]string{"tier": "gold", "region": "eu"},
+		TraceID:     "trace-1",
+		SpanID:      "span-1",
+		Library:     map[string]rawJSON{"g": rawJSON(`{"nodes":[1,2]}`), "h": rawJSON(`"leaf"`)},
+		Inputs:      map[string]string{"in0": "40"},
+		Delegation:  []string{"delegated-cred"},
+		Result:      "42",
+		Err:         "boom",
+		Denied:      true,
+		Spans: []telemetry.Span{{
+			TraceID:  "trace-1",
+			SpanID:   "span-2",
+			ParentID: "span-1",
+			Name:     "execute",
+			Start:    start,
+			End:      start.Add(250 * time.Microsecond),
+			Attrs:    map[string]string{"op": "double"},
+		}},
+		Fired:    12,
+		Expanded: -3,
+	}
+}
+
+// roundTrip encodes m with the binary codec and decodes it back.
+func roundTrip(t *testing.T, m *msg, in *internTable) *msg {
+	t.Helper()
+	payload, err := appendMsgBinary(nil, m)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var got msg
+	if err := decodeMsgBinary(payload, &got, in); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return &got
+}
+
+// jsonEq asserts two msgs have byte-identical JSON encodings — the
+// codec's contract is observational equivalence with encoding/json, not
+// in-memory equality (empty-but-non-nil slices legitimately decode nil).
+func jsonEq(t *testing.T, want, got *msg) {
+	t.Helper()
+	wj, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gj, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wj, gj) {
+		t.Fatalf("round trip diverged from JSON encoding\nwant %s\ngot  %s", wj, gj)
+	}
+}
+
+func TestCodecRoundTripAllFields(t *testing.T) {
+	m := fullMsg()
+	jsonEq(t, m, roundTrip(t, m, newInternTable()))
+	jsonEq(t, m, roundTrip(t, m, nil)) // nil intern table is valid too
+}
+
+func TestCodecRoundTripEmpty(t *testing.T) {
+	jsonEq(t, &msg{}, roundTrip(t, &msg{}, newInternTable()))
+}
+
+func TestCodecRoundTripSparse(t *testing.T) {
+	cases := []*msg{
+		{Type: msgPing},
+		{Type: msgResult, TaskID: 1, Result: "42"},
+		{Type: msgResult, TaskID: 2, Err: "policy refuses", Denied: true},
+		{Type: msgSchedule, TaskID: 3, Op: "double", Args: []string{"21"}},
+		{Type: msgHello, Name: "C0", Codec: codecBinaryV1, Credentials: []string{"c"}},
+		{Fired: -1, Expanded: 1 << 30},
+	}
+	for _, m := range cases {
+		jsonEq(t, m, roundTrip(t, m, newInternTable()))
+	}
+}
+
+// TestCodecOmitEmptySemantics pins the omitempty contract: empty-but-
+// non-nil slices and maps are absent on the wire and decode as nil,
+// exactly as a JSON round trip through omitempty would lose them.
+func TestCodecOmitEmptySemantics(t *testing.T) {
+	m := &msg{
+		Type:        msgPong,
+		Args:        []string{},
+		Credentials: []string{},
+		Annotations: map[string]string{},
+		Library:     map[string]rawJSON{},
+	}
+	got := roundTrip(t, m, nil)
+	if got.Args != nil || got.Credentials != nil || got.Annotations != nil || got.Library != nil {
+		t.Fatalf("empty collections should decode as nil, got %+v", got)
+	}
+	jsonEq(t, m, got)
+}
+
+// TestCodecDeterministic pins deterministic encoding (sorted map keys):
+// encoding the same msg twice yields identical bytes, so frames are
+// replayable and diffable.
+func TestCodecDeterministic(t *testing.T) {
+	m := fullMsg()
+	a, err := appendMsgBinary(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := appendMsgBinary(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("encoding is not deterministic")
+	}
+}
+
+// TestCodecTruncation feeds every strict prefix of a valid payload to
+// the decoder: all of them must fail cleanly (no panic, no partial
+// acceptance) because every field the bitmask promises must be present.
+func TestCodecTruncation(t *testing.T) {
+	payload, err := appendMsgBinary(nil, fullMsg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(payload); n++ {
+		var m msg
+		if err := decodeMsgBinary(payload[:n], &m, nil); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(payload))
+		}
+	}
+}
+
+func TestCodecTrailingBytes(t *testing.T) {
+	payload, err := appendMsgBinary(nil, &msg{Type: msgPing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m msg
+	err = decodeMsgBinary(append(payload, 0x00), &m, nil)
+	if err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing byte not rejected: %v", err)
+	}
+}
+
+// TestCodecHostileLengths crafts payloads whose length prefixes promise
+// far more data than the frame carries; the decoder must reject them
+// before allocating.
+func TestCodecHostileLengths(t *testing.T) {
+	hostile := [][]byte{
+		// mask says Type present, string claims 2^40 bytes, none follow.
+		appendUvarint(appendUvarint(nil, fType), 1<<40),
+		// mask says Args present, slice claims 2^32 elements.
+		appendUvarint(appendUvarint(nil, fArgs), 1<<32),
+		// mask says Spans present, claims 2^20 spans with no bodies.
+		appendUvarint(appendUvarint(nil, fSpans), 1<<20),
+		// incomplete uvarint: continuation bit set on the last byte.
+		{0xff},
+		// empty payload: not even a bitmask.
+		{},
+	}
+	for i, p := range hostile {
+		var m msg
+		if err := decodeMsgBinary(p, &m, nil); err == nil {
+			t.Fatalf("hostile payload %d accepted", i)
+		}
+	}
+}
+
+// TestCodecPoolReuse round-trips two different messages through the same
+// pooled msg, verifying the pool-reset contract: stale fields from the
+// first decode never leak into the second.
+func TestCodecPoolReuse(t *testing.T) {
+	in := newInternTable()
+	m := msgAcquire()
+	defer msgRelease(m)
+
+	first := fullMsg()
+	p1, err := appendMsgBinary(nil, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := decodeMsgBinary(p1, m, in); err != nil {
+		t.Fatal(err)
+	}
+	jsonEq(t, first, m)
+
+	// Simulate the conn read loop: release, re-acquire, decode a sparse
+	// message into the recycled struct.
+	msgRelease(m)
+	m = msgAcquire()
+	second := &msg{Type: msgResult, TaskID: 9, Result: "42"}
+	p2, err := appendMsgBinary(nil, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := decodeMsgBinary(p2, m, in); err != nil {
+		t.Fatal(err)
+	}
+	jsonEq(t, second, m)
+}
+
+func TestInternTable(t *testing.T) {
+	in := newInternTable()
+	if got := in.intern([]byte{}); got != "" {
+		t.Fatalf("empty intern = %q", got)
+	}
+	a := in.intern([]byte("double"))
+	b := in.intern([]byte("double"))
+	if a != "double" || b != "double" {
+		t.Fatalf("intern corrupted value: %q %q", a, b)
+	}
+	// Strings over 64 bytes bypass the table entirely.
+	long := bytes.Repeat([]byte("x"), 65)
+	if got := in.intern(long); got != string(long) {
+		t.Fatal("long string corrupted")
+	}
+	if _, ok := in.m[string(long)]; ok {
+		t.Fatal("long string should not be interned")
+	}
+	// The table stops growing at internMax; later strings still decode.
+	for i := 0; i < internMax+64; i++ {
+		s := []byte("k" + strings.Repeat("y", i%32) + string(rune('a'+i%26)) + string(rune('0'+(i/26)%10)) + string(rune('0'+i%1000/100)) + string(rune('0'+i%100/10)) + string(rune('0'+i%10)))
+		if got := in.intern(s); got != string(s) {
+			t.Fatalf("intern corrupted %q -> %q", s, got)
+		}
+	}
+	if len(in.m) > internMax {
+		t.Fatalf("intern table grew to %d entries, cap is %d", len(in.m), internMax)
+	}
+}
+
+// TestInternTableNil: a nil table must still materialise strings.
+func TestInternTableNil(t *testing.T) {
+	var in *internTable
+	if got := in.intern([]byte("ok")); got != "ok" {
+		t.Fatalf("nil intern = %q", got)
+	}
+}

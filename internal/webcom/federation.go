@@ -168,6 +168,7 @@ func (m *Master) Condenser(lib *cg.Library) cg.Condenser {
 				// per-task authorisation still governs every firing.
 				m.Tel.Counter("webcom.delegate.denied").Inc()
 				span.SetAttr("denied", "true")
+				msgRelease(res)
 				return "", cg.Stats{}, false, nil
 			}
 			if res.Err != "" {
@@ -176,13 +177,18 @@ func (m *Master) Condenser(lib *cg.Library) cg.Condenser {
 					// A task inside the subgraph was denied at a lower
 					// tier; local evaporation would deny it identically,
 					// so surface the denial instead of retrying.
-					return "", cg.Stats{}, true, fmt.Errorf("%w: delegated subgraph %s on %s: %s",
+					err := fmt.Errorf("%w: delegated subgraph %s on %s: %s",
 						ErrTaskDenied, op.GraphName, c.name, res.Err)
+					msgRelease(res)
+					return "", cg.Stats{}, true, err
 				}
+				msgRelease(res)
 				continue
 			}
 			span.SetAttr("submaster", c.name)
-			return res.Result, cg.Stats{Fired: res.Fired, Expanded: res.Expanded}, true, nil
+			result, stats := res.Result, cg.Stats{Fired: res.Fired, Expanded: res.Expanded}
+			msgRelease(res)
+			return result, stats, true, nil
 		}
 		// Every sub-master failed transport-wise: fall back to local
 		// evaporation so the run survives a dying sub-tier.
@@ -221,11 +227,10 @@ func (m *Master) dispatchDelegate(ctx context.Context, c *masterClient, entry st
 		return nil, ctx.Err()
 	}
 
-	m.mu.Lock()
-	m.nextID++
-	id := m.nextID
-	m.mu.Unlock()
+	id := m.nextID.Add(1)
 
+	// Delegate traffic is orders of magnitude rarer than task dispatch,
+	// so it uses a plain one-shot channel rather than the pooled waiter.
 	ch := make(chan *msg, 1)
 	c.mu.Lock()
 	if c.dead {
@@ -256,7 +261,9 @@ func (m *Master) dispatchDelegate(ctx context.Context, c *masterClient, entry st
 	select {
 	case r := <-ch:
 		if r.Err != "" && strings.Contains(r.Err, "connection lost") {
-			return nil, errors.New(r.Err)
+			err := errors.New(r.Err)
+			msgRelease(r)
+			return nil, err
 		}
 		if len(r.Spans) > 0 {
 			telemetry.TracerFrom(ctx).Ingest(r.Spans)

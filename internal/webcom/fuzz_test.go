@@ -89,3 +89,88 @@ func FuzzMsgDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCodecRoundTrip proves the binary codec is observationally
+// identical to JSON for every message shape the fuzzer can construct:
+// any msg that JSON can express must survive binary encode→decode with
+// a byte-identical JSON re-encoding, with and without the intern table.
+// This is the property that makes codec negotiation safe — a mixed
+// binary/JSON deployment can never disagree about a message's meaning.
+func FuzzCodecRoundTrip(f *testing.F) {
+	for _, m := range fuzzSeedMsgs(f) {
+		b, err := json.Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m msg
+		if err := json.Unmarshal(data, &m); err != nil {
+			return
+		}
+		want, err := json.Marshal(&m)
+		if err != nil {
+			return // JSON cannot express it (e.g. invalid raw Library bytes)
+		}
+		payload, err := appendMsgBinary(nil, &m)
+		if err != nil {
+			t.Fatalf("binary encode refused a JSON-expressible msg: %v\n%s", err, want)
+		}
+		for _, in := range []*internTable{nil, newInternTable()} {
+			var got msg
+			if err := decodeMsgBinary(payload, &got, in); err != nil {
+				t.Fatalf("binary decode failed (intern=%v): %v\n%s", in != nil, err, want)
+			}
+			gotJSON, err := json.Marshal(&got)
+			if err != nil {
+				t.Fatalf("decoded msg does not re-encode: %v", err)
+			}
+			if !bytes.Equal(want, gotJSON) {
+				t.Fatalf("binary round trip diverged from JSON (intern=%v):\nwant %s\ngot  %s",
+					in != nil, want, gotJSON)
+			}
+		}
+	})
+}
+
+// FuzzCodecDecode feeds raw attacker bytes straight into the binary
+// decoder: it must never panic, and anything it accepts must normalise
+// to a fixed point — re-encoding the decoded msg and decoding again
+// yields the same observable message. A relaying tier can therefore
+// round-trip hostile binary frames without amplifying or mutating them.
+func FuzzCodecDecode(f *testing.F) {
+	for _, m := range fuzzSeedMsgs(f) {
+		payload, err := appendMsgBinary(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+	}
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m msg
+		if err := decodeMsgBinary(data, &m, newInternTable()); err != nil {
+			return
+		}
+		enc1, err := json.Marshal(&m)
+		if err != nil {
+			t.Fatalf("accepted frame does not JSON-encode: %v", err)
+		}
+		payload, err := appendMsgBinary(nil, &m)
+		if err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v\n%s", err, enc1)
+		}
+		var m2 msg
+		if err := decodeMsgBinary(payload, &m2, nil); err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v\n%s", err, enc1)
+		}
+		enc2, err := json.Marshal(&m2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("binary round trip is not a fixed point:\n%s\n%s", enc1, enc2)
+		}
+	})
+}

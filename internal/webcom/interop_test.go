@@ -1,0 +1,241 @@
+package webcom
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"securewebcom/internal/cg"
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+)
+
+// wireLog records every byte crossing a connection, both directions, so
+// interop tests can prove which codec actually went over the wire
+// rather than trusting the negotiation bookkeeping.
+type wireLog struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *wireLog) add(p []byte) {
+	w.mu.Lock()
+	w.buf.Write(p)
+	w.mu.Unlock()
+}
+
+func (w *wireLog) contains(sub string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return bytes.Contains(w.buf.Bytes(), []byte(sub))
+}
+
+type sniffConn struct {
+	net.Conn
+	log *wireLog
+}
+
+func (c *sniffConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.log.add(p[:n])
+	}
+	return n, err
+}
+
+func (c *sniffConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.log.add(p[:n])
+	}
+	return n, err
+}
+
+// interopEnv pairs one master and one client that may disagree about
+// codec support — the mixed-version deployments the negotiation exists
+// for. The client's raw conns are retained so tests can sever the link
+// and watch reconnection renegotiate from scratch.
+type interopEnv struct {
+	master        *Master
+	client        *Client
+	wire          *wireLog
+	forbiddenRuns atomic.Int64
+
+	mu   sync.Mutex
+	raws []net.Conn
+}
+
+func newInteropEnv(t *testing.T, masterCodec, clientCodec string) *interopEnv {
+	t.Helper()
+	leakCheck(t)
+	env := &interopEnv{wire: &wireLog{}}
+	ks := keys.NewKeyStore()
+	mk := keys.Deterministic("Kmaster", "webcom-interop")
+	ck := keys.Deterministic("KC0", "webcom-interop")
+	ks.Add(mk)
+	ks.Add(ck)
+	chk, err := keynote.NewChecker([]*keynote.Assertion{keynote.MustNew(
+		"POLICY", fmt.Sprintf("%q", ck.PublicID()), `app_domain=="WebCom";`)},
+		keynote.WithResolver(ks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.master = NewMaster(mk, chk, nil, ks)
+	env.master.Codec = masterCodec
+	env.master.Retry = fastRetry()
+	if err := env.master.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { env.master.Close() })
+
+	clientChk, err := keynote.NewChecker([]*keynote.Assertion{keynote.MustNew(
+		"POLICY", fmt.Sprintf("%q", mk.PublicID()),
+		`app_domain=="WebCom" && operation != "forbidden";`)},
+		keynote.WithResolver(ks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.client = &Client{
+		Name:    "C0",
+		Key:     ck,
+		Codec:   clientCodec,
+		Checker: clientChk,
+		Dial: func(addr string) (net.Conn, error) {
+			raw, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			env.mu.Lock()
+			env.raws = append(env.raws, raw)
+			env.mu.Unlock()
+			return &sniffConn{Conn: raw, log: env.wire}, nil
+		},
+		Local: map[string]func([]string) (string, error){
+			"double": func(args []string) (string, error) {
+				n, err := strconv.Atoi(args[0])
+				if err != nil {
+					return "", err
+				}
+				return strconv.Itoa(2 * n), nil
+			},
+			"forbidden": func([]string) (string, error) {
+				env.forbiddenRuns.Add(1)
+				return "must never run", nil
+			},
+		},
+		Live: fastLive(),
+		Reconnect: ReconnectPolicy{
+			Enabled:     true,
+			MaxAttempts: -1,
+			BaseBackoff: 10 * time.Millisecond,
+			MaxBackoff:  100 * time.Millisecond,
+		},
+	}
+	if err := env.client.Connect(env.master.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { env.client.Close() })
+	waitN(t, env.master, 1)
+	return env
+}
+
+// severe kills every raw conn the client has dialled so far, forcing the
+// auto-reconnect path (and with it a fresh handshake + renegotiation).
+func (env *interopEnv) sever() {
+	env.mu.Lock()
+	raws := env.raws
+	env.raws = nil
+	env.mu.Unlock()
+	for _, c := range raws {
+		c.Close()
+	}
+}
+
+// dispatchOK runs one "double" task, retrying while the client is
+// between sessions (reconnect races the dispatch after a sever).
+func (env *interopEnv) dispatchOK(t *testing.T) {
+	t.Helper()
+	exec := env.master.Executor()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	task := cg.Task{OpName: "double", Args: []string{"21"}}
+	op := &cg.Opaque{OpName: "double", OpArity: 1}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		got, err := exec(ctx, task, op)
+		if err == nil {
+			if got != "42" {
+				t.Fatalf("double(21) = %q, want 42", got)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dispatch never succeeded: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// dispatchDenied runs the policy-forbidden op and asserts the denial
+// came back as a denial — and that the handler never executed.
+func (env *interopEnv) dispatchDenied(t *testing.T) {
+	t.Helper()
+	exec := env.master.Executor()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	task := cg.Task{OpName: "forbidden"}
+	op := &cg.Opaque{OpName: "forbidden"}
+	if _, err := exec(ctx, task, op); err == nil {
+		t.Fatal("forbidden op dispatched without error")
+	}
+	if n := env.forbiddenRuns.Load(); n != 0 {
+		t.Fatalf("forbidden op executed %d times", n)
+	}
+}
+
+// interopSuite is the shared scenario: dispatch, denial, sever the link,
+// reconnect-renegotiate, dispatch and deny again on the new session.
+func interopSuite(t *testing.T, env *interopEnv, wantJSONWire bool) {
+	t.Helper()
+	env.dispatchOK(t)
+	env.dispatchDenied(t)
+	env.sever()
+	env.dispatchOK(t)
+	env.dispatchDenied(t)
+
+	// Schedule frames carry op "double"; on the JSON wire that is the
+	// literal text `"op":"double"`, on the binary wire it never is.
+	if got := env.wire.contains(`"op":"double"`); got != wantJSONWire {
+		t.Fatalf("JSON schedule frames on wire = %v, want %v", got, wantJSONWire)
+	}
+	// The handshake itself is always JSON, in every pairing.
+	if !env.wire.contains(`"type":"challenge"`) {
+		t.Fatal("handshake challenge missing from wire log")
+	}
+}
+
+// TestInteropJSONClientBinaryMaster: an old JSON-only client against a
+// binary-capable master. The master offers binary/1; the client declines
+// and every post-handshake frame stays JSON.
+func TestInteropJSONClientBinaryMaster(t *testing.T) {
+	interopSuite(t, newInteropEnv(t, CodecAuto, CodecJSON), true)
+}
+
+// TestInteropBinaryClientJSONMaster: a binary-capable client against an
+// old JSON-only master. The challenge offers no codecs, so the client
+// cannot pick binary/1 and stays on JSON.
+func TestInteropBinaryClientJSONMaster(t *testing.T) {
+	interopSuite(t, newInteropEnv(t, CodecJSON, CodecAuto), true)
+}
+
+// TestInteropBinaryBoth: both sides capable — negotiation must land on
+// binary/1 and no JSON schedule frame may appear after the handshake.
+func TestInteropBinaryBoth(t *testing.T) {
+	interopSuite(t, newInteropEnv(t, CodecAuto, CodecAuto), false)
+}

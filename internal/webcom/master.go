@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"securewebcom/internal/authz"
@@ -49,6 +50,10 @@ type Master struct {
 	// scheduled task; Run installs it on the evaluation context, and
 	// dispatch propagates trace identifiers to clients over the wire.
 	Tracer *telemetry.Tracer
+	// Codec selects the wire codec offered to clients: CodecAuto/
+	// CodecBinary negotiate binary/1 (JSON fallback for peers that
+	// don't echo it), CodecJSON pins every connection to JSON.
+	Codec string
 
 	ln net.Listener
 
@@ -58,12 +63,24 @@ type Master struct {
 	eng     *authz.Engine
 	audit   *authz.AuditLog
 
-	mu      sync.Mutex
-	clients map[string]*masterClient // by client name
-	nextID  uint64
-	rr      uint64 // round-robin rotation for load spreading
-	closed  bool
-	wg      sync.WaitGroup // in-flight dispatches, for graceful Shutdown
+	nextID atomic.Uint64
+
+	mu       sync.Mutex
+	clients  map[string]*masterClient        // by client name
+	snapshot atomic.Pointer[[]*masterClient] // sorted clients, rebuilt on churn
+	rr       uint64                          // round-robin rotation for load spreading
+	closed   bool
+	wg       sync.WaitGroup // in-flight dispatches, for graceful Shutdown
+}
+
+// refreshSnapshot rebuilds the lock-free client list. Callers hold m.mu.
+func (m *Master) refreshSnapshot() {
+	list := make([]*masterClient, 0, len(m.clients))
+	for _, c := range m.clients {
+		list = append(list, c)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].name < list[j].name })
+	m.snapshot.Store(&list)
 }
 
 // Engine returns the master's authorisation engine (built lazily from
@@ -96,10 +113,14 @@ type masterClient struct {
 	// authz engine at handshake: signatures verified once, per-task
 	// decisions cached. Nil when the master has no checker.
 	session *authz.CredentialSession
-	sem     chan struct{} // in-flight slots (backpressure)
-	died    chan struct{} // closed when the connection is declared dead
-	brk     *breaker
-	load    loadTracker // in-flight / latency EWMA for load-aware placement
+	// verdicts is the admission-time per-op verdict bitmap (verdicts.go):
+	// eligible sessions answer steady-state authorisation with one atomic
+	// load. Nil when the master has no checker.
+	verdicts *verdictSet
+	sem      chan struct{} // in-flight slots (backpressure)
+	died     chan struct{} // closed when the connection is declared dead
+	brk      *breaker
+	load     loadTracker // in-flight / latency EWMA for load-aware placement
 
 	mu      sync.Mutex
 	pending map[uint64]chan *msg
@@ -262,6 +283,7 @@ func (m *Master) handleClient(c *conn) {
 		Type:      msgChallenge,
 		Nonce:     nonce,
 		Principal: m.Key.PublicID(),
+		Codecs:    negotiatedCodecs(m.Codec),
 	}); err != nil {
 		c.close()
 		return
@@ -270,6 +292,15 @@ func (m *Master) handleClient(c *conn) {
 	if err != nil || hello.Type != msgHello || hello.Name == "" || hello.Principal == "" {
 		c.close()
 		return
+	}
+	// The client may echo one of the offered codecs; anything else —
+	// including a codec we never offered — keeps the JSON fallback.
+	chosenCodec := ""
+	for _, offered := range negotiatedCodecs(m.Codec) {
+		if hello.Codec == offered {
+			chosenCodec = offered
+			break
+		}
 	}
 	// Verify the client's possession of its key.
 	if err := keys.Verify(hello.Principal,
@@ -314,9 +345,16 @@ func (m *Master) handleClient(c *conn) {
 		Principal:   m.Key.PublicID(),
 		Sig:         m.Key.Sign(handshakePayload("master", hello.Nonce, m.Key.PublicID())),
 		Credentials: credTexts,
+		Codec:       chosenCodec,
 	}); err != nil {
 		c.close()
 		return
+	}
+	// The welcome confirmed the codec; every frame from here on — both
+	// directions — rides it. The client switches at the same point, on
+	// receipt of the welcome, so no frame straddles the change.
+	if chosenCodec == codecBinaryV1 {
+		c.setBinary()
 	}
 	c.clearDeadline()
 
@@ -345,9 +383,11 @@ func (m *Master) handleClient(c *conn) {
 		}
 	}
 	// Admit the credential set now (one signature verification per
-	// credential); the dispatch path only consults the decision cache.
+	// credential); the dispatch path consults the admission-time verdict
+	// bitmap, falling back to the decision cache.
 	if eng := m.Engine(); eng != nil {
 		mc.session = eng.Session(creds)
+		mc.verdicts = newVerdictSet(eng, mc.session)
 	}
 	m.mu.Lock()
 	if m.closed {
@@ -369,10 +409,12 @@ func (m *Master) handleClient(c *conn) {
 		// so the reconnecting client is admitted immediately instead of
 		// being locked out until the dead TCP connection times out.
 		m.clients[mc.name] = mc
+		m.refreshSnapshot()
 		m.mu.Unlock()
 		old.fail("superseded by reconnect")
 	} else {
 		m.clients[mc.name] = mc
+		m.refreshSnapshot()
 		m.mu.Unlock()
 	}
 
@@ -381,7 +423,9 @@ func (m *Master) handleClient(c *conn) {
 	stopLiveness := make(chan struct{})
 	go m.liveness(mc, live, stopLiveness)
 
-	// Serve results until the connection dies.
+	// Serve results until the connection dies. Result messages hand
+	// ownership of the pooled msg to the dispatch waiter (which releases
+	// it); everything else is released here.
 	for {
 		r, err := c.recv()
 		if err != nil {
@@ -389,7 +433,8 @@ func (m *Master) handleClient(c *conn) {
 		}
 		switch r.Type {
 		case msgPing:
-			c.send(&msg{Type: msgPong})
+			c.send(pongMsg)
+			msgRelease(r)
 		case msgResult:
 			mc.mu.Lock()
 			ch := mc.pending[r.TaskID]
@@ -397,7 +442,11 @@ func (m *Master) handleClient(c *conn) {
 			mc.mu.Unlock()
 			if ch != nil {
 				ch <- r
+			} else {
+				msgRelease(r) // dispatch timed out and withdrew the waiter
 			}
+		default:
+			msgRelease(r)
 		}
 	}
 	close(stopLiveness)
@@ -406,9 +455,18 @@ func (m *Master) handleClient(c *conn) {
 	m.mu.Lock()
 	if m.clients[mc.name] == mc {
 		delete(m.clients, mc.name)
+		m.refreshSnapshot()
 	}
 	m.mu.Unlock()
 }
+
+// pongMsg and pingMsg are shared immutable heartbeat frames: send
+// serialises under the write lock without mutating its argument, so the
+// liveness paths allocate nothing.
+var (
+	pongMsg = &msg{Type: msgPong}
+	pingMsg = &msg{Type: msgPing}
+)
 
 // liveness pings mc and declares it dead after IdleTimeout of silence.
 func (m *Master) liveness(mc *masterClient, live Liveness, stop <-chan struct{}) {
@@ -425,7 +483,7 @@ func (m *Master) liveness(mc *masterClient, live Liveness, stop <-chan struct{})
 				mc.fail("heartbeat timeout")
 				return
 			}
-			if err := mc.conn.send(&msg{Type: msgPing}); err != nil {
+			if err := mc.conn.send(pingMsg); err != nil {
 				mc.fail("ping failed")
 				return
 			}
@@ -476,16 +534,13 @@ func taskQuery(principal, opName string, annotations map[string]string, args []s
 // of connected clients (so callers can tell "nobody connected" — a
 // transient condition worth retrying — from "connected but none
 // authorised" — a policy decision).
-func (m *Master) authorisedClients(ctx context.Context, t cg.Task) ([]*masterClient, int, error) {
-	m.mu.Lock()
-	all := make([]*masterClient, 0, len(m.clients))
-	for _, c := range m.clients {
-		all = append(all, c)
+func (m *Master) authorisedClients(ctx context.Context, t cg.Task, scratch []*masterClient) ([]*masterClient, int, error) {
+	var all []*masterClient
+	if p := m.snapshot.Load(); p != nil {
+		all = *p
 	}
-	m.mu.Unlock()
-	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
 
-	var out []*masterClient
+	out := scratch[:0]
 	for _, c := range all {
 		if c.isDead() {
 			continue
@@ -495,6 +550,20 @@ func (m *Master) authorisedClients(ctx context.Context, t cg.Task) ([]*masterCli
 			out = append(out, c)
 			continue
 		}
+		// Fast path: the admission-time verdict bitmap answers eligible
+		// sessions with one atomic load — no query build, no cache
+		// probe. vUnknown (ineligible session, new op, stale epoch, or
+		// annotation shadowing) falls through to the full decision.
+		switch c.verdicts.lookup(t.OpName, t.Annotations) {
+		case vAllow:
+			out = append(out, c)
+			continue
+		case vDeny:
+			// Audited when the verdict was stamped; still counted.
+			m.Tel.Counter("webcom.denials").Inc()
+			continue
+		}
+		epoch := m.Engine().Epoch()
 		d, err := c.session.Decide(ctx, taskQuery(c.principal, t.OpName, t.Annotations, t.Args))
 		if err != nil {
 			return nil, len(all), err
@@ -508,6 +577,7 @@ func (m *Master) authorisedClients(ctx context.Context, t cg.Task) ([]*masterCli
 				m.Audit().Record(c.name, t.OpName, d)
 			}
 		}
+		c.verdicts.stamp(t.OpName, t.Annotations, d.Allowed, epoch)
 	}
 	return m.orderByLoad(out), len(all), nil
 }
@@ -579,7 +649,11 @@ func (m *Master) Executor() cg.Executor {
 		defer span.Finish()
 		span.SetAttr("op", t.OpName)
 		var lastErr error
-		tried := make(map[*masterClient]bool)
+		// tried lives on the stack for typical pool sizes; candidate
+		// scratch likewise keeps the steady-state path allocation-free.
+		var triedArr [8]*masterClient
+		var candArr [8]*masterClient
+		tried := triedArr[:0]
 		for attempt := 0; attempt < rp.MaxAttempts; attempt++ {
 			if attempt > 0 {
 				m.Tel.Counter("webcom.retries").Inc()
@@ -587,7 +661,7 @@ func (m *Master) Executor() cg.Executor {
 					return "", err
 				}
 			}
-			cands, connected, err := m.authorisedClients(ctx, t)
+			cands, connected, err := m.authorisedClients(ctx, t, candArr[:0])
 			if err != nil {
 				return "", err
 			}
@@ -605,7 +679,14 @@ func (m *Master) Executor() cg.Executor {
 			var target *masterClient
 			now := time.Now()
 			for _, c := range cands {
-				if !tried[c] && c.brk.allow(now) {
+				seen := false
+				for _, prior := range tried {
+					if prior == c {
+						seen = true
+						break
+					}
+				}
+				if !seen && c.brk.allow(now) {
 					target = c
 					break
 				}
@@ -615,13 +696,13 @@ func (m *Master) Executor() cg.Executor {
 				// in quarantine: back off and start a fresh round (a
 				// reconnected client is a new entry and will be
 				// offered again).
-				tried = make(map[*masterClient]bool)
+				tried = tried[:0]
 				if lastErr == nil {
 					lastErr = errors.New("webcom: all authorised clients quarantined")
 				}
 				continue
 			}
-			tried[target] = true
+			tried = append(tried, target)
 			res, err := m.dispatch(ctx, target, t)
 			if err != nil {
 				target.brk.failure(time.Now())
@@ -639,16 +720,23 @@ func (m *Master) Executor() cg.Executor {
 				// middleware denied the invocation; surface it.
 				m.Tel.Counter("webcom.denials").Inc()
 				span.SetAttr("denied", "true")
-				return "", fmt.Errorf("%w: client %s refused %s: %s", ErrTaskDenied, target.name, t.OpName, res.Err)
+				err := fmt.Errorf("%w: client %s refused %s: %s", ErrTaskDenied, target.name, t.OpName, res.Err)
+				msgRelease(res)
+				return "", err
 			}
 			if res.Err != "" {
 				if strings.Contains(res.Err, "connection lost") {
 					lastErr = errors.New(res.Err)
+					msgRelease(res)
 					continue
 				}
-				return "", fmt.Errorf("webcom: task %s on %s: %s", t.OpName, target.name, res.Err)
+				err := fmt.Errorf("webcom: task %s on %s: %s", t.OpName, target.name, res.Err)
+				msgRelease(res)
+				return "", err
 			}
-			return res.Result, nil
+			result := res.Result
+			msgRelease(res)
+			return result, nil
 		}
 		m.Tel.Counter("webcom.failures").Inc()
 		span.SetAttr("failed", "true")
@@ -656,14 +744,50 @@ func (m *Master) Executor() cg.Executor {
 	}
 }
 
+// waiter is a pooled one-shot result rendezvous. It is returned to the
+// pool only after a successful receive: the read loop deletes the
+// pending entry before sending, so once a result arrives no other send
+// into the channel is possible and reuse is safe. On timeout the waiter
+// is abandoned to the garbage collector instead — a late result could
+// still be in flight toward it.
+type waiter struct{ ch chan *msg }
+
+var waiterPool = sync.Pool{New: func() any { return &waiter{ch: make(chan *msg, 1)} }}
+
+// timerPool recycles dispatch-deadline timers, replacing the
+// context.WithTimeout allocation quartet on the hot path. Timers are
+// always stopped and drained before going back.
+var timerPool = sync.Pool{New: func() any {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	return t
+}}
+
+func timerGet(d time.Duration) *time.Timer {
+	t := timerPool.Get().(*time.Timer)
+	t.Reset(d)
+	return t
+}
+
+func timerPut(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
 // dispatch sends a task to a client and awaits its result, bounded by
-// the per-dispatch deadline and the client's in-flight limit.
+// the per-dispatch deadline and the client's in-flight limit. The
+// caller owns the returned msg and must msgRelease it.
 func (m *Master) dispatch(ctx context.Context, c *masterClient, t cg.Task) (*msg, error) {
 	m.wg.Add(1)
 	defer m.wg.Done()
 	rp := m.Retry.withDefaults(m.MaxAttempts)
-	ctx, cancel := context.WithTimeout(ctx, rp.DispatchTimeout)
-	defer cancel()
 
 	ctx, span := telemetry.StartSpan(ctx, "webcom.dispatch")
 	defer span.Finish()
@@ -681,37 +805,42 @@ func (m *Master) dispatch(ctx context.Context, c *masterClient, t cg.Task) (*msg
 		m.Tel.Histogram("webcom.dispatch.latency").ObserveDuration(d)
 	}()
 
+	// The dispatch deadline rides a pooled timer instead of a derived
+	// context; the timer also bounds the backpressure wait below, so the
+	// total budget matches the old context.WithTimeout semantics.
+	tm := timerGet(rp.DispatchTimeout)
+	defer timerPut(tm)
+
 	// Backpressure: wait for one of the client's in-flight slots.
 	select {
 	case c.sem <- struct{}{}:
 		defer func() { <-c.sem }()
 	case <-c.died:
 		return nil, errors.New("webcom: client connection lost")
+	case <-tm.C:
+		return nil, context.DeadlineExceeded
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
 
-	m.mu.Lock()
-	m.nextID++
-	id := m.nextID
-	m.mu.Unlock()
+	id := m.nextID.Add(1)
 
-	ch := make(chan *msg, 1)
+	w := waiterPool.Get().(*waiter)
 	c.mu.Lock()
 	if c.dead {
 		c.mu.Unlock()
+		waiterPool.Put(w)
 		return nil, errors.New("webcom: client connection lost")
 	}
-	c.pending[id] = ch
+	c.pending[id] = w.ch
 	c.mu.Unlock()
 
-	sched := &msg{
-		Type:        msgSchedule,
-		TaskID:      id,
-		Op:          t.OpName,
-		Args:        t.Args,
-		Annotations: t.Annotations,
-	}
+	sched := msgAcquire()
+	sched.Type = msgSchedule
+	sched.TaskID = id
+	sched.Op = t.OpName
+	sched.Args = append(sched.Args[:0], t.Args...)
+	sched.Annotations = t.Annotations
 	if span != nil {
 		// Carry the trace across the wire so the client's execution
 		// spans parent under this dispatch span.
@@ -719,16 +848,25 @@ func (m *Master) dispatch(ctx context.Context, c *masterClient, t cg.Task) (*msg
 		sched.SpanID = span.SpanID
 	}
 	err := c.conn.send(sched)
+	// send serialises synchronously; the frame no longer references the
+	// msg once it returns.
+	sched.Annotations = nil // caller-owned; don't let release clear it
+	msgRelease(sched)
 	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
+		// A send failure usually means the connection is dying, and
+		// fail() may already be iterating a pending map that contains
+		// this waiter — abandon it rather than risk pooling a channel a
+		// synthetic result is still heading for.
+		c.withdraw(id)
 		return nil, err
 	}
 	select {
-	case r := <-ch:
+	case r := <-w.ch:
+		waiterPool.Put(w)
 		if r.Err != "" && strings.Contains(r.Err, "connection lost") {
-			return nil, errors.New(r.Err)
+			err := errors.New(r.Err)
+			msgRelease(r)
+			return nil, err
 		}
 		// The client ships its finished spans for this trace back with
 		// the result; merging them here keeps one connected chain per
@@ -738,12 +876,23 @@ func (m *Master) dispatch(ctx context.Context, c *masterClient, t cg.Task) (*msg
 			telemetry.TracerFrom(ctx).Ingest(r.Spans)
 		}
 		return r, nil
+	case <-tm.C:
+		c.withdraw(id)
+		return nil, context.DeadlineExceeded
 	case <-ctx.Done():
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
+		c.withdraw(id)
 		return nil, ctx.Err()
 	}
+}
+
+// withdraw removes a pending waiter after a timeout or cancellation.
+// The waiter itself is abandoned (not pooled): if the read loop already
+// claimed the entry, its result send is in flight and would poison a
+// recycled channel.
+func (c *masterClient) withdraw(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
 }
 
 // Run evaluates a condensed graph, scheduling its opaque operations to

@@ -1,0 +1,8 @@
+//go:build race
+
+package webcom
+
+// raceEnabled reports whether the race detector is compiled in; the SLO
+// gates widen their latency ceilings under -race, where every memory
+// access is instrumented and absolute timings balloon ~10-20×.
+const raceEnabled = true

@@ -476,18 +476,39 @@ func TestBackpressureBoundsInFlight(t *testing.T) {
 }
 
 func TestDenialNeverRetried(t *testing.T) {
-	leakCheck(t)
 	// Healthy network, instrumented: count every schedule frame carrying
 	// the denied op. A denial is a policy decision — exactly one schedule
 	// frame may ever exist, no matter how generous the retry budget is.
-	var scheduleFrames atomic.Int64
-	cfg := faultnet.Config{Seed: 1, Observe: func(dir faultnet.Direction, b []byte) {
-		if dir == faultnet.Write && bytes.Contains(b, []byte(`"op":"forbidden"`)) {
-			scheduleFrames.Add(1)
-		}
-	}}
-	env := newChaosEnv(t, cfg, 2, fastRetry(), fastLive())
+	// The wire matcher is codec-specific: JSON frames carry the op as
+	// `"op":"forbidden"`; binary frames carry the raw string once (the
+	// result frames naming it flow in the other direction), so counting
+	// occurrences of the bare bytes in master->client writes is exact.
+	t.Run("json", func(t *testing.T) {
+		leakCheck(t)
+		var scheduleFrames atomic.Int64
+		cfg := faultnet.Config{Seed: 1, Observe: func(dir faultnet.Direction, b []byte) {
+			if dir == faultnet.Write {
+				scheduleFrames.Add(int64(bytes.Count(b, []byte(`"op":"forbidden"`))))
+			}
+		}}
+		env := newChaosEnvCodec(t, cfg, 2, fastRetry(), fastLive(), CodecJSON)
+		denialNeverRetried(t, env, &scheduleFrames)
+	})
+	t.Run("binary", func(t *testing.T) {
+		leakCheck(t)
+		var scheduleFrames atomic.Int64
+		cfg := faultnet.Config{Seed: 1, Observe: func(dir faultnet.Direction, b []byte) {
+			if dir == faultnet.Write {
+				scheduleFrames.Add(int64(bytes.Count(b, []byte("forbidden"))))
+			}
+		}}
+		env := newChaosEnvCodec(t, cfg, 2, fastRetry(), fastLive(), CodecAuto)
+		denialNeverRetried(t, env, &scheduleFrames)
+	})
+}
 
+func denialNeverRetried(t *testing.T, env *chaosEnv, scheduleFrames *atomic.Int64) {
+	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	err := runForbidden(t, env, ctx)

@@ -1,0 +1,168 @@
+package webcom
+
+// Admission-time authorisation. The per-task authz.Decide call is
+// correct but costs a canonical-query build plus a shared-cache lookup
+// on every dispatch. For the sessions that dominate steady-state
+// traffic the decision is a pure function of (connection, operation):
+// the credential set is fixed at handshake and the governing assertions
+// read only attributes that are constant for the session. For exactly
+// those sessions we stamp each operation's verdict into a lock-free
+// per-connection map the first time it is decided, and the hot path
+// becomes one atomic load — no canonical query, no lock, no allocation.
+//
+// Soundness is the whole game here, and three guards keep the bitmap
+// honest:
+//
+//  1. Eligibility. At admission we statically analyse every Conditions
+//     program in the engine's policy and the session's admitted
+//     credentials (keynote.ReferencedAttributes). The verdict may be
+//     amortised only if no program uses $-indirection and every
+//     referenced attribute is session-constant: app_domain, the
+//     operation name and its derived ObjectType/Permission, and the
+//     _MIN_TRUST/_MAX_TRUST/_VALUES/_ACTION_AUTHORIZERS specials
+//     (authorizers are pinned to the session principal). A policy that
+//     reads arg0/num_args or IDE annotations varies per task and
+//     disqualifies the whole session — it keeps the per-task path.
+//
+//  2. Annotation collision. Task annotations are merged over the query
+//     attributes and may shadow them, so even an eligible session must
+//     take the slow path for a task whose annotations touch any
+//     referenced attribute name.
+//
+//  3. Epoch invalidation. KeyCOM commit hooks fire Engine.Invalidate,
+//     which bumps the engine epoch. A verdict is stamped only if the
+//     epoch still equals its pre-Decide snapshot, and looked up only if
+//     its map's epoch equals the current one — a decision computed
+//     under epoch N can never answer a query in epoch N+1.
+//
+// The denial-never-retried invariant is untouched: a vDeny hit returns
+// the same ErrTaskDenied the slow path would, and the denial audit
+// fires exactly once, when the verdict is first decided (slow path).
+
+import (
+	"sync/atomic"
+
+	"securewebcom/internal/authz"
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/translate"
+)
+
+// opVerdict is one stamped authorisation outcome.
+type opVerdict uint8
+
+const (
+	vUnknown opVerdict = iota // not yet decided, or bitmap ineligible/stale
+	vAllow
+	vDeny
+)
+
+// sessionConstantAttrs are the query attributes that cannot change for
+// the lifetime of an admitted session: a Conditions program confined to
+// these yields one verdict per operation.
+var sessionConstantAttrs = map[string]struct{}{
+	"app_domain":             {},
+	"operation":              {},
+	translate.AttrObjectType: {},
+	translate.AttrPermission: {},
+	"_MIN_TRUST":             {},
+	"_MAX_TRUST":             {},
+	"_VALUES":                {},
+	"_ACTION_AUTHORIZERS":    {},
+}
+
+// verdictMap is one immutable epoch's worth of stamped verdicts;
+// updates copy-on-write so readers never lock.
+type verdictMap struct {
+	epoch uint64
+	ops   map[string]opVerdict
+}
+
+// verdictSet is a connection's admission-time verdict bitmap. A nil
+// *verdictSet behaves as permanently ineligible.
+type verdictSet struct {
+	engine   *authz.Engine
+	eligible bool
+	refs     map[string]struct{} // attributes the governing assertions read
+	cur      atomic.Pointer[verdictMap]
+}
+
+// newVerdictSet analyses the engine policy plus the session's admitted
+// credentials and returns the connection's bitmap, eligible only when
+// every governing assertion is provably session-constant.
+func newVerdictSet(engine *authz.Engine, session *authz.CredentialSession) *verdictSet {
+	vs := &verdictSet{engine: engine}
+	refs := keynote.AttrRefs{Names: make(map[string]struct{})}
+	collect := func(as []*keynote.Assertion) {
+		for _, a := range as {
+			r := keynote.ReferencedAttributes(a.Conditions)
+			refs.Dynamic = refs.Dynamic || r.Dynamic
+			for n := range r.Names {
+				refs.Names[n] = struct{}{}
+			}
+		}
+	}
+	collect(engine.Checker().Policy())
+	collect(session.Admitted())
+	vs.refs = refs.Names
+	vs.eligible = refs.Subset(sessionConstantAttrs)
+	if vs.eligible {
+		vs.cur.Store(&verdictMap{epoch: engine.Epoch(), ops: make(map[string]opVerdict)})
+	}
+	return vs
+}
+
+// lookup returns the stamped verdict for op, or vUnknown when the
+// session is ineligible, the bitmap is stale, the task's annotations
+// shadow a referenced attribute, or the operation was never decided.
+func (v *verdictSet) lookup(op string, annotations map[string]string) opVerdict {
+	if v == nil || !v.eligible {
+		return vUnknown
+	}
+	cur := v.cur.Load()
+	if cur == nil || cur.epoch != v.engine.Epoch() {
+		return vUnknown
+	}
+	for k := range annotations {
+		if _, ok := v.refs[k]; ok {
+			return vUnknown
+		}
+	}
+	return cur.ops[op]
+}
+
+// stamp records a slow-path decision made under the given pre-Decide
+// epoch snapshot. A stale snapshot, an ineligible session, or an
+// annotation collision drops the stamp on the floor — the next task
+// simply decides again.
+func (v *verdictSet) stamp(op string, annotations map[string]string, allowed bool, epoch uint64) {
+	if v == nil || !v.eligible || epoch != v.engine.Epoch() {
+		return
+	}
+	for k := range annotations {
+		if _, ok := v.refs[k]; ok {
+			return
+		}
+	}
+	verdict := vDeny
+	if allowed {
+		verdict = vAllow
+	}
+	for {
+		cur := v.cur.Load()
+		var base map[string]opVerdict
+		if cur != nil && cur.epoch == epoch {
+			if cur.ops[op] == verdict {
+				return
+			}
+			base = cur.ops
+		}
+		next := &verdictMap{epoch: epoch, ops: make(map[string]opVerdict, len(base)+1)}
+		for k, val := range base {
+			next.ops[k] = val
+		}
+		next.ops[op] = verdict
+		if v.cur.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}

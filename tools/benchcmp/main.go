@@ -1,0 +1,175 @@
+// Command benchcmp compares `go test -bench` output against a recorded
+// BENCH_*.json baseline, entirely offline with the standard library.
+//
+// It reads benchmark output on stdin (or -input), computes the median
+// ns/op per benchmark across repeated -count runs, and compares each
+// against the baseline's recorded median:
+//
+//	go test -run '^$' -bench 'BenchmarkDispatch' -benchmem -count=5 ./internal/webcom/ |
+//	    go run ./tools/benchcmp -baseline BENCH_webcom.json -threshold 1.5
+//
+// A benchmark FAILS the comparison when its current median exceeds
+// threshold × the recorded median (regression), or — with -min-speedup
+// N — when recorded/current < N (an improvement gate, used by CI to
+// hold the dispatch plane at ≥4× over the pre-codec baseline).
+// Benchmarks missing from the baseline are reported as new and do not
+// fail; -section selects a different top-level map than "summary"
+// (e.g. "pre_codec_baseline").
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baselineEntry is one benchmark's recorded figures. Only the median is
+// gated; bytes/allocs are informational.
+type baselineEntry struct {
+	NsPerOpMedian float64 `json:"ns_per_op_median"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkDispatch-8   295309   3848 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "BENCH_*.json file to compare against (required)")
+		section      = flag.String("section", "summary", "top-level key of the baseline holding the benchmark map")
+		threshold    = flag.Float64("threshold", 1.5, "fail when current median > threshold x recorded median")
+		minSpeedup   = flag.Float64("min-speedup", 0, "fail when recorded/current < this ratio (0 disables)")
+		match        = flag.String("match", "", "only compare benchmarks whose name matches this regexp")
+		inputPath    = flag.String("input", "", "read bench output from this file instead of stdin")
+	)
+	flag.Parse()
+	if *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -baseline is required")
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if *inputPath != "" {
+		f, err := os.Open(*inputPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	base, err := loadBaseline(*baselinePath, *section)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	medians, order, err := parseMedians(in, *match)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	if len(order) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no benchmark lines in input")
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, name := range order {
+		now := medians[name]
+		rec, ok := base[name]
+		if !ok {
+			fmt.Printf("%-50s %12.0f ns/op  (new: no recorded baseline)\n", name, now)
+			continue
+		}
+		ratio := now / rec.NsPerOpMedian
+		verdict := "ok"
+		switch {
+		case *minSpeedup > 0 && rec.NsPerOpMedian/now < *minSpeedup:
+			verdict = fmt.Sprintf("FAIL: speedup %.2fx below required %.2fx", rec.NsPerOpMedian/now, *minSpeedup)
+			failed = true
+		case ratio > *threshold:
+			verdict = fmt.Sprintf("FAIL: %.2fx over recorded median (threshold %.2fx)", ratio, *threshold)
+			failed = true
+		}
+		fmt.Printf("%-50s %12.0f ns/op  recorded %10.0f  (%+.1f%%)  %s\n",
+			name, now, rec.NsPerOpMedian, (ratio-1)*100, verdict)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// loadBaseline reads the named section of a BENCH_*.json file into a
+// benchmark-name → entry map.
+func loadBaseline(path, section string) (map[string]baselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(data, &top); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	raw, ok := top[section]
+	if !ok {
+		return nil, fmt.Errorf("%s has no %q section", path, section)
+	}
+	out := make(map[string]baselineEntry)
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("%s section %q: %w", path, section, err)
+	}
+	return out, nil
+}
+
+// parseMedians reads bench output and returns each benchmark's median
+// ns/op plus first-seen order.
+func parseMedians(in io.Reader, match string) (map[string]float64, []string, error) {
+	var matchRe *regexp.Regexp
+	if match != "" {
+		var err error
+		if matchRe, err = regexp.Compile(match); err != nil {
+			return nil, nil, err
+		}
+	}
+	samples := make(map[string][]float64)
+	var order []string
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if matchRe != nil && !matchRe.MatchString(name) {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if _, seen := samples[name]; !seen {
+			order = append(order, name)
+		}
+		samples[name] = append(samples[name], v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	medians := make(map[string]float64, len(samples))
+	for name, vs := range samples {
+		sort.Float64s(vs)
+		medians[name] = vs[len(vs)/2]
+	}
+	return medians, order, nil
+}
