@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-dispatch bench-authz bench-keycom fuzz-smoke
+.PHONY: all build test race bench bench-dispatch bench-authz bench-keycom bench-federation fuzz-smoke
 
 all: build test
 
@@ -22,7 +22,7 @@ race:
 # each median against its recorded BENCH_*.json baseline via
 # tools/benchcmp. Thresholds are deliberately loose (1.5x) — they catch
 # real regressions, not scheduler noise; CI holds the tighter gates.
-bench: bench-dispatch bench-authz bench-keycom
+bench: bench-dispatch bench-authz bench-keycom bench-federation
 
 bench-dispatch:
 	$(GO) test -run '^$$' -bench 'BenchmarkDispatch|BenchmarkRunUnderFaults' -benchmem -count=5 -timeout 30m ./internal/webcom/ \
@@ -38,6 +38,18 @@ bench-authz:
 bench-keycom:
 	$(GO) test -run '^$$' -bench 'BenchmarkStore(Commit|UserHolds|Recover)/' -benchmem -count=5 -timeout 30m ./internal/keycom/ \
 		| $(GO) run ./tools/benchcmp -baseline BENCH_keycom.json -threshold 1.5
+
+# bench-federation gates the amortised federation plane: every section
+# within 2x of its recorded median (two-tier wall-clock medians carry
+# more scheduler noise than the micro-benches, hence the wider
+# threshold), and the warm repeat-delegation median both under the
+# 100us absolute ceiling and >=10x faster than the pre-amortisation
+# 5.7ms baseline.
+bench-federation:
+	$(GO) test -run '^$$' -bench 'BenchmarkFederatedRun' -benchmem -count=5 -timeout 30m ./internal/webcom/ > fed_bench.txt
+	$(GO) run ./tools/benchcmp -baseline BENCH_federation.json -input fed_bench.txt -threshold 2
+	$(GO) run ./tools/benchcmp -baseline BENCH_federation.json -input fed_bench.txt -section pre_amortised_baseline -match 'BenchmarkFederatedRun/warm$$' -min-speedup 10 -max-ns 100000
+	rm -f fed_bench.txt
 
 fuzz-smoke:
 	$(GO) test -run Fuzz -fuzz=FuzzMsgDecode -fuzztime=10s ./internal/webcom

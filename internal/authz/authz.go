@@ -43,6 +43,16 @@ import (
 // DefaultCacheSize bounds the decision cache when no option overrides it.
 const DefaultCacheSize = 4096
 
+// DefaultSessionCap bounds the admitted-session table: least recently
+// used sessions are evicted once the engine holds this many, so a churn
+// of one-shot principals cannot grow the table without bound. An
+// evicted session's compiled DAG stays in the DAG cache, so re-admission
+// pays signature verification but not recompilation.
+const DefaultSessionCap = 1024
+
+// DefaultDAGCacheSize bounds the cross-session compiled-DAG cache.
+const DefaultDAGCacheSize = 256
+
 // Engine wraps one keynote.Checker with memoised credential sessions and
 // a shared decision cache. It is safe for concurrent use.
 type Engine struct {
@@ -52,9 +62,10 @@ type Engine struct {
 	polHash   string
 
 	mu       sync.Mutex
-	sessions map[string]*CredentialSession // by fingerprint
-	cache    *lruCache
-	epoch    atomic.Uint64 // bumped by Invalidate; see Epoch
+	sessions *lruCache[*CredentialSession] // by fingerprint, bounded
+	cache    *lruCache[*Decision]
+	dags     *lruCache[dagEntry] // compiled DAGs by fingerprint, epoch-tagged
+	epoch    atomic.Uint64       // bumped by Invalidate; see Epoch
 
 	hits, misses, invalidations uint64
 
@@ -69,7 +80,31 @@ type Option func(*Engine)
 func WithCacheSize(n int) Option {
 	return func(e *Engine) {
 		if n > 0 {
-			e.cache = newLRUCache(n)
+			e.cache = newLRUCache[*Decision](n)
+		}
+	}
+}
+
+// WithSessionCap sets how many admitted sessions the engine retains
+// (LRU-evicted beyond that; default DefaultSessionCap).
+func WithSessionCap(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.sessions = newLRUCache[*CredentialSession](n)
+		}
+	}
+}
+
+// WithDAGCacheSize sets the capacity of the cross-session compiled-DAG
+// cache (default DefaultDAGCacheSize). The cache lets a credential set
+// readmitted after session eviction — a reconnecting WebCom client, a
+// repeat KeyCOM administrator — skip the admission-time compile; it is
+// keyed by credential-set fingerprint and dropped whole on every epoch
+// bump, so no DAG compiled under one policy ever decides under another.
+func WithDAGCacheSize(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.dags = newLRUCache[dagEntry](n)
 		}
 	}
 }
@@ -104,8 +139,9 @@ func NewEngine(chk *keynote.Checker, opts ...Option) *Engine {
 		memo:      chk.MemoizeResolver(),
 		layerName: "L2:keynote",
 		polHash:   policyHash(chk.Policy()),
-		sessions:  make(map[string]*CredentialSession),
-		cache:     newLRUCache(DefaultCacheSize),
+		sessions:  newLRUCache[*CredentialSession](DefaultSessionCap),
+		cache:     newLRUCache[*Decision](DefaultCacheSize),
+		dags:      newLRUCache[dagEntry](DefaultDAGCacheSize),
 	}
 	for _, o := range opts {
 		o(e)
@@ -123,7 +159,7 @@ func (e *Engine) Checker() *keynote.Checker { return e.checker }
 func (e *Engine) Session(creds []*keynote.Assertion) *CredentialSession {
 	fp := e.fingerprint(creds)
 	e.mu.Lock()
-	if s, ok := e.sessions[fp]; ok {
+	if s, ok := e.sessions.get(fp); ok {
 		e.mu.Unlock()
 		return s
 	}
@@ -156,24 +192,63 @@ func (e *Engine) Session(creds []*keynote.Assertion) *CredentialSession {
 	// Compile the admitted set to a decision DAG, still outside the
 	// lock. The session fingerprint doubles as the compilation cache
 	// key: identical sets share the session and therefore the DAG, and
-	// Invalidate drops both together. Compilation failure is not an
-	// admission failure — the session falls back to the interpreter.
+	// Invalidate drops both together. A set readmitted after session
+	// eviction (a reconnecting client) finds its DAG in the
+	// cross-session cache and skips the compile entirely — unless the
+	// epoch moved, which orphans every cached DAG at once. Compilation
+	// failure is not an admission failure — the session falls back to
+	// the interpreter.
 	if !e.noCompile {
-		if dag, err := compile.Compile(e.checker.Policy(), s.admitted, e.checker.Resolver()); err == nil {
+		epoch := e.epoch.Load()
+		if dag, ok := e.dagGet(fp, epoch); ok {
 			s.compiled = dag
-			e.tel.Counter("authz.compile.sessions").Inc()
+			e.tel.Counter("authz.compile.dag_cache.hits").Inc()
 		} else {
-			e.tel.Counter("authz.compile.fallbacks").Inc()
+			e.tel.Counter("authz.compile.dag_cache.misses").Inc()
+			if dag, err := compile.Compile(e.checker.Policy(), s.admitted, e.checker.Resolver()); err == nil {
+				s.compiled = dag
+				e.tel.Counter("authz.compile.sessions").Inc()
+				e.dagPut(fp, epoch, dag)
+			} else {
+				e.tel.Counter("authz.compile.fallbacks").Inc()
+			}
 		}
 	}
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if prior, ok := e.sessions[fp]; ok {
+	if prior, ok := e.sessions.get(fp); ok {
 		return prior // lost the admission race; identical content anyway
 	}
-	e.sessions[fp] = s
+	e.sessions.put(fp, s)
 	return s
+}
+
+// dagEntry is one cached compiled DAG, tagged with the epoch it was
+// compiled under; a stale tag makes the entry invisible.
+type dagEntry struct {
+	epoch uint64
+	dag   *compile.DAG
+}
+
+// dagGet returns the DAG cached for fp if it was compiled under epoch.
+func (e *Engine) dagGet(fp string, epoch uint64) (*compile.DAG, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent, ok := e.dags.get(fp)
+	if !ok || ent.epoch != epoch {
+		return nil, false
+	}
+	return ent.dag, true
+}
+
+// dagPut caches a freshly compiled DAG under its pre-compile epoch
+// snapshot; an Invalidate that raced the compile leaves the entry
+// permanently stale rather than ever serving it.
+func (e *Engine) dagPut(fp string, epoch uint64, dag *compile.DAG) {
+	e.mu.Lock()
+	e.dags.put(fp, dagEntry{epoch: epoch, dag: dag})
+	e.mu.Unlock()
 }
 
 // Epoch returns the engine's invalidation epoch: a counter bumped by
@@ -183,15 +258,18 @@ func (e *Engine) Session(creds []*keynote.Assertion) *CredentialSession {
 // under epoch N must not be memoised into epoch N+1.
 func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
 
-// Invalidate flushes the decision cache, the admitted sessions and the
-// resolver memo, and advances the epoch. KeyCOM fires it on every
+// Invalidate flushes the decision cache, the admitted sessions, the
+// compiled-DAG cache and the resolver memo, and advances the epoch —
+// every epoch-guarded derivation (verdict bitmaps, delegation mint
+// caches, relint-skip tables) goes stale with it. KeyCOM fires it on every
 // catalogue commit; anything that changes policy inputs out from under
 // the engine should too.
 func (e *Engine) Invalidate() {
 	e.epoch.Add(1)
 	e.mu.Lock()
 	e.cache.clear()
-	e.sessions = make(map[string]*CredentialSession)
+	e.sessions.clear()
+	e.dags.clear()
 	e.invalidations++
 	e.mu.Unlock()
 	e.tel.Counter("authz.cache.invalidations").Inc()
@@ -214,7 +292,7 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return Stats{
-		Sessions:      len(e.sessions),
+		Sessions:      e.sessions.len(),
 		CacheEntries:  e.cache.len(),
 		Hits:          e.hits,
 		Misses:        e.misses,
@@ -364,21 +442,25 @@ func (s *CredentialSession) Decide(ctx context.Context, q keynote.Query) (*Decis
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Cache hits skip the span: they are already visible through
+	// Trace.CacheHit and the latency histogram, and a span per hit would
+	// dominate the cost of the hit itself on the delegation hot path.
+	key := s.fp + "\x00" + canonicalQuery(q)
+	if d, ok := s.engine.cacheGet(key); ok {
+		hit := *d
+		hit.Trace.CacheHit = true
+		hit.Trace.Elapsed = time.Since(start)
+		if tel := s.engine.tel; tel != nil {
+			tel.Histogram("authz.decide.latency").ObserveDuration(hit.Trace.Elapsed)
+		}
+		return &hit, nil
+	}
 	_, span := telemetry.StartSpan(ctx, "authz.decide")
 	defer span.Finish()
 	if tel := s.engine.tel; tel != nil {
 		defer func() {
 			tel.Histogram("authz.decide.latency").ObserveDuration(time.Since(start))
 		}()
-	}
-	key := s.fp + "\x00" + canonicalQuery(q)
-	if d, ok := s.engine.cacheGet(key); ok {
-		hit := *d
-		hit.Trace.CacheHit = true
-		hit.Trace.Elapsed = time.Since(start)
-		span.SetAttr("cache", "hit")
-		span.SetAttr("allowed", strconv.FormatBool(hit.Allowed))
-		return &hit, nil
 	}
 	span.SetAttr("cache", "miss")
 	res, err := s.evaluate(q)

@@ -2,54 +2,58 @@ package authz
 
 import "container/list"
 
-// lruCache is a plain LRU over decision pointers. Not safe for
-// concurrent use on its own — the Engine serialises access under its
-// mutex, which also keeps the hit/miss counters consistent.
-type lruCache struct {
+// lruCache is a plain LRU, generic over the cached value: decision
+// pointers for the shared decision cache, compiled-DAG entries for the
+// cross-session compilation cache, minted credentials for the
+// delegation mint cache. Not safe for concurrent use on its own — each
+// owner serialises access under its own mutex, which also keeps the
+// hit/miss counters consistent.
+type lruCache[V any] struct {
 	cap   int
 	ll    *list.List // front = most recent
 	items map[string]*list.Element
 }
 
-type lruEntry struct {
+type lruEntry[V any] struct {
 	key string
-	d   *Decision
+	v   V
 }
 
-func newLRUCache(capacity int) *lruCache {
-	return &lruCache{
+func newLRUCache[V any](capacity int) *lruCache[V] {
+	return &lruCache[V]{
 		cap:   capacity,
 		ll:    list.New(),
 		items: make(map[string]*list.Element, capacity),
 	}
 }
 
-func (c *lruCache) get(key string) (*Decision, bool) {
+func (c *lruCache[V]) get(key string) (V, bool) {
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).d, true
+	return el.Value.(*lruEntry[V]).v, true
 }
 
-func (c *lruCache) put(key string, d *Decision) {
+func (c *lruCache[V]) put(key string, v V) {
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).d = d
+		el.Value.(*lruEntry[V]).v = v
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, d: d})
+	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, v: v})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry).key)
+		delete(c.items, oldest.Value.(*lruEntry[V]).key)
 	}
 }
 
-func (c *lruCache) len() int { return c.ll.Len() }
+func (c *lruCache[V]) len() int { return c.ll.Len() }
 
-func (c *lruCache) clear() {
+func (c *lruCache[V]) clear() {
 	c.ll.Init()
 	c.items = make(map[string]*list.Element, c.cap)
 }

@@ -1,0 +1,217 @@
+package authz
+
+import (
+	"fmt"
+	"testing"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/telemetry"
+)
+
+func delegScope(ops ...string) DelegationScope {
+	return DelegationScope{AppDomain: "WebCom", Operations: ops}
+}
+
+// TestMintCacheReusesCredential: a repeat Mint for the same (parent,
+// delegate, scope) returns the identical signed assertion without
+// re-signing, and the hit/miss counters account for both paths.
+func TestMintCacheReusesCredential(t *testing.T) {
+	f := newFixture(t)
+	tel := telemetry.NewRegistry()
+	mc := NewMintCache(f.engine, 0, tel)
+	scope := delegScope("double", "sum")
+
+	first, hit, err := mc.Mint(f.admin, f.bob.PublicID(), scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("cold mint reported as cache hit")
+	}
+	second, hit, err := mc.Mint(f.admin, f.bob.PublicID(), scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("repeat mint missed the cache")
+	}
+	// Byte-identical reuse is what makes the receiving side's
+	// fingerprint skip sound.
+	if first.Text() != second.Text() {
+		t.Fatal("cached credential differs from the minted one")
+	}
+	snap := tel.Snapshot()
+	if snap.Counters["authz.mint_cache.hits"] != 1 || snap.Counters["authz.mint_cache.misses"] != 1 {
+		t.Fatalf("hit/miss counters = %d/%d, want 1/1",
+			snap.Counters["authz.mint_cache.hits"], snap.Counters["authz.mint_cache.misses"])
+	}
+}
+
+// TestMintCacheKeyNormalisesScopeSpelling: two scopes admitting the same
+// vocabulary in different spelling order share one cache entry.
+func TestMintCacheKeyNormalisesScopeSpelling(t *testing.T) {
+	f := newFixture(t)
+	mc := NewMintCache(f.engine, 0, telemetry.NewRegistry())
+
+	if _, hit, err := mc.Mint(f.admin, f.bob.PublicID(), DelegationScope{
+		AppDomain: "WebCom", Operations: []string{"b", "a", "a"}, Domains: []string{"Y", "X"},
+	}); err != nil || hit {
+		t.Fatalf("cold mint: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := mc.Mint(f.admin, f.bob.PublicID(), DelegationScope{
+		AppDomain: "WebCom", Operations: []string{"a", "b"}, Domains: []string{"X", "Y", "Y"},
+	}); err != nil || !hit {
+		t.Fatalf("reordered scope missed the cache: hit=%v err=%v", hit, err)
+	}
+	// A genuinely different vocabulary must not collide.
+	if _, hit, err := mc.Mint(f.admin, f.bob.PublicID(), DelegationScope{
+		AppDomain: "WebCom", Operations: []string{"a"}, Domains: []string{"X", "Y"},
+	}); err != nil || hit {
+		t.Fatalf("narrower scope hit the wider entry: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestMintCacheInvalidatedByEpoch: an Engine.Invalidate (what every
+// KeyCOM catalogue commit fires) makes every cached credential
+// invisible — the next Mint pays the full sign+lint again.
+func TestMintCacheInvalidatedByEpoch(t *testing.T) {
+	f := newFixture(t)
+	mc := NewMintCache(f.engine, 0, telemetry.NewRegistry())
+	scope := delegScope("double")
+
+	if _, _, err := mc.Mint(f.admin, f.bob.PublicID(), scope); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, _ := mc.Mint(f.admin, f.bob.PublicID(), scope); !hit {
+		t.Fatal("warm mint missed before invalidation")
+	}
+	f.engine.Invalidate()
+	cred, hit, err := mc.Mint(f.admin, f.bob.PublicID(), scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("credential minted under the old epoch honoured after Invalidate")
+	}
+	if cred == nil {
+		t.Fatal("post-invalidation mint returned nothing")
+	}
+	// And the fresh entry is live again under the new epoch.
+	if _, hit, _ := mc.Mint(f.admin, f.bob.PublicID(), scope); !hit {
+		t.Fatal("re-minted credential not cached under the new epoch")
+	}
+}
+
+// TestDelegationVerdictsSkipOnlyAfterPass: the relint-skip table skips
+// the second admission of an unchanged clean chain, never skips after
+// Invalidate, and records nothing for chains that fail the lint.
+func TestDelegationVerdictsSkipOnlyAfterPass(t *testing.T) {
+	f := newFixture(t)
+	tel := telemetry.NewRegistry()
+	dv := NewDelegationVerdicts(f.engine, tel)
+	scope := delegScope("double")
+	cred, err := MintScopedDelegation(f.admin, f.bob.PublicID(), scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := []*keynote.Assertion{cred}
+
+	if skipped, err := dv.Validate(f.admin.PublicID(), chain, scope); err != nil || skipped {
+		t.Fatalf("first admission: skipped=%v err=%v", skipped, err)
+	}
+	if skipped, err := dv.Validate(f.admin.PublicID(), chain, scope); err != nil || !skipped {
+		t.Fatalf("unchanged chain re-linted: skipped=%v err=%v", skipped, err)
+	}
+
+	// A different claimed parent is a different triple: full lint.
+	if skipped, _ := dv.Validate(f.bob.PublicID(), chain, scope); skipped {
+		t.Fatal("verdict for one parent honoured for another")
+	}
+
+	// Epoch bump (KeyCOM commit) drops every stamp.
+	f.engine.Invalidate()
+	if skipped, err := dv.Validate(f.admin.PublicID(), chain, scope); err != nil || skipped {
+		t.Fatalf("stamp survived Invalidate: skipped=%v err=%v", skipped, err)
+	}
+
+	snap := tel.Snapshot()
+	if snap.Counters["authz.relint.skips"] != 1 {
+		t.Fatalf("relint.skips = %d, want 1", snap.Counters["authz.relint.skips"])
+	}
+}
+
+// TestDelegationVerdictsNeverStampFailures: a dishonourable chain
+// re-lints, and re-fails with findings, on every presentation — the
+// denial path is never amortised.
+func TestDelegationVerdictsNeverStampFailures(t *testing.T) {
+	f := newFixture(t)
+	tel := telemetry.NewRegistry()
+	dv := NewDelegationVerdicts(f.engine, tel)
+	scope := delegScope("double")
+	// Constant-true conditions: PL011 refuses this chain every time.
+	bad := []*keynote.Assertion{keynote.MustNew(`"Kparent"`, `"Ksub"`, `"x" == "x";`)}
+
+	for i := 0; i < 3; i++ {
+		skipped, err := dv.Validate("Kparent", bad, scope)
+		if err == nil {
+			t.Fatalf("presentation %d: dishonourable chain admitted", i)
+		}
+		if skipped {
+			t.Fatalf("presentation %d: failing chain skipped its lint", i)
+		}
+	}
+	snap := tel.Snapshot()
+	if snap.Counters["authz.relint.lints"] != 3 || snap.Counters["authz.relint.skips"] != 0 {
+		t.Fatalf("lints/skips = %d/%d, want 3/0",
+			snap.Counters["authz.relint.lints"], snap.Counters["authz.relint.skips"])
+	}
+}
+
+// TestNilDelegationVerdictsAlwaysLint: the nil table (a client built
+// without an engine) degrades to plain ValidateDelegation.
+func TestNilDelegationVerdictsAlwaysLint(t *testing.T) {
+	f := newFixture(t)
+	scope := delegScope("double")
+	cred, err := MintScopedDelegation(f.admin, f.bob.PublicID(), scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dv *DelegationVerdicts
+	for i := 0; i < 2; i++ {
+		if skipped, err := dv.Validate(f.admin.PublicID(), []*keynote.Assertion{cred}, scope); err != nil || skipped {
+			t.Fatalf("nil table: skipped=%v err=%v", skipped, err)
+		}
+	}
+}
+
+// TestDAGCacheServesReadmittedSessions: the cross-session compiled-DAG
+// cache survives session eviction — a credential set readmitted after
+// its session fell out of the LRU reuses the compiled DAG instead of
+// recompiling — and an epoch bump drops it.
+func TestDAGCacheServesReadmittedSessions(t *testing.T) {
+	f := newFixture(t)
+	tel := telemetry.NewRegistry()
+	eng := NewEngine(f.chk, WithSessionCap(1), WithTelemetry(tel))
+
+	other := keynote.MustNew(fmt.Sprintf("%q", f.admin.PublicID()), fmt.Sprintf("%q", f.admin.PublicID()),
+		`app_domain=="WebCom" && Domain=="Finance";`)
+	if err := other.Sign(f.admin); err != nil {
+		t.Fatal(err)
+	}
+
+	eng.Session([]*keynote.Assertion{f.cred}) // compile + cache DAG for cred
+	eng.Session([]*keynote.Assertion{other})  // evicts cred's session (cap 1)
+	eng.Session([]*keynote.Assertion{f.cred}) // readmission: session gone, DAG cached
+	snap := tel.Snapshot()
+	if hits := snap.Counters["authz.compile.dag_cache.hits"]; hits < 1 {
+		t.Fatalf("readmitted session recompiled: dag_cache.hits = %d", hits)
+	}
+
+	eng.Invalidate()
+	before := tel.Snapshot().Counters["authz.compile.dag_cache.misses"]
+	eng.Session([]*keynote.Assertion{f.cred})
+	after := tel.Snapshot().Counters["authz.compile.dag_cache.misses"]
+	if after != before+1 {
+		t.Fatalf("DAG compiled under the old epoch served after Invalidate (misses %d -> %d)", before, after)
+	}
+}

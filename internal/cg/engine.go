@@ -101,6 +101,13 @@ type Engine struct {
 	// subgraphs to authorised sub-masters (the hierarchical half of the
 	// paper's Figure 3, where a client may itself be a master).
 	Condenser Condenser
+	// OnFire, when non-nil, observes every successful operator firing
+	// with its task and result, after the executor returns. It is called
+	// from worker goroutines and must be safe for concurrent use. WebCom
+	// sub-masters install one to stream per-node delegate_result frames
+	// while a delegated subgraph runs; purely structural firings
+	// (conditional selection, condensation) are not observed.
+	OnFire func(t Task, result string)
 	// MaxDepth bounds condensation recursion. Default 64.
 	MaxDepth int
 	// Tel, when non-nil, counts firings (cg.fired), condensation
@@ -300,9 +307,15 @@ func (e *Engine) runGraph(ctx context.Context, g *Graph, inputs map[string]strin
 	}
 	mu.Unlock()
 
-	// Workers.
+	// Workers. A graph can never have more nodes in flight than it has
+	// nodes, so small graphs — a delegated three-node wing, a root graph
+	// that is one condensed node — spawn only what they can use.
+	nw := e.workers()
+	if n := len(g.nodes); n < nw {
+		nw = n
+	}
 	var wg sync.WaitGroup
-	for w := 0; w < e.workers(); w++ {
+	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -456,6 +469,8 @@ func (e *Engine) fire(ctx context.Context, g *Graph, st *nodeState,
 		res, err := e.exec()(ctx, t, n.Op)
 		if err != nil {
 			span.SetAttr("err", err.Error())
+		} else if e.OnFire != nil {
+			e.OnFire(t, res)
 		}
 		return res, Stats{}, err
 	}

@@ -78,3 +78,102 @@ func Fixture(spec FixtureSpec) (*Graph, string, error) {
 	}
 	return g, strconv.FormatInt(vals[spec.Nodes-1], 10), nil
 }
+
+// WideFixtureSpec parameterises WideFixture: a deliberately wide,
+// embarrassingly parallel application — many independent condensed
+// subgraphs and one local reduction — the shape where hierarchical
+// delegation amortises best, because every cell can ship whole to a
+// sub-master in a single round trip instead of one dispatch per node.
+type WideFixtureSpec struct {
+	// Subgraphs is the number of independent condensed cells (≥ 1). The
+	// federation SLO gate uses ≥ 32.
+	Subgraphs int
+	// CellNodes is the length of each cell's sequential add chain (≥ 1).
+	CellNodes int
+	// Seed drives the pseudo-random constants.
+	Seed int64
+}
+
+// WideFixture builds a library holding one "cell" graph — a sequential
+// chain of CellNodes opaque "add" operators over the cell input — and a
+// main graph instantiating Subgraphs condensed cells with distinct
+// pseudo-random inputs, all feeding one local summing exit. The
+// expected result is computed analytically alongside construction. The
+// cells share no edges, so a federated master can delegate all of them
+// concurrently; a flat master pays Subgraphs x CellNodes individual
+// dispatches for the same answer.
+func WideFixture(spec WideFixtureSpec) (*Library, *Graph, string, error) {
+	if spec.Subgraphs < 1 || spec.CellNodes < 1 {
+		return nil, nil, "", fmt.Errorf("cg: wide fixture needs ≥1 subgraph and ≥1 cell node, got %d/%d",
+			spec.Subgraphs, spec.CellNodes)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	lib := NewLibrary()
+
+	cell := NewGraph("cell")
+	var cellSum int64
+	for i := 0; i < spec.CellNodes; i++ {
+		id := "c" + strconv.Itoa(i)
+		if _, err := cell.AddNode(id, &Opaque{OpName: "add", OpArity: 2}); err != nil {
+			return nil, nil, "", err
+		}
+		k := int64(rng.Intn(1000))
+		if err := cell.SetConst(id, 1, strconv.FormatInt(k, 10)); err != nil {
+			return nil, nil, "", err
+		}
+		cellSum += k
+		if i == 0 {
+			if err := cell.BindInput("x", id, 0); err != nil {
+				return nil, nil, "", err
+			}
+			continue
+		}
+		if err := cell.Connect("c"+strconv.Itoa(i-1), id, 0); err != nil {
+			return nil, nil, "", err
+		}
+	}
+	if err := cell.SetExit("c" + strconv.Itoa(spec.CellNodes-1)); err != nil {
+		return nil, nil, "", err
+	}
+	if err := lib.Define(cell); err != nil {
+		return nil, nil, "", err
+	}
+
+	main := NewGraph(fmt.Sprintf("wide-%d-%d-%d", spec.Subgraphs, spec.CellNodes, spec.Seed))
+	if _, err := main.AddNode("sum", &Func{OpName: "sum", OpArity: spec.Subgraphs,
+		Fn: func(args []string) (string, error) {
+			var total int64
+			for _, a := range args {
+				v, err := strconv.ParseInt(a, 10, 64)
+				if err != nil {
+					return "", err
+				}
+				total += v
+			}
+			return strconv.FormatInt(total, 10), nil
+		}}); err != nil {
+		return nil, nil, "", err
+	}
+	var want int64
+	for i := 0; i < spec.Subgraphs; i++ {
+		id := "s" + strconv.Itoa(i)
+		if _, err := main.AddNode(id, &Condensed{GraphName: "cell", ArityHint: 1}); err != nil {
+			return nil, nil, "", err
+		}
+		x := int64(rng.Intn(1000))
+		if err := main.SetConst(id, 0, strconv.FormatInt(x, 10)); err != nil {
+			return nil, nil, "", err
+		}
+		if err := main.Connect(id, "sum", i); err != nil {
+			return nil, nil, "", err
+		}
+		want += x + cellSum
+	}
+	if err := main.SetExit("sum"); err != nil {
+		return nil, nil, "", err
+	}
+	if err := main.Validate(); err != nil {
+		return nil, nil, "", err
+	}
+	return lib, main, strconv.FormatInt(want, 10), nil
+}

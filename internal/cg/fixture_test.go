@@ -2,6 +2,7 @@ package cg
 
 import (
 	"context"
+	"strconv"
 	"testing"
 )
 
@@ -77,5 +78,54 @@ func TestFixtureRemoteShape(t *testing.T) {
 func TestFixtureRejectsEmpty(t *testing.T) {
 	if _, _, err := Fixture(FixtureSpec{Nodes: 0}); err == nil {
 		t.Fatal("want error for 0 nodes")
+	}
+	if _, _, _, err := WideFixture(WideFixtureSpec{Subgraphs: 0, CellNodes: 1}); err == nil {
+		t.Fatal("want error for 0 subgraphs")
+	}
+}
+
+// TestWideFixtureMatchesAnalyticResult evaluates the wide fixture by
+// local evaporation (no condenser) with an in-process "add" executor
+// and checks the engine's answer against the computed expectation — the
+// ground truth the federated SLO gate compares against.
+func TestWideFixtureMatchesAnalyticResult(t *testing.T) {
+	lib, main, want, err := WideFixture(WideFixtureSpec{Subgraphs: 32, CellNodes: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{Library: lib, Workers: 8,
+		Exec: func(ctx context.Context, task Task, op Operator) (string, error) {
+			if task.OpName == "add" {
+				a, err := strconv.ParseInt(task.Args[0], 10, 64)
+				if err != nil {
+					return "", err
+				}
+				b, err := strconv.ParseInt(task.Args[1], 10, 64)
+				if err != nil {
+					return "", err
+				}
+				return strconv.FormatInt(a+b, 10), nil
+			}
+			return LocalExecutor(ctx, task, op)
+		}}
+	got, stats, err := eng.Run(context.Background(), main, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("wide fixture = %q, want %q", got, want)
+	}
+	// 32 cells x (4 adds + the condensed firing itself), plus the
+	// summing exit.
+	if stats.Fired != 32*5+1 {
+		t.Fatalf("fired %d nodes, want %d", stats.Fired, 32*5+1)
+	}
+
+	_, _, again, err := WideFixture(WideFixtureSpec{Subgraphs: 32, CellNodes: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != want {
+		t.Fatalf("same spec, different results: %q vs %q", again, want)
 	}
 }

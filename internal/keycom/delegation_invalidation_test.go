@@ -1,0 +1,66 @@
+package keycom
+
+import (
+	"context"
+	"testing"
+
+	"securewebcom/internal/authz"
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/telemetry"
+)
+
+// TestCommitInvalidatesDelegationAmortisation is the federation
+// acceptance bar for the amortised-delegation caches: a KeyCOM
+// catalogue commit must flush BOTH the delegating master's mint cache
+// and the sub-master's relint-skip table, exactly as it already flushes
+// decision caches and sessions. A credential minted — or a lint verdict
+// stamped — under the pre-commit policy can never be honoured after the
+// commit.
+func TestCommitInvalidatesDelegationAmortisation(t *testing.T) {
+	f := newFigure8(t)
+
+	// The consumer side: a master's engine registered with the service,
+	// owning a mint cache (delegating side) and a relint-skip table
+	// (receiving side).
+	tel := telemetry.NewRegistry()
+	external := authz.NewEngine(f.svc.Checker)
+	f.svc.OnCommit(external.Invalidate)
+	mints := authz.NewMintCache(external, 0, tel)
+	relint := authz.NewDelegationVerdicts(external, tel)
+
+	scope := authz.DelegationScope{AppDomain: "WebCom", Operations: []string{"double"}}
+	cred, _, err := mints.Mint(f.admin, f.manager.PublicID(), scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := []*keynote.Assertion{cred}
+	if _, err := relint.Validate(f.admin.PublicID(), chain, scope); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm: both ends amortise.
+	if _, hit, _ := mints.Mint(f.admin, f.manager.PublicID(), scope); !hit {
+		t.Fatal("mint cache cold on repeat delegation")
+	}
+	if skipped, _ := relint.Validate(f.admin.PublicID(), chain, scope); !skipped {
+		t.Fatal("relint table cold on repeat admission")
+	}
+
+	// One committed catalogue update.
+	req := &UpdateRequest{Requester: f.admin.PublicID(), Diff: addUserDiff("Eve")}
+	if err := req.Sign(f.admin); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.svc.Apply(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both caches are cold again: the next delegation re-signs and the
+	// next admission re-lints under the post-commit policy world.
+	if _, hit, err := mints.Mint(f.admin, f.manager.PublicID(), scope); err != nil || hit {
+		t.Fatalf("mint cache survived a KeyCOM commit: hit=%v err=%v", hit, err)
+	}
+	if skipped, err := relint.Validate(f.admin.PublicID(), chain, scope); err != nil || skipped {
+		t.Fatalf("relint verdict survived a KeyCOM commit: skipped=%v err=%v", skipped, err)
+	}
+}

@@ -1,0 +1,181 @@
+package keycom
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"securewebcom/internal/faultfs"
+	"securewebcom/internal/keys"
+)
+
+// Key-vault crash suite, mirroring the catalogue store's: a fixed
+// workload of Puts (crossing snapshot boundaries) is run once cleanly to
+// count the filesystem's mutating operations, then re-run once per
+// (operation, fault mode) pair with the fault armed exactly there. After
+// every crash the vault must reopen and serve exactly the acknowledged
+// keys — or those plus the one in-flight Put whose fsync landed — with
+// every recovered private key still able to sign.
+
+const (
+	vaultChaosPuts      = 8
+	vaultChaosSnapEvery = 3
+)
+
+func vaultKey(i int) *keys.KeyPair {
+	return keys.Deterministic(fmt.Sprintf("k%03d", i), "vault-chaos")
+}
+
+func vaultChaosOps(t *testing.T) int {
+	t.Helper()
+	fs := faultfs.NewMemFS()
+	v, err := OpenKeyVault("vault", KeyVaultOptions{FS: fs, SnapshotEvery: vaultChaosSnapEvery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < vaultChaosPuts; i++ {
+		if err := v.Put(vaultKey(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v.Close()
+	return fs.Ops()
+}
+
+func TestKeyVaultCrashChaosSuite(t *testing.T) {
+	totalOps := vaultChaosOps(t)
+	if totalOps < vaultChaosPuts {
+		t.Fatalf("workload performs only %d fs operations", totalOps)
+	}
+	modes := []faultfs.Mode{faultfs.CrashHard, faultfs.CrashTornWrite, faultfs.CrashPartialFsync}
+	for _, mode := range modes {
+		mode := mode
+		for op := 1; op <= totalOps; op++ {
+			op := op
+			t.Run(fmt.Sprintf("%s/op%03d", mode, op), func(t *testing.T) {
+				fs := faultfs.NewMemFS()
+				fs.SetPlan(&faultfs.CrashPlan{Op: op, Mode: mode, Seed: int64(op)*37 + int64(mode)})
+				acked := 0
+				v, err := OpenKeyVault("vault", KeyVaultOptions{FS: fs, SnapshotEvery: vaultChaosSnapEvery})
+				if err == nil {
+					for i := 0; i < vaultChaosPuts; i++ {
+						if perr := v.Put(vaultKey(i)); perr != nil {
+							break
+						}
+						acked = i + 1
+					}
+				}
+				if !fs.Crashed() {
+					t.Fatalf("plan %v at op %d never engaged", mode, op)
+				}
+
+				fs.Recover()
+				v2, err := OpenKeyVault("vault", KeyVaultOptions{FS: fs, SnapshotEvery: vaultChaosSnapEvery})
+				if err != nil {
+					t.Fatalf("recovery after %v at op %d failed: %v (files: %v)", mode, op, err, fs.Files())
+				}
+				seq := int(v2.Seq())
+				// Exactly the acknowledged Puts, or acknowledged plus the
+				// one in-flight Put whose frame was durable.
+				if seq != acked && seq != acked+1 {
+					t.Fatalf("recovered %d keys, acknowledged %d", seq, acked)
+				}
+				if n := v2.Store().Len(); n != seq {
+					t.Fatalf("recovered keystore holds %d keys, vault at seq %d", n, seq)
+				}
+				// Every recovered key is intact: right identity, private
+				// half still signs.
+				for i := 0; i < seq; i++ {
+					want := vaultKey(i)
+					got, err := v2.Store().ByName(want.Name)
+					if err != nil {
+						t.Fatalf("acknowledged key %s lost: %v", want.Name, err)
+					}
+					if got.PublicID() != want.PublicID() {
+						t.Fatalf("key %s recovered with wrong identity", want.Name)
+					}
+					msg := []byte("post-recovery " + want.Name)
+					if err := keys.Verify(got.PublicID(), msg, got.Sign(msg)); err != nil {
+						t.Fatalf("key %s cannot sign after recovery: %v", want.Name, err)
+					}
+				}
+				// And the recovered vault keeps accepting Puts.
+				if err := v2.Put(keys.Deterministic("post-crash", "vault-chaos")); err != nil {
+					t.Fatalf("put after recovery: %v", err)
+				}
+				v2.Close()
+			})
+		}
+	}
+}
+
+// TestKeyVaultTamperRefused damages an acknowledged mid-history WAL
+// frame: that is not a torn tail but altered acknowledged history, and
+// the vault must refuse to open rather than resurrect a subset.
+func TestKeyVaultTamperRefused(t *testing.T) {
+	fs := faultfs.NewMemFS()
+	// Snapshots disabled so every Put stays in the WAL.
+	v, err := OpenKeyVault("vault", KeyVaultOptions{FS: fs, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := v.Put(vaultKey(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v.Close()
+
+	// Flip one payload byte inside the second frame. The frame fails its
+	// checksum, so everything from it on reads as a torn tail — but the
+	// frames beyond it are checksum-valid with a sequence gap, which
+	// recovery must treat as corruption, not a crash artifact.
+	data, err := fs.ReadFile("vault/vault.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := int(uint32(data[0])<<24 | uint32(data[1])<<16 | uint32(data[2])<<8 | uint32(data[3]))
+	if err := fs.DamageFile("vault/vault.wal", walHeaderSize+frame+walHeaderSize+4, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenKeyVault("vault", KeyVaultOptions{FS: fs, SnapshotEvery: -1}); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("damaged acknowledged history opened: %v", err)
+	}
+}
+
+// TestKeyVaultReplacementSurvives replaces a name binding, snapshots,
+// and verifies recovery serves the replacement, not the original.
+func TestKeyVaultReplacementSurvives(t *testing.T) {
+	fs := faultfs.NewMemFS()
+	v, err := OpenKeyVault("vault", KeyVaultOptions{FS: fs, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := keys.Deterministic("rotating", "gen-1")
+	nu := keys.Deterministic("rotating", "gen-2")
+	if err := v.Put(old); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Put(nu); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	v.Close()
+
+	v2, err := OpenKeyVault("vault", KeyVaultOptions{FS: fs, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v2.Store().ByName("rotating")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PublicID() != nu.PublicID() {
+		t.Fatal("recovery served the rotated-out key")
+	}
+	if v2.Seq() != 2 {
+		t.Fatalf("sequence not preserved across snapshot: %d", v2.Seq())
+	}
+}

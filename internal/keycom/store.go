@@ -311,7 +311,7 @@ func verifiedAuditLen(data []byte, n int) int {
 // to its verified length first (and fsyncing the cut so a torn tail
 // cannot reappear after the next crash).
 func (s *Store) openLogs(walLen, auditLen int64, auditHead string) error {
-	w, err := openWAL(s.fs, s.path(walFileName), walLen, s.tel)
+	w, err := openWAL(s.fs, s.path(walFileName), walLen, s.tel, "keycom.wal")
 	if err != nil {
 		return err
 	}

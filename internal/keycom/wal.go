@@ -55,14 +55,68 @@ func encodeWALRecord(rec *walRecord) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("keycom: encode wal record: %w", err)
 	}
+	return encodeFrame(payload), nil
+}
+
+// encodeFrame wraps one payload in the length + checksum header shared
+// by every keycom log (the catalogue WAL and the key-vault WAL).
+func encodeFrame(payload []byte) []byte {
 	frame := make([]byte, walHeaderSize+len(payload))
 	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
 	copy(frame[walHeaderSize:], payload)
-	return frame, nil
+	return frame
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// scanFrames walks the checksum-valid frame prefix of data, handing
+// each payload to fn, and returns the byte length of the good prefix.
+// The scan ends at the first short header, implausible length, checksum
+// failure, or fn returning false — the torn tail the caller truncates.
+func scanFrames(data []byte, fn func(payload []byte) bool) (good int) {
+	off := 0
+	for {
+		if len(data)-off < walHeaderSize {
+			return off
+		}
+		n := int(binary.BigEndian.Uint32(data[off : off+4]))
+		sum := binary.BigEndian.Uint32(data[off+4 : off+8])
+		if n == 0 || n > maxWALRecord || len(data)-off-walHeaderSize < n {
+			return off
+		}
+		payload := data[off+walHeaderSize : off+walHeaderSize+n]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return off
+		}
+		if !fn(payload) {
+			return off
+		}
+		off += walHeaderSize + n
+	}
+}
+
+// tornTailIsFinal reports whether the bytes past a log's good prefix
+// are explainable as one torn final append. Appends are sequential and
+// fsynced one frame at a time, so a crash damages at most the last
+// frame; if the bad frame's declared length is plausible and skipping
+// it reveals another checksum-valid frame, the damage sits in the
+// middle of acknowledged history — corruption, not a crash artifact.
+func tornTailIsFinal(tail []byte) bool {
+	if len(tail) < walHeaderSize {
+		return true
+	}
+	n := int(binary.BigEndian.Uint32(tail[0:4]))
+	if n == 0 || n > maxWALRecord || len(tail)-walHeaderSize < n {
+		return true
+	}
+	valid := false
+	scanFrames(tail[walHeaderSize+n:], func([]byte) bool {
+		valid = true
+		return false
+	})
+	return !valid
+}
 
 // parseWAL decodes frames from data. It returns the decoded records and
 // the byte length of the good prefix; bytes past good are a torn tail
@@ -72,56 +126,47 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // records with Seq <= base are skipped as pre-snapshot history.
 func parseWAL(data []byte, base uint64) (recs []walRecord, good int, err error) {
 	last := base
-	off := 0
-	for {
-		if len(data)-off < walHeaderSize {
-			return recs, off, nil // torn or empty tail
-		}
-		n := int(binary.BigEndian.Uint32(data[off : off+4]))
-		sum := binary.BigEndian.Uint32(data[off+4 : off+8])
-		if n == 0 || n > maxWALRecord || len(data)-off-walHeaderSize < n {
-			return recs, off, nil
-		}
-		payload := data[off+walHeaderSize : off+walHeaderSize+n]
-		if crc32.Checksum(payload, crcTable) != sum {
-			return recs, off, nil
-		}
+	good = scanFrames(data, func(payload []byte) bool {
 		var rec walRecord
-		if err := json.Unmarshal(payload, &rec); err != nil {
-			return recs, off, nil
+		if json.Unmarshal(payload, &rec) != nil {
+			return false
 		}
 		if rec.Seq <= base {
 			// Pre-snapshot history awaiting truncation: skip, but it
 			// still has to be internally contiguous ground we walked on.
-			off += walHeaderSize + n
-			continue
+			return true
 		}
 		if rec.Seq != last+1 {
-			return recs, off, fmt.Errorf("%w: record seq %d after %d", ErrWALCorrupt, rec.Seq, last)
+			err = fmt.Errorf("%w: record seq %d after %d", ErrWALCorrupt, rec.Seq, last)
+			return false
 		}
 		last = rec.Seq
 		recs = append(recs, rec)
-		off += walHeaderSize + n
-	}
+		return true
+	})
+	return recs, good, err
 }
 
 // wal is the open write-ahead log file.
 type wal struct {
-	fs   faultfs.FS
-	path string
-	f    faultfs.File
-	size int64 // bytes of fully acknowledged frames
-	tel  *telemetry.Registry
+	fs     faultfs.FS
+	path   string
+	f      faultfs.File
+	size   int64 // bytes of fully acknowledged frames
+	tel    *telemetry.Registry
+	metric string // counter prefix, e.g. "keycom.wal"
 }
 
 // openWAL opens (creating if absent) the log for appending. size must
-// be the good-prefix length recovery established.
-func openWAL(fsys faultfs.FS, path string, size int64, tel *telemetry.Registry) (*wal, error) {
+// be the good-prefix length recovery established; metric prefixes the
+// append/fsync counters so the catalogue WAL and the key-vault WAL
+// report separately.
+func openWAL(fsys faultfs.FS, path string, size int64, tel *telemetry.Registry, metric string) (*wal, error) {
 	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("keycom: open wal: %w", err)
 	}
-	return &wal{fs: fsys, path: path, f: f, size: size, tel: tel}, nil
+	return &wal{fs: fsys, path: path, f: f, size: size, tel: tel, metric: metric}, nil
 }
 
 // append writes and fsyncs one record. On failure it rewinds the file
@@ -133,6 +178,12 @@ func (w *wal) append(rec *walRecord) error {
 	if err != nil {
 		return err
 	}
+	return w.appendFrame(frame)
+}
+
+// appendFrame writes and fsyncs one pre-encoded frame under the same
+// rewind-on-failure contract as append.
+func (w *wal) appendFrame(frame []byte) error {
 	start := time.Now()
 	_, werr := w.f.Write(frame)
 	if werr == nil {
@@ -145,9 +196,9 @@ func (w *wal) append(rec *walRecord) error {
 		return fmt.Errorf("keycom: wal append: %w", werr)
 	}
 	w.size += int64(len(frame))
-	w.tel.Counter("keycom.wal.appends").Inc()
-	w.tel.Counter("keycom.wal.fsyncs").Inc()
-	w.tel.Histogram("keycom.wal.fsync.latency").ObserveDuration(time.Since(start))
+	w.tel.Counter(w.metric + ".appends").Inc()
+	w.tel.Counter(w.metric + ".fsyncs").Inc()
+	w.tel.Histogram(w.metric + ".fsync.latency").ObserveDuration(time.Since(start))
 	return nil
 }
 

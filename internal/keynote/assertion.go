@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"securewebcom/internal/keys"
 )
@@ -66,6 +67,15 @@ type Assertion struct {
 
 	// Signature is the canonical textual signature, empty for local policy.
 	Signature string
+
+	// textMemo caches the canonical rendering returned by Text().
+	// Assertions are parsed once and then shared read-only across
+	// goroutines (session fingerprints, relint fingerprints and admitted
+	// sets all render the same text repeatedly), so the memo is an
+	// atomic lazily-filled pointer. The mutating methods (Sign,
+	// WithConstants, WithComment) clear it; code assigning exported
+	// fields directly must not have called Text() first.
+	textMemo atomic.Pointer[string]
 }
 
 // field names, canonical order for rendering.
@@ -318,20 +328,32 @@ func (a *Assertion) WithConstants(pairs ...string) (*Assertion, error) {
 	if err := a.compile(); err != nil {
 		return nil, err
 	}
+	a.textMemo.Store(nil)
 	return a, nil
 }
 
 // WithComment sets the Comment field and returns the assertion.
 func (a *Assertion) WithComment(c string) *Assertion {
 	a.Comment = c
+	a.textMemo.Store(nil)
 	return a
 }
 
 // IsPolicy reports whether this is a local policy assertion.
 func (a *Assertion) IsPolicy() bool { return a.Authorizer == PolicyPrincipal }
 
-// Text renders the assertion canonically, including the signature if set.
-func (a *Assertion) Text() string { return a.render(true) }
+// Text renders the assertion canonically, including the signature if
+// set. The rendering is memoised: fingerprinting and admission render
+// the same shared assertions on every delegation, so repeat calls
+// return the cached string.
+func (a *Assertion) Text() string {
+	if p := a.textMemo.Load(); p != nil {
+		return *p
+	}
+	t := a.render(true)
+	a.textMemo.Store(&t)
+	return t
+}
 
 // SignedText renders the portion of the assertion covered by the
 // signature: every field except Signature, in canonical order and spacing.
@@ -430,6 +452,7 @@ func (a *Assertion) Sign(kp *keys.KeyPair) error {
 			a.Authorizer, kp.Name, truncate(kp.PublicID(), 24))
 	}
 	a.Signature = kp.Sign([]byte(a.SignedText()))
+	a.textMemo.Store(nil)
 	return nil
 }
 

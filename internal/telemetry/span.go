@@ -2,7 +2,6 @@ package telemetry
 
 import (
 	"context"
-	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -19,8 +18,20 @@ func init() {
 	idCounter.Store(uint64(time.Now().UnixNano()) << 16)
 }
 
+const hexDigits = "0123456789abcdef"
+
+// newID renders prefix plus a 16-hex-digit counter by hand: IDs are
+// minted for every span on the delegation hot path, and fmt's
+// reflection costs more than the rest of span start-up.
 func newID(prefix string) string {
-	return fmt.Sprintf("%s%016x", prefix, idCounter.Add(1))
+	v := idCounter.Add(1)
+	var b [24]byte
+	n := copy(b[:], prefix)
+	for i := n + 15; i >= n; i-- {
+		b[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:n+16])
 }
 
 // Span is one timed operation inside a trace. Spans form a tree via
@@ -50,12 +61,18 @@ func (s *Span) Duration() time.Duration {
 }
 
 // SetAttr attaches a key=value annotation. Safe on a nil receiver.
+// Attributes set after Finish are dropped (they were never visible to
+// the tracer anyway — the ring records the span at Finish time), which
+// lets the recorded snapshot share the attrs map instead of copying it.
 func (s *Span) SetAttr(key, value string) {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
 	if s.Attrs == nil {
 		s.Attrs = map[string]string{}
 	}
@@ -82,25 +99,21 @@ func (s *Span) Finish() {
 	}
 }
 
-// snapshot returns a tracer-safe copy (attrs included) of the span.
+// snapshot returns a tracer-safe copy of the span. The attrs map is
+// shared, not copied: snapshot runs only from Finish, after which
+// SetAttr refuses writes, so the map is frozen.
 func (s *Span) snapshot() Span {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cp := Span{
+	return Span{
 		TraceID:  s.TraceID,
 		SpanID:   s.SpanID,
 		ParentID: s.ParentID,
 		Name:     s.Name,
 		Start:    s.Start,
 		End:      s.End,
+		Attrs:    s.Attrs,
 	}
-	if len(s.Attrs) > 0 {
-		cp.Attrs = make(map[string]string, len(s.Attrs))
-		for k, v := range s.Attrs {
-			cp.Attrs[k] = v
-		}
-	}
-	return cp
 }
 
 // tracerRing is the default number of finished spans a Tracer keeps.
@@ -114,6 +127,13 @@ type Tracer struct {
 	ring  []Span
 	next  int
 	total int64
+	// ids counts ring occupancy per SpanID so Ingest can dedupe in O(1)
+	// per span instead of rebuilding a ring-sized set on every merge.
+	ids map[string]int
+	// traces maps a TraceID to the ring slots holding its spans, so
+	// Trace — called once per result on the sub-master reply path —
+	// collects a trace's spans without scanning the whole ring.
+	traces map[string][]int
 }
 
 // NewTracer returns a tracer retaining the most recent window
@@ -122,20 +142,69 @@ func NewTracer(window int) *Tracer {
 	if window <= 0 {
 		window = tracerRing
 	}
-	return &Tracer{ring: make([]Span, 0, window)}
+	return &Tracer{
+		ring:   make([]Span, 0, window),
+		ids:    make(map[string]int),
+		traces: make(map[string][]int),
+	}
+}
+
+// dropSlotLocked removes one ring slot from a trace's slot list.
+// Callers hold t.mu.
+func (t *Tracer) dropSlotLocked(traceID string, slot int) {
+	list := t.traces[traceID]
+	for i, sl := range list {
+		if sl == slot {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(t.traces, traceID)
+	} else {
+		t.traces[traceID] = list
+	}
+}
+
+// insertLocked appends s to the ring (evicting the oldest entry when
+// full) and keeps the SpanID and TraceID indexes in sync. Callers hold
+// t.mu.
+func (t *Tracer) insertLocked(s Span) {
+	t.total++
+	var slot int
+	if len(t.ring) < cap(t.ring) {
+		slot = len(t.ring)
+		t.ring = append(t.ring, s)
+	} else {
+		slot = t.next
+		old := &t.ring[slot]
+		if old.SpanID != "" {
+			if n := t.ids[old.SpanID]; n <= 1 {
+				delete(t.ids, old.SpanID)
+			} else {
+				t.ids[old.SpanID] = n - 1
+			}
+		}
+		if old.TraceID != "" {
+			t.dropSlotLocked(old.TraceID, slot)
+		}
+		t.ring[slot] = s
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	if s.SpanID != "" {
+		t.ids[s.SpanID]++
+	}
+	if s.TraceID != "" {
+		t.traces[s.TraceID] = append(t.traces[s.TraceID], slot)
+	}
 }
 
 func (t *Tracer) record(s *Span) {
 	cp := s.snapshot()
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.total++
-	if len(t.ring) < cap(t.ring) {
-		t.ring = append(t.ring, cp)
-	} else {
-		t.ring[t.next] = cp
-		t.next = (t.next + 1) % cap(t.ring)
-	}
+	t.insertLocked(cp)
 }
 
 // Ingest merges finished spans recorded by another process (or another
@@ -151,22 +220,11 @@ func (t *Tracer) Ingest(spans []Span) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	seen := make(map[string]bool, len(t.ring))
-	for i := range t.ring {
-		seen[t.ring[i].SpanID] = true
-	}
 	for _, s := range spans {
-		if s.SpanID == "" || seen[s.SpanID] {
+		if s.SpanID == "" || t.ids[s.SpanID] > 0 {
 			continue
 		}
-		seen[s.SpanID] = true
-		t.total++
-		if len(t.ring) < cap(t.ring) {
-			t.ring = append(t.ring, s)
-		} else {
-			t.ring[t.next] = s
-			t.next = (t.next + 1) % cap(t.ring)
-		}
+		t.insertLocked(s)
 	}
 }
 
@@ -185,14 +243,24 @@ func (t *Tracer) Spans() []Span {
 }
 
 // Trace returns the retained spans belonging to traceID, ordered by
-// start time. Safe on a nil receiver.
+// start time. The TraceID index makes the cost scale with the trace's
+// own span count rather than the ring window — this runs on the
+// sub-master hot path once per result reply. Safe on a nil receiver.
 func (t *Tracer) Trace(traceID string) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	slots := t.traces[traceID]
 	var out []Span
-	for _, s := range t.Spans() {
-		if s.TraceID == traceID {
-			out = append(out, s)
+	if len(slots) > 0 {
+		out = make([]Span, 0, len(slots))
+		for _, sl := range slots {
+			out = append(out, t.ring[sl])
 		}
 	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
 	return out
 }
 

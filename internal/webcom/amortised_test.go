@@ -1,0 +1,672 @@
+package webcom
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"securewebcom/internal/cg"
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/telemetry"
+)
+
+// Amortised-federation suite: repeat delegations reuse cached minted
+// credentials and skip re-lints, sub-masters stream per-node progress
+// frames whose values must agree with the closing result, stragglers
+// are speculatively re-delegated to sibling sub-masters without ever
+// double-executing a task, and denials disarm the whole machinery.
+
+// tierOpts parameterises newTwoTierEnv.
+type tierOpts struct {
+	retry RetryPolicy
+	live  Liveness
+	codec string // sub-master client codec ("" keeps the default)
+	sniff bool   // log every byte on the root<->sub links
+	mem   bool   // wire root<->sub over net.Pipe (no kernel in the loop)
+	// local supplies sub-master i's in-process operator table; a
+	// delegated subgraph's opaque tasks execute there without a third
+	// tier.
+	local func(i int) map[string]func([]string) (string, error)
+}
+
+// tierEnv is a two-tier federation without leaves: a root master whose
+// clients are nSubs sub-masters executing delegated subgraphs through
+// their Local tables — the minimal topology for the amortisation,
+// streaming and work-stealing properties.
+type tierEnv struct {
+	root    *Master
+	rootTel *telemetry.Registry
+	subs    []*Client
+	subTels []*telemetry.Registry
+	wire    *wireLog
+}
+
+func newTwoTierEnv(t testing.TB, nSubs int, o tierOpts) *tierEnv {
+	t.Helper()
+	leakCheck(t)
+	const seed = "webcom-amortised"
+	env := &tierEnv{rootTel: telemetry.NewRegistry(), wire: &wireLog{}}
+	ks := keys.NewKeyStore()
+	rootKey := keys.Deterministic("Kroot", seed)
+	ks.Add(rootKey)
+
+	var rootPolicy []*keynote.Assertion
+	subKeys := make([]*keys.KeyPair, nSubs)
+	for i := range subKeys {
+		subKeys[i] = keys.Deterministic(fmt.Sprintf("KS%d", i), seed)
+		ks.Add(subKeys[i])
+		rootPolicy = append(rootPolicy, keynote.MustNew(
+			"POLICY", fmt.Sprintf("%q", subKeys[i].PublicID()), `app_domain=="WebCom";`))
+	}
+	rootChk, err := keynote.NewChecker(rootPolicy, keynote.WithResolver(ks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.root = NewMaster(rootKey, rootChk, nil, ks)
+	env.root.Retry = o.retry
+	env.root.Live = o.live
+	env.root.Tel = env.rootTel
+	env.root.Tracer = telemetry.NewTracer(4096)
+	var memLn *pipeListener
+	if o.mem {
+		memLn = newPipeListener()
+		env.root.Serve(memLn)
+	} else if err := env.root.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { env.root.Close() })
+
+	for i := 0; i < nSubs; i++ {
+		subKey := subKeys[i]
+		// The embedded master exists to mark the client as a sub-master;
+		// with a Local table covering the subgraph vocabulary it never
+		// dispatches anything.
+		subChk, err := keynote.NewChecker([]*keynote.Assertion{keynote.MustNew(
+			"POLICY", fmt.Sprintf("%q", subKey.PublicID()), `app_domain=="WebCom";`)},
+			keynote.WithResolver(ks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		subM := NewMaster(subKey, subChk, nil, ks)
+		subM.Retry = o.retry
+		subM.Live = o.live
+		t.Cleanup(func() { subM.Close() })
+
+		subCliChk, err := keynote.NewChecker([]*keynote.Assertion{keynote.MustNew(
+			"POLICY", fmt.Sprintf("%q", rootKey.PublicID()), `app_domain=="WebCom";`)},
+			keynote.WithResolver(ks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		subTel := telemetry.NewRegistry()
+		env.subTels = append(env.subTels, subTel)
+		sub := &Client{
+			Name:    fmt.Sprintf("S%d", i),
+			Key:     subKey,
+			Codec:   o.codec,
+			Checker: subCliChk,
+			Sub:     subM,
+			Tel:     subTel,
+			Live:    o.live,
+			Tracer:  telemetry.NewTracer(4096),
+			Reconnect: ReconnectPolicy{Enabled: true, MaxAttempts: -1,
+				BaseBackoff: 10 * time.Millisecond, MaxBackoff: 100 * time.Millisecond},
+		}
+		if o.local != nil {
+			sub.Local = o.local(i)
+		}
+		if o.mem {
+			sub.Dial = memLn.dialMem
+		}
+		if o.sniff {
+			sub.Dial = func(addr string) (net.Conn, error) {
+				raw, err := net.Dial("tcp", addr)
+				if err != nil {
+					return nil, err
+				}
+				return &sniffConn{Conn: raw, log: env.wire}, nil
+			}
+		}
+		env.subs = append(env.subs, sub)
+		connectRetrying(t, sub, env.root.Addr())
+		t.Cleanup(func() { sub.Close() })
+	}
+	waitN(t, env.root, nSubs)
+	return env
+}
+
+// localDouble is the standard in-process "double" table for a sub-master.
+func localDouble() map[string]func([]string) (string, error) {
+	return map[string]func([]string) (string, error){
+		"double": func(args []string) (string, error) {
+			n, err := strconv.Atoi(args[0])
+			if err != nil {
+				return "", err
+			}
+			return strconv.Itoa(2 * n), nil
+		},
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// soloGraph builds main = wing(3): one condensed node, expected 16.
+func soloGraph(tb testing.TB) *cg.Graph {
+	tb.Helper()
+	g := cg.NewGraph("solo")
+	g.MustAddNode("w1", &cg.Condensed{GraphName: "wing", ArityHint: 1})
+	if err := g.SetConst("w1", 0, "3"); err != nil {
+		tb.Fatal(err)
+	}
+	if err := g.SetExit("w1"); err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+// TestRepeatDelegationAmortised is the tentpole property: delegating the
+// same subgraphs to the same sub-master repeatedly reuses the cached
+// minted credential (no per-run Ed25519) and skips the receiving-side
+// re-lint, while an engine invalidation on either side restores the full
+// cold path.
+func TestRepeatDelegationAmortised(t *testing.T) {
+	leakCheck(t)
+	env := newFedEnv(t, 1, 1, nil, nil, fastRetry(), fastLive())
+	lib := fedLibrary(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	run := func() {
+		t.Helper()
+		got, _, err := env.root.Run(ctx, &cg.Engine{Library: lib, Workers: 4}, fedRootGraph(t), nil)
+		if err != nil {
+			t.Fatalf("federated run: %v", err)
+		}
+		if got != "40" {
+			t.Fatalf("federated result = %q, want 40", got)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		run()
+	}
+
+	// 3 runs x 2 delegations. The first run's two concurrent mints may
+	// race (both miss) but runs 2 and 3 must be pure cache hits, and the
+	// sub must have skipped every re-lint after its first admission(s).
+	snap := env.rootTel.Snapshot()
+	if hits, misses := snap.Counters["authz.mint_cache.hits"], snap.Counters["authz.mint_cache.misses"]; hits < 4 || misses > 2 || hits+misses != 6 {
+		t.Fatalf("mint cache hits/misses = %d/%d over 6 delegations, want ≥4/≤2", hits, misses)
+	}
+	sub := env.subTels[0].Snapshot()
+	if lints, skips := sub.Counters["authz.relint.lints"], sub.Counters["authz.relint.skips"]; lints > 2 || skips < 4 || lints+skips != 6 {
+		t.Fatalf("relint lints/skips = %d/%d over 6 admissions, want ≤2/≥4", lints, skips)
+	}
+
+	// A KeyCOM commit fires Engine.Invalidate on both tiers: the next
+	// run must re-mint and re-lint under the new epoch.
+	env.root.Engine().Invalidate()
+	env.subs[0].Engine().Invalidate()
+	run()
+	snap2 := env.rootTel.Snapshot()
+	if got := snap2.Counters["authz.mint_cache.misses"]; got <= snap.Counters["authz.mint_cache.misses"] {
+		t.Fatalf("no fresh mint after Invalidate (misses still %d)", got)
+	}
+	sub2 := env.subTels[0].Snapshot()
+	if got := sub2.Counters["authz.relint.lints"]; got <= sub.Counters["authz.relint.lints"] {
+		t.Fatalf("no fresh lint after Invalidate (lints still %d)", got)
+	}
+}
+
+// TestDelegationStreamsProgress: while a delegated subgraph runs, the
+// sub-master streams one delegate_result frame per operator firing, and
+// the streamed value of each subgraph's exit node equals the closing
+// result the root honours — streaming is advisory, never divergent.
+func TestDelegationStreamsProgress(t *testing.T) {
+	leakCheck(t)
+	env := newFedEnv(t, 1, 2, nil, nil, fastRetry(), fastLive())
+	lib := fedLibrary(t)
+
+	var mu sync.Mutex
+	frames := map[string][]string{}
+	env.root.OnDelegateProgress = func(node, result string) {
+		mu.Lock()
+		frames[node] = append(frames[node], result)
+		mu.Unlock()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	got, _, err := env.root.Run(ctx, &cg.Engine{Library: lib, Workers: 4}, fedRootGraph(t), nil)
+	if err != nil {
+		t.Fatalf("federated run: %v", err)
+	}
+	if got != "40" {
+		t.Fatalf("federated result = %q, want 40", got)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	// wing's exit is "sum": its streamed values must be exactly the two
+	// closing results the root combined into 40.
+	sums := append([]string(nil), frames["sum"]...)
+	sort.Strings(sums)
+	if len(sums) != 2 || sums[0] != "16" || sums[1] != "24" {
+		t.Fatalf("streamed exit-node values = %v, want [16 24]", sums)
+	}
+	// Interior firings stream too: dx doubles each wing's input.
+	dx := append([]string(nil), frames["dx"]...)
+	sort.Strings(dx)
+	if len(dx) != 2 || dx[0] != "14" || dx[1] != "6" {
+		t.Fatalf("streamed dx values = %v, want [14 6]", dx)
+	}
+
+	snap := env.rootTel.Snapshot()
+	if n := snap.Counters["webcom.delegate.frames.streamed"]; n != 6 {
+		t.Fatalf("root ingested %d streamed frames, want 6 (3 nodes x 2 wings)", n)
+	}
+	if n := env.subTels[0].Snapshot().Counters["webcom.client.frames.streamed"]; n != 6 {
+		t.Fatalf("sub streamed %d frames, want 6", n)
+	}
+}
+
+// TestSpeculativeStealNoDoubleExecution: a sub-master that accepts a
+// delegation and then makes no progress at all is speculatively
+// re-delegated to a sibling after SpeculateAfter of the delegate
+// deadline. The sibling's result wins, the straggler is cancelled over
+// the wire, and — the invariant under test — every task in the subgraph
+// completes exactly once: the wedged sub-master finishes nothing.
+func TestSpeculativeStealNoDoubleExecution(t *testing.T) {
+	const nSubs = 2
+	retry := fastRetry()
+	retry.DelegateTimeout = 5 * time.Second
+	retry.SpeculateAfter = 0.05 // speculate after 250ms of silence
+
+	var wedgedIdx atomic.Int32
+	wedgedIdx.Store(-1)
+	release := make(chan struct{})
+	var completed [nSubs]atomic.Int64
+	local := func(i int) map[string]func([]string) (string, error) {
+		return map[string]func([]string) (string, error){
+			"double": func(args []string) (string, error) {
+				// The first sub-master to execute anything becomes the
+				// straggler: every one of its tasks blocks, pre-completion,
+				// until the test tears down. It streams nothing.
+				if wedgedIdx.CompareAndSwap(-1, int32(i)) || wedgedIdx.Load() == int32(i) {
+					<-release
+					return "", errors.New("straggler released at teardown")
+				}
+				completed[i].Add(1)
+				n, err := strconv.Atoi(args[0])
+				if err != nil {
+					return "", err
+				}
+				return strconv.Itoa(2 * n), nil
+			},
+		}
+	}
+	env := newTwoTierEnv(t, nSubs, tierOpts{retry: retry, live: fastLive(), local: local})
+	t.Cleanup(func() { close(release) })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	got, _, err := env.root.Run(ctx, &cg.Engine{Library: fedLibrary(t), Workers: 4}, soloGraph(t), nil)
+	if err != nil {
+		t.Fatalf("federated run: %v", err)
+	}
+	if got != "16" {
+		t.Fatalf("federated result = %q, want 16", got)
+	}
+
+	wedged := wedgedIdx.Load()
+	if wedged < 0 {
+		t.Fatal("no sub-master ever received the delegation")
+	}
+	if n := completed[wedged].Load(); n != 0 {
+		t.Fatalf("straggler completed %d tasks after being stolen from", n)
+	}
+	var thief int64
+	for i := range completed {
+		if int32(i) != wedged {
+			thief += completed[i].Load()
+		}
+	}
+	// wing(3) holds exactly two opaque tasks (dx, d5): each ran once, on
+	// the thief only.
+	if thief != 2 {
+		t.Fatalf("thief completed %d tasks, want 2", thief)
+	}
+
+	snap := env.rootTel.Snapshot()
+	if n := snap.Counters["webcom.delegate.speculations"]; n != 1 {
+		t.Fatalf("speculations = %d, want 1", n)
+	}
+	if n := snap.Counters["webcom.delegate.steal.wins"]; n != 1 {
+		t.Fatalf("steal.wins = %d, want 1", n)
+	}
+	// The loser's delegate_cancel is sent by its dispatch goroutine after
+	// the winner has already returned the result, so it lands a moment
+	// after Run does: poll rather than snapshot.
+	waitFor(t, 5*time.Second, func() bool {
+		return env.rootTel.Snapshot().Counters["webcom.delegate.cancels"] >= 1
+	}, "straggler was never cancelled")
+	if n := snap.Counters["webcom.delegate.total"]; n != 1 {
+		t.Fatalf("delegate.total = %d, want 1 (speculation is not a retry)", n)
+	}
+}
+
+// TestDenialNeverSpeculated: a delegation that comes back denied — here
+// a leaf-tier policy denial inside the subgraph — must surface as the
+// denial immediately. It is never re-shopped to a sibling, never
+// speculated, and the denied op never executes anywhere.
+func TestDenialNeverSpeculated(t *testing.T) {
+	leakCheck(t)
+	retry := fastRetry()
+	retry.DelegateTimeout = 10 * time.Second
+	retry.SpeculateAfter = 0.5 // armed, but the denial lands first
+	env := newFedEnv(t, 2, 1, nil, nil, retry, fastLive())
+
+	lib := fedLibrary(t)
+	bw := cg.NewGraph("badwing")
+	bw.MustAddNode("f", &cg.Opaque{OpName: "forbidden", OpArity: 1})
+	if err := bw.BindInput("x", "f", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.SetExit("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Define(bw); err != nil {
+		t.Fatal(err)
+	}
+	g := cg.NewGraph("badmain")
+	g.MustAddNode("b1", &cg.Condensed{GraphName: "badwing", ArityHint: 1})
+	if err := g.SetConst("b1", 0, "3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetExit("b1"); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	_, _, err := env.root.Run(ctx, &cg.Engine{Library: lib, Workers: 4}, g, nil)
+	if err == nil {
+		t.Fatal("policy-denied subgraph succeeded")
+	}
+	if !strings.Contains(err.Error(), "denied") {
+		t.Fatalf("denied subgraph failed for the wrong reason: %v", err)
+	}
+	if n := env.forbiddenRuns.Load(); n != 0 {
+		t.Fatalf("denied op executed %d times", n)
+	}
+	snap := env.rootTel.Snapshot()
+	if n := snap.Counters["webcom.delegate.speculations"]; n != 0 {
+		t.Fatalf("denial was speculated %d times", n)
+	}
+	if n := snap.Counters["webcom.delegate.steal.wins"]; n != 0 {
+		t.Fatalf("steal.wins = %d after a denial", n)
+	}
+}
+
+// mixedCodecSuite runs a federated delegation with the sub-master pinned
+// to one codec and asserts on the raw wire bytes that both the delegate
+// round trip and the streamed delegate_result frames crossed in that
+// codec.
+func mixedCodecSuite(t *testing.T, subCodec string, wantJSONWire bool) {
+	t.Helper()
+	env := newTwoTierEnv(t, 1, tierOpts{retry: fastRetry(), live: fastLive(),
+		codec: subCodec, sniff: true, local: func(int) map[string]func([]string) (string, error) {
+			return localDouble()
+		}})
+	// A registered progress consumer is what makes the root request
+	// streaming at all — the wire assertion below needs the frames.
+	env.root.OnDelegateProgress = func(string, string) {}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	got, _, err := env.root.Run(ctx, &cg.Engine{Library: fedLibrary(t), Workers: 4}, soloGraph(t), nil)
+	if err != nil {
+		t.Fatalf("federated run: %v", err)
+	}
+	if got != "16" {
+		t.Fatalf("federated result = %q, want 16", got)
+	}
+	if n := env.rootTel.Snapshot().Counters["webcom.delegate.frames.streamed"]; n != 3 {
+		t.Fatalf("root ingested %d streamed frames, want 3", n)
+	}
+
+	// On the JSON wire the delegate and its progress frames are literal
+	// text; on binary/1 they never are. (`"type":"delegate"` cannot match
+	// `"type":"delegate_result"` — the closing quote pins it.)
+	if gotJSON := env.wire.contains(`"type":"delegate"`); gotJSON != wantJSONWire {
+		t.Fatalf("JSON delegate frame on wire = %v, want %v", gotJSON, wantJSONWire)
+	}
+	if gotJSON := env.wire.contains(`"type":"delegate_result"`); gotJSON != wantJSONWire {
+		t.Fatalf("JSON delegate_result frame on wire = %v, want %v", gotJSON, wantJSONWire)
+	}
+	if !env.wire.contains(`"type":"challenge"`) {
+		t.Fatal("handshake challenge missing from wire log")
+	}
+}
+
+// TestFederationInteropJSONSubmaster: an old JSON-only sub-master under
+// a binary-capable root federates correctly, streaming included.
+func TestFederationInteropJSONSubmaster(t *testing.T) {
+	mixedCodecSuite(t, CodecJSON, true)
+}
+
+// TestFederationInteropBinarySubmaster: both sides binary-capable — the
+// whole delegation conversation, streaming included, leaves JSON.
+func TestFederationInteropBinarySubmaster(t *testing.T) {
+	mixedCodecSuite(t, CodecAuto, false)
+}
+
+// closureRefSuite runs the same delegation three times over one
+// sub-master pinned to a codec and asserts the closure bytes crossed the
+// wire exactly once: both repeats went by LibraryRef and the sub
+// answered from its content-addressed cache. A ref hit is itself the
+// proof of the canonicalisation contract — the bytes the root hashed
+// are exactly the bytes the sub received and hashed — on this codec.
+func closureRefSuite(t *testing.T, subCodec string) {
+	t.Helper()
+	env := newTwoTierEnv(t, 1, tierOpts{retry: fastRetry(), live: fastLive(),
+		codec: subCodec, sniff: true, local: func(int) map[string]func([]string) (string, error) {
+			return localDouble()
+		}})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		got, _, err := env.root.Run(ctx, &cg.Engine{Library: fedLibrary(t), Workers: 4}, soloGraph(t), nil)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if got != "16" {
+			t.Fatalf("run %d = %q, want 16", i, got)
+		}
+	}
+	snap := env.rootTel.Snapshot()
+	if n := snap.Counters["webcom.delegate.closure.refs"]; n != 2 {
+		t.Fatalf("closure.refs = %d over 3 runs, want 2", n)
+	}
+	if n := snap.Counters["webcom.delegate.closure.resends"]; n != 0 {
+		t.Fatalf("closure.resends = %d, want 0", n)
+	}
+	sub := env.subTels[0].Snapshot()
+	if n := sub.Counters["webcom.client.closure.ref.hits"]; n != 2 {
+		t.Fatalf("sub ref.hits = %d, want 2", n)
+	}
+	if n := sub.Counters["webcom.client.closure.ref.misses"]; n != 0 {
+		t.Fatalf("sub ref.misses = %d, want 0", n)
+	}
+	if subCodec == CodecJSON && !env.wire.contains(`"library_ref":"`) {
+		t.Fatal("no library_ref frame on the JSON wire")
+	}
+}
+
+// TestClosureRefJSONWire: repeat delegations over the JSON codec carry
+// only the content hash.
+func TestClosureRefJSONWire(t *testing.T) { closureRefSuite(t, CodecJSON) }
+
+// TestClosureRefBinaryWire: same over binary/1 — the canonicalised
+// closure bytes hash identically on either framing.
+func TestClosureRefBinaryWire(t *testing.T) { closureRefSuite(t, CodecAuto) }
+
+// TestClosureRefMissResent: a sub-master that evicted a closure answers
+// the bare-ref delegation with errUnknownClosure; the root resends the
+// full bytes within the same dispatch (the run still succeeds), and the
+// connection re-arms refs for subsequent repeats.
+func TestClosureRefMissResent(t *testing.T) {
+	env := newTwoTierEnv(t, 1, tierOpts{retry: fastRetry(), live: fastLive(), mem: true,
+		local: func(int) map[string]func([]string) (string, error) { return localDouble() }})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	run := func() {
+		t.Helper()
+		got, _, err := env.root.Run(ctx, &cg.Engine{Library: fedLibrary(t), Workers: 4}, soloGraph(t), nil)
+		if err != nil {
+			t.Fatalf("federated run: %v", err)
+		}
+		if got != "16" {
+			t.Fatalf("federated result = %q, want 16", got)
+		}
+	}
+	run() // full closure; marks the connection
+
+	// Evict the sub's closure cache (it clears wholesale on overflow, so
+	// this is exactly the state a busy sub-master reaches naturally).
+	sub := env.subs[0]
+	sub.delegMu.Lock()
+	clear(sub.closureCache)
+	sub.delegMu.Unlock()
+
+	run() // ref misses, closure resent in full
+	snap := env.rootTel.Snapshot()
+	if n := snap.Counters["webcom.delegate.closure.resends"]; n != 1 {
+		t.Fatalf("closure.resends = %d after eviction, want 1", n)
+	}
+	if n := env.subTels[0].Snapshot().Counters["webcom.client.closure.ref.misses"]; n != 1 {
+		t.Fatalf("sub ref.misses = %d, want 1", n)
+	}
+
+	run() // the resend re-marked the connection: by ref again, and it hits
+	snap = env.rootTel.Snapshot()
+	if n := snap.Counters["webcom.delegate.closure.refs"]; n != 2 {
+		t.Fatalf("closure.refs = %d over 3 runs, want 2", n)
+	}
+	if n := env.subTels[0].Snapshot().Counters["webcom.client.closure.ref.hits"]; n != 1 {
+		t.Fatalf("sub ref.hits = %d, want 1", n)
+	}
+}
+
+// TestUnknownClosureRefIsPlainError: an unknown LibraryRef must come
+// back as a transport-level error, never a denial — a denial is terminal
+// for the Condenser (evaporate locally, no retry), but a ref miss only
+// means "resend the bytes".
+func TestUnknownClosureRefIsPlainError(t *testing.T) {
+	key := keys.Deterministic("Kwb", "webcom-amortised")
+	cl := &Client{Name: "S", Key: key, Tel: telemetry.NewRegistry(),
+		Sub: NewMaster(key, nil, nil, nil)}
+	m := &msg{Type: msgDelegate, Op: "wing", LibraryRef: strings.Repeat("00", 32)}
+	_, _, denied, err := cl.executeDelegate(context.Background(), nil, m)
+	if err == nil || err.Error() != errUnknownClosure {
+		t.Fatalf("err = %v, want %q", err, errUnknownClosure)
+	}
+	if denied {
+		t.Fatal("unknown closure ref reported as a denial")
+	}
+}
+
+// TestWideGraphFederatedBeatsFlat is the ISSUE's scaling acceptance: on
+// a wide application (32 independent condensed subgraphs), delegating
+// whole subgraphs to sub-masters beats flat per-task dispatch through
+// the same cluster on wall clock. Flat is forced by installing a
+// declining condenser, so both runs share the topology, the sessions
+// and the warm caches — the only difference is delegation.
+func TestWideGraphFederatedBeatsFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock comparison")
+	}
+	lib, main, want, err := cg.WideFixture(cg.WideFixtureSpec{Subgraphs: 32, CellNodes: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	localAdd := func(int) map[string]func([]string) (string, error) {
+		return map[string]func([]string) (string, error){
+			"add": func(args []string) (string, error) {
+				a, err := strconv.ParseInt(args[0], 10, 64)
+				if err != nil {
+					return "", err
+				}
+				b, err := strconv.ParseInt(args[1], 10, 64)
+				if err != nil {
+					return "", err
+				}
+				return strconv.FormatInt(a+b, 10), nil
+			},
+		}
+	}
+	env := newTwoTierEnv(t, 4, tierOpts{retry: fastRetry(), live: fastLive(), local: localAdd})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	federated := func() time.Duration {
+		t.Helper()
+		start := time.Now()
+		got, _, err := env.root.Run(ctx, &cg.Engine{Library: lib, Workers: 8}, main, nil)
+		if err != nil {
+			t.Fatalf("federated run: %v", err)
+		}
+		if got != want {
+			t.Fatalf("federated = %q, want %q", got, want)
+		}
+		return time.Since(start)
+	}
+	flat := func() time.Duration {
+		t.Helper()
+		start := time.Now()
+		eng := &cg.Engine{Library: lib, Workers: 8,
+			Condenser: func(context.Context, cg.Task, *cg.Condensed, map[string]string) (string, cg.Stats, bool, error) {
+				return "", cg.Stats{}, false, nil // decline: evaporate and dispatch flat
+			}}
+		got, _, err := env.root.Run(ctx, eng, main, nil)
+		if err != nil {
+			t.Fatalf("flat run: %v", err)
+		}
+		if got != want {
+			t.Fatalf("flat = %q, want %q", got, want)
+		}
+		return time.Since(start)
+	}
+
+	federated() // warm the mint cache, relint table and sessions
+	for trial := 0; trial < 3; trial++ {
+		fed, fl := federated(), flat()
+		if fed < fl {
+			t.Logf("trial %d: federated %v beats flat %v (%0.1fx)", trial, fed, fl, float64(fl)/float64(fed))
+			if n := env.rootTel.Snapshot().Counters["webcom.delegate.total"]; n < 32 {
+				t.Fatalf("only %d delegations for 32 subgraphs", n)
+			}
+			return
+		}
+		t.Logf("trial %d: federated %v, flat %v — retrying", trial, fed, fl)
+	}
+	t.Fatal("federated never beat flat dispatch on the wide graph")
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"strconv"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -171,12 +172,33 @@ func benchDispatch(b *testing.B, env *chaosEnv) {
 	}
 }
 
-// BenchmarkFederatedRun measures one two-tier federated evaluation: the
-// root delegates both condensed wing subgraphs (credential mint + lint +
-// wire transfer) to a sub-master that schedules them over two leaves.
-// Compare against BenchmarkDispatch to price a delegation hop relative
-// to a single flat task round trip.
+// BenchmarkFederatedRun prices the federation plane. The sub-benchmarks
+// are the sections BENCH_federation.json records and CI gates:
+//
+//   - full: three tiers over loopback TCP — root delegates both wing
+//     subgraphs to a sub-master that schedules them over two leaf
+//     clients. The shape the pre-amortisation 5.7ms figure measured.
+//   - warm: the gated repeat-delegation path — two tiers over an
+//     in-process pipe, mint cache hot, relint skipped, sub executing
+//     the subgraph through its Local table. CI holds the median under
+//     100µs and ≥10x over the pre-amortisation baseline.
+//   - cold: warm's topology with both engines invalidated every
+//     iteration, so each delegation pays the full Ed25519 mint and
+//     double policylint — the price the caches amortise away.
+//   - streamed: warm's topology delegating a 16-node chain, so one
+//     delegation streams 16 delegate_result frames.
+//   - stolen: a wedged primary sub-master speculatively re-delegated
+//     to its sibling — dominated by the deliberate silence window
+//     before the speculation trigger fires.
 func BenchmarkFederatedRun(b *testing.B) {
+	b.Run("full", benchFederatedFull)
+	b.Run("warm", benchFederatedWarm)
+	b.Run("cold", benchFederatedCold)
+	b.Run("streamed", benchFederatedStreamed)
+	b.Run("stolen", benchFederatedStolen)
+}
+
+func benchFederatedFull(b *testing.B) {
 	env := newFedEnv(b, 1, 2, nil, nil, RetryPolicy{}, Liveness{})
 	lib := fedLibrary(b)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
@@ -193,6 +215,146 @@ func BenchmarkFederatedRun(b *testing.B) {
 			b.Fatalf("result = %q, want 40", got)
 		}
 	}
+}
+
+// benchTwoTier runs want-checked federated evaluations of g over a
+// two-tier pipe-wired env, invalidating both tiers' engines first when
+// cold is set.
+func benchTwoTier(b *testing.B, env *tierEnv, lib *cg.Library, g *cg.Graph, want string, cold bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	eng := &cg.Engine{Library: lib, Workers: 4}
+	// Prime the mint cache, the relint table and the admission sessions.
+	if got, _, err := env.root.Run(ctx, eng, g, nil); err != nil || got != want {
+		b.Fatalf("warm-up run = %q, %v (want %q)", got, err, want)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cold {
+			env.root.Engine().Invalidate()
+			env.subs[0].Engine().Invalidate()
+		}
+		got, _, err := env.root.Run(ctx, eng, g, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got != want {
+			b.Fatalf("result = %q, want %q", got, want)
+		}
+	}
+}
+
+func benchFederatedWarm(b *testing.B) {
+	env := newTwoTierEnv(b, 1, tierOpts{mem: true,
+		local: func(int) map[string]func([]string) (string, error) { return localDouble() }})
+	benchTwoTier(b, env, fedLibrary(b), soloGraph(b), "16", false)
+}
+
+func benchFederatedCold(b *testing.B) {
+	env := newTwoTierEnv(b, 1, tierOpts{mem: true,
+		local: func(int) map[string]func([]string) (string, error) { return localDouble() }})
+	benchTwoTier(b, env, fedLibrary(b), soloGraph(b), "16", true)
+}
+
+// chainFixture returns a library whose "chain" graph doubles its input
+// n times, a main graph delegating one condensed chain on input 1, and
+// the expected result 2^n.
+func chainFixture(tb testing.TB, n int) (*cg.Library, *cg.Graph, string) {
+	tb.Helper()
+	lib := cg.NewLibrary()
+	ch := cg.NewGraph("chain")
+	for i := 0; i < n; i++ {
+		id := "c" + strconv.Itoa(i)
+		ch.MustAddNode(id, &cg.Opaque{OpName: "double", OpArity: 1})
+		if i == 0 {
+			if err := ch.BindInput("x", id, 0); err != nil {
+				tb.Fatal(err)
+			}
+			continue
+		}
+		if err := ch.Connect("c"+strconv.Itoa(i-1), id, 0); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := ch.SetExit("c" + strconv.Itoa(n-1)); err != nil {
+		tb.Fatal(err)
+	}
+	if err := lib.Define(ch); err != nil {
+		tb.Fatal(err)
+	}
+	main := cg.NewGraph("chainmain")
+	main.MustAddNode("m", &cg.Condensed{GraphName: "chain", ArityHint: 1})
+	if err := main.SetConst("m", 0, "1"); err != nil {
+		tb.Fatal(err)
+	}
+	if err := main.SetExit("m"); err != nil {
+		tb.Fatal(err)
+	}
+	return lib, main, strconv.FormatInt(1<<n, 10)
+}
+
+func benchFederatedStreamed(b *testing.B) {
+	env := newTwoTierEnv(b, 1, tierOpts{mem: true,
+		local: func(int) map[string]func([]string) (string, error) { return localDouble() }})
+	// The progress consumer is what makes the root request streaming:
+	// this section measures a delegation with per-node frames on the wire.
+	env.root.OnDelegateProgress = func(string, string) {}
+	lib, g, want := chainFixture(b, 16)
+	benchTwoTier(b, env, lib, g, want, false)
+}
+
+func benchFederatedStolen(b *testing.B) {
+	type iterState struct {
+		wedged  atomic.Int32
+		release chan struct{}
+	}
+	var cur atomic.Pointer[iterState]
+	local := func(i int) map[string]func([]string) (string, error) {
+		return map[string]func([]string) (string, error){
+			"double": func(args []string) (string, error) {
+				st := cur.Load()
+				// The first sub-master to execute becomes this iteration's
+				// silent straggler; its tasks block until the run completes.
+				if st.wedged.CompareAndSwap(-1, int32(i)) || st.wedged.Load() == int32(i) {
+					<-st.release
+					return "", errors.New("straggler released")
+				}
+				n, err := strconv.Atoi(args[0])
+				if err != nil {
+					return "", err
+				}
+				return strconv.Itoa(2 * n), nil
+			},
+		}
+	}
+	retry := fastRetry()
+	retry.DelegateTimeout = 2 * time.Second
+	retry.SpeculateAfter = 0.005 // speculate after 10ms of silence
+	env := newTwoTierEnv(b, 2, tierOpts{mem: true, retry: retry, live: fastLive(), local: local})
+	lib := fedLibrary(b)
+	g := soloGraph(b)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	eng := &cg.Engine{Library: lib, Workers: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := &iterState{release: make(chan struct{})}
+		st.wedged.Store(-1)
+		cur.Store(st)
+		got, _, err := env.root.Run(ctx, eng, g, nil)
+		close(st.release)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got != "16" {
+			b.Fatalf("result = %q, want 16", got)
+		}
+	}
+	b.StopTimer()
+	// Let the released stragglers drain before leakCheck fires.
+	time.Sleep(50 * time.Millisecond)
 }
 
 // BenchmarkRunUnderFaults measures a 10-task condensed graph run across

@@ -21,7 +21,7 @@ import (
 // leakCheck fails the test if goroutines outlive the test's cleanups.
 // Register it FIRST so it runs after every other cleanup has torn the
 // fixture down (cleanups run last-in first-out).
-func leakCheck(t *testing.T) {
+func leakCheck(t testing.TB) {
 	t.Helper()
 	base := runtime.NumGoroutine()
 	t.Cleanup(func() {

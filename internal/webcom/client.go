@@ -73,6 +73,25 @@ type Client struct {
 	engOnce sync.Once
 	eng     *authz.Engine
 	audit   *authz.AuditLog
+	// relint is the delegation relint-skip table: chains that already
+	// linted clean under the current policy epoch are admitted without a
+	// second policylint pass (see authz.DelegationVerdicts).
+	relint *authz.DelegationVerdicts
+
+	// delegCancels maps in-flight delegation task IDs to their context
+	// cancel functions, so a delegate_cancel frame from the root (the
+	// delegation was withdrawn, or a speculative duplicate won) stops the
+	// subgraph evaluation instead of letting it run to the deadline.
+	delegMu      sync.Mutex
+	delegCancels map[uint64]context.CancelFunc
+	// closureCache and credCache amortise repeat delegations: decoded
+	// subgraph closures keyed by content hash and parsed credentials
+	// keyed by exact text (see delegate.go). Both are content-addressed
+	// pure-decode caches — policy never participates, so they survive
+	// engine epoch bumps; the relint table and decision caches carry the
+	// security invalidation.
+	closureCache map[string]*closureEntry
+	credCache    map[string]*keynote.Assertion
 
 	mu          sync.Mutex
 	conn        *conn
@@ -99,8 +118,45 @@ func (cl *Client) Engine() *authz.Engine {
 			cl.eng = authz.NewEngine(cl.Checker, authz.WithTelemetry(cl.Tel))
 		}
 		cl.audit = authz.NewAuditLog(256)
+		cl.relint = authz.NewDelegationVerdicts(cl.eng, cl.Tel)
 	})
 	return cl.eng
+}
+
+// relintTable returns the client's delegation relint-skip table (built
+// alongside the engine; epoch-guarded by it when the client has one).
+func (cl *Client) relintTable() *authz.DelegationVerdicts {
+	cl.Engine()
+	return cl.relint
+}
+
+// registerDelegate makes an in-flight delegation cancellable by TaskID.
+func (cl *Client) registerDelegate(id uint64, cancel context.CancelFunc) {
+	cl.delegMu.Lock()
+	if cl.delegCancels == nil {
+		cl.delegCancels = make(map[uint64]context.CancelFunc)
+	}
+	cl.delegCancels[id] = cancel
+	cl.delegMu.Unlock()
+}
+
+func (cl *Client) unregisterDelegate(id uint64) {
+	cl.delegMu.Lock()
+	delete(cl.delegCancels, id)
+	cl.delegMu.Unlock()
+}
+
+// cancelDelegate fires the cancel function for an in-flight delegation,
+// reporting whether one was found (an unknown ID — already finished, or
+// never ours — is a no-op).
+func (cl *Client) cancelDelegate(id uint64) bool {
+	cl.delegMu.Lock()
+	cancel, ok := cl.delegCancels[id]
+	cl.delegMu.Unlock()
+	if ok {
+		cancel()
+	}
+	return ok
 }
 
 // Audit returns the client's denial log: operations it refused to run
@@ -408,6 +464,14 @@ func (cl *Client) serve(c *conn) {
 			// always get their own goroutine so they cannot wedge the
 			// task pool.
 			go cl.runDelegate(c, m)
+		case msgDelegateCancel:
+			// The root abandoned the delegation (timeout, or a
+			// speculative duplicate finished first): stop evaluating so
+			// no further nodes fire on a subgraph nobody is waiting for.
+			if cl.cancelDelegate(m.TaskID) {
+				cl.Tel.Counter("webcom.client.delegation.cancelled").Inc()
+			}
+			msgRelease(m)
 		default:
 			msgRelease(m)
 		}
@@ -437,9 +501,15 @@ func (cl *Client) runTask(c *conn, m *msg) {
 }
 
 // runDelegate evaluates one delegated condensed subgraph and replies
-// with its exit value and evaluation stats.
+// with its exit value and evaluation stats. The evaluation runs under a
+// cancellable context registered by TaskID so a delegate_cancel frame
+// can abort it mid-subgraph.
 func (cl *Client) runDelegate(c *conn, m *msg) {
-	result, st, denied, err := cl.executeDelegate(m)
+	ctx, cancel := context.WithCancel(context.Background())
+	cl.registerDelegate(m.TaskID, cancel)
+	defer cl.unregisterDelegate(m.TaskID)
+	defer cancel()
+	result, st, denied, err := cl.executeDelegate(ctx, c, m)
 	reply := msgAcquire()
 	reply.Type = msgResult
 	reply.TaskID = m.TaskID

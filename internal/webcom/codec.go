@@ -73,6 +73,9 @@ const (
 	fSpans
 	fFired
 	fExpanded
+	fNode
+	fStream
+	fLibraryRef
 )
 
 var errFrameTruncated = errors.New("webcom: binary frame truncated")
@@ -239,6 +242,15 @@ func appendMsgBinary(dst []byte, m *msg) ([]byte, error) {
 	if m.Expanded != 0 {
 		mask |= fExpanded
 	}
+	if m.Node != "" {
+		mask |= fNode
+	}
+	if m.Stream {
+		mask |= fStream
+	}
+	if m.LibraryRef != "" {
+		mask |= fLibraryRef
+	}
 
 	b := binary.AppendUvarint(dst, mask)
 	if mask&fType != 0 {
@@ -315,6 +327,12 @@ func appendMsgBinary(dst []byte, m *msg) ([]byte, error) {
 	}
 	if mask&fExpanded != 0 {
 		b = appendZigzag(b, int64(m.Expanded))
+	}
+	if mask&fNode != 0 {
+		b = appendString(b, m.Node)
+	}
+	if mask&fLibraryRef != 0 {
+		b = appendString(b, m.LibraryRef)
 	}
 	return b, nil
 }
@@ -654,6 +672,17 @@ func decodeMsgBinary(data []byte, m *msg, in *internTable) error {
 			return err
 		}
 		m.Expanded = int(v)
+	}
+	if mask&fNode != 0 {
+		if m.Node, err = r.str(); err != nil {
+			return err
+		}
+	}
+	m.Stream = mask&fStream != 0
+	if mask&fLibraryRef != 0 {
+		if m.LibraryRef, err = r.str(); err != nil {
+			return err
+		}
 	}
 	if len(r.b) != 0 {
 		return fmt.Errorf("webcom: %d trailing bytes in frame", len(r.b))

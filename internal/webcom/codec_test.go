@@ -32,8 +32,10 @@ func fullMsg() *msg {
 		TraceID:     "trace-1",
 		SpanID:      "span-1",
 		Library:     map[string]rawJSON{"g": rawJSON(`{"nodes":[1,2]}`), "h": rawJSON(`"leaf"`)},
+		LibraryRef:  strings.Repeat("ab", 32),
 		Inputs:      map[string]string{"in0": "40"},
 		Delegation:  []string{"delegated-cred"},
+		Stream:      true,
 		Result:      "42",
 		Err:         "boom",
 		Denied:      true,

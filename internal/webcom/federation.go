@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"securewebcom/internal/authz"
@@ -35,6 +36,16 @@ import (
 	"securewebcom/internal/keynote"
 	"securewebcom/internal/telemetry"
 )
+
+// mintCache returns the master's delegation mint cache, lazily built and
+// epoch-guarded by the master's authz engine: a KeyCOM catalogue commit
+// that invalidates the engine orphans every cached credential with it.
+func (m *Master) mintCache() *authz.MintCache {
+	m.mintOnce.Do(func() {
+		m.mints = authz.NewMintCache(m.Engine(), 0, m.Tel)
+	})
+	return m.mints
+}
 
 // submasterCandidates returns live, breaker-admitted sub-master
 // connections authorised for every operation in ops, cheapest first.
@@ -57,14 +68,32 @@ func (m *Master) submasterCandidates(ctx context.Context, ops []string, annotati
 		if c.session != nil {
 			allowed := true
 			for _, op := range ops {
-				d, err := c.session.Decide(ctx, taskQuery(c.principal, op, annotations, nil))
-				if err != nil || !d.Allowed {
-					if err == nil && !d.Trace.CacheHit {
+				// Same admission-time bitmap the dispatch plane uses
+				// (verdicts.go): eligible sessions answer each op with one
+				// atomic load, epoch-invalidated by KeyCOM commits. vUnknown
+				// falls through to the full decision, which stamps the map.
+				switch c.verdicts.lookup(op, annotations) {
+				case vAllow:
+					continue
+				case vDeny:
+					allowed = false
+				default:
+					epoch := m.Engine().Epoch()
+					d, err := c.session.Decide(ctx, taskQuery(c.principal, op, annotations, nil))
+					if err != nil {
+						allowed = false
+						break
+					}
+					c.verdicts.stamp(op, annotations, d.Allowed, epoch)
+					if d.Allowed {
+						continue
+					}
+					if !d.Trace.CacheHit {
 						m.Audit().Record(c.name, op, d)
 					}
 					allowed = false
-					break
 				}
+				break
 			}
 			if !allowed {
 				continue
@@ -93,19 +122,79 @@ func (m *Master) bestLeafScore() (float64, bool) {
 	return best, ok
 }
 
+// delegPlan is the amortised per-subgraph preparation of a delegation:
+// the vocabulary the credential must be scoped to, the opaque-task count
+// the load gate weighs, and the serialised closure the wire carries. All
+// three are pure functions of the immutable library, so one condensed
+// graph delegated many times — repeat runs on the same engine, or a wide
+// graph instantiating the same cell — pays the walks and the
+// serialisation once. delegable=false records "evaporate locally".
+type delegPlan struct {
+	ops, domains []string
+	nTasks       int
+	closure      map[string]json.RawMessage
+	// hash is closureKey over the canonicalised closure — the LibraryRef
+	// a repeat delegation sends instead of the closure bytes.
+	hash      string
+	delegable bool
+}
+
+func newDelegPlan(lib *cg.Library, name string) *delegPlan {
+	ops, domains, err := cg.SubgraphVocabulary(lib, name)
+	if err != nil || len(ops) == 0 {
+		// Nothing remotely schedulable in the subgraph (or it cannot be
+		// resolved here): evaporate locally.
+		return &delegPlan{}
+	}
+	nTasks, err := cg.OpaqueCount(lib, name)
+	if err != nil {
+		return &delegPlan{}
+	}
+	closure, err := cg.ExportClosure(lib, name)
+	if err != nil {
+		return &delegPlan{}
+	}
+	// Canonicalise each graph to the exact bytes the wire will carry:
+	// json.Marshal of a RawMessage compacts and escapes it and is a fixed
+	// point of itself, so the JSON codec (which re-marshals the map) and
+	// the binary codec (which copies bytes verbatim) both deliver these
+	// bytes unchanged. That makes the hash computed here equal to the
+	// closureKey the sub-master derives from what it actually received —
+	// the wire contract that lets repeat delegations go by LibraryRef.
+	for n, raw := range closure {
+		canon, err := json.Marshal(raw)
+		if err != nil {
+			return &delegPlan{}
+		}
+		closure[n] = canon
+	}
+	return &delegPlan{ops: ops, domains: domains, nTasks: nTasks,
+		closure: closure, hash: closureKey(name, closure), delegable: true}
+}
+
 // Condenser returns the cg.Condenser that delegates whole condensed
 // subgraphs to authorised sub-masters. Master.Run installs it whenever
 // the engine evaluates with a graph library.
 func (m *Master) Condenser(lib *cg.Library) cg.Condenser {
 	rp := m.Retry.withDefaults(m.MaxAttempts)
+	var (
+		planMu sync.Mutex
+		plans  = map[string]*delegPlan{}
+	)
 	return func(ctx context.Context, t cg.Task, op *cg.Condensed, inputs map[string]string) (string, cg.Stats, bool, error) {
-		ops, domains, err := cg.SubgraphVocabulary(lib, op.GraphName)
-		if err != nil || len(ops) == 0 {
-			// Nothing remotely schedulable in the subgraph (or it cannot
-			// be resolved here): evaporate locally.
+		planMu.Lock()
+		plan, ok := plans[op.GraphName]
+		planMu.Unlock()
+		if !ok {
+			plan = newDelegPlan(lib, op.GraphName)
+			planMu.Lock()
+			plans[op.GraphName] = plan
+			planMu.Unlock()
+		}
+		if !plan.delegable {
 			return "", cg.Stats{}, false, nil
 		}
-		cands := m.submasterCandidates(ctx, ops, t.Annotations)
+		cands := m.submasterCandidates(ctx, plan.ops, t.Annotations)
 		if len(cands) == 0 {
 			return "", cg.Stats{}, false, nil
 		}
@@ -114,53 +203,45 @@ func (m *Master) Condenser(lib *cg.Library) cg.Condenser {
 		// opaque task. Delegate when the cheapest sub-master undercuts
 		// the cheapest leaf scaled by the task count (and always when no
 		// leaves are connected at all).
-		nTasks, err := cg.OpaqueCount(lib, op.GraphName)
-		if err != nil {
-			return "", cg.Stats{}, false, nil
-		}
 		if leaf, ok := m.bestLeafScore(); ok {
-			if !loadTied(cands[0].load.score(), leaf*float64(nTasks)) {
+			if !loadTied(cands[0].load.score(), leaf*float64(plan.nTasks)) {
 				return "", cg.Stats{}, false, nil
 			}
 		}
-
-		closure, err := cg.ExportClosure(lib, op.GraphName)
-		if err != nil {
-			return "", cg.Stats{}, false, nil
-		}
-		scope := authz.DelegationScope{AppDomain: AppDomain, Operations: ops, Domains: domains}
+		scope := authz.DelegationScope{AppDomain: AppDomain, Operations: plan.ops, Domains: plan.domains}
 
 		ctx, span := telemetry.StartSpan(ctx, "webcom.delegate")
 		defer span.Finish()
 		span.SetAttr("subgraph", op.GraphName)
 
 		var lastErr error
-		for _, c := range cands {
+		for ci, c := range cands {
 			// Mint per candidate: the credential licenses exactly this
 			// sub-master's principal for exactly this subgraph's
-			// vocabulary. Lint the chain before trusting it to the wire;
-			// the sub-master re-lints on receipt.
-			deleg, err := authz.MintScopedDelegation(m.Key, c.principal, scope)
+			// vocabulary, linted before it is ever trusted to the wire.
+			// Both steps run through the mint cache, so a repeat
+			// delegation of the same subgraph to the same sub-master
+			// reuses the signed assertion byte for byte — no Ed25519, no
+			// lint — which in turn lets the receiving side skip its
+			// re-lint on the identical chain fingerprint.
+			deleg, hit, err := m.mintCache().Mint(m.Key, c.principal, scope)
 			if err != nil {
 				lastErr = err
 				continue
 			}
-			if err := authz.ValidateDelegation(m.Key.PublicID(), []*keynote.Assertion{deleg}, scope); err != nil {
-				lastErr = err
-				continue
+			if hit {
+				span.SetAttr("mint", "cached")
 			}
 			m.Tel.Counter("webcom.delegate.total").Inc()
-			res, err := m.dispatchDelegate(ctx, c, op.GraphName, closure, inputs, deleg, rp)
+			res, winner, err := m.delegateMaybeSteal(ctx, c, cands[ci+1:], op.GraphName, plan, inputs, scope, deleg, rp)
 			if err != nil {
-				c.brk.failure(time.Now())
-				m.Tel.Counter("webcom.delegate.failures").Inc()
 				lastErr = err
 				if ctx.Err() != nil {
 					return "", cg.Stats{}, false, ctx.Err()
 				}
 				continue
 			}
-			c.brk.success()
+			c = winner
 			if res.Denied {
 				// The sub-master's own policy (or its lint of our
 				// credential) refused the delegation. A policy decision:
@@ -199,11 +280,151 @@ func (m *Master) Condenser(lib *cg.Library) cg.Condenser {
 	}
 }
 
+// delegateMaybeSteal dispatches one delegation to primary and, when the
+// retry policy arms speculation, watches for stragglers: if no progress
+// frame has arrived by SpeculateAfter of the delegate deadline, the same
+// subgraph is re-delegated to the cheapest idle sibling sub-master (work
+// stealing) under its own freshly scoped credential, and the first
+// closing frame wins. The loser's dispatch is cancelled, which withdraws
+// its pending waiter and sends a delegate_cancel frame, so its late
+// result is dropped by the read loop and its evaluation stops — one
+// subgraph never yields two honoured answers. Speculation is deliberately
+// conservative: it fires only when the primary has streamed nothing at
+// all, so a healthy-but-slow sub-master that is making progress is never
+// duplicated. A denial from either branch is authoritative — the other
+// branch is cancelled and the denial returned, never re-shopped.
+func (m *Master) delegateMaybeSteal(ctx context.Context, primary *masterClient, siblings []*masterClient,
+	entry string, plan *delegPlan, inputs map[string]string,
+	scope authz.DelegationScope, deleg *keynote.Assertion, rp RetryPolicy) (*msg, *masterClient, error) {
+
+	// First streamed frame disarms speculation: the primary is alive and
+	// working, however slowly. Streaming is requested only when the
+	// frames have a consumer — a registered progress hook, or armed
+	// speculation that needs the straggler signal. With one sub-master
+	// and no hook nobody would read them, so the wing runs frame-free.
+	progressed := make(chan struct{})
+	var progressOnce sync.Once
+	var onFrame func(node, result string)
+	if m.OnDelegateProgress != nil || (rp.SpeculateAfter > 0 && len(siblings) > 0) {
+		onFrame = func(node, result string) {
+			progressOnce.Do(func() { close(progressed) })
+			if m.OnDelegateProgress != nil {
+				m.OnDelegateProgress(node, result)
+			}
+		}
+	}
+
+	type outcome struct {
+		res *msg
+		c   *masterClient
+		err error
+	}
+	outs := make(chan outcome, 2)
+	runCtx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+
+	launch := func(c *masterClient, cred *keynote.Assertion, f func(node, result string)) context.CancelFunc {
+		bctx, cancel := context.WithCancel(runCtx)
+		go func() {
+			res, err := m.dispatchDelegate(bctx, c, entry, plan, inputs, cred, rp, f)
+			outs <- outcome{res: res, c: c, err: err}
+		}()
+		return cancel
+	}
+
+	launch(primary, deleg, onFrame)
+	launched := 1
+	var thief *masterClient
+	var cancelThief context.CancelFunc
+
+	var specC <-chan time.Time
+	if rp.SpeculateAfter > 0 && len(siblings) > 0 {
+		st := time.NewTimer(time.Duration(rp.SpeculateAfter * float64(rp.DelegateTimeout)))
+		defer st.Stop()
+		specC = st.C
+	}
+
+	var firstErr error
+	for launched > 0 {
+		select {
+		case <-specC:
+			specC = nil
+			select {
+			case <-progressed:
+				continue // streaming already: not a straggler
+			default:
+			}
+			thief = stealCandidate(siblings, primary)
+			if thief == nil {
+				continue
+			}
+			cred, _, err := m.mintCache().Mint(m.Key, thief.principal, scope)
+			if err != nil {
+				continue
+			}
+			m.Tel.Counter("webcom.delegate.speculations").Inc()
+			cancelThief = launch(thief, cred, m.OnDelegateProgress)
+			launched++
+		case out := <-outs:
+			launched--
+			if out.err != nil {
+				out.c.brk.failure(time.Now())
+				m.Tel.Counter("webcom.delegate.failures").Inc()
+				if firstErr == nil && !errors.Is(out.err, context.Canceled) {
+					firstErr = out.err
+				}
+				continue // the other branch, if any, may still answer
+			}
+			// First closing frame wins; cancel the other branch and let
+			// it drain in the background (bounded by the cancel).
+			if out.c == primary && cancelThief != nil {
+				cancelThief()
+			} else if out.c == thief {
+				if !out.res.Denied && out.res.Err == "" {
+					m.Tel.Counter("webcom.delegate.steal.wins").Inc()
+				}
+			}
+			cancelAll()
+			out.c.brk.success()
+			if n := launched; n > 0 {
+				go func() {
+					for i := 0; i < n; i++ {
+						if o := <-outs; o.res != nil {
+							msgRelease(o.res)
+						}
+					}
+				}()
+			}
+			return out.res, out.c, nil
+		}
+	}
+	if firstErr == nil {
+		firstErr = ctx.Err()
+		if firstErr == nil {
+			firstErr = errors.New("webcom: delegation abandoned")
+		}
+	}
+	return nil, primary, firstErr
+}
+
 // dispatchDelegate ships one condensed subgraph to a sub-master and
 // awaits the exit value, bounded by the delegate deadline and the
-// sub-master's in-flight slots.
+// sub-master's in-flight slots. Streamed delegate_result frames arriving
+// before the closing result are fed to onFrame (when non-nil) and
+// counted; the closing frame is returned. On cancellation or deadline
+// the waiter is withdrawn and a delegate_cancel frame tells the
+// sub-master to stop evaluating.
+//
+// A connection that has already carried this closure sends only its
+// content hash (LibraryRef): the sub-master answers from its
+// content-addressed cache, and the warm wire frame shrinks from the
+// whole subgraph JSON to 64 bytes. If the sub has evicted the entry it
+// answers errUnknownClosure — an optimisation miss, not a policy
+// decision — and the closure is resent in full under the same deadline
+// and span.
 func (m *Master) dispatchDelegate(ctx context.Context, c *masterClient, entry string,
-	closure map[string]json.RawMessage, inputs map[string]string, deleg *keynote.Assertion, rp RetryPolicy) (*msg, error) {
+	plan *delegPlan, inputs map[string]string, deleg *keynote.Assertion, rp RetryPolicy,
+	onFrame func(node, result string)) (*msg, error) {
 	ctx, cancel := context.WithTimeout(ctx, rp.DelegateTimeout)
 	defer cancel()
 
@@ -227,52 +448,117 @@ func (m *Master) dispatchDelegate(ctx context.Context, c *masterClient, entry st
 		return nil, ctx.Err()
 	}
 
-	id := m.nextID.Add(1)
+	// attempt registers a waiter, ships one delegate frame — the full
+	// closure, or just its hash when byRef — and awaits the closing
+	// result, feeding streamed progress frames to onFrame.
+	attempt := func(byRef bool) (*msg, error) {
+		id := m.nextID.Add(1)
 
-	// Delegate traffic is orders of magnitude rarer than task dispatch,
-	// so it uses a plain one-shot channel rather than the pooled waiter.
-	ch := make(chan *msg, 1)
-	c.mu.Lock()
-	if c.dead {
-		c.mu.Unlock()
-		return nil, errors.New("webcom: client connection lost")
-	}
-	c.pending[id] = ch
-	c.mu.Unlock()
-
-	del := &msg{
-		Type:       msgDelegate,
-		TaskID:     id,
-		Op:         entry,
-		Library:    closure,
-		Inputs:     inputs,
-		Delegation: []string{deleg.Text()},
-	}
-	if span != nil {
-		del.TraceID = span.TraceID
-		del.SpanID = span.SpanID
-	}
-	if err := c.conn.send(del); err != nil {
+		// Delegate traffic is orders of magnitude rarer than task
+		// dispatch, so it uses a plain channel rather than the pooled
+		// waiter. When streaming, the buffer absorbs a burst of progress
+		// frames (the read loop drops, never blocks on, frames beyond
+		// it); a frame-free delegation only ever receives its closing
+		// result.
+		size := 1
+		if onFrame != nil {
+			size = 64
+		}
+		ch := make(chan *msg, size)
 		c.mu.Lock()
-		delete(c.pending, id)
+		if c.dead {
+			c.mu.Unlock()
+			return nil, errors.New("webcom: client connection lost")
+		}
+		c.pending[id] = ch
 		c.mu.Unlock()
-		return nil, err
-	}
-	select {
-	case r := <-ch:
-		if r.Err != "" && strings.Contains(r.Err, "connection lost") {
-			err := errors.New(r.Err)
-			msgRelease(r)
+
+		del := &msg{
+			Type:       msgDelegate,
+			TaskID:     id,
+			Op:         entry,
+			Inputs:     inputs,
+			Delegation: []string{deleg.Text()},
+			Stream:     onFrame != nil,
+		}
+		if byRef {
+			del.LibraryRef = plan.hash
+		} else {
+			del.Library = plan.closure
+		}
+		if span != nil {
+			del.TraceID = span.TraceID
+			del.SpanID = span.SpanID
+		}
+		if err := c.conn.send(del); err != nil {
+			c.mu.Lock()
+			delete(c.pending, id)
+			c.mu.Unlock()
 			return nil, err
 		}
-		if len(r.Spans) > 0 {
-			telemetry.TracerFrom(ctx).Ingest(r.Spans)
+		for {
+			select {
+			case r := <-ch:
+				if r.Type == msgDelegateResult {
+					// Advisory per-node progress; the closing frame below
+					// is the authoritative answer.
+					m.Tel.Counter("webcom.delegate.frames.streamed").Inc()
+					if onFrame != nil {
+						onFrame(r.Node, r.Result)
+					}
+					msgRelease(r)
+					continue
+				}
+				if r.Err != "" && strings.Contains(r.Err, "connection lost") {
+					err := errors.New(r.Err)
+					msgRelease(r)
+					return nil, err
+				}
+				if len(r.Spans) > 0 {
+					telemetry.TracerFrom(ctx).Ingest(r.Spans)
+				}
+				return r, nil
+			case <-ctx.Done():
+				c.mu.Lock()
+				delete(c.pending, id)
+				c.mu.Unlock()
+				// Tell the sub-master the delegation is abandoned
+				// (deadline, run cancellation, or a speculative duplicate
+				// won) so it stops evaluating. Best effort on a possibly
+				// dead conn.
+				c.conn.send(&msg{Type: msgDelegateCancel, TaskID: id})
+				m.Tel.Counter("webcom.delegate.cancels").Inc()
+				return nil, ctx.Err()
+			}
 		}
-		return r, nil
-	case <-ctx.Done():
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		return nil, ctx.Err()
 	}
+
+	byRef := plan.hash != "" && c.closureSent(plan.hash)
+	if byRef {
+		m.Tel.Counter("webcom.delegate.closure.refs").Inc()
+		span.SetAttr("closure", "ref")
+	}
+	r, err := attempt(byRef)
+	if err != nil {
+		return nil, err
+	}
+	if byRef && r.Err == errUnknownClosure {
+		// The sub evicted (or never completed caching) this closure:
+		// unmark the connection and retry once with the full bytes.
+		c.markClosure(plan.hash, false)
+		m.Tel.Counter("webcom.delegate.closure.resends").Inc()
+		span.SetAttr("closure", "resent")
+		msgRelease(r)
+		byRef = false
+		if r, err = attempt(false); err != nil {
+			return nil, err
+		}
+	}
+	if !byRef && plan.hash != "" && !r.Denied && r.Err == "" {
+		// A clean result proves the sub imported — and therefore cached —
+		// exactly these bytes under exactly this hash; repeats on this
+		// connection can go by ref.
+		c.markClosure(plan.hash, true)
+	}
+	return r, nil
 }

@@ -31,6 +31,7 @@ type fedEnv struct {
 	rootTel       *telemetry.Registry
 	rootTracer    *telemetry.Tracer
 	subs          []*Client
+	subTels       []*telemetry.Registry
 	subMasters    []*Master
 	leaves        []*Client
 	forbiddenRuns atomic.Int64
@@ -131,11 +132,14 @@ func newFedEnv(tb testing.TB, nSubs, leavesPerSub int, rootInj, subInj *faultnet
 		if err != nil {
 			tb.Fatal(err)
 		}
+		subTel := telemetry.NewRegistry()
+		env.subTels = append(env.subTels, subTel)
 		sub := &Client{
 			Name:    fmt.Sprintf("S%d", i),
 			Key:     subKey,
 			Checker: subCliChk,
 			Sub:     subM,
+			Tel:     subTel,
 			Live:    live,
 			Tracer:  telemetry.NewTracer(4096),
 			Reconnect: ReconnectPolicy{Enabled: true, MaxAttempts: -1,
@@ -493,7 +497,7 @@ func TestExecuteDelegateAdmission(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, st, denied, err := sub.executeDelegate(delegateMsg(t, deleg))
+		res, st, denied, err := sub.executeDelegate(context.Background(), nil, delegateMsg(t, deleg))
 		if err != nil || denied {
 			t.Fatalf("valid delegation refused: denied=%v err=%v", denied, err)
 		}
@@ -512,7 +516,7 @@ func TestExecuteDelegateAdmission(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, _, denied, err := sub.executeDelegate(delegateMsg(t, deleg))
+		_, _, denied, err := sub.executeDelegate(context.Background(), nil, delegateMsg(t, deleg))
 		if !denied {
 			t.Fatalf("widened delegation admitted: err=%v", err)
 		}
@@ -534,7 +538,7 @@ func TestExecuteDelegateAdmission(t *testing.T) {
 			t.Fatal(err)
 		}
 		forged.Signature = "sig-ed25519:" + strings.Repeat("00", 64)
-		_, _, denied, err := sub.executeDelegate(delegateMsg(t, forged))
+		_, _, denied, err := sub.executeDelegate(context.Background(), nil, delegateMsg(t, forged))
 		if !denied {
 			t.Fatalf("forged delegation admitted: err=%v", err)
 		}
@@ -546,7 +550,7 @@ func TestExecuteDelegateAdmission(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, _, denied, err := sub.executeDelegate(delegateMsg(t, deleg))
+		_, _, denied, err := sub.executeDelegate(context.Background(), nil, delegateMsg(t, deleg))
 		if !denied {
 			t.Fatalf("delegation from a non-master issuer admitted: err=%v", err)
 		}
@@ -558,14 +562,14 @@ func TestExecuteDelegateAdmission(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, _, denied, err := sub.executeDelegate(delegateMsg(t, deleg))
+		_, _, denied, err := sub.executeDelegate(context.Background(), nil, delegateMsg(t, deleg))
 		if !denied {
 			t.Fatalf("delegation licensing another principal admitted: err=%v", err)
 		}
 	})
 
 	t.Run("no credential denied", func(t *testing.T) {
-		_, _, denied, _ := sub.executeDelegate(delegateMsg(t))
+		_, _, denied, _ := sub.executeDelegate(context.Background(), nil, delegateMsg(t))
 		if !denied {
 			t.Fatal("credential-less delegation admitted")
 		}

@@ -42,12 +42,21 @@ func fuzzSeedMsgs(tb testing.TB) []*msg {
 			TraceID:     "t-1", SpanID: "s-1"},
 		{Type: msgDelegate, TaskID: 8, Op: "wing", Library: closure,
 			Inputs: map[string]string{"x": "3"}, Delegation: []string{deleg.Text()},
-			TraceID: "t-1", SpanID: "s-2"},
+			Stream: true, TraceID: "t-1", SpanID: "s-2"},
+		// A warm repeat delegation: the closure travels as its content
+		// hash instead of its bytes.
+		{Type: msgDelegate, TaskID: 10, Op: "wing",
+			LibraryRef: closureKey("wing", closure),
+			Inputs:     map[string]string{"x": "3"}, Delegation: []string{deleg.Text()},
+			TraceID: "t-1", SpanID: "s-5"},
 		{Type: msgResult, TaskID: 8, Result: "16", Fired: 3, Expanded: 0,
 			Spans: []telemetry.Span{{TraceID: "t-1", SpanID: "s-3", ParentID: "s-2",
 				Name: "client.execute", Start: now, End: now.Add(time.Millisecond),
 				Attrs: map[string]string{"op": "double"}}}},
 		{Type: msgResult, TaskID: 9, Denied: true, Err: "task denied by policy"},
+		{Type: msgDelegateResult, TaskID: 8, Node: "dx", Result: "6",
+			TraceID: "t-1", SpanID: "s-4"},
+		{Type: msgDelegateCancel, TaskID: 8},
 		{Type: msgPing},
 		{Type: msgPong},
 	}

@@ -72,6 +72,25 @@ func loadTied(score, best float64) bool {
 	return score <= best*4+0.001
 }
 
+// stealCandidate picks the cheapest live, breaker-admitted sibling
+// sub-master to speculatively re-delegate a straggling subgraph to,
+// excluding the straggler itself; nil when no sibling qualifies (then
+// the delegation just rides out its deadline).
+func stealCandidate(siblings []*masterClient, exclude *masterClient) *masterClient {
+	now := time.Now()
+	var best *masterClient
+	var bestScore float64
+	for _, c := range siblings {
+		if c == exclude || c.isDead() || !c.brk.allow(now) {
+			continue
+		}
+		if s := c.load.score(); best == nil || s < bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
 // ClientLoad is a point-in-time load view of one connected client.
 type ClientLoad struct {
 	Name      string

@@ -63,6 +63,19 @@ type Master struct {
 	eng     *authz.Engine
 	audit   *authz.AuditLog
 
+	// mintOnce guards the lazy delegation mint cache: repeat delegations
+	// of the same subgraph to the same sub-master reuse one minted,
+	// pre-linted credential instead of paying Ed25519 plus a lint pass
+	// per delegation (see authz.MintCache).
+	mintOnce sync.Once
+	mints    *authz.MintCache
+
+	// OnDelegateProgress, when non-nil, observes every streamed
+	// delegate_result frame (node name and value) received from
+	// delegated subgraphs. Advisory — the closing result frame stays
+	// authoritative. Called from dispatch goroutines concurrently.
+	OnDelegateProgress func(node, result string)
+
 	nextID atomic.Uint64
 
 	mu       sync.Mutex
@@ -124,7 +137,36 @@ type masterClient struct {
 
 	mu      sync.Mutex
 	pending map[uint64]chan *msg
-	dead    bool
+	// closures records, by content hash, delegation closures this
+	// connection has successfully carried end to end: repeats go by
+	// LibraryRef instead of resending the bytes. Marks die with the
+	// connection; the sub's cache is consulted afresh on reconnect.
+	closures map[string]bool
+	dead     bool
+}
+
+// closureSent reports whether this connection has already carried the
+// closure named by hash to a successful result.
+func (mc *masterClient) closureSent(hash string) bool {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.closures[hash]
+}
+
+// markClosure records (sent=true) or withdraws (sent=false, after an
+// errUnknownClosure answer) the fact that the sub on this connection
+// holds the closure named by hash.
+func (mc *masterClient) markClosure(hash string, sent bool) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if !sent {
+		delete(mc.closures, hash)
+		return
+	}
+	if mc.closures == nil {
+		mc.closures = make(map[string]bool)
+	}
+	mc.closures[hash] = true
 }
 
 // fail declares the client dead exactly once: outstanding tasks are
@@ -202,6 +244,11 @@ func (m *Master) Close() error {
 	m.mu.Unlock()
 	for _, c := range clients {
 		c.fail("master shutting down")
+	}
+	if m.ln == nil {
+		// Never listened: an embedded sub-master whose operator table is
+		// fully local has no listener to close.
+		return nil
 	}
 	return m.ln.Close()
 }
@@ -444,6 +491,24 @@ func (m *Master) handleClient(c *conn) {
 				ch <- r
 			} else {
 				msgRelease(r) // dispatch timed out and withdrew the waiter
+			}
+		case msgDelegateResult:
+			// Streamed per-node progress from a delegated subgraph: route
+			// to the waiter without consuming its pending entry — the
+			// closing result frame still has to arrive. Progress frames
+			// are advisory, so a slow waiter drops rather than blocks the
+			// read loop.
+			mc.mu.Lock()
+			ch := mc.pending[r.TaskID]
+			mc.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- r:
+				default:
+					msgRelease(r)
+				}
+			} else {
+				msgRelease(r)
 			}
 		default:
 			msgRelease(r)
@@ -900,7 +965,9 @@ func (c *masterClient) withdraw(id uint64) {
 // nodes are offered whole to authorised sub-masters first (scoped
 // delegation); local evaporation remains the fallback.
 func (m *Master) Run(ctx context.Context, eng *cg.Engine, g *cg.Graph, inputs map[string]string) (string, cg.Stats, error) {
-	eng.Exec = m.Executor()
+	if eng.Exec == nil {
+		eng.Exec = m.Executor()
+	}
 	if eng.Tel == nil {
 		eng.Tel = m.Tel
 	}

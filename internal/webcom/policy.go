@@ -46,6 +46,13 @@ type RetryPolicy struct {
 	// gets a longer leash than a single dispatch. Default
 	// 4 x DispatchTimeout.
 	DelegateTimeout time.Duration
+	// SpeculateAfter, as a fraction of DelegateTimeout in (0, 1], arms
+	// speculative re-delegation: when a delegated subgraph has streamed
+	// no progress frame by that point, the master re-delegates it to the
+	// cheapest idle sibling sub-master (work stealing) and the first
+	// closing result wins; the straggler is cancelled on the wire.
+	// 0 (the default) disables speculation. Values above 1 clamp to 1.
+	SpeculateAfter float64
 }
 
 func (p RetryPolicy) withDefaults(legacyMaxAttempts int) RetryPolicy {
@@ -78,6 +85,11 @@ func (p RetryPolicy) withDefaults(legacyMaxAttempts int) RetryPolicy {
 	}
 	if p.DelegateTimeout <= 0 {
 		p.DelegateTimeout = 4 * p.DispatchTimeout
+	}
+	if p.SpeculateAfter < 0 {
+		p.SpeculateAfter = 0
+	} else if p.SpeculateAfter > 1 {
+		p.SpeculateAfter = 1
 	}
 	return p
 }

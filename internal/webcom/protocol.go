@@ -113,6 +113,17 @@ type msg struct {
 	Library    map[string]rawJSON `json:"library,omitempty"`
 	Inputs     map[string]string  `json:"inputs,omitempty"`
 	Delegation []string           `json:"delegation,omitempty"`
+	// Stream asks the sub-master to emit per-node delegate_result
+	// progress frames. The root sets it only when someone consumes them
+	// (a progress hook, or armed speculation watching for stragglers);
+	// otherwise the wing runs without per-node wire traffic.
+	Stream bool `json:"stream,omitempty"`
+	// LibraryRef names a closure by content hash instead of carrying its
+	// bytes: once a sub-master has imported a closure, repeat
+	// delegations of the same subgraph send only the 64-char hex ref.
+	// A sub that no longer holds the closure answers with
+	// errUnknownClosure and the parent resends the full Library.
+	LibraryRef string `json:"library_ref,omitempty"`
 
 	// result fields. Spans carry the executing tier's finished spans for
 	// the task's trace back up the tree, so the root's tracer can serve
@@ -125,6 +136,14 @@ type msg struct {
 	Spans    []telemetry.Span `json:"spans,omitempty"`
 	Fired    int              `json:"fired,omitempty"`
 	Expanded int              `json:"expanded,omitempty"`
+
+	// streaming delegate fields. A sub-master working through a
+	// delegated subgraph emits one delegate_result frame per completed
+	// node — Node names the finished graph node, Result carries its
+	// value — before the single closing result frame. The root treats
+	// the stream as advisory progress (straggler detection, early
+	// speculation disarm); the closing frame stays authoritative.
+	Node string `json:"node,omitempty"`
 }
 
 // Message types.
@@ -138,6 +157,14 @@ const (
 	msgResult    = "result"
 	msgPing      = "ping"
 	msgPong      = "pong"
+	// msgDelegateResult is an incremental per-node progress frame a
+	// sub-master streams while executing a delegated subgraph; the
+	// delegation still ends with one closing msgResult frame.
+	msgDelegateResult = "delegate_result"
+	// msgDelegateCancel withdraws a delegation: the root sends it when a
+	// speculative re-delegation of the same subgraph has already won, so
+	// the losing sub-master stops firing nodes it no longer needs to run.
+	msgDelegateCancel = "delegate_cancel"
 )
 
 // roleSubmaster is the hello Role of a client running an embedded

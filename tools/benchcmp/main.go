@@ -11,9 +11,13 @@
 // A benchmark FAILS the comparison when its current median exceeds
 // threshold × the recorded median (regression), or — with -min-speedup
 // N — when recorded/current < N (an improvement gate, used by CI to
-// hold the dispatch plane at ≥4× over the pre-codec baseline).
+// hold the dispatch plane at ≥4× over the pre-codec baseline), or —
+// with -max-ns N — when the current median exceeds N nanoseconds
+// outright (an absolute ceiling, used to hold the warm federated run
+// under 100µs regardless of what any baseline recorded).
 // Benchmarks missing from the baseline are reported as new and do not
-// fail; -section selects a different top-level map than "summary"
+// fail relative gates, but -max-ns still applies to them; -section
+// selects a different top-level map than "summary"
 // (e.g. "pre_codec_baseline").
 package main
 
@@ -49,6 +53,7 @@ func main() {
 		section      = flag.String("section", "summary", "top-level key of the baseline holding the benchmark map")
 		threshold    = flag.Float64("threshold", 1.5, "fail when current median > threshold x recorded median")
 		minSpeedup   = flag.Float64("min-speedup", 0, "fail when recorded/current < this ratio (0 disables)")
+		maxNs        = flag.Float64("max-ns", 0, "fail when current median exceeds this many ns/op outright (0 disables)")
 		match        = flag.String("match", "", "only compare benchmarks whose name matches this regexp")
 		inputPath    = flag.String("input", "", "read bench output from this file instead of stdin")
 	)
@@ -87,12 +92,20 @@ func main() {
 		now := medians[name]
 		rec, ok := base[name]
 		if !ok {
-			fmt.Printf("%-50s %12.0f ns/op  (new: no recorded baseline)\n", name, now)
+			verdict := "(new: no recorded baseline)"
+			if *maxNs > 0 && now > *maxNs {
+				verdict = fmt.Sprintf("FAIL: over absolute ceiling %.0f ns/op", *maxNs)
+				failed = true
+			}
+			fmt.Printf("%-50s %12.0f ns/op  %s\n", name, now, verdict)
 			continue
 		}
 		ratio := now / rec.NsPerOpMedian
 		verdict := "ok"
 		switch {
+		case *maxNs > 0 && now > *maxNs:
+			verdict = fmt.Sprintf("FAIL: over absolute ceiling %.0f ns/op", *maxNs)
+			failed = true
 		case *minSpeedup > 0 && rec.NsPerOpMedian/now < *minSpeedup:
 			verdict = fmt.Sprintf("FAIL: speedup %.2fx below required %.2fx", rec.NsPerOpMedian/now, *minSpeedup)
 			failed = true
