@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-dispatch bench-authz bench-keycom bench-federation fuzz-smoke
+.PHONY: all build test race bench bench-dispatch bench-authz bench-keycom bench-federation bench-gateway fuzz-smoke
 
 all: build test
 
@@ -22,7 +22,7 @@ race:
 # each median against its recorded BENCH_*.json baseline via
 # tools/benchcmp. Thresholds are deliberately loose (1.5x) — they catch
 # real regressions, not scheduler noise; CI holds the tighter gates.
-bench: bench-dispatch bench-authz bench-keycom bench-federation
+bench: bench-dispatch bench-authz bench-keycom bench-federation bench-gateway
 
 bench-dispatch:
 	$(GO) test -run '^$$' -bench 'BenchmarkDispatch|BenchmarkRunUnderFaults' -benchmem -count=5 -timeout 30m ./internal/webcom/ \
@@ -50,6 +50,20 @@ bench-federation:
 	$(GO) run ./tools/benchcmp -baseline BENCH_federation.json -input fed_bench.txt -threshold 2
 	$(GO) run ./tools/benchcmp -baseline BENCH_federation.json -input fed_bench.txt -section pre_amortised_baseline -match 'BenchmarkFederatedRun/warm$$' -min-speedup 10 -max-ns 100000
 	rm -f fed_bench.txt
+
+# bench-gateway gates the authorise-as-a-service front door. The
+# hot-path benches hold the usual 1.5x regression threshold; the
+# overload pair gates behaviour under saturation: p99 of admitted
+# requests under an absolute ceiling, and the shed rate above a floor
+# (the headroom metric reports 1000 - shed permille as "ns/op", so a
+# -max-ns ceiling on it IS a floor on the shed rate — see
+# internal/gateway/bench_test.go).
+bench-gateway:
+	$(GO) test -run '^$$' -bench 'BenchmarkGateway' -benchmem -count=5 -timeout 30m ./internal/gateway/ > gw_bench.txt
+	$(GO) run ./tools/benchcmp -baseline BENCH_gateway.json -input gw_bench.txt -match 'BenchmarkGatewayDecide' -threshold 1.5
+	$(GO) run ./tools/benchcmp -baseline BENCH_gateway.json -input gw_bench.txt -match 'BenchmarkGatewayOverload/p99$$' -threshold 3 -max-ns 500000000
+	$(GO) run ./tools/benchcmp -baseline BENCH_gateway.json -input gw_bench.txt -match 'BenchmarkGatewayOverload/shed-headroom-permille$$' -threshold 1000 -max-ns 500
+	rm -f gw_bench.txt
 
 fuzz-smoke:
 	$(GO) test -run Fuzz -fuzz=FuzzMsgDecode -fuzztime=10s ./internal/webcom

@@ -4,16 +4,23 @@ package securewebcom_test
 // binaries and drives the README's two-terminal demo — keygen for both
 // parties, a webcom-client serving ops, and a webcom-master scheduling
 // work to it over TCP with mutual authentication.
+//
+// No ports or wall-clock budgets are hard-coded: the master binds
+// 127.0.0.1:0 and the test learns the kernel-assigned address from its
+// announcement (a reserve-then-release "free port" helper races with
+// every other process on the machine), and every wait derives from the
+// test binary's own -timeout deadline.
 
 import (
 	"bytes"
 	"context"
 	"fmt"
-	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -31,16 +38,54 @@ func buildTool(t *testing.T, dir, name string) string {
 	return bin
 }
 
-// freePort reserves an ephemeral TCP port and releases it for reuse.
-func freePort(t *testing.T) string {
+// syncBuffer is a concurrency-safe sink: the child process writes while
+// the test polls for announcements.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// testContext derives the run budget from the test binary's own
+// -timeout deadline, less a grace period so failures still have time to
+// collect child output; the fallback covers a disabled test timeout.
+func testContext(t *testing.T) (context.Context, context.CancelFunc) {
 	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
+	if d, ok := t.Deadline(); ok {
+		return context.WithDeadline(context.Background(), d.Add(-5*time.Second))
 	}
-	addr := ln.Addr().String()
-	ln.Close()
-	return addr
+	return context.WithTimeout(context.Background(), 60*time.Second)
+}
+
+var listenRe = regexp.MustCompile(`listening on (\S+)`)
+
+// waitListenAddr polls the master's output for the address it bound.
+// With -addr 127.0.0.1:0 the kernel picks the port, so the announcement
+// is the only place the test can learn it — and by the time it is
+// printed the listener is accepting, so no dial-probe loop is needed.
+func waitListenAddr(ctx context.Context, t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	for {
+		if m := listenRe.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatalf("master never announced a listen address\n%s", out.String())
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
 }
 
 func TestBinariesEndToEnd(t *testing.T) {
@@ -64,39 +109,26 @@ func TestBinariesEndToEnd(t *testing.T) {
 		}
 	}
 
-	addr := freePort(t)
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	ctx, cancel := testContext(t)
 	defer cancel()
 
 	// Client in the background; it retries nothing, so start the master
 	// listener first by launching the master with -run (it listens
 	// immediately, then waits for the client).
 	masterCmd := exec.CommandContext(ctx, master,
-		"-addr", addr, "-key", masterKey, "-trust", clientKey,
+		"-addr", "127.0.0.1:0", "-key", masterKey, "-trust", clientKey,
 		"-run", "echo hello heterogeneous world", "-wait-clients", "1")
-	var masterOut bytes.Buffer
+	var masterOut syncBuffer
 	masterCmd.Stdout = &masterOut
 	masterCmd.Stderr = &masterOut
 	if err := masterCmd.Start(); err != nil {
 		t.Fatal(err)
 	}
 
-	// Wait for the listener, then attach the client.
-	deadline := time.Now().Add(20 * time.Second)
-	for {
-		c, err := net.Dial("tcp", addr)
-		if err == nil {
-			c.Close()
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("master never listened on %s\n%s", addr, masterOut.String())
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
+	addr := waitListenAddr(ctx, t, &masterOut)
 	clientCmd := exec.CommandContext(ctx, client,
 		"-master", addr, "-name", "X", "-key", clientKey, "-trust-master", masterKey)
-	var clientOut bytes.Buffer
+	var clientOut syncBuffer
 	clientCmd.Stdout = &clientOut
 	clientCmd.Stderr = &clientOut
 	if err := clientCmd.Start(); err != nil {
@@ -152,36 +184,24 @@ func TestBinariesGraphExecution(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	addr := freePort(t)
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	ctx, cancel := testContext(t)
 	defer cancel()
 
 	masterCmd := exec.CommandContext(ctx, master,
-		"-addr", addr, "-key", masterKey, "-trust", clientKey,
+		"-addr", "127.0.0.1:0", "-key", masterKey, "-trust", clientKey,
 		"-graph", graphPath, "-inputs", "who=Bob", "-wait-clients", "1")
-	var masterOut bytes.Buffer
+	var masterOut syncBuffer
 	masterCmd.Stdout = &masterOut
 	masterCmd.Stderr = &masterOut
 	if err := masterCmd.Start(); err != nil {
 		t.Fatal(err)
 	}
 
-	deadline := time.Now().Add(20 * time.Second)
-	for {
-		c, err := net.Dial("tcp", addr)
-		if err == nil {
-			c.Close()
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("master never listened\n%s", masterOut.String())
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
+	addr := waitListenAddr(ctx, t, &masterOut)
 	clientCmd := exec.CommandContext(ctx, client,
 		"-master", addr, "-name", "X", "-key", clientKey,
 		"-trust-master", masterKey, "-demo-ejb")
-	var clientOut bytes.Buffer
+	var clientOut syncBuffer
 	clientCmd.Stdout = &clientOut
 	clientCmd.Stderr = &clientOut
 	if err := clientCmd.Start(); err != nil {

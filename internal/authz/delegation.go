@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"securewebcom/internal/keynote"
 	"securewebcom/internal/keys"
@@ -26,6 +27,27 @@ type DelegationScope struct {
 	AppDomain  string
 	Operations []string
 	Domains    []string
+	// NotAfter, when non-zero, bounds the delegation in time: the minted
+	// conditions gain a `not_after < "<RFC3339>"` conjunct, so a query
+	// whose not_after attribute carries the current time stops satisfying
+	// the credential once the bound passes. Short-lived web principals
+	// (the gateway's JWT bridge) mint with this set; federation scopes
+	// leave it zero and stay valid for the life of the policy epoch.
+	NotAfter time.Time
+}
+
+// NotAfterAttr is the query attribute carrying the current time for
+// expiry-bounded credentials, in canonical RFC3339 UTC form. The name is
+// one of the validity-timestamp attributes keynote's expiry analysis
+// (and the PL009 lint) already recognises; RFC3339 UTC strings compare
+// lexically in chronological order, so the string comparison in the
+// conditions program is exact.
+const NotAfterAttr = "not_after"
+
+// notAfterBound renders the scope's expiry in the canonical comparable
+// form.
+func (s DelegationScope) notAfterBound() string {
+	return s.NotAfter.UTC().Format(time.RFC3339)
 }
 
 // conditions renders the scope as a KeyNote conditions program inside
@@ -44,6 +66,9 @@ func (s DelegationScope) conditions() (string, error) {
 	b.WriteString(" && " + disjunction("operation", dedupe(s.Operations)))
 	if len(s.Domains) > 0 {
 		b.WriteString(" && " + disjunction("Domain", dedupe(s.Domains)))
+	}
+	if !s.NotAfter.IsZero() {
+		fmt.Fprintf(&b, " && %s < %q", NotAfterAttr, s.notAfterBound())
 	}
 	b.WriteString(";")
 	return b.String(), nil
@@ -94,6 +119,7 @@ func (s DelegationScope) vocabulary() *policylint.Vocabulary {
 	v.Allow("User")
 	v.Allow("ObjectType")
 	v.Allow("Permission")
+	v.Allow(NotAfterAttr)
 	return v
 }
 

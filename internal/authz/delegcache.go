@@ -65,6 +65,14 @@ func scopeKey(delegate string, scope DelegationScope) string {
 		b.WriteString(d)
 		b.WriteByte(0x1f)
 	}
+	if !scope.NotAfter.IsZero() {
+		// The bound participates in the key, so a re-mint after expiry is
+		// a cache miss rather than a stale hit. Callers that want hits
+		// across requests bucket the bound (the JWT bridge rounds it to a
+		// coarse granularity).
+		b.WriteByte(0x1e)
+		b.WriteString(scope.notAfterBound())
+	}
 	return b.String()
 }
 

@@ -1,0 +1,112 @@
+package authz
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"securewebcom/internal/keynote"
+	"securewebcom/internal/keys"
+	"securewebcom/internal/telemetry"
+)
+
+// Expiry-bounded delegation scopes: the substrate the gateway's JWT
+// bridge mints short-lived web principals on.
+
+func TestScopeNotAfterRendersComparableBound(t *testing.T) {
+	bound := time.Date(2030, 6, 1, 12, 0, 0, 0, time.UTC)
+	scope := DelegationScope{Operations: []string{"echo"}, NotAfter: bound}
+	cond, err := scope.conditions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `not_after < "2030-06-01T12:00:00Z"`
+	if !strings.Contains(cond, want) {
+		t.Fatalf("conditions %q missing expiry conjunct %q", cond, want)
+	}
+}
+
+// TestExpiryBoundedDelegationDecides proves the whole loop: a credential
+// minted with NotAfter authorises the delegate while the bound is open
+// and stops once a query's not_after attribute passes it — with no
+// re-mint, no invalidation, purely by evaluation.
+func TestExpiryBoundedDelegationDecides(t *testing.T) {
+	ks := keys.NewKeyStore()
+	admin := keys.Deterministic("Kadmin", "expiry-test")
+	bob := keys.Deterministic("Kbob", "expiry-test")
+	ks.Add(admin)
+	ks.Add(bob)
+	policy := keynote.MustNew("POLICY", fmt.Sprintf("%q", admin.PublicID()), `app_domain=="WebCom";`)
+	chk, err := keynote.NewChecker([]*keynote.Assertion{policy}, keynote.WithResolver(ks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := NewEngine(chk)
+
+	bound := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	scope := DelegationScope{Operations: []string{"echo"}, NotAfter: bound}
+	cred, err := MintScopedDelegation(admin, bob.PublicID(), scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A freshly minted expiring chain must still lint honourable against
+	// its own scope.
+	if err := ValidateDelegation(admin.PublicID(), []*keynote.Assertion{cred}, scope); err != nil {
+		t.Fatalf("expiring delegation refused: %v", err)
+	}
+
+	session := engine.Session([]*keynote.Assertion{cred})
+	decide := func(now time.Time) bool {
+		q := keynote.Query{
+			Authorizers: []string{bob.PublicID()},
+			Attributes: map[string]string{
+				"app_domain": "WebCom",
+				"operation":  "echo",
+				NotAfterAttr: now.UTC().Format(time.RFC3339),
+			},
+		}
+		d, err := session.Decide(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Allowed
+	}
+	if !decide(bound.Add(-time.Hour)) {
+		t.Fatal("delegation denied before its expiry bound")
+	}
+	if decide(bound.Add(time.Hour)) {
+		t.Fatal("delegation still granted after its expiry bound")
+	}
+	// Exactly at the bound: `<` is strict, so the credential is dead.
+	if decide(bound) {
+		t.Fatal("delegation granted at the exact expiry instant")
+	}
+}
+
+// TestMintCacheKeyedByNotAfter: two otherwise identical scopes with
+// different expiry bounds must not share a cache entry — a re-mint
+// after expiry is a miss, never a stale hit — while an identical bound
+// hits.
+func TestMintCacheKeyedByNotAfter(t *testing.T) {
+	f := newFixture(t)
+	mc := NewMintCache(f.engine, 0, telemetry.NewRegistry())
+	t0 := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	scopeAt := func(ts time.Time) DelegationScope {
+		return DelegationScope{AppDomain: "WebCom", Operations: []string{"echo"}, NotAfter: ts}
+	}
+	if _, hit, err := mc.Mint(f.admin, f.bob.PublicID(), scopeAt(t0)); err != nil || hit {
+		t.Fatalf("first mint: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := mc.Mint(f.admin, f.bob.PublicID(), scopeAt(t0)); err != nil || !hit {
+		t.Fatalf("same-bound mint: hit=%v err=%v, want hit", hit, err)
+	}
+	if _, hit, err := mc.Mint(f.admin, f.bob.PublicID(), scopeAt(t0.Add(time.Minute))); err != nil || hit {
+		t.Fatalf("later-bound mint: hit=%v err=%v, want miss", hit, err)
+	}
+	// The unbounded scope is yet another key.
+	if _, hit, err := mc.Mint(f.admin, f.bob.PublicID(), delegScope("echo")); err != nil || hit {
+		t.Fatalf("unbounded mint: hit=%v err=%v, want miss", hit, err)
+	}
+}

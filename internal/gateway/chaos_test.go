@@ -1,0 +1,201 @@
+package gateway
+
+// Shedding under chaos: the front door behind a latency-injecting
+// network, offered strictly more concurrency than its admission budget.
+// The properties that must survive:
+//
+//   - in-flight decides never exceed the configured capacity,
+//   - every refusal is a clean 429 with a Retry-After hint (no 5xx, no
+//     hung connections),
+//   - a shed request is never half-executed: the engine decide counter
+//     accounts exactly for the responses that reported 200,
+//   - no goroutine outlives the teardown.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"securewebcom/internal/faultnet"
+)
+
+// leakCheck fails the test if goroutines outlive the test's cleanups.
+// Register it FIRST so it runs after every other cleanup has torn the
+// fixture down (cleanups run last-in first-out).
+func leakCheck(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= base {
+				return
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d at start, %d after teardown\n%s",
+			base, runtime.NumGoroutine(), buf[:n])
+	})
+}
+
+func TestChaosSheddingUnderOverload(t *testing.T) {
+	leakCheck(t)
+
+	const (
+		capacity     = 4
+		bulkCapacity = 2
+		workers      = 24
+		perWorker    = 8
+		bulkEvery    = 2 // every 2nd request is a bulk batch
+		// bulkSize makes the bulk response outgrow net/http's 4KB write
+		// buffer, so the response flushes through the latency-injected
+		// connection while the shedder slot is still held — the overload
+		// this suite exists to create.
+		bulkSize = 192
+	)
+
+	f := newFixture(t, func(c *Config) {
+		c.MaxInFlight = capacity
+		c.MaxBulkInFlight = bulkCapacity
+		// Rate limiting must not interfere: this test isolates the
+		// concurrency shedder.
+		c.RatePerPrincipal = 1e9
+		c.Burst = 1e9
+	})
+	// The httptest server from the fixture is unused here; the gateway is
+	// served through a latency-injecting listener instead.
+	f.ts.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultnet.New(faultnet.Config{Seed: 7, PLatency: 1.0, MaxLatency: 8 * time.Millisecond})
+	hsrv := &http.Server{Handler: f.srv}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		hsrv.Serve(inj.Listener(ln))
+	}()
+	t.Cleanup(func() {
+		hsrv.Close()
+		<-done
+	})
+	base := "http://" + ln.Addr().String()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	t.Cleanup(client.CloseIdleConnections)
+
+	var (
+		ok200, shed429, other atomic.Int64
+		decided               atomic.Int64 // decisions received in 200 responses
+		missingRetryAfter     atomic.Int64
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tok := f.token(fmt.Sprintf("user-%d", w), "echo add")
+			for i := 0; i < perWorker; i++ {
+				var body decideRequest
+				bulk := i%bulkEvery == 0
+				if bulk {
+					for j := 0; j < bulkSize; j++ {
+						body.Queries = append(body.Queries, decideQuery{Operation: "echo"})
+					}
+				} else {
+					body.Operation = "echo"
+				}
+				buf, _ := json.Marshal(body)
+				req, err := http.NewRequest(http.MethodPost, base+"/v1/decide", bytes.NewReader(buf))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				req.Header.Set("Authorization", "Bearer "+tok)
+				resp, err := client.Do(req)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok200.Add(1)
+					if bulk {
+						var br bulkResponse
+						if err := json.Unmarshal(raw, &br); err != nil {
+							t.Errorf("bulk body %q: %v", raw, err)
+							return
+						}
+						decided.Add(int64(len(br.Decisions)))
+					} else {
+						decided.Add(1)
+					}
+				case http.StatusTooManyRequests:
+					shed429.Add(1)
+					if resp.Header.Get("Retry-After") == "" {
+						missingRetryAfter.Add(1)
+					}
+				default:
+					other.Add(1)
+					t.Errorf("worker %d: status %d body %q", w, resp.StatusCode, raw)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := int64(workers * perWorker)
+	if got := ok200.Load() + shed429.Load() + other.Load(); got != total {
+		t.Fatalf("accounted %d responses, sent %d", got, total)
+	}
+	if other.Load() != 0 {
+		t.Fatalf("%d responses were neither 200 nor 429", other.Load())
+	}
+	if missingRetryAfter.Load() != 0 {
+		t.Fatalf("%d sheds lacked a Retry-After hint", missingRetryAfter.Load())
+	}
+	if ok200.Load() == 0 {
+		t.Fatal("overload refused everything; the degrade path must keep serving")
+	}
+	if shed429.Load() == 0 {
+		t.Fatal("offered load over capacity produced no sheds; the test created no overload")
+	}
+
+	shed := f.srv.Shed()
+	if shed.HighWater > capacity {
+		t.Fatalf("in-flight high water %d exceeded capacity %d", shed.HighWater, capacity)
+	}
+	if shed.InFlight != 0 {
+		t.Fatalf("in-flight %d after drain", shed.InFlight)
+	}
+	if shed.Admitted != ok200.Load() {
+		t.Fatalf("admitted %d != 200 responses %d", shed.Admitted, ok200.Load())
+	}
+	if shed.Sheds != shed429.Load() {
+		t.Fatalf("shedder counted %d sheds, clients saw %d", shed.Sheds, shed429.Load())
+	}
+	// Never half-executed: every decision the engine performed is visible
+	// in a 200 response; shed requests contributed none.
+	if got := f.tel.Counter("gateway.decides").Value(); got != decided.Load() {
+		t.Fatalf("engine performed %d decisions, 200 responses carried %d", got, decided.Load())
+	}
+	if t.Failed() {
+		return
+	}
+	t.Logf("overload: %d ok, %d shed (high water %d/%d, %d decisions)",
+		ok200.Load(), shed429.Load(), shed.HighWater, capacity, decided.Load())
+}

@@ -1,0 +1,140 @@
+package jwtbridge
+
+import (
+	"encoding/base64"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"securewebcom/internal/keys"
+)
+
+func b64url(b []byte) string { return base64.RawURLEncoding.EncodeToString(b) }
+
+var testNow = time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+
+func hsToken(t *testing.T, secret []byte, c Claims) string {
+	t.Helper()
+	tok, err := Sign("HS256", c, secret, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tok
+}
+
+func baseClaims() Claims {
+	return Claims{
+		Issuer:    "idp.example",
+		Subject:   "alice",
+		Scope:     "echo add",
+		ExpiresAt: testNow.Add(time.Hour).Unix(),
+		IssuedAt:  testNow.Unix(),
+	}
+}
+
+func TestVerifyHS256RoundTrip(t *testing.T) {
+	secret := []byte("s3cret")
+	v := &Verifier{Issuer: "idp.example", HS256Secret: secret}
+	c, err := v.Verify(testNow, hsToken(t, secret, baseClaims()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Subject != "alice" || strings.Join(c.Operations(), ",") != "echo,add" {
+		t.Fatalf("claims round-tripped wrong: %+v", c)
+	}
+}
+
+func TestVerifyEdDSARoundTrip(t *testing.T) {
+	kp := keys.Deterministic("Kidp", "jwt-test")
+	v := &Verifier{Issuer: "idp.example", EdDSAKey: kp.PublicID()}
+	tok, err := Sign("EdDSA", baseClaims(), nil, kp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Verify(testNow, tok); err != nil {
+		t.Fatal(err)
+	}
+	// A different key's token is refused.
+	other := keys.Deterministic("Kother", "jwt-test")
+	tok2, _ := Sign("EdDSA", baseClaims(), nil, other)
+	if _, err := v.Verify(testNow, tok2); !errors.Is(err, ErrBadSig) {
+		t.Fatalf("foreign EdDSA token: err=%v, want ErrBadSig", err)
+	}
+}
+
+func TestVerifyRefusals(t *testing.T) {
+	secret := []byte("s3cret")
+	v := &Verifier{Issuer: "idp.example", HS256Secret: secret}
+
+	expired := baseClaims()
+	expired.ExpiresAt = testNow.Add(-time.Minute).Unix()
+	notYet := baseClaims()
+	notYet.NotBefore = testNow.Add(time.Hour).Unix()
+	badIss := baseClaims()
+	badIss.Issuer = "evil.example"
+	noScope := baseClaims()
+	noScope.Scope = "   "
+	badSub := baseClaims()
+	badSub.Subject = `ali"ce`
+	noExp := baseClaims()
+	noExp.ExpiresAt = 0
+
+	cases := []struct {
+		name  string
+		token string
+		want  error
+	}{
+		{"expired", hsToken(t, secret, expired), ErrExpired},
+		{"not-yet-valid", hsToken(t, secret, notYet), ErrNotYet},
+		{"wrong issuer", hsToken(t, secret, badIss), ErrBadIssuer},
+		{"no scope", hsToken(t, secret, noScope), ErrNoScope},
+		{"hostile subject", hsToken(t, secret, badSub), ErrBadSubject},
+		{"missing exp", hsToken(t, secret, noExp), ErrMalformed},
+		{"wrong secret", hsToken(t, []byte("other"), baseClaims()), ErrBadSig},
+		{"two segments", "aaaa.bbbb", ErrMalformed},
+		{"garbage", "not a token at all", ErrMalformed},
+	}
+	for _, tc := range cases {
+		if _, err := v.Verify(testNow, tc.token); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err=%v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestVerifyAlgConfusion: the token header cannot select an algorithm
+// the verifier was not configured with — the classic alg-substitution
+// and alg:none attacks both die on the allow-list.
+func TestVerifyAlgConfusion(t *testing.T) {
+	secret := []byte("s3cret")
+	hsOnly := &Verifier{Issuer: "idp.example", HS256Secret: secret}
+	kp := keys.Deterministic("Kidp", "jwt-test")
+	edTok, err := Sign("EdDSA", baseClaims(), nil, kp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hsOnly.Verify(testNow, edTok); !errors.Is(err, ErrBadSig) {
+		t.Fatalf("EdDSA token on HS256-only verifier: err=%v, want ErrBadSig", err)
+	}
+	// A hand-built alg:none token (empty signature segment).
+	parts := strings.Split(hsToken(t, secret, baseClaims()), ".")
+	none := `{"alg":"none"}`
+	noneTok := b64url([]byte(none)) + "." + parts[1] + "."
+	if _, err := hsOnly.Verify(testNow, noneTok); !errors.Is(err, ErrBadSig) {
+		t.Fatalf("alg:none token: err=%v, want ErrBadSig", err)
+	}
+}
+
+func TestVerifyLeeway(t *testing.T) {
+	secret := []byte("s3cret")
+	c := baseClaims()
+	c.ExpiresAt = testNow.Add(-10 * time.Second).Unix()
+	strict := &Verifier{Issuer: "idp.example", HS256Secret: secret}
+	if _, err := strict.Verify(testNow, hsToken(t, secret, c)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("strict verifier accepted a just-expired token: %v", err)
+	}
+	slack := &Verifier{Issuer: "idp.example", HS256Secret: secret, Leeway: 30 * time.Second}
+	if _, err := slack.Verify(testNow, hsToken(t, secret, c)); err != nil {
+		t.Fatalf("30s leeway refused a 10s-stale token: %v", err)
+	}
+}
